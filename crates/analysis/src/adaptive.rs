@@ -1,0 +1,299 @@
+//! Adaptive interval sizing — the extension §5.6.1 floats.
+//!
+//! The paper observes that different programs want different profile
+//! intervals: deltablue's long phases make 1M-event intervals unstable
+//! while 10K intervals are calm; m88ksim's bursty hot set is the reverse.
+//! *"one can potentially adaptively pick the appropriate interval length
+//! for a given program."*
+//!
+//! [`AdaptiveProfiler`] implements that suggestion: it wraps a
+//! [`MultiHashProfiler`] and, after each completed interval, measures the
+//! candidate variation against the previous interval. Sustained low
+//! variation (the profile is stable — longer intervals would amortize
+//! better and see rarer events) doubles the interval length; sustained high
+//! variation (the profile churns — the optimizer is acting on stale data)
+//! halves it. Interval lengths stay within a configured band and the
+//! candidate-threshold *fraction* is preserved, so the accumulator bound of
+//! §5.1 continues to hold at every length.
+
+use mhp_core::{
+    ConfigError, EventProfiler, IntervalConfig, IntervalProfile, MultiHashConfig,
+    MultiHashProfiler, Tuple,
+};
+
+use crate::variation::variation_percent;
+
+/// Tuning knobs for [`AdaptiveProfiler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Smallest allowed interval length.
+    pub min_len: u64,
+    /// Largest allowed interval length.
+    pub max_len: u64,
+    /// Variation (percent) below which the interval doubles.
+    pub grow_below: f64,
+    /// Variation (percent) above which the interval halves.
+    pub shrink_above: f64,
+}
+
+impl Default for AdaptivePolicy {
+    /// 10K–1M event intervals, grow when variation < 10 %, shrink when
+    /// variation > 50 %.
+    fn default() -> Self {
+        AdaptivePolicy {
+            min_len: 10_000,
+            max_len: 1_000_000,
+            grow_below: 10.0,
+            shrink_above: 50.0,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroIntervalLength`] when the length band is
+    /// empty or zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.min_len == 0 || self.max_len < self.min_len {
+            return Err(ConfigError::ZeroIntervalLength);
+        }
+        Ok(())
+    }
+}
+
+/// One record of the adaptation history: the interval that just completed
+/// and the decision it triggered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptationStep {
+    /// The length of the completed interval.
+    pub interval_len: u64,
+    /// Candidate variation vs the previous interval, in percent (`None` for
+    /// the very first interval).
+    pub variation: Option<f64>,
+    /// The length chosen for the next interval.
+    pub next_len: u64,
+}
+
+/// A multi-hash profiler whose interval length adapts to the measured
+/// candidate stability.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_analysis::adaptive::{AdaptivePolicy, AdaptiveProfiler};
+/// use mhp_core::{MultiHashConfig, Tuple};
+///
+/// # fn main() -> Result<(), mhp_core::ConfigError> {
+/// let policy = AdaptivePolicy { min_len: 100, max_len: 10_000, ..Default::default() };
+/// let mut profiler =
+///     AdaptiveProfiler::new(policy, 0.01, MultiHashConfig::best(), 1)?;
+/// // A perfectly stable stream: the interval should grow to the maximum.
+/// for i in 0..100_000u64 {
+///     profiler.observe(Tuple::new(i % 10, 0));
+/// }
+/// assert_eq!(profiler.current_interval_len(), 10_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveProfiler {
+    policy: AdaptivePolicy,
+    threshold_fraction: f64,
+    sketch: MultiHashConfig,
+    seed: u64,
+    inner: MultiHashProfiler,
+    prev_candidates: Option<Vec<Tuple>>,
+    history: Vec<AdaptationStep>,
+    intervals_completed: u64,
+}
+
+impl AdaptiveProfiler {
+    /// Creates an adaptive profiler starting at the policy's minimum
+    /// interval length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the policy, interval and sketch.
+    pub fn new(
+        policy: AdaptivePolicy,
+        threshold_fraction: f64,
+        sketch: MultiHashConfig,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        policy.validate()?;
+        let interval = IntervalConfig::new(policy.min_len, threshold_fraction)?;
+        let inner = MultiHashProfiler::new(interval, sketch, seed)?;
+        Ok(AdaptiveProfiler {
+            policy,
+            threshold_fraction,
+            sketch,
+            seed,
+            inner,
+            prev_candidates: None,
+            history: Vec::new(),
+            intervals_completed: 0,
+        })
+    }
+
+    /// The interval length currently in effect.
+    pub fn current_interval_len(&self) -> u64 {
+        self.inner.interval_config().interval_len()
+    }
+
+    /// The adaptation decisions taken so far.
+    pub fn history(&self) -> &[AdaptationStep] {
+        &self.history
+    }
+
+    /// Total completed intervals (across all lengths).
+    pub fn intervals_completed(&self) -> u64 {
+        self.intervals_completed
+    }
+
+    /// Feeds one event; returns the completed interval profile when an
+    /// interval ends (possibly triggering a length change for the next one).
+    pub fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+        let profile = self.inner.observe(tuple)?;
+        self.intervals_completed += 1;
+        let current: Vec<Tuple> = profile.tuples().collect();
+        let variation = self
+            .prev_candidates
+            .replace(current.clone())
+            .map(|prev| variation_percent(prev, current));
+        let len = self.current_interval_len();
+        let next_len = match variation {
+            Some(v) if v > self.policy.shrink_above => (len / 2).max(self.policy.min_len),
+            Some(v) if v < self.policy.grow_below => (len * 2).min(self.policy.max_len),
+            _ => len,
+        };
+        self.history.push(AdaptationStep {
+            interval_len: len,
+            variation,
+            next_len,
+        });
+        if next_len != len {
+            // Rebuild at the new length. Candidate-threshold fraction is
+            // preserved; hardware state restarts cold (a real design would
+            // keep the accumulator, which the retained candidates model).
+            let interval = IntervalConfig::new(next_len, self.threshold_fraction)
+                .expect("validated by the policy");
+            self.inner = MultiHashProfiler::new(interval, self.sketch, self.seed)
+                .expect("sketch config was already validated");
+        }
+        Some(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(min: u64, max: u64) -> AdaptivePolicy {
+        AdaptivePolicy {
+            min_len: min,
+            max_len: max,
+            grow_below: 10.0,
+            shrink_above: 50.0,
+        }
+    }
+
+    fn profiler(min: u64, max: u64) -> AdaptiveProfiler {
+        AdaptiveProfiler::new(
+            policy(min, max),
+            0.05,
+            MultiHashConfig::new(64, 2).unwrap(),
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stable_stream_grows_to_max() {
+        let mut p = profiler(100, 1_600);
+        for i in 0..60_000u64 {
+            p.observe(Tuple::new(i % 5, 0));
+        }
+        assert_eq!(p.current_interval_len(), 1_600);
+        // Growth is geometric: 100 -> 200 -> 400 -> 800 -> 1600.
+        let lens: Vec<u64> = p.history().iter().map(|s| s.interval_len).collect();
+        assert!(lens.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn churning_stream_shrinks_to_min() {
+        let mut p = profiler(100, 800);
+        // Force growth first with a stable prefix.
+        for i in 0..20_000u64 {
+            p.observe(Tuple::new(i % 5, 0));
+        }
+        assert!(p.current_interval_len() > 100);
+        // Now churn faster than the minimum interval: a different hot set
+        // every 50 events, so every interval straddles several epochs and no
+        // length in the band ever looks stable.
+        for i in 0..40_000u64 {
+            let epoch = i / 50;
+            p.observe(Tuple::new(1_000 + epoch * 10 + i % 5, 0));
+        }
+        assert_eq!(
+            p.current_interval_len(),
+            100,
+            "churn must shrink the interval"
+        );
+    }
+
+    #[test]
+    fn lengths_stay_within_the_policy_band() {
+        let mut p = profiler(200, 800);
+        for i in 0..50_000u64 {
+            // Alternate stability and churn.
+            let t = if (i / 3_000) % 2 == 0 {
+                Tuple::new(i % 4, 0)
+            } else {
+                Tuple::new(10_000 + i, 0)
+            };
+            p.observe(t);
+        }
+        for step in p.history() {
+            assert!(step.interval_len >= 200 && step.interval_len <= 800);
+            assert!(step.next_len >= 200 && step.next_len <= 800);
+        }
+    }
+
+    #[test]
+    fn first_interval_has_no_variation() {
+        let mut p = profiler(100, 800);
+        for i in 0..100u64 {
+            p.observe(Tuple::new(i % 3, 0));
+        }
+        assert_eq!(p.history().len(), 1);
+        assert!(p.history()[0].variation.is_none());
+    }
+
+    #[test]
+    fn invalid_policy_is_rejected() {
+        let bad = AdaptivePolicy {
+            min_len: 0,
+            ..Default::default()
+        };
+        assert!(AdaptiveProfiler::new(bad, 0.01, MultiHashConfig::best(), 1).is_err());
+        let inverted = AdaptivePolicy {
+            min_len: 100,
+            max_len: 50,
+            ..Default::default()
+        };
+        assert!(AdaptiveProfiler::new(inverted, 0.01, MultiHashConfig::best(), 1).is_err());
+    }
+
+    #[test]
+    fn history_records_every_interval() {
+        let mut p = profiler(100, 100); // fixed length band
+        for i in 0..1_000u64 {
+            p.observe(Tuple::new(i % 3, 0));
+        }
+        assert_eq!(p.intervals_completed(), 10);
+        assert_eq!(p.history().len(), 10);
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-interval comparison of a hardware profile against the perfect one.
+
+use std::collections::HashSet;
+
+use mhp_core::{ExactCounts, IntervalProfile, Tuple};
+
+use crate::metrics::{CandidateClassification, ErrorBreakdown, ErrorCategory, IntervalError};
+
+/// Compares one interval's hardware profile against the perfect counts and
+/// computes Equation 1's weighted error with the Figure 3 category split.
+///
+/// The candidate set is the union of the perfect profiler's candidates and
+/// the hardware profiler's reported candidates (§5.5.2: *"all candidate
+/// tuples seen either in perfect or hardware profiler"*). Each candidate `i`
+/// contributes `|f_p_i − f_h_i|` to the numerator and `f_p_i` to the
+/// denominator.
+///
+/// If the denominator is zero (no perfect occurrences of any candidate —
+/// only possible in degenerate synthetic streams) the error is defined as 0
+/// when there are no candidates, and attributed per-unit otherwise with a
+/// denominator of 1 to avoid division by zero.
+///
+/// # Panics
+///
+/// Panics if the two profiles cover different interval indices or interval
+/// configurations — comparing mismatched intervals is a harness bug.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_analysis::compare_interval;
+/// use mhp_core::{EventProfiler, IntervalConfig, PerfectProfiler, MultiHashConfig,
+///                MultiHashProfiler, Tuple};
+/// # fn main() -> Result<(), mhp_core::ConfigError> {
+/// let interval = IntervalConfig::new(100, 0.1)?;
+/// let mut perfect = PerfectProfiler::new(interval);
+/// let mut hw = MultiHashProfiler::new(interval, MultiHashConfig::new(64, 2)?, 3)?;
+/// let mut pair = None;
+/// for i in 0..100u64 {
+///     let t = Tuple::new(i % 4, 0);
+///     let e = perfect.observe_exact(t);
+///     let p = hw.observe(t);
+///     if let (Some(e), Some(p)) = (e, p) {
+///         pair = Some((e, p));
+///     }
+/// }
+/// let (exact, profile) = pair.unwrap();
+/// let err = compare_interval(&exact, &profile);
+/// assert!(err.total_percent() < 100.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compare_interval(exact: &ExactCounts, hardware: &IntervalProfile) -> IntervalError {
+    assert_eq!(
+        exact.interval_index(),
+        hardware.interval_index(),
+        "comparing different intervals"
+    );
+    assert_eq!(
+        exact.config(),
+        hardware.config(),
+        "comparing different interval configurations"
+    );
+    let threshold = exact.config().threshold_count();
+
+    // Union of candidate tuples.
+    let mut candidates: HashSet<Tuple> = hardware.tuples().collect();
+    for (&tuple, &count) in exact.counts() {
+        if count >= threshold {
+            candidates.insert(tuple);
+        }
+    }
+
+    let mut classifications = Vec::with_capacity(candidates.len());
+    let mut numerators = ErrorBreakdown::default();
+    let mut denominator = 0u64;
+    for tuple in candidates {
+        let f_p = exact.count_of(tuple);
+        let f_h = hardware.count_of(tuple).unwrap_or(0);
+        let class = CandidateClassification::classify(tuple, f_p, f_h, threshold);
+        denominator += f_p;
+        let err = class.absolute_error() as f64;
+        match class.category {
+            ErrorCategory::FalsePositive => numerators.false_positive += err,
+            ErrorCategory::FalseNegative => numerators.false_negative += err,
+            ErrorCategory::NeutralPositive => numerators.neutral_positive += err,
+            ErrorCategory::NeutralNegative => numerators.neutral_negative += err,
+            ErrorCategory::Exact => {}
+        }
+        classifications.push(class);
+    }
+
+    let denom = if denominator == 0 {
+        1.0
+    } else {
+        denominator as f64
+    };
+    IntervalError {
+        interval_index: exact.interval_index(),
+        breakdown: numerators.scale(denom),
+        classifications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhp_core::{Candidate, IntervalConfig, PerfectProfiler};
+
+    /// Builds an ExactCounts by running a perfect profiler over `events`.
+    fn exact_from(events: &[Tuple], config: IntervalConfig) -> ExactCounts {
+        let mut p = PerfectProfiler::new(config);
+        let mut out = None;
+        for &t in events {
+            if let Some(e) = p.observe_exact(t) {
+                out = Some(e);
+            }
+        }
+        out.expect("events must fill exactly one interval")
+    }
+
+    fn hw_profile(config: IntervalConfig, cands: &[(Tuple, u64)]) -> IntervalProfile {
+        IntervalProfile::from_candidates(
+            0,
+            config,
+            cands.iter().map(|&(t, c)| Candidate::new(t, c)).collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_hardware_profile_has_zero_error() {
+        let config = IntervalConfig::new(10, 0.3).unwrap(); // threshold 3
+        let hot = Tuple::new(1, 1);
+        let mut events = vec![hot; 6];
+        events.extend((0..4).map(|i| Tuple::new(100 + i, 0)));
+        let exact = exact_from(&events, config);
+        let hw = hw_profile(config, &[(hot, 6)]);
+        let err = compare_interval(&exact, &hw);
+        assert_eq!(err.total(), 0.0);
+        assert_eq!(err.count_in(ErrorCategory::Exact), 1);
+    }
+
+    #[test]
+    fn missed_candidate_is_a_false_negative_with_full_weight() {
+        let config = IntervalConfig::new(10, 0.3).unwrap();
+        let hot = Tuple::new(1, 1);
+        let mut events = vec![hot; 6];
+        events.extend((0..4).map(|i| Tuple::new(100 + i, 0)));
+        let exact = exact_from(&events, config);
+        let hw = hw_profile(config, &[]); // hardware missed everything
+        let err = compare_interval(&exact, &hw);
+        // numerator = |6-0| = 6; denominator = 6 -> E = 100%
+        assert!((err.total_percent() - 100.0).abs() < 1e-9);
+        assert_eq!(err.count_in(ErrorCategory::FalseNegative), 1);
+        assert_eq!(err.breakdown.false_negative, err.total());
+    }
+
+    #[test]
+    fn false_positive_error_can_exceed_100_percent() {
+        let config = IntervalConfig::new(10, 0.3).unwrap();
+        let hot = Tuple::new(1, 1);
+        let rare = Tuple::new(2, 2);
+        let mut events = vec![hot; 6];
+        events.push(rare);
+        events.extend((0..3).map(|i| Tuple::new(100 + i, 0)));
+        let exact = exact_from(&events, config);
+        // Hardware reports the rare tuple with a big (aliased) count.
+        let hw = hw_profile(config, &[(hot, 6), (rare, 20)]);
+        let err = compare_interval(&exact, &hw);
+        // numerator: |1-20| = 19 (FP); denominator: 6 + 1 = 7 -> E = 271%
+        assert!(err.total_percent() > 100.0);
+        assert_eq!(err.count_in(ErrorCategory::FalsePositive), 1);
+    }
+
+    #[test]
+    fn neutral_errors_split_by_direction() {
+        let config = IntervalConfig::new(20, 0.2).unwrap(); // threshold 4
+        let a = Tuple::new(1, 1);
+        let b = Tuple::new(2, 2);
+        let mut events = Vec::new();
+        events.extend(std::iter::repeat_n(a, 8));
+        events.extend(std::iter::repeat_n(b, 8));
+        events.extend((0..4).map(|i| Tuple::new(100 + i, 0)));
+        let exact = exact_from(&events, config);
+        let hw = hw_profile(config, &[(a, 10), (b, 6)]); // a inflated, b deflated
+        let err = compare_interval(&exact, &hw);
+        assert_eq!(err.count_in(ErrorCategory::NeutralPositive), 1);
+        assert_eq!(err.count_in(ErrorCategory::NeutralNegative), 1);
+        // numerators: |8-10| = 2 NP, |8-6| = 2 NN; denominator = 16.
+        assert!((err.breakdown.neutral_positive - 2.0 / 16.0).abs() < 1e-12);
+        assert!((err.breakdown.neutral_negative - 2.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_with_empty_hardware_is_zero_error() {
+        let config = IntervalConfig::new(10, 0.9).unwrap(); // threshold 9: nothing qualifies
+        let events: Vec<Tuple> = (0..10).map(|i| Tuple::new(i, 0)).collect();
+        let exact = exact_from(&events, config);
+        let hw = hw_profile(config, &[]);
+        let err = compare_interval(&exact, &hw);
+        assert_eq!(err.total(), 0.0);
+        assert!(err.classifications.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different intervals")]
+    fn mismatched_interval_indices_panic() {
+        let config = IntervalConfig::new(10, 0.3).unwrap();
+        let events: Vec<Tuple> = (0..10).map(|i| Tuple::new(i, 0)).collect();
+        let exact = exact_from(&events, config);
+        let hw = IntervalProfile::from_candidates(5, config, vec![]);
+        compare_interval(&exact, &hw);
+    }
+}

@@ -1,0 +1,46 @@
+//! # mhp-analysis — error metrics and experiment analysis
+//!
+//! Implements the evaluation methodology of *"Catching Accurate Profiles in
+//! Hardware"* (§5.5): per-interval comparison of a hardware profiler against
+//! the [`PerfectProfiler`](mhp_core::PerfectProfiler), the four-way error
+//! classification of Figure 3 (false/neutral × positive/negative), the
+//! weighted error rate of Equation 1, per-interval error series (Figure 13)
+//! and the candidate-variation analysis of Figure 6.
+//!
+//! The typical flow:
+//!
+//! ```
+//! use mhp_analysis::run_comparison;
+//! use mhp_core::{IntervalConfig, MultiHashConfig, MultiHashProfiler, Tuple};
+//!
+//! # fn main() -> Result<(), mhp_core::ConfigError> {
+//! let interval = IntervalConfig::new(1_000, 0.01)?;
+//! let mut hw = MultiHashProfiler::new(interval, MultiHashConfig::best(), 1)?;
+//! let events = (0..10_000u64).map(|i| mhp_core::Tuple::new(i % 50, 0));
+//! let result = run_comparison(&mut hw, events);
+//! assert_eq!(result.series().len(), 10);
+//! assert!(result.series().mean_total_percent() < 1.0); // easy workload
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod compare;
+pub mod metrics;
+pub mod report;
+pub mod series;
+pub mod simpoint;
+pub mod spectrum;
+pub mod stats;
+pub mod variation;
+
+pub use adaptive::{AdaptivePolicy, AdaptiveProfiler};
+pub use compare::compare_interval;
+pub use metrics::{CandidateClassification, ErrorBreakdown, ErrorCategory, IntervalError};
+pub use series::ErrorSeries;
+pub use spectrum::FrequencySpectrum;
+pub use stats::{run_comparison, run_exact_stats, ComparisonResult, ExactStats};
+pub use variation::{variation_at_percentiles, variation_cdf, variation_percent};

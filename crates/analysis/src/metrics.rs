@@ -1,0 +1,292 @@
+//! The four-way error classification (Figure 3) and Equation 1.
+//!
+//! For every candidate tuple — a tuple identified as a candidate by either
+//! the perfect profiler or the hardware profiler — the comparison yields a
+//! perfect frequency `f_p`, a hardware frequency `f_h` (0 when the hardware
+//! missed the tuple entirely) and a category:
+//!
+//! | category         | condition              | consequence                      |
+//! |------------------|------------------------|----------------------------------|
+//! | false positive   | `f_p <  T`, `f_h >= T` | over-aggressive optimization     |
+//! | false negative   | `f_p >= T`, `f_h <  T` | missed optimization opportunity  |
+//! | neutral positive | both `>= T`, `f_h > f_p` | count inflated by aliasing     |
+//! | neutral negative | both `>= T`, `f_h < f_p` | count deflated (e.g. resetting)|
+//!
+//! The interval error (Equation 1) is the `f_p`-weighted average of the
+//! per-candidate relative errors, which reduces to
+//! `E = Σ|f_p − f_h| / Σ f_p` over the candidate set.
+
+use mhp_core::Tuple;
+
+/// Which of Figure 3's four error quadrants a candidate landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCategory {
+    /// Identified by the hardware profiler only (`f_p < T <= f_h`).
+    FalsePositive,
+    /// Identified by the perfect profiler only (`f_h < T <= f_p`).
+    FalseNegative,
+    /// Identified by both, hardware over-counted (`f_h > f_p >= T`).
+    NeutralPositive,
+    /// Identified by both, hardware under-counted (`f_p > f_h >= T`).
+    NeutralNegative,
+    /// Identified by both with the exact count (`f_h == f_p >= T`) — no
+    /// error contribution.
+    Exact,
+}
+
+impl ErrorCategory {
+    /// Short display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCategory::FalsePositive => "False Positive",
+            ErrorCategory::FalseNegative => "False Negative",
+            ErrorCategory::NeutralPositive => "Neutral Positive",
+            ErrorCategory::NeutralNegative => "Neutral Negative",
+            ErrorCategory::Exact => "Exact",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The comparison record for one candidate tuple in one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateClassification {
+    /// The candidate tuple.
+    pub tuple: Tuple,
+    /// Frequency seen by the perfect profiler (`f_p`).
+    pub perfect_count: u64,
+    /// Frequency reported by the hardware profiler (`f_h`; 0 when absent).
+    pub hardware_count: u64,
+    /// The Figure 3 category.
+    pub category: ErrorCategory,
+}
+
+impl CandidateClassification {
+    /// Classifies a candidate given both frequencies and the threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if neither count reaches the threshold — such a tuple is
+    /// Figure 3's "don't care" cell and must not be classified.
+    pub fn classify(tuple: Tuple, perfect_count: u64, hardware_count: u64, threshold: u64) -> Self {
+        let p_in = perfect_count >= threshold;
+        let h_in = hardware_count >= threshold;
+        assert!(
+            p_in || h_in,
+            "tuple {tuple} below threshold in both profiles is a don't-care"
+        );
+        let category = match (p_in, h_in) {
+            (false, true) => ErrorCategory::FalsePositive,
+            (true, false) => ErrorCategory::FalseNegative,
+            (true, true) => match hardware_count.cmp(&perfect_count) {
+                std::cmp::Ordering::Greater => ErrorCategory::NeutralPositive,
+                std::cmp::Ordering::Less => ErrorCategory::NeutralNegative,
+                std::cmp::Ordering::Equal => ErrorCategory::Exact,
+            },
+            (false, false) => unreachable!("guarded by the assert above"),
+        };
+        CandidateClassification {
+            tuple,
+            perfect_count,
+            hardware_count,
+            category,
+        }
+    }
+
+    /// This candidate's contribution to Equation 1's numerator,
+    /// `|f_p − f_h|`.
+    #[inline]
+    pub fn absolute_error(&self) -> u64 {
+        self.perfect_count.abs_diff(self.hardware_count)
+    }
+}
+
+/// The interval error split by Figure 3 category. All values are fractions
+/// of Equation 1's denominator (so they sum to [`total`](Self::total)); use
+/// the `*_percent` accessors for the paper's percentage scale.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorBreakdown {
+    /// Error fraction attributed to false positives.
+    pub false_positive: f64,
+    /// Error fraction attributed to false negatives.
+    pub false_negative: f64,
+    /// Error fraction attributed to neutral positives.
+    pub neutral_positive: f64,
+    /// Error fraction attributed to neutral negatives.
+    pub neutral_negative: f64,
+}
+
+impl ErrorBreakdown {
+    /// Total error fraction (Equation 1's `E`).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.false_positive + self.false_negative + self.neutral_positive + self.neutral_negative
+    }
+
+    /// Total error in percent.
+    #[inline]
+    pub fn total_percent(&self) -> f64 {
+        self.total() * 100.0
+    }
+
+    /// The component for `category`, as a fraction. [`ErrorCategory::Exact`]
+    /// always contributes 0.
+    pub fn component(&self, category: ErrorCategory) -> f64 {
+        match category {
+            ErrorCategory::FalsePositive => self.false_positive,
+            ErrorCategory::FalseNegative => self.false_negative,
+            ErrorCategory::NeutralPositive => self.neutral_positive,
+            ErrorCategory::NeutralNegative => self.neutral_negative,
+            ErrorCategory::Exact => 0.0,
+        }
+    }
+
+    /// Element-wise sum, used when averaging across intervals.
+    pub fn add(&self, other: &ErrorBreakdown) -> ErrorBreakdown {
+        ErrorBreakdown {
+            false_positive: self.false_positive + other.false_positive,
+            false_negative: self.false_negative + other.false_negative,
+            neutral_positive: self.neutral_positive + other.neutral_positive,
+            neutral_negative: self.neutral_negative + other.neutral_negative,
+        }
+    }
+
+    /// Element-wise division by a scalar, used when averaging.
+    pub fn scale(&self, divisor: f64) -> ErrorBreakdown {
+        ErrorBreakdown {
+            false_positive: self.false_positive / divisor,
+            false_negative: self.false_negative / divisor,
+            neutral_positive: self.neutral_positive / divisor,
+            neutral_negative: self.neutral_negative / divisor,
+        }
+    }
+}
+
+/// The full error analysis of one interval.
+#[derive(Debug, Clone)]
+pub struct IntervalError {
+    /// Zero-based interval index.
+    pub interval_index: u64,
+    /// Error fractions by category; `breakdown.total()` is Equation 1's `E`.
+    pub breakdown: ErrorBreakdown,
+    /// Per-candidate classifications (union of perfect and hardware
+    /// candidates), in unspecified order.
+    pub classifications: Vec<CandidateClassification>,
+}
+
+impl IntervalError {
+    /// Equation 1's `E` for this interval, as a fraction.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.breakdown.total()
+    }
+
+    /// Equation 1's `E` for this interval, in percent.
+    #[inline]
+    pub fn total_percent(&self) -> f64 {
+        self.breakdown.total_percent()
+    }
+
+    /// Number of candidates in `category`.
+    pub fn count_in(&self, category: ErrorCategory) -> usize {
+        self.classifications
+            .iter()
+            .filter(|c| c.category == category)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        Tuple::new(1, 1)
+    }
+
+    #[test]
+    fn classify_false_positive() {
+        let c = CandidateClassification::classify(t(), 5, 100, 100);
+        assert_eq!(c.category, ErrorCategory::FalsePositive);
+        assert_eq!(c.absolute_error(), 95);
+    }
+
+    #[test]
+    fn classify_false_negative() {
+        let c = CandidateClassification::classify(t(), 150, 0, 100);
+        assert_eq!(c.category, ErrorCategory::FalseNegative);
+        assert_eq!(c.absolute_error(), 150);
+    }
+
+    #[test]
+    fn classify_neutral_positive() {
+        let c = CandidateClassification::classify(t(), 150, 180, 100);
+        assert_eq!(c.category, ErrorCategory::NeutralPositive);
+        assert_eq!(c.absolute_error(), 30);
+    }
+
+    #[test]
+    fn classify_neutral_negative() {
+        let c = CandidateClassification::classify(t(), 180, 150, 100);
+        assert_eq!(c.category, ErrorCategory::NeutralNegative);
+        assert_eq!(c.absolute_error(), 30);
+    }
+
+    #[test]
+    fn classify_exact_has_zero_error() {
+        let c = CandidateClassification::classify(t(), 150, 150, 100);
+        assert_eq!(c.category, ErrorCategory::Exact);
+        assert_eq!(c.absolute_error(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "don't-care")]
+    fn classify_rejects_dont_care() {
+        CandidateClassification::classify(t(), 5, 5, 100);
+    }
+
+    #[test]
+    fn hardware_below_threshold_counts_as_false_negative() {
+        // A hardware count below T (possible in principle) is "Out".
+        let c = CandidateClassification::classify(t(), 150, 50, 100);
+        assert_eq!(c.category, ErrorCategory::FalseNegative);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = ErrorBreakdown {
+            false_positive: 0.1,
+            false_negative: 0.2,
+            neutral_positive: 0.05,
+            neutral_negative: 0.03,
+        };
+        assert!((b.total() - 0.38).abs() < 1e-12);
+        assert!((b.total_percent() - 38.0).abs() < 1e-9);
+        assert_eq!(b.component(ErrorCategory::FalsePositive), 0.1);
+        assert_eq!(b.component(ErrorCategory::Exact), 0.0);
+    }
+
+    #[test]
+    fn breakdown_add_and_scale() {
+        let b = ErrorBreakdown {
+            false_positive: 0.2,
+            false_negative: 0.4,
+            neutral_positive: 0.0,
+            neutral_negative: 0.0,
+        };
+        let avg = b.add(&ErrorBreakdown::default()).scale(2.0);
+        assert!((avg.false_positive - 0.1).abs() < 1e-12);
+        assert!((avg.false_negative - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_labels_match_paper_legends() {
+        assert_eq!(ErrorCategory::FalsePositive.to_string(), "False Positive");
+        assert_eq!(ErrorCategory::NeutralNegative.label(), "Neutral Negative");
+    }
+}

@@ -1,0 +1,189 @@
+//! Error series across intervals: net error rates and Figure 13's
+//! per-interval break-down.
+
+use crate::metrics::{ErrorBreakdown, ErrorCategory, IntervalError};
+
+/// The sequence of per-interval errors from one profiler run.
+///
+/// The paper's *net error rate* (§5.5.2) is *"a simple average over the
+/// error rates seen by all intervals"* — [`mean_total_percent`] — and its
+/// stacked bar charts split that average by category —
+/// [`mean_breakdown`].
+///
+/// [`mean_total_percent`]: Self::mean_total_percent
+/// [`mean_breakdown`]: Self::mean_breakdown
+#[derive(Debug, Clone, Default)]
+pub struct ErrorSeries {
+    intervals: Vec<IntervalError>,
+}
+
+impl ErrorSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        ErrorSeries::default()
+    }
+
+    /// Appends one interval's error.
+    pub fn push(&mut self, error: IntervalError) {
+        self.intervals.push(error);
+    }
+
+    /// Number of intervals recorded.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Returns `true` if no interval has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The recorded intervals, in order.
+    pub fn intervals(&self) -> &[IntervalError] {
+        &self.intervals
+    }
+
+    /// Per-interval total error in percent, in interval order (the series
+    /// plotted in Figure 13).
+    pub fn totals_percent(&self) -> Vec<f64> {
+        self.intervals
+            .iter()
+            .map(IntervalError::total_percent)
+            .collect()
+    }
+
+    /// The net error rate: unweighted mean of the per-interval totals, in
+    /// percent. Zero for an empty series.
+    pub fn mean_total_percent(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        self.intervals
+            .iter()
+            .map(IntervalError::total_percent)
+            .sum::<f64>()
+            / self.intervals.len() as f64
+    }
+
+    /// The mean per-category error breakdown across intervals (the stacked
+    /// bars of Figures 7, 10, 11, 12, 14).
+    pub fn mean_breakdown(&self) -> ErrorBreakdown {
+        if self.intervals.is_empty() {
+            return ErrorBreakdown::default();
+        }
+        let sum = self
+            .intervals
+            .iter()
+            .fold(ErrorBreakdown::default(), |acc, e| acc.add(&e.breakdown));
+        sum.scale(self.intervals.len() as f64)
+    }
+
+    /// The worst single-interval error, in percent (spike detection for
+    /// Figure 13's discussion). Zero for an empty series.
+    pub fn max_total_percent(&self) -> f64 {
+        self.intervals
+            .iter()
+            .map(IntervalError::total_percent)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of intervals whose total error exceeds `percent`.
+    pub fn intervals_above_percent(&self, percent: f64) -> usize {
+        self.intervals
+            .iter()
+            .filter(|e| e.total_percent() > percent)
+            .count()
+    }
+
+    /// Total candidates in `category` summed over all intervals.
+    pub fn total_count_in(&self, category: ErrorCategory) -> usize {
+        self.intervals.iter().map(|e| e.count_in(category)).sum()
+    }
+}
+
+impl FromIterator<IntervalError> for ErrorSeries {
+    fn from_iter<I: IntoIterator<Item = IntervalError>>(iter: I) -> Self {
+        ErrorSeries {
+            intervals: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<IntervalError> for ErrorSeries {
+    fn extend<I: IntoIterator<Item = IntervalError>>(&mut self, iter: I) {
+        self.intervals.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval_error(index: u64, fp: f64, fnn: f64) -> IntervalError {
+        IntervalError {
+            interval_index: index,
+            breakdown: ErrorBreakdown {
+                false_positive: fp,
+                false_negative: fnn,
+                neutral_positive: 0.0,
+                neutral_negative: 0.0,
+            },
+            classifications: vec![],
+        }
+    }
+
+    #[test]
+    fn empty_series_reports_zero() {
+        let s = ErrorSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_total_percent(), 0.0);
+        assert_eq!(s.max_total_percent(), 0.0);
+        assert_eq!(s.mean_breakdown(), ErrorBreakdown::default());
+    }
+
+    #[test]
+    fn mean_is_simple_average_over_intervals() {
+        let s: ErrorSeries = vec![
+            interval_error(0, 0.10, 0.0), // 10%
+            interval_error(1, 0.0, 0.30), // 30%
+        ]
+        .into_iter()
+        .collect();
+        assert!((s.mean_total_percent() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_breakdown_averages_per_category() {
+        let s: ErrorSeries = vec![interval_error(0, 0.2, 0.0), interval_error(1, 0.0, 0.4)]
+            .into_iter()
+            .collect();
+        let b = s.mean_breakdown();
+        assert!((b.false_positive - 0.1).abs() < 1e-12);
+        assert!((b.false_negative - 0.2).abs() < 1e-12);
+        assert!((b.total_percent() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_and_above_threshold_counting() {
+        let s: ErrorSeries = vec![
+            interval_error(0, 0.05, 0.0),
+            interval_error(1, 0.90, 0.0),
+            interval_error(2, 0.10, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        assert!((s.max_total_percent() - 90.0).abs() < 1e-9);
+        assert_eq!(s.intervals_above_percent(8.0), 2);
+        assert_eq!(s.intervals_above_percent(95.0), 0);
+    }
+
+    #[test]
+    fn totals_preserve_interval_order() {
+        let s: ErrorSeries = vec![interval_error(0, 0.1, 0.0), interval_error(1, 0.2, 0.0)]
+            .into_iter()
+            .collect();
+        let totals = s.totals_percent();
+        assert!(totals[0] < totals[1]);
+        assert_eq!(s.len(), 2);
+    }
+}

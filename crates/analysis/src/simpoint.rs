@@ -1,0 +1,406 @@
+//! Basic-block-vector phase analysis — a miniature SimPoint.
+//!
+//! The paper's methodology (§5.5) fast-forwards each benchmark *"using the
+//! fast forward numbers from SimPoint"* (Sherwood et al., the paper's
+//! citations [16, 17]). SimPoint cuts execution into fixed intervals,
+//! summarizes each as a **basic-block vector** (BBV: normalized execution
+//! counts per block), clusters the vectors with k-means, and picks one
+//! representative interval per cluster — the *simulation points*.
+//!
+//! This module reimplements that pipeline over the same event streams the
+//! profilers consume (the PC component identifies the block), so the phase
+//! structure Figure 6 measures indirectly can be detected explicitly:
+//!
+//! ```
+//! use mhp_analysis::simpoint::{collect_bbvs, cluster, simulation_points};
+//! use mhp_core::Tuple;
+//!
+//! // Two alternating phases of 1,000 events each.
+//! let events = (0..6_000u64).map(|i| {
+//!     let phase = (i / 1_000) % 2;
+//!     Tuple::new(phase * 100 + i % 5, 0)
+//! });
+//! let bbvs = collect_bbvs(events, 1_000);
+//! let clustering = cluster(&bbvs, 2, 20, 42);
+//! let points = simulation_points(&bbvs, &clustering);
+//! assert_eq!(points.len(), 2);
+//! // Intervals 0,2,4 form one cluster; 1,3,5 the other.
+//! assert_eq!(clustering.assignments[0], clustering.assignments[2]);
+//! assert_ne!(clustering.assignments[0], clustering.assignments[1]);
+//! ```
+
+use std::collections::HashMap;
+
+use mhp_core::Tuple;
+
+/// A normalized basic-block vector: per-block execution fractions of one
+/// interval (L1 norm 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bbv {
+    weights: HashMap<u64, f64>,
+}
+
+impl Bbv {
+    /// Builds a BBV from raw per-block counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or all-zero — an interval must execute
+    /// something.
+    pub fn from_counts(counts: &HashMap<u64, u64>) -> Self {
+        let total: u64 = counts.values().sum();
+        assert!(total > 0, "an interval must contain executions");
+        Bbv {
+            weights: counts
+                .iter()
+                .map(|(&b, &c)| (b, c as f64 / total as f64))
+                .collect(),
+        }
+    }
+
+    /// The weight of block `block` (0 if absent).
+    pub fn weight(&self, block: u64) -> f64 {
+        self.weights.get(&block).copied().unwrap_or(0.0)
+    }
+
+    /// Number of distinct blocks in the vector.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` if the vector has no blocks (never true for a
+    /// constructed vector).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Manhattan (L1) distance to another vector, in `[0, 2]`.
+    pub fn manhattan(&self, other: &Bbv) -> f64 {
+        let mut d = 0.0;
+        for (&b, &w) in &self.weights {
+            d += (w - other.weight(b)).abs();
+        }
+        for (&b, &w) in &other.weights {
+            if !self.weights.contains_key(&b) {
+                d += w;
+            }
+        }
+        d
+    }
+
+    /// The (unnormalized) mean of several vectors — a k-means centroid.
+    fn centroid(vectors: &[&Bbv]) -> Bbv {
+        assert!(!vectors.is_empty(), "a centroid needs members");
+        let mut weights: HashMap<u64, f64> = HashMap::new();
+        for v in vectors {
+            for (&b, &w) in &v.weights {
+                *weights.entry(b).or_insert(0.0) += w;
+            }
+        }
+        let n = vectors.len() as f64;
+        for w in weights.values_mut() {
+            *w /= n;
+        }
+        Bbv { weights }
+    }
+}
+
+/// Cuts an event stream into `interval_len`-event intervals and builds one
+/// BBV per *complete* interval (trailing events are dropped, as in the
+/// profilers).
+///
+/// # Panics
+///
+/// Panics if `interval_len == 0`.
+pub fn collect_bbvs(events: impl IntoIterator<Item = Tuple>, interval_len: u64) -> Vec<Bbv> {
+    assert!(interval_len > 0, "interval length must be positive");
+    let mut bbvs = Vec::new();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut n = 0u64;
+    for t in events {
+        *counts.entry(t.pc().as_u64()).or_insert(0) += 1;
+        n += 1;
+        if n == interval_len {
+            bbvs.push(Bbv::from_counts(&counts));
+            counts.clear();
+            n = 0;
+        }
+    }
+    bbvs
+}
+
+/// The result of k-means over a BBV sequence.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster index per interval.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Bbv>,
+    /// Mean distance of intervals to their centroid (clustering quality).
+    pub mean_distance: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Number of intervals assigned to cluster `c`.
+    pub fn cluster_size(&self, c: usize) -> usize {
+        self.assignments.iter().filter(|&&a| a == c).count()
+    }
+}
+
+/// Deterministic k-means over BBVs: farthest-point initialization, at most
+/// `iters` Lloyd iterations, Manhattan distance (as in SimPoint).
+///
+/// If there are fewer vectors than `k`, the effective `k` shrinks to the
+/// vector count.
+///
+/// # Panics
+///
+/// Panics if `bbvs` is empty or `k == 0`.
+pub fn cluster(bbvs: &[Bbv], k: usize, iters: usize, seed: u64) -> Clustering {
+    assert!(!bbvs.is_empty(), "need at least one interval");
+    assert!(k > 0, "need at least one cluster");
+    let k = k.min(bbvs.len());
+
+    // Farthest-point init: first centroid by seeded pick, then repeatedly
+    // the vector farthest from its nearest centroid.
+    let mut centroids: Vec<Bbv> = Vec::with_capacity(k);
+    centroids.push(bbvs[(seed % bbvs.len() as u64) as usize].clone());
+    while centroids.len() < k {
+        let (far_idx, _) = bbvs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let d = centroids
+                    .iter()
+                    .map(|c| v.manhattan(c))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("bbvs is non-empty");
+        centroids.push(bbvs[far_idx].clone());
+    }
+
+    let mut assignments = vec![0usize; bbvs.len()];
+    for _ in 0..iters {
+        // Assign.
+        let mut changed = false;
+        for (i, v) in bbvs.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| v.manhattan(a.1).total_cmp(&v.manhattan(b.1)))
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Bbv> = bbvs
+                .iter()
+                .zip(assignments.iter())
+                .filter(|(_, &a)| a == c)
+                .map(|(v, _)| v)
+                .collect();
+            if !members.is_empty() {
+                *centroid = Bbv::centroid(&members);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mean_distance = bbvs
+        .iter()
+        .zip(assignments.iter())
+        .map(|(v, &a)| v.manhattan(&centroids[a]))
+        .sum::<f64>()
+        / bbvs.len() as f64;
+
+    Clustering {
+        assignments,
+        centroids,
+        mean_distance,
+    }
+}
+
+/// The simulation points: for each cluster, the index of the interval
+/// closest to its centroid (clusters with no members are skipped). Sorted
+/// ascending.
+pub fn simulation_points(bbvs: &[Bbv], clustering: &Clustering) -> Vec<usize> {
+    let mut points = Vec::new();
+    for c in 0..clustering.k() {
+        let best = bbvs
+            .iter()
+            .enumerate()
+            .zip(clustering.assignments.iter())
+            .filter(|(_, &a)| a == c)
+            .min_by(|((_, va), _), ((_, vb), _)| {
+                va.manhattan(&clustering.centroids[c])
+                    .total_cmp(&vb.manhattan(&clustering.centroids[c]))
+            })
+            .map(|((i, _), _)| i);
+        if let Some(i) = best {
+            points.push(i);
+        }
+    }
+    points.sort_unstable();
+    points
+}
+
+/// Picks the best `k` in `1..=max_k` by the "knee" heuristic: the smallest
+/// `k` whose mean distance is within `tolerance` of the best achievable
+/// (SimPoint's BIC criterion, simplified).
+pub fn choose_k(bbvs: &[Bbv], max_k: usize, iters: usize, seed: u64, tolerance: f64) -> usize {
+    assert!(max_k >= 1, "need at least one cluster");
+    let scores: Vec<f64> = (1..=max_k)
+        .map(|k| cluster(bbvs, k, iters, seed).mean_distance)
+        .collect();
+    let best = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    scores
+        .iter()
+        .position(|&s| s <= best + tolerance)
+        .map(|i| i + 1)
+        .unwrap_or(max_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stream with `phases` phases of `per_phase` events, each phase
+    /// touching a disjoint block set.
+    fn phased_stream(phases: u64, per_phase: u64, repeats: u64) -> Vec<Tuple> {
+        (0..phases * per_phase * repeats)
+            .map(|i| {
+                let phase = (i / per_phase) % phases;
+                Tuple::new(phase * 1_000 + i % 7, 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bbv_weights_are_normalized() {
+        let mut counts = HashMap::new();
+        counts.insert(1u64, 3u64);
+        counts.insert(2, 1);
+        let v = Bbv::from_counts(&counts);
+        assert!((v.weight(1) - 0.75).abs() < 1e-12);
+        assert!((v.weight(2) - 0.25).abs() < 1e-12);
+        assert_eq!(v.weight(99), 0.0);
+    }
+
+    #[test]
+    fn manhattan_distance_properties() {
+        let mut a = HashMap::new();
+        a.insert(1u64, 1u64);
+        let mut b = HashMap::new();
+        b.insert(2u64, 1u64);
+        let va = Bbv::from_counts(&a);
+        let vb = Bbv::from_counts(&b);
+        assert_eq!(va.manhattan(&va), 0.0);
+        assert!(
+            (va.manhattan(&vb) - 2.0).abs() < 1e-12,
+            "disjoint => max distance"
+        );
+        assert!(
+            (va.manhattan(&vb) - vb.manhattan(&va)).abs() < 1e-12,
+            "symmetric"
+        );
+    }
+
+    #[test]
+    fn collect_bbvs_drops_trailing_partial_interval() {
+        let events = (0..25u64).map(|i| Tuple::new(i % 3, 0));
+        let bbvs = collect_bbvs(events, 10);
+        assert_eq!(bbvs.len(), 2);
+    }
+
+    #[test]
+    fn two_phase_stream_clusters_into_two_phases() {
+        let events = phased_stream(2, 1_000, 3);
+        let bbvs = collect_bbvs(events, 1_000);
+        let clustering = cluster(&bbvs, 2, 20, 1);
+        // Even intervals belong to phase 0, odd to phase 1.
+        for i in (0..bbvs.len()).step_by(2) {
+            assert_eq!(clustering.assignments[i], clustering.assignments[0]);
+        }
+        for i in (1..bbvs.len()).step_by(2) {
+            assert_eq!(clustering.assignments[i], clustering.assignments[1]);
+        }
+        assert_ne!(clustering.assignments[0], clustering.assignments[1]);
+        assert!(clustering.mean_distance < 0.01, "tight clusters");
+    }
+
+    #[test]
+    fn simulation_points_pick_one_interval_per_phase() {
+        let events = phased_stream(3, 500, 2);
+        let bbvs = collect_bbvs(events, 500);
+        let clustering = cluster(&bbvs, 3, 20, 5);
+        let points = simulation_points(&bbvs, &clustering);
+        assert_eq!(points.len(), 3);
+        // The three points must come from three different phases.
+        let phases: std::collections::HashSet<usize> = points.iter().map(|&i| i % 3).collect();
+        assert_eq!(phases.len(), 3);
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let events = phased_stream(2, 500, 4);
+        let bbvs = collect_bbvs(events, 500);
+        let a = cluster(&bbvs, 2, 20, 9);
+        let b = cluster(&bbvs, 2, 20, 9);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_shrinks_to_the_interval_count() {
+        let events = (0..1_000u64).map(|i| Tuple::new(i % 3, 0));
+        let bbvs = collect_bbvs(events, 1_000);
+        let clustering = cluster(&bbvs, 10, 5, 1);
+        assert_eq!(clustering.k(), 1);
+        assert_eq!(clustering.assignments, vec![0]);
+    }
+
+    #[test]
+    fn choose_k_finds_the_phase_count() {
+        let events = phased_stream(3, 500, 3);
+        let bbvs = collect_bbvs(events, 500);
+        let k = choose_k(&bbvs, 6, 20, 2, 0.05);
+        assert_eq!(k, 3, "three real phases");
+    }
+
+    #[test]
+    fn single_phase_stream_needs_one_cluster() {
+        let events = (0..5_000u64).map(|i| Tuple::new(i % 11, 0));
+        let bbvs = collect_bbvs(events, 500);
+        let k = choose_k(&bbvs, 4, 20, 3, 0.05);
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_interval_count() {
+        let events = phased_stream(2, 500, 5);
+        let bbvs = collect_bbvs(events, 500);
+        let clustering = cluster(&bbvs, 2, 20, 7);
+        let total: usize = (0..clustering.k())
+            .map(|c| clustering.cluster_size(c))
+            .sum();
+        assert_eq!(total, bbvs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn empty_bbvs_panic() {
+        cluster(&[], 2, 5, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Tuple-frequency spectrum analysis.
+//!
+//! The accuracy of any filtering profiler is governed by the *shape* of the
+//! tuple-frequency distribution: how many tuples sit above the candidate
+//! threshold, how much near-threshold mass crowds the filters, and how much
+//! of the stream is effectively-unique noise. This module computes that
+//! spectrum from exact interval counts — used to validate the calibrated
+//! workload models against the paper's observables, and useful on its own
+//! for sizing a profiler for a new event source.
+
+use mhp_core::ExactCounts;
+
+/// The frequency spectrum of one interval: tuple counts and event mass per
+/// frequency decade (relative to the interval length).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencySpectrum {
+    interval_len: u64,
+    /// `(min_fraction, tuples, events)` per band, hottest band first.
+    bands: Vec<(f64, u64, u64)>,
+    total_tuples: u64,
+    total_events: u64,
+}
+
+/// Band edges used by [`FrequencySpectrum::from_exact`]: decades from 1 %
+/// down, with a catch-all bottom band.
+const BAND_EDGES: [f64; 5] = [0.01, 0.001, 0.0001, 0.00001, 0.0];
+
+impl FrequencySpectrum {
+    /// Computes the spectrum of one interval.
+    pub fn from_exact(exact: &ExactCounts) -> Self {
+        let interval_len = exact.config().interval_len();
+        let mut bands: Vec<(f64, u64, u64)> = BAND_EDGES.iter().map(|&e| (e, 0u64, 0u64)).collect();
+        for &count in exact.counts().values() {
+            let fraction = count as f64 / interval_len as f64;
+            for band in bands.iter_mut() {
+                if fraction >= band.0 {
+                    band.1 += 1;
+                    band.2 += count;
+                    break;
+                }
+            }
+        }
+        FrequencySpectrum {
+            interval_len,
+            bands,
+            total_tuples: exact.distinct_tuples() as u64,
+            total_events: exact.counts().values().sum(),
+        }
+    }
+
+    /// Number of distinct tuples whose frequency is at least `fraction`.
+    pub fn tuples_above(&self, fraction: f64) -> u64 {
+        self.bands
+            .iter()
+            .filter(|b| b.0 >= fraction)
+            .map(|b| b.1)
+            .sum()
+    }
+
+    /// Fraction of all events carried by tuples at or above `fraction`
+    /// (the "signal mass").
+    pub fn mass_above(&self, fraction: f64) -> f64 {
+        if self.total_events == 0 {
+            return 0.0;
+        }
+        let events: u64 = self
+            .bands
+            .iter()
+            .filter(|b| b.0 >= fraction)
+            .map(|b| b.2)
+            .sum();
+        events as f64 / self.total_events as f64
+    }
+
+    /// Total distinct tuples in the interval.
+    pub fn total_tuples(&self) -> u64 {
+        self.total_tuples
+    }
+
+    /// The band rows as `(min_fraction, tuples, events)`, hottest first.
+    pub fn bands(&self) -> &[(f64, u64, u64)] {
+        &self.bands
+    }
+
+    /// The signal-to-noise ratio the paper's §5.6.1 discusses: candidate
+    /// mass (at `threshold`) divided by the rest of the stream.
+    pub fn signal_to_noise(&self, threshold: f64) -> f64 {
+        let signal = self.mass_above(threshold);
+        let noise = 1.0 - signal;
+        if noise <= 0.0 {
+            f64::INFINITY
+        } else {
+            signal / noise
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhp_core::{IntervalConfig, PerfectProfiler, Tuple};
+
+    fn exact_of(events: Vec<Tuple>) -> ExactCounts {
+        let config = IntervalConfig::new(events.len() as u64, 0.01).unwrap();
+        let mut p = PerfectProfiler::new(config);
+        let mut out = None;
+        for t in events {
+            if let Some(e) = p.observe_exact(t) {
+                out = Some(e);
+            }
+        }
+        out.unwrap()
+    }
+
+    #[test]
+    fn bands_partition_tuples_and_events() {
+        // 10,000 events: one tuple at 50%, one at 0.5%, the rest unique
+        // (0.01% each — safely below the 0.1% band edge).
+        let mut events = vec![Tuple::new(1, 1); 5_000];
+        events.extend(vec![Tuple::new(2, 2); 50]);
+        events.extend((0..4_950u64).map(|i| Tuple::new(1_000_000 + i, 0)));
+        let spectrum = FrequencySpectrum::from_exact(&exact_of(events));
+        assert_eq!(spectrum.tuples_above(0.01), 1);
+        assert_eq!(spectrum.tuples_above(0.001), 2);
+        assert_eq!(spectrum.total_tuples(), 4_952);
+        let (tuples_sum, events_sum): (u64, u64) = spectrum
+            .bands()
+            .iter()
+            .fold((0, 0), |acc, b| (acc.0 + b.1, acc.1 + b.2));
+        assert_eq!(tuples_sum, 4_952);
+        assert_eq!(events_sum, 10_000);
+    }
+
+    #[test]
+    fn mass_above_measures_signal() {
+        let mut events = vec![Tuple::new(1, 1); 400];
+        events.extend((0..600u64).map(|i| Tuple::new(1_000 + i, 0)));
+        let spectrum = FrequencySpectrum::from_exact(&exact_of(events));
+        assert!((spectrum.mass_above(0.01) - 0.4).abs() < 1e-9);
+        let snr = spectrum.signal_to_noise(0.01);
+        assert!((snr - 0.4 / 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_noise_has_zero_signal() {
+        let events: Vec<Tuple> = (0..1_000u64).map(|i| Tuple::new(i, i)).collect();
+        let spectrum = FrequencySpectrum::from_exact(&exact_of(events));
+        assert_eq!(spectrum.tuples_above(0.01), 0);
+        assert_eq!(spectrum.mass_above(0.01), 0.0);
+        assert_eq!(spectrum.signal_to_noise(0.01), 0.0);
+    }
+
+    #[test]
+    fn pure_signal_has_infinite_snr() {
+        let events = vec![Tuple::new(1, 1); 100];
+        let spectrum = FrequencySpectrum::from_exact(&exact_of(events));
+        assert_eq!(spectrum.signal_to_noise(0.01), f64::INFINITY);
+    }
+}

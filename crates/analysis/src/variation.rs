@@ -1,0 +1,168 @@
+//! Candidate variation between consecutive intervals (Figure 6, §5.6.1).
+//!
+//! The paper asks: if an optimizer uses interval *k*'s accumulator contents
+//! to optimize interval *k+1*, how stable are the candidates? Figure 6 plots,
+//! per benchmark, the fraction of intervals experiencing less than a given
+//! percentage of candidate change.
+//!
+//! We quantify the change between consecutive candidate sets `A` (previous)
+//! and `B` (current) as the Jaccard distance in percent:
+//! `100 · (1 − |A ∩ B| / |A ∪ B|)`, with the convention that two empty sets
+//! have 0 % variation and an empty-to-nonempty transition has 100 %.
+
+use std::collections::HashSet;
+
+use mhp_core::Tuple;
+
+/// Percentage of candidate change between a previous and current candidate
+/// set (Jaccard distance × 100).
+///
+/// # Examples
+///
+/// ```
+/// use mhp_analysis::variation_percent;
+/// use mhp_core::Tuple;
+/// let a = vec![Tuple::new(1, 1), Tuple::new(2, 2)];
+/// let b = vec![Tuple::new(2, 2), Tuple::new(3, 3)];
+/// // Union 3, intersection 1 -> 66.7% change.
+/// let v = variation_percent(a.iter().copied(), b.iter().copied());
+/// assert!((v - 66.666).abs() < 0.01);
+/// ```
+pub fn variation_percent(
+    previous: impl IntoIterator<Item = Tuple>,
+    current: impl IntoIterator<Item = Tuple>,
+) -> f64 {
+    let prev: HashSet<Tuple> = previous.into_iter().collect();
+    let cur: HashSet<Tuple> = current.into_iter().collect();
+    if prev.is_empty() && cur.is_empty() {
+        return 0.0;
+    }
+    let intersection = prev.intersection(&cur).count() as f64;
+    let union = prev.union(&cur).count() as f64;
+    100.0 * (1.0 - intersection / union)
+}
+
+/// One point of a Figure 6 curve: `percent_of_execution` % of intervals saw
+/// less than `variation` % change from their predecessor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationPoint {
+    /// X-axis: cumulative percentage of program execution (intervals).
+    pub percent_of_execution: f64,
+    /// Y-axis: candidate variation in percent.
+    pub variation: f64,
+}
+
+/// Converts a sequence of per-transition variations into the cumulative
+/// curve of Figure 6: sorted ascending, point *i* states that
+/// `(i+1)/n · 100` % of intervals experienced at most `variation[i]` %
+/// change.
+///
+/// Returns an empty vector for an empty input.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_analysis::variation_cdf;
+/// let curve = variation_cdf(&[50.0, 10.0, 30.0, 20.0]);
+/// assert_eq!(curve.len(), 4);
+/// assert_eq!(curve[0].variation, 10.0);
+/// assert_eq!(curve[3].variation, 50.0);
+/// assert!((curve[1].percent_of_execution - 50.0).abs() < 1e-9);
+/// ```
+pub fn variation_cdf(variations: &[f64]) -> Vec<VariationPoint> {
+    let mut sorted: Vec<f64> = variations.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, variation)| VariationPoint {
+            percent_of_execution: (i + 1) as f64 / n * 100.0,
+            variation,
+        })
+        .collect()
+}
+
+/// Samples a [`variation_cdf`] curve at fixed x positions (percent of
+/// execution), returning the variation not exceeded at each position —
+/// convenient for fixed-column text output.
+pub fn variation_at_percentiles(variations: &[f64], percentiles: &[f64]) -> Vec<f64> {
+    if variations.is_empty() {
+        return percentiles.iter().map(|_| 0.0).collect();
+    }
+    let mut sorted: Vec<f64> = variations.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    percentiles
+        .iter()
+        .map(|&p| {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let idx = rank.clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Tuple {
+        Tuple::new(n, n)
+    }
+
+    #[test]
+    fn identical_sets_have_zero_variation() {
+        let v = variation_percent([t(1), t(2)], [t(2), t(1)]);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_full_variation() {
+        let v = variation_percent([t(1)], [t(2)]);
+        assert_eq!(v, 100.0);
+    }
+
+    #[test]
+    fn empty_to_empty_is_zero() {
+        assert_eq!(variation_percent([], []), 0.0);
+    }
+
+    #[test]
+    fn empty_to_nonempty_is_full_change() {
+        assert_eq!(variation_percent([], [t(1)]), 100.0);
+        assert_eq!(variation_percent([t(1)], []), 100.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_jaccard_distance() {
+        // |A∩B| = 2, |A∪B| = 4 -> 50%
+        let v = variation_percent([t(1), t(2), t(3)], [t(2), t(3), t(4)]);
+        assert!((v - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_sorted_and_spans_percentiles() {
+        let curve = variation_cdf(&[80.0, 20.0]);
+        assert_eq!(curve[0].variation, 20.0);
+        assert!((curve[0].percent_of_execution - 50.0).abs() < 1e-9);
+        assert_eq!(curve[1].variation, 80.0);
+        assert!((curve[1].percent_of_execution - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_of_empty_input_is_empty() {
+        assert!(variation_cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn percentile_sampling_matches_sorted_values() {
+        let vals = vec![10.0, 20.0, 30.0, 40.0];
+        let sampled = variation_at_percentiles(&vals, &[25.0, 50.0, 100.0]);
+        assert_eq!(sampled, vec![10.0, 20.0, 40.0]);
+    }
+
+    #[test]
+    fn percentile_sampling_of_empty_input_is_zero() {
+        assert_eq!(variation_at_percentiles(&[], &[50.0]), vec![0.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Calibration tests: the synthetic benchmark models must land in the
+//! observable bands DESIGN.md commits to (the Figure 4/5/6 shapes).
+//!
+//! These are deliberately loose (x2-3 tolerance): they pin the *shape*,
+//! not exact values, so honest recalibration stays possible without
+//! breaking the build.
+
+use mhp_analysis::spectrum::FrequencySpectrum;
+use mhp_analysis::{run_exact_stats, variation_percent};
+use mhp_core::{IntervalConfig, PerfectProfiler, Tuple};
+use mhp_trace::Benchmark;
+
+fn spectrum_at(bench: Benchmark, interval_len: u64) -> FrequencySpectrum {
+    let config = IntervalConfig::new(interval_len, 0.01).unwrap();
+    let mut p = PerfectProfiler::new(config);
+    // Skip one interval of warmup, measure the second.
+    let mut exacts = Vec::new();
+    for t in bench.value_stream(7).take(2 * interval_len as usize) {
+        if let Some(e) = p.observe_exact(t) {
+            exacts.push(e);
+        }
+    }
+    FrequencySpectrum::from_exact(&exacts[1])
+}
+
+#[test]
+fn candidate_counts_land_in_figure5_bands() {
+    // (benchmark, expected 1% candidates, expected 0.1% candidates).
+    let expectations = [
+        (Benchmark::Burg, 4.0, 22.0),
+        (Benchmark::Deltablue, 6.0, 46.0),
+        (Benchmark::Gcc, 16.0, 126.0),
+        (Benchmark::Go, 12.0, 142.0),
+        (Benchmark::Li, 7.0, 52.0),
+        (Benchmark::M88ksim, 8.0, 58.0),
+        (Benchmark::Sis, 10.0, 80.0),
+        (Benchmark::Vortex, 9.0, 89.0),
+    ];
+    for (bench, at_1pct, at_01pct) in expectations {
+        let spectrum = spectrum_at(bench, 100_000);
+        let c1 = spectrum.tuples_above(0.01) as f64;
+        let c01 = spectrum.tuples_above(0.001) as f64;
+        assert!(
+            c1 >= at_1pct * 0.5 && c1 <= at_1pct * 2.0,
+            "{}: 1% candidates {c1} vs expected ~{at_1pct}",
+            bench.name()
+        );
+        assert!(
+            c01 >= at_01pct * 0.5 && c01 <= at_01pct * 2.0,
+            "{}: 0.1% candidates {c01} vs expected ~{at_01pct}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn distinct_tuples_order_matches_figure4() {
+    let distinct = |b: Benchmark| spectrum_at(b, 100_000).total_tuples();
+    let gcc = distinct(Benchmark::Gcc);
+    let go = distinct(Benchmark::Go);
+    let burg = distinct(Benchmark::Burg);
+    let m88 = distinct(Benchmark::M88ksim);
+    assert!(gcc > 3 * burg, "gcc {gcc} vs burg {burg}");
+    assert!(go > 3 * m88, "go {go} vs m88ksim {m88}");
+}
+
+#[test]
+fn distinct_tuples_grow_roughly_linearly_with_interval_length() {
+    // The paper: "the total number of distinct tuples in an interval
+    // increases proportionally to interval length".
+    for bench in [Benchmark::Gcc, Benchmark::Sis] {
+        let d_small = spectrum_at(bench, 50_000).total_tuples() as f64;
+        let d_large = spectrum_at(bench, 500_000).total_tuples() as f64;
+        let ratio = d_large / d_small;
+        assert!(
+            (4.0..=20.0).contains(&ratio),
+            "{}: growth ratio {ratio} for 10x interval",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn candidate_counts_are_roughly_interval_length_independent() {
+    // The paper: "the number of unique candidate tuples ... roughly remain
+    // the same irrespective of interval length".
+    for bench in [Benchmark::Gcc, Benchmark::Li] {
+        let c_small = spectrum_at(bench, 50_000).tuples_above(0.001) as f64;
+        let c_large = spectrum_at(bench, 500_000).tuples_above(0.001) as f64;
+        assert!(
+            c_large <= c_small * 2.0 && c_large >= c_small * 0.5,
+            "{}: candidates {c_small} -> {c_large} across 10x interval",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn figure6_personalities_reproduce() {
+    // m88ksim: high variation at 10K, low at 1M. deltablue: the reverse.
+    let mean_variation = |bench: Benchmark, len: u64, events: u64| {
+        let config = IntervalConfig::new(len, if len >= 1_000_000 { 0.001 } else { 0.01 }).unwrap();
+        let stats = run_exact_stats(config, bench.value_stream(7).take(events as usize));
+        let v = stats.variations();
+        assert!(!v.is_empty());
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let m88_short = mean_variation(Benchmark::M88ksim, 10_000, 400_000);
+    let m88_long = mean_variation(Benchmark::M88ksim, 1_000_000, 6_000_000);
+    assert!(
+        m88_short > m88_long + 20.0,
+        "m88ksim: short {m88_short} vs long {m88_long}"
+    );
+    let db_short = mean_variation(Benchmark::Deltablue, 10_000, 400_000);
+    let db_long = mean_variation(Benchmark::Deltablue, 1_000_000, 9_000_000);
+    assert!(
+        db_long > db_short + 20.0,
+        "deltablue: short {db_short} vs long {db_long}"
+    );
+}
+
+#[test]
+fn variation_metric_is_sane_on_benchmarks() {
+    // Sanity anchor for the Jaccard-based metric on real model output.
+    let config = IntervalConfig::new(10_000, 0.01).unwrap();
+    let mut p = PerfectProfiler::new(config);
+    let mut profiles: Vec<Vec<Tuple>> = Vec::new();
+    for t in Benchmark::Burg.value_stream(7).take(50_000) {
+        if let Some(e) = p.observe_exact(t) {
+            profiles.push(e.profile().tuples().collect());
+        }
+    }
+    for w in profiles.windows(2) {
+        let v = variation_percent(w[0].iter().copied(), w[1].iter().copied());
+        assert!((0.0..=100.0).contains(&v));
+    }
+}

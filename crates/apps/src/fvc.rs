@@ -1,0 +1,194 @@
+//! Frequent-value table — the value-based-optimization client (§2).
+//!
+//! Zhang et al. (ASPLOS 2000, cited by the paper) found that ~50 % of
+//! memory accesses are dominated by a handful of distinct values and built
+//! a value-centric compressed cache around them — *"but do not detail how
+//! those values can be captured dynamically. A hardware profiler could be
+//! used to capture this information."* This module is that missing piece:
+//! it distills a value profile into the small value dictionary such a cache
+//! would load, and measures how much of a subsequent stream the dictionary
+//! covers.
+
+use std::collections::HashMap;
+
+use mhp_core::{IntervalProfile, Tuple};
+
+/// How well a frequent-value dictionary covered an access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompressionStats {
+    /// Events examined.
+    pub accesses: u64,
+    /// Events whose value was in the dictionary (compressible).
+    pub compressible: u64,
+}
+
+impl CompressionStats {
+    /// Fraction of accesses compressible, in `[0, 1]`.
+    pub fn ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.compressible as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A dictionary of the `N` most frequent load values, distilled from a
+/// value profile.
+///
+/// The profile's candidates are `<pc, value>` tuples; the dictionary sums
+/// counts per *value* across PCs (the cache compresses by value, not by
+/// instruction) and keeps the top `N`.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_apps::FrequentValueTable;
+/// use mhp_core::{Candidate, IntervalConfig, IntervalProfile, Tuple};
+/// let profile = IntervalProfile::from_candidates(
+///     0,
+///     IntervalConfig::short(),
+///     vec![
+///         Candidate::new(Tuple::new(0x10, 0), 900),  // value 0 from pc 0x10
+///         Candidate::new(Tuple::new(0x20, 0), 400),  // value 0 again
+///         Candidate::new(Tuple::new(0x30, 7), 800),
+///         Candidate::new(Tuple::new(0x40, 9), 100),
+///     ],
+/// );
+/// let fvc = FrequentValueTable::from_profile(&profile, 2);
+/// assert!(fvc.contains(0));  // 1300 combined
+/// assert!(fvc.contains(7));  // 800
+/// assert!(!fvc.contains(9)); // cut by the size limit
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentValueTable {
+    values: Vec<u64>,
+}
+
+impl FrequentValueTable {
+    /// Distills the top `capacity` values from `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a zero-entry dictionary is a
+    /// configuration bug, not a meaningful table.
+    pub fn from_profile(profile: &IntervalProfile, capacity: usize) -> Self {
+        assert!(capacity > 0, "dictionary needs at least one entry");
+        let mut by_value: HashMap<u64, u64> = HashMap::new();
+        for c in profile.candidates() {
+            *by_value.entry(c.tuple.value().as_u64()).or_insert(0) += c.count;
+        }
+        let mut ranked: Vec<(u64, u64)> = by_value.into_iter().collect();
+        // Hottest first; deterministic tie-break on the value itself.
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(capacity);
+        FrequentValueTable {
+            values: ranked.into_iter().map(|(v, _)| v).collect(),
+        }
+    }
+
+    /// Builds a dictionary from explicit values (e.g. a perfect oracle).
+    pub fn from_values(values: impl IntoIterator<Item = u64>) -> Self {
+        FrequentValueTable {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// The dictionary contents, hottest first.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether `value` is in the dictionary (compressible).
+    pub fn contains(&self, value: u64) -> bool {
+        self.values.contains(&value)
+    }
+
+    /// Measures dictionary coverage over a value-event stream.
+    pub fn evaluate(&self, events: impl IntoIterator<Item = Tuple>) -> CompressionStats {
+        let mut stats = CompressionStats::default();
+        for t in events {
+            stats.accesses += 1;
+            if self.contains(t.value().as_u64()) {
+                stats.compressible += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhp_core::{Candidate, IntervalConfig};
+
+    fn profile(cands: &[(u64, u64, u64)]) -> IntervalProfile {
+        IntervalProfile::from_candidates(
+            0,
+            IntervalConfig::short(),
+            cands
+                .iter()
+                .map(|&(pc, v, n)| Candidate::new(Tuple::new(pc, v), n))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn values_are_summed_across_pcs() {
+        let p = profile(&[(1, 42, 300), (2, 42, 300), (3, 7, 500)]);
+        let fvc = FrequentValueTable::from_profile(&p, 1);
+        assert_eq!(fvc.values(), &[42], "42 totals 600 > 500");
+    }
+
+    #[test]
+    fn capacity_cuts_the_tail() {
+        let p = profile(&[(1, 1, 500), (2, 2, 400), (3, 3, 300)]);
+        let fvc = FrequentValueTable::from_profile(&p, 2);
+        assert_eq!(fvc.len(), 2);
+        assert!(fvc.contains(1) && fvc.contains(2) && !fvc.contains(3));
+    }
+
+    #[test]
+    fn evaluate_counts_coverage() {
+        let fvc = FrequentValueTable::from_values([5, 9]);
+        let events = vec![
+            Tuple::new(1, 5),
+            Tuple::new(1, 9),
+            Tuple::new(1, 5),
+            Tuple::new(1, 3),
+        ];
+        let stats = fvc.evaluate(events);
+        assert_eq!(stats.accesses, 4);
+        assert_eq!(stats.compressible, 3);
+        assert!((stats.ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_has_zero_ratio() {
+        let fvc = FrequentValueTable::from_values([1]);
+        assert_eq!(fvc.evaluate(std::iter::empty()).ratio(), 0.0);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let p = profile(&[(1, 9, 100), (2, 3, 100)]);
+        let fvc = FrequentValueTable::from_profile(&p, 1);
+        assert_eq!(fvc.values(), &[3], "equal counts: smaller value wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        FrequentValueTable::from_profile(&profile(&[(1, 1, 1)]), 0);
+    }
+}

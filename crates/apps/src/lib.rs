@@ -1,0 +1,34 @@
+//! # mhp-apps — run-time optimization clients
+//!
+//! §2 of *"Catching Accurate Profiles in Hardware"* motivates the profiler
+//! with four hardware optimizations. This crate implements a working client
+//! for each, consuming [`IntervalProfile`](mhp_core::IntervalProfile)s —
+//! so any profiler behind the [`EventProfiler`](mhp_core::EventProfiler)
+//! trait (multi-hash, single-hash, perfect, stratified) can drive them, and
+//! the *quality of the profile* translates directly into measurable
+//! optimization effectiveness:
+//!
+//! | §2 motivation | client | profile consumed | effectiveness metric |
+//! |---|---|---|---|
+//! | value-based optimization (frequent-value cache) | [`FrequentValueTable`] | value profile | fraction of loads compressible |
+//! | trace formation | [`TraceFormer`] | edge profile | fraction of dynamic edges inside formed traces |
+//! | multiple-path execution | [`MultipathSelector`] | edge profile | mispredictions covered under a fork budget |
+//! | cache replacement / prefetching | [`DelinquentLoadSet`] | miss profile (see `mhp-cache`) | fraction of misses from targeted loads |
+//!
+//! Each client exposes a `from_profile` constructor and an evaluation
+//! method over a subsequent event stream — the paper's use model of
+//! *"use the accumulator table information gathered during one profile
+//! interval to optimize behavior in the next profile interval"* (§5.6.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod fvc;
+mod multipath;
+mod prefetch;
+mod trace_form;
+
+pub use fvc::{CompressionStats, FrequentValueTable};
+pub use multipath::{BranchStats, MultipathSelector};
+pub use prefetch::{DelinquentLoadSet, MissCoverage, NextLinePrefetcher, PrefetchOutcome};
+pub use trace_form::{Trace, TraceFormer};

@@ -1,0 +1,256 @@
+//! Multiple-path execution selection — the hard-branch client (§2).
+//!
+//! *"Multiple path execution tries to eliminate branch misprediction
+//! penalties by executing down multiple paths. … this should not be done on
+//! all branches, only those that are known to be problematic. Finding these
+//! problematic branches is again a task that can be performed by a hardware
+//! profiler."*
+//!
+//! From an edge profile, per-branch statistics (both outgoing edges'
+//! frequencies) give each branch's *bias*; low-bias branches are the
+//! hard-to-predict ones worth forking. The selector picks the most
+//! mispredicting branches under a fork budget and reports how many
+//! (profile-estimated) mispredictions the selection covers.
+
+use std::collections::HashMap;
+
+use mhp_core::{IntervalProfile, Tuple};
+
+/// Aggregated profile statistics for one static branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchStats {
+    /// The branch PC.
+    pub pc: u64,
+    /// Executions observed in the profile (sum over its edges).
+    pub executions: u64,
+    /// Executions of the most frequent target.
+    pub majority: u64,
+}
+
+impl BranchStats {
+    /// The branch's bias: probability of the majority target, in
+    /// `[0.5, 1.0]` for two-way branches (can be lower for indirect fans).
+    pub fn bias(&self) -> f64 {
+        if self.executions == 0 {
+            1.0
+        } else {
+            self.majority as f64 / self.executions as f64
+        }
+    }
+
+    /// Estimated mispredictions for an always-majority static predictor:
+    /// the executions that did *not* go to the majority target.
+    pub fn est_mispredicts(&self) -> u64 {
+        self.executions - self.majority
+    }
+}
+
+/// Selects fork-worthy branches from an edge profile.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_apps::MultipathSelector;
+/// use mhp_core::{Candidate, IntervalConfig, IntervalProfile, Tuple};
+/// let profile = IntervalProfile::from_candidates(
+///     0,
+///     IntervalConfig::short(),
+///     vec![
+///         // A 55/45 branch: hard.
+///         Candidate::new(Tuple::new(0xA, 1), 550),
+///         Candidate::new(Tuple::new(0xA, 2), 450),
+///         // A 99/1 branch: easy.
+///         Candidate::new(Tuple::new(0xB, 1), 990),
+///         Candidate::new(Tuple::new(0xB, 2), 10),
+///     ],
+/// );
+/// let selector = MultipathSelector::from_profile(&profile);
+/// let picks = selector.select(1);
+/// assert_eq!(picks[0].pc, 0xA);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultipathSelector {
+    branches: Vec<BranchStats>,
+}
+
+impl MultipathSelector {
+    /// Aggregates an edge profile into per-branch statistics.
+    pub fn from_profile(profile: &IntervalProfile) -> Self {
+        let mut by_pc: HashMap<u64, (u64, u64)> = HashMap::new(); // (executions, majority)
+        for c in profile.candidates() {
+            let entry = by_pc.entry(c.tuple.pc().as_u64()).or_insert((0, 0));
+            entry.0 += c.count;
+            entry.1 = entry.1.max(c.count);
+        }
+        let mut branches: Vec<BranchStats> = by_pc
+            .into_iter()
+            .map(|(pc, (executions, majority))| BranchStats {
+                pc,
+                executions,
+                majority,
+            })
+            .collect();
+        // Most mispredicting first; deterministic tie-break.
+        branches.sort_unstable_by(|a, b| {
+            b.est_mispredicts()
+                .cmp(&a.est_mispredicts())
+                .then(a.pc.cmp(&b.pc))
+        });
+        MultipathSelector { branches }
+    }
+
+    /// All profiled branches, most mispredicting first.
+    pub fn branches(&self) -> &[BranchStats] {
+        &self.branches
+    }
+
+    /// Picks up to `budget` branches worth forking (those with estimated
+    /// mispredictions, hardest first).
+    pub fn select(&self, budget: usize) -> Vec<BranchStats> {
+        self.branches
+            .iter()
+            .filter(|b| b.est_mispredicts() > 0)
+            .take(budget)
+            .copied()
+            .collect()
+    }
+
+    /// Evaluates a selection against a dynamic edge stream: the fraction of
+    /// actual mispredictions whose branch was selected. A misprediction is
+    /// an event that does not follow its branch's dynamic-majority target
+    /// (an always-majority static predictor), with the majority learned
+    /// from the evaluation stream itself so the metric is profile-agnostic.
+    pub fn misprediction_coverage(
+        &self,
+        selection: &[BranchStats],
+        events: impl IntoIterator<Item = Tuple>,
+    ) -> f64 {
+        let selected: std::collections::HashSet<u64> = selection.iter().map(|b| b.pc).collect();
+        // First pass over the events to find each branch's dynamic majority
+        // target, then count non-majority events as mispredictions.
+        let collected: Vec<Tuple> = events.into_iter().collect();
+        let mut counts: HashMap<(u64, u64), u64> = HashMap::new();
+        for e in &collected {
+            *counts
+                .entry((e.pc().as_u64(), e.value().as_u64()))
+                .or_insert(0) += 1;
+        }
+        let mut majority: HashMap<u64, (u64, u64)> = HashMap::new(); // pc -> (target, count)
+        for (&(pc, target), &n) in &counts {
+            let entry = majority.entry(pc).or_insert((target, n));
+            if n > entry.1 || (n == entry.1 && target < entry.0) {
+                *entry = (target, n);
+            }
+        }
+        let mut mispredicts = 0u64;
+        let mut covered = 0u64;
+        for e in &collected {
+            let pc = e.pc().as_u64();
+            let (maj, _) = majority[&pc];
+            if e.value().as_u64() != maj {
+                mispredicts += 1;
+                if selected.contains(&pc) {
+                    covered += 1;
+                }
+            }
+        }
+        if mispredicts == 0 {
+            0.0
+        } else {
+            covered as f64 / mispredicts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhp_core::{Candidate, IntervalConfig};
+
+    fn profile(edges: &[(u64, u64, u64)]) -> IntervalProfile {
+        IntervalProfile::from_candidates(
+            0,
+            IntervalConfig::short(),
+            edges
+                .iter()
+                .map(|&(pc, t, n)| Candidate::new(Tuple::new(pc, t), n))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn bias_and_mispredicts_are_computed_per_branch() {
+        let p = profile(&[(0xA, 1, 700), (0xA, 2, 300)]);
+        let s = MultipathSelector::from_profile(&p);
+        let b = s.branches()[0];
+        assert_eq!(b.executions, 1000);
+        assert_eq!(b.majority, 700);
+        assert!((b.bias() - 0.7).abs() < 1e-12);
+        assert_eq!(b.est_mispredicts(), 300);
+    }
+
+    #[test]
+    fn hard_branches_rank_first() {
+        let p = profile(&[
+            (0xA, 1, 550),
+            (0xA, 2, 450), // 450 mispredicts
+            (0xB, 1, 990),
+            (0xB, 2, 10), // 10 mispredicts
+        ]);
+        let s = MultipathSelector::from_profile(&p);
+        assert_eq!(s.branches()[0].pc, 0xA);
+        let picks = s.select(1);
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].pc, 0xA);
+    }
+
+    #[test]
+    fn perfectly_biased_branches_are_never_selected() {
+        let p = profile(&[(0xC, 1, 500)]); // single edge: bias 1.0
+        let s = MultipathSelector::from_profile(&p);
+        assert!(s.select(10).is_empty());
+    }
+
+    #[test]
+    fn coverage_counts_covered_mispredictions() {
+        let p = profile(&[(0xA, 1, 550), (0xA, 2, 450), (0xB, 1, 990), (0xB, 2, 10)]);
+        let s = MultipathSelector::from_profile(&p);
+        let picks = s.select(1); // only 0xA
+                                 // Stream: 0xA mispredicts twice (target 2), 0xB once (target 2).
+        let stream = vec![
+            Tuple::new(0xA, 1),
+            Tuple::new(0xA, 1),
+            Tuple::new(0xA, 2),
+            Tuple::new(0xA, 2),
+            Tuple::new(0xA, 1),
+            Tuple::new(0xB, 1),
+            Tuple::new(0xB, 1),
+            Tuple::new(0xB, 2),
+        ];
+        let cov = s.misprediction_coverage(&picks, stream);
+        assert!((cov - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_with_no_mispredictions_is_zero() {
+        let p = profile(&[(0xA, 1, 100)]);
+        let s = MultipathSelector::from_profile(&p);
+        let cov = s.misprediction_coverage(&[], vec![Tuple::new(0xA, 1); 5]);
+        assert_eq!(cov, 0.0);
+    }
+
+    #[test]
+    fn budget_limits_the_selection() {
+        let p = profile(&[
+            (1, 1, 60),
+            (1, 2, 40),
+            (2, 1, 60),
+            (2, 2, 40),
+            (3, 1, 60),
+            (3, 2, 40),
+        ]);
+        let s = MultipathSelector::from_profile(&p);
+        assert_eq!(s.select(2).len(), 2);
+        assert_eq!(s.select(10).len(), 3);
+    }
+}

@@ -1,0 +1,356 @@
+//! Delinquent-load targeting — the prefetching client (§2).
+//!
+//! *"In many cases a large percentage of data cache misses are caused by a
+//! very small number of instructions. … Making use of a run-time profiling
+//! scheme to identify troublesome loads and objects can potentially improve
+//! the accuracy and efficiency of these techniques."*
+//!
+//! The miss profiler (see `mhp-cache::MissEvents`) produces
+//! `<load PC, block>` tuples per miss; this module distills the profile
+//! into the small set of *delinquent load PCs* a prefetcher or speculative
+//! precomputation engine would target, and measures what fraction of
+//! subsequent misses those PCs account for.
+
+use std::collections::{HashMap, HashSet};
+
+use mhp_core::{IntervalProfile, Tuple};
+
+/// Coverage of a delinquent-load selection over a miss stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissCoverage {
+    /// Misses examined.
+    pub misses: u64,
+    /// Misses issued by a targeted load.
+    pub covered: u64,
+}
+
+impl MissCoverage {
+    /// Fraction of misses covered, in `[0, 1]`.
+    pub fn ratio(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.misses as f64
+        }
+    }
+}
+
+/// The set of load PCs responsible for the most profiled misses.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_apps::DelinquentLoadSet;
+/// use mhp_core::{Candidate, IntervalConfig, IntervalProfile, Tuple};
+/// let profile = IntervalProfile::from_candidates(
+///     0,
+///     IntervalConfig::short(),
+///     vec![
+///         Candidate::new(Tuple::new(0x200, 11), 600), // miss-heavy load
+///         Candidate::new(Tuple::new(0x200, 12), 500), // same load, other block
+///         Candidate::new(Tuple::new(0x300, 99), 120),
+///     ],
+/// );
+/// let set = DelinquentLoadSet::from_profile(&profile, 1);
+/// assert!(set.contains(0x200));
+/// assert!(!set.contains(0x300));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelinquentLoadSet {
+    pcs: Vec<u64>,
+    lookup: HashSet<u64>,
+}
+
+impl DelinquentLoadSet {
+    /// Distills the top `capacity` load PCs (by summed miss count) from a
+    /// miss profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn from_profile(profile: &IntervalProfile, capacity: usize) -> Self {
+        assert!(capacity > 0, "need room for at least one load");
+        let mut by_pc: HashMap<u64, u64> = HashMap::new();
+        for c in profile.candidates() {
+            *by_pc.entry(c.tuple.pc().as_u64()).or_insert(0) += c.count;
+        }
+        let mut ranked: Vec<(u64, u64)> = by_pc.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(capacity);
+        let pcs: Vec<u64> = ranked.into_iter().map(|(pc, _)| pc).collect();
+        let lookup = pcs.iter().copied().collect();
+        DelinquentLoadSet { pcs, lookup }
+    }
+
+    /// Builds the set from explicit PCs (e.g. an oracle).
+    pub fn from_pcs(pcs: impl IntoIterator<Item = u64>) -> Self {
+        let pcs: Vec<u64> = pcs.into_iter().collect();
+        let lookup = pcs.iter().copied().collect();
+        DelinquentLoadSet { pcs, lookup }
+    }
+
+    /// The targeted PCs, most delinquent first.
+    pub fn pcs(&self) -> &[u64] {
+        &self.pcs
+    }
+
+    /// Number of targeted loads.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Returns `true` if no load is targeted.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Whether load `pc` is targeted.
+    pub fn contains(&self, pc: u64) -> bool {
+        self.lookup.contains(&pc)
+    }
+
+    /// Measures what fraction of a miss stream the targeted loads account
+    /// for.
+    pub fn coverage(&self, misses: impl IntoIterator<Item = Tuple>) -> MissCoverage {
+        let mut stats = MissCoverage::default();
+        for m in misses {
+            stats.misses += 1;
+            if self.contains(m.pc().as_u64()) {
+                stats.covered += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Outcome of running an access stream with next-line prefetching enabled
+/// for a set of targeted loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetchOutcome {
+    /// Accesses simulated.
+    pub accesses: u64,
+    /// Misses without any prefetching (baseline).
+    pub baseline_misses: u64,
+    /// Misses with prefetching enabled.
+    pub prefetched_misses: u64,
+    /// Prefetch fills issued.
+    pub prefetches_issued: u64,
+}
+
+impl PrefetchOutcome {
+    /// Fraction of baseline misses eliminated, in `[0, 1]` (can be negative
+    /// if prefetching pollutes the cache).
+    pub fn miss_reduction(&self) -> f64 {
+        if self.baseline_misses == 0 {
+            0.0
+        } else {
+            1.0 - self.prefetched_misses as f64 / self.baseline_misses as f64
+        }
+    }
+}
+
+/// A degree-`d` next-line prefetcher that fires only on misses from
+/// targeted loads — the simplest §2 prefetching client. Closing the loop:
+/// a profiled [`DelinquentLoadSet`] becomes an actual miss reduction.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_apps::{DelinquentLoadSet, NextLinePrefetcher};
+/// use mhp_cache::{access::AccessPattern, Cache, CacheConfig};
+/// let mut pattern = AccessPattern::new(1);
+/// pattern.stream(0x42, 0x100000, 64, 1 << 22, 1.0); // sequential stream
+/// let targets = DelinquentLoadSet::from_pcs([0x42]);
+/// let prefetcher = NextLinePrefetcher::new(targets, 4);
+/// let config = CacheConfig::new(32 * 1024, 64, 4).unwrap();
+/// let outcome = prefetcher.evaluate(
+///     || Cache::new(config),
+///     || AccessPattern::new(1).stream(0x42, 0x100000, 64, 1 << 22, 1.0).clone().events().take(50_000),
+/// );
+/// assert!(outcome.miss_reduction() > 0.7, "sequential streams prefetch well");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NextLinePrefetcher {
+    targets: DelinquentLoadSet,
+    degree: u64,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a prefetcher firing `degree` next-line fills on each targeted
+    /// miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(targets: DelinquentLoadSet, degree: u64) -> Self {
+        assert!(degree > 0, "prefetch degree must be positive");
+        NextLinePrefetcher { targets, degree }
+    }
+
+    /// The targeted loads.
+    pub fn targets(&self) -> &DelinquentLoadSet {
+        &self.targets
+    }
+
+    /// Runs the same access stream twice — once bare, once with prefetching
+    /// — against fresh caches from `make_cache`, and reports the outcome.
+    pub fn evaluate<C, S, I>(&self, mut make_cache: C, mut make_stream: S) -> PrefetchOutcome
+    where
+        C: FnMut() -> mhp_cache::Cache,
+        S: FnMut() -> I,
+        I: Iterator<Item = mhp_cache::MemAccess>,
+    {
+        // Baseline pass.
+        let mut baseline = make_cache();
+        for a in make_stream() {
+            baseline.access(a.addr);
+        }
+        // Prefetching pass.
+        let mut cache = make_cache();
+        let block = cache.config().block_bytes() as u64;
+        let mut prefetches = 0u64;
+        for a in make_stream() {
+            let missed = cache.access(a.addr).is_miss();
+            if missed && self.targets.contains(a.pc) {
+                for d in 1..=self.degree {
+                    if cache.fill(a.addr.wrapping_add(d * block)) {
+                        prefetches += 1;
+                    }
+                }
+            }
+        }
+        PrefetchOutcome {
+            accesses: baseline.stats().accesses,
+            baseline_misses: baseline.stats().misses,
+            prefetched_misses: cache.stats().misses,
+            prefetches_issued: prefetches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhp_core::{Candidate, IntervalConfig};
+
+    fn profile(misses: &[(u64, u64, u64)]) -> IntervalProfile {
+        IntervalProfile::from_candidates(
+            0,
+            IntervalConfig::short(),
+            misses
+                .iter()
+                .map(|&(pc, b, n)| Candidate::new(Tuple::new(pc, b), n))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn miss_counts_are_summed_per_pc() {
+        let p = profile(&[(0x1, 10, 300), (0x1, 11, 300), (0x2, 20, 500)]);
+        let set = DelinquentLoadSet::from_profile(&p, 1);
+        assert_eq!(set.pcs(), &[0x1], "0x1 totals 600 > 500");
+    }
+
+    #[test]
+    fn capacity_limits_the_set() {
+        let p = profile(&[(1, 0, 30), (2, 0, 20), (3, 0, 10)]);
+        let set = DelinquentLoadSet::from_profile(&p, 2);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(1) && set.contains(2) && !set.contains(3));
+    }
+
+    #[test]
+    fn coverage_over_a_miss_stream() {
+        let set = DelinquentLoadSet::from_pcs([0xA]);
+        let misses = vec![
+            Tuple::new(0xA, 1),
+            Tuple::new(0xA, 2),
+            Tuple::new(0xB, 3),
+            Tuple::new(0xA, 4),
+        ];
+        let cov = set.coverage(misses);
+        assert_eq!(cov.misses, 4);
+        assert_eq!(cov.covered, 3);
+        assert!((cov.ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_has_zero_ratio() {
+        let set = DelinquentLoadSet::from_pcs([1]);
+        assert_eq!(set.coverage(std::iter::empty()).ratio(), 0.0);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let p = profile(&[(9, 0, 100), (3, 0, 100)]);
+        let set = DelinquentLoadSet::from_profile(&p, 1);
+        assert_eq!(set.pcs(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one load")]
+    fn zero_capacity_panics() {
+        DelinquentLoadSet::from_profile(&profile(&[(1, 0, 1)]), 0);
+    }
+
+    mod prefetcher {
+        use super::super::*;
+        use mhp_cache::{access::AccessPattern, Cache, CacheConfig};
+
+        fn cache() -> Cache {
+            Cache::new(CacheConfig::new(16 * 1024, 64, 4).unwrap())
+        }
+
+        #[test]
+        fn sequential_stream_misses_collapse() {
+            let targets = DelinquentLoadSet::from_pcs([0x42]);
+            let p = NextLinePrefetcher::new(targets, 4);
+            let outcome = p.evaluate(cache, || {
+                let mut pat = AccessPattern::new(1);
+                pat.stream(0x42, 0x100000, 64, 1 << 22, 1.0);
+                pat.events().take(50_000)
+            });
+            assert!(outcome.baseline_misses > 40_000, "streams miss constantly");
+            assert!(
+                outcome.miss_reduction() > 0.7,
+                "next-line prefetch must eliminate most stream misses, got {:.2}",
+                outcome.miss_reduction()
+            );
+        }
+
+        #[test]
+        fn pointer_chase_gains_nothing() {
+            let targets = DelinquentLoadSet::from_pcs([0x7]);
+            let p = NextLinePrefetcher::new(targets, 2);
+            let outcome = p.evaluate(cache, || {
+                let mut pat = AccessPattern::new(2);
+                pat.chase(0x7, 0x100000, 1 << 21, 1.0);
+                pat.events().take(30_000)
+            });
+            assert!(
+                outcome.miss_reduction() < 0.1,
+                "irregular chases defeat next-line prefetching, got {:.2}",
+                outcome.miss_reduction()
+            );
+        }
+
+        #[test]
+        fn untargeted_loads_trigger_no_prefetches() {
+            let targets = DelinquentLoadSet::from_pcs([0x999]);
+            let p = NextLinePrefetcher::new(targets, 4);
+            let outcome = p.evaluate(cache, || {
+                let mut pat = AccessPattern::new(3);
+                pat.stream(0x42, 0x100000, 64, 1 << 22, 1.0);
+                pat.events().take(10_000)
+            });
+            assert_eq!(outcome.prefetches_issued, 0);
+            assert_eq!(outcome.baseline_misses, outcome.prefetched_misses);
+        }
+
+        #[test]
+        #[should_panic(expected = "degree must be positive")]
+        fn zero_degree_panics() {
+            NextLinePrefetcher::new(DelinquentLoadSet::from_pcs([1]), 0);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Trace formation — the instruction-fetch client (§2).
+//!
+//! *"By dynamically extracting and ordering code that is frequently
+//! executed, instruction fetch can be made much more efficient. In order to
+//! find the frequently executed code and to determine the best layout, a
+//! hardware profiling table is needed"* (§2, citing Rotenberg's trace
+//! cache). This module builds straight-line traces by greedily chaining
+//! each block to its hottest profiled successor, then measures how much of
+//! a subsequent edge stream the formed traces cover.
+
+use std::collections::{HashMap, HashSet};
+
+use mhp_core::{IntervalProfile, Tuple};
+
+/// One formed trace: the ordered list of edges it embeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    edges: Vec<Tuple>,
+}
+
+impl Trace {
+    /// The edges of the trace, in control-flow order.
+    pub fn edges(&self) -> &[Tuple] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` for an empty trace (never produced by the former).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The PC the trace starts at.
+    pub fn entry(&self) -> u64 {
+        self.edges[0].pc().as_u64()
+    }
+}
+
+/// Builds traces from an edge profile.
+///
+/// The profile's `<branch pc, target pc>` candidates induce a successor
+/// graph; the former repeatedly seeds a trace at the hottest unused edge
+/// and extends it through each block's hottest profiled outgoing edge,
+/// stopping at `max_edges`, on a cycle, or when no profiled successor
+/// exists.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_apps::TraceFormer;
+/// use mhp_core::{Candidate, IntervalConfig, IntervalProfile, Tuple};
+/// // A hot loop: A -> B -> A.
+/// let profile = IntervalProfile::from_candidates(
+///     0,
+///     IntervalConfig::short(),
+///     vec![
+///         Candidate::new(Tuple::new(0xA, 0xB), 900),
+///         Candidate::new(Tuple::new(0xB, 0xA), 880),
+///     ],
+/// );
+/// let former = TraceFormer::from_profile(&profile);
+/// let traces = former.form_traces(8, 4);
+/// assert_eq!(traces[0].entry(), 0xA);
+/// assert_eq!(traces[0].len(), 2, "stops when the loop closes");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceFormer {
+    /// Hottest successor edge per source PC.
+    successors: HashMap<u64, (u64, u64)>, // pc -> (target, count)
+    /// All profiled edges, hottest first (trace seeds).
+    ranked_edges: Vec<Tuple>,
+    /// Membership set for coverage queries.
+    profiled: HashSet<Tuple>,
+}
+
+impl TraceFormer {
+    /// Builds the successor graph from an edge profile.
+    pub fn from_profile(profile: &IntervalProfile) -> Self {
+        let mut successors: HashMap<u64, (u64, u64)> = HashMap::new();
+        for c in profile.candidates() {
+            let pc = c.tuple.pc().as_u64();
+            let target = c.tuple.value().as_u64();
+            let entry = successors.entry(pc).or_insert((target, c.count));
+            if c.count > entry.1 || (c.count == entry.1 && target < entry.0) {
+                *entry = (target, c.count);
+            }
+        }
+        let ranked_edges: Vec<Tuple> = profile.tuples().collect();
+        let profiled = ranked_edges.iter().copied().collect();
+        TraceFormer {
+            successors,
+            ranked_edges,
+            profiled,
+        }
+    }
+
+    /// Forms up to `max_traces` traces of at most `max_edges` edges each.
+    /// Each profiled edge belongs to at most one trace.
+    pub fn form_traces(&self, max_edges: usize, max_traces: usize) -> Vec<Trace> {
+        assert!(max_edges > 0 && max_traces > 0, "degenerate trace budget");
+        let mut used: HashSet<Tuple> = HashSet::new();
+        let mut traces = Vec::new();
+        for &seed in &self.ranked_edges {
+            if traces.len() == max_traces {
+                break;
+            }
+            if used.contains(&seed) {
+                continue;
+            }
+            let mut edges = vec![seed];
+            used.insert(seed);
+            let mut visited_pcs: HashSet<u64> = [seed.pc().as_u64()].into();
+            let mut at = seed.value().as_u64();
+            while edges.len() < max_edges {
+                if !visited_pcs.insert(at) {
+                    break; // loop closed
+                }
+                let Some(&(target, _)) = self.successors.get(&at) else {
+                    break; // fall off the profiled region
+                };
+                let edge = Tuple::new(at, target);
+                if used.contains(&edge) {
+                    break; // merges into an existing trace
+                }
+                used.insert(edge);
+                edges.push(edge);
+                at = target;
+            }
+            traces.push(Trace { edges });
+        }
+        traces
+    }
+
+    /// Fraction of a dynamic edge stream covered by `traces` (edges that
+    /// lie inside any formed trace), in `[0, 1]`.
+    pub fn coverage(traces: &[Trace], events: impl IntoIterator<Item = Tuple>) -> f64 {
+        let in_traces: HashSet<Tuple> = traces
+            .iter()
+            .flat_map(|t| t.edges.iter().copied())
+            .collect();
+        let mut total = 0u64;
+        let mut covered = 0u64;
+        for e in events {
+            total += 1;
+            if in_traces.contains(&e) {
+                covered += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            covered as f64 / total as f64
+        }
+    }
+
+    /// Whether `edge` was in the profile at all.
+    pub fn knows(&self, edge: Tuple) -> bool {
+        self.profiled.contains(&edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhp_core::{Candidate, IntervalConfig};
+
+    fn profile(edges: &[(u64, u64, u64)]) -> IntervalProfile {
+        IntervalProfile::from_candidates(
+            0,
+            IntervalConfig::short(),
+            edges
+                .iter()
+                .map(|&(pc, t, n)| Candidate::new(Tuple::new(pc, t), n))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn chains_follow_the_hottest_successor() {
+        // A -> B (hot) and A -> C (cold); B -> D.
+        let p = profile(&[(0xA, 0xB, 900), (0xA, 0xC, 200), (0xB, 0xD, 800)]);
+        let former = TraceFormer::from_profile(&p);
+        let traces = former.form_traces(8, 1);
+        let edges: Vec<(u64, u64)> = traces[0]
+            .edges()
+            .iter()
+            .map(|e| (e.pc().as_u64(), e.value().as_u64()))
+            .collect();
+        assert_eq!(edges, vec![(0xA, 0xB), (0xB, 0xD)]);
+    }
+
+    #[test]
+    fn loops_terminate_traces() {
+        let p = profile(&[(1, 2, 500), (2, 3, 490), (3, 1, 480)]);
+        let former = TraceFormer::from_profile(&p);
+        let traces = former.form_traces(100, 1);
+        assert_eq!(traces[0].len(), 3, "the cycle is traversed exactly once");
+    }
+
+    #[test]
+    fn max_edges_bounds_trace_length() {
+        let p = profile(&[(1, 2, 500), (2, 3, 490), (3, 4, 480), (4, 5, 470)]);
+        let former = TraceFormer::from_profile(&p);
+        let traces = former.form_traces(2, 1);
+        assert_eq!(traces[0].len(), 2);
+    }
+
+    #[test]
+    fn edges_are_not_shared_between_traces() {
+        let p = profile(&[(1, 2, 500), (2, 3, 490), (7, 2, 400)]);
+        let former = TraceFormer::from_profile(&p);
+        let traces = former.form_traces(8, 3);
+        let mut seen = HashSet::new();
+        for t in &traces {
+            for &e in t.edges() {
+                assert!(seen.insert(e), "edge {e} appears in two traces");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_measures_dynamic_stream() {
+        let p = profile(&[(1, 2, 500), (2, 3, 490)]);
+        let former = TraceFormer::from_profile(&p);
+        let traces = former.form_traces(8, 1);
+        let stream = vec![
+            Tuple::new(1, 2),
+            Tuple::new(2, 3),
+            Tuple::new(1, 2),
+            Tuple::new(9, 9), // off-trace
+        ];
+        let cov = TraceFormer::coverage(&traces, stream);
+        assert!((cov - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_of_empty_stream_is_zero() {
+        assert_eq!(TraceFormer::coverage(&[], std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn hotter_profiles_yield_better_coverage() {
+        // The point of the exercise: a profile that found the hot loop
+        // covers more of the stream than one that found only noise.
+        let hot = profile(&[(1, 2, 900), (2, 1, 890)]);
+        let cold = profile(&[(50, 51, 120)]);
+        let stream: Vec<Tuple> = (0..100)
+            .flat_map(|_| [Tuple::new(1, 2), Tuple::new(2, 1)])
+            .chain([Tuple::new(50, 51)])
+            .collect();
+        let t_hot = TraceFormer::from_profile(&hot).form_traces(8, 2);
+        let t_cold = TraceFormer::from_profile(&cold).form_traces(8, 2);
+        assert!(
+            TraceFormer::coverage(&t_hot, stream.iter().copied())
+                > TraceFormer::coverage(&t_cold, stream.iter().copied())
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end: hardware profiles driving the §2 optimization clients.
+//!
+//! The use model under test is §5.6.1's: the profile gathered in interval
+//! *k* optimizes interval *k+1*. For each client we compare the multi-hash
+//! profile against the perfect profile — a near-1 effectiveness *ratio* is
+//! the whole point of the paper (a 7 KB hardware profile is as good as an
+//! oracle for these optimizations).
+
+use mhp_apps::{DelinquentLoadSet, FrequentValueTable, MultipathSelector, TraceFormer};
+use mhp_cache::{access::AccessPattern, Cache, CacheConfig, MissEvents};
+use mhp_core::{
+    EventProfiler, IntervalConfig, IntervalProfile, MultiHashConfig, MultiHashProfiler,
+    PerfectProfiler, Tuple,
+};
+use mhp_trace::Benchmark;
+
+/// Runs both profilers over one interval of `events`, returning
+/// (hardware profile, perfect profile) plus the *next* interval's events
+/// for evaluation.
+fn profile_one_interval(
+    interval: IntervalConfig,
+    events: &mut impl Iterator<Item = Tuple>,
+) -> (IntervalProfile, IntervalProfile) {
+    let mut hw = MultiHashProfiler::new(interval, MultiHashConfig::best(), 5).unwrap();
+    let mut perfect = PerfectProfiler::new(interval);
+    loop {
+        let t = events.next().expect("stream is infinite");
+        let h = hw.observe(t);
+        let p = perfect.observe(t);
+        match (h, p) {
+            (Some(h), Some(p)) => return (h, p),
+            (None, None) => {}
+            _ => unreachable!("lockstep"),
+        }
+    }
+}
+
+#[test]
+fn profiled_value_dictionary_matches_the_oracle() {
+    let interval = IntervalConfig::new(20_000, 0.01).unwrap();
+    let mut stream = Benchmark::Li.value_stream(11);
+    let (hw, perfect) = profile_one_interval(interval, &mut stream);
+
+    let dict_hw = FrequentValueTable::from_profile(&hw, 8);
+    let dict_oracle = FrequentValueTable::from_profile(&perfect, 8);
+
+    // Evaluate both dictionaries on the next interval.
+    let next: Vec<Tuple> = (&mut stream).take(20_000).collect();
+    let r_hw = dict_hw.evaluate(next.iter().copied()).ratio();
+    let r_oracle = dict_oracle.evaluate(next.iter().copied()).ratio();
+
+    assert!(
+        r_oracle > 0.05,
+        "oracle must find compressible values ({r_oracle})"
+    );
+    assert!(
+        r_hw >= r_oracle * 0.9,
+        "profiled dictionary ({r_hw:.3}) must be within 10% of the oracle ({r_oracle:.3})"
+    );
+}
+
+#[test]
+fn profiled_traces_cover_like_oracle_traces() {
+    let interval = IntervalConfig::new(20_000, 0.01).unwrap();
+    let mut stream = Benchmark::M88ksim.edge_stream(13);
+    let (hw, perfect) = profile_one_interval(interval, &mut stream);
+
+    let traces_hw = TraceFormer::from_profile(&hw).form_traces(16, 8);
+    let traces_oracle = TraceFormer::from_profile(&perfect).form_traces(16, 8);
+
+    let next: Vec<Tuple> = (&mut stream).take(20_000).collect();
+    let c_hw = TraceFormer::coverage(&traces_hw, next.iter().copied());
+    let c_oracle = TraceFormer::coverage(&traces_oracle, next.iter().copied());
+
+    assert!(
+        c_oracle > 0.02,
+        "oracle traces must cover something ({c_oracle})"
+    );
+    assert!(
+        c_hw >= c_oracle * 0.8,
+        "profiled traces ({c_hw:.3}) must be within 20% of the oracle ({c_oracle:.3})"
+    );
+}
+
+#[test]
+fn profiled_hard_branches_cover_mispredictions() {
+    // Fork selection needs the minority edges of biased branches above the
+    // threshold, so it profiles finer than the other clients.
+    let interval = IntervalConfig::new(20_000, 0.0025).unwrap();
+    let mut stream = Benchmark::Go.edge_stream(17);
+    let (hw, perfect) = profile_one_interval(interval, &mut stream);
+
+    let sel_hw = MultipathSelector::from_profile(&hw);
+    let sel_oracle = MultipathSelector::from_profile(&perfect);
+    let picks_hw = sel_hw.select(4);
+    let picks_oracle = sel_oracle.select(4);
+    assert!(!picks_oracle.is_empty(), "some branches must be hard");
+
+    let next: Vec<Tuple> = (&mut stream).take(20_000).collect();
+    let c_hw = sel_hw.misprediction_coverage(&picks_hw, next.iter().copied());
+    let c_oracle = sel_oracle.misprediction_coverage(&picks_oracle, next.iter().copied());
+
+    assert!(
+        c_hw >= c_oracle * 0.8,
+        "profiled fork set ({c_hw:.3}) must be within 20% of the oracle ({c_oracle:.3})"
+    );
+}
+
+#[test]
+fn profiled_delinquent_loads_cover_most_misses() {
+    // Misses from the demo access mixture through a 32 KB cache.
+    let interval = IntervalConfig::new(10_000, 0.01).unwrap();
+    let cache = Cache::new(CacheConfig::new(32 * 1024, 64, 4).unwrap());
+    let mut misses = MissEvents::new(cache, AccessPattern::demo_mix(23).events());
+
+    let (hw, perfect) = profile_one_interval(interval, &mut misses);
+    let set_hw = DelinquentLoadSet::from_profile(&hw, 2);
+    let set_oracle = DelinquentLoadSet::from_profile(&perfect, 2);
+
+    // The two delinquent loads in demo_mix are the stream and the chase.
+    assert!(set_oracle.contains(0x40_0200) || set_oracle.contains(0x40_0208));
+    assert_eq!(
+        set_hw.pcs(),
+        set_oracle.pcs(),
+        "7 KB of hardware matches the oracle"
+    );
+
+    let next: Vec<Tuple> = (&mut misses).take(10_000).collect();
+    let cov = set_hw.coverage(next.iter().copied());
+    assert!(
+        cov.ratio() > 0.7,
+        "two targeted loads should cover most misses ({:.3})",
+        cov.ratio()
+    );
+}
+
+#[test]
+fn profile_error_translates_to_optimization_quality() {
+    // A deliberately hopeless profiler (tiny sketch, no conservative
+    // update) must produce a worse value dictionary than the best one —
+    // profile accuracy is not an abstract metric.
+    let interval = IntervalConfig::new(20_000, 0.002).unwrap();
+    let mut stream_a = Benchmark::Gcc.value_stream(31);
+    let mut stream_b = Benchmark::Gcc.value_stream(31);
+
+    let (good, _) = profile_one_interval(interval, &mut stream_a);
+    // Hopeless: 32 counters over 2 tables, plain update, no retaining.
+    let mut bad_profiler = MultiHashProfiler::new(
+        interval,
+        MultiHashConfig::new(32, 2)
+            .unwrap()
+            .with_conservative_update(false)
+            .with_retaining(false),
+        5,
+    )
+    .unwrap();
+    let bad = loop {
+        if let Some(p) = bad_profiler.observe(stream_b.next().unwrap()) {
+            break p;
+        }
+    };
+
+    let dict_good = FrequentValueTable::from_profile(&good, 8);
+    let dict_bad = FrequentValueTable::from_profile(&bad, 8);
+    let next: Vec<Tuple> = (&mut stream_a).take(20_000).collect();
+    let r_good = dict_good.evaluate(next.iter().copied()).ratio();
+    let r_bad = dict_bad.evaluate(next.iter().copied()).ratio();
+    assert!(
+        r_good >= r_bad,
+        "better profile must not yield a worse dictionary: good {r_good:.3} vs bad {r_bad:.3}"
+    );
+}

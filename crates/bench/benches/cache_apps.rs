@@ -1,0 +1,88 @@
+//! Throughput of the cache substrate and the §2 optimization clients.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mhp_apps::{FrequentValueTable, TraceFormer};
+use mhp_cache::{access::AccessPattern, Cache, CacheConfig, MissEvents};
+use mhp_core::{Candidate, IntervalConfig, IntervalProfile, Tuple};
+use mhp_trace::Benchmark;
+
+const ACCESSES: usize = 100_000;
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(ACCESSES as u64));
+    group.sample_size(20);
+    for (label, assoc) in [("direct_mapped", 1usize), ("four_way", 4), ("eight_way", 8)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cache = Cache::new(CacheConfig::new(32 * 1024, 64, assoc).expect("valid"));
+                let mut misses = 0u64;
+                for a in AccessPattern::demo_mix(black_box(1))
+                    .events()
+                    .take(ACCESSES)
+                {
+                    if cache.access(a.addr).is_miss() {
+                        misses += 1;
+                    }
+                }
+                misses
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_miss_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miss_stream");
+    group.throughput(Throughput::Elements(ACCESSES as u64));
+    group.sample_size(20);
+    group.bench_function("demo_mix_through_32k", |b| {
+        b.iter(|| {
+            let cache = Cache::new(CacheConfig::new(32 * 1024, 64, 4).expect("valid"));
+            MissEvents::new(
+                cache,
+                AccessPattern::demo_mix(black_box(2))
+                    .events()
+                    .take(ACCESSES),
+            )
+            .count()
+        })
+    });
+    group.finish();
+}
+
+fn sample_profile(n: usize) -> IntervalProfile {
+    let candidates: Vec<Candidate> = (0..n as u64)
+        .map(|i| Candidate::new(Tuple::new(0x1000 + i * 8, i % 16), 1_000 - i))
+        .collect();
+    IntervalProfile::from_candidates(0, IntervalConfig::short(), candidates)
+}
+
+fn bench_clients(c: &mut Criterion) {
+    let profile = sample_profile(128);
+    let events: Vec<Tuple> = Benchmark::Li.value_stream(3).take(50_000).collect();
+    let mut group = c.benchmark_group("clients");
+    group.sample_size(20);
+    group.bench_function("fvc_from_profile_and_evaluate", |b| {
+        b.iter(|| {
+            let fvc = FrequentValueTable::from_profile(black_box(&profile), 16);
+            fvc.evaluate(events.iter().copied()).ratio()
+        })
+    });
+    group.bench_function("trace_former_form_traces", |b| {
+        b.iter(|| {
+            TraceFormer::from_profile(black_box(&profile))
+                .form_traces(16, 8)
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_access,
+    bench_miss_stream,
+    bench_clients
+);
+criterion_main!(benches);

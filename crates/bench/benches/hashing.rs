@@ -1,0 +1,58 @@
+//! Micro-benchmarks for the hash-function family — the logic on the
+//! profiler's critical path that real hardware would implement as wired
+//! S-boxes and xor trees.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mhp_core::hash::{xor_fold, HashFamily, TupleHasher};
+use mhp_core::Tuple;
+
+fn bench_single_hasher(c: &mut Criterion) {
+    let hasher = TupleHasher::new(2048, 1).unwrap();
+    let tuples: Vec<Tuple> = (0..1024u64)
+        .map(|i| Tuple::new(0x400000 + i * 4, i))
+        .collect();
+    let mut group = c.benchmark_group("hashing");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("tuple_hasher_index_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &t in &tuples {
+                acc ^= hasher.index(black_box(t));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_family");
+    for tables in [1usize, 2, 4, 8, 16] {
+        let family = HashFamily::new(tables, 2048 / tables, 1).unwrap();
+        let tuples: Vec<Tuple> = (0..1024u64)
+            .map(|i| Tuple::new(0x400000 + i * 4, i))
+            .collect();
+        group.throughput(Throughput::Elements(tuples.len() as u64));
+        group.bench_function(format!("indices_{tables}_tables"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &t in &tuples {
+                    for idx in family.indices(black_box(t)) {
+                        acc ^= idx;
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_xor_fold(c: &mut Criterion) {
+    c.bench_function("xor_fold_11_bits", |b| {
+        b.iter(|| xor_fold(black_box(0x1234_5678_9ABC_DEF0), black_box(11)))
+    });
+}
+
+criterion_group!(benches, bench_single_hasher, bench_family, bench_xor_fold);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Event-generation throughput: the workload substrate must be much faster
+//! than the profilers it feeds, or figure runs would measure the generator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mhp_trace::sim::{programs, Machine, TupleCollector};
+use mhp_trace::Benchmark;
+
+const EVENTS: usize = 100_000;
+
+fn bench_value_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_stream");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(20);
+    for bench in [Benchmark::Gcc, Benchmark::Burg, Benchmark::M88ksim] {
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for t in bench.value_stream(black_box(3)).take(EVENTS) {
+                    acc ^= t.pc().as_u64();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_stream");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(20);
+    group.bench_function("gcc", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in Benchmark::Gcc.edge_stream(black_box(3)).take(EVENTS) {
+                acc ^= t.value().as_u64();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_toy_cpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toy_cpu");
+    group.sample_size(20);
+    group.bench_function("array_sum_10k", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(programs::array_sum(10_000));
+            let mut hook = TupleCollector::new();
+            machine.run(10_000_000, &mut hook).unwrap();
+            hook.loads().len()
+        })
+    });
+    group.bench_function("dispatch_loop_10k", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(programs::dispatch_loop(64, 10_000));
+            let mut hook = TupleCollector::new();
+            machine.run(100_000_000, &mut hook).unwrap();
+            hook.edges().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_value_streams,
+    bench_edge_streams,
+    bench_toy_cpu
+);
+criterion_main!(benches);

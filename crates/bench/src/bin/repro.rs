@@ -1,0 +1,114 @@
+//! `repro` — regenerate the paper's figures.
+//!
+//! ```text
+//! repro <figure>... [--events N] [--seed S] [--csv]
+//! repro all [--events N]
+//! repro list
+//! ```
+//!
+//! Figures: fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 area
+//! overhead. Output goes to stdout; use `--csv` for machine-readable tables.
+
+use std::process::ExitCode;
+
+use mhp_bench::figures::{run_figure, ALL_FIGURES};
+use mhp_bench::RunOptions;
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <figure>... [--events N] [--seed S] [--warmup W] [--csv]\n\
+         figures: {} overhead ablate adaptive apps samplers sweep stratified all\n\
+         defaults: --events 2000000 --seed 51966 --warmup 1",
+        ALL_FIGURES.join(" ")
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    let mut opts = RunOptions::default();
+    let mut figures: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--events" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.events = n,
+                _ => {
+                    eprintln!("--events needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => opts.seed = s,
+                _ => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--warmup" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(w)) => opts.warmup_intervals = w,
+                _ => {
+                    eprintln!("--warmup needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--csv" => opts.csv = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "list" => {
+                for id in ALL_FIGURES {
+                    println!("{id}");
+                }
+                println!("overhead");
+                println!("ablate");
+                println!("adaptive");
+                println!("apps");
+                println!("samplers");
+                println!("sweep");
+                println!("stratified");
+                return ExitCode::SUCCESS;
+            }
+            "all" => figures.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if ALL_FIGURES.contains(&other)
+                    || [
+                        "overhead",
+                        "ablate",
+                        "adaptive",
+                        "apps",
+                        "samplers",
+                        "sweep",
+                        "stratified",
+                    ]
+                    .contains(&other)
+                {
+                    figures.push(other.to_string());
+                } else {
+                    eprintln!("unknown figure {other:?}");
+                    print_usage();
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if figures.is_empty() {
+        eprintln!("no figure selected");
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    for id in figures {
+        let figure = run_figure(&id, &opts);
+        println!("{}", figure.render(opts.csv));
+    }
+    ExitCode::SUCCESS
+}

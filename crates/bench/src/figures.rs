@@ -1,0 +1,926 @@
+//! One runner per data-bearing figure of the paper.
+//!
+//! Each runner returns a [`Figure`]: a set of titled text tables matching the
+//! rows/series the paper plots. Figures 1, 2, 3 and 8 are architecture
+//! diagrams and metric definitions — they are reproduced by the
+//! implementation itself, not by a table.
+
+use mhp_analysis::report::{fmt_f64, TextTable};
+use mhp_analysis::{run_exact_stats, variation_at_percentiles, ErrorSeries};
+use mhp_core::{theory, AreaModel, EventProfiler, IntervalConfig, Tuple};
+use mhp_stratified::{StratifiedConfig, StratifiedSampler};
+use mhp_trace::Benchmark;
+
+use crate::harness::{best_multi_hash, design_space, ProfilerKind, RunOptions};
+
+/// A reproduced figure: an id (`fig4` … `fig14`), a caption, and one or more
+/// titled tables.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier accepted by the `repro` binary (e.g. `"fig12"`).
+    pub id: &'static str,
+    /// What the figure shows.
+    pub title: String,
+    /// Titled tables (the paper's left/right or top/bottom panels).
+    pub blocks: Vec<(String, TextTable)>,
+}
+
+impl Figure {
+    /// Renders the figure as text or CSV according to `csv`.
+    pub fn render(&self, csv: bool) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        for (title, table) in &self.blocks {
+            out.push_str(&format!("\n-- {title} --\n"));
+            if csv {
+                out.push_str(&table.to_csv());
+            } else {
+                out.push_str(&table.to_string());
+            }
+        }
+        out
+    }
+}
+
+fn value_events(bench: Benchmark, n: u64, seed: u64) -> impl Iterator<Item = Tuple> {
+    bench.value_stream(seed).take(n as usize)
+}
+
+fn edge_events(bench: Benchmark, n: u64, seed: u64) -> impl Iterator<Item = Tuple> {
+    bench.edge_stream(seed).take(n as usize)
+}
+
+/// The three interval lengths of Figures 4–6.
+const LENGTHS: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+/// Figure 4: average number of distinct tuples per interval (value
+/// profiling), for 10K / 100K / 1M interval lengths.
+pub fn fig4(opts: &RunOptions) -> Figure {
+    let mut table = TextTable::new(vec!["benchmark", "10K", "100K", "1M"]);
+    for bench in Benchmark::ALL {
+        let mut row = vec![bench.name().to_string()];
+        for len in LENGTHS {
+            let interval = IntervalConfig::new(len, 0.01).expect("valid interval");
+            let n = opts.events_for(interval);
+            let stats = run_exact_stats(interval, value_events(bench, n, opts.seed));
+            row.push(fmt_f64(stats.mean_distinct(), 0));
+        }
+        table.add_row(row);
+    }
+    Figure {
+        id: "fig4",
+        title: "distinct tuples per interval (value profiling)".into(),
+        blocks: vec![("mean distinct tuples".into(), table)],
+    }
+}
+
+/// Figure 5: average number of candidate tuples per interval, for 1 % (top)
+/// and 0.1 % (bottom) thresholds across the three interval lengths.
+pub fn fig5(opts: &RunOptions) -> Figure {
+    let mut blocks = Vec::new();
+    for &threshold in &[0.01, 0.001] {
+        let mut table = TextTable::new(vec!["benchmark", "10K", "100K", "1M"]);
+        for bench in Benchmark::ALL {
+            let mut row = vec![bench.name().to_string()];
+            for len in LENGTHS {
+                let interval = IntervalConfig::new(len, threshold).expect("valid interval");
+                let n = opts.events_for(interval);
+                let stats = run_exact_stats(interval, value_events(bench, n, opts.seed));
+                row.push(fmt_f64(stats.mean_candidates(), 1));
+            }
+            table.add_row(row);
+        }
+        blocks.push((format!("threshold {}%", threshold * 100.0), table));
+    }
+    Figure {
+        id: "fig5",
+        title: "candidate tuples per interval (value profiling)".into(),
+        blocks,
+    }
+}
+
+/// Figure 6: candidate variation between consecutive intervals, as the
+/// variation not exceeded at fixed percentiles of execution; 10K/1 % and
+/// 1M/0.1 % configurations.
+pub fn fig6(opts: &RunOptions) -> Figure {
+    let percentiles = [10.0, 25.0, 50.0, 75.0, 90.0];
+    let mut blocks = Vec::new();
+    for (interval, label) in [
+        (IntervalConfig::short(), "10K events, 1% threshold"),
+        (IntervalConfig::long(), "1M events, 0.1% threshold"),
+    ] {
+        let mut table = TextTable::new(vec![
+            "benchmark",
+            "p10 %var",
+            "p25 %var",
+            "p50 %var",
+            "p75 %var",
+            "p90 %var",
+        ]);
+        for bench in Benchmark::ALL {
+            // Variation needs many intervals; give the long config extra room.
+            let n = opts.events_for(interval).max(interval.interval_len() * 8);
+            let stats = run_exact_stats(interval, value_events(bench, n, opts.seed));
+            let vars = variation_at_percentiles(stats.variations(), &percentiles);
+            let mut row = vec![bench.name().to_string()];
+            row.extend(vars.into_iter().map(|v| fmt_f64(v, 1)));
+            table.add_row(row);
+        }
+        blocks.push((label.to_string(), table));
+    }
+    Figure {
+        id: "fig6",
+        title: "candidate variation between consecutive intervals".into(),
+        blocks,
+    }
+}
+
+fn breakdown_row(label: &str, series: &ErrorSeries) -> Vec<String> {
+    let b = series.mean_breakdown();
+    vec![
+        label.to_string(),
+        fmt_f64(b.false_positive * 100.0, 2),
+        fmt_f64(b.false_negative * 100.0, 2),
+        fmt_f64(b.neutral_positive * 100.0, 2),
+        fmt_f64(b.neutral_negative * 100.0, 2),
+        fmt_f64(b.total_percent(), 2),
+    ]
+}
+
+const BREAKDOWN_HEADERS: [&str; 6] = ["config", "FP %", "FN %", "NP %", "NN %", "total %"];
+
+/// Figure 7: single-hash error for the four `P × R` combinations; 10K/1 %
+/// (left) and 1M/0.1 % (right), 2K hash entries.
+pub fn fig7(opts: &RunOptions) -> Figure {
+    let configs = [
+        ProfilerKind::SingleHash {
+            retaining: false,
+            resetting: false,
+        },
+        ProfilerKind::SingleHash {
+            retaining: false,
+            resetting: true,
+        },
+        ProfilerKind::SingleHash {
+            retaining: true,
+            resetting: false,
+        },
+        ProfilerKind::SingleHash {
+            retaining: true,
+            resetting: true,
+        },
+    ];
+    let mut blocks = Vec::new();
+    for (interval, label) in [
+        (IntervalConfig::short(), "10K events, 1% threshold"),
+        (IntervalConfig::long(), "1M events, 0.1% threshold"),
+    ] {
+        let mut headers = vec!["benchmark".to_string()];
+        headers.extend(BREAKDOWN_HEADERS.iter().map(|s| s.to_string()));
+        let mut table = TextTable::new(headers);
+        for bench in Benchmark::ALL {
+            for kind in configs {
+                let n = opts.events_for(interval);
+                let series = kind.run_with_warmup(
+                    interval,
+                    opts.seed,
+                    value_events(bench, n, opts.seed),
+                    opts.warmup_intervals,
+                );
+                let mut row = vec![bench.name().to_string()];
+                row.extend(breakdown_row(&kind.label(), &series));
+                table.add_row(row);
+            }
+        }
+        blocks.push((label.to_string(), table));
+    }
+    Figure {
+        id: "fig7",
+        title: "single-hash error with retaining (P) / resetting (R)".into(),
+        blocks,
+    }
+}
+
+/// Figure 9: theoretical upper bound on the false-positive probability as a
+/// function of the number of hash tables, for several total-entry budgets at
+/// a 1 % threshold.
+pub fn fig9(_opts: &RunOptions) -> Figure {
+    let budgets = [500usize, 1_000, 2_000, 4_000, 8_000];
+    let mut headers = vec!["tables".to_string()];
+    headers.extend(budgets.iter().map(|b| format!("{b} entries")));
+    let mut table = TextTable::new(headers);
+    for n in 1..=16usize {
+        let mut row = vec![n.to_string()];
+        for &z in &budgets {
+            row.push(fmt_f64(
+                theory::false_positive_probability(z, n, 1.0) * 100.0,
+                3,
+            ));
+        }
+        table.add_row(row);
+    }
+    Figure {
+        id: "fig9",
+        title: "theoretical false-positive probability (%), 1% threshold".into(),
+        blocks: vec![("P(false positive) %".into(), table)],
+    }
+}
+
+fn design_space_figure(
+    id: &'static str,
+    opts: &RunOptions,
+    interval: IntervalConfig,
+    label: &str,
+) -> Figure {
+    let mut blocks = Vec::new();
+    for bench in [Benchmark::Gcc, Benchmark::Go] {
+        let mut headers = vec!["tables".to_string()];
+        headers.extend(BREAKDOWN_HEADERS.iter().map(|s| s.to_string()));
+        let mut table = TextTable::new(headers);
+        for tables in [1usize, 2, 4, 8] {
+            for kind in design_space(tables) {
+                let n = opts.events_for(interval);
+                let series = kind.run_with_warmup(
+                    interval,
+                    opts.seed,
+                    value_events(bench, n, opts.seed),
+                    opts.warmup_intervals,
+                );
+                let mut row = vec![tables.to_string()];
+                row.extend(breakdown_row(&kind.label(), &series));
+                table.add_row(row);
+            }
+        }
+        blocks.push((format!("{} ({label})", bench.name()), table));
+    }
+    Figure {
+        id,
+        title: format!("multi-hash design space, {label}, 2K total entries"),
+        blocks,
+    }
+}
+
+/// Figure 10: multi-hash `C × R` design space at 10K/1 %, gcc and go.
+pub fn fig10(opts: &RunOptions) -> Figure {
+    design_space_figure(
+        "fig10",
+        opts,
+        IntervalConfig::short(),
+        "10K events, 1% threshold",
+    )
+}
+
+/// Figure 11: multi-hash `C × R` design space at 1M/0.1 %, gcc and go.
+pub fn fig11(opts: &RunOptions) -> Figure {
+    design_space_figure(
+        "fig11",
+        opts,
+        IntervalConfig::long(),
+        "1M events, 0.1% threshold",
+    )
+}
+
+/// Figure 12: the best multi-hash configuration (`C1 R0`) with 1–16 tables
+/// against the best single hash, all benchmarks, both interval configs
+/// (value profiling).
+pub fn fig12(opts: &RunOptions) -> Figure {
+    let kinds: Vec<ProfilerKind> = std::iter::once(ProfilerKind::BestSingleHash)
+        .chain(
+            [1usize, 2, 4, 8, 16]
+                .into_iter()
+                .map(|tables| ProfilerKind::MultiHash {
+                    tables,
+                    conservative: true,
+                    resetting: false,
+                }),
+        )
+        .collect();
+    let mut blocks = Vec::new();
+    for (interval, label) in [
+        (IntervalConfig::short(), "10K events, 1% threshold"),
+        (IntervalConfig::long(), "1M events, 0.1% threshold"),
+    ] {
+        let mut headers = vec!["benchmark".to_string()];
+        headers.extend(BREAKDOWN_HEADERS.iter().map(|s| s.to_string()));
+        let mut table = TextTable::new(headers);
+        for bench in Benchmark::ALL {
+            for kind in &kinds {
+                let n = opts.events_for(interval);
+                let series = kind.run_with_warmup(
+                    interval,
+                    opts.seed,
+                    value_events(bench, n, opts.seed),
+                    opts.warmup_intervals,
+                );
+                let mut row = vec![bench.name().to_string()];
+                row.extend(breakdown_row(&kind.label(), &series));
+                table.add_row(row);
+            }
+        }
+        blocks.push((label.to_string(), table));
+    }
+    Figure {
+        id: "fig12",
+        title: "best multi-hash (C1 R0) vs best single hash, value profiling".into(),
+        blocks,
+    }
+}
+
+/// Figure 13: per-interval error across execution at 1M/0.1 %: best single
+/// hash with resetting (left) vs the 4-table `C1 R0` multi-hash (right).
+pub fn fig13(opts: &RunOptions) -> Figure {
+    let interval = IntervalConfig::long();
+    let mut blocks = Vec::new();
+    for (kind, label) in [
+        (ProfilerKind::BestSingleHash, "best single hash (P1 R1)"),
+        (best_multi_hash(), "multi-hash 4 tables (C1 R0)"),
+    ] {
+        let mut headers = vec!["interval".to_string()];
+        headers.extend(Benchmark::ALL.iter().map(|b| b.name().to_string()));
+        let mut table = TextTable::new(headers);
+        // Gather per-benchmark series.
+        let n = opts.events_for(interval).max(interval.interval_len() * 8);
+        let all: Vec<Vec<f64>> = Benchmark::ALL
+            .iter()
+            .map(|&bench| {
+                kind.run(interval, opts.seed, value_events(bench, n, opts.seed))
+                    .totals_percent()
+            })
+            .collect();
+        let intervals = all.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..intervals {
+            let mut row = vec![i.to_string()];
+            for series in &all {
+                row.push(series.get(i).map(|&e| fmt_f64(e, 2)).unwrap_or_default());
+            }
+            table.add_row(row);
+        }
+        blocks.push((label.to_string(), table));
+    }
+    Figure {
+        id: "fig13",
+        title: "per-interval error (%), 1M events, 0.1% threshold".into(),
+        blocks,
+    }
+}
+
+/// Figure 14: the best multi-hash profiler for **edge** profiling, 1–8
+/// tables vs best single hash, both interval configs.
+pub fn fig14(opts: &RunOptions) -> Figure {
+    let kinds: Vec<ProfilerKind> = std::iter::once(ProfilerKind::BestSingleHash)
+        .chain(
+            [1usize, 2, 4, 8]
+                .into_iter()
+                .map(|tables| ProfilerKind::MultiHash {
+                    tables,
+                    conservative: true,
+                    resetting: false,
+                }),
+        )
+        .collect();
+    let mut blocks = Vec::new();
+    for (interval, label) in [
+        (IntervalConfig::short(), "10K events, 1% threshold"),
+        (IntervalConfig::long(), "1M events, 0.1% threshold"),
+    ] {
+        let mut headers = vec!["benchmark".to_string()];
+        headers.extend(BREAKDOWN_HEADERS.iter().map(|s| s.to_string()));
+        let mut table = TextTable::new(headers);
+        for bench in Benchmark::ALL {
+            for kind in &kinds {
+                let n = opts.events_for(interval);
+                let series = kind.run_with_warmup(
+                    interval,
+                    opts.seed,
+                    edge_events(bench, n, opts.seed),
+                    opts.warmup_intervals,
+                );
+                let mut row = vec![bench.name().to_string()];
+                row.extend(breakdown_row(&kind.label(), &series));
+                table.add_row(row);
+            }
+        }
+        blocks.push((label.to_string(), table));
+    }
+    Figure {
+        id: "fig14",
+        title: "best multi-hash vs best single hash, edge profiling".into(),
+        blocks,
+    }
+}
+
+/// The §7 hardware-area check: 7 KB (1 % threshold) to 16 KB (0.1 %).
+pub fn area(_opts: &RunOptions) -> Figure {
+    let mut table = TextTable::new(vec![
+        "configuration",
+        "hash bytes",
+        "accumulator bytes",
+        "total bytes",
+    ]);
+    for (interval, label) in [
+        (IntervalConfig::short(), "2K entries, 1% threshold"),
+        (IntervalConfig::long(), "2K entries, 0.1% threshold"),
+    ] {
+        let model = AreaModel::new(2048, interval);
+        table.add_row(vec![
+            label.to_string(),
+            model.hash_table_bytes().to_string(),
+            model.accumulator_bytes().to_string(),
+            model.total_bytes().to_string(),
+        ]);
+    }
+    Figure {
+        id: "area",
+        title: "hardware storage budget (§7)".into(),
+        blocks: vec![("area model".into(), table)],
+    }
+}
+
+/// Extension: software-overhead accounting for the stratified-sampler
+/// baseline — the interrupt cost the pure-hardware profiler eliminates
+/// (qualitatively reproducing §4.2's \"5% overhead\" comparison).
+pub fn overhead(opts: &RunOptions) -> Figure {
+    let interval = IntervalConfig::short();
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "reports",
+        "interrupts",
+        "aggregated",
+        "interrupts/10K events",
+    ]);
+    for bench in Benchmark::ALL {
+        let config = StratifiedConfig::new(2048)
+            .expect("2048 is valid")
+            .with_sampling_threshold(16)
+            .with_tags(10, 64)
+            .with_aggregation(Default::default());
+        let mut sampler =
+            StratifiedSampler::new(interval, config, opts.seed).expect("valid sampler");
+        let n = opts.events_for(interval);
+        for t in value_events(bench, n, opts.seed) {
+            sampler.observe(t);
+        }
+        let stats = sampler.overhead();
+        table.add_row(vec![
+            bench.name().to_string(),
+            stats.reports.to_string(),
+            stats.interrupts.to_string(),
+            stats.aggregated.to_string(),
+            fmt_f64(stats.interrupts as f64 / (n as f64 / 10_000.0), 2),
+        ]);
+    }
+    Figure {
+        id: "overhead",
+        title: "stratified-sampler software overhead (multi-hash needs none)".into(),
+        blocks: vec![("overhead".into(), table)],
+    }
+}
+
+/// Extension: accuracy ablation of the paper's design choices on the best
+/// multi-hash configuration — shielding, retaining, conservative update and
+/// resetting each toggled individually (DESIGN.md §8).
+pub fn ablate(opts: &RunOptions) -> Figure {
+    use mhp_analysis::run_comparison;
+    use mhp_core::{MultiHashConfig, MultiHashProfiler};
+
+    // The severe configuration — the short config barely stresses the
+    // filters, so the design choices only separate here.
+    let interval = IntervalConfig::long();
+    let variants: [(&str, MultiHashConfig); 5] = [
+        ("best (C1 R0, shield, retain)", MultiHashConfig::best()),
+        (
+            "no shielding",
+            MultiHashConfig::best().with_shielding(false),
+        ),
+        (
+            "no retaining",
+            MultiHashConfig::best().with_retaining(false),
+        ),
+        (
+            "plain update (C0)",
+            MultiHashConfig::best().with_conservative_update(false),
+        ),
+        (
+            "immediate reset (R1)",
+            MultiHashConfig::best().with_resetting(true),
+        ),
+    ];
+    let mut blocks = Vec::new();
+    for bench in [Benchmark::Gcc, Benchmark::Go] {
+        let mut headers = vec!["variant".to_string()];
+        headers.extend(BREAKDOWN_HEADERS.iter().skip(1).map(|s| s.to_string()));
+        let mut table = TextTable::new(headers);
+        for (label, config) in variants {
+            let n = opts.events_for(interval);
+            let mut profiler =
+                MultiHashProfiler::new(interval, config, opts.seed).expect("valid config");
+            let series =
+                run_comparison(&mut profiler, value_events(bench, n, opts.seed)).into_series();
+            let steady: mhp_analysis::ErrorSeries = series
+                .intervals()
+                .iter()
+                .skip(opts.warmup_intervals)
+                .cloned()
+                .collect();
+            let mut row = breakdown_row(label, &steady);
+            row[0] = label.to_string();
+            table.add_row(row);
+        }
+        blocks.push((
+            format!("{} (1M events, 0.1% threshold)", bench.name()),
+            table,
+        ));
+    }
+    Figure {
+        id: "ablate",
+        title: "accuracy ablation of the multi-hash design choices".into(),
+        blocks,
+    }
+}
+
+/// Extension: adaptive interval sizing (§5.6.1's suggestion) — how the
+/// interval length settles per benchmark.
+pub fn adaptive(opts: &RunOptions) -> Figure {
+    use mhp_analysis::adaptive::{AdaptivePolicy, AdaptiveProfiler};
+    use mhp_core::MultiHashConfig;
+
+    let policy = AdaptivePolicy {
+        min_len: 10_000,
+        max_len: 1_000_000,
+        grow_below: 10.0,
+        shrink_above: 50.0,
+    };
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "intervals",
+        "final len",
+        "min len seen",
+        "max len seen",
+        "mean %var",
+    ]);
+    for bench in Benchmark::ALL {
+        let mut profiler = AdaptiveProfiler::new(policy, 0.01, MultiHashConfig::best(), opts.seed)
+            .expect("valid adaptive profiler");
+        let n = opts.events_for(IntervalConfig::short()).max(2_000_000);
+        for t in value_events(bench, n, opts.seed) {
+            profiler.observe(t);
+        }
+        let lens: Vec<u64> = profiler.history().iter().map(|s| s.interval_len).collect();
+        let vars: Vec<f64> = profiler
+            .history()
+            .iter()
+            .filter_map(|s| s.variation)
+            .collect();
+        let mean_var = if vars.is_empty() {
+            0.0
+        } else {
+            vars.iter().sum::<f64>() / vars.len() as f64
+        };
+        table.add_row(vec![
+            bench.name().to_string(),
+            profiler.intervals_completed().to_string(),
+            profiler.current_interval_len().to_string(),
+            lens.iter().min().copied().unwrap_or(0).to_string(),
+            lens.iter().max().copied().unwrap_or(0).to_string(),
+            fmt_f64(mean_var, 1),
+        ]);
+    }
+    Figure {
+        id: "adaptive",
+        title: "adaptive interval sizing (extension of §5.6.1)".into(),
+        blocks: vec![("per-benchmark adaptation".into(), table)],
+    }
+}
+
+/// Extension: the hash-budget sweep behind §6.3's sizing claim — *"a
+/// hash-table of size 2K performs almost as well as larger hash-tables,
+/// while still outperforming hash-tables of size 1K or smaller"* (results
+/// the paper omits for space). 4-table `C1 R0` at 1M/0.1%.
+pub fn sweep(opts: &RunOptions) -> Figure {
+    use mhp_analysis::run_comparison;
+    use mhp_core::{MultiHashConfig, MultiHashProfiler};
+
+    let interval = IntervalConfig::long();
+    let budgets = [512usize, 1_024, 2_048, 4_096, 8_192];
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(budgets.iter().map(|b| format!("{b} entries")));
+    let mut table = TextTable::new(headers);
+    for bench in [
+        Benchmark::Gcc,
+        Benchmark::Go,
+        Benchmark::Deltablue,
+        Benchmark::Sis,
+    ] {
+        let mut row = vec![bench.name().to_string()];
+        for &budget in &budgets {
+            let config = MultiHashConfig::new(budget, 4).expect("all budgets divide by 4");
+            let mut profiler = MultiHashProfiler::new(interval, config, opts.seed).expect("valid");
+            let n = opts.events_for(interval);
+            let series =
+                run_comparison(&mut profiler, value_events(bench, n, opts.seed)).into_series();
+            let steady: mhp_analysis::ErrorSeries = series
+                .intervals()
+                .iter()
+                .skip(opts.warmup_intervals)
+                .cloned()
+                .collect();
+            row.push(fmt_f64(steady.mean_total_percent(), 2));
+        }
+        table.add_row(row);
+    }
+    Figure {
+        id: "sweep",
+        title: "total-entry budget sweep (§6.3's sizing claim), MH4 C1 R0, 1M/0.1%".into(),
+        blocks: vec![("total error %".into(), table)],
+    }
+}
+
+/// Extension: the full sampler ladder (§4's classification) under one
+/// error metric — conventional periodic/random sampling, the stratified
+/// sampler, the best single hash and the best multi-hash.
+pub fn samplers(opts: &RunOptions) -> Figure {
+    let ladder = [
+        ProfilerKind::Periodic,
+        ProfilerKind::Random,
+        ProfilerKind::Stratified,
+        ProfilerKind::BestSingleHash,
+        best_multi_hash(),
+    ];
+    let interval = IntervalConfig::short();
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(BREAKDOWN_HEADERS.iter().map(|s| s.to_string()));
+    let mut table = TextTable::new(headers);
+    for bench in Benchmark::ALL {
+        for kind in ladder {
+            let n = opts.events_for(interval);
+            let series = kind.run_with_warmup(
+                interval,
+                opts.seed,
+                value_events(bench, n, opts.seed),
+                opts.warmup_intervals,
+            );
+            let mut row = vec![bench.name().to_string()];
+            row.extend(breakdown_row(&kind.label(), &series));
+            table.add_row(row);
+        }
+    }
+    Figure {
+        id: "samplers",
+        title: "the sampler ladder under Equation 1 (10K events, 1% threshold)".into(),
+        blocks: vec![("value profiling".into(), table)],
+    }
+}
+
+/// Extension: the §2 optimization clients driven by hardware profiles —
+/// effectiveness of the 7 KB multi-hash profile vs a perfect-profile
+/// oracle, using interval *k*'s profile on interval *k+1*'s events.
+pub fn apps(opts: &RunOptions) -> Figure {
+    use mhp_apps::{DelinquentLoadSet, FrequentValueTable, MultipathSelector, TraceFormer};
+    use mhp_cache::{access::AccessPattern, Cache, CacheConfig, MissEvents};
+    use mhp_core::{IntervalProfile, MultiHashConfig, MultiHashProfiler, PerfectProfiler};
+
+    fn one_interval(
+        interval: IntervalConfig,
+        seed: u64,
+        events: &mut impl Iterator<Item = Tuple>,
+    ) -> (IntervalProfile, IntervalProfile) {
+        let mut hw =
+            MultiHashProfiler::new(interval, MultiHashConfig::best(), seed).expect("valid");
+        let mut oracle = PerfectProfiler::new(interval);
+        loop {
+            let t = events.next().expect("infinite stream");
+            match (hw.observe(t), oracle.observe(t)) {
+                (Some(h), Some(p)) => return (h, p),
+                (None, None) => {}
+                _ => unreachable!("lockstep"),
+            }
+        }
+    }
+
+    let interval = IntervalConfig::new(20_000, 0.01).expect("valid");
+    let fork_interval = IntervalConfig::new(20_000, 0.0025).expect("valid");
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "fvc hw %",
+        "fvc oracle %",
+        "trace hw %",
+        "trace oracle %",
+        "forks hw %",
+        "forks oracle %",
+    ]);
+    for bench in Benchmark::ALL {
+        // Frequent-value cache on the value stream.
+        let mut values = bench.value_stream(opts.seed);
+        let (hw, oracle) = one_interval(interval, opts.seed, &mut values);
+        let next: Vec<Tuple> = (&mut values).take(20_000).collect();
+        let fvc_hw = FrequentValueTable::from_profile(&hw, 8).evaluate(next.iter().copied());
+        let fvc_or = FrequentValueTable::from_profile(&oracle, 8).evaluate(next.iter().copied());
+
+        // Trace formation on the edge stream.
+        let mut edges = bench.edge_stream(opts.seed);
+        let (hw, oracle) = one_interval(interval, opts.seed, &mut edges);
+        let next: Vec<Tuple> = (&mut edges).take(20_000).collect();
+        let tr_hw = TraceFormer::from_profile(&hw).form_traces(16, 8);
+        let tr_or = TraceFormer::from_profile(&oracle).form_traces(16, 8);
+        let trc_hw = TraceFormer::coverage(&tr_hw, next.iter().copied());
+        let trc_or = TraceFormer::coverage(&tr_or, next.iter().copied());
+
+        // Multipath fork selection on a finer-threshold edge profile.
+        let mut edges = bench.edge_stream(opts.seed ^ 0xF0);
+        let (hw, oracle) = one_interval(fork_interval, opts.seed, &mut edges);
+        let next: Vec<Tuple> = (&mut edges).take(20_000).collect();
+        let sel_hw = MultipathSelector::from_profile(&hw);
+        let sel_or = MultipathSelector::from_profile(&oracle);
+        let mp_hw = sel_hw.misprediction_coverage(&sel_hw.select(16), next.iter().copied());
+        let mp_or = sel_or.misprediction_coverage(&sel_or.select(16), next.iter().copied());
+
+        table.add_row(vec![
+            bench.name().to_string(),
+            fmt_f64(fvc_hw.ratio() * 100.0, 1),
+            fmt_f64(fvc_or.ratio() * 100.0, 1),
+            fmt_f64(trc_hw * 100.0, 1),
+            fmt_f64(trc_or * 100.0, 1),
+            fmt_f64(mp_hw * 100.0, 1),
+            fmt_f64(mp_or * 100.0, 1),
+        ]);
+    }
+
+    // Delinquent-load targeting via the cache substrate.
+    let mut miss_table = TextTable::new(vec![
+        "workload",
+        "miss ratio %",
+        "targeted loads",
+        "coverage hw %",
+        "coverage oracle %",
+        "prefetch miss cut %",
+    ]);
+    let cache = Cache::new(CacheConfig::new(32 * 1024, 64, 4).expect("valid"));
+    let mut misses = MissEvents::new(cache, AccessPattern::demo_mix(opts.seed).events());
+    let miss_interval = IntervalConfig::new(10_000, 0.01).expect("valid");
+    let (hw, oracle) = one_interval(miss_interval, opts.seed, &mut misses);
+    let set_hw = DelinquentLoadSet::from_profile(&hw, 2);
+    let set_or = DelinquentLoadSet::from_profile(&oracle, 2);
+    let next: Vec<Tuple> = (&mut misses).take(10_000).collect();
+    // Close the loop: drive a next-line prefetcher with the profiled set.
+    let prefetcher = mhp_apps::NextLinePrefetcher::new(set_hw.clone(), 4);
+    let outcome = prefetcher.evaluate(
+        || Cache::new(CacheConfig::new(32 * 1024, 64, 4).expect("valid")),
+        || AccessPattern::demo_mix(opts.seed).events().take(200_000),
+    );
+    miss_table.add_row(vec![
+        "demo mix (32 KB, 4-way)".to_string(),
+        fmt_f64(misses.stats().miss_ratio() * 100.0, 1),
+        set_hw.len().to_string(),
+        fmt_f64(set_hw.coverage(next.iter().copied()).ratio() * 100.0, 1),
+        fmt_f64(set_or.coverage(next.iter().copied()).ratio() * 100.0, 1),
+        fmt_f64(outcome.miss_reduction() * 100.0, 1),
+    ]);
+
+    Figure {
+        id: "apps",
+        title: "profile-guided optimization clients (§2), hardware vs oracle".into(),
+        blocks: vec![
+            ("value / edge clients".into(), table),
+            ("delinquent-load targeting".into(), miss_table),
+        ],
+    }
+}
+
+/// Extension: the stratified sampler's own design space — sampling
+/// threshold vs accuracy vs software overhead (the §4.2 baseline's
+/// accuracy/overhead tradeoff the paper's "5% overhead" remark points at).
+pub fn stratified(opts: &RunOptions) -> Figure {
+    use mhp_analysis::run_comparison;
+    use mhp_stratified::{AggregationConfig, StratifiedConfig, StratifiedSampler};
+
+    let interval = IntervalConfig::short();
+    let mut table = TextTable::new(vec![
+        "benchmark", "threshold", "variant", "total err %", "reports", "interrupts",
+    ]);
+    for bench in [Benchmark::Gcc, Benchmark::M88ksim] {
+        for sampling_threshold in [4u32, 16, 64] {
+            for (variant, tagged, aggregated) in [
+                ("plain", false, false),
+                ("tagged", true, false),
+                ("tagged+agg", true, true),
+            ] {
+                let mut config = StratifiedConfig::new(2048)
+                    .expect("2048 is valid")
+                    .with_sampling_threshold(sampling_threshold);
+                if tagged {
+                    config = config.with_tags(10, 64);
+                }
+                if aggregated {
+                    config = config.with_aggregation(AggregationConfig::default());
+                }
+                let mut sampler =
+                    StratifiedSampler::new(interval, config, opts.seed).expect("valid");
+                let n = opts.events_for(interval);
+                let series =
+                    run_comparison(&mut sampler, value_events(bench, n, opts.seed)).into_series();
+                let steady: mhp_analysis::ErrorSeries = series
+                    .intervals()
+                    .iter()
+                    .skip(opts.warmup_intervals)
+                    .cloned()
+                    .collect();
+                let overhead = sampler.overhead();
+                table.add_row(vec![
+                    bench.name().to_string(),
+                    sampling_threshold.to_string(),
+                    variant.to_string(),
+                    fmt_f64(steady.mean_total_percent(), 2),
+                    overhead.reports.to_string(),
+                    overhead.interrupts.to_string(),
+                ]);
+            }
+        }
+    }
+    Figure {
+        id: "stratified",
+        title: "stratified-sampler design space: accuracy vs software overhead".into(),
+        blocks: vec![("10K events, 1% threshold".into(), table)],
+    }
+}
+
+/// All figure ids in paper order.
+pub const ALL_FIGURES: [&str; 11] = [
+    "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "area",
+];
+
+/// Runs one figure by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id; the binary validates ids before calling.
+pub fn run_figure(id: &str, opts: &RunOptions) -> Figure {
+    match id {
+        "fig4" => fig4(opts),
+        "fig5" => fig5(opts),
+        "fig6" => fig6(opts),
+        "fig7" => fig7(opts),
+        "fig9" => fig9(opts),
+        "fig10" => fig10(opts),
+        "fig11" => fig11(opts),
+        "fig12" => fig12(opts),
+        "fig13" => fig13(opts),
+        "fig14" => fig14(opts),
+        "area" => area(opts),
+        "overhead" => overhead(opts),
+        "ablate" => ablate(opts),
+        "adaptive" => adaptive(opts),
+        "apps" => apps(opts),
+        "samplers" => samplers(opts),
+        "sweep" => sweep(opts),
+        "stratified" => stratified(opts),
+        other => panic!("unknown figure id {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> RunOptions {
+        // Deliberately tiny so tests stay fast; long-interval runs still use
+        // 4M events via events_for, so only exercise short-interval figures
+        // here.
+        RunOptions {
+            events: 50_000,
+            seed: 3,
+            csv: false,
+            warmup_intervals: 1,
+        }
+    }
+
+    #[test]
+    fn fig9_is_cheap_and_correctly_shaped() {
+        let fig = fig9(&tiny_opts());
+        assert_eq!(fig.blocks.len(), 1);
+        assert_eq!(fig.blocks[0].1.len(), 16);
+        let rendered = fig.render(false);
+        assert!(rendered.contains("8000 entries"));
+    }
+
+    #[test]
+    fn area_matches_the_paper_budget() {
+        let fig = area(&tiny_opts());
+        let csv = fig.blocks[0].1.to_csv();
+        assert!(csv.contains("7144"));
+        assert!(csv.contains("16144"));
+    }
+
+    #[test]
+    fn render_includes_id_and_blocks() {
+        let fig = fig9(&tiny_opts());
+        let text = fig.render(false);
+        assert!(text.starts_with("== fig9"));
+        let csv = fig.render(true);
+        assert!(csv.contains("tables,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure id")]
+    fn unknown_figure_panics() {
+        run_figure("fig99", &tiny_opts());
+    }
+}

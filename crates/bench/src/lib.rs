@@ -1,0 +1,20 @@
+//! # mhp-bench — experiment harness for the HPCA 2003 reproduction
+//!
+//! One runner per data-bearing figure of *"Catching Accurate Profiles in
+//! Hardware"*. The `repro` binary is the command-line front end:
+//!
+//! ```text
+//! repro fig12 --events 4000000 --seed 7
+//! repro all
+//! ```
+//!
+//! Every runner is also a library function (see [`figures`]) so integration
+//! tests can execute scaled-down versions of each experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{ProfilerKind, RunOptions};

@@ -1,0 +1,120 @@
+//! Smoke tests for the figure harness at reduced scale.
+
+use mhp_bench::figures::{area, fig9, run_figure};
+use mhp_bench::harness::{best_multi_hash, ProfilerKind};
+use mhp_bench::RunOptions;
+use mhp_core::IntervalConfig;
+use mhp_trace::Benchmark;
+
+fn tiny() -> RunOptions {
+    RunOptions {
+        events: 30_000,
+        seed: 1,
+        csv: false,
+        warmup_intervals: 1,
+    }
+}
+
+#[test]
+fn fig9_and_area_run_instantly() {
+    let f9 = fig9(&tiny());
+    assert!(f9.render(false).contains("tables"));
+    let fa = area(&tiny());
+    assert!(fa.render(true).contains("7144"));
+}
+
+#[test]
+fn fig9_theory_has_the_published_sweet_spots() {
+    let fig = fig9(&tiny());
+    let csv = fig.blocks[0].1.to_csv();
+    // Row 4 (4 tables) should exist and carry five probability columns.
+    let row4: Vec<&str> = csv
+        .lines()
+        .find(|l| l.starts_with("4,"))
+        .expect("4-table row")
+        .split(',')
+        .collect();
+    assert_eq!(row4.len(), 6);
+}
+
+#[test]
+fn short_interval_figures_run_scaled_down() {
+    // Exercise the full fig10 code path (two benchmarks, 16 runs) on a small
+    // stream; 30_000 events at 10K intervals = 3 intervals per run.
+    let fig = run_figure("fig10", &tiny());
+    assert_eq!(fig.blocks.len(), 2);
+    assert_eq!(fig.blocks[0].1.len(), 16, "4 table counts x 4 configs");
+    let text = fig.render(false);
+    assert!(text.contains("C1, R0"));
+}
+
+#[test]
+fn best_multi_hash_outperforms_plain_on_a_real_figure_row() {
+    let interval = IntervalConfig::short();
+    let events = || Benchmark::Gcc.value_stream(2).take(100_000);
+    let best = best_multi_hash()
+        .run_with_warmup(interval, 2, events(), 1)
+        .mean_total_percent();
+    let plain = ProfilerKind::MultiHash {
+        tables: 1,
+        conservative: false,
+        resetting: false,
+    }
+    .run_with_warmup(interval, 2, events(), 1)
+    .mean_total_percent();
+    assert!(
+        best <= plain,
+        "best multi-hash {best:.3}% should not lose to plain single-table {plain:.3}%"
+    );
+}
+
+#[test]
+fn samplers_figure_orders_the_ladder() {
+    // At a tiny scale the full ladder should still order: conventional
+    // sampling worse than the hash-based profilers on at least one noisy
+    // benchmark.
+    let fig = run_figure("samplers", &tiny());
+    let table = &fig.blocks[0].1;
+    assert_eq!(table.len(), 8 * 5, "8 benchmarks x 5 profilers");
+    let csv = table.to_csv();
+    assert!(csv.contains("Periodic"));
+    assert!(csv.contains("MH4 C1, R0"));
+}
+
+#[test]
+fn apps_figure_produces_all_rows() {
+    let fig = run_figure("apps", &tiny());
+    assert_eq!(fig.blocks.len(), 2);
+    assert_eq!(fig.blocks[0].1.len(), 8);
+    assert_eq!(fig.blocks[1].1.len(), 1);
+    let csv = fig.blocks[1].1.to_csv();
+    assert!(csv.contains("demo mix"));
+}
+
+#[test]
+fn adaptive_figure_covers_every_benchmark() {
+    let fig = run_figure("adaptive", &tiny());
+    let csv = fig.blocks[0].1.to_csv();
+    for bench in Benchmark::ALL {
+        assert!(csv.contains(bench.name()));
+    }
+}
+
+#[test]
+fn stratified_figure_shows_the_overhead_tradeoff() {
+    let fig = run_figure("stratified", &tiny());
+    let table = &fig.blocks[0].1;
+    assert_eq!(table.len(), 2 * 3 * 3, "2 benchmarks x 3 thresholds x 3 variants");
+    let csv = table.to_csv();
+    assert!(csv.contains("tagged+agg"));
+}
+
+#[test]
+fn overhead_figure_reports_interrupts() {
+    let fig = run_figure("overhead", &tiny());
+    let csv = fig.blocks[0].1.to_csv();
+    // Every benchmark row must be present.
+    for bench in Benchmark::ALL {
+        assert!(csv.contains(bench.name()), "{} missing", bench.name());
+    }
+}

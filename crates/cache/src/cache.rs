@@ -1,0 +1,376 @@
+//! The set-associative LRU cache model.
+
+use std::fmt;
+
+use mhp_core::ConfigError;
+
+/// Geometry of a cache: total size, block size and associativity, all
+/// powers of two.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_cache::CacheConfig;
+/// let config = CacheConfig::new(32 * 1024, 64, 4)?; // 32 KB, 64 B blocks, 4-way
+/// assert_eq!(config.sets(), 128);
+/// # Ok::<(), mhp_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    size_bytes: usize,
+    block_bytes: usize,
+    associativity: usize,
+}
+
+impl CacheConfig {
+    /// Creates a geometry. All three parameters must be powers of two, the
+    /// block must fit the cache, and `size = sets * ways * block` must have
+    /// at least one set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EntriesNotPowerOfTwo`] on a non-power-of-two
+    /// or inconsistent geometry.
+    pub fn new(
+        size_bytes: usize,
+        block_bytes: usize,
+        associativity: usize,
+    ) -> Result<Self, ConfigError> {
+        for v in [size_bytes, block_bytes, associativity] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(ConfigError::EntriesNotPowerOfTwo(v));
+            }
+        }
+        if block_bytes * associativity > size_bytes {
+            return Err(ConfigError::EntriesNotPowerOfTwo(size_bytes));
+        }
+        Ok(CacheConfig {
+            size_bytes,
+            block_bytes,
+            associativity,
+        })
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Block (line) size in bytes.
+    #[inline]
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Ways per set.
+    #[inline]
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.block_bytes * self.associativity)
+    }
+
+    /// The block address (address divided by block size) of `addr`.
+    #[inline]
+    pub fn block_of(&self, addr: u64) -> u64 {
+        addr / self.block_bytes as u64
+    }
+}
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was resident.
+    Hit,
+    /// The block was fetched; `evicted` names the displaced block, if the
+    /// set was full.
+    Miss {
+        /// Block address displaced by the fill, if any.
+        evicted: Option<u64>,
+    },
+}
+
+impl AccessOutcome {
+    /// Returns `true` for a miss.
+    #[inline]
+    pub fn is_miss(&self) -> bool {
+        matches!(self, AccessOutcome::Miss { .. })
+    }
+}
+
+/// Running hit/miss statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]` (0 for no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%)",
+            self.accesses,
+            self.misses,
+            self.miss_ratio() * 100.0
+        )
+    }
+}
+
+/// One set: resident block addresses in LRU order (front = most recent).
+#[derive(Debug, Clone, Default)]
+struct Set {
+    blocks: Vec<u64>,
+}
+
+/// A set-associative, LRU-replacement data cache.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_cache::{Cache, CacheConfig};
+/// let mut cache = Cache::new(CacheConfig::new(1024, 64, 2).unwrap());
+/// assert!(cache.access(0x1000).is_miss());
+/// assert!(!cache.access(0x1004).is_miss()); // same 64-byte block
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        Cache {
+            sets: vec![Set::default(); config.sets()],
+            config,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[inline]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Running statistics.
+    #[inline]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses byte address `addr`, updating LRU state and statistics.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        let block = self.config.block_of(addr);
+        let set_idx = (block % self.config.sets() as u64) as usize;
+        let ways = self.config.associativity();
+        let set = &mut self.sets[set_idx];
+        self.stats.accesses += 1;
+        if let Some(pos) = set.blocks.iter().position(|&b| b == block) {
+            // Hit: move to MRU position.
+            set.blocks.remove(pos);
+            set.blocks.insert(0, block);
+            return AccessOutcome::Hit;
+        }
+        self.stats.misses += 1;
+        let evicted = if set.blocks.len() == ways {
+            set.blocks.pop()
+        } else {
+            None
+        };
+        set.blocks.insert(0, block);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Installs the block containing `addr` without counting an access — a
+    /// prefetch fill. The block becomes MRU in its set; if it is already
+    /// resident nothing changes. Returns `true` if a fill actually happened.
+    pub fn fill(&mut self, addr: u64) -> bool {
+        let block = self.config.block_of(addr);
+        let set_idx = (block % self.config.sets() as u64) as usize;
+        let ways = self.config.associativity();
+        let set = &mut self.sets[set_idx];
+        if set.blocks.contains(&block) {
+            return false;
+        }
+        if set.blocks.len() == ways {
+            set.blocks.pop();
+        }
+        set.blocks.insert(0, block);
+        true
+    }
+
+    /// Returns `true` if the block containing `addr` is resident (without
+    /// touching LRU state or statistics).
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = self.config.block_of(addr);
+        let set_idx = (block % self.config.sets() as u64) as usize;
+        self.sets[set_idx].blocks.contains(&block)
+    }
+
+    /// Empties the cache and zeroes statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.blocks.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        Cache::new(CacheConfig::new(512, 64, 2).unwrap())
+    }
+
+    #[test]
+    fn geometry_is_validated() {
+        assert!(CacheConfig::new(0, 64, 2).is_err());
+        assert!(CacheConfig::new(1000, 64, 2).is_err());
+        assert!(CacheConfig::new(512, 48, 2).is_err());
+        assert!(
+            CacheConfig::new(64, 64, 2).is_err(),
+            "2 ways of 64B exceed 64B"
+        );
+        let c = CacheConfig::new(32 * 1024, 64, 4).unwrap();
+        assert_eq!(c.sets(), 128);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert!(c.access(0x100).is_miss());
+        assert_eq!(c.access(0x100), AccessOutcome::Hit);
+        assert_eq!(c.access(0x13F), AccessOutcome::Hit, "same block");
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recent_way() {
+        let mut c = tiny();
+        // Three blocks mapping to set 0 (block % 4 == 0): blocks 0, 4, 8.
+        let addr = |block: u64| block * 64;
+        c.access(addr(0));
+        c.access(addr(4));
+        c.access(addr(0)); // 0 becomes MRU; LRU is 4
+        let outcome = c.access(addr(8));
+        assert_eq!(outcome, AccessOutcome::Miss { evicted: Some(4) });
+        assert!(c.probe(addr(0)));
+        assert!(!c.probe(addr(4)));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0); // set 0
+        c.access(64); // set 1
+        c.access(128); // set 2
+        assert_eq!(c.stats().misses, 3);
+        assert!(c.probe(0));
+        assert!(c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut c = Cache::new(CacheConfig::new(4096, 64, 4).unwrap());
+        let blocks = 4096 / 64;
+        // Two full passes over a working set that exactly fits.
+        for pass in 0..2 {
+            for b in 0..blocks as u64 {
+                let outcome = c.access(b * 64);
+                if pass == 1 {
+                    assert_eq!(outcome, AccessOutcome::Hit, "block {b} should be resident");
+                }
+            }
+        }
+        assert_eq!(c.stats().misses, blocks as u64);
+    }
+
+    #[test]
+    fn thrashing_set_always_misses() {
+        let mut c = tiny(); // 2 ways
+        let addr = |block: u64| block * 64;
+        // Three conflicting blocks round-robin: every access misses after
+        // warmup.
+        for i in 0..30u64 {
+            c.access(addr((i % 3) * 4)); // blocks 0, 4, 8 -> set 0
+        }
+        assert_eq!(
+            c.stats().misses,
+            30,
+            "LRU round-robin over 3 blocks in 2 ways"
+        );
+    }
+
+    #[test]
+    fn fill_installs_without_counting_an_access() {
+        let mut c = tiny();
+        assert!(c.fill(0x100));
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.access(0x100), AccessOutcome::Hit, "prefetched block hits");
+        assert!(!c.fill(0x100), "already resident");
+    }
+
+    #[test]
+    fn fill_evicts_lru_when_the_set_is_full() {
+        let mut c = tiny(); // 2 ways
+        let addr = |block: u64| block * 64;
+        c.access(addr(0));
+        c.access(addr(4));
+        c.fill(addr(8)); // set 0 full: evicts LRU block 0
+        assert!(!c.probe(addr(0)));
+        assert!(c.probe(addr(4)));
+        assert!(c.probe(addr(8)));
+    }
+
+    #[test]
+    fn clear_resets_contents_and_stats() {
+        let mut c = tiny();
+        c.access(0x100);
+        c.clear();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.probe(0x100));
+    }
+
+    #[test]
+    fn miss_ratio_is_well_defined() {
+        let s = CacheStats {
+            accesses: 0,
+            misses: 0,
+        };
+        assert_eq!(s.miss_ratio(), 0.0);
+        let s = CacheStats {
+            accesses: 10,
+            misses: 4,
+        };
+        assert!((s.miss_ratio() - 0.4).abs() < 1e-12);
+        assert!(s.to_string().contains("40.00%"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property test: the set-associative cache against a naive reference model.
+
+use std::collections::VecDeque;
+
+use mhp_cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// A deliberately naive reference: per-set LRU implemented with a VecDeque
+/// and linear scans, structured differently from the production code.
+struct ReferenceCache {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    block_bytes: u64,
+}
+
+impl ReferenceCache {
+    fn new(config: CacheConfig) -> Self {
+        ReferenceCache {
+            sets: (0..config.sets()).map(|_| VecDeque::new()).collect(),
+            ways: config.associativity(),
+            block_bytes: config.block_bytes() as u64,
+        }
+    }
+
+    /// Returns `true` on a hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let block = addr / self.block_bytes;
+        let set = (block % self.sets.len() as u64) as usize;
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&b| b == block) {
+            q.remove(pos);
+            q.push_front(block);
+            true
+        } else {
+            if q.len() == self.ways {
+                q.pop_back();
+            }
+            q.push_front(block);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hit/miss outcomes agree with the reference on arbitrary address
+    /// sequences and geometries.
+    #[test]
+    fn cache_matches_reference_model(
+        addrs in prop::collection::vec(0u64..65_536, 1..500),
+        size_log in 9u32..14,   // 512 B .. 8 KB
+        ways_log in 0u32..3,    // 1 .. 4 ways
+    ) {
+        let size = 1usize << size_log;
+        let ways = 1usize << ways_log;
+        let config = CacheConfig::new(size, 64, ways).unwrap();
+        let mut cache = Cache::new(config);
+        let mut reference = ReferenceCache::new(config);
+        for &a in &addrs {
+            let hit_real = !cache.access(a).is_miss();
+            let hit_ref = reference.access(a);
+            prop_assert_eq!(hit_real, hit_ref, "divergence at address {:#x}", a);
+        }
+        prop_assert_eq!(cache.stats().accesses, addrs.len() as u64);
+    }
+
+    /// probe() reports residency consistently with a following access.
+    #[test]
+    fn probe_agrees_with_access(
+        addrs in prop::collection::vec(0u64..4_096, 1..200),
+    ) {
+        let config = CacheConfig::new(1_024, 64, 2).unwrap();
+        let mut cache = Cache::new(config);
+        for &a in &addrs {
+            let resident = cache.probe(a);
+            let hit = !cache.access(a).is_miss();
+            prop_assert_eq!(resident, hit);
+        }
+    }
+
+    /// fill() never changes hit/miss outcomes for blocks already resident,
+    /// and a filled block hits on its next access.
+    #[test]
+    fn fill_makes_blocks_resident(addr in 0u64..1_000_000) {
+        let config = CacheConfig::new(2_048, 64, 4).unwrap();
+        let mut cache = Cache::new(config);
+        cache.fill(addr);
+        prop_assert!(cache.probe(addr));
+        prop_assert!(!cache.access(addr).is_miss());
+    }
+}

@@ -1,0 +1,132 @@
+//! Hardware area accounting (§7).
+//!
+//! The paper's headline area claim: the whole profiler fits in **7 to 16
+//! kilobytes** — a 6 KB hash-table budget (2K entries × 3-byte counters)
+//! plus an accumulator of 1 KB (100 entries, 1 % threshold) or 10 KB
+//! (1,000 entries, 0.1 % threshold).
+
+use crate::interval::IntervalConfig;
+
+/// Bytes per hash-table counter (3-byte / 24-bit counters).
+pub const COUNTER_BYTES: usize = 3;
+
+/// Bytes per accumulator entry (tuple tag plus counter; the paper's budget
+/// works out to 10 bytes per entry).
+pub const ACCUMULATOR_ENTRY_BYTES: usize = 10;
+
+/// A hardware-area model for one profiler configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::{AreaModel, IntervalConfig};
+/// let short = AreaModel::new(2048, IntervalConfig::short());
+/// assert_eq!(short.hash_table_bytes(), 6 * 1024);
+/// assert_eq!(short.accumulator_bytes(), 1_000);
+/// assert!(short.total_bytes() <= 7 * 1024);       // the paper's "7 KB"
+///
+/// let long = AreaModel::new(2048, IntervalConfig::long());
+/// assert!(long.total_bytes() <= 16 * 1024);       // the paper's "16 KB"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaModel {
+    hash_entries: usize,
+    accumulator_entries: usize,
+}
+
+impl AreaModel {
+    /// Builds the area model for `hash_entries` total counters and the
+    /// accumulator size implied by `interval`.
+    pub fn new(hash_entries: usize, interval: IntervalConfig) -> Self {
+        AreaModel {
+            hash_entries,
+            accumulator_entries: interval.accumulator_capacity(),
+        }
+    }
+
+    /// Builds the model from explicit table sizes.
+    pub fn from_entries(hash_entries: usize, accumulator_entries: usize) -> Self {
+        AreaModel {
+            hash_entries,
+            accumulator_entries,
+        }
+    }
+
+    /// Total hash-table counters (across all tables of a multi-hash design —
+    /// splitting a fixed budget does not change its area).
+    #[inline]
+    pub fn hash_entries(&self) -> usize {
+        self.hash_entries
+    }
+
+    /// Accumulator capacity in entries.
+    #[inline]
+    pub fn accumulator_entries(&self) -> usize {
+        self.accumulator_entries
+    }
+
+    /// Bytes of counter storage.
+    #[inline]
+    pub fn hash_table_bytes(&self) -> usize {
+        self.hash_entries * COUNTER_BYTES
+    }
+
+    /// Bytes of accumulator storage.
+    #[inline]
+    pub fn accumulator_bytes(&self) -> usize {
+        self.accumulator_entries * ACCUMULATOR_ENTRY_BYTES
+    }
+
+    /// Total modelled bytes.
+    #[inline]
+    pub fn total_bytes(&self) -> usize {
+        self.hash_table_bytes() + self.accumulator_bytes()
+    }
+}
+
+impl std::fmt::Display for AreaModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} B hash + {} B accumulator = {} B total",
+            self.hash_table_bytes(),
+            self.accumulator_bytes(),
+            self.total_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_short_config_is_about_7kb() {
+        let area = AreaModel::new(2048, IntervalConfig::short());
+        assert_eq!(area.hash_table_bytes(), 6144);
+        assert_eq!(area.accumulator_bytes(), 1000);
+        assert_eq!(area.total_bytes(), 7144);
+    }
+
+    #[test]
+    fn paper_long_config_is_about_16kb() {
+        let area = AreaModel::new(2048, IntervalConfig::long());
+        assert_eq!(area.accumulator_bytes(), 10_000);
+        assert_eq!(area.total_bytes(), 16_144);
+    }
+
+    #[test]
+    fn explicit_entries_constructor() {
+        let area = AreaModel::from_entries(1024, 50);
+        assert_eq!(area.hash_entries(), 1024);
+        assert_eq!(area.accumulator_entries(), 50);
+        assert_eq!(area.total_bytes(), 1024 * 3 + 500);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = AreaModel::from_entries(2, 1).to_string();
+        assert!(s.contains("6 B hash"));
+        assert!(s.contains("total"));
+    }
+}

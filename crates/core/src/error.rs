@@ -1,0 +1,103 @@
+//! Error types for profiler configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while validating a profiler configuration.
+///
+/// Returned by the constructors of [`IntervalConfig`](crate::IntervalConfig),
+/// [`SingleHashConfig`](crate::SingleHashConfig),
+/// [`MultiHashConfig`](crate::MultiHashConfig) and the profilers built from
+/// them.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::{ConfigError, IntervalConfig};
+/// let err = IntervalConfig::new(0, 0.01).unwrap_err();
+/// assert_eq!(err, ConfigError::ZeroIntervalLength);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The interval length was zero; an interval must contain at least one
+    /// event.
+    ZeroIntervalLength,
+    /// The candidate threshold fraction was outside `(0, 1]`.
+    ThresholdOutOfRange(f64),
+    /// A hash table size must be a power of two (the xor-fold index hash
+    /// produces `log2(size)`-bit indices), and at least two entries.
+    EntriesNotPowerOfTwo(usize),
+    /// A multi-hash profiler needs at least one hash table.
+    ZeroTables,
+    /// The total number of counters does not divide evenly among the
+    /// requested number of tables.
+    EntriesNotDivisible {
+        /// Total counter budget requested.
+        total: usize,
+        /// Number of hash tables requested.
+        tables: usize,
+    },
+    /// The accumulator table must have room for at least one entry.
+    ZeroAccumulatorCapacity,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::ZeroIntervalLength => {
+                write!(f, "interval length must be at least one event")
+            }
+            ConfigError::ThresholdOutOfRange(t) => {
+                write!(f, "candidate threshold {t} is outside (0, 1]")
+            }
+            ConfigError::EntriesNotPowerOfTwo(n) => {
+                write!(f, "hash table size {n} is not a power of two >= 2")
+            }
+            ConfigError::ZeroTables => write!(f, "at least one hash table is required"),
+            ConfigError::EntriesNotDivisible { total, tables } => {
+                write!(
+                    f,
+                    "{total} counters do not divide evenly into {tables} tables"
+                )
+            }
+            ConfigError::ZeroAccumulatorCapacity => {
+                write!(f, "accumulator capacity must be at least one entry")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            ConfigError::ZeroIntervalLength,
+            ConfigError::ThresholdOutOfRange(1.5),
+            ConfigError::EntriesNotPowerOfTwo(3),
+            ConfigError::ZeroTables,
+            ConfigError::EntriesNotDivisible {
+                total: 10,
+                tables: 3,
+            },
+            ConfigError::ZeroAccumulatorCapacity,
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.chars().next().unwrap().is_uppercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+    }
+}

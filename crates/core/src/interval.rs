@@ -1,0 +1,219 @@
+//! Interval-based profiling parameters (§5.1).
+//!
+//! Two parameters govern every profiler in this crate:
+//!
+//! * the **profile interval length** — the number of profiling events that
+//!   make up one interval; and
+//! * the **candidate threshold** — the fraction of the interval length an
+//!   event must reach to be a *candidate tuple*.
+//!
+//! Together they bound the accumulator table: if only tuples above fraction
+//! `t` are captured, at most `1/t` tuples can qualify in any interval, so an
+//! accumulator of `ceil(1/t)` entries never overflows with true candidates
+//! (§5.1: 100 entries for 1 %, 1,000 entries for 0.1 %).
+
+use crate::error::ConfigError;
+
+/// The paper's short configuration: 10,000-event intervals with a 1 %
+/// candidate threshold (fast training, light table pressure).
+pub const SHORT_INTERVAL: (u64, f64) = (10_000, 0.01);
+
+/// The paper's long configuration: 1,000,000-event intervals with a 0.1 %
+/// candidate threshold (severe hash-table pressure).
+pub const LONG_INTERVAL: (u64, f64) = (1_000_000, 0.001);
+
+/// Interval length plus candidate threshold.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::IntervalConfig;
+/// # fn main() -> Result<(), mhp_core::ConfigError> {
+/// let cfg = IntervalConfig::new(10_000, 0.01)?;
+/// assert_eq!(cfg.threshold_count(), 100);       // 1% of 10,000
+/// assert_eq!(cfg.accumulator_capacity(), 100);  // at most 100 events >= 1%
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalConfig {
+    interval_len: u64,
+    threshold_fraction: f64,
+}
+
+impl IntervalConfig {
+    /// Creates a configuration with `interval_len` events per interval and a
+    /// candidate threshold of `threshold_fraction` (e.g. `0.01` for 1 %).
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::ZeroIntervalLength`] if `interval_len == 0`;
+    /// * [`ConfigError::ThresholdOutOfRange`] if `threshold_fraction` is not
+    ///   in `(0, 1]` (NaN included).
+    pub fn new(interval_len: u64, threshold_fraction: f64) -> Result<Self, ConfigError> {
+        if interval_len == 0 {
+            return Err(ConfigError::ZeroIntervalLength);
+        }
+        if !(threshold_fraction > 0.0 && threshold_fraction <= 1.0) {
+            return Err(ConfigError::ThresholdOutOfRange(threshold_fraction));
+        }
+        Ok(IntervalConfig {
+            interval_len,
+            threshold_fraction,
+        })
+    }
+
+    /// The paper's short configuration (10,000 events, 1 % threshold).
+    pub fn short() -> Self {
+        IntervalConfig::new(SHORT_INTERVAL.0, SHORT_INTERVAL.1).expect("paper constants are valid")
+    }
+
+    /// The paper's long configuration (1,000,000 events, 0.1 % threshold).
+    pub fn long() -> Self {
+        IntervalConfig::new(LONG_INTERVAL.0, LONG_INTERVAL.1).expect("paper constants are valid")
+    }
+
+    /// Number of events in one profile interval.
+    #[inline]
+    pub fn interval_len(&self) -> u64 {
+        self.interval_len
+    }
+
+    /// Candidate threshold as a fraction of the interval length.
+    #[inline]
+    pub fn threshold_fraction(&self) -> f64 {
+        self.threshold_fraction
+    }
+
+    /// The threshold as an absolute event count: a tuple is a candidate once
+    /// it occurs at least this many times in an interval.
+    ///
+    /// Computed as `ceil(interval_len * threshold_fraction)`, never below 1.
+    #[inline]
+    pub fn threshold_count(&self) -> u64 {
+        let t = (self.interval_len as f64 * self.threshold_fraction).ceil() as u64;
+        t.max(1)
+    }
+
+    /// Worst-case number of distinct candidates per interval — the
+    /// accumulator capacity that guarantees no true candidate is dropped for
+    /// lack of space: `floor(interval_len / threshold_count)` capped at
+    /// `ceil(1 / threshold_fraction)`.
+    #[inline]
+    pub fn accumulator_capacity(&self) -> usize {
+        let by_count = (self.interval_len / self.threshold_count()).max(1);
+        let by_fraction = (1.0 / self.threshold_fraction).ceil() as u64;
+        by_count.min(by_fraction).max(1) as usize
+    }
+}
+
+impl Default for IntervalConfig {
+    /// Defaults to the paper's short configuration.
+    fn default() -> Self {
+        IntervalConfig::short()
+    }
+}
+
+impl std::fmt::Display for IntervalConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} events @ {}%",
+            self.interval_len,
+            self.threshold_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_config_matches_paper() {
+        let c = IntervalConfig::short();
+        assert_eq!(c.interval_len(), 10_000);
+        assert_eq!(c.threshold_count(), 100);
+        assert_eq!(c.accumulator_capacity(), 100);
+    }
+
+    #[test]
+    fn long_config_matches_paper() {
+        let c = IntervalConfig::long();
+        assert_eq!(c.interval_len(), 1_000_000);
+        assert_eq!(c.threshold_count(), 1_000);
+        assert_eq!(c.accumulator_capacity(), 1_000);
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        assert_eq!(
+            IntervalConfig::new(0, 0.01).unwrap_err(),
+            ConfigError::ZeroIntervalLength
+        );
+    }
+
+    #[test]
+    fn bad_thresholds_rejected() {
+        for t in [0.0, -0.1, 1.5, f64::NAN] {
+            assert!(
+                IntervalConfig::new(100, t).is_err(),
+                "threshold {t} accepted"
+            );
+        }
+        assert!(IntervalConfig::new(100, 1.0).is_ok());
+    }
+
+    #[test]
+    fn threshold_count_rounds_up_and_is_at_least_one() {
+        // 0.1% of 10,000 = 10
+        assert_eq!(
+            IntervalConfig::new(10_000, 0.001)
+                .unwrap()
+                .threshold_count(),
+            10
+        );
+        // 0.03% of 10,000 = 3
+        assert_eq!(
+            IntervalConfig::new(10_000, 0.0003)
+                .unwrap()
+                .threshold_count(),
+            3
+        );
+        // tiny fraction of a tiny interval still requires >= 1 occurrence
+        assert_eq!(IntervalConfig::new(10, 0.001).unwrap().threshold_count(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_by_interval_and_fraction() {
+        // threshold 50% -> at most 2 candidates
+        assert_eq!(
+            IntervalConfig::new(1000, 0.5)
+                .unwrap()
+                .accumulator_capacity(),
+            2
+        );
+        // threshold 100% -> exactly 1
+        assert_eq!(
+            IntervalConfig::new(1000, 1.0)
+                .unwrap()
+                .accumulator_capacity(),
+            1
+        );
+        // tiny interval: capacity cannot exceed interval/threshold_count
+        let c = IntervalConfig::new(10, 0.001).unwrap();
+        assert!(c.accumulator_capacity() <= 10);
+    }
+
+    #[test]
+    fn default_is_short() {
+        assert_eq!(IntervalConfig::default(), IntervalConfig::short());
+    }
+
+    #[test]
+    fn display_mentions_length_and_percent() {
+        let s = IntervalConfig::short().to_string();
+        assert!(s.contains("10000"));
+        assert!(s.contains('%'));
+    }
+}

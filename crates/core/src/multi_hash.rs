@@ -1,0 +1,657 @@
+//! The multi-hash interval profiler (§6) — the paper's main contribution.
+//!
+//! Instead of one hash table, the profiler keeps *n* smaller tables indexed
+//! by *n* independent hash functions. A tuple is promoted to the accumulator
+//! only when **all** of its counters cross the candidate threshold. Two
+//! tuples that alias in one table will, with high probability, map to
+//! different counters in at least one other table — so false positives fall
+//! roughly as `(100·n / (t·Z))^n` (see [`crate::theory`]).
+//!
+//! Options (§6.1, §6.3):
+//!
+//! * **conservative update** (`C1`, borrowed from Estan & Varghese's traffic
+//!   measurement work): only the counter(s) holding the *minimum* value among
+//!   the tuple's n counters are incremented. When there is no aliasing all n
+//!   counters agree, so nothing is lost; when there is aliasing the inflated
+//!   counters stop growing, sharply cutting error.
+//! * **immediate resetting** (`R1`): all n counters are zeroed when the tuple
+//!   is promoted. The paper finds this *hurts* multi-hash (it wipes counts
+//!   that aliasing neighbours had legitimately accumulated), so the best
+//!   configuration is `C1 R0` with 4 tables.
+
+use crate::accumulator::AccumulatorTable;
+use crate::counter::CounterArray;
+use crate::error::ConfigError;
+use crate::hash::HashFamily;
+use crate::interval::IntervalConfig;
+use crate::profile::IntervalProfile;
+use crate::profiler::EventProfiler;
+use crate::tuple::Tuple;
+
+/// Configuration of a [`MultiHashProfiler`]: total counter budget, number of
+/// tables, and the paper's `C` (conservative update) / `R` (resetting)
+/// switches. Retaining is on by default (the paper uses it for every
+/// multi-hash result; §6.3).
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::MultiHashConfig;
+/// # fn main() -> Result<(), mhp_core::ConfigError> {
+/// // The paper's best configuration: 2K counters over 4 tables, C1 R0.
+/// let best = MultiHashConfig::best();
+/// assert_eq!(best.num_tables(), 4);
+/// assert_eq!(best.table_entries(), 512);
+/// assert!(best.conservative_update() && !best.resetting());
+///
+/// let custom = MultiHashConfig::new(2048, 8)?.with_conservative_update(false);
+/// assert_eq!(custom.table_entries(), 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiHashConfig {
+    total_entries: usize,
+    num_tables: usize,
+    conservative_update: bool,
+    resetting: bool,
+    retaining: bool,
+    shielding: bool,
+}
+
+impl MultiHashConfig {
+    /// Creates a configuration splitting `total_entries` counters evenly over
+    /// `num_tables` hash tables, with conservative update **on**, resetting
+    /// **off** and retaining **on** (the paper's preferred `C1 R0`).
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::ZeroTables`] if `num_tables == 0`;
+    /// * [`ConfigError::EntriesNotDivisible`] if the split is uneven;
+    /// * [`ConfigError::EntriesNotPowerOfTwo`] if the per-table size is not a
+    ///   power of two of at least 2.
+    pub fn new(total_entries: usize, num_tables: usize) -> Result<Self, ConfigError> {
+        if num_tables == 0 {
+            return Err(ConfigError::ZeroTables);
+        }
+        if !total_entries.is_multiple_of(num_tables) {
+            return Err(ConfigError::EntriesNotDivisible {
+                total: total_entries,
+                tables: num_tables,
+            });
+        }
+        let per_table = total_entries / num_tables;
+        if per_table < 2 || !per_table.is_power_of_two() {
+            return Err(ConfigError::EntriesNotPowerOfTwo(per_table));
+        }
+        Ok(MultiHashConfig {
+            total_entries,
+            num_tables,
+            conservative_update: true,
+            resetting: false,
+            retaining: true,
+            shielding: true,
+        })
+    }
+
+    /// The paper's best multi-hash configuration: 2K total counters over 4
+    /// tables, conservative update, no resetting, retaining (§6.4).
+    pub fn best() -> Self {
+        MultiHashConfig::new(2048, 4).expect("paper constants are valid")
+    }
+
+    /// Enables or disables conservative update (`C`).
+    pub fn with_conservative_update(mut self, on: bool) -> Self {
+        self.conservative_update = on;
+        self
+    }
+
+    /// Enables or disables immediate resetting on promotion (`R`).
+    pub fn with_resetting(mut self, on: bool) -> Self {
+        self.resetting = on;
+        self
+    }
+
+    /// Enables or disables retaining across intervals.
+    pub fn with_retaining(mut self, on: bool) -> Self {
+        self.retaining = on;
+        self
+    }
+
+    /// Enables or disables shielding (§5.2). The paper's designs always
+    /// shield; turning it off exists for ablation studies only.
+    pub fn with_shielding(mut self, on: bool) -> Self {
+        self.shielding = on;
+        self
+    }
+
+    /// Total number of counters across all tables.
+    #[inline]
+    pub fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+
+    /// Number of hash tables.
+    #[inline]
+    pub fn num_tables(&self) -> usize {
+        self.num_tables
+    }
+
+    /// Counters per table.
+    #[inline]
+    pub fn table_entries(&self) -> usize {
+        self.total_entries / self.num_tables
+    }
+
+    /// Whether conservative update (`C1`) is enabled.
+    #[inline]
+    pub fn conservative_update(&self) -> bool {
+        self.conservative_update
+    }
+
+    /// Whether immediate resetting (`R1`) is enabled.
+    #[inline]
+    pub fn resetting(&self) -> bool {
+        self.resetting
+    }
+
+    /// Whether retaining is enabled.
+    #[inline]
+    pub fn retaining(&self) -> bool {
+        self.retaining
+    }
+
+    /// Whether shielding is enabled (always on in the paper's designs).
+    #[inline]
+    pub fn shielding(&self) -> bool {
+        self.shielding
+    }
+
+    /// A compact label in the paper's notation, e.g. `"C1, R0"`.
+    pub fn label(&self) -> String {
+        format!(
+            "C{}, R{}",
+            u8::from(self.conservative_update),
+            u8::from(self.resetting)
+        )
+    }
+}
+
+/// The multi-hash hardware profiler of §6 (Figure 8).
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::{EventProfiler, IntervalConfig, MultiHashConfig, MultiHashProfiler, Tuple};
+/// # fn main() -> Result<(), mhp_core::ConfigError> {
+/// let mut profiler = MultiHashProfiler::new(
+///     IntervalConfig::new(1_000, 0.01)?,
+///     MultiHashConfig::best(),
+///     42,
+/// )?;
+/// let hot = Tuple::new(0x400100, 3);
+/// let mut last = None;
+/// for i in 0..1_000u64 {
+///     let t = if i % 10 == 0 { hot } else { Tuple::new(i, i) };
+///     if let Some(p) = profiler.observe(t) {
+///         last = Some(p);
+///     }
+/// }
+/// assert!(last.expect("one full interval").contains(hot));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiHashProfiler {
+    interval: IntervalConfig,
+    config: MultiHashConfig,
+    family: HashFamily,
+    tables: Vec<CounterArray>,
+    accumulator: AccumulatorTable,
+    threshold: u64,
+    events: u64,
+    interval_idx: u64,
+    /// Scratch buffer for the per-event table indices (avoids an allocation
+    /// on every event).
+    scratch: Vec<usize>,
+}
+
+impl MultiHashProfiler {
+    /// Builds a profiler. The `seed` selects the family of independent
+    /// hardwired hash functions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the hash family and accumulator
+    /// construction.
+    pub fn new(
+        interval: IntervalConfig,
+        config: MultiHashConfig,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        let family = HashFamily::new(config.num_tables(), config.table_entries(), seed)?;
+        let tables = (0..config.num_tables())
+            .map(|_| CounterArray::new(config.table_entries()))
+            .collect();
+        let accumulator = AccumulatorTable::new(interval.accumulator_capacity())?;
+        Ok(MultiHashProfiler {
+            interval,
+            config,
+            family,
+            tables,
+            accumulator,
+            threshold: interval.threshold_count(),
+            events: 0,
+            interval_idx: 0,
+            scratch: vec![0; config.num_tables()],
+        })
+    }
+
+    /// This profiler's sketch configuration.
+    #[inline]
+    pub fn config(&self) -> MultiHashConfig {
+        self.config
+    }
+
+    /// Read-only view of the accumulator table.
+    #[inline]
+    pub fn accumulator(&self) -> &AccumulatorTable {
+        &self.accumulator
+    }
+
+    /// Read-only views of the hash tables, in table order.
+    #[inline]
+    pub fn tables(&self) -> &[CounterArray] {
+        &self.tables
+    }
+
+    /// The hash-function family in use.
+    #[inline]
+    pub fn hash_family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// The minimum counter value this tuple currently sees across all tables
+    /// — the sketch's (over-)estimate of its count this interval.
+    pub fn sketch_estimate(&self, tuple: Tuple) -> u64 {
+        self.family
+            .indices(tuple)
+            .zip(self.tables.iter())
+            .map(|(idx, table)| u64::from(table.get(idx)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total hardware storage modelled, in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(CounterArray::storage_bytes)
+            .sum::<usize>()
+            + self.accumulator.storage_bytes()
+    }
+
+    fn finish_interval(&mut self) -> IntervalProfile {
+        let candidates = self
+            .accumulator
+            .finish_interval(self.config.retaining, self.threshold);
+        for table in &mut self.tables {
+            table.clear();
+        }
+        let profile =
+            IntervalProfile::from_candidates(self.interval_idx, self.interval, candidates);
+        self.interval_idx += 1;
+        self.events = 0;
+        profile
+    }
+
+    /// Applies the update function to the tuple's counters and returns the
+    /// post-update minimum counter value.
+    fn update_counters(&mut self, tuple: Tuple) -> u64 {
+        for (slot, idx) in self.scratch.iter_mut().zip(self.family.indices(tuple)) {
+            *slot = idx;
+        }
+        if self.config.conservative_update {
+            // Increment only the counter(s) holding the minimum value
+            // (ties: all minima). Per Estan & Varghese.
+            let min = self
+                .scratch
+                .iter()
+                .zip(self.tables.iter())
+                .map(|(&idx, table)| table.get(idx))
+                .min()
+                .expect("at least one table");
+            let mut new_min = u32::MAX;
+            for (&idx, table) in self.scratch.iter().zip(self.tables.iter_mut()) {
+                let value = if table.get(idx) == min {
+                    table.increment(idx)
+                } else {
+                    table.get(idx)
+                };
+                new_min = new_min.min(value);
+            }
+            u64::from(new_min)
+        } else {
+            let mut new_min = u32::MAX;
+            for (&idx, table) in self.scratch.iter().zip(self.tables.iter_mut()) {
+                new_min = new_min.min(table.increment(idx));
+            }
+            u64::from(new_min)
+        }
+    }
+}
+
+impl EventProfiler for MultiHashProfiler {
+    fn interval_config(&self) -> IntervalConfig {
+        self.interval
+    }
+
+    fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+        // Shielding: resident tuples are counted in the accumulator only.
+        let resident = self.accumulator.observe(tuple, self.threshold);
+        if resident && !self.config.shielding {
+            // Ablation mode: resident tuples still update the hash tables
+            // (but are never re-promoted — they are already resident).
+            self.update_counters(tuple);
+        }
+        if !resident {
+            let min_after = self.update_counters(tuple);
+            // Promotion requires *every* counter at or above the threshold,
+            // i.e. the minimum crossed it.
+            if min_after >= self.threshold {
+                let promoted = self.accumulator.insert(tuple, self.threshold);
+                if promoted && self.config.resetting {
+                    // `scratch` still holds this tuple's indices.
+                    for (&idx, table) in self.scratch.iter().zip(self.tables.iter_mut()) {
+                        table.reset(idx);
+                    }
+                }
+            }
+        }
+        self.events += 1;
+        if self.events == self.interval.interval_len() {
+            Some(self.finish_interval())
+        } else {
+            None
+        }
+    }
+
+    fn reset(&mut self) {
+        for table in &mut self.tables {
+            table.clear();
+        }
+        self.accumulator.clear();
+        self.events = 0;
+        self.interval_idx = 0;
+    }
+
+    fn events_in_current_interval(&self) -> u64 {
+        self.events
+    }
+
+    fn interval_index(&self) -> u64 {
+        self.interval_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiler(len: u64, frac: f64, cfg: MultiHashConfig) -> MultiHashProfiler {
+        MultiHashProfiler::new(IntervalConfig::new(len, frac).unwrap(), cfg, 7).unwrap()
+    }
+
+    #[test]
+    fn config_validates_inputs() {
+        assert!(matches!(
+            MultiHashConfig::new(2048, 0),
+            Err(ConfigError::ZeroTables)
+        ));
+        assert!(matches!(
+            MultiHashConfig::new(2048, 3),
+            Err(ConfigError::EntriesNotDivisible { .. })
+        ));
+        assert!(matches!(
+            MultiHashConfig::new(2044, 4), // 511 per table
+            Err(ConfigError::EntriesNotDivisible { .. })
+                | Err(ConfigError::EntriesNotPowerOfTwo(_))
+        ));
+        assert!(MultiHashConfig::new(2048, 16).is_ok()); // 128 per table
+    }
+
+    #[test]
+    fn best_config_matches_paper() {
+        let best = MultiHashConfig::best();
+        assert_eq!(best.total_entries(), 2048);
+        assert_eq!(best.num_tables(), 4);
+        assert!(best.conservative_update());
+        assert!(!best.resetting());
+        assert!(best.retaining());
+        assert_eq!(best.label(), "C1, R0");
+    }
+
+    #[test]
+    fn single_table_multi_hash_degenerates_to_single_hash_filtering() {
+        // n = 1 must behave like a single hash table (sanity anchor used by
+        // the design-space figures).
+        let cfg = MultiHashConfig::new(2048, 1)
+            .unwrap()
+            .with_conservative_update(false);
+        let mut p = profiler(1_000, 0.01, cfg);
+        let hot = Tuple::new(1, 1);
+        for _ in 0..10 {
+            p.observe(hot);
+        }
+        assert!(p.accumulator().contains(hot));
+    }
+
+    #[test]
+    fn hot_tuple_promoted_exactly_at_threshold() {
+        let mut p = profiler(1_000, 0.01, MultiHashConfig::best());
+        let hot = Tuple::new(1, 1);
+        for i in 0..9 {
+            p.observe(hot);
+            assert!(!p.accumulator().contains(hot), "not yet at occurrence {i}");
+        }
+        p.observe(hot);
+        assert!(p.accumulator().contains(hot));
+        assert_eq!(p.accumulator().count_of(hot), Some(10));
+    }
+
+    #[test]
+    fn conservative_update_increments_only_minima() {
+        let cfg = MultiHashConfig::new(64, 4).unwrap(); // tiny tables, C1
+        let mut p = profiler(10_000, 0.01, cfg);
+        let t = Tuple::new(5, 5);
+        p.observe(t);
+        // With no prior aliasing all four counters were 0 (the minimum), so
+        // all four got incremented to 1.
+        let values: Vec<u32> = p
+            .family
+            .indices(t)
+            .zip(p.tables.iter())
+            .map(|(idx, table)| table.get(idx))
+            .collect();
+        assert_eq!(values, vec![1, 1, 1, 1]);
+        assert_eq!(p.sketch_estimate(t), 1);
+    }
+
+    #[test]
+    fn conservative_update_never_undercounts() {
+        let cfg = MultiHashConfig::new(64, 4).unwrap();
+        let mut p = profiler(100_000, 0.01, cfg);
+        // Noise from many tuples, then check a tracked tuple's estimate.
+        let tracked = Tuple::new(77, 77);
+        let mut true_count = 0u64;
+        for i in 0..5_000u64 {
+            if i % 7 == 0 {
+                p.observe(tracked);
+                true_count += 1;
+            } else {
+                p.observe(Tuple::new(i, i * 3));
+            }
+            if p.accumulator().contains(tracked) {
+                break; // promoted; sketch no longer tracks it
+            }
+            assert!(
+                p.sketch_estimate(tracked) >= true_count,
+                "sketch undercounted: est {} < true {}",
+                p.sketch_estimate(tracked),
+                true_count
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_update_bounds_counts_below_plain_update() {
+        let seed = 99;
+        let interval = IntervalConfig::new(100_000, 0.01).unwrap();
+        let mk = |conservative| {
+            MultiHashProfiler::new(
+                interval,
+                MultiHashConfig::new(64, 4)
+                    .unwrap()
+                    .with_conservative_update(conservative),
+                seed,
+            )
+            .unwrap()
+        };
+        let mut plain = mk(false);
+        let mut cons = mk(true);
+        for i in 0..5_000u64 {
+            let t = Tuple::new(i % 97, i % 13);
+            plain.observe(t);
+            cons.observe(t);
+        }
+        // Counter-by-counter, conservative update never exceeds plain update.
+        for (tp, tc) in plain.tables.iter().zip(cons.tables.iter()) {
+            for (vp, vc) in tp.iter().zip(tc.iter()) {
+                assert!(vc <= vp, "conservative {vc} > plain {vp}");
+            }
+        }
+    }
+
+    #[test]
+    fn promotion_requires_all_tables_not_just_one() {
+        // Artificially heat one table's counter via an aliasing tuple, then
+        // verify the victim is not promoted on its first occurrences.
+        let cfg = MultiHashConfig::new(32, 2)
+            .unwrap()
+            .with_conservative_update(false);
+        let p0 = profiler(100_000, 0.0001, cfg); // threshold = 10
+                                                 // Find tuples a, b aliasing in table 0 but not table 1.
+        let a = Tuple::new(0x10, 1);
+        let h = p0.family.hashers();
+        let mut b = None;
+        for i in 0..100_000u64 {
+            let cand = Tuple::new(0x9000 + i, i);
+            if h[0].index(cand) == h[0].index(a) && h[1].index(cand) != h[1].index(a) {
+                b = Some(cand);
+                break;
+            }
+        }
+        let b = b.expect("aliasing tuple in table 0 only");
+        let mut p = p0;
+        for _ in 0..10 {
+            p.observe(a); // saturates the shared table-0 counter past 10
+        }
+        p.observe(b);
+        assert!(
+            !p.accumulator().contains(b),
+            "one hot table must not suffice for promotion"
+        );
+    }
+
+    #[test]
+    fn resetting_zeroes_all_of_the_tuples_counters() {
+        let cfg = MultiHashConfig::best()
+            .with_resetting(true)
+            .with_conservative_update(false);
+        let mut p = profiler(1_000, 0.01, cfg);
+        let hot = Tuple::new(1, 1);
+        for _ in 0..10 {
+            p.observe(hot);
+        }
+        assert!(p.accumulator().contains(hot));
+        for (idx, table) in p.family.indices(hot).zip(p.tables.iter()) {
+            assert_eq!(table.get(idx), 0, "R1 must zero every table's counter");
+        }
+    }
+
+    #[test]
+    fn interval_boundary_flushes_all_tables() {
+        let mut p = profiler(100, 0.1, MultiHashConfig::best());
+        for i in 0..100u64 {
+            p.observe(Tuple::new(i % 5, 0));
+        }
+        for table in p.tables() {
+            assert!(
+                table.iter().all(|c| c == 0),
+                "tables flushed at interval end"
+            );
+        }
+        assert_eq!(p.interval_index(), 1);
+    }
+
+    #[test]
+    fn disabling_shielding_keeps_hash_counters_growing() {
+        let cfg = MultiHashConfig::best().with_shielding(false);
+        let mut p = profiler(1_000, 0.01, cfg);
+        let hot = Tuple::new(1, 1);
+        for _ in 0..60 {
+            p.observe(hot);
+        }
+        // Promotion happened at 10; without shielding all four counters kept
+        // counting the remaining 50 occurrences.
+        for (idx, table) in p.family.indices(hot).zip(p.tables.iter()) {
+            assert!(
+                table.get(idx) >= 60,
+                "counter {} should keep growing without shielding",
+                table.get(idx)
+            );
+        }
+        assert_eq!(p.accumulator().count_of(hot), Some(60));
+    }
+
+    #[test]
+    fn retaining_carries_candidates_into_next_interval() {
+        let mut p = profiler(100, 0.1, MultiHashConfig::best());
+        let hot = Tuple::new(1, 1);
+        let mut profiles = Vec::new();
+        for i in 0..200u64 {
+            let t = if i % 2 == 0 {
+                hot
+            } else {
+                Tuple::new(100 + i, i)
+            };
+            if let Some(pr) = p.observe(t) {
+                profiles.push(pr);
+            }
+        }
+        assert_eq!(
+            profiles[1].count_of(hot),
+            Some(50),
+            "retained => exact count"
+        );
+    }
+
+    #[test]
+    fn storage_bytes_match_paper_budget() {
+        let p = profiler(10_000, 0.01, MultiHashConfig::best());
+        assert_eq!(p.storage_bytes(), 6 * 1024 + 1_000); // 6 KB sketch + 1 KB accumulator
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut p = profiler(1_000, 0.01, MultiHashConfig::best());
+        for i in 0..500u64 {
+            p.observe(Tuple::new(i % 3, 0));
+        }
+        p.reset();
+        assert_eq!(p.events_in_current_interval(), 0);
+        assert_eq!(p.interval_index(), 0);
+        assert!(p.accumulator().is_empty());
+        assert!(p.tables().iter().all(|t| t.iter().all(|c| c == 0)));
+    }
+}

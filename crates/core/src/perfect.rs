@@ -1,0 +1,232 @@
+//! The perfect (exact) interval profiler — ground truth for error metrics.
+//!
+//! §5.5.1: *"For each interval, we compare the candidates captured by our
+//! profiler to the candidates seen by a perfect profiler."* The perfect
+//! profiler keeps an exact count for every distinct tuple of the interval
+//! (unbounded storage — it is a measurement instrument, not hardware).
+//!
+//! Error analysis needs more than the candidate list: classifying a hardware
+//! *false positive* requires the true (below-threshold) frequency of that
+//! tuple. [`PerfectProfiler::observe_exact`] therefore returns the complete
+//! per-interval count map ([`ExactCounts`]), from which the candidate-only
+//! [`IntervalProfile`] can be derived.
+
+use std::collections::HashMap;
+
+use crate::interval::IntervalConfig;
+use crate::profile::{Candidate, IntervalProfile};
+use crate::profiler::EventProfiler;
+use crate::tuple::Tuple;
+
+/// The exact per-tuple counts of one completed interval.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::{IntervalConfig, PerfectProfiler, Tuple};
+/// let mut perfect = PerfectProfiler::new(IntervalConfig::new(4, 0.5).unwrap());
+/// perfect.observe_exact(Tuple::new(1, 1));
+/// perfect.observe_exact(Tuple::new(1, 1));
+/// perfect.observe_exact(Tuple::new(2, 2));
+/// let exact = perfect.observe_exact(Tuple::new(1, 1)).expect("interval done");
+/// assert_eq!(exact.count_of(Tuple::new(1, 1)), 3);
+/// assert_eq!(exact.distinct_tuples(), 2);
+/// // Threshold is 2 occurrences: only <1,1> is a candidate.
+/// assert_eq!(exact.profile().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactCounts {
+    interval_index: u64,
+    config: IntervalConfig,
+    counts: HashMap<Tuple, u64>,
+}
+
+impl ExactCounts {
+    /// Zero-based index of the interval.
+    #[inline]
+    pub fn interval_index(&self) -> u64 {
+        self.interval_index
+    }
+
+    /// The interval configuration.
+    #[inline]
+    pub fn config(&self) -> IntervalConfig {
+        self.config
+    }
+
+    /// The exact occurrence count of `tuple` in this interval (0 if it never
+    /// occurred).
+    #[inline]
+    pub fn count_of(&self, tuple: Tuple) -> u64 {
+        self.counts.get(&tuple).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct tuples seen in the interval (Figure 4's metric).
+    #[inline]
+    pub fn distinct_tuples(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The full count map.
+    #[inline]
+    pub fn counts(&self) -> &HashMap<Tuple, u64> {
+        &self.counts
+    }
+
+    /// True candidates: tuples whose count reached the threshold (Figure 5's
+    /// metric), as an [`IntervalProfile`].
+    pub fn profile(&self) -> IntervalProfile {
+        let threshold = self.config.threshold_count();
+        let candidates: Vec<Candidate> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&t, &c)| Candidate::new(t, c))
+            .collect();
+        IntervalProfile::from_candidates(self.interval_index, self.config, candidates)
+    }
+}
+
+/// An exact interval profiler with unbounded storage.
+///
+/// Implements [`EventProfiler`] (emitting candidate-only profiles); use
+/// [`observe_exact`](Self::observe_exact) when the full count map is needed.
+#[derive(Debug, Clone)]
+pub struct PerfectProfiler {
+    interval: IntervalConfig,
+    counts: HashMap<Tuple, u64>,
+    events: u64,
+    interval_idx: u64,
+}
+
+impl PerfectProfiler {
+    /// Creates a perfect profiler for the given interval configuration.
+    pub fn new(interval: IntervalConfig) -> Self {
+        PerfectProfiler {
+            interval,
+            counts: HashMap::new(),
+            events: 0,
+            interval_idx: 0,
+        }
+    }
+
+    /// Feeds one event; returns the exact counts when an interval completes.
+    pub fn observe_exact(&mut self, tuple: Tuple) -> Option<ExactCounts> {
+        *self.counts.entry(tuple).or_insert(0) += 1;
+        self.events += 1;
+        if self.events == self.interval.interval_len() {
+            let exact = ExactCounts {
+                interval_index: self.interval_idx,
+                config: self.interval,
+                counts: std::mem::take(&mut self.counts),
+            };
+            self.events = 0;
+            self.interval_idx += 1;
+            Some(exact)
+        } else {
+            None
+        }
+    }
+}
+
+impl EventProfiler for PerfectProfiler {
+    fn interval_config(&self) -> IntervalConfig {
+        self.interval
+    }
+
+    fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+        self.observe_exact(tuple).map(|exact| exact.profile())
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.events = 0;
+        self.interval_idx = 0;
+    }
+
+    fn events_in_current_interval(&self) -> u64 {
+        self.events
+    }
+
+    fn interval_index(&self) -> u64 {
+        self.interval_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(len: u64, frac: f64) -> IntervalConfig {
+        IntervalConfig::new(len, frac).unwrap()
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let mut p = PerfectProfiler::new(config(10, 0.3));
+        let mut exact = None;
+        for i in 0..10u64 {
+            let t = Tuple::new(i % 3, 0);
+            if let Some(e) = p.observe_exact(t) {
+                exact = Some(e);
+            }
+        }
+        let exact = exact.unwrap();
+        assert_eq!(exact.count_of(Tuple::new(0, 0)), 4); // i = 0,3,6,9
+        assert_eq!(exact.count_of(Tuple::new(1, 0)), 3);
+        assert_eq!(exact.count_of(Tuple::new(2, 0)), 3);
+        assert_eq!(exact.count_of(Tuple::new(9, 9)), 0);
+        assert_eq!(exact.distinct_tuples(), 3);
+    }
+
+    #[test]
+    fn candidates_respect_threshold() {
+        let mut p = PerfectProfiler::new(config(10, 0.4)); // threshold = 4
+        let mut exact = None;
+        for i in 0..10u64 {
+            let t = Tuple::new(i % 3, 0);
+            if let Some(e) = p.observe_exact(t) {
+                exact = Some(e);
+            }
+        }
+        let profile = exact.unwrap().profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile.count_of(Tuple::new(0, 0)), Some(4));
+    }
+
+    #[test]
+    fn intervals_are_disjoint() {
+        let mut p = PerfectProfiler::new(config(5, 0.2));
+        let mut exacts = Vec::new();
+        for i in 0..10u64 {
+            let t = Tuple::new(i / 5, 0); // tuple 0 in first interval, 1 in second
+            if let Some(e) = p.observe_exact(t) {
+                exacts.push(e);
+            }
+        }
+        assert_eq!(exacts.len(), 2);
+        assert_eq!(exacts[0].count_of(Tuple::new(0, 0)), 5);
+        assert_eq!(exacts[0].count_of(Tuple::new(1, 0)), 0);
+        assert_eq!(exacts[1].count_of(Tuple::new(1, 0)), 5);
+        assert_eq!(exacts[1].interval_index(), 1);
+    }
+
+    #[test]
+    fn event_profiler_impl_emits_candidate_profiles() {
+        let mut p = PerfectProfiler::new(config(4, 0.5));
+        assert!(p.observe(Tuple::new(1, 1)).is_none());
+        assert!(p.observe(Tuple::new(1, 1)).is_none());
+        assert!(p.observe(Tuple::new(2, 2)).is_none());
+        let profile = p.observe(Tuple::new(3, 3)).unwrap();
+        assert_eq!(profile.len(), 1); // only <1,1> reached 2 occurrences
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = PerfectProfiler::new(config(10, 0.5));
+        p.observe(Tuple::new(1, 1));
+        p.reset();
+        assert_eq!(p.events_in_current_interval(), 0);
+        assert_eq!(p.interval_index(), 0);
+    }
+}

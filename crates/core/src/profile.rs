@@ -1,0 +1,214 @@
+//! The per-interval output of a profiler.
+
+use std::collections::HashMap;
+
+use crate::interval::IntervalConfig;
+use crate::tuple::Tuple;
+
+/// One captured candidate: a tuple and the frequency the profiler observed
+/// for it within the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// The candidate tuple.
+    pub tuple: Tuple,
+    /// The profiler-observed occurrence count within the interval. For a
+    /// hardware profiler this may differ from the true count (that difference
+    /// is exactly what the error metrics measure).
+    pub count: u64,
+}
+
+impl Candidate {
+    /// Creates a candidate record.
+    pub fn new(tuple: Tuple, count: u64) -> Self {
+        Candidate { tuple, count }
+    }
+}
+
+/// The set of candidate tuples a profiler reports for one completed interval.
+///
+/// Candidates are sorted by descending count (ties broken by tuple order) so
+/// that the hottest events come first, which is how a run-time optimizer
+/// would consume the table.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::{Candidate, IntervalConfig, IntervalProfile, Tuple};
+/// let config = IntervalConfig::short();
+/// let profile = IntervalProfile::from_candidates(
+///     0,
+///     config,
+///     vec![Candidate::new(Tuple::new(1, 1), 200), Candidate::new(Tuple::new(2, 2), 900)],
+/// );
+/// assert_eq!(profile.len(), 2);
+/// assert_eq!(profile.candidates()[0].count, 900); // hottest first
+/// assert_eq!(profile.count_of(Tuple::new(1, 1)), Some(200));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalProfile {
+    interval_index: u64,
+    config: IntervalConfig,
+    candidates: Vec<Candidate>,
+    by_tuple: HashMap<Tuple, u64>,
+}
+
+impl IntervalProfile {
+    /// Builds a profile from raw candidates. Input order does not matter;
+    /// candidates are re-sorted hottest-first. Duplicate tuples are summed.
+    pub fn from_candidates(
+        interval_index: u64,
+        config: IntervalConfig,
+        candidates: Vec<Candidate>,
+    ) -> Self {
+        let mut by_tuple: HashMap<Tuple, u64> = HashMap::with_capacity(candidates.len());
+        for c in &candidates {
+            *by_tuple.entry(c.tuple).or_insert(0) += c.count;
+        }
+        let mut candidates: Vec<Candidate> = by_tuple
+            .iter()
+            .map(|(&tuple, &count)| Candidate { tuple, count })
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.tuple.cmp(&b.tuple)));
+        IntervalProfile {
+            interval_index,
+            config,
+            candidates,
+            by_tuple,
+        }
+    }
+
+    /// Zero-based index of the interval this profile covers.
+    #[inline]
+    pub fn interval_index(&self) -> u64 {
+        self.interval_index
+    }
+
+    /// The interval configuration under which the profile was gathered.
+    #[inline]
+    pub fn config(&self) -> IntervalConfig {
+        self.config
+    }
+
+    /// The candidate threshold, as an absolute count.
+    #[inline]
+    pub fn threshold_count(&self) -> u64 {
+        self.config.threshold_count()
+    }
+
+    /// Candidates in descending-count order.
+    #[inline]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Number of candidates captured.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Returns `true` if no candidate was captured this interval.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The observed count for `tuple`, or `None` if it was not captured.
+    #[inline]
+    pub fn count_of(&self, tuple: Tuple) -> Option<u64> {
+        self.by_tuple.get(&tuple).copied()
+    }
+
+    /// Returns `true` if `tuple` was captured as a candidate.
+    #[inline]
+    pub fn contains(&self, tuple: Tuple) -> bool {
+        self.by_tuple.contains_key(&tuple)
+    }
+
+    /// Iterates over captured tuples (hottest first).
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.candidates.iter().map(|c| c.tuple)
+    }
+
+    /// Sum of all captured counts.
+    pub fn total_count(&self) -> u64 {
+        self.candidates.iter().map(|c| c.count).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a IntervalProfile {
+    type Item = &'a Candidate;
+    type IntoIter = std::slice::Iter<'a, Candidate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.candidates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(counts: &[(u64, u64, u64)]) -> IntervalProfile {
+        IntervalProfile::from_candidates(
+            3,
+            IntervalConfig::short(),
+            counts
+                .iter()
+                .map(|&(pc, v, n)| Candidate::new(Tuple::new(pc, v), n))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn candidates_sorted_hottest_first() {
+        let p = profile(&[(1, 1, 100), (2, 2, 300), (3, 3, 200)]);
+        let counts: Vec<u64> = p.candidates().iter().map(|c| c.count).collect();
+        assert_eq!(counts, vec![300, 200, 100]);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_tuple() {
+        let p = profile(&[(9, 9, 100), (1, 1, 100)]);
+        assert_eq!(p.candidates()[0].tuple, Tuple::new(1, 1));
+    }
+
+    #[test]
+    fn duplicate_tuples_are_summed() {
+        let p = profile(&[(1, 1, 100), (1, 1, 50)]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.count_of(Tuple::new(1, 1)), Some(150));
+    }
+
+    #[test]
+    fn lookup_and_membership() {
+        let p = profile(&[(1, 1, 100)]);
+        assert!(p.contains(Tuple::new(1, 1)));
+        assert!(!p.contains(Tuple::new(1, 2)));
+        assert_eq!(p.count_of(Tuple::new(1, 2)), None);
+    }
+
+    #[test]
+    fn empty_profile_reports_empty() {
+        let p = profile(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.total_count(), 0);
+    }
+
+    #[test]
+    fn metadata_is_preserved() {
+        let p = profile(&[(1, 1, 100)]);
+        assert_eq!(p.interval_index(), 3);
+        assert_eq!(p.threshold_count(), 100);
+        assert_eq!(p.config(), IntervalConfig::short());
+    }
+
+    #[test]
+    fn iteration_yields_all_candidates() {
+        let p = profile(&[(1, 1, 10), (2, 2, 20)]);
+        assert_eq!(p.into_iter().count(), 2);
+        assert_eq!(p.tuples().count(), 2);
+        assert_eq!(p.total_count(), 30);
+    }
+}

@@ -1,0 +1,89 @@
+//! The common interface every profiling architecture implements.
+
+use crate::interval::IntervalConfig;
+use crate::profile::IntervalProfile;
+use crate::tuple::Tuple;
+
+/// An interval-based profiler that consumes a stream of tuples and emits an
+/// [`IntervalProfile`] each time a profile interval completes.
+///
+/// Implemented by [`SingleHashProfiler`](crate::SingleHashProfiler),
+/// [`MultiHashProfiler`](crate::MultiHashProfiler),
+/// [`PerfectProfiler`](crate::PerfectProfiler) and the stratified-sampler
+/// baseline in `mhp-stratified`.
+///
+/// # Examples
+///
+/// Driving any profiler generically:
+///
+/// ```
+/// use mhp_core::{EventProfiler, IntervalConfig, PerfectProfiler, Tuple};
+///
+/// fn run<P: EventProfiler>(profiler: &mut P, events: &[Tuple]) -> usize {
+///     events
+///         .iter()
+///         .filter_map(|&t| profiler.observe(t))
+///         .count()
+/// }
+///
+/// let mut perfect = PerfectProfiler::new(IntervalConfig::new(4, 0.5).unwrap());
+/// let events = vec![Tuple::new(1, 1); 8];
+/// assert_eq!(run(&mut perfect, &events), 2); // two complete 4-event intervals
+/// ```
+pub trait EventProfiler {
+    /// The interval configuration this profiler was built with.
+    fn interval_config(&self) -> IntervalConfig;
+
+    /// Feeds one profiling event. Returns `Some(profile)` exactly when this
+    /// event completes a profile interval.
+    fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile>;
+
+    /// Clears all profiling state (hash counters, accumulator contents and
+    /// the position within the current interval), as if freshly constructed.
+    fn reset(&mut self);
+
+    /// Number of events observed within the *current*, incomplete interval.
+    fn events_in_current_interval(&self) -> u64;
+
+    /// Index of the interval currently being gathered (completed intervals
+    /// are numbered `0..interval_index()`).
+    fn interval_index(&self) -> u64;
+
+    /// Feeds every event from `events`, collecting the completed interval
+    /// profiles.
+    fn observe_all<I>(&mut self, events: I) -> Vec<IntervalProfile>
+    where
+        I: IntoIterator<Item = Tuple>,
+        Self: Sized,
+    {
+        events
+            .into_iter()
+            .filter_map(|tuple| self.observe(tuple))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfect::PerfectProfiler;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let config = IntervalConfig::new(2, 0.5).unwrap();
+        let mut profiler: Box<dyn EventProfiler> = Box::new(PerfectProfiler::new(config));
+        assert!(profiler.observe(Tuple::new(1, 1)).is_none());
+        assert!(profiler.observe(Tuple::new(1, 1)).is_some());
+    }
+
+    #[test]
+    fn observe_all_collects_completed_intervals() {
+        let config = IntervalConfig::new(3, 0.5).unwrap();
+        let mut profiler = PerfectProfiler::new(config);
+        let events = vec![Tuple::new(1, 1); 10];
+        let profiles = profiler.observe_all(events);
+        assert_eq!(profiles.len(), 3); // 10 events -> 3 complete 3-event intervals
+        assert_eq!(profiler.events_in_current_interval(), 1);
+        assert_eq!(profiler.interval_index(), 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Theoretical false-positive analysis of the multi-hash profiler (§6.2).
+//!
+//! For a candidate threshold of `t` percent, at most `100/t` distinct tuples
+//! can exceed the threshold, so at most `100/t` counters in a `Z`-entry table
+//! can legitimately sit above it. A non-candidate tuple becomes a false
+//! positive only if it hashes onto such a counter — probability `100/(t·Z)`
+//! for one table. With `n` independent tables of `Z/n` entries each, the
+//! event must happen in *every* table:
+//!
+//! ```text
+//! P(false positive) = (100·n / (t·Z))^n
+//! ```
+//!
+//! This is a loose upper bound (it ignores retaining, shielding and
+//! conservative update) but it exhibits the paper's key shape: for a fixed
+//! counter budget the curve first falls steeply with `n`, then rises again
+//! once the per-table size gets small enough that per-table aliasing
+//! dominates (Figure 9: the 1,000-entry curve degrades beyond 4 tables).
+
+/// Probability (in `[0, 1]`) that a non-candidate input tuple is classified
+/// as a false positive by a multi-hash profiler with `total_entries` counters
+/// split over `num_tables` tables, at a candidate threshold of
+/// `threshold_percent` (e.g. `1.0` for 1 %).
+///
+/// Returns `1.0` when the bound exceeds certainty (tiny tables).
+///
+/// # Panics
+///
+/// Panics if `total_entries` or `num_tables` is zero, or if
+/// `threshold_percent` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::theory::false_positive_probability;
+/// let one = false_positive_probability(2000, 1, 1.0);
+/// let four = false_positive_probability(2000, 4, 1.0);
+/// assert!(four < one, "splitting the budget into 4 tables helps at 2K entries");
+/// ```
+pub fn false_positive_probability(
+    total_entries: usize,
+    num_tables: usize,
+    threshold_percent: f64,
+) -> f64 {
+    assert!(total_entries > 0, "total_entries must be positive");
+    assert!(num_tables > 0, "num_tables must be positive");
+    assert!(
+        threshold_percent > 0.0,
+        "threshold_percent must be positive"
+    );
+    let z = total_entries as f64;
+    let n = num_tables as f64;
+    let per_table = 100.0 * n / (threshold_percent * z);
+    per_table.powf(n).min(1.0)
+}
+
+/// One point of a Figure 9 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoryPoint {
+    /// Number of hash tables.
+    pub num_tables: usize,
+    /// Upper bound on the false-positive probability, in percent.
+    pub probability_percent: f64,
+}
+
+/// Generates one curve of Figure 9: the false-positive bound for
+/// `total_entries` counters as the number of tables sweeps `1..=max_tables`,
+/// at the given threshold.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::theory::figure9_curve;
+/// let curve = figure9_curve(2000, 16, 1.0);
+/// assert_eq!(curve.len(), 16);
+/// assert_eq!(curve[0].num_tables, 1);
+/// ```
+pub fn figure9_curve(
+    total_entries: usize,
+    max_tables: usize,
+    threshold_percent: f64,
+) -> Vec<TheoryPoint> {
+    (1..=max_tables)
+        .map(|n| TheoryPoint {
+            num_tables: n,
+            probability_percent: false_positive_probability(total_entries, n, threshold_percent)
+                * 100.0,
+        })
+        .collect()
+}
+
+/// The number of tables minimizing the theoretical bound for a given budget
+/// and threshold, searching `1..=max_tables`.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::theory::optimal_tables;
+/// // With a large budget the optimum moves past a single table.
+/// assert!(optimal_tables(8000, 16, 1.0) > 1);
+/// ```
+pub fn optimal_tables(total_entries: usize, max_tables: usize, threshold_percent: f64) -> usize {
+    (1..=max_tables)
+        .min_by(|&a, &b| {
+            false_positive_probability(total_entries, a, threshold_percent).total_cmp(
+                &false_positive_probability(total_entries, b, threshold_percent),
+            )
+        })
+        .expect("max_tables >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_table_matches_closed_form() {
+        // 100/(t*Z) with t=1, Z=2000 -> 0.05
+        let p = false_positive_probability(2000, 1, 1.0);
+        assert!((p - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_is_clamped_to_one() {
+        // 10 entries, 1 table, 1%: 100/(1*10) = 10 -> clamped.
+        assert_eq!(false_positive_probability(10, 1, 1.0), 1.0);
+    }
+
+    #[test]
+    fn four_tables_beat_one_at_2k_entries() {
+        let p1 = false_positive_probability(2000, 1, 1.0);
+        let p4 = false_positive_probability(2000, 4, 1.0);
+        assert!(p4 < p1 / 10.0, "p4={p4} should be far below p1={p1}");
+    }
+
+    #[test]
+    fn thousand_entry_curve_degrades_past_four_tables() {
+        // The paper: "for 1,000 entries ... performance degrades beyond 4
+        // hash tables."
+        let p4 = false_positive_probability(1000, 4, 1.0);
+        let p8 = false_positive_probability(1000, 8, 1.0);
+        assert!(p8 > p4, "p8={p8} should exceed p4={p4}");
+    }
+
+    #[test]
+    fn bigger_budgets_allow_more_tables() {
+        let opt_small = optimal_tables(500, 16, 1.0);
+        let opt_large = optimal_tables(8000, 16, 1.0);
+        assert!(
+            opt_large >= opt_small,
+            "optimum should move right with budget: {opt_small} -> {opt_large}"
+        );
+    }
+
+    #[test]
+    fn curve_has_requested_shape() {
+        let curve = figure9_curve(500, 16, 1.0);
+        assert_eq!(curve.len(), 16);
+        for (i, point) in curve.iter().enumerate() {
+            assert_eq!(point.num_tables, i + 1);
+            assert!(point.probability_percent >= 0.0);
+            assert!(point.probability_percent <= 100.0);
+        }
+    }
+
+    #[test]
+    fn lower_threshold_raises_false_positive_bound() {
+        let p_1pct = false_positive_probability(2000, 4, 1.0);
+        let p_01pct = false_positive_probability(2000, 4, 0.1);
+        assert!(p_01pct > p_1pct);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_entries_panics() {
+        false_positive_probability(0, 1, 1.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Profiling events and the tuples that name them.
+//!
+//! The paper (§3) represents every profiling event as a **tuple**: a pair of
+//! values that together uniquely identify the event. For load-value profiling
+//! the tuple is `<load PC, value>`; for edge profiling it is
+//! `<branch PC, branch target PC>`. The profiler itself is agnostic to the
+//! interpretation — it only ever hashes and compares tuples — so a single
+//! [`Tuple`] type serves every profile kind.
+
+use std::fmt;
+
+/// A program counter (instruction address).
+///
+/// Newtype over `u64` so that PCs cannot be confused with data values at API
+/// boundaries (trace generators produce both).
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::Pc;
+/// let pc = Pc::new(0x400_1000);
+/// assert_eq!(pc.as_u64(), 0x400_1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a program counter from a raw address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Pc(addr)
+    }
+
+    /// Returns the raw address.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Pc {
+    #[inline]
+    fn from(addr: u64) -> Self {
+        Pc(addr)
+    }
+}
+
+impl From<Pc> for u64 {
+    #[inline]
+    fn from(pc: Pc) -> Self {
+        pc.0
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// The second member of a profiling tuple.
+///
+/// For value profiling this is the loaded data value; for edge profiling it is
+/// the branch-target PC. Like [`Pc`] it is a transparent wrapper over `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::Value;
+/// let v = Value::new(42);
+/// assert_eq!(v.as_u64(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(u64);
+
+impl Value {
+    /// Creates a value from raw bits.
+    #[inline]
+    pub const fn new(bits: u64) -> Self {
+        Value(bits)
+    }
+
+    /// Returns the raw bits.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Value {
+    #[inline]
+    fn from(bits: u64) -> Self {
+        Value(bits)
+    }
+}
+
+impl From<Value> for u64 {
+    #[inline]
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A profiling event identifier: a `<pc, value>` pair (§3 of the paper).
+///
+/// `Tuple` is the unit the profilers count. Two events are "the same event"
+/// exactly when their tuples are equal.
+///
+/// # Examples
+///
+/// A load-value event and an edge event:
+///
+/// ```
+/// use mhp_core::Tuple;
+/// let value_event = Tuple::new(0x400_1000, 42);          // <load PC, value>
+/// let edge_event = Tuple::new(0x400_2000, 0x400_2040);   // <branch PC, target PC>
+/// assert_ne!(value_event, edge_event);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple {
+    /// The identifying PC of the event.
+    pc: Pc,
+    /// The event's value component.
+    value: Value,
+}
+
+impl Tuple {
+    /// Creates a tuple from raw `pc` and `value` bits.
+    #[inline]
+    pub fn new(pc: impl Into<Pc>, value: impl Into<Value>) -> Self {
+        Tuple {
+            pc: pc.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Returns the tuple's PC component.
+    #[inline]
+    pub const fn pc(self) -> Pc {
+        self.pc
+    }
+
+    /// Returns the tuple's value component.
+    #[inline]
+    pub const fn value(self) -> Value {
+        self.value
+    }
+}
+
+impl Tuple {
+    /// Names an event made of **more than two** variables (§3: *"If our
+    /// profiling architecture is to be used in a generalized profiling
+    /// engine, it can easily be extended to create unique names for events
+    /// with multiple variables"*).
+    ///
+    /// The first part is kept verbatim as the PC (so per-instruction
+    /// aggregation still works); the remaining parts are mixed into a
+    /// single value word with a rotate-xor-multiply combiner. Distinct
+    /// part-sequences collide only with hash probability (~2⁻⁶⁴), and the
+    /// composition is order-sensitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhp_core::Tuple;
+    /// // A three-variable event: <load PC, address, value>.
+    /// let t = Tuple::from_parts(&[0x400100, 0x8000_0000, 42]);
+    /// assert_eq!(t.pc().as_u64(), 0x400100);
+    /// assert_ne!(t, Tuple::from_parts(&[0x400100, 42, 0x8000_0000]));
+    /// ```
+    pub fn from_parts(parts: &[u64]) -> Self {
+        assert!(!parts.is_empty(), "an event needs at least one variable");
+        let pc = parts[0];
+        let mut acc = 0xCBF2_9CE4_8422_2325u64; // FNV-ish offset basis
+        for &p in &parts[1..] {
+            acc ^= p;
+            acc = acc.rotate_left(27).wrapping_mul(0x1000_0000_01B3 | 1);
+        }
+        let value = if parts.len() == 1 { 0 } else { acc };
+        Tuple::new(pc, value)
+    }
+}
+
+impl From<(u64, u64)> for Tuple {
+    #[inline]
+    fn from((pc, value): (u64, u64)) -> Self {
+        Tuple::new(pc, value)
+    }
+}
+
+impl From<Tuple> for (u64, u64) {
+    #[inline]
+    fn from(t: Tuple) -> Self {
+        (t.pc.as_u64(), t.value.as_u64())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.pc, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pc_round_trips_through_u64() {
+        let pc = Pc::new(0xdead_beef);
+        assert_eq!(u64::from(pc), 0xdead_beef);
+        assert_eq!(Pc::from(0xdead_beef_u64), pc);
+    }
+
+    #[test]
+    fn value_round_trips_through_u64() {
+        let v = Value::new(17);
+        assert_eq!(u64::from(v), 17);
+        assert_eq!(Value::from(17_u64), v);
+    }
+
+    #[test]
+    fn tuple_accessors_return_components() {
+        let t = Tuple::new(1, 2);
+        assert_eq!(t.pc(), Pc::new(1));
+        assert_eq!(t.value(), Value::new(2));
+    }
+
+    #[test]
+    fn tuple_equality_requires_both_components() {
+        let a = Tuple::new(1, 2);
+        assert_ne!(a, Tuple::new(1, 3));
+        assert_ne!(a, Tuple::new(2, 2));
+        assert_eq!(a, Tuple::new(1, 2));
+    }
+
+    #[test]
+    fn tuple_converts_from_pair() {
+        let t: Tuple = (5u64, 6u64).into();
+        assert_eq!(t, Tuple::new(5, 6));
+        let pair: (u64, u64) = t.into();
+        assert_eq!(pair, (5, 6));
+    }
+
+    #[test]
+    fn tuple_is_hashable_and_distinct_in_sets() {
+        let mut set = HashSet::new();
+        set.insert(Tuple::new(1, 1));
+        set.insert(Tuple::new(1, 1));
+        set.insert(Tuple::new(1, 2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty_and_stable() {
+        assert_eq!(Pc::new(0x10).to_string(), "0x10");
+        assert_eq!(Value::new(10).to_string(), "10");
+        assert_eq!(Tuple::new(0x10, 7).to_string(), "<0x10, 7>");
+    }
+
+    #[test]
+    fn default_tuple_is_zero() {
+        let t = Tuple::default();
+        assert_eq!(t, Tuple::new(0, 0));
+    }
+
+    #[test]
+    fn from_parts_keeps_the_pc_and_mixes_the_rest() {
+        let t = Tuple::from_parts(&[0x100, 7, 8]);
+        assert_eq!(t.pc(), Pc::new(0x100));
+        assert_ne!(t.value().as_u64(), 0);
+    }
+
+    #[test]
+    fn from_parts_is_order_sensitive() {
+        assert_ne!(Tuple::from_parts(&[1, 2, 3]), Tuple::from_parts(&[1, 3, 2]));
+    }
+
+    #[test]
+    fn from_parts_with_two_parts_is_collision_free_in_practice() {
+        let mut seen = HashSet::new();
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                assert!(
+                    seen.insert(Tuple::from_parts(&[a, b])),
+                    "collision at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_single_variable_has_zero_value() {
+        assert_eq!(Tuple::from_parts(&[9]), Tuple::new(9, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn from_parts_rejects_empty() {
+        Tuple::from_parts(&[]);
+    }
+
+    #[test]
+    fn types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pc>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<Tuple>();
+    }
+}

@@ -1,0 +1,213 @@
+//! Configuration of the stratified-sampler pipeline.
+
+use mhp_core::ConfigError;
+
+/// Configuration of the optional fully associative aggregation table that
+/// sits between the counter table and the buffer (§4.2: *"a small
+/// fully-associative counter table next to the stratified sampler (and
+/// before the buffer) to aggregate information before sending it to
+/// software"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregationConfig {
+    /// Entries in the aggregation table.
+    pub entries: usize,
+    /// A tuple's aggregated report count is flushed to the buffer once it
+    /// reaches this value.
+    pub flush_threshold: u32,
+}
+
+impl Default for AggregationConfig {
+    fn default() -> Self {
+        AggregationConfig {
+            entries: 16,
+            flush_threshold: 8,
+        }
+    }
+}
+
+/// Configuration of a [`StratifiedSampler`](crate::StratifiedSampler).
+///
+/// # Examples
+///
+/// ```
+/// use mhp_stratified::{AggregationConfig, StratifiedConfig};
+/// # fn main() -> Result<(), mhp_core::ConfigError> {
+/// let config = StratifiedConfig::new(2048)?
+///     .with_sampling_threshold(64)
+///     .with_tags(8, 32)
+///     .with_aggregation(AggregationConfig::default());
+/// assert!(config.tagged());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratifiedConfig {
+    entries: usize,
+    sampling_threshold: u32,
+    tag_bits: u32,
+    miss_limit: u32,
+    aggregation: Option<AggregationConfig>,
+    buffer_capacity: usize,
+}
+
+impl StratifiedConfig {
+    /// Creates a plain (untagged) sampler configuration with `entries`
+    /// counters, a sampling threshold of 16 and a 100-entry report buffer
+    /// (the buffer size used in the original study).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EntriesNotPowerOfTwo`] if `entries` is not a
+    /// power of two of at least 2.
+    pub fn new(entries: usize) -> Result<Self, ConfigError> {
+        if entries < 2 || !entries.is_power_of_two() {
+            return Err(ConfigError::EntriesNotPowerOfTwo(entries));
+        }
+        Ok(StratifiedConfig {
+            entries,
+            sampling_threshold: 16,
+            tag_bits: 0,
+            miss_limit: 0,
+            aggregation: None,
+            buffer_capacity: 100,
+        })
+    }
+
+    /// Sets the per-counter sampling threshold (reports are generated every
+    /// `threshold` occurrences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    pub fn with_sampling_threshold(mut self, threshold: u32) -> Self {
+        assert!(threshold > 0, "sampling threshold must be positive");
+        self.sampling_threshold = threshold;
+        self
+    }
+
+    /// Enables partial tags and miss counters: a mismatching tuple bumps a
+    /// miss counter, and once misses reach `miss_limit` the entry is
+    /// re-tagged for the new tuple (the replacement policy of §4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag_bits` is 0 or greater than 32, or `miss_limit == 0`.
+    pub fn with_tags(mut self, tag_bits: u32, miss_limit: u32) -> Self {
+        assert!((1..=32).contains(&tag_bits), "tag bits must be 1..=32");
+        assert!(miss_limit > 0, "miss limit must be positive");
+        self.tag_bits = tag_bits;
+        self.miss_limit = miss_limit;
+        self
+    }
+
+    /// Adds the aggregation table.
+    pub fn with_aggregation(mut self, aggregation: AggregationConfig) -> Self {
+        self.aggregation = Some(aggregation);
+        self
+    }
+
+    /// Sets the report-buffer capacity (an interrupt fires when it fills).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        self.buffer_capacity = capacity;
+        self
+    }
+
+    /// Number of counters.
+    #[inline]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// The per-counter sampling threshold.
+    #[inline]
+    pub fn sampling_threshold(&self) -> u32 {
+        self.sampling_threshold
+    }
+
+    /// Whether partial tags are enabled.
+    #[inline]
+    pub fn tagged(&self) -> bool {
+        self.tag_bits > 0
+    }
+
+    /// Partial-tag width in bits (0 when untagged).
+    #[inline]
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    /// Miss-counter replacement limit (0 when untagged).
+    #[inline]
+    pub fn miss_limit(&self) -> u32 {
+        self.miss_limit
+    }
+
+    /// The aggregation-table configuration, if enabled.
+    #[inline]
+    pub fn aggregation(&self) -> Option<AggregationConfig> {
+        self.aggregation
+    }
+
+    /// Report-buffer capacity.
+    #[inline]
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_original_study() {
+        let c = StratifiedConfig::new(2048).unwrap();
+        assert_eq!(c.buffer_capacity(), 100);
+        assert_eq!(c.sampling_threshold(), 16);
+        assert!(!c.tagged());
+        assert!(c.aggregation().is_none());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(StratifiedConfig::new(1000).is_err());
+        assert!(StratifiedConfig::new(1024).is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = StratifiedConfig::new(512)
+            .unwrap()
+            .with_sampling_threshold(64)
+            .with_tags(8, 32)
+            .with_aggregation(AggregationConfig {
+                entries: 8,
+                flush_threshold: 4,
+            })
+            .with_buffer_capacity(50);
+        assert_eq!(c.sampling_threshold(), 64);
+        assert_eq!(c.tag_bits(), 8);
+        assert_eq!(c.miss_limit(), 32);
+        assert_eq!(c.aggregation().unwrap().entries, 8);
+        assert_eq!(c.buffer_capacity(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling threshold")]
+    fn zero_threshold_panics() {
+        let _ = StratifiedConfig::new(512)
+            .unwrap()
+            .with_sampling_threshold(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag bits")]
+    fn bad_tag_bits_panic() {
+        let _ = StratifiedConfig::new(512).unwrap().with_tags(0, 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Conventional periodic and random samplers — the baselines *below* the
+//! stratified sampler.
+//!
+//! §4.2: *"These substreams are then independently sampled using a
+//! conventional periodic or random sampler … Consequently, the overall
+//! error rate of the stratified sampler will be less compared to having a
+//! single periodic or random sampler that takes the original stream as its
+//! input."* These two samplers are that reference point: no hardware
+//! filtering at all, just one event in `N` forwarded to software, whose
+//! per-interval estimate for a tuple is `samples × N`.
+
+use mhp_core::{Candidate, EventProfiler, IntervalConfig, IntervalProfile, Tuple};
+use std::collections::HashMap;
+
+/// A deterministic split-mix step for the random sampler's coin flips.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shared sampling core: accumulates sampled tuples and emits per-interval
+/// estimated profiles.
+#[derive(Debug, Clone)]
+struct SamplerCore {
+    interval: IntervalConfig,
+    period: u64,
+    counts: HashMap<Tuple, u64>,
+    events: u64,
+    interval_idx: u64,
+    samples: u64,
+}
+
+impl SamplerCore {
+    fn new(interval: IntervalConfig, period: u64) -> Self {
+        assert!(period > 0, "sampling period must be positive");
+        SamplerCore {
+            interval,
+            period,
+            counts: HashMap::new(),
+            events: 0,
+            interval_idx: 0,
+            samples: 0,
+        }
+    }
+
+    fn record(&mut self, tuple: Tuple) {
+        *self.counts.entry(tuple).or_insert(0) += 1;
+        self.samples += 1;
+    }
+
+    fn tick(&mut self) -> Option<IntervalProfile> {
+        self.events += 1;
+        if self.events < self.interval.interval_len() {
+            return None;
+        }
+        let threshold = self.interval.threshold_count();
+        let candidates: Vec<Candidate> = self
+            .counts
+            .drain()
+            .map(|(t, samples)| Candidate::new(t, samples * self.period))
+            .filter(|c| c.count >= threshold)
+            .collect();
+        let profile =
+            IntervalProfile::from_candidates(self.interval_idx, self.interval, candidates);
+        self.interval_idx += 1;
+        self.events = 0;
+        Some(profile)
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.events = 0;
+        self.interval_idx = 0;
+        self.samples = 0;
+    }
+}
+
+/// A periodic sampler: records exactly every `period`-th event.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::{EventProfiler, IntervalConfig, Tuple};
+/// use mhp_stratified::PeriodicSampler;
+/// let mut s = PeriodicSampler::new(IntervalConfig::new(100, 0.5).unwrap(), 10);
+/// let mut profile = None;
+/// for _ in 0..100 {
+///     if let Some(p) = s.observe(Tuple::new(1, 1)) {
+///         profile = Some(p);
+///     }
+/// }
+/// // 10 samples x period 10 = estimate 100, exact here.
+/// assert_eq!(profile.unwrap().count_of(Tuple::new(1, 1)), Some(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicSampler {
+    core: SamplerCore,
+    phase: u64,
+}
+
+impl PeriodicSampler {
+    /// Creates a sampler recording every `period`-th event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(interval: IntervalConfig, period: u64) -> Self {
+        PeriodicSampler {
+            core: SamplerCore::new(interval, period),
+            phase: 0,
+        }
+    }
+
+    /// Number of events sampled so far (across all intervals).
+    pub fn samples(&self) -> u64 {
+        self.core.samples
+    }
+}
+
+impl EventProfiler for PeriodicSampler {
+    fn interval_config(&self) -> IntervalConfig {
+        self.core.interval
+    }
+
+    fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+        self.phase += 1;
+        if self.phase == self.core.period {
+            self.phase = 0;
+            self.core.record(tuple);
+        }
+        self.core.tick()
+    }
+
+    fn reset(&mut self) {
+        self.core.reset();
+        self.phase = 0;
+    }
+
+    fn events_in_current_interval(&self) -> u64 {
+        self.core.events
+    }
+
+    fn interval_index(&self) -> u64 {
+        self.core.interval_idx
+    }
+}
+
+/// A random sampler: records each event independently with probability
+/// `1/period`.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::{EventProfiler, IntervalConfig, Tuple};
+/// use mhp_stratified::RandomSampler;
+/// let mut s = RandomSampler::new(IntervalConfig::new(10_000, 0.05).unwrap(), 10, 7);
+/// let mut profile = None;
+/// for _ in 0..10_000 {
+///     if let Some(p) = s.observe(Tuple::new(1, 1)) {
+///         profile = Some(p);
+///     }
+/// }
+/// let est = profile.unwrap().count_of(Tuple::new(1, 1)).unwrap();
+/// assert!((8_000..=12_000).contains(&est), "estimate {est} near 10,000");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomSampler {
+    core: SamplerCore,
+    rng_state: u64,
+}
+
+impl RandomSampler {
+    /// Creates a sampler recording events with probability `1/period`,
+    /// seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(interval: IntervalConfig, period: u64, seed: u64) -> Self {
+        RandomSampler {
+            core: SamplerCore::new(interval, period),
+            rng_state: seed ^ 0x5A17_AB1E,
+        }
+    }
+
+    /// Number of events sampled so far (across all intervals).
+    pub fn samples(&self) -> u64 {
+        self.core.samples
+    }
+}
+
+impl EventProfiler for RandomSampler {
+    fn interval_config(&self) -> IntervalConfig {
+        self.core.interval
+    }
+
+    fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+        let roll = mix(&mut self.rng_state);
+        if roll.is_multiple_of(self.core.period) {
+            self.core.record(tuple);
+        }
+        self.core.tick()
+    }
+
+    fn reset(&mut self) {
+        self.core.reset();
+    }
+
+    fn events_in_current_interval(&self) -> u64 {
+        self.core.events
+    }
+
+    fn interval_index(&self) -> u64 {
+        self.core.interval_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(len: u64, frac: f64) -> IntervalConfig {
+        IntervalConfig::new(len, frac).unwrap()
+    }
+
+    #[test]
+    fn periodic_sampling_aliases_with_periodic_data() {
+        // The classic periodic-sampler flaw the stratified design fixes: a
+        // period-10 sampler over period-2 data only ever sees odd indices,
+        // crediting one tuple with everything.
+        let mut s = PeriodicSampler::new(interval(100, 0.1), 10);
+        let mut profile = None;
+        for i in 0..100u64 {
+            if let Some(p) = s.observe(Tuple::new(i % 2, 0)) {
+                profile = Some(p);
+            }
+        }
+        let profile = profile.unwrap();
+        assert_eq!(
+            profile.count_of(Tuple::new(1, 0)),
+            Some(100),
+            "all samples land here"
+        );
+        assert_eq!(profile.count_of(Tuple::new(0, 0)), None, "never sampled");
+        assert_eq!(s.samples(), 10);
+    }
+
+    #[test]
+    fn periodic_estimates_are_quantized_with_coprime_period() {
+        // With a period co-prime to the data period, sampling is fair and
+        // estimates quantize to samples x period.
+        let mut s = PeriodicSampler::new(interval(140, 0.01), 7);
+        let mut profile = None;
+        for i in 0..140u64 {
+            if let Some(p) = s.observe(Tuple::new(i % 2, 0)) {
+                profile = Some(p);
+            }
+        }
+        let profile = profile.unwrap();
+        let a = profile.count_of(Tuple::new(0, 0)).unwrap_or(0);
+        let b = profile.count_of(Tuple::new(1, 0)).unwrap_or(0);
+        assert_eq!(a + b, 140, "20 samples x 7");
+        assert_eq!(a % 7, 0);
+        assert!((49..=91).contains(&a), "roughly fair split, got {a}");
+    }
+
+    #[test]
+    fn periodic_misses_rare_tuples_entirely() {
+        // A tuple occurring 9 times in a period-10 phase-aligned stream can
+        // vanish: false negatives are the cost of sampling.
+        let mut s = PeriodicSampler::new(interval(100, 0.05), 10);
+        let mut profile = None;
+        for i in 0..100u64 {
+            // The rare tuple occupies positions 1..9 (never a multiple of 10).
+            let t = if i % 10 == 0 {
+                Tuple::new(1, 0)
+            } else {
+                Tuple::new(2, 0)
+            };
+            if let Some(p) = s.observe(t) {
+                profile = Some(p);
+            }
+        }
+        // Positions 9,19,... are sampled (the 10th event is index 9): all hit
+        // tuple 2. Tuple 1 is never sampled even though it occurred 10 times.
+        let profile = profile.unwrap();
+        assert_eq!(profile.count_of(Tuple::new(1, 0)), None);
+        assert_eq!(profile.count_of(Tuple::new(2, 0)), Some(100));
+    }
+
+    #[test]
+    fn random_sampler_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut s = RandomSampler::new(interval(1_000, 0.01), 10, seed);
+            let mut out = Vec::new();
+            for i in 0..1_000u64 {
+                if let Some(p) = s.observe(Tuple::new(i % 7, 0)) {
+                    out.push(p);
+                }
+            }
+            out
+        };
+        assert_eq!(run(1).len(), run(1).len());
+        assert_eq!(run(1)[0].candidates(), run(1)[0].candidates());
+    }
+
+    #[test]
+    fn random_sampler_rate_is_approximately_one_over_period() {
+        let mut s = RandomSampler::new(interval(100_000, 0.01), 16, 3);
+        for i in 0..100_000u64 {
+            s.observe(Tuple::new(i % 3, 0));
+        }
+        let rate = s.samples() as f64 / 100_000.0;
+        assert!((rate - 1.0 / 16.0).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn below_threshold_estimates_are_dropped() {
+        // Period 7 is co-prime to the data period 4, so each tuple gets a
+        // fair ~25% of the 14 samples -> estimates ~25 < threshold 50.
+        let mut s = PeriodicSampler::new(interval(100, 0.5), 7); // threshold 50
+        let mut profile = None;
+        for i in 0..100u64 {
+            if let Some(p) = s.observe(Tuple::new(i % 4, 0)) {
+                profile = Some(p);
+            }
+        }
+        assert!(profile.unwrap().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_sampler_state() {
+        let mut s = RandomSampler::new(interval(100, 0.1), 4, 9);
+        for i in 0..50u64 {
+            s.observe(Tuple::new(i, 0));
+        }
+        s.reset();
+        assert_eq!(s.samples(), 0);
+        assert_eq!(s.events_in_current_interval(), 0);
+        assert_eq!(s.interval_index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        PeriodicSampler::new(interval(100, 0.1), 0);
+    }
+}

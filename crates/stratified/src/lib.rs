@@ -1,0 +1,66 @@
+//! # mhp-stratified — the Stratified Sampler baseline
+//!
+//! A reimplementation of the hardware/software hybrid profiler of Sastry,
+//! Bodik and Smith (*"Rapid Profiling via Stratified Sampling"*, ISCA 2001),
+//! as described in §4.2 of *"Catching Accurate Profiles in Hardware"* — the
+//! prior art the Multi-Hash profiler is positioned against.
+//!
+//! The stratified sampler hashes each input tuple to a counter; when the
+//! counter reaches a **sampling threshold** it resets and the event is
+//! *reported to software*. Reports pass through an optional fully
+//! associative **aggregation table**, then a **buffer**; when the buffer
+//! fills, the OS is interrupted and software accumulates the samples. The
+//! profile therefore lives in *software*, and every interrupt costs time —
+//! the 5 % overhead the paper quotes.
+//!
+//! The implementation exposes:
+//!
+//! * [`StratifiedSampler`] — the full pipeline (plain or tagged counter
+//!   table, aggregation table, buffer, interrupt accounting), adapted to the
+//!   interval-based [`EventProfiler`](mhp_core::EventProfiler) interface so
+//!   it can be error-measured against the same perfect profiler;
+//! * [`OverheadStats`] — reports, buffer flushes and interrupts, the
+//!   baseline's software-cost proxy.
+//!
+//! ## Example
+//!
+//! ```
+//! use mhp_core::{EventProfiler, IntervalConfig, Tuple};
+//! use mhp_stratified::{StratifiedConfig, StratifiedSampler};
+//!
+//! # fn main() -> Result<(), mhp_core::ConfigError> {
+//! let config = StratifiedConfig::new(2048)?.with_sampling_threshold(16);
+//! let mut sampler = StratifiedSampler::new(IntervalConfig::short(), config, 1)?;
+//! for i in 0..10_000u64 {
+//!     let t = if i % 4 == 0 { Tuple::new(0x400100, 9) } else { Tuple::new(i, i) };
+//!     if let Some(profile) = sampler.observe(t) {
+//!         assert!(profile.contains(Tuple::new(0x400100, 9)));
+//!     }
+//! }
+//! assert!(sampler.overhead().interrupts > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod config;
+mod conventional;
+mod sampler;
+mod software;
+
+pub use config::{AggregationConfig, StratifiedConfig};
+pub use conventional::{PeriodicSampler, RandomSampler};
+pub use sampler::StratifiedSampler;
+pub use software::{OverheadStats, SoftwareAccumulator};
+
+/// Mixes a tuple into the 64-bit source the partial tag is cut from.
+pub(crate) fn mix_tag(seed: u64, tuple: mhp_core::Tuple) -> u64 {
+    let mut z = seed
+        ^ tuple.pc().as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ tuple.value().as_u64().rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,411 @@
+//! The stratified-sampler hardware pipeline.
+
+use mhp_core::{
+    Candidate, ConfigError, EventProfiler, IntervalConfig, IntervalProfile, Tuple, TupleHasher,
+};
+
+use crate::config::StratifiedConfig;
+use crate::software::{OverheadStats, SoftwareAccumulator};
+
+/// One counter-table entry: count plus (when tags are enabled) a partial tag
+/// and a miss counter guiding replacement.
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterEntry {
+    count: u32,
+    tag: u32,
+    tag_valid: bool,
+    misses: u32,
+}
+
+/// One aggregation-table entry: a reported tuple and how many hardware
+/// reports it has absorbed.
+#[derive(Debug, Clone, Copy)]
+struct AggEntry {
+    tuple: Tuple,
+    reports: u32,
+}
+
+/// The Stratified Sampler of Sastry et al., adapted to interval-based
+/// operation so it can be compared against the paper's profilers under the
+/// same error metric.
+///
+/// The pipeline per event: hash to a counter (optionally tag-checked);
+/// crossing the sampling threshold resets the counter and emits a report;
+/// reports flow through the optional aggregation table into the buffer; a
+/// full buffer interrupts "software", which accumulates estimated counts
+/// (reports × sampling threshold). At an interval boundary the software
+/// profile's above-threshold tuples become the reported candidates.
+#[derive(Debug, Clone)]
+pub struct StratifiedSampler {
+    interval: IntervalConfig,
+    config: StratifiedConfig,
+    hasher: TupleHasher,
+    counters: Vec<CounterEntry>,
+    agg: Vec<AggEntry>,
+    software: SoftwareAccumulator,
+    tag_seed: u64,
+    threshold: u64,
+    events: u64,
+    interval_idx: u64,
+}
+
+impl StratifiedSampler {
+    /// Builds a sampler. The `seed` selects the hardwired hash function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hash-table configuration errors.
+    pub fn new(
+        interval: IntervalConfig,
+        config: StratifiedConfig,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        let hasher = TupleHasher::new(config.entries(), seed)?;
+        Ok(StratifiedSampler {
+            interval,
+            config,
+            hasher,
+            counters: vec![CounterEntry::default(); config.entries()],
+            agg: Vec::new(),
+            software: SoftwareAccumulator::new(config.buffer_capacity()),
+            tag_seed: seed ^ 0x7A6_7A6,
+            threshold: interval.threshold_count(),
+            events: 0,
+            interval_idx: 0,
+        })
+    }
+
+    /// This sampler's configuration.
+    pub fn config(&self) -> StratifiedConfig {
+        self.config
+    }
+
+    /// Cumulative software-overhead statistics.
+    pub fn overhead(&self) -> OverheadStats {
+        self.software.stats()
+    }
+
+    fn partial_tag(&self, tuple: Tuple) -> u32 {
+        let mixed = crate::mix_tag(self.tag_seed, tuple);
+        (mixed & ((1u64 << self.config.tag_bits()) - 1)) as u32
+    }
+
+    /// Routes one hardware report (worth one sampling threshold of
+    /// occurrences) through the aggregation table, if configured.
+    fn route_report(&mut self, tuple: Tuple) {
+        let weight = u64::from(self.config.sampling_threshold());
+        let Some(agg_cfg) = self.config.aggregation() else {
+            self.software.report(tuple, weight);
+            return;
+        };
+        if let Some(entry) = self.agg.iter_mut().find(|e| e.tuple == tuple) {
+            entry.reports += 1;
+            self.software.note_aggregated();
+            if entry.reports >= agg_cfg.flush_threshold {
+                let reports = entry.reports;
+                self.agg.retain(|e| e.tuple != tuple);
+                self.software.report(tuple, weight * u64::from(reports));
+            }
+            return;
+        }
+        if self.agg.len() < agg_cfg.entries {
+            self.agg.push(AggEntry { tuple, reports: 1 });
+            self.software.note_aggregated();
+            return;
+        }
+        // Capacity eviction: flush the entry with the fewest reports
+        // (deterministic tie-break on the tuple).
+        let victim_idx = self
+            .agg
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.reports, e.tuple))
+            .map(|(i, _)| i)
+            .expect("aggregation table is non-empty here");
+        let victim = self.agg.swap_remove(victim_idx);
+        self.software
+            .report(victim.tuple, weight * u64::from(victim.reports));
+        self.agg.push(AggEntry { tuple, reports: 1 });
+        self.software.note_aggregated();
+    }
+
+    fn observe_untagged(&mut self, tuple: Tuple) {
+        let idx = self.hasher.index(tuple);
+        let entry = &mut self.counters[idx];
+        entry.count += 1;
+        if u64::from(entry.count) >= u64::from(self.config.sampling_threshold()) {
+            entry.count = 0;
+            self.route_report(tuple);
+        }
+    }
+
+    fn observe_tagged(&mut self, tuple: Tuple) {
+        let tag = self.partial_tag(tuple);
+        let idx = self.hasher.index(tuple);
+        let miss_limit = self.config.miss_limit();
+        let sampling = self.config.sampling_threshold();
+        let entry = &mut self.counters[idx];
+        if !entry.tag_valid {
+            entry.tag = tag;
+            entry.tag_valid = true;
+            entry.count = 0;
+            entry.misses = 0;
+        }
+        if entry.tag == tag {
+            entry.count += 1;
+            if entry.count >= sampling {
+                entry.count = 0;
+                self.route_report(tuple);
+            }
+        } else {
+            entry.misses += 1;
+            if entry.misses >= miss_limit {
+                // Replace the resident tuple with the newcomer.
+                entry.tag = tag;
+                entry.count = 1;
+                entry.misses = 0;
+            }
+        }
+    }
+
+    fn finish_interval(&mut self) -> IntervalProfile {
+        // Software reads the aggregation table at the interval boundary.
+        let weight = u64::from(self.config.sampling_threshold());
+        for entry in std::mem::take(&mut self.agg) {
+            self.software
+                .report(entry.tuple, weight * u64::from(entry.reports));
+        }
+        let counts = self.software.finish_interval();
+        let candidates: Vec<Candidate> = counts
+            .into_iter()
+            .filter(|&(_, est)| est >= self.threshold)
+            .map(|(tuple, est)| Candidate::new(tuple, est))
+            .collect();
+        self.counters.fill(CounterEntry::default());
+        let profile =
+            IntervalProfile::from_candidates(self.interval_idx, self.interval, candidates);
+        self.interval_idx += 1;
+        self.events = 0;
+        profile
+    }
+}
+
+impl EventProfiler for StratifiedSampler {
+    fn interval_config(&self) -> IntervalConfig {
+        self.interval
+    }
+
+    fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+        if self.config.tagged() {
+            self.observe_tagged(tuple);
+        } else {
+            self.observe_untagged(tuple);
+        }
+        self.events += 1;
+        if self.events == self.interval.interval_len() {
+            Some(self.finish_interval())
+        } else {
+            None
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counters.fill(CounterEntry::default());
+        self.agg.clear();
+        self.software = SoftwareAccumulator::new(self.config.buffer_capacity());
+        self.events = 0;
+        self.interval_idx = 0;
+    }
+
+    fn events_in_current_interval(&self) -> u64 {
+        self.events
+    }
+
+    fn interval_index(&self) -> u64 {
+        self.interval_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AggregationConfig;
+
+    fn interval(len: u64, frac: f64) -> IntervalConfig {
+        IntervalConfig::new(len, frac).unwrap()
+    }
+
+    #[test]
+    fn hot_tuple_is_estimated_and_reported() {
+        let cfg = StratifiedConfig::new(2048)
+            .unwrap()
+            .with_sampling_threshold(10);
+        let mut s = StratifiedSampler::new(interval(1_000, 0.01), cfg, 1).unwrap();
+        let hot = Tuple::new(1, 1);
+        let mut profile = None;
+        for i in 0..1_000u64 {
+            let t = if i % 4 == 0 {
+                hot
+            } else {
+                Tuple::new(0x9000 + i, i)
+            };
+            if let Some(p) = s.observe(t) {
+                profile = Some(p);
+            }
+        }
+        let profile = profile.unwrap();
+        // 250 occurrences at sampling threshold 10 -> estimate ~250 (within
+        // one quantum, plus aliasing inflation).
+        let est = profile.count_of(hot).expect("hot tuple reported");
+        assert!((240..=330).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    fn estimates_are_quantized_to_the_sampling_threshold() {
+        let cfg = StratifiedConfig::new(2048)
+            .unwrap()
+            .with_sampling_threshold(16);
+        let mut s = StratifiedSampler::new(interval(100, 0.1), cfg, 1).unwrap();
+        let hot = Tuple::new(1, 1);
+        let mut profile = None;
+        for _ in 0..100u64 {
+            if let Some(p) = s.observe(hot) {
+                profile = Some(p);
+            }
+        }
+        // 100 occurrences -> 6 reports of weight 16 -> estimate 96.
+        assert_eq!(profile.unwrap().count_of(hot), Some(96));
+    }
+
+    #[test]
+    fn buffer_interrupts_are_counted() {
+        let cfg = StratifiedConfig::new(64)
+            .unwrap()
+            .with_sampling_threshold(2)
+            .with_buffer_capacity(10);
+        let mut s = StratifiedSampler::new(interval(10_000, 0.01), cfg, 1).unwrap();
+        for i in 0..5_000u64 {
+            s.observe(Tuple::new(i % 8, 0));
+        }
+        let stats = s.overhead();
+        assert!(stats.reports > 100);
+        assert!(stats.interrupts > 10);
+    }
+
+    #[test]
+    fn aggregation_reduces_buffered_reports() {
+        let make = |agg: bool| {
+            let mut cfg = StratifiedConfig::new(64)
+                .unwrap()
+                .with_sampling_threshold(2);
+            if agg {
+                cfg = cfg.with_aggregation(AggregationConfig {
+                    entries: 16,
+                    flush_threshold: 8,
+                });
+            }
+            let mut s = StratifiedSampler::new(interval(10_000, 0.01), cfg, 1).unwrap();
+            for i in 0..10_000u64 {
+                s.observe(Tuple::new(i % 8, 0));
+            }
+            s.overhead()
+        };
+        let without = make(false);
+        let with = make(true);
+        assert!(
+            with.reports < without.reports / 4,
+            "aggregation should slash buffered reports: {} vs {}",
+            with.reports,
+            without.reports
+        );
+        assert!(with.interrupts < without.interrupts);
+    }
+
+    #[test]
+    fn tagged_sampler_resists_aliasing() {
+        // Two aliasing tuples; the tagged sampler should not credit B with
+        // A's counts.
+        let cfg_plain = StratifiedConfig::new(64)
+            .unwrap()
+            .with_sampling_threshold(8);
+        let cfg_tagged = cfg_plain.with_tags(12, 1_000_000);
+        let s0 = StratifiedSampler::new(interval(100_000, 0.0001), cfg_tagged, 1).unwrap();
+        // Find an aliasing pair.
+        let a = Tuple::new(0x10, 1);
+        let mut b = None;
+        for i in 0..100_000u64 {
+            let cand = Tuple::new(0x9000 + i, i);
+            if s0.hasher.index(cand) == s0.hasher.index(a) {
+                b = Some(cand);
+                break;
+            }
+        }
+        let b = b.expect("aliasing tuple");
+        let mut s = s0;
+        for _ in 0..7 {
+            s.observe(a);
+        }
+        // One occurrence of b: in the plain design the shared counter would
+        // cross (7+1=8) and report b. Tagged: b is a tag miss.
+        s.observe(b);
+        assert_eq!(s.overhead().reports, 0, "tag must block the aliased report");
+    }
+
+    #[test]
+    fn tagged_replacement_after_miss_limit() {
+        let cfg = StratifiedConfig::new(64)
+            .unwrap()
+            .with_sampling_threshold(4)
+            .with_tags(12, 3);
+        let mut s = StratifiedSampler::new(interval(100_000, 0.0001), cfg, 1).unwrap();
+        let a = Tuple::new(0x10, 1);
+        let mut b = None;
+        for i in 0..100_000u64 {
+            let cand = Tuple::new(0x9000 + i, i);
+            if s.hasher.index(cand) == s.hasher.index(a) && s.partial_tag(cand) != s.partial_tag(a)
+            {
+                b = Some(cand);
+                break;
+            }
+        }
+        let b = b.expect("aliasing tuple with different tag");
+        s.observe(a); // a owns the entry
+        for _ in 0..3 {
+            s.observe(b); // misses reach the limit; b takes over with count 1
+        }
+        for _ in 0..3 {
+            s.observe(b); // 1 + 3 = 4 -> crossing
+        }
+        assert_eq!(
+            s.overhead().reports,
+            1,
+            "b should earn a report after takeover"
+        );
+    }
+
+    #[test]
+    fn interval_end_flushes_hardware_state() {
+        let cfg = StratifiedConfig::new(64)
+            .unwrap()
+            .with_sampling_threshold(4);
+        let mut s = StratifiedSampler::new(interval(100, 0.1), cfg, 1).unwrap();
+        for i in 0..100u64 {
+            s.observe(Tuple::new(i % 4, 0));
+        }
+        assert_eq!(s.interval_index(), 1);
+        assert!(s.counters.iter().all(|e| e.count == 0));
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let cfg = StratifiedConfig::new(64).unwrap();
+        let mut s = StratifiedSampler::new(interval(100, 0.1), cfg, 1).unwrap();
+        for i in 0..50u64 {
+            s.observe(Tuple::new(i, 0));
+        }
+        s.reset();
+        assert_eq!(s.events_in_current_interval(), 0);
+        assert_eq!(s.interval_index(), 0);
+        assert_eq!(s.overhead(), OverheadStats::default());
+    }
+}

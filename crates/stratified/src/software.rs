@@ -1,0 +1,163 @@
+//! The software side of the stratified sampler: report buffer, interrupts,
+//! and the in-memory profile the OS accumulates.
+
+use std::collections::HashMap;
+
+use mhp_core::Tuple;
+
+/// Software-overhead accounting: the cost the Multi-Hash profiler eliminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverheadStats {
+    /// Hardware reports generated (counter threshold crossings that reached
+    /// the buffer, after aggregation).
+    pub reports: u64,
+    /// Interrupts raised because the buffer filled.
+    pub interrupts: u64,
+    /// Reports absorbed by the aggregation table (never individually
+    /// buffered).
+    pub aggregated: u64,
+}
+
+/// The OS-side accumulator: drains the report buffer on interrupts and keeps
+/// the per-interval sample counts.
+///
+/// Each buffered report represents `sample_weight` occurrences of its tuple
+/// (the hardware counter's sampling threshold, multiplied by any aggregation
+/// factor).
+#[derive(Debug, Clone, Default)]
+pub struct SoftwareAccumulator {
+    buffer: Vec<(Tuple, u64)>,
+    capacity: usize,
+    counts: HashMap<Tuple, u64>,
+    stats: OverheadStats,
+}
+
+impl SoftwareAccumulator {
+    /// Creates an accumulator whose buffer holds `capacity` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        SoftwareAccumulator {
+            buffer: Vec::with_capacity(capacity),
+            capacity,
+            counts: HashMap::new(),
+            stats: OverheadStats::default(),
+        }
+    }
+
+    /// Buffers one report worth `weight` occurrences. If the buffer is full
+    /// an interrupt fires and software drains it.
+    pub fn report(&mut self, tuple: Tuple, weight: u64) {
+        self.stats.reports += 1;
+        self.buffer.push((tuple, weight));
+        if self.buffer.len() >= self.capacity {
+            self.stats.interrupts += 1;
+            self.drain();
+        }
+    }
+
+    /// Notes a report absorbed by the aggregation table (for accounting).
+    pub fn note_aggregated(&mut self) {
+        self.stats.aggregated += 1;
+    }
+
+    /// Drains the buffer into the software profile without an interrupt
+    /// (used at interval boundaries, where software would read the profile
+    /// anyway).
+    pub fn drain(&mut self) {
+        for (tuple, weight) in self.buffer.drain(..) {
+            *self.counts.entry(tuple).or_insert(0) += weight;
+        }
+    }
+
+    /// The software-side estimated count for `tuple` so far this interval.
+    pub fn count_of(&self, tuple: Tuple) -> u64 {
+        self.counts.get(&tuple).copied().unwrap_or(0)
+    }
+
+    /// Number of pending (buffered, undrained) reports.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Running overhead statistics (monotonic across intervals).
+    pub fn stats(&self) -> OverheadStats {
+        self.stats
+    }
+
+    /// Ends the interval: drains the buffer and returns the accumulated
+    /// estimated counts, clearing them for the next interval.
+    pub fn finish_interval(&mut self) -> HashMap<Tuple, u64> {
+        self.drain();
+        std::mem::take(&mut self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Tuple {
+        Tuple::new(n, n)
+    }
+
+    #[test]
+    fn reports_accumulate_with_weights() {
+        let mut acc = SoftwareAccumulator::new(10);
+        acc.report(t(1), 16);
+        acc.report(t(1), 16);
+        acc.report(t(2), 16);
+        acc.drain();
+        assert_eq!(acc.count_of(t(1)), 32);
+        assert_eq!(acc.count_of(t(2)), 16);
+        assert_eq!(acc.count_of(t(3)), 0);
+    }
+
+    #[test]
+    fn interrupt_fires_when_buffer_fills() {
+        let mut acc = SoftwareAccumulator::new(3);
+        acc.report(t(1), 1);
+        acc.report(t(2), 1);
+        assert_eq!(acc.stats().interrupts, 0);
+        assert_eq!(acc.pending(), 2);
+        acc.report(t(3), 1);
+        assert_eq!(acc.stats().interrupts, 1);
+        assert_eq!(acc.pending(), 0, "interrupt drains the buffer");
+    }
+
+    #[test]
+    fn finish_interval_returns_and_clears_counts() {
+        let mut acc = SoftwareAccumulator::new(10);
+        acc.report(t(1), 5);
+        let counts = acc.finish_interval();
+        assert_eq!(counts.get(&t(1)), Some(&5));
+        assert_eq!(acc.count_of(t(1)), 0);
+        assert_eq!(acc.pending(), 0);
+    }
+
+    #[test]
+    fn stats_are_monotonic_across_intervals() {
+        let mut acc = SoftwareAccumulator::new(2);
+        for i in 0..10 {
+            acc.report(t(i), 1);
+        }
+        let stats_before = acc.stats();
+        acc.finish_interval();
+        assert_eq!(
+            acc.stats(),
+            stats_before,
+            "finish_interval is not an interrupt"
+        );
+        assert_eq!(stats_before.reports, 10);
+        assert_eq!(stats_before.interrupts, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        SoftwareAccumulator::new(0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Synthetic edge-profiling workloads.
+//!
+//! An edge event is a `<branch PC, target PC>` tuple (§3). Edge streams
+//! differ from value streams in two ways the paper calls out (§6.4.2): each
+//! static branch produces at most a handful of distinct tuples (two for a
+//! conditional, a bounded fan-out for an indirect jump), so the profiler
+//! *"will see fewer distinct tuples than value profiling"* — there is no
+//! streaming noise component.
+//!
+//! [`EdgeWorkload`] reuses the band model of
+//! [`ValueWorkload`](crate::workload::ValueWorkload): band members are hot
+//! *branches* whose dynamic frequency is log-spaced within the band; each
+//! branch splits its mass between a taken edge and a fall-through edge with a
+//! per-branch bias, so a single hot branch can contribute one or two
+//! candidate edges. The noise tail draws cold branches from a Zipf
+//! distribution; a configurable fraction are indirect jumps with a wide
+//! target fan-out.
+
+use mhp_core::Tuple;
+
+use crate::sampler::{DiscreteSampler, ZipfSampler};
+use crate::util::{hash2, SplitMix64};
+use crate::workload::BandSpec;
+
+/// Branch-bias buckets used for band members, assigned round-robin by
+/// member index so every band contains both strongly biased and
+/// hard-to-predict branches (the §2 multipath premise).
+const BIASES: [f64; 4] = [0.99, 0.95, 0.85, 0.70];
+
+/// Full specification of a synthetic edge-profiling workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeWorkloadSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Branches whose *taken edge* sits above the short-config threshold.
+    pub hot: BandSpec,
+    /// Branches whose taken edge sits between the two thresholds.
+    pub mid: BandSpec,
+    /// Near-miss branches below every threshold.
+    pub warm: BandSpec,
+    /// Size of the cold-branch population.
+    pub noise_branches: usize,
+    /// Zipf skew of cold-branch selection.
+    pub noise_theta: f64,
+    /// Rank shift applied to the noise Zipf (flattens the head).
+    pub noise_rank_offset: usize,
+    /// Fraction of cold branches that are indirect jumps.
+    pub indirect_fraction: f64,
+    /// Distinct targets per indirect jump.
+    pub indirect_targets: usize,
+    /// Number of program phases (1 = none).
+    pub phases: usize,
+    /// Events per phase.
+    pub phase_len: u64,
+    /// Probability that a band branch keeps its identity across phases.
+    pub stable_fraction: f64,
+    /// Burst groups rotating the hot band (1 = none).
+    pub burst_groups: usize,
+    /// Events per burst.
+    pub burst_len: u64,
+    /// Fraction of the hot band that rotates between burst groups.
+    pub rotating_fraction: f64,
+}
+
+impl EdgeWorkloadSpec {
+    /// Total band mass (fraction of the stream in band branches).
+    pub fn band_mass(&self) -> f64 {
+        self.hot.total_mass() + self.mid.total_mass() + self.warm.total_mass()
+    }
+
+    /// Total number of band branches.
+    pub fn band_members(&self) -> usize {
+        self.hot.count + self.mid.count + self.warm.count
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (see the assertions).
+    pub fn validate(&self) {
+        assert!(
+            self.band_mass() < 0.9,
+            "{}: band mass {:.2} leaves too little noise",
+            self.name,
+            self.band_mass()
+        );
+        assert!(
+            self.noise_branches > 0,
+            "{}: need noise branches",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.indirect_fraction)
+                && (0.0..=1.0).contains(&self.stable_fraction),
+            "{}: probabilities out of range",
+            self.name
+        );
+        assert!(
+            self.indirect_targets > 0,
+            "{}: indirect jumps need targets",
+            self.name
+        );
+        assert!(
+            self.phases >= 1 && self.burst_groups >= 1,
+            "{}: degenerate",
+            self.name
+        );
+        assert!(
+            self.phases == 1 || self.phase_len > 0,
+            "{}: phased workload needs phase_len",
+            self.name
+        );
+        assert!(
+            self.burst_groups == 1 || self.burst_len > 0,
+            "{}: bursting workload needs burst_len",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.rotating_fraction),
+            "{}: rotating fraction out of range",
+            self.name
+        );
+    }
+}
+
+/// An infinite, deterministic iterator of `<branch PC, target PC>` events.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::edge::{EdgeWorkload, EdgeWorkloadSpec};
+/// use mhp_trace::workload::BandSpec;
+/// let spec = EdgeWorkloadSpec {
+///     name: "demo",
+///     hot: BandSpec { count: 3, freq_min: 0.02, freq_max: 0.05 },
+///     mid: BandSpec::EMPTY,
+///     warm: BandSpec::EMPTY,
+///     noise_branches: 100,
+///     noise_theta: 0.8,
+///     noise_rank_offset: 40,
+///     indirect_fraction: 0.1,
+///     indirect_targets: 16,
+///     phases: 1,
+///     phase_len: 0,
+///     stable_fraction: 1.0,
+///     burst_groups: 1,
+///     burst_len: 0,
+///     rotating_fraction: 1.0,
+/// };
+/// let events: Vec<_> = EdgeWorkload::new(spec, 1).take(100).collect();
+/// assert_eq!(events.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeWorkload {
+    spec: EdgeWorkloadSpec,
+    seed: u64,
+    rng: SplitMix64,
+    samplers: Vec<DiscreteSampler>,
+    noise_zipf: ZipfSampler,
+    member_count: usize,
+    event_idx: u64,
+}
+
+impl EdgeWorkload {
+    /// Creates the workload from its spec and a stream seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`EdgeWorkloadSpec::validate`].
+    pub fn new(spec: EdgeWorkloadSpec, seed: u64) -> Self {
+        spec.validate();
+        let mut freqs = Vec::with_capacity(spec.band_members());
+        for i in 0..spec.hot.count {
+            freqs.push(spec.hot.freq(i));
+        }
+        for i in 0..spec.mid.count {
+            freqs.push(spec.mid.freq(i));
+        }
+        for i in 0..spec.warm.count {
+            freqs.push(spec.warm.freq(i));
+        }
+        let noise_mass = 1.0 - freqs.iter().sum::<f64>();
+        let samplers = (0..spec.burst_groups)
+            .map(|group| {
+                let mut weights: Vec<f64> = freqs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| {
+                        let rotating_count =
+                            (spec.hot.count as f64 * spec.rotating_fraction).round() as usize;
+                        let rotating = spec.burst_groups > 1 && i < rotating_count;
+                        if !rotating {
+                            f
+                        } else if i % spec.burst_groups == group {
+                            // Boost the in-burst rate so the long-run
+                            // frequency matches the spec.
+                            f * spec.burst_groups as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                weights.push(noise_mass);
+                DiscreteSampler::from_weights(&weights)
+            })
+            .collect();
+        let noise_zipf = ZipfSampler::with_offset(
+            spec.noise_branches,
+            spec.noise_theta,
+            spec.noise_rank_offset,
+        );
+        EdgeWorkload {
+            seed,
+            rng: SplitMix64::new(hash2(seed, 0xED6E)),
+            samplers,
+            noise_zipf,
+            member_count: spec.band_members(),
+            event_idx: 0,
+            spec,
+        }
+    }
+
+    /// The workload's spec.
+    pub fn spec(&self) -> &EdgeWorkloadSpec {
+        &self.spec
+    }
+
+    fn current_phase(&self) -> u64 {
+        if self.spec.phases <= 1 {
+            0
+        } else {
+            (self.event_idx / self.spec.phase_len) % self.spec.phases as u64
+        }
+    }
+
+    fn current_group(&self) -> usize {
+        if self.spec.burst_groups <= 1 {
+            0
+        } else {
+            ((self.event_idx / self.spec.burst_len) % self.spec.burst_groups as u64) as usize
+        }
+    }
+
+    fn member_pc(&self, i: usize) -> u64 {
+        let stable = {
+            let roll = hash2(self.seed ^ 0x57AB1E, i as u64);
+            (roll as f64 / u64::MAX as f64) < self.spec.stable_fraction
+        };
+        let phase_eff = if stable { 0 } else { self.current_phase() };
+        0x0040_0000 + (phase_eff * self.member_count as u64 + i as u64) * 8
+    }
+
+    /// One event from a band branch: taken or fall-through edge.
+    fn member_event(&mut self, i: usize) -> Tuple {
+        let pc = self.member_pc(i);
+        let bias = BIASES[i % BIASES.len()];
+        let target = if self.rng.next_f64() < bias {
+            // Taken: a branch-specific displacement.
+            pc + 16 + (hash2(self.seed ^ 0x7D7, pc) % 4096) * 4
+        } else {
+            pc + 8 // fall-through
+        };
+        Tuple::new(pc, target)
+    }
+
+    /// One event from a cold branch.
+    fn noise_event(&mut self) -> Tuple {
+        let rank = self.noise_zipf.sample(&mut self.rng) as u64;
+        let pc = 0x0100_0000 + rank * 8;
+        let class_roll = hash2(self.seed ^ 0x1AD1, pc) as f64 / u64::MAX as f64;
+        let target = if class_roll < self.spec.indirect_fraction {
+            // Indirect jump: uniform over a bounded target set.
+            let t = self.rng.next_below(self.spec.indirect_targets as u64);
+            0x0200_0000 + hash2(self.seed ^ 0x7, pc) % 65_536 + t * 8
+        } else {
+            // Conditional: a fixed 70/30 split for cold branches.
+            if self.rng.next_f64() < 0.7 {
+                pc + 16 + (hash2(self.seed ^ 0x7D7, pc) % 4096) * 4
+            } else {
+                pc + 8
+            }
+        };
+        Tuple::new(pc, target)
+    }
+}
+
+impl Iterator for EdgeWorkload {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let group = self.current_group();
+        let idx = self.samplers[group].sample(&mut self.rng);
+        let tuple = if idx < self.member_count {
+            self.member_event(idx)
+        } else {
+            self.noise_event()
+        };
+        self.event_idx += 1;
+        Some(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn demo_spec() -> EdgeWorkloadSpec {
+        EdgeWorkloadSpec {
+            name: "demo",
+            hot: BandSpec {
+                count: 4,
+                freq_min: 0.014,
+                freq_max: 0.03,
+            },
+            mid: BandSpec {
+                count: 15,
+                freq_min: 0.0014,
+                freq_max: 0.006,
+            },
+            warm: BandSpec {
+                count: 30,
+                freq_min: 0.0001,
+                freq_max: 0.0008,
+            },
+            noise_branches: 2_000,
+            noise_theta: 0.8,
+            noise_rank_offset: 40,
+            indirect_fraction: 0.05,
+            indirect_targets: 64,
+            phases: 1,
+            phase_len: 0,
+            stable_fraction: 1.0,
+            burst_groups: 1,
+            burst_len: 0,
+            rotating_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a: Vec<Tuple> = EdgeWorkload::new(demo_spec(), 5).take(500).collect();
+        let b: Vec<Tuple> = EdgeWorkload::new(demo_spec(), 5).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn each_branch_has_bounded_fanout() {
+        let mut targets_by_pc: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for t in EdgeWorkload::new(demo_spec(), 7).take(200_000) {
+            targets_by_pc
+                .entry(t.pc().as_u64())
+                .or_default()
+                .insert(t.value().as_u64());
+        }
+        for (pc, targets) in &targets_by_pc {
+            assert!(
+                targets.len() <= 64,
+                "branch {pc:#x} has {} targets (> indirect fan-out)",
+                targets.len()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_edges_saturate_with_stream_length() {
+        // Unlike value profiling there is no streaming component: the distinct
+        // count must flatten out.
+        let distinct_at = |n: usize| {
+            EdgeWorkload::new(demo_spec(), 3)
+                .take(n)
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        let d_small = distinct_at(50_000);
+        let d_large = distinct_at(500_000);
+        assert!(
+            (d_large as f64) < (d_small as f64) * 3.0,
+            "edge distinct counts should saturate: {d_small} -> {d_large}"
+        );
+    }
+
+    #[test]
+    fn hot_edges_are_frequent() {
+        let n = 200_000;
+        let mut counts: HashMap<Tuple, u64> = HashMap::new();
+        for t in EdgeWorkload::new(demo_spec(), 9).take(n) {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let max = counts.values().max().copied().unwrap() as f64 / n as f64;
+        // Hottest branch 3% * bias at least 0.70 -> >= 2%.
+        assert!(max > 0.015, "hottest edge frequency {max}");
+    }
+
+    #[test]
+    fn biased_branches_emit_both_edges() {
+        let mut targets: HashMap<u64, HashSet<u64>> = HashMap::new();
+        let wl = EdgeWorkload::new(demo_spec(), 9);
+        let hot_limit = 0x0040_0000 + 8 * 4;
+        for t in wl.take(100_000) {
+            if t.pc().as_u64() < hot_limit {
+                targets
+                    .entry(t.pc().as_u64())
+                    .or_default()
+                    .insert(t.value().as_u64());
+            }
+        }
+        for (pc, ts) in &targets {
+            assert_eq!(
+                ts.len(),
+                2,
+                "hot branch {pc:#x} should show taken + fall-through"
+            );
+        }
+    }
+
+    #[test]
+    fn phases_remap_unstable_branches() {
+        let mut spec = demo_spec();
+        spec.phases = 2;
+        spec.phase_len = 20_000;
+        spec.stable_fraction = 0.0;
+        let mut wl = EdgeWorkload::new(spec, 1);
+        let band_pcs = |it: &mut dyn Iterator<Item = Tuple>| -> HashSet<u64> {
+            it.map(|t| t.pc().as_u64())
+                .filter(|&p| p < 0x0100_0000)
+                .collect()
+        };
+        let first = band_pcs(&mut (&mut wl).take(20_000));
+        let second = band_pcs(&mut (&mut wl).take(20_000));
+        assert!(first.intersection(&second).count() == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "band mass")]
+    fn overweight_bands_rejected() {
+        let mut spec = demo_spec();
+        spec.hot = BandSpec {
+            count: 100,
+            freq_min: 0.02,
+            freq_max: 0.02,
+        };
+        EdgeWorkload::new(spec, 1);
+    }
+}

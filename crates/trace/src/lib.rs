@@ -1,0 +1,39 @@
+//! # mhp-trace — workload substrate for the Multi-Hash profiler
+//!
+//! The paper gathers its profiling events from SPEC binaries instrumented
+//! with ATOM on Alpha hardware. This crate is the synthetic replacement
+//! (documented in the repository's `DESIGN.md`):
+//!
+//! * [`workload`] / [`edge`] — statistically calibrated value- and
+//!   edge-profiling event generators built on a frequency **band model**
+//!   plus a Zipf noise tail, with phase and burst machinery for the
+//!   inter-interval dynamics of Figure 6;
+//! * [`benchmarks`] — the paper's eight benchmarks (burg, deltablue, gcc,
+//!   go, li, m88ksim, sis, vortex), each a calibrated spec;
+//! * [`sim`] — a toy instrumented CPU (ATOM stand-in): a small register
+//!   machine whose interpreter emits `<pc, value>` and `<pc, target>`
+//!   events through profiling hooks;
+//! * [`sampler`] / [`util`] — Zipf and alias-method samplers and the
+//!   deterministic RNG everything is seeded from.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mhp_trace::Benchmark;
+//! let events: Vec<_> = Benchmark::Gcc.value_stream(42).take(10_000).collect();
+//! assert_eq!(events.len(), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod benchmarks;
+pub mod edge;
+pub mod sampler;
+pub mod sim;
+pub mod util;
+pub mod workload;
+
+pub use benchmarks::Benchmark;
+pub use edge::{EdgeWorkload, EdgeWorkloadSpec};
+pub use workload::{BandSpec, ValueWorkload, ValueWorkloadSpec};

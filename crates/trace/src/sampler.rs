@@ -1,0 +1,297 @@
+//! Discrete sampling: Walker's alias method and Zipf-distributed ranks.
+//!
+//! Program events are famously skewed — a few static instructions dominate
+//! dynamic execution. The workload models draw PCs from a Zipf(θ)
+//! distribution over the active working set, which reproduces both the small
+//! number of candidate tuples and the long noise tail the paper's Figures 4
+//! and 5 report. The alias method gives O(1) draws, which matters when
+//! generating tens of millions of events.
+
+use crate::util::SplitMix64;
+
+/// An O(1) sampler over an arbitrary discrete distribution (Walker's alias
+/// method).
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::sampler::DiscreteSampler;
+/// use mhp_trace::util::SplitMix64;
+/// let sampler = DiscreteSampler::from_weights(&[1.0, 0.0, 3.0]);
+/// let mut rng = SplitMix64::new(1);
+/// for _ in 0..100 {
+///     let i = sampler.sample(&mut rng);
+///     assert!(i == 0 || i == 2, "zero-weight item must never be drawn");
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscreteSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl DiscreteSampler {
+    /// Builds the alias tables from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weight {w} invalid");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in large.iter().chain(small.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        DiscreteSampler { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the sampler has no categories (never true for a
+    /// constructed sampler).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let i = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// A Zipf(θ) rank sampler: rank `r` (0-based) is drawn with probability
+/// proportional to `1 / (r + 1)^theta`.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::sampler::ZipfSampler;
+/// use mhp_trace::util::SplitMix64;
+/// let zipf = ZipfSampler::new(100, 1.0);
+/// let mut rng = SplitMix64::new(2);
+/// let mut rank0 = 0;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) == 0 {
+///         rank0 += 1;
+///     }
+/// }
+/// // Rank 0 carries ~1/H_100 ~= 19% of the mass.
+/// assert!(rank0 > 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    inner: DiscreteSampler,
+    theta: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a Zipf sampler over `n` ranks with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        ZipfSampler::with_offset(n, theta, 0)
+    }
+
+    /// Creates a *shifted* Zipf sampler: rank `r` is drawn with probability
+    /// proportional to `1 / (r + 1 + offset)^theta`. Shifting flattens the
+    /// head — useful for noise populations that should pressure the hash
+    /// tables without any single member crossing a candidate threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn with_offset(n: usize, theta: f64, offset: usize) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta {theta} invalid");
+        let weights: Vec<f64> = (0..n)
+            .map(|r| 1.0 / ((r + 1 + offset) as f64).powf(theta))
+            .collect();
+        ZipfSampler {
+            inner: DiscreteSampler::from_weights(&weights),
+            theta,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the sampler has no ranks (never true for a
+    /// constructed sampler).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one rank (0 = most frequent).
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        self.inner.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_method_matches_weights_statistically() {
+        let sampler = DiscreteSampler::from_weights(&[1.0, 2.0, 7.0]);
+        let mut rng = SplitMix64::new(11);
+        let n = 100_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freqs[0] - 0.1).abs() < 0.01, "f0={}", freqs[0]);
+        assert!((freqs[1] - 0.2).abs() < 0.01, "f1={}", freqs[1]);
+        assert!((freqs[2] - 0.7).abs() < 0.01, "f2={}", freqs[2]);
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let sampler = DiscreteSampler::from_weights(&[5.0]);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10 {
+            assert_eq!(sampler.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_panic() {
+        DiscreteSampler::from_weights(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn negative_weight_panics() {
+        DiscreteSampler::from_weights(&[1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn all_zero_weights_panic() {
+        DiscreteSampler::from_weights(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let zipf = ZipfSampler::new(1_000, 1.0);
+        let mut rng = SplitMix64::new(13);
+        let n = 100_000;
+        let mut rank0 = 0u64;
+        let mut rank_last = 0u64;
+        for _ in 0..n {
+            match zipf.sample(&mut rng) {
+                0 => rank0 += 1,
+                999 => rank_last += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            rank0 > 100 * rank_last.max(1),
+            "rank0={rank0} last={rank_last}"
+        );
+        // H_1000 ~= 7.49, so rank 0 should carry ~13% of mass.
+        let f0 = rank0 as f64 / n as f64;
+        assert!((f0 - 0.1335).abs() < 0.02, "f0={f0}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let zipf = ZipfSampler::new(10, 0.0);
+        let mut rng = SplitMix64::new(17);
+        let n = 100_000;
+        let mut counts = vec![0u64; 10];
+        for _ in 0..n {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.1).abs() < 0.01, "f={f}");
+        }
+    }
+
+    #[test]
+    fn higher_theta_concentrates_more() {
+        let mild = ZipfSampler::new(100, 0.5);
+        let steep = ZipfSampler::new(100, 1.5);
+        let mut rng_a = SplitMix64::new(19);
+        let mut rng_b = SplitMix64::new(19);
+        let n = 50_000;
+        let top_mild = (0..n).filter(|_| mild.sample(&mut rng_a) == 0).count();
+        let top_steep = (0..n).filter(|_| steep.sample(&mut rng_b) == 0).count();
+        assert!(top_steep > top_mild);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn offset_flattens_the_head() {
+        let plain = ZipfSampler::new(1_000, 0.7);
+        let shifted = ZipfSampler::with_offset(1_000, 0.7, 50);
+        let mut rng_a = SplitMix64::new(23);
+        let mut rng_b = SplitMix64::new(23);
+        let n = 50_000;
+        let top_plain = (0..n).filter(|_| plain.sample(&mut rng_a) == 0).count();
+        let top_shifted = (0..n).filter(|_| shifted.sample(&mut rng_b) == 0).count();
+        assert!(
+            top_shifted * 4 < top_plain,
+            "shifted head {top_shifted} should be far below plain {top_plain}"
+        );
+    }
+}

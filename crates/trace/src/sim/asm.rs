@@ -1,0 +1,495 @@
+//! A small text assembler for the toy ISA.
+//!
+//! Instrumented workloads are easier to author, review and test as text
+//! than as `Instr` vectors. The syntax is one instruction per line,
+//! `;`-comments, `label:` definitions, and a `.memory N` directive for the
+//! data-memory size:
+//!
+//! ```text
+//! ; sum an array of n words
+//! .memory 128
+//!     li   r0, 0        ; i
+//!     li   r1, 128      ; n
+//!     li   r2, 0        ; sum
+//! loop:
+//!     load r3, r0
+//!     add  r2, r2, r3
+//!     addi r0, r0, 1
+//!     blt  r0, r1, loop
+//!     halt
+//! ```
+//!
+//! | mnemonic | operands | meaning |
+//! |---|---|---|
+//! | `li`    | `rD, imm`      | load immediate |
+//! | `load`  | `rD, rA`       | `rD = mem[rA]` (emits a load event) |
+//! | `store` | `rS, rA`       | `mem[rA] = rS` |
+//! | `add` / `sub` / `rem` | `rD, rA, rB` | arithmetic |
+//! | `addi`  | `rD, rA, imm`  | add signed immediate |
+//! | `jmp`   | `label`        | unconditional jump |
+//! | `jr`    | `rA`           | register-indirect jump |
+//! | `beqz`  | `rA, label`    | branch if zero |
+//! | `blt`   | `rA, rB, label`| branch if `rA < rB` |
+//! | `halt`  |                | stop |
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use super::isa::{Instr, Program, ProgramError, Reg};
+use super::programs::ProgramBuilder;
+
+/// An assembly error, with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The kinds of assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// Unknown mnemonic.
+    UnknownMnemonic(String),
+    /// Wrong operand count or malformed operand list.
+    BadOperands(String),
+    /// A register operand did not parse (`r0`..`r15`).
+    BadRegister(String),
+    /// An immediate did not parse.
+    BadImmediate(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A malformed directive.
+    BadDirective(String),
+    /// The assembled program failed ISA validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic {m:?}"),
+            AsmErrorKind::BadOperands(s) => write!(f, "bad operands: {s}"),
+            AsmErrorKind::BadRegister(s) => write!(f, "bad register {s:?} (expected r0..r15)"),
+            AsmErrorKind::BadImmediate(s) => write!(f, "bad immediate {s:?}"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "label {l:?} defined twice"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "label {l:?} is never defined"),
+            AsmErrorKind::BadDirective(d) => write!(f, "bad directive {d:?}"),
+            AsmErrorKind::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let err = || AsmError {
+        line,
+        kind: AsmErrorKind::BadRegister(tok.to_string()),
+    };
+    let rest = tok.strip_prefix('r').ok_or_else(err)?;
+    let n: u8 = rest.parse().map_err(|_| err())?;
+    if (n as usize) < super::isa::NUM_REGS {
+        Ok(n)
+    } else {
+        Err(err())
+    }
+}
+
+fn parse_imm_u64(tok: &str, line: usize) -> Result<u64, AsmError> {
+    let err = || AsmError {
+        line,
+        kind: AsmErrorKind::BadImmediate(tok.to_string()),
+    };
+    if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| err())
+    } else {
+        tok.parse().map_err(|_| err())
+    }
+}
+
+fn parse_imm_i64(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let err = || AsmError {
+        line,
+        kind: AsmErrorKind::BadImmediate(tok.to_string()),
+    };
+    tok.parse().map_err(|_| err())
+}
+
+/// Assembles `source` into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown labels, or ISA-validation failures.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::sim::asm::assemble;
+/// let program = assemble(
+///     "
+///     .memory 4
+///         li r0, 2
+///         li r1, 42
+///         store r1, r0
+///         load r2, r0
+///         halt
+///     ",
+/// )?;
+/// assert_eq!(program.len(), 5);
+/// # Ok::<(), mhp_trace::sim::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut builder = ProgramBuilder::new();
+    let mut labels: HashMap<String, super::programs::Label> = HashMap::new();
+    let mut defined: HashMap<String, usize> = HashMap::new(); // label -> def line
+    let mut referenced: Vec<(String, usize)> = Vec::new();
+    let mut memory_words = 0usize;
+
+    let get_label = |builder: &mut ProgramBuilder,
+                     labels: &mut HashMap<String, super::programs::Label>,
+                     name: &str| {
+        *labels
+            .entry(name.to_string())
+            .or_insert_with(|| builder.new_label())
+    };
+
+    for (line_idx, raw) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        // Strip comments and whitespace.
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Directives.
+        if let Some(rest) = code.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("memory") => {
+                    let tok = parts.next().ok_or_else(|| AsmError {
+                        line: line_no,
+                        kind: AsmErrorKind::BadDirective(code.to_string()),
+                    })?;
+                    memory_words = parse_imm_u64(tok, line_no)? as usize;
+                }
+                _ => {
+                    return Err(AsmError {
+                        line: line_no,
+                        kind: AsmErrorKind::BadDirective(code.to_string()),
+                    })
+                }
+            }
+            continue;
+        }
+        // Label definitions (possibly followed by an instruction).
+        let mut rest = code;
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break; // not a label; let the mnemonic parser complain
+            }
+            if defined.insert(name.to_string(), line_no).is_some() {
+                return Err(AsmError {
+                    line: line_no,
+                    kind: AsmErrorKind::DuplicateLabel(name.to_string()),
+                });
+            }
+            let label = get_label(&mut builder, &mut labels, name);
+            builder.bind(label);
+            rest = tail[1..].trim();
+            if rest.is_empty() {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        // Instruction.
+        let (mnemonic, operand_str) = match rest.split_once(char::is_whitespace) {
+            Some((m, o)) => (m, o.trim()),
+            None => (rest, ""),
+        };
+        let ops: Vec<&str> = if operand_str.is_empty() {
+            Vec::new()
+        } else {
+            operand_str.split(',').map(str::trim).collect()
+        };
+        let bad_ops = |line: usize| AsmError {
+            line,
+            kind: AsmErrorKind::BadOperands(operand_str.to_string()),
+        };
+        match mnemonic {
+            "li" => {
+                let [d, imm] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                builder.push(Instr::LoadImm {
+                    dst: parse_reg(d, line_no)?,
+                    imm: parse_imm_u64(imm, line_no)?,
+                });
+            }
+            "load" => {
+                let [d, a] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                builder.push(Instr::Load {
+                    dst: parse_reg(d, line_no)?,
+                    addr: parse_reg(a, line_no)?,
+                });
+            }
+            "store" => {
+                let [s, a] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                builder.push(Instr::Store {
+                    src: parse_reg(s, line_no)?,
+                    addr: parse_reg(a, line_no)?,
+                });
+            }
+            "add" | "sub" | "rem" => {
+                let [d, a, b] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                let (dst, a, b) = (
+                    parse_reg(d, line_no)?,
+                    parse_reg(a, line_no)?,
+                    parse_reg(b, line_no)?,
+                );
+                builder.push(match mnemonic {
+                    "add" => Instr::Add { dst, a, b },
+                    "sub" => Instr::Sub { dst, a, b },
+                    _ => Instr::Rem { dst, a, b },
+                });
+            }
+            "addi" => {
+                let [d, a, imm] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                builder.push(Instr::AddImm {
+                    dst: parse_reg(d, line_no)?,
+                    a: parse_reg(a, line_no)?,
+                    imm: parse_imm_i64(imm, line_no)?,
+                });
+            }
+            "jmp" => {
+                let [l] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                let label = get_label(&mut builder, &mut labels, l);
+                referenced.push((l.to_string(), line_no));
+                builder.jump(label);
+            }
+            "jr" => {
+                let [a] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                builder.push(Instr::JumpReg {
+                    target: parse_reg(a, line_no)?,
+                });
+            }
+            "beqz" => {
+                let [c, l] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                let cond = parse_reg(c, line_no)?;
+                let label = get_label(&mut builder, &mut labels, l);
+                referenced.push((l.to_string(), line_no));
+                builder.branch_if_zero(cond, label);
+            }
+            "blt" => {
+                let [a, b, l] = ops[..] else {
+                    return Err(bad_ops(line_no));
+                };
+                let (a, b) = (parse_reg(a, line_no)?, parse_reg(b, line_no)?);
+                let label = get_label(&mut builder, &mut labels, l);
+                referenced.push((l.to_string(), line_no));
+                builder.branch_if_lt(a, b, label);
+            }
+            "halt" => {
+                if !ops.is_empty() {
+                    return Err(bad_ops(line_no));
+                }
+                builder.push(Instr::Halt);
+            }
+            other => {
+                return Err(AsmError {
+                    line: line_no,
+                    kind: AsmErrorKind::UnknownMnemonic(other.to_string()),
+                })
+            }
+        }
+    }
+
+    // Undefined-label check (finish() would panic; report nicely instead).
+    for (name, line) in &referenced {
+        if !defined.contains_key(name) {
+            return Err(AsmError {
+                line: *line,
+                kind: AsmErrorKind::UndefinedLabel(name.clone()),
+            });
+        }
+    }
+
+    builder.finish(memory_words).map_err(|e| AsmError {
+        line: 0,
+        kind: AsmErrorKind::Invalid(e),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Machine, TupleCollector};
+
+    fn run(src: &str) -> Machine {
+        let program = assemble(src).expect("assembles");
+        let mut m = Machine::new(program);
+        m.run(1_000_000, &mut TupleCollector::new()).expect("halts");
+        m
+    }
+
+    #[test]
+    fn assembles_and_runs_a_sum_loop() {
+        let m = run("
+            .memory 16
+                li   r0, 0
+                li   r1, 16
+                li   r4, 3
+            init:
+                store r4, r0
+                addi r0, r0, 1
+                blt  r0, r1, init
+                li   r0, 0
+                li   r2, 0
+            loop:
+                load r3, r0
+                add  r2, r2, r3
+                addi r0, r0, 1
+                blt  r0, r1, loop
+                halt
+        ");
+        assert_eq!(m.regs()[2], 48); // 16 * 3
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = assemble("; only a comment\n\n   li r0, 1 ; trailing\nhalt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn hex_immediates_parse() {
+        let m = run("li r0, 0x10\nhalt");
+        assert_eq!(m.regs()[0], 16);
+    }
+
+    #[test]
+    fn negative_addi_parses() {
+        let m = run("li r0, 10\naddi r0, r0, -3\nhalt");
+        assert_eq!(m.regs()[0], 7);
+    }
+
+    #[test]
+    fn label_on_its_own_line_binds_to_next_instruction() {
+        let m = run("
+            li r0, 2
+        target:
+            addi r0, r0, 5
+            halt
+        ");
+        assert_eq!(m.regs()[0], 7);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let m = run("
+            li r0, 0
+            jmp skip
+            li r0, 99
+        skip:
+            halt
+        ");
+        assert_eq!(m.regs()[0], 0);
+    }
+
+    #[test]
+    fn jr_dispatch_works() {
+        let m = run("
+            li r0, 3
+            jr r0
+            halt        ; index 2 (skipped)
+            li r1, 7    ; index 3
+            halt
+        ");
+        assert_eq!(m.regs()[1], 7);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_the_line() {
+        let err = assemble("li r0, 1\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn bad_register_is_rejected() {
+        let err = assemble("li r16, 1\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadRegister(_)));
+        let err = assemble("li x0, 1\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadRegister(_)));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_rejected() {
+        let err = assemble("add r0, r1\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands(_)));
+        let err = assemble("halt r0").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands(_)));
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected() {
+        let err = assemble("a:\nli r0, 1\na:\nhalt").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn undefined_label_is_rejected_with_reference_line() {
+        let err = assemble("li r0, 1\njmp nowhere\nhalt").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedLabel(_)));
+    }
+
+    #[test]
+    fn bad_directive_is_rejected() {
+        let err = assemble(".stack 64\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadDirective(_)));
+        let err = assemble(".memory\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadDirective(_)));
+    }
+
+    #[test]
+    fn memory_directive_sizes_data_memory() {
+        let p = assemble(".memory 64\nhalt").unwrap();
+        assert_eq!(p.memory_words(), 64);
+    }
+
+    #[test]
+    fn empty_program_fails_validation() {
+        let err = assemble("; nothing\n").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AsmErrorKind::Invalid(ProgramError::Empty)
+        ));
+    }
+}

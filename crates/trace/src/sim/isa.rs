@@ -1,0 +1,309 @@
+//! The toy machine's instruction set and validated programs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// A register index (`0..NUM_REGS`).
+pub type Reg = u8;
+
+/// One machine instruction.
+///
+/// Addresses are word-granular (memory is an array of `u64` words). Control
+/// transfers name absolute instruction indices within the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = imm`
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `dst = mem[src]` — emits a load event `<pc, value>`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the word address.
+        addr: Reg,
+    },
+    /// `mem[addr] = src`
+    Store {
+        /// Register holding the value to store.
+        src: Reg,
+        /// Register holding the word address.
+        addr: Reg,
+    },
+    /// `dst = a + b` (wrapping)
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// First operand register.
+        a: Reg,
+        /// Second operand register.
+        b: Reg,
+    },
+    /// `dst = a - b` (wrapping)
+    Sub {
+        /// Destination register.
+        dst: Reg,
+        /// First operand register.
+        a: Reg,
+        /// Second operand register.
+        b: Reg,
+    },
+    /// `dst = a + imm` (wrapping, signed immediate)
+    AddImm {
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        a: Reg,
+        /// Signed immediate.
+        imm: i64,
+    },
+    /// `dst = a % b` (`b == 0` is a run-time error)
+    Rem {
+        /// Destination register.
+        dst: Reg,
+        /// Dividend register.
+        a: Reg,
+        /// Divisor register.
+        b: Reg,
+    },
+    /// Unconditional jump — emits an edge event.
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Register-indirect jump — emits an edge event. The register holds an
+    /// instruction index.
+    JumpReg {
+        /// Register holding the target instruction index.
+        target: Reg,
+    },
+    /// Branch to `target` if `cond == 0`; emits an edge event for the path
+    /// actually taken (taken target or fall-through).
+    BranchIfZero {
+        /// Condition register.
+        cond: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Branch to `target` if `a < b` (unsigned); emits an edge event.
+    BranchIfLt {
+        /// Left comparand.
+        a: Reg,
+        /// Right comparand.
+        b: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+/// A validation error for a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// An instruction names a register `>= NUM_REGS`.
+    BadRegister {
+        /// Offending instruction index.
+        at: usize,
+        /// The register named.
+        reg: Reg,
+    },
+    /// A branch or jump targets an instruction index outside the program.
+    BadTarget {
+        /// Offending instruction index.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::BadRegister { at, reg } => {
+                write!(f, "instruction {at} names register {reg} (>= {NUM_REGS})")
+            }
+            ProgramError::BadTarget { at, target } => {
+                write!(f, "instruction {at} targets out-of-range index {target}")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// A validated instruction sequence plus its data-memory size.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::sim::{Instr, Program};
+/// let program = Program::new(
+///     vec![Instr::LoadImm { dst: 0, imm: 7 }, Instr::Halt],
+///     16,
+/// )?;
+/// assert_eq!(program.len(), 2);
+/// # Ok::<(), mhp_trace::sim::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    memory_words: usize,
+}
+
+impl Program {
+    /// Validates and wraps an instruction sequence with `memory_words` words
+    /// of zero-initialized data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program is empty, names an invalid
+    /// register, or branches out of range.
+    pub fn new(instrs: Vec<Instr>, memory_words: usize) -> Result<Self, ProgramError> {
+        if instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let len = instrs.len();
+        let check_reg = |at: usize, reg: Reg| -> Result<(), ProgramError> {
+            if (reg as usize) < NUM_REGS {
+                Ok(())
+            } else {
+                Err(ProgramError::BadRegister { at, reg })
+            }
+        };
+        let check_target = |at: usize, target: usize| -> Result<(), ProgramError> {
+            if target < len {
+                Ok(())
+            } else {
+                Err(ProgramError::BadTarget { at, target })
+            }
+        };
+        for (at, instr) in instrs.iter().enumerate() {
+            match *instr {
+                Instr::LoadImm { dst, .. } => check_reg(at, dst)?,
+                Instr::Load { dst, addr } => {
+                    check_reg(at, dst)?;
+                    check_reg(at, addr)?;
+                }
+                Instr::Store { src, addr } => {
+                    check_reg(at, src)?;
+                    check_reg(at, addr)?;
+                }
+                Instr::Add { dst, a, b } | Instr::Sub { dst, a, b } | Instr::Rem { dst, a, b } => {
+                    check_reg(at, dst)?;
+                    check_reg(at, a)?;
+                    check_reg(at, b)?;
+                }
+                Instr::AddImm { dst, a, .. } => {
+                    check_reg(at, dst)?;
+                    check_reg(at, a)?;
+                }
+                Instr::Jump { target } => check_target(at, target)?,
+                Instr::JumpReg { target } => check_reg(at, target)?,
+                Instr::BranchIfZero { cond, target } => {
+                    check_reg(at, cond)?;
+                    check_target(at, target)?;
+                }
+                Instr::BranchIfLt { a, b, target } => {
+                    check_reg(at, a)?;
+                    check_reg(at, b)?;
+                    check_target(at, target)?;
+                }
+                Instr::Halt => {}
+            }
+        }
+        Ok(Program {
+            instrs,
+            memory_words,
+        })
+    }
+
+    /// The instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program has no instructions (never true for a
+    /// validated program).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Words of data memory the program needs.
+    pub fn memory_words(&self) -> usize {
+        self.memory_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Program::new(vec![], 0).unwrap_err(), ProgramError::Empty);
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let err = Program::new(vec![Instr::LoadImm { dst: 16, imm: 0 }], 0).unwrap_err();
+        assert_eq!(err, ProgramError::BadRegister { at: 0, reg: 16 });
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let err = Program::new(
+            vec![Instr::BranchIfZero { cond: 0, target: 5 }, Instr::Halt],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, ProgramError::BadTarget { at: 0, target: 5 });
+    }
+
+    #[test]
+    fn bad_jump_target_rejected() {
+        let err = Program::new(vec![Instr::Jump { target: 1 }], 0).unwrap_err();
+        assert_eq!(err, ProgramError::BadTarget { at: 0, target: 1 });
+    }
+
+    #[test]
+    fn valid_program_accepted() {
+        let p = Program::new(
+            vec![
+                Instr::LoadImm { dst: 0, imm: 1 },
+                Instr::BranchIfZero { cond: 0, target: 0 },
+                Instr::Halt,
+            ],
+            8,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.memory_words(), 8);
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        for err in [
+            ProgramError::Empty,
+            ProgramError::BadRegister { at: 1, reg: 99 },
+            ProgramError::BadTarget { at: 2, target: 7 },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The interpreter with ATOM-style instrumentation hooks.
+
+use std::error::Error;
+use std::fmt;
+
+use mhp_core::Tuple;
+
+use super::isa::{Instr, Program};
+
+/// Base "address" of the code segment: instruction index `i` is reported to
+/// hooks as PC `CODE_BASE + 4*i`, mimicking a real text segment.
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// Instrumentation callbacks, invoked synchronously as the machine executes
+/// (the moral equivalent of ATOM's analysis routines).
+pub trait ProfilingHook {
+    /// Called for every executed load with the loading instruction's PC and
+    /// the loaded value.
+    fn on_load(&mut self, pc: u64, value: u64);
+
+    /// Called for every executed control transfer (conditional branch taken
+    /// *or* fall-through, jump, indirect jump) with the branch PC and the
+    /// target PC.
+    fn on_edge(&mut self, pc: u64, target: u64);
+}
+
+/// A hook that records every event as a tuple.
+#[derive(Debug, Clone, Default)]
+pub struct TupleCollector {
+    loads: Vec<Tuple>,
+    edges: Vec<Tuple>,
+}
+
+impl TupleCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        TupleCollector::default()
+    }
+
+    /// The collected `<pc, value>` load tuples, in execution order.
+    pub fn loads(&self) -> &[Tuple] {
+        &self.loads
+    }
+
+    /// The collected `<branch pc, target pc>` edge tuples, in execution
+    /// order.
+    pub fn edges(&self) -> &[Tuple] {
+        &self.edges
+    }
+
+    /// Consumes the collector, returning `(loads, edges)`.
+    pub fn into_parts(self) -> (Vec<Tuple>, Vec<Tuple>) {
+        (self.loads, self.edges)
+    }
+}
+
+impl ProfilingHook for TupleCollector {
+    fn on_load(&mut self, pc: u64, value: u64) {
+        self.loads.push(Tuple::new(pc, value));
+    }
+
+    fn on_edge(&mut self, pc: u64, target: u64) {
+        self.edges.push(Tuple::new(pc, target));
+    }
+}
+
+/// A run-time error raised by the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// A memory access was outside the program's data memory.
+    MemoryOutOfBounds {
+        /// The faulting PC (instruction index).
+        at: usize,
+        /// The word address accessed.
+        addr: u64,
+    },
+    /// A `Rem` instruction divided by zero.
+    DivisionByZero {
+        /// The faulting PC (instruction index).
+        at: usize,
+    },
+    /// A `JumpReg` targeted an instruction index outside the program.
+    BadIndirectTarget {
+        /// The faulting PC (instruction index).
+        at: usize,
+        /// The out-of-range target.
+        target: u64,
+    },
+    /// The step budget ran out before `Halt`.
+    OutOfFuel,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RunError::MemoryOutOfBounds { at, addr } => {
+                write!(f, "instruction {at} accessed out-of-bounds word {addr}")
+            }
+            RunError::DivisionByZero { at } => write!(f, "instruction {at} divided by zero"),
+            RunError::BadIndirectTarget { at, target } => {
+                write!(f, "instruction {at} jumped to out-of-range index {target}")
+            }
+            RunError::OutOfFuel => write!(f, "step budget exhausted before halt"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// The toy machine: registers, data memory and a program counter.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::sim::{Instr, Machine, Program, TupleCollector};
+/// let program = Program::new(
+///     vec![
+///         Instr::LoadImm { dst: 0, imm: 3 },  // addr = 3
+///         Instr::Store { src: 0, addr: 0 },   // mem[3] = 3
+///         Instr::Load { dst: 1, addr: 0 },    // r1 = mem[3]  (load event)
+///         Instr::Halt,
+///     ],
+///     8,
+/// )?;
+/// let mut machine = Machine::new(program);
+/// let mut hook = TupleCollector::new();
+/// let steps = machine.run(100, &mut hook)?;
+/// assert_eq!(steps, 4);
+/// assert_eq!(hook.loads().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    regs: [u64; super::isa::NUM_REGS],
+    memory: Vec<u64>,
+    pc: usize,
+    halted: bool,
+}
+
+impl Machine {
+    /// Creates a machine with zeroed registers and memory.
+    pub fn new(program: Program) -> Self {
+        let memory = vec![0; program.memory_words()];
+        Machine {
+            program,
+            regs: [0; super::isa::NUM_REGS],
+            memory,
+            pc: 0,
+            halted: false,
+        }
+    }
+
+    /// Read access to the registers (for tests and result extraction).
+    pub fn regs(&self) -> &[u64] {
+        &self.regs
+    }
+
+    /// Read access to data memory.
+    pub fn memory(&self) -> &[u64] {
+        &self.memory
+    }
+
+    /// Mutable access to data memory, for pre-loading inputs.
+    pub fn memory_mut(&mut self) -> &mut [u64] {
+        &mut self.memory
+    }
+
+    /// Whether the machine has executed `Halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The PC that instrumentation hooks see for instruction index `i`.
+    #[inline]
+    pub fn hook_pc(i: usize) -> u64 {
+        CODE_BASE + (i as u64) * 4
+    }
+
+    /// Runs until `Halt` or until `max_steps` instructions have executed,
+    /// invoking `hook` on every load and control transfer. Returns the
+    /// number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on an out-of-bounds access, division by zero,
+    /// a wild indirect jump, or fuel exhaustion.
+    pub fn run<H: ProfilingHook>(&mut self, max_steps: u64, hook: &mut H) -> Result<u64, RunError> {
+        let mut steps = 0u64;
+        while !self.halted {
+            if steps == max_steps {
+                return Err(RunError::OutOfFuel);
+            }
+            self.step(hook)?;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run), minus fuel.
+    pub fn step<H: ProfilingHook>(&mut self, hook: &mut H) -> Result<(), RunError> {
+        debug_assert!(!self.halted, "stepping a halted machine");
+        let at = self.pc;
+        let instr = self.program.instrs()[at];
+        let mut next = at + 1;
+        match instr {
+            Instr::LoadImm { dst, imm } => self.regs[dst as usize] = imm,
+            Instr::Load { dst, addr } => {
+                let a = self.regs[addr as usize];
+                let value = *self
+                    .memory
+                    .get(a as usize)
+                    .ok_or(RunError::MemoryOutOfBounds { at, addr: a })?;
+                self.regs[dst as usize] = value;
+                hook.on_load(Self::hook_pc(at), value);
+            }
+            Instr::Store { src, addr } => {
+                let a = self.regs[addr as usize];
+                let slot = self
+                    .memory
+                    .get_mut(a as usize)
+                    .ok_or(RunError::MemoryOutOfBounds { at, addr: a })?;
+                *slot = self.regs[src as usize];
+            }
+            Instr::Add { dst, a, b } => {
+                self.regs[dst as usize] = self.regs[a as usize].wrapping_add(self.regs[b as usize]);
+            }
+            Instr::Sub { dst, a, b } => {
+                self.regs[dst as usize] = self.regs[a as usize].wrapping_sub(self.regs[b as usize]);
+            }
+            Instr::AddImm { dst, a, imm } => {
+                self.regs[dst as usize] = self.regs[a as usize].wrapping_add(imm as u64);
+            }
+            Instr::Rem { dst, a, b } => {
+                let divisor = self.regs[b as usize];
+                if divisor == 0 {
+                    return Err(RunError::DivisionByZero { at });
+                }
+                self.regs[dst as usize] = self.regs[a as usize] % divisor;
+            }
+            Instr::Jump { target } => {
+                hook.on_edge(Self::hook_pc(at), Self::hook_pc(target));
+                next = target;
+            }
+            Instr::JumpReg { target } => {
+                let t = self.regs[target as usize];
+                if t as usize >= self.program.len() {
+                    return Err(RunError::BadIndirectTarget { at, target: t });
+                }
+                hook.on_edge(Self::hook_pc(at), Self::hook_pc(t as usize));
+                next = t as usize;
+            }
+            Instr::BranchIfZero { cond, target } => {
+                if self.regs[cond as usize] == 0 {
+                    next = target;
+                }
+                hook.on_edge(Self::hook_pc(at), Self::hook_pc(next));
+            }
+            Instr::BranchIfLt { a, b, target } => {
+                if self.regs[a as usize] < self.regs[b as usize] {
+                    next = target;
+                }
+                hook.on_edge(Self::hook_pc(at), Self::hook_pc(next));
+            }
+            Instr::Halt => {
+                self.halted = true;
+                return Ok(());
+            }
+        }
+        self.pc = next;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::isa::{Instr, Program};
+    use super::*;
+
+    fn run_program(instrs: Vec<Instr>, mem: usize) -> (Machine, TupleCollector) {
+        let program = Program::new(instrs, mem).unwrap();
+        let mut machine = Machine::new(program);
+        let mut hook = TupleCollector::new();
+        machine.run(1_000_000, &mut hook).unwrap();
+        (machine, hook)
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let (m, _) = run_program(
+            vec![
+                Instr::LoadImm { dst: 0, imm: 10 },
+                Instr::LoadImm { dst: 1, imm: 3 },
+                Instr::Add { dst: 2, a: 0, b: 1 },
+                Instr::Sub { dst: 3, a: 0, b: 1 },
+                Instr::Rem { dst: 4, a: 0, b: 1 },
+                Instr::AddImm {
+                    dst: 5,
+                    a: 0,
+                    imm: -4,
+                },
+                Instr::Halt,
+            ],
+            0,
+        );
+        assert_eq!(m.regs()[2], 13);
+        assert_eq!(m.regs()[3], 7);
+        assert_eq!(m.regs()[4], 1);
+        assert_eq!(m.regs()[5], 6);
+    }
+
+    #[test]
+    fn loads_emit_events_with_code_pcs() {
+        let (_, hook) = run_program(
+            vec![
+                Instr::LoadImm { dst: 0, imm: 2 },
+                Instr::LoadImm { dst: 1, imm: 42 },
+                Instr::Store { src: 1, addr: 0 },
+                Instr::Load { dst: 2, addr: 0 },
+                Instr::Halt,
+            ],
+            4,
+        );
+        assert_eq!(hook.loads().len(), 1);
+        let load = hook.loads()[0];
+        assert_eq!(load.pc().as_u64(), CODE_BASE + 3 * 4);
+        assert_eq!(load.value().as_u64(), 42);
+    }
+
+    #[test]
+    fn branches_emit_edges_for_both_paths() {
+        // Loop 3 times: branch taken twice (back edge), falls through once.
+        let (_, hook) = run_program(
+            vec![
+                Instr::LoadImm { dst: 0, imm: 3 },
+                Instr::AddImm {
+                    dst: 0,
+                    a: 0,
+                    imm: -1,
+                }, // 1: decrement
+                Instr::LoadImm { dst: 1, imm: 0 },
+                Instr::BranchIfLt {
+                    a: 1,
+                    b: 0,
+                    target: 1,
+                }, // 3: loop while 0 < r0
+                Instr::Halt,
+            ],
+            0,
+        );
+        let branch_pc = Machine::hook_pc(3);
+        let edges: Vec<_> = hook
+            .edges()
+            .iter()
+            .filter(|t| t.pc().as_u64() == branch_pc)
+            .collect();
+        assert_eq!(edges.len(), 3);
+        let taken = edges
+            .iter()
+            .filter(|t| t.value().as_u64() == Machine::hook_pc(1))
+            .count();
+        let fall = edges
+            .iter()
+            .filter(|t| t.value().as_u64() == Machine::hook_pc(4))
+            .count();
+        assert_eq!(taken, 2);
+        assert_eq!(fall, 1);
+    }
+
+    #[test]
+    fn jump_reg_dispatch_emits_varied_targets() {
+        // r0 selects a target: run twice with different dispatch values.
+        let program = vec![
+            Instr::JumpReg { target: 0 }, // 0
+            Instr::Halt,                  // 1
+            Instr::Jump { target: 1 },    // 2
+        ];
+        for (sel, expected_target) in [(1u64, 1usize), (2, 2)] {
+            let p = Program::new(program.clone(), 0).unwrap();
+            let mut m = Machine::new(p);
+            let mut hook = TupleCollector::new();
+            m.regs[0] = sel;
+            m.run(10, &mut hook).unwrap();
+            assert_eq!(
+                hook.edges()[0].value().as_u64(),
+                Machine::hook_pc(expected_target)
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_load_errors() {
+        let program = Program::new(
+            vec![
+                Instr::LoadImm { dst: 0, imm: 99 },
+                Instr::Load { dst: 1, addr: 0 },
+                Instr::Halt,
+            ],
+            4,
+        )
+        .unwrap();
+        let mut m = Machine::new(program);
+        let err = m.run(10, &mut TupleCollector::new()).unwrap_err();
+        assert_eq!(err, RunError::MemoryOutOfBounds { at: 1, addr: 99 });
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let program =
+            Program::new(vec![Instr::Rem { dst: 0, a: 1, b: 2 }, Instr::Halt], 0).unwrap();
+        let mut m = Machine::new(program);
+        let err = m.run(10, &mut TupleCollector::new()).unwrap_err();
+        assert_eq!(err, RunError::DivisionByZero { at: 0 });
+    }
+
+    #[test]
+    fn wild_indirect_jump_errors() {
+        let program = Program::new(vec![Instr::JumpReg { target: 0 }, Instr::Halt], 0).unwrap();
+        let mut m = Machine::new(program);
+        m.regs[0] = 999;
+        let err = m.run(10, &mut TupleCollector::new()).unwrap_err();
+        assert_eq!(err, RunError::BadIndirectTarget { at: 0, target: 999 });
+    }
+
+    #[test]
+    fn fuel_exhaustion_errors() {
+        let program = Program::new(vec![Instr::Jump { target: 0 }], 0).unwrap();
+        let mut m = Machine::new(program);
+        let err = m.run(100, &mut TupleCollector::new()).unwrap_err();
+        assert_eq!(err, RunError::OutOfFuel);
+    }
+
+    #[test]
+    fn infinite_loop_counts_steps_exactly() {
+        let program =
+            Program::new(vec![Instr::LoadImm { dst: 0, imm: 1 }, Instr::Halt], 0).unwrap();
+        let mut m = Machine::new(program);
+        let steps = m.run(10, &mut TupleCollector::new()).unwrap();
+        assert_eq!(steps, 2);
+        assert!(m.is_halted());
+    }
+}

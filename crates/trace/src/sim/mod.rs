@@ -1,0 +1,36 @@
+//! A toy instrumented CPU — the ATOM-replacement substrate.
+//!
+//! The paper gathers its event streams by instrumenting real binaries with
+//! ATOM on Alpha hardware. That toolchain is not available here, so this
+//! module provides the closest synthetic equivalent that exercises the same
+//! code path: a small register machine whose interpreter calls
+//! [`ProfilingHook`] callbacks on every executed load (`<pc, value>`) and
+//! every control transfer (`<branch pc, target pc>`), exactly the two tuple
+//! kinds the paper profiles.
+//!
+//! [`programs`] contains small kernels (array reduction, byte histogram,
+//! linked-list walk, a bytecode interpreter loop) whose load-value and edge
+//! behaviour mirrors the patterns that make value/edge profiling worthwhile:
+//! loops loading invariant values, data-dependent branches, and dispatch
+//! over a jump table.
+//!
+//! # Examples
+//!
+//! ```
+//! use mhp_trace::sim::{programs, Machine, TupleCollector};
+//! let program = programs::array_sum(64);
+//! let mut machine = Machine::new(program);
+//! let mut hook = TupleCollector::new();
+//! machine.run(100_000, &mut hook).expect("program halts");
+//! assert!(!hook.loads().is_empty());
+//! assert!(!hook.edges().is_empty());
+//! ```
+
+pub mod asm;
+mod isa;
+mod machine;
+pub mod programs;
+
+pub use asm::{assemble, AsmError};
+pub use isa::{Instr, Program, ProgramError, Reg, NUM_REGS};
+pub use machine::{Machine, ProfilingHook, RunError, TupleCollector};

@@ -1,0 +1,513 @@
+//! A label-resolving program builder and a library of mini-kernels.
+//!
+//! The kernels are chosen to exhibit the behaviours that make hardware
+//! profiling worthwhile (§2 of the paper):
+//!
+//! * [`array_sum`] — a reduction over data dominated by one value
+//!   (frequent-value locality, the Zhang et al. motivation);
+//! * [`byte_histogram`] — data-dependent branches plus read-modify-write
+//!   loads whose values drift (profiling noise);
+//! * [`linked_list_walk`] — pointer chasing: every load yields an address
+//!   (the prefetching motivation);
+//! * [`dispatch_loop`] — a bytecode-interpreter dispatch via an indirect
+//!   jump (hot-edge / trace-formation motivation).
+
+use super::isa::{Instr, Program, ProgramError, Reg};
+
+/// A forward-referencable label inside a [`ProgramBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Builds programs with symbolic branch targets, resolving them at
+/// [`finish`](ProgramBuilder::finish).
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::sim::programs::ProgramBuilder;
+/// use mhp_trace::sim::Instr;
+/// let mut b = ProgramBuilder::new();
+/// let top = b.new_label();
+/// b.bind(top);
+/// b.push(Instr::AddImm { dst: 0, a: 0, imm: -1 });
+/// b.push(Instr::LoadImm { dst: 1, imm: 0 });
+/// b.branch_if_lt(1, 0, top); // loop while 0 < r0
+/// b.push(Instr::Halt);
+/// let program = b.finish(0)?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    patches: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Current instruction index (where the next `push` will land).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Allocates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    /// Appends a non-branching instruction; returns its index.
+    pub fn push(&mut self, instr: Instr) -> usize {
+        self.instrs.push(instr);
+        self.instrs.len() - 1
+    }
+
+    /// Appends `Jump` to `label`.
+    pub fn jump(&mut self, label: Label) -> usize {
+        let at = self.push(Instr::Jump { target: 0 });
+        self.patches.push((at, label));
+        at
+    }
+
+    /// Appends `BranchIfZero` to `label`.
+    pub fn branch_if_zero(&mut self, cond: Reg, label: Label) -> usize {
+        let at = self.push(Instr::BranchIfZero { cond, target: 0 });
+        self.patches.push((at, label));
+        at
+    }
+
+    /// Appends `BranchIfLt` to `label`.
+    pub fn branch_if_lt(&mut self, a: Reg, b: Reg, label: Label) -> usize {
+        let at = self.push(Instr::BranchIfLt { a, b, target: 0 });
+        self.patches.push((at, label));
+        at
+    }
+
+    /// Resolves all labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ProgramError`] if validation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound.
+    pub fn finish(mut self, memory_words: usize) -> Result<Program, ProgramError> {
+        for (at, label) in self.patches {
+            let target = self.labels[label.0].expect("unbound label referenced");
+            match &mut self.instrs[at] {
+                Instr::Jump { target: t }
+                | Instr::BranchIfZero { target: t, .. }
+                | Instr::BranchIfLt { target: t, .. } => *t = target,
+                other => unreachable!("patched a non-branch {other:?}"),
+            }
+        }
+        Program::new(self.instrs, memory_words)
+    }
+}
+
+/// Sums an `n`-word array whose contents are mostly the value 5 with every
+/// seventh word equal to 99 — a stream of highly invariant load values.
+/// The sum is left in register 2.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn array_sum(n: u64) -> Program {
+    assert!(n > 0, "array must be non-empty");
+    let mut b = ProgramBuilder::new();
+    // r0 = i, r1 = n, r4 = 7, r5 = 5, r6 = 99.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm { dst: 1, imm: n });
+    b.push(Instr::LoadImm { dst: 4, imm: 7 });
+    b.push(Instr::LoadImm { dst: 5, imm: 5 });
+    b.push(Instr::LoadImm { dst: 6, imm: 99 });
+    // Initialization loop.
+    let init = b.new_label();
+    let store99 = b.new_label();
+    let init_next = b.new_label();
+    b.bind(init);
+    b.push(Instr::Rem { dst: 2, a: 0, b: 4 });
+    b.branch_if_zero(2, store99);
+    b.push(Instr::Store { src: 5, addr: 0 });
+    b.jump(init_next);
+    b.bind(store99);
+    b.push(Instr::Store { src: 6, addr: 0 });
+    b.bind(init_next);
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
+    b.branch_if_lt(0, 1, init);
+    // Sum loop: r2 = sum.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm { dst: 2, imm: 0 });
+    let sum = b.new_label();
+    b.bind(sum);
+    b.push(Instr::Load { dst: 3, addr: 0 });
+    b.push(Instr::Add { dst: 2, a: 2, b: 3 });
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
+    b.branch_if_lt(0, 1, sum);
+    b.push(Instr::Halt);
+    b.finish(n as usize).expect("array_sum is well-formed")
+}
+
+/// Builds a histogram of `n` data words over 4 buckets. Data word `i` holds
+/// `i % 4`; bucket counters live at `mem[n .. n+4]`. Exercises
+/// data-dependent branches and loads whose values drift upward.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn byte_histogram(n: u64) -> Program {
+    assert!(n > 0, "need data");
+    let mut b = ProgramBuilder::new();
+    // r0 = i, r1 = n, r4 = 4.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm { dst: 1, imm: n });
+    b.push(Instr::LoadImm { dst: 4, imm: 4 });
+    // Init: mem[i] = i % 4.
+    let init = b.new_label();
+    b.bind(init);
+    b.push(Instr::Rem { dst: 2, a: 0, b: 4 });
+    b.push(Instr::Store { src: 2, addr: 0 });
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
+    b.branch_if_lt(0, 1, init);
+    // Histogram: cnt = mem[n + v]; cnt += 1; store back.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    let hist = b.new_label();
+    b.bind(hist);
+    b.push(Instr::Load { dst: 3, addr: 0 }); // v = mem[i]
+    b.push(Instr::Add { dst: 5, a: 3, b: 1 }); // bucket addr = n + v
+    b.push(Instr::Load { dst: 6, addr: 5 }); // cnt = mem[bucket]
+    b.push(Instr::AddImm {
+        dst: 6,
+        a: 6,
+        imm: 1,
+    });
+    b.push(Instr::Store { src: 6, addr: 5 });
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
+    b.branch_if_lt(0, 1, hist);
+    b.push(Instr::Halt);
+    b.finish(n as usize + 4)
+        .expect("byte_histogram is well-formed")
+}
+
+/// Builds an `n`-node circular linked list (`next(i) = (i + stride) % n`)
+/// and chases it for `iters` hops. The final node index is left in
+/// register 0. Every hop's load yields a pointer — the access pattern
+/// prefetchers care about.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `stride == 0`.
+pub fn linked_list_walk(n: u64, stride: u64, iters: u64) -> Program {
+    assert!(n > 0 && stride > 0, "degenerate list");
+    let mut b = ProgramBuilder::new();
+    // r0 = i, r1 = n, r4 = stride.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm { dst: 1, imm: n });
+    b.push(Instr::LoadImm {
+        dst: 4,
+        imm: stride,
+    });
+    // Init: mem[i] = (i + stride) % n.
+    let init = b.new_label();
+    b.bind(init);
+    b.push(Instr::Add { dst: 2, a: 0, b: 4 });
+    b.push(Instr::Rem { dst: 2, a: 2, b: 1 });
+    b.push(Instr::Store { src: 2, addr: 0 });
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
+    b.branch_if_lt(0, 1, init);
+    // Walk: r0 = current node, r5 = hop counter, r6 = iters.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm { dst: 5, imm: 0 });
+    b.push(Instr::LoadImm { dst: 6, imm: iters });
+    let walk = b.new_label();
+    b.bind(walk);
+    b.push(Instr::Load { dst: 0, addr: 0 }); // node = mem[node]
+    b.push(Instr::AddImm {
+        dst: 5,
+        a: 5,
+        imm: 1,
+    });
+    b.branch_if_lt(5, 6, walk);
+    b.push(Instr::Halt);
+    b.finish(n as usize)
+        .expect("linked_list_walk is well-formed")
+}
+
+/// A bytecode-interpreter dispatch loop: `iters` iterations fetch an opcode
+/// (`i % 4`) from a `data_len`-word code array and dispatch through a
+/// register-indirect jump to one of four handlers, each bumping its own
+/// counter (registers 9–12). The canonical hot-indirect-edge workload.
+///
+/// # Panics
+///
+/// Panics if `data_len == 0` or `iters == 0`.
+pub fn dispatch_loop(data_len: u64, iters: u64) -> Program {
+    assert!(data_len > 0 && iters > 0, "degenerate interpreter");
+    let mut b = ProgramBuilder::new();
+    // r0 = i, r1 = iters, r2 = data_len, r4 = 4.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm {
+        dst: 2,
+        imm: data_len,
+    });
+    b.push(Instr::LoadImm { dst: 4, imm: 4 });
+    // Init: mem[i] = i % 4.
+    let init = b.new_label();
+    b.bind(init);
+    b.push(Instr::Rem { dst: 3, a: 0, b: 4 });
+    b.push(Instr::Store { src: 3, addr: 0 });
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
+    b.branch_if_lt(0, 2, init);
+    // Main loop.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm { dst: 1, imm: iters });
+    let top = b.new_label();
+    let cont = b.new_label();
+    b.bind(top);
+    b.push(Instr::Rem { dst: 5, a: 0, b: 2 }); // idx = i % data_len
+    b.push(Instr::Load { dst: 6, addr: 5 }); // op = mem[idx]
+                                             // target = handler_base + 2*op; handler_base is patched below.
+    b.push(Instr::Add { dst: 7, a: 6, b: 6 });
+    let base_instr = b.push(Instr::LoadImm { dst: 8, imm: 0 }); // placeholder base
+    b.push(Instr::Add { dst: 7, a: 7, b: 8 });
+    b.push(Instr::JumpReg { target: 7 });
+    // Handlers: 4 × (bump counter; jump cont).
+    let handler_base = b.here();
+    for h in 0..4u8 {
+        b.push(Instr::AddImm {
+            dst: 9 + h,
+            a: 9 + h,
+            imm: 1,
+        });
+        b.jump(cont);
+    }
+    b.bind(cont);
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
+    b.branch_if_lt(0, 1, top);
+    b.push(Instr::Halt);
+    let mut program = b
+        .finish(data_len as usize)
+        .expect("dispatch_loop is well-formed");
+    // Patch the handler base now that its address is known.
+    let mut instrs = program.instrs().to_vec();
+    instrs[base_instr] = Instr::LoadImm {
+        dst: 8,
+        imm: handler_base as u64,
+    };
+    program = Program::new(instrs, data_len as usize).expect("patched program stays valid");
+    program
+}
+
+/// Counts occurrences of a byte value in an `n`-word haystack (word `i`
+/// holds `i % 7`, the needle is 3). The count is left in register 2.
+/// A classic scan: highly biased comparison branches plus invariant loads.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn count_needle(n: u64) -> Program {
+    assert!(n > 0, "haystack must be non-empty");
+    let mut b = ProgramBuilder::new();
+    // r0 = i, r1 = n, r4 = 7, r5 = needle (3).
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm { dst: 1, imm: n });
+    b.push(Instr::LoadImm { dst: 4, imm: 7 });
+    b.push(Instr::LoadImm { dst: 5, imm: 3 });
+    // Init: mem[i] = i % 7.
+    let init = b.new_label();
+    b.bind(init);
+    b.push(Instr::Rem { dst: 2, a: 0, b: 4 });
+    b.push(Instr::Store { src: 2, addr: 0 });
+    b.push(Instr::AddImm { dst: 0, a: 0, imm: 1 });
+    b.branch_if_lt(0, 1, init);
+    // Scan: r2 = count.
+    b.push(Instr::LoadImm { dst: 0, imm: 0 });
+    b.push(Instr::LoadImm { dst: 2, imm: 0 });
+    let scan = b.new_label();
+    let next = b.new_label();
+    b.bind(scan);
+    b.push(Instr::Load { dst: 3, addr: 0 }); // v = mem[i]
+    b.push(Instr::Sub { dst: 6, a: 3, b: 5 }); // v - needle
+    let miss = b.new_label();
+    // if v != needle skip the increment: the wrapping difference is
+    // non-zero exactly when they differ (for v < needle it wraps huge).
+    b.push(Instr::LoadImm { dst: 7, imm: 0 });
+    b.branch_if_lt(7, 6, miss); // 0 < diff -> not equal
+    b.push(Instr::AddImm { dst: 2, a: 2, imm: 1 });
+    b.bind(miss);
+    b.bind(next);
+    b.push(Instr::AddImm { dst: 0, a: 0, imm: 1 });
+    b.branch_if_lt(0, 1, scan);
+    b.push(Instr::Halt);
+    b.finish(n as usize).expect("count_needle is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Machine, TupleCollector};
+
+    fn run(program: Program) -> (Machine, TupleCollector) {
+        let mut machine = Machine::new(program);
+        let mut hook = TupleCollector::new();
+        machine.run(10_000_000, &mut hook).expect("program halts");
+        (machine, hook)
+    }
+
+    #[test]
+    fn array_sum_computes_the_right_total() {
+        let n = 100u64;
+        let (m, _) = run(array_sum(n));
+        let nines = (0..n).filter(|i| i % 7 == 0).count() as u64;
+        let expected = 99 * nines + 5 * (n - nines);
+        assert_eq!(m.regs()[2], expected);
+    }
+
+    #[test]
+    fn array_sum_loads_are_value_invariant() {
+        let (_, hook) = run(array_sum(70));
+        // 70 loads, values only 5 or 99; 5 dominates (60 of 70).
+        assert_eq!(hook.loads().len(), 70);
+        let fives = hook
+            .loads()
+            .iter()
+            .filter(|t| t.value().as_u64() == 5)
+            .count();
+        assert_eq!(fives, 60);
+    }
+
+    #[test]
+    fn byte_histogram_counts_correctly() {
+        let n = 40u64;
+        let (m, _) = run(byte_histogram(n));
+        for bucket in 0..4 {
+            assert_eq!(m.memory()[n as usize + bucket], 10);
+        }
+    }
+
+    #[test]
+    fn byte_histogram_counter_loads_drift() {
+        let (_, hook) = run(byte_histogram(40));
+        // The bucket-counter loads see values 0..9 — drifting, not invariant.
+        let distinct: std::collections::HashSet<u64> =
+            hook.loads().iter().map(|t| t.value().as_u64()).collect();
+        assert!(
+            distinct.len() >= 10,
+            "distinct load values {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn linked_list_walk_ends_on_the_right_node() {
+        let (m, hook) = run(linked_list_walk(10, 3, 7));
+        // Start at 0; after 7 hops of +3 mod 10 -> 21 mod 10 = 1.
+        assert_eq!(m.regs()[0], 1);
+        // Walk loads: exactly `iters` of them from the same PC.
+        let walk_loads = hook.loads();
+        assert_eq!(walk_loads.len(), 7);
+        let pcs: std::collections::HashSet<u64> =
+            walk_loads.iter().map(|t| t.pc().as_u64()).collect();
+        assert_eq!(pcs.len(), 1, "all walk loads issue from one instruction");
+    }
+
+    #[test]
+    fn dispatch_loop_executes_all_handlers_evenly() {
+        let iters = 400u64;
+        let (m, _) = run(dispatch_loop(16, iters));
+        for h in 0..4 {
+            assert_eq!(m.regs()[9 + h], 100, "handler {h} count");
+        }
+    }
+
+    #[test]
+    fn dispatch_loop_emits_indirect_edges_to_four_targets() {
+        let (_, hook) = run(dispatch_loop(16, 100));
+        // Find the JumpReg PC: the edge source with 4 distinct targets.
+        let mut by_pc: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+            std::collections::HashMap::new();
+        for e in hook.edges() {
+            by_pc
+                .entry(e.pc().as_u64())
+                .or_default()
+                .insert(e.value().as_u64());
+        }
+        let max_fanout = by_pc.values().map(|s| s.len()).max().unwrap();
+        assert_eq!(max_fanout, 4, "dispatch edge should have 4 targets");
+    }
+
+    #[test]
+    fn count_needle_finds_all_occurrences() {
+        let n = 70u64;
+        let (m, hook) = run(count_needle(n));
+        // i % 7 == 3 for 10 of 70 words.
+        assert_eq!(m.regs()[2], 10);
+        assert_eq!(hook.loads().len(), 70);
+        // The scan branch is heavily biased: most words are not the needle.
+        let edges = hook.edges().len();
+        assert!(edges > 2 * 70, "init + scan branches, got {edges}");
+    }
+
+    #[test]
+    fn builder_rejects_unbound_labels_at_finish() {
+        let mut b = ProgramBuilder::new();
+        let dangling = b.new_label();
+        b.jump(dangling);
+        b.push(Instr::Halt);
+        let result = std::panic::catch_unwind(move || b.finish(0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn builder_rejects_double_binding() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic pseudo-randomness shared by the workload generators.
+//!
+//! Everything in `mhp-trace` is reproducible from a seed: the same seed
+//! always yields the same event stream, so experiments (and their error
+//! numbers) are repeatable run to run.
+
+/// A 64-bit split-mix generator: tiny, fast, and statistically adequate for
+/// workload synthesis.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform value in `0..bound` (multiply-shift; `bound > 0`).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A stateless 64-bit finalizer (the split-mix output function). Used to
+/// derive per-PC attributes deterministically from `(seed, pc)` without
+/// storing per-PC state.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes two words into one (for keyed per-entity attributes).
+#[inline]
+pub fn hash2(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b ^ 0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_the_range() {
+        let mut rng = SplitMix64::new(4);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.next_below(8) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 8 values should appear in 1000 draws"
+        );
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_near_half() {
+        let mut rng = SplitMix64::new(6);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn hash2_is_order_sensitive() {
+        assert_ne!(hash2(1, 2), hash2(2, 1));
+        assert_eq!(hash2(1, 2), hash2(1, 2));
+    }
+
+    #[test]
+    fn mix64_has_no_trivial_fixed_point_at_small_inputs() {
+        for x in 1..100u64 {
+            assert_ne!(mix64(x), x);
+        }
+    }
+}

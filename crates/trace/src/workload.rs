@@ -1,0 +1,612 @@
+//! Synthetic value-profiling workloads.
+//!
+//! The profilers under test never see a program — only a stream of
+//! `<pc, value>` tuples. What determines profiler error is the stream's
+//! *statistics*: how many tuples sit above the candidate threshold, how much
+//! near-threshold mass crowds the hash tables, how many effectively-unique
+//! noise tuples dilute them (Figure 4), and how the candidate set drifts
+//! between intervals (Figure 6).
+//!
+//! [`ValueWorkload`] synthesizes a stream with directly controllable
+//! statistics via a **band model**:
+//!
+//! * a **hot band** of tuples with per-event frequency above the 1 %
+//!   candidate threshold (log-spaced in `[freq_min, freq_max]`);
+//! * a **mid band** between the 0.1 % and 1 % thresholds — candidates for
+//!   the long interval configuration only;
+//! * a **warm band** just *below* 0.1 % — never candidates, but hot enough
+//!   to pressure the hash filters (the paper's main source of false
+//!   positives);
+//! * a **noise tail**: a Zipf-distributed population of cold PCs whose
+//!   values either come from a small per-PC set or never repeat
+//!   ("streaming"), the latter making the distinct-tuple count grow linearly
+//!   with interval length exactly as Figure 4 observes.
+//!
+//! Band tuples are attached to *invariant* PCs (a dominant value plus a few
+//! secondaries), mirroring how real value candidates arise. **Phases** remap
+//! the unstable band members' PCs every `phase_len` events (Figure 6's
+//! large-scale behaviour change); **bursts** rotate which hot-band members
+//! are active on a much shorter period (the short-interval variation the
+//! paper reports for m88ksim and vortex).
+
+use mhp_core::Tuple;
+
+use crate::sampler::{DiscreteSampler, ZipfSampler};
+use crate::util::{hash2, SplitMix64};
+
+/// A frequency band: `count` tuples whose long-run event frequencies are
+/// log-spaced between `freq_min` and `freq_max` (fractions of the stream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandSpec {
+    /// Number of tuples in the band.
+    pub count: usize,
+    /// Lowest tuple frequency in the band (fraction of all events).
+    pub freq_min: f64,
+    /// Highest tuple frequency in the band (fraction of all events).
+    pub freq_max: f64,
+}
+
+impl BandSpec {
+    /// A band with no members.
+    pub const EMPTY: BandSpec = BandSpec {
+        count: 0,
+        freq_min: 0.0,
+        freq_max: 0.0,
+    };
+
+    /// The log-spaced frequency of member `i` (0-based, hottest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count`.
+    pub fn freq(&self, i: usize) -> f64 {
+        assert!(i < self.count, "band member {i} out of range");
+        if self.count == 1 {
+            return (self.freq_min * self.freq_max).sqrt();
+        }
+        let t = i as f64 / (self.count - 1) as f64;
+        self.freq_max * (self.freq_min / self.freq_max).powf(t)
+    }
+
+    /// Total event mass of the band.
+    pub fn total_mass(&self) -> f64 {
+        (0..self.count).map(|i| self.freq(i)).sum()
+    }
+}
+
+/// Full specification of a synthetic value-profiling workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueWorkloadSpec {
+    /// Human-readable name (benchmark name in the figure harness).
+    pub name: &'static str,
+    /// Tuples above the short-config threshold (1 %).
+    pub hot: BandSpec,
+    /// Tuples between the long-config (0.1 %) and short-config thresholds.
+    pub mid: BandSpec,
+    /// Near-miss tuples below every threshold (aliasing pressure).
+    pub warm: BandSpec,
+    /// Probability that a band PC produces its dominant value (the rest is
+    /// split over three secondary values).
+    pub dominant_prob: f64,
+    /// Size of the cold-PC population behind the noise tail.
+    pub noise_pcs: usize,
+    /// Zipf skew of the noise-tail PC selection.
+    pub noise_theta: f64,
+    /// Rank shift applied to the noise Zipf (flattens the head so no single
+    /// noise PC approaches a candidate threshold).
+    pub noise_rank_offset: usize,
+    /// Fraction of noise PCs whose values come from a small set; the rest
+    /// are "streaming" PCs whose values never repeat.
+    pub small_set_fraction: f64,
+    /// Values per small-set noise PC.
+    pub small_set_values: usize,
+    /// Number of distinct program phases (1 = no phase behaviour).
+    pub phases: usize,
+    /// Events per phase.
+    pub phase_len: u64,
+    /// Probability that a band member keeps its identity across phases.
+    pub stable_fraction: f64,
+    /// Number of burst groups rotating the hot band (1 = no bursting).
+    pub burst_groups: usize,
+    /// Events per burst.
+    pub burst_len: u64,
+    /// Fraction of the hot band that participates in burst rotation; the
+    /// rest stays active in every group. 1.0 = the whole hot band rotates.
+    pub rotating_fraction: f64,
+}
+
+impl ValueWorkloadSpec {
+    /// Total long-run event mass of all three bands (the rest is noise).
+    pub fn band_mass(&self) -> f64 {
+        self.hot.total_mass() + self.mid.total_mass() + self.warm.total_mass()
+    }
+
+    /// Total number of band members.
+    pub fn band_members(&self) -> usize {
+        self.hot.count + self.mid.count + self.warm.count
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bands claim more than 90 % of the stream, leaving no
+    /// room for noise, or if structural parameters are degenerate.
+    pub fn validate(&self) {
+        assert!(
+            self.band_mass() < 0.9,
+            "{}: band mass {:.2} leaves too little noise",
+            self.name,
+            self.band_mass()
+        );
+        assert!(self.noise_pcs > 0, "{}: need noise PCs", self.name);
+        assert!(
+            (0.0..=1.0).contains(&self.dominant_prob)
+                && (0.0..=1.0).contains(&self.small_set_fraction)
+                && (0.0..=1.0).contains(&self.stable_fraction),
+            "{}: probabilities out of range",
+            self.name
+        );
+        assert!(
+            self.phases >= 1 && self.burst_groups >= 1,
+            "{}: degenerate",
+            self.name
+        );
+        assert!(
+            self.phases == 1 || self.phase_len > 0,
+            "{}: phased workload needs phase_len",
+            self.name
+        );
+        assert!(
+            self.burst_groups == 1 || self.burst_len > 0,
+            "{}: bursting workload needs burst_len",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.rotating_fraction),
+            "{}: rotating fraction out of range",
+            self.name
+        );
+        assert!(
+            self.small_set_values > 0,
+            "{}: small sets need values",
+            self.name
+        );
+    }
+}
+
+/// An infinite, deterministic iterator of `<pc, value>` profiling events.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::workload::{BandSpec, ValueWorkload, ValueWorkloadSpec};
+/// let spec = ValueWorkloadSpec {
+///     name: "demo",
+///     hot: BandSpec { count: 3, freq_min: 0.02, freq_max: 0.05 },
+///     mid: BandSpec::EMPTY,
+///     warm: BandSpec::EMPTY,
+///     dominant_prob: 1.0,
+///     noise_pcs: 100,
+///     noise_theta: 0.8,
+///     noise_rank_offset: 40,
+///     small_set_fraction: 1.0,
+///     small_set_values: 4,
+///     phases: 1,
+///     phase_len: 0,
+///     stable_fraction: 1.0,
+///     burst_groups: 1,
+///     burst_len: 0,
+///     rotating_fraction: 1.0,
+/// };
+/// let events: Vec<_> = ValueWorkload::new(spec, 1).take(1000).collect();
+/// assert_eq!(events.len(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueWorkload {
+    spec: ValueWorkloadSpec,
+    seed: u64,
+    rng: SplitMix64,
+    /// One top-level sampler per burst group; entry `members` is the noise
+    /// bucket.
+    samplers: Vec<DiscreteSampler>,
+    noise_zipf: ZipfSampler,
+    member_freqs: Vec<f64>,
+    event_idx: u64,
+    fresh_counter: u64,
+}
+
+impl ValueWorkload {
+    /// Creates the workload from its spec and a stream seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ValueWorkloadSpec::validate`].
+    pub fn new(spec: ValueWorkloadSpec, seed: u64) -> Self {
+        spec.validate();
+        let members = spec.band_members();
+        let mut member_freqs = Vec::with_capacity(members);
+        for i in 0..spec.hot.count {
+            member_freqs.push(spec.hot.freq(i));
+        }
+        for i in 0..spec.mid.count {
+            member_freqs.push(spec.mid.freq(i));
+        }
+        for i in 0..spec.warm.count {
+            member_freqs.push(spec.warm.freq(i));
+        }
+        let noise_mass = 1.0 - member_freqs.iter().sum::<f64>();
+        let samplers = (0..spec.burst_groups)
+            .map(|group| {
+                let mut weights: Vec<f64> = member_freqs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| {
+                        if !Self::member_active(&spec, i, group) {
+                            0.0
+                        } else if spec.burst_groups > 1 && Self::member_rotates(&spec, i) {
+                            // A rotating member is only active 1/groups of
+                            // the time; boost its in-burst rate so its
+                            // long-run frequency matches the spec.
+                            f * spec.burst_groups as f64
+                        } else {
+                            f
+                        }
+                    })
+                    .collect();
+                weights.push(noise_mass);
+                DiscreteSampler::from_weights(&weights)
+            })
+            .collect();
+        let noise_zipf =
+            ZipfSampler::with_offset(spec.noise_pcs, spec.noise_theta, spec.noise_rank_offset);
+        ValueWorkload {
+            seed,
+            rng: SplitMix64::new(hash2(seed, 0x5EED)),
+            samplers,
+            noise_zipf,
+            member_freqs,
+            event_idx: 0,
+            fresh_counter: 0,
+            spec,
+        }
+    }
+
+    /// The workload's spec.
+    pub fn spec(&self) -> &ValueWorkloadSpec {
+        &self.spec
+    }
+
+    /// Whether hot-band member `i` participates in burst group `group`.
+    /// Only the rotating prefix of the hot band rotates; everything else is
+    /// always active.
+    fn member_active(spec: &ValueWorkloadSpec, i: usize, group: usize) -> bool {
+        if spec.burst_groups <= 1 || !Self::member_rotates(spec, i) {
+            return true;
+        }
+        i % spec.burst_groups == group
+    }
+
+    /// Whether hot-band member `i` is part of the rotating prefix.
+    fn member_rotates(spec: &ValueWorkloadSpec, i: usize) -> bool {
+        i < (spec.hot.count as f64 * spec.rotating_fraction).round() as usize
+    }
+
+    /// Whether band member `i` keeps its PC identity across phases.
+    fn member_stable(&self, i: usize) -> bool {
+        let roll = hash2(self.seed ^ 0x57AB1E, i as u64);
+        (roll as f64 / u64::MAX as f64) < self.spec.stable_fraction
+    }
+
+    fn current_phase(&self) -> u64 {
+        if self.spec.phases <= 1 {
+            0
+        } else {
+            (self.event_idx / self.spec.phase_len) % self.spec.phases as u64
+        }
+    }
+
+    fn current_group(&self) -> usize {
+        if self.spec.burst_groups <= 1 {
+            0
+        } else {
+            ((self.event_idx / self.spec.burst_len) % self.spec.burst_groups as u64) as usize
+        }
+    }
+
+    /// The PC of band member `i` in the current phase.
+    fn member_pc(&self, i: usize) -> u64 {
+        let phase_eff = if self.member_stable(i) {
+            0
+        } else {
+            self.current_phase()
+        };
+        0x0040_0000 + (phase_eff * self.spec.band_members() as u64 + i as u64) * 8
+    }
+
+    /// Produces the value for band member `i` (dominant or a secondary).
+    fn member_value(&mut self, pc: u64) -> u64 {
+        let dominant = 0x100 + (hash2(self.seed ^ 0x7A1, pc) & 0xFFFF);
+        if self.rng.next_f64() < self.spec.dominant_prob {
+            dominant
+        } else {
+            let which = self.rng.next_below(3);
+            0x1_0000 + dominant + which * 7
+        }
+    }
+
+    /// Produces one noise event.
+    fn noise_event(&mut self) -> Tuple {
+        let rank = self.noise_zipf.sample(&mut self.rng) as u64;
+        let pc = 0x0100_0000 + rank * 8;
+        let class_roll = hash2(self.seed ^ 0xC1A55, pc) as f64 / u64::MAX as f64;
+        let value = if class_roll < self.spec.small_set_fraction {
+            // Small-set PC: one of `small_set_values` values.
+            let v = self.rng.next_below(self.spec.small_set_values as u64);
+            0x2_0000 + hash2(self.seed ^ 0x5E7, pc) % 1024 + v * 131
+        } else {
+            // Streaming PC: a value that never repeats.
+            self.fresh_counter += 1;
+            0x8000_0000 + self.fresh_counter
+        };
+        Tuple::new(pc, value)
+    }
+}
+
+impl Iterator for ValueWorkload {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let group = self.current_group();
+        let idx = self.samplers[group].sample(&mut self.rng);
+        let tuple = if idx < self.member_freqs.len() {
+            let pc = self.member_pc(idx);
+            let value = self.member_value(pc);
+            Tuple::new(pc, value)
+        } else {
+            self.noise_event()
+        };
+        self.event_idx += 1;
+        Some(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn demo_spec() -> ValueWorkloadSpec {
+        ValueWorkloadSpec {
+            name: "demo",
+            hot: BandSpec {
+                count: 4,
+                freq_min: 0.0125,
+                freq_max: 0.028,
+            },
+            mid: BandSpec {
+                count: 20,
+                freq_min: 0.0013,
+                freq_max: 0.006,
+            },
+            warm: BandSpec {
+                count: 40,
+                freq_min: 0.0001,
+                freq_max: 0.0008,
+            },
+            dominant_prob: 0.9,
+            noise_pcs: 5_000,
+            noise_theta: 0.7,
+            noise_rank_offset: 40,
+            small_set_fraction: 0.6,
+            small_set_values: 8,
+            phases: 1,
+            phase_len: 0,
+            stable_fraction: 1.0,
+            burst_groups: 1,
+            burst_len: 0,
+            rotating_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn band_freq_is_log_spaced_and_monotone() {
+        let band = BandSpec {
+            count: 5,
+            freq_min: 0.001,
+            freq_max: 0.016,
+        };
+        assert!((band.freq(0) - 0.016).abs() < 1e-12);
+        assert!((band.freq(4) - 0.001).abs() < 1e-12);
+        for i in 1..5 {
+            assert!(band.freq(i) < band.freq(i - 1));
+        }
+    }
+
+    #[test]
+    fn single_member_band_uses_geometric_mean() {
+        let band = BandSpec {
+            count: 1,
+            freq_min: 0.01,
+            freq_max: 0.04,
+        };
+        assert!((band.freq(0) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_band_has_zero_mass() {
+        assert_eq!(BandSpec::EMPTY.total_mass(), 0.0);
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a: Vec<Tuple> = ValueWorkload::new(demo_spec(), 42).take(1000).collect();
+        let b: Vec<Tuple> = ValueWorkload::new(demo_spec(), 42).take(1000).collect();
+        let c: Vec<Tuple> = ValueWorkload::new(demo_spec(), 43).take(1000).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hot_band_frequencies_are_close_to_spec() {
+        let spec = demo_spec();
+        let n = 400_000usize;
+        let mut counts: HashMap<Tuple, u64> = HashMap::new();
+        for t in ValueWorkload::new(spec.clone(), 7).take(n) {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        // The hottest tuple: member 0's dominant value. Expected frequency
+        // freq(0) * dominant_prob = 0.028 * 0.9 = 2.52%.
+        let max = counts.values().max().copied().unwrap();
+        let observed = max as f64 / n as f64;
+        assert!(
+            (observed - 0.0252).abs() < 0.006,
+            "hottest tuple frequency {observed} should be near 2.5%"
+        );
+    }
+
+    #[test]
+    fn candidate_counts_match_bands() {
+        let spec = demo_spec();
+        let n = 1_000_000usize;
+        let mut counts: HashMap<Tuple, u64> = HashMap::new();
+        for t in ValueWorkload::new(spec.clone(), 11).take(n) {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let at_1pct = counts.values().filter(|&&c| c >= n as u64 / 100).count();
+        let at_01pct = counts.values().filter(|&&c| c >= n as u64 / 1000).count();
+        // ~4 hot members above 1% (freq*0.9 >= 1.1%); allow sampling slack.
+        assert!(
+            (2..=7).contains(&at_1pct),
+            "1% candidates {at_1pct}, expected about {}",
+            spec.hot.count
+        );
+        // Hot + mid above 0.1%: 24 expected.
+        assert!(
+            (15..=35).contains(&at_01pct),
+            "0.1% candidates {at_01pct}, expected about {}",
+            spec.hot.count + spec.mid.count
+        );
+    }
+
+    #[test]
+    fn streaming_noise_grows_distinct_tuples_linearly() {
+        let mut spec = demo_spec();
+        spec.small_set_fraction = 0.0; // all noise streams
+        let distinct_at = |n: usize| {
+            ValueWorkload::new(spec.clone(), 3)
+                .take(n)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        let d10k = distinct_at(10_000);
+        let d100k = distinct_at(100_000);
+        let ratio = d100k as f64 / d10k as f64;
+        assert!(
+            ratio > 5.0,
+            "distinct tuples should grow ~linearly: {d10k} -> {d100k}"
+        );
+    }
+
+    #[test]
+    fn small_set_noise_bounds_distinct_tuples() {
+        let mut spec = demo_spec();
+        spec.small_set_fraction = 1.0;
+        spec.noise_pcs = 100;
+        spec.small_set_values = 4;
+        let distinct = ValueWorkload::new(spec, 5)
+            .take(200_000)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        // Bounded by band tuples (4 per member) + 100 PCs * 4 values.
+        assert!(
+            distinct <= 64 * 4 + 400 + 10,
+            "distinct {distinct} unbounded"
+        );
+    }
+
+    #[test]
+    fn phases_remap_unstable_members() {
+        let mut spec = demo_spec();
+        spec.phases = 2;
+        spec.phase_len = 50_000;
+        spec.stable_fraction = 0.0; // everything remaps
+        let mut wl = ValueWorkload::new(spec, 9);
+        let first: std::collections::HashSet<u64> =
+            (&mut wl).take(50_000).map(|t| t.pc().as_u64()).collect();
+        let second: std::collections::HashSet<u64> =
+            (&mut wl).take(50_000).map(|t| t.pc().as_u64()).collect();
+        // Band PCs (0x40_0000 range) must differ between phases.
+        let band_first: Vec<u64> = first.iter().copied().filter(|&p| p < 0x0100_0000).collect();
+        let band_second: std::collections::HashSet<u64> =
+            second.into_iter().filter(|&p| p < 0x0100_0000).collect();
+        assert!(!band_first.is_empty());
+        assert!(
+            band_first.iter().all(|p| !band_second.contains(p)),
+            "unstable band PCs must change across phases"
+        );
+    }
+
+    #[test]
+    fn stable_members_survive_phase_changes() {
+        let mut spec = demo_spec();
+        spec.phases = 2;
+        spec.phase_len = 50_000;
+        spec.stable_fraction = 1.0; // nothing remaps
+        let members = spec.band_members() as u64;
+        let mut wl = ValueWorkload::new(spec, 9);
+        // With full stability every band PC must stay inside the phase-0 PC
+        // range in both phases (rare warm members may not appear in every
+        // window, so set equality would be too strict).
+        let phase0_end = 0x0040_0000 + members * 8;
+        for window in 0..2 {
+            let band_pcs: Vec<u64> = (&mut wl)
+                .take(50_000)
+                .map(|t| t.pc().as_u64())
+                .filter(|&p| p < 0x0100_0000)
+                .collect();
+            assert!(!band_pcs.is_empty());
+            for p in band_pcs {
+                assert!(
+                    p < phase0_end,
+                    "window {window}: pc {p:#x} escaped the stable phase-0 range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_rotate_hot_band_members() {
+        let mut spec = demo_spec();
+        spec.burst_groups = 2;
+        spec.burst_len = 10_000;
+        let wl = ValueWorkload::new(spec.clone(), 13);
+        let mut wl = wl;
+        // Group 0 active for first 10K events, group 1 for the next.
+        let hot_pcs = |events: &mut dyn Iterator<Item = Tuple>| -> std::collections::HashSet<u64> {
+            events
+                .map(|t| t.pc().as_u64())
+                .filter(|&p| p < 0x0040_0000 + 8 * spec.hot.count as u64)
+                .collect()
+        };
+        let g0 = hot_pcs(&mut (&mut wl).take(10_000));
+        let g1 = hot_pcs(&mut (&mut wl).take(10_000));
+        assert!(!g0.is_empty() && !g1.is_empty());
+        assert!(
+            g0.intersection(&g1).count() == 0,
+            "burst groups must be disjoint"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "band mass")]
+    fn overweight_bands_are_rejected() {
+        let mut spec = demo_spec();
+        spec.hot = BandSpec {
+            count: 50,
+            freq_min: 0.02,
+            freq_max: 0.02,
+        };
+        ValueWorkload::new(spec, 1);
+    }
+}

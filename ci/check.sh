@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local gate, identical to .github/workflows/ci.yml:
+#   formatting, clippy (warnings are errors), tier-1 build + tests, and the
+#   whole workspace test suite. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "ci/check.sh: all green"

@@ -1,0 +1,74 @@
+//! Ingest throughput of the sharded pipeline: events/sec for 1 vs 8 shards
+//! (the ISSUE's acceptance benchmark), plus trace encode/decode speed.
+//!
+//! Parallel speedup here is bounded by the synthetic generator and the
+//! per-event dispatch hash, both of which run on the single dispatcher
+//! thread — the interesting number is how much profiler work the shards
+//! take off that thread's critical path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mhp_core::{IntervalConfig, MultiHashConfig, Tuple};
+use mhp_pipeline::{EngineConfig, ProfilerSpec, ShardedEngine, TraceReader, TraceWriter};
+use mhp_trace::Benchmark;
+
+const EVENTS: usize = 200_000;
+
+fn stream() -> Vec<Tuple> {
+    Benchmark::Gcc.value_stream(7).take(EVENTS).collect()
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let events = stream();
+    let interval = IntervalConfig::new(10_000, 0.01).unwrap();
+    let mut group = c.benchmark_group("pipeline_ingest");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    for shards in [1usize, 2, 8] {
+        group.bench_function(format!("multi_hash_{shards}_shards"), |b| {
+            let engine = ShardedEngine::new(
+                EngineConfig::new(shards),
+                interval,
+                ProfilerSpec::MultiHash(MultiHashConfig::best()),
+                1,
+            );
+            b.iter(|| {
+                let report = engine.run(events.iter().copied()).unwrap();
+                black_box(report.intervals)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_trace_codec(c: &mut Criterion) {
+    let events = stream();
+    let mut group = c.benchmark_group("pipeline_trace");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut writer = TraceWriter::new(Vec::new(), mhp_pipeline::TraceKind::Value);
+            writer.write_all(events.iter().copied()).unwrap();
+            black_box(writer.finish().unwrap().len())
+        })
+    });
+
+    let mut writer = TraceWriter::new(Vec::new(), mhp_pipeline::TraceKind::Value);
+    writer.write_all(events.iter().copied()).unwrap();
+    let encoded = writer.finish().unwrap();
+
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let reader = TraceReader::new(encoded.as_slice()).unwrap();
+            black_box(reader.count())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_ingest, bench_trace_codec);
+criterion_main!(benches);

@@ -794,7 +794,12 @@ pub fn stratified(opts: &RunOptions) -> Figure {
 
     let interval = IntervalConfig::short();
     let mut table = TextTable::new(vec![
-        "benchmark", "threshold", "variant", "total err %", "reports", "interrupts",
+        "benchmark",
+        "threshold",
+        "variant",
+        "total err %",
+        "reports",
+        "interrupts",
     ]);
     for bench in [Benchmark::Gcc, Benchmark::M88ksim] {
         for sampling_threshold in [4u32, 16, 64] {

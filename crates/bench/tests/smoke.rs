@@ -104,7 +104,11 @@ fn adaptive_figure_covers_every_benchmark() {
 fn stratified_figure_shows_the_overhead_tradeoff() {
     let fig = run_figure("stratified", &tiny());
     let table = &fig.blocks[0].1;
-    assert_eq!(table.len(), 2 * 3 * 3, "2 benchmarks x 3 thresholds x 3 variants");
+    assert_eq!(
+        table.len(),
+        2 * 3 * 3,
+        "2 benchmarks x 3 thresholds x 3 variants"
+    );
     let csv = table.to_csv();
     assert!(csv.contains("tagged+agg"));
 }

@@ -70,6 +70,47 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// An error produced while merging per-shard interval profiles into a global
+/// profile (see [`IntervalProfile::merge`](crate::IntervalProfile::merge)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum MergeError {
+    /// No profiles were supplied; a merge needs at least one part.
+    Empty,
+    /// Two parts cover different intervals.
+    IntervalMismatch {
+        /// Interval index of the first part.
+        expected: u64,
+        /// Conflicting interval index found in a later part.
+        found: u64,
+    },
+    /// Two parts were gathered under different interval lengths or
+    /// candidate thresholds, so their counts are not comparable.
+    ConfigMismatch,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MergeError::Empty => write!(f, "cannot merge zero interval profiles"),
+            MergeError::IntervalMismatch { expected, found } => {
+                write!(
+                    f,
+                    "cannot merge profiles of different intervals ({expected} vs {found})"
+                )
+            }
+            MergeError::ConfigMismatch => {
+                write!(
+                    f,
+                    "cannot merge profiles with different interval configurations"
+                )
+            }
+        }
+    }
+}
+
+impl Error for MergeError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +140,24 @@ mod tests {
     fn error_is_send_sync_static() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<ConfigError>();
+        assert_bounds::<MergeError>();
+    }
+
+    #[test]
+    fn merge_error_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            MergeError::Empty,
+            MergeError::IntervalMismatch {
+                expected: 0,
+                found: 3,
+            },
+            MergeError::ConfigMismatch,
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.chars().next().unwrap().is_uppercase());
+            assert!(!msg.ends_with('.'));
+        }
     }
 }

@@ -39,6 +39,10 @@ pub const LONG_INTERVAL: (u64, f64) = (1_000_000, 0.001);
 pub struct IntervalConfig {
     interval_len: u64,
     threshold_fraction: f64,
+    /// When `true`, profilers never cut an interval on their own event
+    /// count; an external driver ends intervals via
+    /// [`EventProfiler::finish_interval`](crate::EventProfiler::finish_interval).
+    external_cut: bool,
 }
 
 impl IntervalConfig {
@@ -60,7 +64,42 @@ impl IntervalConfig {
         Ok(IntervalConfig {
             interval_len,
             threshold_fraction,
+            external_cut: false,
         })
+    }
+
+    /// Marks this configuration as **externally cut**: the profiler keeps
+    /// its threshold and accumulator sizing (both derived from
+    /// `interval_len` and the threshold fraction) but never completes an
+    /// interval from its own event count — the owner decides interval
+    /// boundaries by calling
+    /// [`EventProfiler::finish_interval`](crate::EventProfiler::finish_interval).
+    ///
+    /// This is how a shard of a partitioned stream profiles against the
+    /// *global* interval structure: each shard sees only a fraction of the
+    /// events, so local counts must not trigger cuts.
+    pub fn with_external_cut(mut self) -> Self {
+        self.external_cut = true;
+        self
+    }
+
+    /// Returns the internally-cut (normal) version of this configuration.
+    pub fn with_internal_cut(mut self) -> Self {
+        self.external_cut = false;
+        self
+    }
+
+    /// Whether interval boundaries are driven externally.
+    #[inline]
+    pub fn external_cut(&self) -> bool {
+        self.external_cut
+    }
+
+    /// Returns `true` when a profiler that has seen `events` events this
+    /// interval should complete the interval now.
+    #[inline]
+    pub fn is_boundary(&self, events: u64) -> bool {
+        !self.external_cut && events == self.interval_len
     }
 
     /// The paper's short configuration (10,000 events, 1 % threshold).
@@ -203,6 +242,24 @@ mod tests {
         // tiny interval: capacity cannot exceed interval/threshold_count
         let c = IntervalConfig::new(10, 0.001).unwrap();
         assert!(c.accumulator_capacity() <= 10);
+    }
+
+    #[test]
+    fn external_cut_disables_boundaries_but_keeps_sizing() {
+        let normal = IntervalConfig::new(1_000, 0.01).unwrap();
+        let sharded = normal.with_external_cut();
+        assert!(sharded.external_cut());
+        assert_eq!(sharded.threshold_count(), normal.threshold_count());
+        assert_eq!(
+            sharded.accumulator_capacity(),
+            normal.accumulator_capacity()
+        );
+        assert!(normal.is_boundary(1_000));
+        assert!(!normal.is_boundary(999));
+        assert!(!sharded.is_boundary(1_000));
+        assert!(!sharded.is_boundary(u64::MAX));
+        assert_eq!(sharded.with_internal_cut(), normal);
+        assert_ne!(sharded, normal);
     }
 
     #[test]

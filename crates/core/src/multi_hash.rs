@@ -291,7 +291,7 @@ impl MultiHashProfiler {
             + self.accumulator.storage_bytes()
     }
 
-    fn finish_interval(&mut self) -> IntervalProfile {
+    fn end_interval(&mut self) -> IntervalProfile {
         let candidates = self
             .accumulator
             .finish_interval(self.config.retaining, self.threshold);
@@ -369,11 +369,15 @@ impl EventProfiler for MultiHashProfiler {
             }
         }
         self.events += 1;
-        if self.events == self.interval.interval_len() {
-            Some(self.finish_interval())
+        if self.interval.is_boundary(self.events) {
+            Some(self.end_interval())
         } else {
             None
         }
+    }
+
+    fn finish_interval(&mut self) -> IntervalProfile {
+        self.end_interval()
     }
 
     fn reset(&mut self) {

@@ -114,18 +114,25 @@ impl PerfectProfiler {
     pub fn observe_exact(&mut self, tuple: Tuple) -> Option<ExactCounts> {
         *self.counts.entry(tuple).or_insert(0) += 1;
         self.events += 1;
-        if self.events == self.interval.interval_len() {
-            let exact = ExactCounts {
-                interval_index: self.interval_idx,
-                config: self.interval,
-                counts: std::mem::take(&mut self.counts),
-            };
-            self.events = 0;
-            self.interval_idx += 1;
-            Some(exact)
+        if self.interval.is_boundary(self.events) {
+            Some(self.end_interval_exact())
         } else {
             None
         }
+    }
+
+    /// Ends the current interval immediately, returning the exact counts
+    /// gathered so far (the [`ExactCounts`] twin of
+    /// [`EventProfiler::finish_interval`]).
+    pub fn end_interval_exact(&mut self) -> ExactCounts {
+        let exact = ExactCounts {
+            interval_index: self.interval_idx,
+            config: self.interval,
+            counts: std::mem::take(&mut self.counts),
+        };
+        self.events = 0;
+        self.interval_idx += 1;
+        exact
     }
 }
 
@@ -136,6 +143,10 @@ impl EventProfiler for PerfectProfiler {
 
     fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
         self.observe_exact(tuple).map(|exact| exact.profile())
+    }
+
+    fn finish_interval(&mut self) -> IntervalProfile {
+        self.end_interval_exact().profile()
     }
 
     fn reset(&mut self) {

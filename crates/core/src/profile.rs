@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::MergeError;
 use crate::interval::IntervalConfig;
 use crate::tuple::Tuple;
 
@@ -134,6 +135,81 @@ impl IntervalProfile {
     pub fn total_count(&self) -> u64 {
         self.candidates.iter().map(|c| c.count).sum()
     }
+
+    /// Merges per-shard profiles of the **same interval** into one global
+    /// profile.
+    ///
+    /// This is the merge stage of a sharded ingestion engine (see
+    /// `mhp-pipeline`): each shard profiles a partition of the event stream
+    /// against the global interval structure, and the global profile for an
+    /// interval is the union of the shards' candidate sets with counts for
+    /// the same tuple **summed**. Under tuple-stable partitioning (all
+    /// occurrences of a tuple routed to one shard) no count is ever split,
+    /// so the sum is exactly the owning shard's count; the summing rule
+    /// exists for partitioners that *do* split a tuple's occurrences, where
+    /// a tuple whose per-shard counts each crossed the threshold merges to
+    /// their total. A tuple whose occurrences were split such that **no**
+    /// shard saw it cross the threshold is not recoverable here — it was
+    /// never promoted to any shard's accumulator. That undercount mode is
+    /// documented in `DESIGN.md` and avoided entirely by tuple-stable
+    /// partitioning.
+    ///
+    /// The merged profile carries the common interval index and the
+    /// internally-cut version of the common configuration (shard profiles
+    /// are typically gathered under
+    /// [`IntervalConfig::with_external_cut`]; the merged, global view is a
+    /// normal interval again).
+    ///
+    /// # Errors
+    ///
+    /// * [`MergeError::Empty`] if `parts` yields no profile;
+    /// * [`MergeError::IntervalMismatch`] if parts cover different
+    ///   intervals;
+    /// * [`MergeError::ConfigMismatch`] if parts were gathered under
+    ///   different interval lengths or threshold fractions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhp_core::{Candidate, IntervalConfig, IntervalProfile, Tuple};
+    /// let config = IntervalConfig::short();
+    /// let shard = |candidates| IntervalProfile::from_candidates(7, config, candidates);
+    /// let merged = IntervalProfile::merge([
+    ///     shard(vec![Candidate::new(Tuple::new(1, 1), 400)]),
+    ///     shard(vec![Candidate::new(Tuple::new(2, 2), 250)]),
+    /// ])
+    /// .unwrap();
+    /// assert_eq!(merged.interval_index(), 7);
+    /// assert_eq!(merged.count_of(Tuple::new(1, 1)), Some(400));
+    /// assert_eq!(merged.count_of(Tuple::new(2, 2)), Some(250));
+    /// ```
+    pub fn merge<I>(parts: I) -> Result<IntervalProfile, MergeError>
+    where
+        I: IntoIterator<Item = IntervalProfile>,
+    {
+        let mut parts = parts.into_iter();
+        let first = parts.next().ok_or(MergeError::Empty)?;
+        let interval_index = first.interval_index;
+        let config = first.config.with_internal_cut();
+        let mut candidates = first.candidates;
+        for part in parts {
+            if part.interval_index != interval_index {
+                return Err(MergeError::IntervalMismatch {
+                    expected: interval_index,
+                    found: part.interval_index,
+                });
+            }
+            if part.config.with_internal_cut() != config {
+                return Err(MergeError::ConfigMismatch);
+            }
+            candidates.extend(part.candidates);
+        }
+        Ok(IntervalProfile::from_candidates(
+            interval_index,
+            config,
+            candidates,
+        ))
+    }
 }
 
 impl<'a> IntoIterator for &'a IntervalProfile {
@@ -202,6 +278,66 @@ mod tests {
         assert_eq!(p.interval_index(), 3);
         assert_eq!(p.threshold_count(), 100);
         assert_eq!(p.config(), IntervalConfig::short());
+    }
+
+    #[test]
+    fn merge_sums_counts_split_across_shards() {
+        let a = profile(&[(1, 1, 100), (2, 2, 300)]);
+        let b = profile(&[(1, 1, 150), (3, 3, 120)]);
+        let merged = IntervalProfile::merge([a, b]).unwrap();
+        assert_eq!(merged.count_of(Tuple::new(1, 1)), Some(250));
+        assert_eq!(merged.count_of(Tuple::new(2, 2)), Some(300));
+        assert_eq!(merged.count_of(Tuple::new(3, 3)), Some(120));
+        assert_eq!(merged.interval_index(), 3);
+        // Hottest-first ordering is re-established over the merged set.
+        assert_eq!(merged.candidates()[0].tuple, Tuple::new(2, 2));
+    }
+
+    #[test]
+    fn merge_of_single_part_is_identity() {
+        let p = profile(&[(1, 1, 100), (2, 2, 300)]);
+        let merged = IntervalProfile::merge([p.clone()]).unwrap();
+        assert_eq!(merged, p);
+    }
+
+    #[test]
+    fn merge_normalizes_external_cut_configs() {
+        let sharded = IntervalConfig::short().with_external_cut();
+        let part = |pc: u64| {
+            IntervalProfile::from_candidates(
+                0,
+                sharded,
+                vec![Candidate::new(Tuple::new(pc, 0), 150)],
+            )
+        };
+        let merged = IntervalProfile::merge([part(1), part(2)]).unwrap();
+        assert_eq!(merged.config(), IntervalConfig::short());
+        assert!(!merged.config().external_cut());
+    }
+
+    #[test]
+    fn merge_rejects_empty_and_mismatched_parts() {
+        assert_eq!(
+            IntervalProfile::merge(std::iter::empty()),
+            Err(MergeError::Empty)
+        );
+
+        let a = profile(&[(1, 1, 100)]);
+        let other_interval =
+            IntervalProfile::from_candidates(9, IntervalConfig::short(), Vec::new());
+        assert_eq!(
+            IntervalProfile::merge([a.clone(), other_interval]),
+            Err(MergeError::IntervalMismatch {
+                expected: 3,
+                found: 9
+            })
+        );
+
+        let other_config = IntervalProfile::from_candidates(3, IntervalConfig::long(), Vec::new());
+        assert_eq!(
+            IntervalProfile::merge([a, other_config]),
+            Err(MergeError::ConfigMismatch)
+        );
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub trait EventProfiler {
     /// event completes a profile interval.
     fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile>;
 
+    /// Ends the current interval immediately, as if the configured number of
+    /// events had elapsed, and returns the profile gathered so far.
+    ///
+    /// Two callers need this: sharded ingestion engines, which cut intervals
+    /// on the *global* event count rather than any one shard's local count
+    /// (see `mhp-pipeline`), and end-of-stream flushing of a trailing
+    /// partial interval. End-of-interval bookkeeping (counter clearing,
+    /// retention, interval-index advance) happens exactly as it would on a
+    /// natural boundary.
+    fn finish_interval(&mut self) -> IntervalProfile;
+
     /// Clears all profiling state (hash counters, accumulator contents and
     /// the position within the current interval), as if freshly constructed.
     fn reset(&mut self);
@@ -74,6 +85,31 @@ mod tests {
         let mut profiler: Box<dyn EventProfiler> = Box::new(PerfectProfiler::new(config));
         assert!(profiler.observe(Tuple::new(1, 1)).is_none());
         assert!(profiler.observe(Tuple::new(1, 1)).is_some());
+    }
+
+    #[test]
+    fn finish_interval_flushes_partial_interval() {
+        let config = IntervalConfig::new(100, 0.01).unwrap();
+        let mut profiler = PerfectProfiler::new(config);
+        for _ in 0..5 {
+            assert!(profiler.observe(Tuple::new(1, 1)).is_none());
+        }
+        let profile = profiler.finish_interval();
+        assert_eq!(profile.interval_index(), 0);
+        assert_eq!(profile.count_of(Tuple::new(1, 1)), Some(5));
+        assert_eq!(profiler.events_in_current_interval(), 0);
+        assert_eq!(profiler.interval_index(), 1);
+    }
+
+    #[test]
+    fn externally_cut_profiler_never_self_cuts() {
+        let config = IntervalConfig::new(4, 0.5).unwrap().with_external_cut();
+        let mut profiler = PerfectProfiler::new(config);
+        for _ in 0..10 {
+            assert!(profiler.observe(Tuple::new(1, 1)).is_none());
+        }
+        let profile = profiler.finish_interval();
+        assert_eq!(profile.count_of(Tuple::new(1, 1)), Some(10));
     }
 
     #[test]

@@ -216,7 +216,7 @@ impl SingleHashProfiler {
         self.counters.storage_bytes() + self.accumulator.storage_bytes()
     }
 
-    fn finish_interval(&mut self) -> IntervalProfile {
+    fn end_interval(&mut self) -> IntervalProfile {
         let candidates = self
             .accumulator
             .finish_interval(self.config.retaining, self.threshold);
@@ -252,11 +252,15 @@ impl EventProfiler for SingleHashProfiler {
             self.counters.increment(idx);
         }
         self.events += 1;
-        if self.events == self.interval.interval_len() {
-            Some(self.finish_interval())
+        if self.interval.is_boundary(self.events) {
+            Some(self.end_interval())
         } else {
             None
         }
+    }
+
+    fn finish_interval(&mut self) -> IntervalProfile {
+        self.end_interval()
     }
 
     fn reset(&mut self) {

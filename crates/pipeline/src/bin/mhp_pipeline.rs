@@ -1,0 +1,264 @@
+//! `mhp-pipeline` — record, inspect and replay binary event traces.
+//!
+//! ```text
+//! mhp-pipeline record --stream gcc:value:42 --events 1000000 --out gcc.mhpt
+//! mhp-pipeline info   --trace gcc.mhpt
+//! mhp-pipeline replay --trace gcc.mhpt --shards 8 --profiler multi-hash
+//! mhp-pipeline bench  --stream gcc:value:42 --events 1000000 --shards 1,8
+//! ```
+//!
+//! `replay` runs the sharded engine over a recorded trace and prints the
+//! hottest candidates of each interval plus throughput; `bench` skips the
+//! disk and compares ingest throughput across shard counts on a live
+//! synthetic stream.
+
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use mhp_core::{IntervalConfig, MultiHashConfig};
+use mhp_pipeline::{
+    EngineConfig, EngineReport, Error, ProfilerSpec, ShardedEngine, TraceReader, TraceWriter,
+};
+use mhp_trace::StreamSpec;
+
+const USAGE: &str = "\
+usage: mhp-pipeline <command> [options]
+
+commands:
+  record --stream B:K:S --out FILE [--events N] [--chunk-events N]
+  info   --trace FILE
+  replay --trace FILE [--shards K] [--profiler P] [--interval-len N]
+         [--threshold F] [--seed S] [--top N]
+  bench  --stream B:K:S [--events N] [--shards K1,K2,...] [--profiler P]
+         [--interval-len N] [--threshold F] [--seed S]
+
+streams are benchmark:kind:seed, e.g. gcc:value:42 or li:edge:7
+profilers: multi-hash (default), single-hash, perfect
+defaults: --events 1000000 --shards 1,8 --interval-len 10000
+          --threshold 0.01 --seed 51966 --top 8";
+
+/// A CLI usage error, surfaced as an ordinary pipeline error. The message
+/// is leaked — acceptable for a handful of strings on the way to exit.
+fn usage_error(msg: &str) -> Error {
+    Error::InvalidEngine(Box::leak(msg.to_string().into_boxed_str()))
+}
+
+/// Hand-rolled flag parser: every option takes exactly one value.
+struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, Error> {
+        let mut pairs = Vec::new();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(usage_error(&format!("unexpected argument {flag:?}")));
+            };
+            let Some(value) = iter.next() else {
+                return Err(usage_error(&format!("--{name} needs a value")));
+            };
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Options { pairs })
+    }
+
+    fn take(&mut self, name: &str) -> Option<String> {
+        let idx = self.pairs.iter().position(|(n, _)| n == name)?;
+        Some(self.pairs.remove(idx).1)
+    }
+
+    fn take_parsed<T: FromStr>(&mut self, name: &str, default: T) -> Result<T, Error> {
+        match self.take(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| usage_error(&format!("invalid value {raw:?} for --{name}"))),
+        }
+    }
+
+    fn require(&mut self, name: &str) -> Result<String, Error> {
+        self.take(name)
+            .ok_or_else(|| usage_error(&format!("--{name} is required")))
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        match self.pairs.first() {
+            None => Ok(()),
+            Some((name, _)) => Err(usage_error(&format!("unknown option --{name}"))),
+        }
+    }
+}
+
+fn interval_from(opts: &mut Options) -> Result<IntervalConfig, Error> {
+    let interval_len: u64 = opts.take_parsed("interval-len", 10_000)?;
+    let threshold: f64 = opts.take_parsed("threshold", 0.01)?;
+    Ok(IntervalConfig::new(interval_len, threshold)?)
+}
+
+fn profiler_from(opts: &mut Options) -> Result<ProfilerSpec, Error> {
+    match opts.take("profiler") {
+        None => Ok(ProfilerSpec::MultiHash(MultiHashConfig::best())),
+        Some(raw) => raw.parse(),
+    }
+}
+
+fn cmd_record(mut opts: Options) -> Result<(), Error> {
+    let spec: StreamSpec = opts
+        .require("stream")?
+        .parse()
+        .map_err(|e| usage_error(&format!("{e}")))?;
+    let out = opts.require("out")?;
+    let events: u64 = opts.take_parsed("events", 1_000_000)?;
+    let chunk_events: usize = opts.take_parsed("chunk-events", 1 << 16)?;
+    opts.finish()?;
+
+    let mut writer = TraceWriter::create(&out, spec.kind.into())?.with_chunk_events(chunk_events);
+    writer.write_all(spec.events().take(events as usize))?;
+    let written = writer.events_written();
+    writer.finish()?;
+    let bytes = std::fs::metadata(&out)?.len();
+    println!(
+        "recorded {written} events from {spec} to {out}: {bytes} bytes \
+         ({:.2} bytes/event)",
+        bytes as f64 / written.max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_info(mut opts: Options) -> Result<(), Error> {
+    let path = opts.require("trace")?;
+    opts.finish()?;
+
+    let mut reader = TraceReader::open(&path)?;
+    println!("trace:   {path}");
+    println!("format:  version {} ({})", reader.version(), reader.kind());
+    let mut events = 0u64;
+    for item in reader.by_ref() {
+        item?;
+        events += 1;
+    }
+    println!("chunks:  {}", reader.chunks_read());
+    println!("events:  {events}");
+    println!("size:    {} bytes", std::fs::metadata(&path)?.len());
+    Ok(())
+}
+
+fn print_report(report: &EngineReport, top: usize) {
+    for profile in &report.profiles {
+        let candidates = profile.candidates();
+        print!(
+            "interval {:>3}: {:>4} candidates |",
+            profile.interval_index(),
+            candidates.len()
+        );
+        for candidate in candidates.iter().take(top) {
+            print!(
+                " {:#x}:{}={}",
+                candidate.tuple.pc().as_u64(),
+                candidate.tuple.value().as_u64(),
+                candidate.count
+            );
+        }
+        println!();
+    }
+    println!(
+        "{} events in {:.1} ms over {} shard(s): {:.2} Mevents/s, {} stall(s)",
+        report.events,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.shards.len(),
+        report.events_per_sec() / 1e6,
+        report.total_stalls()
+    );
+}
+
+fn cmd_replay(mut opts: Options) -> Result<(), Error> {
+    let path = opts.require("trace")?;
+    let shards: usize = opts.take_parsed("shards", 1)?;
+    let top: usize = opts.take_parsed("top", 8)?;
+    let interval = interval_from(&mut opts)?;
+    let profiler = profiler_from(&mut opts)?;
+    let seed: u64 = opts.take_parsed("seed", 51_966)?;
+    opts.finish()?;
+
+    let engine = ShardedEngine::new(EngineConfig::new(shards), interval, profiler, seed);
+    let report = engine.run_results(TraceReader::open(&path)?)?;
+    print_report(&report, top);
+    Ok(())
+}
+
+fn cmd_bench(mut opts: Options) -> Result<(), Error> {
+    let spec: StreamSpec = opts
+        .require("stream")?
+        .parse()
+        .map_err(|e| usage_error(&format!("{e}")))?;
+    let events: u64 = opts.take_parsed("events", 1_000_000)?;
+    let shard_list = opts.take("shards").unwrap_or_else(|| "1,8".to_string());
+    let shard_counts: Vec<usize> = shard_list
+        .split(',')
+        .map(|s| s.trim().parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| usage_error("--shards needs a comma-separated list of counts"))?;
+    let interval = interval_from(&mut opts)?;
+    let profiler = profiler_from(&mut opts)?;
+    let seed: u64 = opts.take_parsed("seed", 51_966)?;
+    opts.finish()?;
+
+    println!(
+        "bench {spec}: {events} events, {profiler}, interval {}, threshold {}",
+        interval.interval_len(),
+        interval.threshold_fraction()
+    );
+    let mut baseline = None;
+    for &shards in &shard_counts {
+        let engine = ShardedEngine::new(EngineConfig::new(shards), interval, profiler, seed);
+        let report = engine.run(spec.events().take(events as usize))?;
+        let rate = report.events_per_sec();
+        let speedup = match baseline {
+            None => {
+                baseline = Some(rate);
+                1.0
+            }
+            Some(base) => rate / base,
+        };
+        println!(
+            "  {shards:>3} shard(s): {:>8.2} Mevents/s  ({:.1} ms, {:>4} stalls, {:.2}x)",
+            rate / 1e6,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.total_stalls(),
+            speedup
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "record" => Options::parse(rest).and_then(cmd_record),
+        "info" => Options::parse(rest).and_then(cmd_info),
+        "replay" => Options::parse(rest).and_then(cmd_replay),
+        "bench" => Options::parse(rest).and_then(cmd_bench),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mhp-pipeline: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

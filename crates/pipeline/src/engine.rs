@@ -1,0 +1,636 @@
+//! The sharded ingestion engine: hash-partitioned parallel profiling whose
+//! merged output matches a single-threaded run.
+//!
+//! ## Topology
+//!
+//! ```text
+//!              ┌──────────┐   bounded channel   ┌──────────────────┐
+//!   events ──▶ │ dispatch │ ══════════════════▶ │ shard 0 profiler │ ─┐
+//!              │  (hash-  │ ══════════════════▶ │ shard 1 profiler │ ─┤─▶ merge
+//!              │ partition│        ...          │       ...        │ ─┘
+//!              └──────────┘ ══════════════════▶ │ shard K profiler │
+//!                                               └──────────────────┘
+//! ```
+//!
+//! Three properties make the parallel run equivalent to the serial one:
+//!
+//! 1. **Tuple-stable partitioning** — the shard is a pure hash of the tuple,
+//!    so every occurrence of a tuple lands on the *same* shard and no
+//!    per-tuple count is ever split (see [`IntervalProfile::merge`]).
+//! 2. **Global interval cuts** — shard profilers are built with
+//!    [`IntervalConfig::with_external_cut`] and never end intervals on their
+//!    own; the dispatcher counts the *global* event stream and broadcasts a
+//!    cut every `interval_len` events. Without this, a shard receiving a
+//!    disproportionate share would cut early and intervals would desync.
+//! 3. **Deterministic merge** — each worker emits exactly one profile per
+//!    cut, in order, and [`IntervalProfile::merge`] sums them.
+//!
+//! Batches never cross an interval boundary, so workers need no boundary
+//! logic at all: observe the batch, cut on [`Msg::Cut`].
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mhp_core::{
+    ConfigError, EventProfiler, IntervalConfig, IntervalProfile, MultiHashConfig,
+    MultiHashProfiler, PerfectProfiler, SingleHashConfig, SingleHashProfiler, Tuple,
+};
+
+use crate::error::Error;
+
+/// Which profiler architecture each shard runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProfilerSpec {
+    /// The paper's multi-hash profiler (§6).
+    MultiHash(MultiHashConfig),
+    /// The single-table baseline (§5).
+    SingleHash(SingleHashConfig),
+    /// The exact reference profiler.
+    Perfect,
+}
+
+impl ProfilerSpec {
+    /// The spec's lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProfilerSpec::MultiHash(_) => "multi-hash",
+            ProfilerSpec::SingleHash(_) => "single-hash",
+            ProfilerSpec::Perfect => "perfect",
+        }
+    }
+
+    /// Builds one profiler instance for this spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from the underlying constructor.
+    pub fn build(
+        &self,
+        interval: IntervalConfig,
+        seed: u64,
+    ) -> Result<Box<dyn EventProfiler + Send>, ConfigError> {
+        Ok(match self {
+            ProfilerSpec::MultiHash(config) => {
+                Box::new(MultiHashProfiler::new(interval, *config, seed)?)
+            }
+            ProfilerSpec::SingleHash(config) => {
+                Box::new(SingleHashProfiler::new(interval, *config, seed)?)
+            }
+            ProfilerSpec::Perfect => Box::new(PerfectProfiler::new(interval)),
+        })
+    }
+}
+
+impl fmt::Display for ProfilerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ProfilerSpec {
+    type Err = Error;
+
+    /// Parses `multi-hash`, `single-hash` or `perfect`, each with the
+    /// paper's best table configuration where one exists.
+    fn from_str(s: &str) -> Result<Self, Error> {
+        match s {
+            "multi-hash" | "multihash" => Ok(ProfilerSpec::MultiHash(MultiHashConfig::best())),
+            "single-hash" | "singlehash" => Ok(ProfilerSpec::SingleHash(SingleHashConfig::best())),
+            "perfect" => Ok(ProfilerSpec::Perfect),
+            _ => Err(Error::InvalidEngine(
+                "unknown profiler (expected multi-hash, single-hash or perfect)",
+            )),
+        }
+    }
+}
+
+/// Sizing of the sharded engine.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_pipeline::EngineConfig;
+/// let config = EngineConfig::new(8).with_queue_capacity(32).with_batch_events(512);
+/// assert_eq!(config.shards(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    shards: usize,
+    queue_capacity: usize,
+    batch_events: usize,
+}
+
+impl EngineConfig {
+    /// Maximum shard count the engine will spawn threads for.
+    pub const MAX_SHARDS: usize = 256;
+
+    /// A config with `shards` shards and default queue/batch sizing
+    /// (64-batch queues, 1024-event batches).
+    pub fn new(shards: usize) -> Self {
+        EngineConfig {
+            shards,
+            queue_capacity: 64,
+            batch_events: 1024,
+        }
+    }
+
+    /// Sets the per-shard queue capacity, in batches. Full queues apply
+    /// backpressure to the dispatcher (counted in [`ShardStats::stalls`]).
+    pub fn with_queue_capacity(mut self, batches: usize) -> Self {
+        self.queue_capacity = batches;
+        self
+    }
+
+    /// Sets how many events are coalesced into one channel message.
+    pub fn with_batch_events(mut self, events: usize) -> Self {
+        self.batch_events = events;
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Per-shard queue capacity, in batches.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Events per dispatched batch.
+    pub fn batch_events(&self) -> usize {
+        self.batch_events
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        if self.shards == 0 {
+            return Err(Error::InvalidEngine("shard count must be at least 1"));
+        }
+        if self.shards > Self::MAX_SHARDS {
+            return Err(Error::InvalidEngine("shard count exceeds MAX_SHARDS"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(Error::InvalidEngine("queue capacity must be at least 1"));
+        }
+        if self.batch_events == 0 {
+            return Err(Error::InvalidEngine("batch size must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard ingestion statistics, gathered by the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Events routed to this shard.
+    pub events: u64,
+    /// Batches dispatched to this shard.
+    pub batches: u64,
+    /// Times the dispatcher found this shard's queue full and had to block —
+    /// the backpressure signal.
+    pub stalls: u64,
+}
+
+/// The result of one engine run: merged profiles plus throughput and
+/// queue-depth statistics.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Merged interval profiles, one per completed global interval, equal in
+    /// meaning to a single-threaded profiler's output.
+    pub profiles: Vec<IntervalProfile>,
+    /// Total events ingested (including a trailing partial interval).
+    pub events: u64,
+    /// Completed intervals.
+    pub intervals: u64,
+    /// Wall-clock time of the run (dispatch through merge).
+    pub elapsed: Duration,
+    /// Per-shard ingestion statistics.
+    pub shards: Vec<ShardStats>,
+}
+
+impl EngineReport {
+    /// Ingest throughput in events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Total dispatcher stalls across all shards.
+    pub fn total_stalls(&self) -> u64 {
+        self.shards.iter().map(|s| s.stalls).sum()
+    }
+}
+
+/// Routes a tuple to its shard. Pure function of the tuple (never of arrival
+/// order), which is what makes partitioning tuple-stable.
+pub fn shard_of(tuple: Tuple, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    // splitmix64 finalizer over a pc/value mix: cheap and well distributed.
+    let mut x = tuple.pc().as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ tuple.value().as_u64().rotate_left(32);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+enum Msg {
+    /// Events for this shard; never spans a global interval boundary.
+    Batch(Vec<Tuple>),
+    /// The global interval ended: flush a profile.
+    Cut,
+}
+
+/// The sharded streaming ingestion engine.
+///
+/// Construct one per (engine sizing, interval, profiler, seed) and feed it
+/// an event stream with [`run`](Self::run) or
+/// [`run_results`](Self::run_results). Every shard gets its own profiler
+/// instance built from the same spec and seed; with one shard the run is
+/// exactly the single-threaded computation.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::IntervalConfig;
+/// use mhp_pipeline::{EngineConfig, ProfilerSpec, ShardedEngine};
+/// use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+///
+/// let interval = IntervalConfig::new(10_000, 0.01).unwrap();
+/// let engine = ShardedEngine::new(
+///     EngineConfig::new(4),
+///     interval,
+///     ProfilerSpec::Perfect,
+///     0xC0FFEE,
+/// );
+/// let events = StreamSpec::new(Benchmark::Li, StreamKind::Value, 7).events();
+/// let report = engine.run(events.take(25_000)).unwrap();
+/// assert_eq!(report.intervals, 2);
+/// assert_eq!(report.events, 25_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    config: EngineConfig,
+    interval: IntervalConfig,
+    spec: ProfilerSpec,
+    seed: u64,
+}
+
+impl ShardedEngine {
+    /// Creates an engine. Configuration is validated lazily at
+    /// [`run`](Self::run) time.
+    pub fn new(
+        config: EngineConfig,
+        interval: IntervalConfig,
+        spec: ProfilerSpec,
+        seed: u64,
+    ) -> Self {
+        ShardedEngine {
+            config,
+            interval,
+            spec,
+            seed,
+        }
+    }
+
+    /// The engine sizing.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Ingests an infallible event stream. See [`run_results`](Self::run_results).
+    pub fn run<I>(&self, events: I) -> Result<EngineReport, Error>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        self.run_results(events.into_iter().map(Ok))
+    }
+
+    /// Ingests a fallible event stream (e.g. a [`TraceReader`]) through the
+    /// sharded topology and returns the merged report.
+    ///
+    /// A trailing partial interval is ingested but produces no profile,
+    /// matching [`EventProfiler::observe_all`] on a single thread.
+    ///
+    /// # Errors
+    ///
+    /// The first stream error aborts the run and is returned; engine
+    /// misconfiguration yields [`Error::InvalidEngine`]; merge failures
+    /// (which indicate an engine bug, not user error) yield [`Error::Merge`].
+    ///
+    /// [`TraceReader`]: crate::TraceReader
+    pub fn run_results<I>(&self, events: I) -> Result<EngineReport, Error>
+    where
+        I: IntoIterator<Item = Result<Tuple, Error>>,
+    {
+        self.config.validate()?;
+        let shards = self.config.shards();
+        let shard_interval = self.interval.with_external_cut();
+        let mut profilers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            profilers.push(self.spec.build(shard_interval, self.seed)?);
+        }
+
+        let started = Instant::now();
+        let mut stats = vec![ShardStats::default(); shards];
+        let mut events_total = 0u64;
+        let mut intervals = 0u64;
+        let interval_len = self.interval.interval_len();
+        let batch_cap = self.config.batch_events();
+
+        let per_shard_profiles =
+            thread::scope(|scope| -> Result<Vec<Vec<IntervalProfile>>, Error> {
+                let mut senders: Vec<SyncSender<Msg>> = Vec::with_capacity(shards);
+                let mut handles = Vec::with_capacity(shards);
+                for profiler in profilers {
+                    let (tx, rx) = std::sync::mpsc::sync_channel(self.config.queue_capacity());
+                    senders.push(tx);
+                    handles.push(scope.spawn(move || shard_worker(profiler, rx)));
+                }
+
+                let mut batches: Vec<Vec<Tuple>> =
+                    (0..shards).map(|_| Vec::with_capacity(batch_cap)).collect();
+                let mut in_interval = 0u64;
+                let mut stream_error = None;
+
+                for item in events {
+                    let tuple = match item {
+                        Ok(tuple) => tuple,
+                        Err(e) => {
+                            stream_error = Some(e);
+                            break;
+                        }
+                    };
+                    let shard = shard_of(tuple, shards);
+                    batches[shard].push(tuple);
+                    stats[shard].events += 1;
+                    events_total += 1;
+                    in_interval += 1;
+                    if batches[shard].len() >= batch_cap {
+                        dispatch(
+                            &senders[shard],
+                            &mut stats[shard],
+                            Msg::Batch(std::mem::replace(
+                                &mut batches[shard],
+                                Vec::with_capacity(batch_cap),
+                            )),
+                        );
+                    }
+                    if in_interval == interval_len {
+                        // Global boundary: flush everything, then broadcast the cut.
+                        for shard in 0..shards {
+                            if !batches[shard].is_empty() {
+                                dispatch(
+                                    &senders[shard],
+                                    &mut stats[shard],
+                                    Msg::Batch(std::mem::replace(
+                                        &mut batches[shard],
+                                        Vec::with_capacity(batch_cap),
+                                    )),
+                                );
+                            }
+                            dispatch(&senders[shard], &mut stats[shard], Msg::Cut);
+                        }
+                        intervals += 1;
+                        in_interval = 0;
+                    }
+                }
+
+                // Trailing partial interval: deliver the events (they count
+                // toward throughput) but cut no profile.
+                for shard in 0..shards {
+                    if !batches[shard].is_empty() {
+                        let batch = std::mem::take(&mut batches[shard]);
+                        dispatch(&senders[shard], &mut stats[shard], Msg::Batch(batch));
+                    }
+                }
+                drop(senders);
+
+                let mut per_shard = Vec::with_capacity(shards);
+                for handle in handles {
+                    per_shard.push(handle.join().expect("shard worker panicked"));
+                }
+                match stream_error {
+                    Some(e) => Err(e),
+                    None => Ok(per_shard),
+                }
+            })?;
+
+        let mut profiles = Vec::with_capacity(intervals as usize);
+        for interval_idx in 0..intervals as usize {
+            let parts = per_shard_profiles
+                .iter()
+                .map(|shard| shard[interval_idx].clone());
+            profiles.push(IntervalProfile::merge(parts)?);
+        }
+
+        Ok(EngineReport {
+            profiles,
+            events: events_total,
+            intervals,
+            elapsed: started.elapsed(),
+            shards: stats,
+        })
+    }
+}
+
+/// Sends a message, preferring the non-blocking path; a full queue counts
+/// one stall and falls back to a blocking send.
+fn dispatch(sender: &SyncSender<Msg>, stats: &mut ShardStats, msg: Msg) {
+    if let Msg::Batch(_) = &msg {
+        stats.batches += 1;
+    }
+    match sender.try_send(msg) {
+        Ok(()) => {}
+        Err(TrySendError::Full(msg)) => {
+            stats.stalls += 1;
+            sender
+                .send(msg)
+                .expect("shard worker hung up with queue full");
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            // The worker is gone; its panic is re-raised at join.
+        }
+    }
+}
+
+fn shard_worker(
+    mut profiler: Box<dyn EventProfiler + Send>,
+    rx: Receiver<Msg>,
+) -> Vec<IntervalProfile> {
+    let mut profiles = Vec::new();
+    for msg in rx {
+        match msg {
+            Msg::Batch(batch) => {
+                for tuple in batch {
+                    // External-cut profilers never complete an interval on
+                    // their own.
+                    let emitted = profiler.observe(tuple);
+                    debug_assert!(emitted.is_none());
+                    drop(emitted);
+                }
+            }
+            Msg::Cut => profiles.push(profiler.finish_interval()),
+        }
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+
+    fn li_events(n: usize) -> impl Iterator<Item = Tuple> {
+        StreamSpec::new(Benchmark::Li, StreamKind::Value, 7)
+            .events()
+            .take(n)
+    }
+
+    #[test]
+    fn shard_routing_is_tuple_stable_and_in_range() {
+        for tuple in li_events(2_000) {
+            let shard = shard_of(tuple, 8);
+            assert!(shard < 8);
+            assert_eq!(shard, shard_of(tuple, 8));
+        }
+        assert!(li_events(2_000).all(|t| shard_of(t, 1) == 0));
+    }
+
+    #[test]
+    fn shard_routing_spreads_load() {
+        let mut counts = [0u64; 8];
+        for tuple in li_events(20_000) {
+            counts[shard_of(tuple, 8)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(count > 500, "shard {shard} got only {count} events");
+        }
+    }
+
+    #[test]
+    fn perfect_sharded_runs_match_single_threaded_exactly() {
+        let interval = IntervalConfig::new(5_000, 0.01).unwrap();
+        let mut reference = PerfectProfiler::new(interval);
+        let expected = reference.observe_all(li_events(23_000));
+        assert_eq!(expected.len(), 4);
+
+        for shards in [1, 2, 4, 8] {
+            let engine = ShardedEngine::new(
+                EngineConfig::new(shards).with_batch_events(256),
+                interval,
+                ProfilerSpec::Perfect,
+                0,
+            );
+            let report = engine.run(li_events(23_000)).unwrap();
+            assert_eq!(report.profiles, expected, "{shards} shards");
+            assert_eq!(report.events, 23_000);
+            assert_eq!(report.intervals, 4);
+            let dispatched: u64 = report.shards.iter().map(|s| s.events).sum();
+            assert_eq!(dispatched, 23_000);
+        }
+    }
+
+    #[test]
+    fn single_shard_multi_hash_matches_single_threaded() {
+        let interval = IntervalConfig::new(10_000, 0.01).unwrap();
+        let config = MultiHashConfig::best();
+        let mut reference = MultiHashProfiler::new(interval, config, 42).unwrap();
+        let expected = reference.observe_all(li_events(30_000));
+
+        let engine = ShardedEngine::new(
+            EngineConfig::new(1),
+            interval,
+            ProfilerSpec::MultiHash(config),
+            42,
+        );
+        let report = engine.run(li_events(30_000)).unwrap();
+        assert_eq!(report.profiles, expected);
+    }
+
+    #[test]
+    fn trailing_partial_interval_yields_no_profile() {
+        let interval = IntervalConfig::new(1_000, 0.1).unwrap();
+        let engine = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
+        let report = engine.run(li_events(1_500)).unwrap();
+        assert_eq!(report.intervals, 1);
+        assert_eq!(report.profiles.len(), 1);
+        assert_eq!(report.events, 1_500);
+    }
+
+    #[test]
+    fn stream_errors_abort_the_run() {
+        let interval = IntervalConfig::new(100, 0.1).unwrap();
+        let engine = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
+        let events = li_events(250)
+            .map(Ok)
+            .chain(std::iter::once(Err(Error::TrailingData)));
+        let result = engine.run_results(events);
+        assert!(matches!(result, Err(Error::TrailingData)));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let interval = IntervalConfig::new(100, 0.1).unwrap();
+        for config in [
+            EngineConfig::new(0),
+            EngineConfig::new(EngineConfig::MAX_SHARDS + 1),
+            EngineConfig::new(2).with_queue_capacity(0),
+            EngineConfig::new(2).with_batch_events(0),
+        ] {
+            let engine = ShardedEngine::new(config, interval, ProfilerSpec::Perfect, 0);
+            assert!(matches!(
+                engine.run(li_events(10)),
+                Err(Error::InvalidEngine(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn profiler_specs_parse_by_name() {
+        assert!(matches!(
+            "multi-hash".parse::<ProfilerSpec>(),
+            Ok(ProfilerSpec::MultiHash(_))
+        ));
+        assert!(matches!(
+            "single-hash".parse::<ProfilerSpec>(),
+            Ok(ProfilerSpec::SingleHash(_))
+        ));
+        assert!(matches!(
+            "perfect".parse::<ProfilerSpec>(),
+            Ok(ProfilerSpec::Perfect)
+        ));
+        assert!("oracle".parse::<ProfilerSpec>().is_err());
+    }
+
+    #[test]
+    fn report_computes_throughput_and_stalls() {
+        let report = EngineReport {
+            profiles: Vec::new(),
+            events: 1_000,
+            intervals: 0,
+            elapsed: Duration::from_millis(100),
+            shards: vec![
+                ShardStats {
+                    events: 600,
+                    batches: 3,
+                    stalls: 2,
+                },
+                ShardStats {
+                    events: 400,
+                    batches: 2,
+                    stalls: 1,
+                },
+            ],
+        };
+        assert!((report.events_per_sec() - 10_000.0).abs() < 1.0);
+        assert_eq!(report.total_stalls(), 3);
+    }
+}

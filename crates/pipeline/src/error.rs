@@ -1,0 +1,160 @@
+//! Typed errors for trace decoding and the sharded engine.
+
+use std::fmt;
+use std::io;
+
+use mhp_core::{ConfigError, MergeError};
+
+/// Any failure a pipeline stage can produce: I/O, a malformed or corrupted
+/// trace, an invalid profiler/engine configuration, or a merge conflict.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying I/O failure while reading or writing a trace.
+    Io(io::Error),
+    /// The input does not start with the trace magic; it is not an
+    /// `mhp-pipeline` trace at all.
+    BadMagic,
+    /// The trace was written by an incompatible format version.
+    UnsupportedVersion(u16),
+    /// The header names an event kind this build does not know.
+    UnknownKind(u8),
+    /// A chunk's payload does not match its recorded CRC32 — the trace was
+    /// corrupted in storage or transit.
+    CrcMismatch {
+        /// Zero-based index of the corrupted chunk.
+        chunk: u64,
+        /// Checksum recorded in the chunk header.
+        expected: u32,
+        /// Checksum computed over the payload actually read.
+        actual: u32,
+    },
+    /// The input ended before the structure it was reading was complete
+    /// (including a missing end-of-trace marker: every well-formed trace is
+    /// terminated explicitly so silent tail loss is detectable).
+    Truncated {
+        /// What was being read when the input ran out.
+        context: &'static str,
+    },
+    /// A chunk payload failed to decode: a varint ran past the payload or
+    /// the record count disagrees with the bytes present.
+    ChunkDecode {
+        /// Zero-based index of the malformed chunk.
+        chunk: u64,
+    },
+    /// Bytes follow the end-of-trace marker.
+    TrailingData,
+    /// A profiler configuration error while building shard profilers.
+    Config(ConfigError),
+    /// Per-shard interval profiles could not be merged.
+    Merge(MergeError),
+    /// The engine configuration itself is unusable (zero shards, zero
+    /// queue capacity, ...).
+    InvalidEngine(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "trace i/o failed: {e}"),
+            Error::BadMagic => write!(f, "not an mhp trace (bad magic)"),
+            Error::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            Error::UnknownKind(k) => write!(f, "unknown trace event kind {k}"),
+            Error::CrcMismatch {
+                chunk,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "chunk {chunk} is corrupted: crc {actual:#010x} != recorded {expected:#010x}"
+            ),
+            Error::Truncated { context } => {
+                write!(f, "trace is truncated (while reading {context})")
+            }
+            Error::ChunkDecode { chunk } => {
+                write!(f, "chunk {chunk} payload is malformed")
+            }
+            Error::TrailingData => write!(f, "trailing bytes after end-of-trace marker"),
+            Error::Config(e) => write!(f, "profiler configuration rejected: {e}"),
+            Error::Merge(e) => write!(f, "shard merge failed: {e}"),
+            Error::InvalidEngine(what) => write!(f, "invalid engine configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Merge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<MergeError> for Error {
+    fn from(e: MergeError) -> Self {
+        Error::Merge(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        let errors: Vec<Error> = vec![
+            Error::Io(io::Error::other("x")),
+            Error::BadMagic,
+            Error::UnsupportedVersion(9),
+            Error::UnknownKind(250),
+            Error::CrcMismatch {
+                chunk: 3,
+                expected: 1,
+                actual: 2,
+            },
+            Error::Truncated {
+                context: "chunk header",
+            },
+            Error::ChunkDecode { chunk: 0 },
+            Error::TrailingData,
+            Error::Config(ConfigError::ZeroTables),
+            Error::Merge(MergeError::Empty),
+            Error::InvalidEngine("zero shards"),
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.chars().next().unwrap().is_uppercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+
+    #[test]
+    fn sources_are_exposed() {
+        use std::error::Error as _;
+        assert!(Error::Config(ConfigError::ZeroTables).source().is_some());
+        assert!(Error::BadMagic.source().is_none());
+    }
+}

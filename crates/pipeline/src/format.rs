@@ -1,0 +1,730 @@
+//! The binary trace format: durable capture of a profiling event stream.
+//!
+//! A trace decouples *capture* from *processing*: a benchmark's event stream
+//! is recorded once and can then be replayed deterministically through any
+//! profiler configuration, any number of shards, or a throughput bench —
+//! the same shape as production profiling backends that ship pprof-style
+//! payloads between a collector and its consumers.
+//!
+//! ## Layout
+//!
+//! ```text
+//! header   := magic[8] = "MHPTRC\r\n"  version:u16le  kind:u8  flags:u8  reserved:u32le
+//! chunk    := payload_len:u32le  record_count:u32le  crc32:u32le  payload[payload_len]
+//! payload  := record*            (exactly record_count records)
+//! record   := varint(zigzag(pc - prev_pc))  varint(value)
+//! end      := 12 zero bytes      (a chunk header with payload_len = record_count = crc = 0)
+//! ```
+//!
+//! * All integers are little-endian; varints are LEB128 over `u64`.
+//! * PCs are delta-encoded against the previous record **within the same
+//!   chunk** (`prev_pc` starts at 0 per chunk), zig-zag mapped so nearby
+//!   PCs — the common case in instruction streams — cost one byte.
+//! * Each chunk carries a CRC32 (IEEE, reflected) over its payload, so
+//!   corruption is localized to a chunk and detected before any record of
+//!   that chunk is surfaced.
+//! * The explicit all-zero end marker distinguishes a complete trace from
+//!   one whose tail was lost: a reader that hits EOF before the marker
+//!   reports [`Error::Truncated`] even if the loss fell exactly on a chunk
+//!   boundary.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use mhp_core::Tuple;
+use mhp_trace::StreamKind;
+
+use crate::error::Error;
+
+/// First eight bytes of every trace. The `\r\n` tail catches ASCII-mode
+/// transfer mangling, like PNG's magic does.
+pub const MAGIC: [u8; 8] = *b"MHPTRC\r\n";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Default number of events buffered into one chunk.
+pub const DEFAULT_CHUNK_EVENTS: usize = 1 << 16;
+
+const CHUNK_HEADER_BYTES: usize = 12;
+
+/// What the recorded tuples mean. Profilers do not care, but tooling uses
+/// this to label output and pick sensible defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// `<load PC, value>` events.
+    Value,
+    /// `<branch PC, target PC>` events.
+    Edge,
+    /// Tuples with no declared interpretation.
+    Raw,
+}
+
+impl TraceKind {
+    /// The kind's lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Value => "value",
+            TraceKind::Edge => "edge",
+            TraceKind::Raw => "raw",
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            TraceKind::Value => 0,
+            TraceKind::Edge => 1,
+            TraceKind::Raw => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, Error> {
+        match b {
+            0 => Ok(TraceKind::Value),
+            1 => Ok(TraceKind::Edge),
+            2 => Ok(TraceKind::Raw),
+            other => Err(Error::UnknownKind(other)),
+        }
+    }
+}
+
+impl From<StreamKind> for TraceKind {
+    fn from(kind: StreamKind) -> Self {
+        match kind {
+            StreamKind::Value => TraceKind::Value,
+            StreamKind::Edge => TraceKind::Edge,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// --- CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) ----------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 checksum (IEEE, as used by zlib/PNG/Ethernet) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// --- varint / zigzag -----------------------------------------------------
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint from `payload` starting at `*pos`; `None` on
+/// malformed or exhausted input.
+fn read_varint(payload: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = payload.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// --- writer --------------------------------------------------------------
+
+/// Streams tuples into the binary trace format.
+///
+/// Events are buffered into chunks of [`chunk_events`](Self::chunk_events)
+/// records; each full chunk is varint-encoded, checksummed and flushed.
+/// **Call [`finish`](Self::finish)** — it writes the trailing partial chunk
+/// and the end-of-trace marker; a dropped writer leaves a trace that
+/// readers will (correctly) reject as truncated.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::Tuple;
+/// use mhp_pipeline::{TraceKind, TraceReader, TraceWriter};
+///
+/// let mut writer = TraceWriter::new(Vec::new(), TraceKind::Value);
+/// writer.write_event(Tuple::new(0x400100, 7)).unwrap();
+/// writer.write_event(Tuple::new(0x400108, 9)).unwrap();
+/// let bytes = writer.finish().unwrap();
+///
+/// let reader = TraceReader::new(bytes.as_slice()).unwrap();
+/// let events: Vec<Tuple> = reader.collect::<Result<_, _>>().unwrap();
+/// assert_eq!(events, vec![Tuple::new(0x400100, 7), Tuple::new(0x400108, 9)]);
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    kind: TraceKind,
+    chunk_events: usize,
+    payload: Vec<u8>,
+    chunk_records: u32,
+    prev_pc: u64,
+    events: u64,
+    chunks: u64,
+    header_written: bool,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates a trace file at `path` (buffered).
+    pub fn create(path: impl AsRef<Path>, kind: TraceKind) -> Result<Self, Error> {
+        Ok(TraceWriter::new(BufWriter::new(File::create(path)?), kind))
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps `sink` in a trace writer; the header is written lazily with
+    /// the first chunk (or by [`finish`](Self::finish) for empty traces).
+    pub fn new(sink: W, kind: TraceKind) -> Self {
+        TraceWriter {
+            sink,
+            kind,
+            chunk_events: DEFAULT_CHUNK_EVENTS,
+            payload: Vec::new(),
+            chunk_records: 0,
+            prev_pc: 0,
+            events: 0,
+            chunks: 0,
+            header_written: false,
+        }
+    }
+
+    /// Sets the number of events per chunk (min 1). Smaller chunks localize
+    /// corruption and bound replay memory; larger chunks compress deltas
+    /// better and amortize the 12-byte chunk header further.
+    pub fn with_chunk_events(mut self, chunk_events: usize) -> Self {
+        self.chunk_events = chunk_events.max(1);
+        self
+    }
+
+    /// Events per chunk.
+    pub fn chunk_events(&self) -> usize {
+        self.chunk_events
+    }
+
+    /// Events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Chunks flushed so far (not counting the buffered partial chunk).
+    pub fn chunks_written(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Appends one event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors when a full chunk is flushed.
+    pub fn write_event(&mut self, tuple: Tuple) -> Result<(), Error> {
+        let pc = tuple.pc().as_u64();
+        let delta = pc.wrapping_sub(self.prev_pc) as i64;
+        push_varint(&mut self.payload, zigzag(delta));
+        push_varint(&mut self.payload, tuple.value().as_u64());
+        self.prev_pc = pc;
+        self.chunk_records += 1;
+        self.events += 1;
+        if self.chunk_records as usize >= self.chunk_events {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every event from an iterator.
+    pub fn write_all(&mut self, events: impl IntoIterator<Item = Tuple>) -> Result<(), Error> {
+        for tuple in events {
+            self.write_event(tuple)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the trailing chunk, writes the end-of-trace marker and
+    /// returns the sink.
+    pub fn finish(mut self) -> Result<W, Error> {
+        self.write_header_if_needed()?;
+        if self.chunk_records > 0 {
+            self.flush_chunk()?;
+        }
+        self.sink.write_all(&[0u8; CHUNK_HEADER_BYTES])?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    fn write_header_if_needed(&mut self) -> Result<(), io::Error> {
+        if self.header_written {
+            return Ok(());
+        }
+        self.sink.write_all(&MAGIC)?;
+        self.sink.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        self.sink.write_all(&[self.kind.to_byte(), 0])?;
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.header_written = true;
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), Error> {
+        self.write_header_if_needed()?;
+        let crc = crc32(&self.payload);
+        self.sink
+            .write_all(&(self.payload.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&self.chunk_records.to_le_bytes())?;
+        self.sink.write_all(&crc.to_le_bytes())?;
+        self.sink.write_all(&self.payload)?;
+        self.payload.clear();
+        self.chunk_records = 0;
+        self.prev_pc = 0;
+        self.chunks += 1;
+        Ok(())
+    }
+}
+
+// --- reader --------------------------------------------------------------
+
+/// Decodes a binary trace back into its event stream.
+///
+/// Iterates `Result<Tuple, Error>`: decoding is streaming and chunk-at-a-
+/// time, so a multi-gigabyte trace replays in constant memory, and a CRC or
+/// structure error surfaces at the first affected chunk. After any error
+/// the iterator fuses (yields `None`).
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    kind: TraceKind,
+    version: u16,
+    /// Decoded events of the current chunk, in reverse (pop order).
+    pending: Vec<Tuple>,
+    chunks_read: u64,
+    events_read: u64,
+    finished: bool,
+    failed: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file (buffered).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
+        TraceReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the trace header.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadMagic`], [`Error::UnsupportedVersion`],
+    /// [`Error::UnknownKind`], [`Error::Truncated`] or I/O errors.
+    pub fn new(mut source: R) -> Result<Self, Error> {
+        let mut header = [0u8; 16];
+        read_exact_or(&mut source, &mut header, "header")?;
+        if header[..8] != MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let version = u16::from_le_bytes([header[8], header[9]]);
+        if version != FORMAT_VERSION {
+            return Err(Error::UnsupportedVersion(version));
+        }
+        let kind = TraceKind::from_byte(header[10])?;
+        Ok(TraceReader {
+            source,
+            kind,
+            version,
+            pending: Vec::new(),
+            chunks_read: 0,
+            events_read: 0,
+            finished: false,
+            failed: false,
+        })
+    }
+
+    /// The event kind recorded in the header.
+    pub fn kind(&self) -> TraceKind {
+        self.kind
+    }
+
+    /// The trace's format version.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Chunks fully decoded so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_read
+    }
+
+    /// Events yielded so far.
+    pub fn events_read(&self) -> u64 {
+        self.events_read
+    }
+
+    /// Decodes the remaining events into a vector.
+    pub fn read_all(self) -> Result<Vec<Tuple>, Error> {
+        self.collect()
+    }
+
+    /// Loads the next chunk into `pending`. Returns `false` at the (valid)
+    /// end of the trace.
+    fn load_chunk(&mut self) -> Result<bool, Error> {
+        loop {
+            let mut chunk_header = [0u8; CHUNK_HEADER_BYTES];
+            read_exact_or(&mut self.source, &mut chunk_header, "chunk header")?;
+            if chunk_header == [0u8; CHUNK_HEADER_BYTES] {
+                // End-of-trace marker; anything after it is an error.
+                let mut probe = [0u8; 1];
+                match self.source.read(&mut probe)? {
+                    0 => return Ok(false),
+                    _ => return Err(Error::TrailingData),
+                }
+            }
+            let payload_len =
+                u32::from_le_bytes(chunk_header[0..4].try_into().expect("4 bytes")) as usize;
+            let record_count = u32::from_le_bytes(chunk_header[4..8].try_into().expect("4 bytes"));
+            let expected_crc = u32::from_le_bytes(chunk_header[8..12].try_into().expect("4 bytes"));
+
+            let mut payload = vec![0u8; payload_len];
+            read_exact_or(&mut self.source, &mut payload, "chunk payload")?;
+            let actual_crc = crc32(&payload);
+            if actual_crc != expected_crc {
+                return Err(Error::CrcMismatch {
+                    chunk: self.chunks_read,
+                    expected: expected_crc,
+                    actual: actual_crc,
+                });
+            }
+
+            let mut events = Vec::with_capacity(record_count as usize);
+            let mut pos = 0usize;
+            let mut prev_pc = 0u64;
+            for _ in 0..record_count {
+                let (delta, value) = match (
+                    read_varint(&payload, &mut pos),
+                    read_varint(&payload, &mut pos),
+                ) {
+                    (Some(d), Some(v)) => (d, v),
+                    _ => {
+                        return Err(Error::ChunkDecode {
+                            chunk: self.chunks_read,
+                        })
+                    }
+                };
+                let pc = prev_pc.wrapping_add(unzigzag(delta) as u64);
+                prev_pc = pc;
+                events.push(Tuple::new(pc, value));
+            }
+            if pos != payload.len() {
+                // Extra undecoded bytes: count and payload disagree.
+                return Err(Error::ChunkDecode {
+                    chunk: self.chunks_read,
+                });
+            }
+            self.chunks_read += 1;
+            if events.is_empty() {
+                // A legal but pointless empty chunk; keep scanning.
+                continue;
+            }
+            events.reverse();
+            self.pending = events;
+            return Ok(true);
+        }
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Tuple, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(tuple) = self.pending.pop() {
+            self.events_read += 1;
+            return Some(Ok(tuple));
+        }
+        if self.finished || self.failed {
+            return None;
+        }
+        match self.load_chunk() {
+            Ok(true) => {
+                let tuple = self.pending.pop().expect("loaded chunk is non-empty");
+                self.events_read += 1;
+                Some(Ok(tuple))
+            }
+            Ok(false) => {
+                self.finished = true;
+                None
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn read_exact_or(
+    source: &mut impl Read,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), Error> {
+    source.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            Error::Truncated { context }
+        } else {
+            Error::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(events: &[Tuple], chunk_events: usize) -> Vec<Tuple> {
+        let mut writer =
+            TraceWriter::new(Vec::new(), TraceKind::Raw).with_chunk_events(chunk_events);
+        writer.write_all(events.iter().copied()).unwrap();
+        let bytes = writer.finish().unwrap();
+        TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        assert_eq!(round_trip(&[], 4), Vec::<Tuple>::new());
+    }
+
+    #[test]
+    fn events_round_trip_across_chunk_sizes() {
+        let events: Vec<Tuple> = (0..1000u64)
+            .map(|i| Tuple::new(0x40_0000 + (i % 37) * 4, i * 31 % 257))
+            .collect();
+        for chunk_events in [1, 7, 256, 1000, 5000] {
+            assert_eq!(
+                round_trip(&events, chunk_events),
+                events,
+                "chunk {chunk_events}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_pc_jumps_round_trip() {
+        let events = vec![
+            Tuple::new(u64::MAX, u64::MAX),
+            Tuple::new(0, 0),
+            Tuple::new(1 << 63, 42),
+            Tuple::new(3, 1),
+        ];
+        assert_eq!(round_trip(&events, 2), events);
+    }
+
+    #[test]
+    fn header_records_kind_and_version() {
+        let bytes = TraceWriter::new(Vec::new(), TraceKind::Edge)
+            .finish()
+            .unwrap();
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.kind(), TraceKind::Edge);
+        assert_eq!(reader.version(), FORMAT_VERSION);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = TraceWriter::new(Vec::new(), TraceKind::Raw)
+            .finish()
+            .unwrap();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            TraceReader::new(bytes.as_slice()),
+            Err(Error::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = TraceWriter::new(Vec::new(), TraceKind::Raw)
+            .finish()
+            .unwrap();
+        bytes[8] = 0xFE;
+        assert!(matches!(
+            TraceReader::new(bytes.as_slice()),
+            Err(Error::UnsupportedVersion(0xFE))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut bytes = TraceWriter::new(Vec::new(), TraceKind::Raw)
+            .finish()
+            .unwrap();
+        bytes[10] = 99;
+        assert!(matches!(
+            TraceReader::new(bytes.as_slice()),
+            Err(Error::UnknownKind(99))
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let mut writer = TraceWriter::new(Vec::new(), TraceKind::Raw);
+        writer
+            .write_all((0..100u64).map(|i| Tuple::new(i, i)))
+            .unwrap();
+        let mut bytes = writer.finish().unwrap();
+        // Flip a bit inside the (single) chunk payload.
+        let payload_start = 16 + CHUNK_HEADER_BYTES;
+        bytes[payload_start + 10] ^= 0x04;
+        let result: Result<Vec<Tuple>, Error> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(result, Err(Error::CrcMismatch { chunk: 0, .. })));
+    }
+
+    #[test]
+    fn truncation_is_detected_mid_chunk_and_at_boundary() {
+        let mut writer = TraceWriter::new(Vec::new(), TraceKind::Raw).with_chunk_events(10);
+        writer
+            .write_all((0..40u64).map(|i| Tuple::new(i, i)))
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        // Cut mid-way through the stream ...
+        let mid: Result<Vec<Tuple>, Error> = TraceReader::new(&bytes[..bytes.len() / 2])
+            .unwrap()
+            .collect();
+        assert!(matches!(mid, Err(Error::Truncated { .. })));
+        // ... and exactly at the end-of-trace marker (drop the marker only).
+        let no_marker: Result<Vec<Tuple>, Error> =
+            TraceReader::new(&bytes[..bytes.len() - CHUNK_HEADER_BYTES])
+                .unwrap()
+                .collect();
+        assert!(matches!(no_marker, Err(Error::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_after_marker_are_rejected() {
+        let mut writer = TraceWriter::new(Vec::new(), TraceKind::Raw);
+        writer.write_event(Tuple::new(1, 1)).unwrap();
+        let mut bytes = writer.finish().unwrap();
+        bytes.push(0xAB);
+        let result: Result<Vec<Tuple>, Error> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(result, Err(Error::TrailingData)));
+    }
+
+    #[test]
+    fn reader_fuses_after_error() {
+        let mut writer = TraceWriter::new(Vec::new(), TraceKind::Raw).with_chunk_events(4);
+        writer
+            .write_all((0..8u64).map(|i| Tuple::new(i, i)))
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut reader = TraceReader::new(&bytes[..bytes.len() - 20]).unwrap();
+        let mut saw_error = false;
+        for item in reader.by_ref() {
+            if item.is_err() {
+                saw_error = true;
+            }
+        }
+        assert!(saw_error);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn delta_encoding_is_compact_for_clustered_pcs() {
+        let mut writer = TraceWriter::new(Vec::new(), TraceKind::Raw);
+        // 10K events over a 64-entry PC cluster with tiny values: ~2 bytes
+        // per record once deltas stay small.
+        writer
+            .write_all((0..10_000u64).map(|i| Tuple::new(0x40_0000 + (i % 64) * 4, i % 4)))
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        assert!(
+            bytes.len() < 10_000 * 4,
+            "10K clustered events took {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn stream_kind_converts_to_trace_kind() {
+        assert_eq!(TraceKind::from(StreamKind::Value), TraceKind::Value);
+        assert_eq!(TraceKind::from(StreamKind::Edge), TraceKind::Edge);
+    }
+}

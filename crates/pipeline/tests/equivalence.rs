@@ -1,0 +1,95 @@
+//! End-to-end record/replay equivalence: a workload recorded to the binary
+//! trace format and replayed through the sharded engine must produce the
+//! same profiles as feeding the live stream to a single-threaded
+//! [`MultiHashProfiler`].
+//!
+//! Sharding a sketch-based profiler *reduces* aliasing (each shard's hash
+//! tables see only that shard's tuples), so candidate sets are not
+//! guaranteed identical for every workload — a tuple promoted only through
+//! aliasing inflation in the serial run can legitimately be absent from a
+//! shard's output. The pinned benchmark/seed/configuration pairs below were
+//! chosen as representative workloads and, everything being deterministic
+//! (fixed stream seed, fixed hash seed, tuple-stable partitioning, global
+//! cuts), the equality asserted here is exact and stable run to run.
+
+use mhp_core::{
+    EventProfiler, IntervalConfig, IntervalProfile, MultiHashConfig, MultiHashProfiler, Tuple,
+};
+use mhp_pipeline::{EngineConfig, ProfilerSpec, ShardedEngine, TraceReader, TraceWriter};
+use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+
+const EVENTS: usize = 60_000;
+const INTERVAL_LEN: u64 = 10_000;
+const THRESHOLD: f64 = 0.01;
+const HASH_SEED: u64 = 0xC0FFEE;
+
+fn record(spec: StreamSpec) -> Vec<u8> {
+    let mut writer = TraceWriter::new(Vec::new(), spec.kind.into()).with_chunk_events(4096);
+    writer
+        .write_all(spec.events().take(EVENTS))
+        .expect("vec write");
+    writer.finish().expect("vec finish")
+}
+
+fn single_threaded(spec: StreamSpec) -> Vec<IntervalProfile> {
+    let interval = IntervalConfig::new(INTERVAL_LEN, THRESHOLD).unwrap();
+    let mut profiler =
+        MultiHashProfiler::new(interval, MultiHashConfig::best(), HASH_SEED).unwrap();
+    profiler.observe_all(spec.events().take(EVENTS))
+}
+
+fn candidate_sets(profiles: &[IntervalProfile]) -> Vec<Vec<(Tuple, u64)>> {
+    profiles
+        .iter()
+        .map(|p| {
+            let mut set: Vec<(Tuple, u64)> =
+                p.candidates().iter().map(|c| (c.tuple, c.count)).collect();
+            set.sort();
+            set
+        })
+        .collect()
+}
+
+fn assert_sharded_replay_matches(spec: StreamSpec) {
+    let trace = record(spec);
+    let expected = single_threaded(spec);
+    assert_eq!(expected.len(), (EVENTS as u64 / INTERVAL_LEN) as usize);
+    assert!(
+        expected.iter().any(|p| !p.candidates().is_empty()),
+        "workload {spec} produced no candidates; the test would be vacuous"
+    );
+
+    let interval = IntervalConfig::new(INTERVAL_LEN, THRESHOLD).unwrap();
+    for shards in [1usize, 2, 8] {
+        let engine = ShardedEngine::new(
+            EngineConfig::new(shards).with_batch_events(512),
+            interval,
+            ProfilerSpec::MultiHash(MultiHashConfig::best()),
+            HASH_SEED,
+        );
+        let reader = TraceReader::new(trace.as_slice()).expect("recorded trace is valid");
+        let report = engine.run_results(reader).expect("replay succeeds");
+
+        assert_eq!(report.events, EVENTS as u64, "{spec} over {shards} shards");
+        assert_eq!(
+            candidate_sets(&report.profiles),
+            candidate_sets(&expected),
+            "candidate sets diverged for {spec} over {shards} shards"
+        );
+        // With one shard the whole profile (not just the candidate set) is
+        // the single-threaded computation, bit for bit.
+        if shards == 1 {
+            assert_eq!(report.profiles, expected);
+        }
+    }
+}
+
+#[test]
+fn sharded_replay_matches_single_threaded_burg() {
+    assert_sharded_replay_matches(StreamSpec::new(Benchmark::Burg, StreamKind::Value, 42));
+}
+
+#[test]
+fn sharded_replay_matches_single_threaded_li() {
+    assert_sharded_replay_matches(StreamSpec::new(Benchmark::Li, StreamKind::Value, 7));
+}

@@ -53,9 +53,13 @@ impl SamplerCore {
 
     fn tick(&mut self) -> Option<IntervalProfile> {
         self.events += 1;
-        if self.events < self.interval.interval_len() {
+        if !self.interval.is_boundary(self.events) {
             return None;
         }
+        Some(self.cut())
+    }
+
+    fn cut(&mut self) -> IntervalProfile {
         let threshold = self.interval.threshold_count();
         let candidates: Vec<Candidate> = self
             .counts
@@ -67,7 +71,7 @@ impl SamplerCore {
             IntervalProfile::from_candidates(self.interval_idx, self.interval, candidates);
         self.interval_idx += 1;
         self.events = 0;
-        Some(profile)
+        profile
     }
 
     fn reset(&mut self) {
@@ -132,6 +136,10 @@ impl EventProfiler for PeriodicSampler {
             self.core.record(tuple);
         }
         self.core.tick()
+    }
+
+    fn finish_interval(&mut self) -> IntervalProfile {
+        self.core.cut()
     }
 
     fn reset(&mut self) {
@@ -203,6 +211,10 @@ impl EventProfiler for RandomSampler {
             self.core.record(tuple);
         }
         self.core.tick()
+    }
+
+    fn finish_interval(&mut self) -> IntervalProfile {
+        self.core.cut()
     }
 
     fn reset(&mut self) {

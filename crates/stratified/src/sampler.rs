@@ -168,7 +168,7 @@ impl StratifiedSampler {
         }
     }
 
-    fn finish_interval(&mut self) -> IntervalProfile {
+    fn end_interval(&mut self) -> IntervalProfile {
         // Software reads the aggregation table at the interval boundary.
         let weight = u64::from(self.config.sampling_threshold());
         for entry in std::mem::take(&mut self.agg) {
@@ -202,11 +202,15 @@ impl EventProfiler for StratifiedSampler {
             self.observe_untagged(tuple);
         }
         self.events += 1;
-        if self.events == self.interval.interval_len() {
-            Some(self.finish_interval())
+        if self.interval.is_boundary(self.events) {
+            Some(self.end_interval())
         } else {
             None
         }
+    }
+
+    fn finish_interval(&mut self) -> IntervalProfile {
+        self.end_interval()
     }
 
     fn reset(&mut self) {

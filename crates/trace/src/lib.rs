@@ -31,9 +31,11 @@ pub mod benchmarks;
 pub mod edge;
 pub mod sampler;
 pub mod sim;
+pub mod stream;
 pub mod util;
 pub mod workload;
 
 pub use benchmarks::Benchmark;
 pub use edge::{EdgeWorkload, EdgeWorkloadSpec};
+pub use stream::{EventStream, StreamKind, StreamSpec};
 pub use workload::{BandSpec, ValueWorkload, ValueWorkloadSpec};

@@ -362,7 +362,11 @@ pub fn count_needle(n: u64) -> Program {
     b.bind(init);
     b.push(Instr::Rem { dst: 2, a: 0, b: 4 });
     b.push(Instr::Store { src: 2, addr: 0 });
-    b.push(Instr::AddImm { dst: 0, a: 0, imm: 1 });
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
     b.branch_if_lt(0, 1, init);
     // Scan: r2 = count.
     b.push(Instr::LoadImm { dst: 0, imm: 0 });
@@ -377,10 +381,18 @@ pub fn count_needle(n: u64) -> Program {
     // non-zero exactly when they differ (for v < needle it wraps huge).
     b.push(Instr::LoadImm { dst: 7, imm: 0 });
     b.branch_if_lt(7, 6, miss); // 0 < diff -> not equal
-    b.push(Instr::AddImm { dst: 2, a: 2, imm: 1 });
+    b.push(Instr::AddImm {
+        dst: 2,
+        a: 2,
+        imm: 1,
+    });
     b.bind(miss);
     b.bind(next);
-    b.push(Instr::AddImm { dst: 0, a: 0, imm: 1 });
+    b.push(Instr::AddImm {
+        dst: 0,
+        a: 0,
+        imm: 1,
+    });
     b.branch_if_lt(0, 1, scan);
     b.push(Instr::Halt);
     b.finish(n as usize).expect("count_needle is well-formed")

@@ -1,0 +1,239 @@
+//! Stream adapters: one uniform handle over every workload this crate can
+//! synthesize.
+//!
+//! The record/replay pipeline (`mhp-pipeline`) and the figure harness both
+//! need to turn "benchmark × profile kind × seed" into a concrete event
+//! iterator without caring whether that is a [`ValueWorkload`] or an
+//! [`EdgeWorkload`]. [`StreamSpec`] is that triple, and
+//! [`StreamSpec::events`] materializes it as a single iterator type.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mhp_core::Tuple;
+
+use crate::benchmarks::Benchmark;
+use crate::edge::EdgeWorkload;
+use crate::workload::ValueWorkload;
+
+/// Which of the paper's two profile kinds a stream carries.
+///
+/// Value streams emit `<load PC, value>` tuples; edge streams emit
+/// `<branch PC, target PC>` tuples. The profilers are agnostic — this only
+/// selects the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StreamKind {
+    /// Load-value profiling events.
+    Value,
+    /// Branch-edge profiling events.
+    Edge,
+}
+
+impl StreamKind {
+    /// Both kinds, value first.
+    pub const ALL: [StreamKind; 2] = [StreamKind::Value, StreamKind::Edge];
+
+    /// The kind's lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamKind::Value => "value",
+            StreamKind::Edge => "edge",
+        }
+    }
+}
+
+impl fmt::Display for StreamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown stream kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStreamKindError(pub String);
+
+impl fmt::Display for UnknownStreamKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown stream kind {:?} (expected value or edge)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownStreamKindError {}
+
+impl FromStr for StreamKind {
+    type Err = UnknownStreamKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        StreamKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| UnknownStreamKindError(s.to_string()))
+    }
+}
+
+/// A fully determined event stream: benchmark, profile kind, and seed.
+///
+/// The same spec always reproduces the same infinite stream, which is what
+/// makes trace recording and replay verifiable end to end.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+/// let spec = StreamSpec::new(Benchmark::Gcc, StreamKind::Value, 42);
+/// let a: Vec<_> = spec.events().take(1_000).collect();
+/// let b: Vec<_> = spec.events().take(1_000).collect();
+/// assert_eq!(a, b);
+/// assert_eq!(spec.to_string(), "gcc:value:42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamSpec {
+    /// The benchmark model generating events.
+    pub benchmark: Benchmark,
+    /// Value or edge profiling.
+    pub kind: StreamKind,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// Creates a stream spec.
+    pub fn new(benchmark: Benchmark, kind: StreamKind, seed: u64) -> Self {
+        StreamSpec {
+            benchmark,
+            kind,
+            seed,
+        }
+    }
+
+    /// Materializes the (infinite) event stream this spec names.
+    pub fn events(&self) -> EventStream {
+        match self.kind {
+            StreamKind::Value => EventStream::Value(self.benchmark.value_stream(self.seed)),
+            StreamKind::Edge => EventStream::Edge(self.benchmark.edge_stream(self.seed)),
+        }
+    }
+}
+
+impl fmt::Display for StreamSpec {
+    /// Round-trippable `benchmark:kind:seed` form (the CLI's trace naming).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.benchmark, self.kind, self.seed)
+    }
+}
+
+/// Error returned when parsing a malformed [`StreamSpec`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStreamSpecError(pub String);
+
+impl fmt::Display for ParseStreamSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid stream spec {:?} (expected benchmark:kind:seed, e.g. gcc:value:42)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseStreamSpecError {}
+
+impl FromStr for StreamSpec {
+    type Err = ParseStreamSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseStreamSpecError(s.to_string());
+        let mut parts = s.split(':');
+        let benchmark = parts.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+        let kind = parts.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+        let seed = parts.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(StreamSpec::new(benchmark, kind, seed))
+    }
+}
+
+/// A materialized workload stream — value or edge — behind one iterator
+/// type, so pipeline stages need no generics over the workload family.
+#[derive(Debug, Clone)]
+pub enum EventStream {
+    /// A value-profiling workload.
+    Value(ValueWorkload),
+    /// An edge-profiling workload.
+    Edge(EdgeWorkload),
+}
+
+impl Iterator for EventStream {
+    type Item = Tuple;
+
+    #[inline]
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            EventStream::Value(w) => w.next(),
+            EventStream::Edge(w) => w.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_display_and_parse() {
+        for benchmark in Benchmark::ALL {
+            for kind in StreamKind::ALL {
+                let spec = StreamSpec::new(benchmark, kind, 1234);
+                let parsed: StreamSpec = spec.to_string().parse().unwrap();
+                assert_eq!(parsed, spec);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "gcc",
+            "gcc:value",
+            "gcc:value:x",
+            "nope:value:1",
+            "gcc:maybe:1",
+            "gcc:value:1:extra",
+        ] {
+            assert!(bad.parse::<StreamSpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn stream_kinds_parse_by_name() {
+        assert_eq!("value".parse::<StreamKind>(), Ok(StreamKind::Value));
+        assert_eq!("edge".parse::<StreamKind>(), Ok(StreamKind::Edge));
+        assert!("branch".parse::<StreamKind>().is_err());
+    }
+
+    #[test]
+    fn value_and_edge_streams_differ() {
+        let value: Vec<_> = StreamSpec::new(Benchmark::Li, StreamKind::Value, 7)
+            .events()
+            .take(100)
+            .collect();
+        let edge: Vec<_> = StreamSpec::new(Benchmark::Li, StreamKind::Edge, 7)
+            .events()
+            .take(100)
+            .collect();
+        assert_ne!(value, edge);
+    }
+
+    #[test]
+    fn event_stream_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<EventStream>();
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! subset of the criterion 0.5 API the workspace's benches use: `Criterion`,
+//! `benchmark_group` with `throughput` / `sample_size` / `bench_function` /
+//! `finish`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up once,
+//! then timed over `sample_size` samples whose per-iteration wall-clock
+//! medians are reported, along with elements/sec when a throughput is set.
+//! There is no statistical analysis, plotting, or baseline comparison — the
+//! point is that `cargo bench` keeps working and reports usable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per benchmark iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&name.into(), None, sample_size, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput and sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_benchmark(&label, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median per-iteration time of the most recent `iter` call.
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warmup pass, also used to size the inner batch so that each
+        // sample lasts long enough for the clock to resolve it.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut samples = Vec::with_capacity(8);
+        for _ in 0..8 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / batch);
+        }
+        samples.sort_unstable();
+        self.per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size.min(5) {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        if bencher.per_iter > Duration::ZERO {
+            best = best.min(bencher.per_iter);
+        }
+    }
+    if best == Duration::MAX {
+        println!("  {label}: no measurement");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.2} Melem/s", n as f64 / best.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:.2} MiB/s",
+                n as f64 / best.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("  {label}: {best:?}/iter{rate}");
+}
+
+/// Bundles benchmark functions into one callable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut b = Bencher::default();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(b.per_iter > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group
+            .throughput(Throughput::Elements(10))
+            .sample_size(2)
+            .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,80 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for collection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            min: len,
+            max: len + 1,
+        }
+    }
+}
+
+/// A `Vec` strategy: `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_stays_in_range() {
+        let mut rng = TestRng::from_name("vec_len");
+        for _ in 0..100 {
+            let v = vec(0u64..10, 2..5).new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn fixed_size_from_usize() {
+        let mut rng = TestRng::from_name("vec_fixed");
+        let v = vec(0u64..10, 3usize).new_value(&mut rng);
+        assert_eq!(v.len(), 3);
+    }
+}

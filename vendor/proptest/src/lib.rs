@@ -1,0 +1,164 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real proptest cannot be fetched. This crate implements the *subset* of the
+//! proptest 1.x API that the workspace's tests actually use:
+//!
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, implemented for
+//!   integer ranges and tuples of strategies;
+//! * [`any`](arbitrary::any) for `bool` and the primitive integers;
+//! * [`collection::vec`] with a size range;
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`) and the
+//!   [`prop_assert!`] / [`prop_assert_eq!`] assertions.
+//!
+//! Semantics differ from real proptest in two deliberate ways: generation is
+//! fully deterministic (seeded from the test name, so failures always
+//! reproduce), and there is **no shrinking** — a failing case panics with the
+//! generated values left to the assertion message. That trades minimal
+//! counterexamples for zero dependencies.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `use proptest::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs `cases` iterations of a closure over freshly generated values.
+///
+/// This is the engine behind the [`proptest!`] macro; it is public only so
+/// the macro can reach it from other crates.
+#[doc(hidden)]
+pub fn run_cases(test_name: &str, cases: u32, mut f: impl FnMut(&mut test_runner::TestRng)) {
+    let mut rng = test_runner::TestRng::from_name(test_name);
+    for _ in 0..cases {
+        f(&mut rng);
+    }
+}
+
+/// Property-test entry point: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+///
+/// Mirrors proptest's macro syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), config.cases, |rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)+
+                $body
+            });
+        }
+    )* };
+}
+
+/// Assertion used inside [`proptest!`] bodies; panics on failure (no
+/// shrinking, unlike real proptest which records and retries).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion used inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality assertion used inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_cases("same_name", 16, |rng| a.push(rng.next_u64()));
+        crate::run_cases("same_name", 16, |rng| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        crate::run_cases("other_name", 16, |rng| c.push(rng.next_u64()));
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..17, y in 1u32..=3, z in 0usize..9) {
+            prop_assert!((5..17).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+            prop_assert!(z < 9);
+        }
+
+        #[test]
+        fn vec_respects_size_and_element_ranges(
+            v in prop::collection::vec((0u64..64, 0u64..16), 1..50),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            for &(a, b) in &v {
+                prop_assert!(a < 64 && b < 16);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u64..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!(doubled < 200);
+        }
+
+        #[test]
+        fn any_bool_and_ints_generate(flag in any::<bool>(), word in any::<u64>()) {
+            // Smoke: both branches of bool occur over 32 cases with high
+            // probability, but the property itself just type-checks usage.
+            let _ = (flag, word);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The [`Strategy`] trait and its implementations for ranges and tuples.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic sampler over a [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => { $(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u64) - (*self.start() as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                self.start() + rng.below(span + 1) as $ty
+            }
+        }
+    )* };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// A strategy that always yields clones of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_draws_cover_interior() {
+        let mut rng = TestRng::from_name("range");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert((3u64..7).new_value(&mut rng));
+        }
+        assert_eq!(seen, [3u64, 4, 5, 6].into_iter().collect());
+    }
+
+    #[test]
+    fn inclusive_range_reaches_endpoints() {
+        let mut rng = TestRng::from_name("incl");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert((1u32..=3).new_value(&mut rng));
+        }
+        assert_eq!(seen, [1u32, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn tuple_strategy_draws_componentwise() {
+        let mut rng = TestRng::from_name("tuple");
+        let (a, b) = (0u64..4, 10u64..14).new_value(&mut rng);
+        assert!(a < 4 && (10..14).contains(&b));
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        let mut rng = TestRng::from_name("just");
+        assert_eq!(Just(41).new_value(&mut rng), 41);
+    }
+}

@@ -18,4 +18,7 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> server integration smoke test"
+ci/server_smoke.sh
+
 echo "ci/check.sh: all green"

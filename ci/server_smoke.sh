@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Server integration smoke test: boot mhp-server on an ephemeral port, run
+# the end-to-end equivalence check (streamed snapshots + live top-k must
+# match an offline ShardedEngine run over the pinned workload), hit it with
+# a concurrent loadgen, and shut it down gracefully. Fails on any protocol
+# error, any mismatch, or an unclean shutdown.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p mhp-server
+
+log="$(mktemp)"
+target/release/mhp-server --addr 127.0.0.1:0 >"$log" 2>&1 &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$log"' EXIT
+
+addr=""
+for _ in $(seq 50); do
+  addr="$(sed -n 's/^listening on //p' "$log")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "server_smoke: server never came up" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "==> server up on $addr"
+
+echo "==> verify: multi-hash, 1 shard (exact vs offline engine)"
+target/release/mhp-client verify --addr "$addr" \
+  --stream gcc:value:42 --events 50000 --profiler multi-hash --shards 1
+
+echo "==> verify: perfect, 4 shards (exact vs offline engine)"
+target/release/mhp-client verify --addr "$addr" \
+  --stream li:value:7 --events 30000 --profiler perfect --shards 4
+
+echo "==> loadgen: 8 concurrent clients"
+target/release/mhp-client loadgen --addr "$addr" --clients 8 --events 20000
+
+echo "==> graceful shutdown"
+target/release/mhp-client shutdown --addr "$addr"
+wait "$server_pid"
+grep -q "shut down cleanly" "$log" || {
+  echo "server_smoke: server did not shut down cleanly" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+echo "ci/server_smoke.sh: all green"

@@ -78,10 +78,8 @@ impl FrequentValueTable {
         for c in profile.candidates() {
             *by_value.entry(c.tuple.value().as_u64()).or_insert(0) += c.count;
         }
-        let mut ranked: Vec<(u64, u64)> = by_value.into_iter().collect();
         // Hottest first; deterministic tie-break on the value itself.
-        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(capacity);
+        let ranked = mhp_core::top_k_by_count(by_value.into_iter().collect(), capacity);
         FrequentValueTable {
             values: ranked.into_iter().map(|(v, _)| v).collect(),
         }

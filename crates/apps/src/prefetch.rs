@@ -74,9 +74,7 @@ impl DelinquentLoadSet {
         for c in profile.candidates() {
             *by_pc.entry(c.tuple.pc().as_u64()).or_insert(0) += c.count;
         }
-        let mut ranked: Vec<(u64, u64)> = by_pc.into_iter().collect();
-        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(capacity);
+        let ranked = mhp_core::top_k_by_count(by_pc.into_iter().collect(), capacity);
         let pcs: Vec<u64> = ranked.into_iter().map(|(pc, _)| pc).collect();
         let lookup = pcs.iter().copied().collect();
         DelinquentLoadSet { pcs, lookup }

@@ -205,6 +205,26 @@ impl AccumulatorTable {
         self.entries.clear();
     }
 
+    /// The `k` hottest resident entries, highest count first.
+    ///
+    /// Ties are broken by ascending tuple order, so the result is fully
+    /// deterministic — the ordering rule shared with
+    /// [`IntervalProfile`](crate::IntervalProfile) candidates (see
+    /// [`rank::top_k_by_count`](crate::rank::top_k_by_count)). This is the
+    /// mid-interval "what is hot right now" view a live query service
+    /// serves; it does not disturb any profiling state.
+    pub fn top_k(&self, k: usize) -> Vec<AccumulatorEntry> {
+        let pairs: Vec<(Tuple, u64)> = self.entries.iter().map(|(&t, e)| (t, e.count)).collect();
+        crate::rank::top_k_by_count(pairs, k)
+            .into_iter()
+            .map(|(tuple, count)| AccumulatorEntry {
+                tuple,
+                count,
+                replaceable: self.entries[&tuple].replaceable,
+            })
+            .collect()
+    }
+
     /// Iterates over resident entries in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = AccumulatorEntry> + '_ {
         self.entries.iter().map(|(&tuple, e)| AccumulatorEntry {
@@ -370,6 +390,53 @@ mod tests {
             AccumulatorTable::new(1_000).unwrap().storage_bytes(),
             10_000
         );
+    }
+
+    #[test]
+    fn top_k_ranks_hottest_first_with_deterministic_ties() {
+        let mut acc = AccumulatorTable::new(8).unwrap();
+        acc.insert(t(1), 30);
+        acc.insert(t(2), 50);
+        acc.insert(t(3), 30);
+        acc.insert(t(4), 10);
+        let top = acc.top_k(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].tuple, t(2));
+        assert_eq!(top[0].count, 50);
+        // 30-count tie broken by ascending tuple order.
+        assert_eq!(top[1].tuple, t(1));
+        assert_eq!(top[2].tuple, t(3));
+    }
+
+    #[test]
+    fn top_k_clamps_to_len_and_preserves_flags() {
+        let mut acc = AccumulatorTable::new(4).unwrap();
+        acc.insert(t(1), 100);
+        acc.finish_interval(true, 100); // retained => replaceable, count 0
+        let top = acc.top_k(10);
+        assert_eq!(top.len(), 1);
+        assert!(top[0].replaceable);
+        assert_eq!(top[0].count, 0);
+        assert!(acc.top_k(0).is_empty());
+    }
+
+    #[test]
+    fn top_k_does_not_disturb_state() {
+        let mut acc = AccumulatorTable::new(4).unwrap();
+        acc.insert(t(1), 10);
+        acc.observe(t(1), 10);
+        let before: Vec<_> = {
+            let mut v: Vec<_> = acc.iter().collect();
+            v.sort_by_key(|e| e.tuple);
+            v
+        };
+        let _ = acc.top_k(4);
+        let after: Vec<_> = {
+            let mut v: Vec<_> = acc.iter().collect();
+            v.sort_by_key(|e| e.tuple);
+            v
+        };
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod multi_hash;
 pub mod perfect;
 pub mod profile;
 pub mod profiler;
+pub mod rank;
 pub mod single_hash;
 pub mod theory;
 pub mod tuple;
@@ -79,5 +80,6 @@ pub use multi_hash::{MultiHashConfig, MultiHashProfiler};
 pub use perfect::{ExactCounts, PerfectProfiler};
 pub use profile::{Candidate, IntervalProfile};
 pub use profiler::EventProfiler;
+pub use rank::top_k_by_count;
 pub use single_hash::{SingleHashConfig, SingleHashProfiler};
 pub use tuple::{Pc, Tuple, Value};

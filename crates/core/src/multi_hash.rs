@@ -24,7 +24,7 @@ use crate::counter::CounterArray;
 use crate::error::ConfigError;
 use crate::hash::HashFamily;
 use crate::interval::IntervalConfig;
-use crate::profile::IntervalProfile;
+use crate::profile::{Candidate, IntervalProfile};
 use crate::profiler::EventProfiler;
 use crate::tuple::Tuple;
 
@@ -380,6 +380,14 @@ impl EventProfiler for MultiHashProfiler {
         self.end_interval()
     }
 
+    fn hot_tuples(&self, k: usize) -> Vec<Candidate> {
+        self.accumulator
+            .top_k(k)
+            .into_iter()
+            .map(|e| Candidate::new(e.tuple, e.count))
+            .collect()
+    }
+
     fn reset(&mut self) {
         for table in &mut self.tables {
             table.clear();
@@ -638,6 +646,25 @@ mod tests {
             Some(50),
             "retained => exact count"
         );
+    }
+
+    #[test]
+    fn hot_tuples_reports_accumulator_contents_mid_interval() {
+        let mut p = profiler(10_000, 0.01, MultiHashConfig::best());
+        let hot = Tuple::new(1, 1);
+        let warm = Tuple::new(2, 2);
+        for _ in 0..300 {
+            p.observe(hot);
+        }
+        for _ in 0..150 {
+            p.observe(warm);
+        }
+        let top = p.hot_tuples(8);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].tuple, hot);
+        assert_eq!(top[0].count, 300);
+        assert_eq!(top[1].tuple, warm);
+        assert_eq!(p.hot_tuples(1).len(), 1);
     }
 
     #[test]

@@ -149,6 +149,14 @@ impl EventProfiler for PerfectProfiler {
         self.end_interval_exact().profile()
     }
 
+    fn hot_tuples(&self, k: usize) -> Vec<Candidate> {
+        let pairs: Vec<(Tuple, u64)> = self.counts.iter().map(|(&t, &c)| (t, c)).collect();
+        crate::rank::top_k_by_count(pairs, k)
+            .into_iter()
+            .map(|(tuple, count)| Candidate::new(tuple, count))
+            .collect()
+    }
+
     fn reset(&mut self) {
         self.counts.clear();
         self.events = 0;

@@ -102,6 +102,13 @@ impl IntervalProfile {
         &self.candidates
     }
 
+    /// The `k` hottest candidates (a prefix of [`candidates`](Self::candidates),
+    /// which is already sorted hottest-first with deterministic ties).
+    #[inline]
+    pub fn top_k(&self, k: usize) -> &[Candidate] {
+        &self.candidates[..k.min(self.candidates.len())]
+    }
+
     /// Number of candidates captured.
     #[inline]
     pub fn len(&self) -> usize {
@@ -254,6 +261,15 @@ mod tests {
         let p = profile(&[(1, 1, 100), (1, 1, 50)]);
         assert_eq!(p.len(), 1);
         assert_eq!(p.count_of(Tuple::new(1, 1)), Some(150));
+    }
+
+    #[test]
+    fn top_k_is_the_hottest_prefix() {
+        let p = profile(&[(1, 1, 100), (2, 2, 300), (3, 3, 200)]);
+        let counts: Vec<u64> = p.top_k(2).iter().map(|c| c.count).collect();
+        assert_eq!(counts, vec![300, 200]);
+        assert_eq!(p.top_k(0).len(), 0);
+        assert_eq!(p.top_k(99).len(), 3);
     }
 
     #[test]

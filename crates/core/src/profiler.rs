@@ -1,7 +1,7 @@
 //! The common interface every profiling architecture implements.
 
 use crate::interval::IntervalConfig;
-use crate::profile::IntervalProfile;
+use crate::profile::{Candidate, IntervalProfile};
 use crate::tuple::Tuple;
 
 /// An interval-based profiler that consumes a stream of tuples and emits an
@@ -52,6 +52,21 @@ pub trait EventProfiler {
     /// Clears all profiling state (hash counters, accumulator contents and
     /// the position within the current interval), as if freshly constructed.
     fn reset(&mut self);
+
+    /// The `k` hottest tuples the profiler is tracking *right now*, within
+    /// the current incomplete interval, highest count first (ties broken by
+    /// ascending tuple order).
+    ///
+    /// This is the live-query view a profiling service serves between
+    /// interval boundaries: for the hardware architectures it is the current
+    /// contents of the accumulator table
+    /// ([`AccumulatorTable::top_k`](crate::AccumulatorTable::top_k)); for
+    /// the perfect profiler it is the exact count map. Reading it never
+    /// disturbs profiling state. The default implementation returns an empty
+    /// list for profilers with no queryable mid-interval state.
+    fn hot_tuples(&self, _k: usize) -> Vec<Candidate> {
+        Vec::new()
+    }
 
     /// Number of events observed within the *current*, incomplete interval.
     fn events_in_current_interval(&self) -> u64;
@@ -110,6 +125,22 @@ mod tests {
         }
         let profile = profiler.finish_interval();
         assert_eq!(profile.count_of(Tuple::new(1, 1)), Some(10));
+    }
+
+    #[test]
+    fn hot_tuples_sees_the_current_partial_interval() {
+        let config = IntervalConfig::new(1_000, 0.01).unwrap();
+        let mut profiler = PerfectProfiler::new(config);
+        for i in 0..10u64 {
+            profiler.observe(Tuple::new(i % 3, 0));
+        }
+        let hot = profiler.hot_tuples(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].tuple, Tuple::new(0, 0)); // 4 occurrences
+        assert_eq!(hot[0].count, 4);
+        assert_eq!(hot[1].count, 3);
+        // Querying does not disturb the interval position.
+        assert_eq!(profiler.events_in_current_interval(), 10);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Hottest-first ranking shared by every consumer of profile counts.
+//!
+//! Several layers need the same selection: "the `k` entries with the largest
+//! counts, hottest first, ties broken deterministically by key". The
+//! accumulator's [`top_k`](crate::AccumulatorTable::top_k) accessor, the
+//! perfect profiler's mid-interval snapshot, and the application clients in
+//! `mhp-apps` (frequent-value dictionaries, delinquent-load sets) all rank
+//! `(key, count)` pairs this way; this module is the single implementation.
+
+/// Selects the `k` pairs with the largest counts, hottest first.
+///
+/// Ties are broken by ascending key so the result is deterministic for any
+/// input order — the same rule [`IntervalProfile`](crate::IntervalProfile)
+/// uses for its candidate ordering. The input is consumed; pairs beyond the
+/// `k`-th are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::rank::top_k_by_count;
+/// let ranked = top_k_by_count(vec![(7u64, 10), (1, 30), (5, 10)], 2);
+/// assert_eq!(ranked, vec![(1, 30), (5, 10)]); // 5 beats 7 on the tie
+/// ```
+pub fn top_k_by_count<K: Ord>(pairs: Vec<(K, u64)>, k: usize) -> Vec<(K, u64)> {
+    let mut pairs = pairs;
+    pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_hottest_first() {
+        let ranked = top_k_by_count(vec![(1u64, 5), (2, 50), (3, 20)], 3);
+        assert_eq!(ranked, vec![(2, 50), (3, 20), (1, 5)]);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let ranked = top_k_by_count(vec![(1u64, 5), (2, 50), (3, 20)], 1);
+        assert_eq!(ranked, vec![(2, 50)]);
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_everything() {
+        let ranked = top_k_by_count(vec![(1u64, 5)], 10);
+        assert_eq!(ranked, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        assert!(top_k_by_count(vec![(1u64, 5)], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_ascending_key() {
+        let ranked = top_k_by_count(vec![(9u64, 7), (2, 7), (5, 7)], 2);
+        assert_eq!(ranked, vec![(2, 7), (5, 7)]);
+    }
+
+    #[test]
+    fn result_is_independent_of_input_order() {
+        let a = top_k_by_count(vec![(1u64, 1), (2, 2), (3, 3)], 2);
+        let b = top_k_by_count(vec![(3u64, 3), (1, 1), (2, 2)], 2);
+        assert_eq!(a, b);
+    }
+}

@@ -18,7 +18,7 @@ use crate::counter::CounterArray;
 use crate::error::ConfigError;
 use crate::hash::TupleHasher;
 use crate::interval::IntervalConfig;
-use crate::profile::IntervalProfile;
+use crate::profile::{Candidate, IntervalProfile};
 use crate::profiler::EventProfiler;
 use crate::tuple::Tuple;
 
@@ -261,6 +261,14 @@ impl EventProfiler for SingleHashProfiler {
 
     fn finish_interval(&mut self) -> IntervalProfile {
         self.end_interval()
+    }
+
+    fn hot_tuples(&self, k: usize) -> Vec<Candidate> {
+        self.accumulator
+            .top_k(k)
+            .into_iter()
+            .map(|e| Candidate::new(e.tuple, e.count))
+            .collect()
     }
 
     fn reset(&mut self) {

@@ -1,0 +1,107 @@
+//! Property tests for [`IntervalProfile::merge`]: merging per-shard profiles
+//! is commutative and associative, and the merged result is invariant under
+//! how the event stream was split across shards.
+//!
+//! These are the algebraic facts the sharded ingestion engine
+//! (`mhp-pipeline`) and the profiling service (`mhp-server`) lean on: any
+//! partitioning of an interval's events across any number of shards, merged
+//! in any order or grouping, must produce the same global profile.
+
+use std::collections::HashMap;
+
+use mhp_core::{Candidate, IntervalConfig, IntervalProfile, Tuple};
+use proptest::prelude::*;
+
+/// Builds the profile a shard would report for its partition of an interval:
+/// every tuple it saw, with its exact partition-local count.
+fn shard_profile(events: &[Tuple]) -> IntervalProfile {
+    let mut counts: HashMap<Tuple, u64> = HashMap::new();
+    for &t in events {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    let candidates: Vec<Candidate> = counts
+        .into_iter()
+        .map(|(t, c)| Candidate::new(t, c))
+        .collect();
+    IntervalProfile::from_candidates(0, IntervalConfig::short(), candidates)
+}
+
+/// Splits `events` into `ways` partitions according to `assignment`.
+fn split(events: &[Tuple], assignment: &[usize], ways: usize) -> Vec<Vec<Tuple>> {
+    let mut parts = vec![Vec::new(); ways];
+    for (&t, &slot) in events.iter().zip(assignment) {
+        parts[slot % ways].push(t);
+    }
+    parts
+}
+
+fn tuples(raw: &[(u64, u64)]) -> Vec<Tuple> {
+    raw.iter().map(|&(pc, v)| Tuple::new(pc, v)).collect()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_over_two_way_splits(
+        raw in prop::collection::vec((0u64..24, 0u64..4), 1..300),
+        assignment in prop::collection::vec(0usize..2, 300usize),
+    ) {
+        let events = tuples(&raw);
+        let parts = split(&events, &assignment, 2);
+        let a = shard_profile(&parts[0]);
+        let b = shard_profile(&parts[1]);
+        let ab = IntervalProfile::merge([a.clone(), b.clone()]).unwrap();
+        let ba = IntervalProfile::merge([b, a]).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative_over_three_way_splits(
+        raw in prop::collection::vec((0u64..24, 0u64..4), 1..300),
+        assignment in prop::collection::vec(0usize..3, 300usize),
+    ) {
+        let events = tuples(&raw);
+        let parts = split(&events, &assignment, 3);
+        let [a, b, c] = [
+            shard_profile(&parts[0]),
+            shard_profile(&parts[1]),
+            shard_profile(&parts[2]),
+        ];
+
+        let ab_then_c = IntervalProfile::merge([
+            IntervalProfile::merge([a.clone(), b.clone()]).unwrap(),
+            c.clone(),
+        ])
+        .unwrap();
+        let a_then_bc = IntervalProfile::merge([
+            a.clone(),
+            IntervalProfile::merge([b.clone(), c.clone()]).unwrap(),
+        ])
+        .unwrap();
+        let flat = IntervalProfile::merge([a, b, c]).unwrap();
+
+        prop_assert_eq!(&ab_then_c, &a_then_bc);
+        prop_assert_eq!(&ab_then_c, &flat);
+    }
+
+    #[test]
+    fn merged_profile_is_invariant_under_the_split(
+        raw in prop::collection::vec((0u64..24, 0u64..4), 1..300),
+        assignment_a in prop::collection::vec(0usize..2, 300usize),
+        assignment_b in prop::collection::vec(0usize..3, 300usize),
+    ) {
+        let events = tuples(&raw);
+        // The unsplit reference: one "shard" saw everything.
+        let reference = shard_profile(&events);
+
+        let two = split(&events, &assignment_a, 2);
+        let merged_two =
+            IntervalProfile::merge(two.iter().map(|p| shard_profile(p))).unwrap();
+
+        let three = split(&events, &assignment_b, 3);
+        let merged_three =
+            IntervalProfile::merge(three.iter().map(|p| shard_profile(p))).unwrap();
+
+        prop_assert_eq!(&merged_two, &reference);
+        prop_assert_eq!(&merged_three, &reference);
+    }
+}

@@ -30,12 +30,12 @@
 
 use std::fmt;
 use std::str::FromStr;
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::thread;
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use mhp_core::{
-    ConfigError, EventProfiler, IntervalConfig, IntervalProfile, MultiHashConfig,
+    Candidate, ConfigError, EventProfiler, IntervalConfig, IntervalProfile, MultiHashConfig,
     MultiHashProfiler, PerfectProfiler, SingleHashConfig, SingleHashProfiler, Tuple,
 };
 
@@ -244,8 +244,12 @@ pub fn shard_of(tuple: Tuple, shards: usize) -> usize {
 enum Msg {
     /// Events for this shard; never spans a global interval boundary.
     Batch(Vec<Tuple>),
-    /// The global interval ended: flush a profile.
+    /// The global interval ended: flush a profile to the worker's profile
+    /// channel.
     Cut,
+    /// Report the shard's hottest live tuples (its current partial
+    /// interval) on the reply channel, without disturbing any state.
+    TopK(usize, Sender<Vec<Candidate>>),
 }
 
 /// The sharded streaming ingestion engine.
@@ -330,114 +334,315 @@ impl ShardedEngine {
     where
         I: IntoIterator<Item = Result<Tuple, Error>>,
     {
+        let mut session = self.start()?;
+        for item in events {
+            session.push(item?);
+        }
+        session.finish()
+    }
+
+    /// Spawns the shard workers and returns a long-lived [`EngineSession`]
+    /// accepting incremental pushes and mid-stream queries — the streaming
+    /// counterpart of [`run`](Self::run) for callers (like a profiling
+    /// service) whose event stream arrives over time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidEngine`] for unusable sizing and
+    /// [`Error::Config`] if the profiler spec rejects its configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhp_core::IntervalConfig;
+    /// use mhp_pipeline::{EngineConfig, ProfilerSpec, ShardedEngine};
+    /// use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+    ///
+    /// # fn main() -> Result<(), mhp_pipeline::Error> {
+    /// let interval = IntervalConfig::new(1_000, 0.01)?;
+    /// let engine =
+    ///     ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
+    /// let mut session = engine.start()?;
+    /// let events: Vec<_> = StreamSpec::new(Benchmark::Gcc, StreamKind::Value, 1)
+    ///     .events()
+    ///     .take(2_500)
+    ///     .collect();
+    /// for chunk in events.chunks(100) {
+    ///     session.push_all(chunk.iter().copied());
+    /// }
+    /// assert_eq!(session.profiles()?.len(), 2); // two full intervals so far
+    /// let hot = session.top_k(5)?; // live view of the partial third interval
+    /// assert!(!hot.is_empty());
+    /// let report = session.finish()?;
+    /// assert_eq!(report.events, 2_500);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn start(&self) -> Result<EngineSession, Error> {
         self.config.validate()?;
         let shards = self.config.shards();
         let shard_interval = self.interval.with_external_cut();
-        let mut profilers = Vec::with_capacity(shards);
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut profile_rxs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
         for _ in 0..shards {
-            profilers.push(self.spec.build(shard_interval, self.seed)?);
+            let profiler = self.spec.build(shard_interval, self.seed)?;
+            let (tx, rx) = std::sync::mpsc::sync_channel(self.config.queue_capacity());
+            let (profile_tx, profile_rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            profile_rxs.push(profile_rx);
+            handles.push(thread::spawn(move || {
+                shard_worker(profiler, rx, profile_tx)
+            }));
         }
 
-        let started = Instant::now();
-        let mut stats = vec![ShardStats::default(); shards];
-        let mut events_total = 0u64;
-        let mut intervals = 0u64;
-        let interval_len = self.interval.interval_len();
         let batch_cap = self.config.batch_events();
-
-        let per_shard_profiles =
-            thread::scope(|scope| -> Result<Vec<Vec<IntervalProfile>>, Error> {
-                let mut senders: Vec<SyncSender<Msg>> = Vec::with_capacity(shards);
-                let mut handles = Vec::with_capacity(shards);
-                for profiler in profilers {
-                    let (tx, rx) = std::sync::mpsc::sync_channel(self.config.queue_capacity());
-                    senders.push(tx);
-                    handles.push(scope.spawn(move || shard_worker(profiler, rx)));
-                }
-
-                let mut batches: Vec<Vec<Tuple>> =
-                    (0..shards).map(|_| Vec::with_capacity(batch_cap)).collect();
-                let mut in_interval = 0u64;
-                let mut stream_error = None;
-
-                for item in events {
-                    let tuple = match item {
-                        Ok(tuple) => tuple,
-                        Err(e) => {
-                            stream_error = Some(e);
-                            break;
-                        }
-                    };
-                    let shard = shard_of(tuple, shards);
-                    batches[shard].push(tuple);
-                    stats[shard].events += 1;
-                    events_total += 1;
-                    in_interval += 1;
-                    if batches[shard].len() >= batch_cap {
-                        dispatch(
-                            &senders[shard],
-                            &mut stats[shard],
-                            Msg::Batch(std::mem::replace(
-                                &mut batches[shard],
-                                Vec::with_capacity(batch_cap),
-                            )),
-                        );
-                    }
-                    if in_interval == interval_len {
-                        // Global boundary: flush everything, then broadcast the cut.
-                        for shard in 0..shards {
-                            if !batches[shard].is_empty() {
-                                dispatch(
-                                    &senders[shard],
-                                    &mut stats[shard],
-                                    Msg::Batch(std::mem::replace(
-                                        &mut batches[shard],
-                                        Vec::with_capacity(batch_cap),
-                                    )),
-                                );
-                            }
-                            dispatch(&senders[shard], &mut stats[shard], Msg::Cut);
-                        }
-                        intervals += 1;
-                        in_interval = 0;
-                    }
-                }
-
-                // Trailing partial interval: deliver the events (they count
-                // toward throughput) but cut no profile.
-                for shard in 0..shards {
-                    if !batches[shard].is_empty() {
-                        let batch = std::mem::take(&mut batches[shard]);
-                        dispatch(&senders[shard], &mut stats[shard], Msg::Batch(batch));
-                    }
-                }
-                drop(senders);
-
-                let mut per_shard = Vec::with_capacity(shards);
-                for handle in handles {
-                    per_shard.push(handle.join().expect("shard worker panicked"));
-                }
-                match stream_error {
-                    Some(e) => Err(e),
-                    None => Ok(per_shard),
-                }
-            })?;
-
-        let mut profiles = Vec::with_capacity(intervals as usize);
-        for interval_idx in 0..intervals as usize {
-            let parts = per_shard_profiles
-                .iter()
-                .map(|shard| shard[interval_idx].clone());
-            profiles.push(IntervalProfile::merge(parts)?);
-        }
-
-        Ok(EngineReport {
-            profiles,
-            events: events_total,
-            intervals,
-            elapsed: started.elapsed(),
-            shards: stats,
+        Ok(EngineSession {
+            senders,
+            profile_rxs,
+            handles,
+            batches: (0..shards).map(|_| Vec::with_capacity(batch_cap)).collect(),
+            stats: vec![ShardStats::default(); shards],
+            completed: Vec::new(),
+            pending_cuts: 0,
+            events: 0,
+            in_interval: 0,
+            interval_len: self.interval.interval_len(),
+            batch_cap,
+            started: Instant::now(),
         })
+    }
+}
+
+/// A live run of a [`ShardedEngine`]: shard workers stay up between calls,
+/// events are [`push`](Self::push)ed incrementally, and the stream can be
+/// queried while it is still flowing.
+///
+/// Semantics are identical to [`ShardedEngine::run`] fed the concatenation
+/// of every push — that method is literally implemented on top of this type.
+/// On top of batch-run behaviour a session supports:
+///
+/// * [`profiles`](Self::profiles) — merged profiles of the intervals
+///   completed so far;
+/// * [`top_k`](Self::top_k) — the hottest tuples of the *current partial*
+///   interval, straight from the shard accumulators, without disturbing
+///   profiler state;
+/// * [`cut`](Self::cut) — force the global interval to end early.
+///
+/// Dropping a session without [`finish`](Self::finish)ing it shuts the
+/// workers down and discards their output.
+#[derive(Debug)]
+pub struct EngineSession {
+    senders: Vec<SyncSender<Msg>>,
+    profile_rxs: Vec<Receiver<IntervalProfile>>,
+    handles: Vec<JoinHandle<()>>,
+    batches: Vec<Vec<Tuple>>,
+    stats: Vec<ShardStats>,
+    /// Merged profiles of completed intervals, in order.
+    completed: Vec<IntervalProfile>,
+    /// Cuts broadcast to the workers but not yet collected and merged.
+    pending_cuts: u64,
+    events: u64,
+    in_interval: u64,
+    interval_len: u64,
+    batch_cap: usize,
+    started: Instant,
+}
+
+impl EngineSession {
+    /// Ingests one event, cutting the global interval when it fills.
+    pub fn push(&mut self, tuple: Tuple) {
+        let shard = shard_of(tuple, self.senders.len());
+        self.batches[shard].push(tuple);
+        self.stats[shard].events += 1;
+        self.events += 1;
+        self.in_interval += 1;
+        if self.batches[shard].len() >= self.batch_cap {
+            let batch =
+                std::mem::replace(&mut self.batches[shard], Vec::with_capacity(self.batch_cap));
+            dispatch(
+                &self.senders[shard],
+                &mut self.stats[shard],
+                Msg::Batch(batch),
+            );
+        }
+        if self.in_interval == self.interval_len {
+            self.broadcast_cut();
+        }
+    }
+
+    /// Ingests a run of events. Equivalent to pushing each one.
+    pub fn push_all(&mut self, events: impl IntoIterator<Item = Tuple>) {
+        for tuple in events {
+            self.push(tuple);
+        }
+    }
+
+    /// Forces the global interval to end now and returns its merged profile.
+    ///
+    /// Subsequent events start a fresh interval, so forced cuts shift later
+    /// interval boundaries — that is the point. With no events in the
+    /// current interval this is a no-op returning `None` (profilers emit no
+    /// empty profiles).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Merge`] if per-shard profiles failed to merge, which
+    /// indicates an engine bug rather than user error.
+    pub fn cut(&mut self) -> Result<Option<IntervalProfile>, Error> {
+        if self.in_interval == 0 {
+            return Ok(None);
+        }
+        self.broadcast_cut();
+        self.collect_cuts()?;
+        Ok(self.completed.last().cloned())
+    }
+
+    /// The merged profiles of every interval completed so far, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Merge`] on a shard-merge failure (an engine bug).
+    pub fn profiles(&mut self) -> Result<&[IntervalProfile], Error> {
+        self.collect_cuts()?;
+        Ok(&self.completed)
+    }
+
+    /// The hottest `k` tuples of the current *partial* interval, merged
+    /// across shards — a live view of the accumulators, computed without
+    /// disturbing any profiler state. Hottest first, ties broken by tuple.
+    ///
+    /// Counts are whatever each shard's profiler architecture tracks: exact
+    /// for the perfect profiler, accumulator counts for the hash profilers.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidEngine`] if a shard worker died without answering.
+    pub fn top_k(&mut self, k: usize) -> Result<Vec<Candidate>, Error> {
+        self.flush_batches();
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        for shard in 0..self.senders.len() {
+            dispatch(
+                &self.senders[shard],
+                &mut self.stats[shard],
+                Msg::TopK(k, reply_tx.clone()),
+            );
+        }
+        drop(reply_tx);
+        let mut pairs: Vec<(Tuple, u64)> = Vec::new();
+        for _ in 0..self.senders.len() {
+            let answer = reply_rx
+                .recv()
+                .map_err(|_| Error::InvalidEngine("shard worker died mid-session"))?;
+            // Tuple-stable partitioning: no tuple appears on two shards, so
+            // concatenation (not summation) is the correct combine.
+            pairs.extend(answer.into_iter().map(|c| (c.tuple, c.count)));
+        }
+        Ok(mhp_core::top_k_by_count(pairs, k)
+            .into_iter()
+            .map(|(tuple, count)| Candidate::new(tuple, count))
+            .collect())
+    }
+
+    /// Events ingested so far (including the current partial interval).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Intervals completed so far.
+    pub fn intervals(&self) -> u64 {
+        self.pending_cuts + self.completed.len() as u64
+    }
+
+    /// Events in the current (incomplete) interval.
+    pub fn in_interval(&self) -> u64 {
+        self.in_interval
+    }
+
+    /// Per-shard ingestion statistics so far.
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// Drains the stream: flushes a trailing partial interval's events
+    /// (they count toward throughput but cut no profile), stops the
+    /// workers, and returns the merged [`EngineReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Merge`] on a shard-merge failure (an engine bug).
+    pub fn finish(mut self) -> Result<EngineReport, Error> {
+        self.flush_batches();
+        for sender in std::mem::take(&mut self.senders) {
+            drop(sender);
+        }
+        for handle in std::mem::take(&mut self.handles) {
+            handle.join().expect("shard worker panicked");
+        }
+        self.collect_cuts()?;
+        let intervals = self.intervals();
+        Ok(EngineReport {
+            profiles: std::mem::take(&mut self.completed),
+            events: self.events,
+            intervals,
+            elapsed: self.started.elapsed(),
+            shards: std::mem::take(&mut self.stats),
+        })
+    }
+
+    /// Flushes every shard's pending batch without cutting.
+    fn flush_batches(&mut self) {
+        for shard in 0..self.senders.len() {
+            if !self.batches[shard].is_empty() {
+                let batch =
+                    std::mem::replace(&mut self.batches[shard], Vec::with_capacity(self.batch_cap));
+                dispatch(
+                    &self.senders[shard],
+                    &mut self.stats[shard],
+                    Msg::Batch(batch),
+                );
+            }
+        }
+    }
+
+    /// Flushes batches and broadcasts a cut; the workers' profiles are
+    /// collected lazily by [`collect_cuts`](Self::collect_cuts).
+    fn broadcast_cut(&mut self) {
+        self.flush_batches();
+        for shard in 0..self.senders.len() {
+            dispatch(&self.senders[shard], &mut self.stats[shard], Msg::Cut);
+        }
+        self.pending_cuts += 1;
+        self.in_interval = 0;
+    }
+
+    /// Merges every broadcast-but-uncollected cut into `completed`. Blocks
+    /// until the workers deliver; each sends exactly one profile per cut,
+    /// in order, so this always terminates.
+    fn collect_cuts(&mut self) -> Result<(), Error> {
+        while self.pending_cuts > 0 {
+            let mut parts = Vec::with_capacity(self.profile_rxs.len());
+            for rx in &self.profile_rxs {
+                parts.push(
+                    rx.recv()
+                        .map_err(|_| Error::InvalidEngine("shard worker died mid-session"))?,
+                );
+            }
+            self.completed.push(IntervalProfile::merge(parts)?);
+            self.pending_cuts -= 1;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for EngineSession {
+    fn drop(&mut self) {
+        // Hang up so the workers exit their receive loops, then reap them.
+        self.senders.clear();
+        for handle in std::mem::take(&mut self.handles) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -464,8 +669,8 @@ fn dispatch(sender: &SyncSender<Msg>, stats: &mut ShardStats, msg: Msg) {
 fn shard_worker(
     mut profiler: Box<dyn EventProfiler + Send>,
     rx: Receiver<Msg>,
-) -> Vec<IntervalProfile> {
-    let mut profiles = Vec::new();
+    profile_tx: Sender<IntervalProfile>,
+) {
     for msg in rx {
         match msg {
             Msg::Batch(batch) => {
@@ -477,10 +682,16 @@ fn shard_worker(
                     drop(emitted);
                 }
             }
-            Msg::Cut => profiles.push(profiler.finish_interval()),
+            // The session may have hung up already (dropped un-finished);
+            // then nobody wants the answer and the error is fine to ignore.
+            Msg::Cut => {
+                let _ = profile_tx.send(profiler.finish_interval());
+            }
+            Msg::TopK(k, reply) => {
+                let _ = reply.send(profiler.hot_tuples(k));
+            }
         }
     }
-    profiles
 }
 
 #[cfg(test)]
@@ -608,6 +819,120 @@ mod tests {
             Ok(ProfilerSpec::Perfect)
         ));
         assert!("oracle".parse::<ProfilerSpec>().is_err());
+    }
+
+    #[test]
+    fn session_streaming_matches_batch_run() {
+        let interval = IntervalConfig::new(5_000, 0.01).unwrap();
+        let config = MultiHashConfig::best();
+        for (spec, shards) in [
+            (ProfilerSpec::Perfect, 4),
+            (ProfilerSpec::MultiHash(config), 1),
+        ] {
+            let engine = ShardedEngine::new(
+                EngineConfig::new(shards).with_batch_events(128),
+                interval,
+                spec,
+                42,
+            );
+            let expected = engine.run(li_events(17_000)).unwrap();
+
+            let mut session = engine.start().unwrap();
+            let events: Vec<Tuple> = li_events(17_000).collect();
+            // Irregular push sizes: boundaries must come from the global
+            // count, not from push granularity.
+            for chunk in events.chunks(733) {
+                session.push_all(chunk.iter().copied());
+            }
+            let report = session.finish().unwrap();
+            assert_eq!(report.profiles, expected.profiles, "{spec} x{shards}");
+            assert_eq!(report.events, 17_000);
+            assert_eq!(report.intervals, 3);
+        }
+    }
+
+    #[test]
+    fn session_profiles_are_queryable_mid_stream() {
+        let interval = IntervalConfig::new(1_000, 0.05).unwrap();
+        let engine = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
+        let mut session = engine.start().unwrap();
+        session.push_all(li_events(2_500));
+        assert_eq!(session.events(), 2_500);
+        assert_eq!(session.intervals(), 2);
+        assert_eq!(session.in_interval(), 500);
+        let profiles = session.profiles().unwrap();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].interval_index(), 0);
+        assert_eq!(profiles[1].interval_index(), 1);
+        // Querying consumed nothing: the stream continues seamlessly.
+        session.push_all(li_events(500));
+        assert_eq!(session.intervals(), 3);
+        let report = session.finish().unwrap();
+        assert_eq!(report.profiles.len(), 3);
+    }
+
+    #[test]
+    fn session_top_k_sees_the_partial_interval_exactly() {
+        let interval = IntervalConfig::new(100_000, 0.01).unwrap();
+        let engine = ShardedEngine::new(
+            EngineConfig::new(4).with_batch_events(64),
+            interval,
+            ProfilerSpec::Perfect,
+            0,
+        );
+        let mut session = engine.start().unwrap();
+        let events: Vec<Tuple> = li_events(9_000).collect();
+        session.push_all(events.iter().copied());
+
+        // The perfect profiler tracks exact counts, so top-k must equal a
+        // direct count over the pushed events.
+        let mut counts: std::collections::HashMap<Tuple, u64> = std::collections::HashMap::new();
+        for &t in &events {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let expected: Vec<Candidate> = mhp_core::top_k_by_count(counts.into_iter().collect(), 10)
+            .into_iter()
+            .map(|(tuple, count)| Candidate::new(tuple, count))
+            .collect();
+        assert_eq!(session.top_k(10).unwrap(), expected);
+        // And the query was non-destructive.
+        assert_eq!(session.top_k(10).unwrap(), expected);
+        assert_eq!(session.finish().unwrap().events, 9_000);
+    }
+
+    #[test]
+    fn session_forced_cut_ends_the_interval_early() {
+        let interval = IntervalConfig::new(1_000, 0.1).unwrap();
+        let engine = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
+        let mut session = engine.start().unwrap();
+        session.push_all(li_events(400));
+        let profile = session.cut().unwrap().expect("400 pending events");
+        // A single-threaded external-cut run over the same 400 events is
+        // the exact expectation for the forced cut.
+        let mut reference = PerfectProfiler::new(interval.with_external_cut());
+        for t in li_events(400) {
+            assert!(reference.observe(t).is_none());
+        }
+        // (merge normalizes the external-cut marker away, on both sides)
+        let expected = IntervalProfile::merge([reference.finish_interval()]).unwrap();
+        assert_eq!(profile, expected);
+        // Nothing pending: a second cut is a no-op.
+        assert!(session.cut().unwrap().is_none());
+        assert_eq!(session.in_interval(), 0);
+        // Boundaries restart from the cut: 1 000 more events = 1 more interval.
+        session.push_all(li_events(1_000));
+        let report = session.finish().unwrap();
+        assert_eq!(report.intervals, 2);
+        assert_eq!(report.events, 1_400);
+    }
+
+    #[test]
+    fn dropped_session_shuts_down_cleanly() {
+        let interval = IntervalConfig::new(1_000, 0.1).unwrap();
+        let engine = ShardedEngine::new(EngineConfig::new(4), interval, ProfilerSpec::Perfect, 0);
+        let mut session = engine.start().unwrap();
+        session.push_all(li_events(2_500));
+        drop(session); // must join workers, not leak or deadlock
     }
 
     #[test]

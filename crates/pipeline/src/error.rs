@@ -42,6 +42,15 @@ pub enum Error {
         /// Zero-based index of the malformed chunk.
         chunk: u64,
     },
+    /// A chunk header declares a payload larger than
+    /// [`MAX_CHUNK_BYTES`](crate::format::MAX_CHUNK_BYTES). Rejected before
+    /// any allocation, so adversarial headers cannot trigger huge buffers.
+    ChunkTooLarge {
+        /// Zero-based index of the offending chunk.
+        chunk: u64,
+        /// The payload length the header declared.
+        declared: u64,
+    },
     /// Bytes follow the end-of-trace marker.
     TrailingData,
     /// A profiler configuration error while building shard profilers.
@@ -75,6 +84,12 @@ impl fmt::Display for Error {
             }
             Error::ChunkDecode { chunk } => {
                 write!(f, "chunk {chunk} payload is malformed")
+            }
+            Error::ChunkTooLarge { chunk, declared } => {
+                write!(
+                    f,
+                    "chunk {chunk} declares an implausible {declared}-byte payload"
+                )
             }
             Error::TrailingData => write!(f, "trailing bytes after end-of-trace marker"),
             Error::Config(e) => write!(f, "profiler configuration rejected: {e}"),
@@ -133,6 +148,10 @@ mod tests {
                 context: "chunk header",
             },
             Error::ChunkDecode { chunk: 0 },
+            Error::ChunkTooLarge {
+                chunk: 1,
+                declared: u64::MAX,
+            },
             Error::TrailingData,
             Error::Config(ConfigError::ZeroTables),
             Error::Merge(MergeError::Empty),

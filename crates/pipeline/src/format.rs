@@ -47,7 +47,17 @@ pub const FORMAT_VERSION: u16 = 1;
 /// Default number of events buffered into one chunk.
 pub const DEFAULT_CHUNK_EVENTS: usize = 1 << 16;
 
-const CHUNK_HEADER_BYTES: usize = 12;
+/// Largest chunk payload a reader will accept, in bytes (64 MiB).
+///
+/// A record costs at most 20 payload bytes (two maximal varints), so this
+/// admits chunks of ~3.3M worst-case events — far beyond any real writer —
+/// while bounding the allocation an adversarial or corrupted header can
+/// demand. Headers declaring more fail with [`Error::ChunkTooLarge`]
+/// *before* any buffer is allocated.
+pub const MAX_CHUNK_BYTES: usize = 1 << 26;
+
+/// Bytes in a chunk header: `payload_len:u32 record_count:u32 crc32:u32`.
+pub const CHUNK_HEADER_BYTES: usize = 12;
 
 /// What the recorded tuples mean. Profilers do not care, but tooling uses
 /// this to label output and pick sensible defaults.
@@ -181,6 +191,151 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
+// --- chunk-level encode/decode -------------------------------------------
+//
+// One chunk is the unit shared between the on-disk trace format and the
+// `mhp-server` ingest wire protocol: a client frames each batch of events as
+// exactly one chunk, so the CRC and the delta compression travel over TCP
+// unchanged.
+
+/// Appends one record (PC delta against `prev_pc`, then the value) to
+/// `payload` and returns the new previous PC.
+#[inline]
+fn push_record(payload: &mut Vec<u8>, prev_pc: u64, tuple: Tuple) -> u64 {
+    let pc = tuple.pc().as_u64();
+    let delta = pc.wrapping_sub(prev_pc) as i64;
+    push_varint(payload, zigzag(delta));
+    push_varint(payload, tuple.value().as_u64());
+    pc
+}
+
+/// The 12-byte chunk header for a finished payload.
+fn chunk_header(payload: &[u8], record_count: u32) -> [u8; CHUNK_HEADER_BYTES] {
+    let mut header = [0u8; CHUNK_HEADER_BYTES];
+    header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..8].copy_from_slice(&record_count.to_le_bytes());
+    header[8..12].copy_from_slice(&crc32(payload).to_le_bytes());
+    header
+}
+
+/// Validates a chunk header's declared sizes before anything is allocated.
+///
+/// Rejects payloads over [`MAX_CHUNK_BYTES`] and record counts that cannot
+/// fit in the declared payload (every record costs at least 2 bytes), so a
+/// hostile header bounded by `u32` fields can demand at most
+/// [`MAX_CHUNK_BYTES`] of memory.
+fn validate_chunk_header(payload_len: u64, record_count: u32, chunk: u64) -> Result<(), Error> {
+    if payload_len > MAX_CHUNK_BYTES as u64 {
+        return Err(Error::ChunkTooLarge {
+            chunk,
+            declared: payload_len,
+        });
+    }
+    if u64::from(record_count) * 2 > payload_len {
+        return Err(Error::ChunkDecode { chunk });
+    }
+    Ok(())
+}
+
+/// Decodes `record_count` records from a CRC-verified payload.
+fn decode_chunk_payload(
+    payload: &[u8],
+    record_count: u32,
+    chunk: u64,
+) -> Result<Vec<Tuple>, Error> {
+    let mut events = Vec::with_capacity(record_count as usize);
+    let mut pos = 0usize;
+    let mut prev_pc = 0u64;
+    for _ in 0..record_count {
+        let (delta, value) = match (
+            read_varint(payload, &mut pos),
+            read_varint(payload, &mut pos),
+        ) {
+            (Some(d), Some(v)) => (d, v),
+            _ => return Err(Error::ChunkDecode { chunk }),
+        };
+        let pc = prev_pc.wrapping_add(unzigzag(delta) as u64);
+        prev_pc = pc;
+        events.push(Tuple::new(pc, value));
+    }
+    if pos != payload.len() {
+        // Extra undecoded bytes: count and payload disagree.
+        return Err(Error::ChunkDecode { chunk });
+    }
+    Ok(events)
+}
+
+/// Encodes `events` as one self-contained chunk (header + payload), exactly
+/// as [`TraceWriter`] would flush it.
+///
+/// This is the unit the `mhp-server` wire protocol ships per ingest request:
+/// the delta encoding restarts at PC 0 and the CRC covers the payload, so a
+/// chunk is independently decodable and corruption-checked wherever it
+/// lands.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::Tuple;
+/// use mhp_pipeline::format::{decode_chunk, encode_chunk};
+///
+/// let events = vec![Tuple::new(0x400100, 7), Tuple::new(0x400108, 9)];
+/// let bytes = encode_chunk(&events);
+/// let (decoded, consumed) = decode_chunk(&bytes).unwrap();
+/// assert_eq!(decoded, events);
+/// assert_eq!(consumed, bytes.len());
+/// ```
+pub fn encode_chunk(events: &[Tuple]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(events.len() * 3);
+    let mut prev_pc = 0u64;
+    for &tuple in events {
+        prev_pc = push_record(&mut payload, prev_pc, tuple);
+    }
+    let header = chunk_header(&payload, events.len() as u32);
+    let mut chunk = Vec::with_capacity(CHUNK_HEADER_BYTES + payload.len());
+    chunk.extend_from_slice(&header);
+    chunk.extend_from_slice(&payload);
+    chunk
+}
+
+/// Decodes one chunk from the front of `bytes`, returning its events and the
+/// number of bytes consumed.
+///
+/// Applies the full adversarial-input gauntlet before touching the payload:
+/// truncated headers or payloads yield [`Error::Truncated`], implausible
+/// declared sizes yield [`Error::ChunkTooLarge`] or [`Error::ChunkDecode`]
+/// without allocating, and payload corruption yields [`Error::CrcMismatch`].
+/// An all-zero header (the trace end marker) decodes as a zero-record chunk.
+pub fn decode_chunk(bytes: &[u8]) -> Result<(Vec<Tuple>, usize), Error> {
+    if bytes.len() < CHUNK_HEADER_BYTES {
+        return Err(Error::Truncated {
+            context: "chunk header",
+        });
+    }
+    let payload_len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as u64;
+    let record_count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let expected_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    validate_chunk_header(payload_len, record_count, 0)?;
+    let payload_len = payload_len as usize;
+    let rest = &bytes[CHUNK_HEADER_BYTES..];
+    if rest.len() < payload_len {
+        return Err(Error::Truncated {
+            context: "chunk payload",
+        });
+    }
+    let payload = &rest[..payload_len];
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(Error::CrcMismatch {
+            chunk: 0,
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    let events = decode_chunk_payload(payload, record_count, 0)?;
+    Ok((events, CHUNK_HEADER_BYTES + payload_len))
+}
+
 // --- writer --------------------------------------------------------------
 
 /// Streams tuples into the binary trace format.
@@ -272,11 +427,7 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Propagates sink I/O errors when a full chunk is flushed.
     pub fn write_event(&mut self, tuple: Tuple) -> Result<(), Error> {
-        let pc = tuple.pc().as_u64();
-        let delta = pc.wrapping_sub(self.prev_pc) as i64;
-        push_varint(&mut self.payload, zigzag(delta));
-        push_varint(&mut self.payload, tuple.value().as_u64());
-        self.prev_pc = pc;
+        self.prev_pc = push_record(&mut self.payload, self.prev_pc, tuple);
         self.chunk_records += 1;
         self.events += 1;
         if self.chunk_records as usize >= self.chunk_events {
@@ -319,11 +470,8 @@ impl<W: Write> TraceWriter<W> {
 
     fn flush_chunk(&mut self) -> Result<(), Error> {
         self.write_header_if_needed()?;
-        let crc = crc32(&self.payload);
         self.sink
-            .write_all(&(self.payload.len() as u32).to_le_bytes())?;
-        self.sink.write_all(&self.chunk_records.to_le_bytes())?;
-        self.sink.write_all(&crc.to_le_bytes())?;
+            .write_all(&chunk_header(&self.payload, self.chunk_records))?;
         self.sink.write_all(&self.payload)?;
         self.payload.clear();
         self.chunk_records = 0;
@@ -430,12 +578,14 @@ impl<R: Read> TraceReader<R> {
                     _ => return Err(Error::TrailingData),
                 }
             }
-            let payload_len =
-                u32::from_le_bytes(chunk_header[0..4].try_into().expect("4 bytes")) as usize;
+            let payload_len = u64::from(u32::from_le_bytes(
+                chunk_header[0..4].try_into().expect("4 bytes"),
+            ));
             let record_count = u32::from_le_bytes(chunk_header[4..8].try_into().expect("4 bytes"));
             let expected_crc = u32::from_le_bytes(chunk_header[8..12].try_into().expect("4 bytes"));
+            validate_chunk_header(payload_len, record_count, self.chunks_read)?;
 
-            let mut payload = vec![0u8; payload_len];
+            let mut payload = vec![0u8; payload_len as usize];
             read_exact_or(&mut self.source, &mut payload, "chunk payload")?;
             let actual_crc = crc32(&payload);
             if actual_crc != expected_crc {
@@ -446,31 +596,7 @@ impl<R: Read> TraceReader<R> {
                 });
             }
 
-            let mut events = Vec::with_capacity(record_count as usize);
-            let mut pos = 0usize;
-            let mut prev_pc = 0u64;
-            for _ in 0..record_count {
-                let (delta, value) = match (
-                    read_varint(&payload, &mut pos),
-                    read_varint(&payload, &mut pos),
-                ) {
-                    (Some(d), Some(v)) => (d, v),
-                    _ => {
-                        return Err(Error::ChunkDecode {
-                            chunk: self.chunks_read,
-                        })
-                    }
-                };
-                let pc = prev_pc.wrapping_add(unzigzag(delta) as u64);
-                prev_pc = pc;
-                events.push(Tuple::new(pc, value));
-            }
-            if pos != payload.len() {
-                // Extra undecoded bytes: count and payload disagree.
-                return Err(Error::ChunkDecode {
-                    chunk: self.chunks_read,
-                });
-            }
+            let mut events = decode_chunk_payload(&payload, record_count, self.chunks_read)?;
             self.chunks_read += 1;
             if events.is_empty() {
                 // A legal but pointless empty chunk; keep scanning.
@@ -688,6 +814,65 @@ mod tests {
         assert!(matches!(result, Err(Error::TrailingData)));
     }
 
+    /// Builds a full trace whose single chunk has an arbitrary (possibly
+    /// lying) header: `header ++ payload`, wrapped in trace header + marker.
+    fn trace_with_raw_chunk(payload_len: u32, record_count: u32, payload: &[u8]) -> Vec<u8> {
+        let mut bytes = TraceWriter::new(Vec::new(), TraceKind::Raw)
+            .finish()
+            .unwrap();
+        bytes.truncate(16); // keep the trace header, drop the end marker
+        bytes.extend_from_slice(&payload_len.to_le_bytes());
+        bytes.extend_from_slice(&record_count.to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(&[0u8; CHUNK_HEADER_BYTES]); // end marker
+        bytes
+    }
+
+    #[test]
+    fn zero_record_empty_chunk_is_indistinguishable_from_the_end_marker() {
+        // crc32(&[]) == 0, so a 0-payload / 0-record chunk header is
+        // all-zero — exactly the end-of-trace marker. The reader treats it
+        // as such and must then reject the *real* marker as trailing data.
+        let bytes = trace_with_raw_chunk(0, 0, &[]);
+        let events: Result<Vec<Tuple>, Error> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(events, Err(Error::TrailingData)));
+    }
+
+    #[test]
+    fn reader_rejects_zero_record_chunk_with_nonempty_payload() {
+        // Declares bytes but no records: the payload can never be consumed.
+        let bytes = trace_with_raw_chunk(3, 0, &[1, 2, 3]);
+        let events: Result<Vec<Tuple>, Error> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(events, Err(Error::ChunkDecode { chunk: 0 })));
+    }
+
+    #[test]
+    fn reader_rejects_overlong_declared_chunk_without_allocating() {
+        // Declares a ~4 GiB payload. Must fail fast on the header alone —
+        // before any buffer of that size is allocated or read.
+        let bytes = trace_with_raw_chunk(u32::MAX, 1, &[]);
+        let events: Result<Vec<Tuple>, Error> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(
+            events,
+            Err(Error::ChunkTooLarge { chunk: 0, declared }) if declared == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_record_count_exceeding_payload_capacity() {
+        // u32::MAX records cannot fit in an 8-byte payload (records are
+        // >= 2 bytes each); reject from the header, never decode.
+        let payload = [0x02u8; 8];
+        let bytes = trace_with_raw_chunk(8, u32::MAX, &payload);
+        let events: Result<Vec<Tuple>, Error> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(events, Err(Error::ChunkDecode { chunk: 0 })));
+    }
+
     #[test]
     fn reader_fuses_after_error() {
         let mut writer = TraceWriter::new(Vec::new(), TraceKind::Raw).with_chunk_events(4);
@@ -720,6 +905,98 @@ mod tests {
             "10K clustered events took {} bytes",
             bytes.len()
         );
+    }
+
+    #[test]
+    fn standalone_chunks_round_trip() {
+        let events: Vec<Tuple> = (0..500u64)
+            .map(|i| Tuple::new(0x40_0000 + (i % 13) * 4, i % 7))
+            .collect();
+        let bytes = encode_chunk(&events);
+        let (decoded, consumed) = decode_chunk(&bytes).unwrap();
+        assert_eq!(decoded, events);
+        assert_eq!(consumed, bytes.len());
+        // Trailing bytes after the chunk are not consumed.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[1, 2, 3]);
+        let (decoded, consumed) = decode_chunk(&padded).unwrap();
+        assert_eq!(decoded, events);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn standalone_chunk_matches_writer_bytes() {
+        let events: Vec<Tuple> = (0..100u64).map(|i| Tuple::new(i * 8, i)).collect();
+        let mut writer =
+            TraceWriter::new(Vec::new(), TraceKind::Raw).with_chunk_events(events.len());
+        writer.write_all(events.iter().copied()).unwrap();
+        let trace = writer.finish().unwrap();
+        // The writer's (only) chunk sits between the 16-byte trace header and
+        // the 12-byte end marker, byte-identical to the standalone encoding.
+        let chunk = &trace[16..trace.len() - CHUNK_HEADER_BYTES];
+        assert_eq!(chunk, encode_chunk(&events).as_slice());
+    }
+
+    #[test]
+    fn standalone_chunk_decode_rejects_corruption_and_truncation() {
+        let events: Vec<Tuple> = (0..50u64).map(|i| Tuple::new(i, i)).collect();
+        let bytes = encode_chunk(&events);
+        assert!(matches!(
+            decode_chunk(&bytes[..8]),
+            Err(Error::Truncated {
+                context: "chunk header"
+            })
+        ));
+        assert!(matches!(
+            decode_chunk(&bytes[..bytes.len() - 1]),
+            Err(Error::Truncated {
+                context: "chunk payload"
+            })
+        ));
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert!(matches!(
+            decode_chunk(&corrupt),
+            Err(Error::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_chunk_is_the_end_marker_encoding() {
+        let bytes = encode_chunk(&[]);
+        assert_eq!(bytes, vec![0u8; CHUNK_HEADER_BYTES]);
+        let (decoded, consumed) = decode_chunk(&bytes).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(consumed, CHUNK_HEADER_BYTES);
+    }
+
+    #[test]
+    fn oversized_declared_payload_is_rejected_without_allocation() {
+        let mut bytes = vec![0u8; CHUNK_HEADER_BYTES];
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes()); // ~4 GiB declared
+        assert!(matches!(
+            decode_chunk(&bytes),
+            Err(Error::ChunkTooLarge {
+                chunk: 0,
+                declared,
+            }) if declared == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn implausible_record_count_is_rejected_before_decoding() {
+        // 4-byte payload cannot hold 3 records (>= 2 bytes each).
+        let mut chunk = Vec::new();
+        let payload = [0u8; 4];
+        chunk.extend_from_slice(&4u32.to_le_bytes());
+        chunk.extend_from_slice(&3u32.to_le_bytes());
+        chunk.extend_from_slice(&crc32(&payload).to_le_bytes());
+        chunk.extend_from_slice(&payload);
+        assert!(matches!(
+            decode_chunk(&chunk),
+            Err(Error::ChunkDecode { chunk: 0 })
+        ));
     }
 
     #[test]

@@ -55,8 +55,11 @@ pub mod engine;
 pub mod error;
 pub mod format;
 
-pub use engine::{shard_of, EngineConfig, EngineReport, ProfilerSpec, ShardStats, ShardedEngine};
+pub use engine::{
+    shard_of, EngineConfig, EngineReport, EngineSession, ProfilerSpec, ShardStats, ShardedEngine,
+};
 pub use error::Error;
 pub use format::{
-    crc32, TraceKind, TraceReader, TraceWriter, DEFAULT_CHUNK_EVENTS, FORMAT_VERSION, MAGIC,
+    crc32, decode_chunk, encode_chunk, TraceKind, TraceReader, TraceWriter, CHUNK_HEADER_BYTES,
+    DEFAULT_CHUNK_EVENTS, FORMAT_VERSION, MAGIC, MAX_CHUNK_BYTES,
 };

@@ -1,0 +1,69 @@
+//! `mhp-server` — serve the profiling service over TCP.
+//!
+//! ```text
+//! mhp-server --addr 127.0.0.1:7070 [--max-conns 32] [--read-timeout-ms 200]
+//! ```
+//!
+//! Prints `listening on ADDR` once bound (an ephemeral `:0` port resolves
+//! to the real one), then serves until a client sends `shutdown`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mhp_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: mhp-server [options]
+
+options:
+  --addr A             listen address (default 127.0.0.1:7070; use :0 for
+                       an ephemeral port)
+  --max-conns N        concurrent connection limit (default 32)
+  --read-timeout-ms N  per-connection read timeout (default 200)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("--{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("addr")?,
+            "--max-conns" => {
+                config.max_connections = value("max-conns")?
+                    .parse()
+                    .map_err(|_| "--max-conns needs a number".to_string())?;
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms needs a number".to_string())?;
+                config.read_timeout = Duration::from_millis(ms.max(1));
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+
+    let server = Server::bind(addr.as_str(), config).map_err(|e| e.to_string())?;
+    // The smoke scripts scrape this exact line for the resolved port.
+    println!("listening on {}", server.local_addr());
+    server.wait();
+    println!("shut down cleanly");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mhp-server: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

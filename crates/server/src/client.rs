@@ -1,0 +1,353 @@
+//! Client library for the profiling service: a blocking [`Client`] wrapping
+//! one TCP connection, plus the [`loadgen`] harness that drives a server
+//! with many concurrent recorders and reports throughput and latency.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use mhp_core::{Candidate, Tuple};
+use mhp_pipeline::encode_chunk;
+
+use crate::error::ServerError;
+use crate::metrics::Histogram;
+use crate::protocol::{
+    read_frame, write_frame, ProfileData, Request, Response, SessionConfig, SessionInfo,
+};
+
+/// A blocking connection to an `mhp-server`.
+///
+/// One request is in flight at a time; every method sends a frame and
+/// waits for the response. Error responses surface as
+/// [`ServerError::Remote`]; unexpected-but-valid responses (a server
+/// newer than this client) surface as protocol errors.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol failures; an error *response* is returned as
+    /// `Ok(Response::Error { .. })` for callers that want to inspect it.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServerError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let body = read_frame(&mut self.reader)?
+            .ok_or_else(|| ServerError::protocol("server hung up before responding"))?;
+        Response::decode(&body)
+    }
+
+    /// Like [`call`](Self::call), but converts an error response into
+    /// [`ServerError::Remote`].
+    fn call_ok(&mut self, request: &Request) -> Result<Response, ServerError> {
+        match self.call(request)? {
+            Response::Error { code, message } => Err(ServerError::Remote { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Opens a named session and attaches this connection to it.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::SessionExists`](crate::ErrorCode::SessionExists) if the name is taken, plus the usual
+    /// transport failures.
+    pub fn open_session(
+        &mut self,
+        name: &str,
+        config: SessionConfig,
+    ) -> Result<SessionInfo, ServerError> {
+        match self.call_ok(&Request::Open {
+            name: name.to_string(),
+            config,
+        })? {
+            Response::Session(info) => Ok(info),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Attaches to an existing named session.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownSession`](crate::ErrorCode::UnknownSession) if no such session exists.
+    pub fn attach(&mut self, name: &str) -> Result<SessionInfo, ServerError> {
+        match self.call_ok(&Request::Attach {
+            name: name.to_string(),
+        })? {
+            Response::Session(info) => Ok(info),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams raw events to the attached session as one encoded chunk.
+    /// Returns the session's running `(events, intervals)` totals.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::Ingest`](crate::ErrorCode::Ingest) if the server rejected the chunk.
+    pub fn ingest(&mut self, events: &[Tuple]) -> Result<(u64, u64), ServerError> {
+        self.ingest_chunk(encode_chunk(events))
+    }
+
+    /// Sends an already-encoded trace chunk (e.g. straight out of a trace
+    /// file) to the attached session.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest).
+    pub fn ingest_chunk(&mut self, chunk: Vec<u8>) -> Result<(u64, u64), ServerError> {
+        match self.call_ok(&Request::Ingest { chunk })? {
+            Response::Ingested { events, intervals } => Ok((events, intervals)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Forces the session's global interval to end; `None` if it was empty.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side engine error.
+    pub fn cut(&mut self) -> Result<Option<ProfileData>, ServerError> {
+        match self.call_ok(&Request::Cut)? {
+            Response::Profile(profile) => Ok(Some(profile)),
+            Response::NoProfile => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the merged profile of a completed interval; `None` if that
+    /// interval does not exist (yet). Pass [`u64::MAX`] for the latest.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side engine error.
+    pub fn snapshot(&mut self, interval: u64) -> Result<Option<ProfileData>, ServerError> {
+        match self.call_ok(&Request::Snapshot { interval })? {
+            Response::Profile(profile) => Ok(Some(profile)),
+            Response::NoProfile => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The hottest `n` tuples of the session's current partial interval.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side engine error.
+    pub fn top_k(&mut self, n: u32) -> Result<Vec<Candidate>, ServerError> {
+        match self.call_ok(&Request::TopK { n })? {
+            Response::TopK(candidates) => Ok(candidates),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The server's metrics as `key value` text.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; stats always succeed server-side.
+    pub fn stats(&mut self) -> Result<String, ServerError> {
+        match self.call_ok(&Request::Stats)? {
+            Response::Stats(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Destroys the attached session.
+    ///
+    /// # Errors
+    ///
+    /// A protocol error if no session is attached.
+    pub fn close_session(&mut self) -> Result<(), ServerError> {
+        match self.call_ok(&Request::CloseSession)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn shutdown_server(&mut self) -> Result<(), ServerError> {
+        match self.call_ok(&Request::Shutdown)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ServerError {
+    ServerError::protocol_owned(format!("unexpected response {response:?}"))
+}
+
+/// Configuration for [`loadgen`].
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections, each with its own session.
+    pub clients: usize,
+    /// Events each client streams.
+    pub events_per_client: usize,
+    /// Events per ingest chunk.
+    pub chunk_events: usize,
+    /// Session configuration every client opens with.
+    pub session: SessionConfig,
+    /// Prefix for the per-client session names (`{prefix}-{i}`).
+    pub session_prefix: String,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 8,
+            events_per_client: 100_000,
+            chunk_events: 4_096,
+            session: SessionConfig::default_multi_hash(),
+            session_prefix: "loadgen".to_string(),
+        }
+    }
+}
+
+/// What [`loadgen`] measured.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Events streamed across all clients.
+    pub events: u64,
+    /// Ingest requests issued across all clients.
+    pub requests: u64,
+    /// Error responses received (any of these is a failed run).
+    pub errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-ingest-request round-trip latency.
+    pub latency: Histogram,
+}
+
+impl LoadgenReport {
+    /// Aggregate ingest throughput, events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Renders the human-readable summary the CLI prints.
+    pub fn render(&self) -> String {
+        format!(
+            "events {}\nrequests {}\nerrors {}\nelapsed_ms {}\nevents_per_sec {:.0}\n\
+             latency_p50_us {}\nlatency_p90_us {}\nlatency_p99_us {}\n",
+            self.events,
+            self.requests,
+            self.errors,
+            self.elapsed.as_millis(),
+            self.events_per_sec(),
+            self.latency.quantile_us(0.50),
+            self.latency.quantile_us(0.90),
+            self.latency.quantile_us(0.99),
+        )
+    }
+}
+
+/// Drives `config.clients` concurrent connections against `addr`: each
+/// opens its own session, streams a deterministic synthetic workload in
+/// chunks, closes the session, and records per-request latency.
+///
+/// Distinct per-client stream seeds keep the shard hashes from colliding
+/// into lockstep; distinct session names keep the registry honest under
+/// concurrent opens.
+///
+/// # Errors
+///
+/// Connection-establishment failures. Request-level failures do not abort
+/// the run; they are counted in [`LoadgenReport::errors`].
+pub fn loadgen(
+    addr: std::net::SocketAddr,
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, ServerError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let latency = Histogram::new();
+    let errors = AtomicU64::new(0);
+    let requests = AtomicU64::new(0);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| -> Result<(), ServerError> {
+        let mut handles = Vec::new();
+        for client_idx in 0..config.clients {
+            let latency = &latency;
+            let errors = &errors;
+            let requests = &requests;
+            handles.push(scope.spawn(move || -> Result<(), ServerError> {
+                let mut client = Client::connect(addr)?;
+                let name = format!("{}-{client_idx}", config.session_prefix);
+                let mut session = config.session.clone();
+                session.seed = session.seed.wrapping_add(client_idx as u64);
+                client.open_session(&name, session)?;
+
+                let spec = mhp_trace::StreamSpec::new(
+                    mhp_trace::Benchmark::Gcc,
+                    mhp_trace::StreamKind::Value,
+                    0x10AD ^ client_idx as u64,
+                );
+                let events: Vec<Tuple> = spec.events().take(config.events_per_client).collect();
+                for chunk in events.chunks(config.chunk_events.max(1)) {
+                    let sent = Instant::now();
+                    let outcome = client.call(&Request::Ingest {
+                        chunk: encode_chunk(chunk),
+                    });
+                    latency.record(sent.elapsed());
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    match outcome {
+                        Ok(Response::Ingested { .. }) => {}
+                        Ok(_) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                client.close_session()?;
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(_)) | Err(_) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    })?;
+
+    Ok(LoadgenReport {
+        events: (config.clients * config.events_per_client) as u64,
+        requests: requests.into_inner(),
+        errors: errors.into_inner(),
+        elapsed: started.elapsed(),
+        latency,
+    })
+}

@@ -1,0 +1,209 @@
+//! Error types for the profiling service: a wire-level failure class
+//! ([`ErrorCode`]) plus the richer process-local [`ServerError`].
+
+use std::fmt;
+use std::io;
+
+/// Machine-readable failure class carried in an error response. Stable on
+/// the wire; clients switch on this, not on message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request was malformed or invalid for the connection's state
+    /// (e.g. ingest without an attached session).
+    BadRequest,
+    /// The server is at its connection limit.
+    Busy,
+    /// No session with the requested name exists.
+    UnknownSession,
+    /// A session with the requested name already exists.
+    SessionExists,
+    /// The ingest payload failed to decode or the engine rejected it.
+    Ingest,
+    /// The server is shutting down and takes no new work.
+    ShuttingDown,
+    /// An internal failure (an engine bug surfaced to the client).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire encoding of the code.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::Busy => 2,
+            ErrorCode::UnknownSession => 3,
+            ErrorCode::SessionExists => 4,
+            ErrorCode::Ingest => 5,
+            ErrorCode::ShuttingDown => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    /// Decodes a wire code byte; unknown bytes map to
+    /// [`ErrorCode::Internal`] so old clients survive new codes.
+    pub fn from_u8(value: u8) -> Self {
+        match value {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::Busy,
+            3 => ErrorCode::UnknownSession,
+            4 => ErrorCode::SessionExists,
+            5 => ErrorCode::Ingest,
+            6 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// A short lowercase name for logs and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Busy => "busy",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::SessionExists => "session-exists",
+            ErrorCode::Ingest => "ingest",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Any failure inside the server or client library.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// An underlying socket/file failure.
+    Io(io::Error),
+    /// The peer violated the wire protocol.
+    Protocol(String),
+    /// The peer answered with an error response.
+    Remote {
+        /// The failure class the peer reported.
+        code: ErrorCode,
+        /// The peer's message.
+        message: String,
+    },
+    /// A pipeline failure (chunk decode, engine, merge).
+    Pipeline(mhp_pipeline::Error),
+}
+
+impl ServerError {
+    /// A protocol violation with a static description.
+    pub fn protocol(message: &'static str) -> Self {
+        ServerError::Protocol(message.to_string())
+    }
+
+    /// A protocol violation with a formatted description.
+    pub fn protocol_owned(message: String) -> Self {
+        ServerError::Protocol(message)
+    }
+
+    /// The message to put on the wire when reporting this failure to a
+    /// peer. For [`ServerError::Remote`] this is the bare message — the
+    /// receiving client re-wraps it, so including the Display prefix
+    /// here would double it.
+    pub fn wire_message(&self) -> String {
+        match self {
+            ServerError::Remote { message, .. } => message.clone(),
+            other => other.to_string(),
+        }
+    }
+
+    /// The wire error-class this failure maps to when reported to a peer.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServerError::Io(_) => ErrorCode::Internal,
+            ServerError::Protocol(_) => ErrorCode::BadRequest,
+            ServerError::Remote { code, .. } => *code,
+            ServerError::Pipeline(mhp_pipeline::Error::Merge(_)) => ErrorCode::Internal,
+            ServerError::Pipeline(_) => ErrorCode::Ingest,
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o failed: {e}"),
+            ServerError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServerError::Remote { code, message } => {
+                write!(f, "server rejected the request ({code}): {message}")
+            }
+            ServerError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<mhp_pipeline::Error> for ServerError {
+    fn from(e: mhp_pipeline::Error) -> Self {
+        ServerError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_on_the_wire() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::Busy,
+            ErrorCode::UnknownSession,
+            ErrorCode::SessionExists,
+            ErrorCode::Ingest,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), code);
+        }
+        assert_eq!(ErrorCode::from_u8(250), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn pipeline_errors_classify_by_kind() {
+        let ingest = ServerError::from(mhp_pipeline::Error::ChunkDecode { chunk: 0 });
+        assert_eq!(ingest.code(), ErrorCode::Ingest);
+        let internal = ServerError::from(mhp_pipeline::Error::Merge(mhp_core::MergeError::Empty));
+        assert_eq!(internal.code(), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        let errors = [
+            ServerError::Io(io::Error::other("x")),
+            ServerError::protocol("bad frame"),
+            ServerError::Remote {
+                code: ErrorCode::Busy,
+                message: "at capacity".into(),
+            },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.chars().next().unwrap().is_uppercase(), "{msg}");
+        }
+    }
+}

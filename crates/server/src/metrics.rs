@@ -1,0 +1,246 @@
+//! Lock-free server metrics: atomic counters and gauges plus fixed-bucket
+//! latency histograms, rendered as plain `key value` text for the `stats`
+//! query.
+//!
+//! Everything here is updated from request-handler threads with relaxed
+//! atomics — a metric read may lag a concurrent write by a few operations,
+//! which is fine for observability and keeps the hot ingest path free of
+//! locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Power-of-two histogram buckets: bucket `i` counts samples whose value
+/// `v` (in microseconds) satisfies `v < 2^i`, exclusive of lower buckets.
+/// 40 buckets cover ~13 days in µs — far beyond any realistic latency.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ histogram of microsecond durations.
+///
+/// Recording is wait-free (one relaxed `fetch_add` per bucket/count/sum);
+/// percentile estimates are upper bounds from the bucket boundary, which
+/// is the usual trade for never allocating on the record path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&self, duration: Duration) {
+        let us = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`) in
+    /// microseconds: the upper boundary of the bucket holding that rank.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i); report the upper
+                // boundary. Bucket 0 is exactly the value 0.
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Renders `NAME_count`, `NAME_sum_us` and p50/p90/p99 lines.
+    fn render(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "{name}_count {}", self.count());
+        let _ = writeln!(out, "{name}_sum_us {}", self.sum_us());
+        let _ = writeln!(out, "{name}_p50_us {}", self.quantile_us(0.50));
+        let _ = writeln!(out, "{name}_p90_us {}", self.quantile_us(0.90));
+        let _ = writeln!(out, "{name}_p99_us {}", self.quantile_us(0.99));
+    }
+}
+
+macro_rules! metrics_struct {
+    ($(#[doc = $doc:literal] $field:ident),+ $(,)?) => {
+        /// The server's metrics registry: shared by every connection
+        /// handler, read by the `stats` query. All counters are
+        /// monotonically increasing except `connections_active`, which is
+        /// a gauge.
+        #[derive(Debug, Default)]
+        pub struct Metrics {
+            $(#[doc = $doc] pub $field: AtomicU64,)+
+            /// Latency of each request, measured from decoded request to
+            /// written response.
+            pub request_latency: Histogram,
+            /// Time spent decoding each ingested chunk.
+            pub chunk_decode: Histogram,
+        }
+
+        impl Metrics {
+            /// Renders every metric as one `key value` line, sorted by
+            /// declaration: counters first, then histogram summaries.
+            pub fn render(&self) -> String {
+                let mut out = String::new();
+                $(
+                    out.push_str(concat!(stringify!($field), " "));
+                    out.push_str(
+                        &self.$field.load(Ordering::Relaxed).to_string());
+                    out.push('\n');
+                )+
+                self.request_latency.render("request_latency", &mut out);
+                self.chunk_decode.render("chunk_decode", &mut out);
+                out
+            }
+        }
+    };
+}
+
+metrics_struct! {
+    /// Connections accepted and served.
+    connections_accepted,
+    /// Connections turned away at the max-connections limit.
+    connections_rejected,
+    /// Connections currently being served (gauge).
+    connections_active,
+    /// Sessions created by `open`.
+    sessions_opened,
+    /// Sessions destroyed by `close-session` or shutdown drain.
+    sessions_closed,
+    /// Requests decoded and dispatched, of any kind.
+    requests_total,
+    /// Requests answered with an error response.
+    errors_total,
+    /// Wire-protocol violations that dropped a connection.
+    protocol_errors,
+    /// Trace chunks ingested.
+    chunks_ingested,
+    /// Events ingested across all sessions.
+    events_ingested,
+    /// Intervals completed across all sessions.
+    intervals_completed,
+}
+
+impl Metrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Bumps a counter by one.
+    pub fn incr(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps a counter by `n`.
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one.
+    pub fn decr(&self, gauge: &AtomicU64) {
+        gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Parses one `key value` line out of rendered stats text; test and
+/// client-side convenience.
+pub fn stat_value(stats_text: &str, key: &str) -> Option<u64> {
+    stats_text.lines().find_map(|line| {
+        let (k, v) = line.split_once(' ')?;
+        (k == key).then(|| v.parse().ok())?
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_counts_and_sums() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(1_000));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), 1_110);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(3)); // bucket 2: (2, 4]
+        }
+        h.record(Duration::from_micros(1_000_000)); // ~2^20
+        assert_eq!(h.quantile_us(0.50), 4);
+        assert_eq!(h.quantile_us(0.90), 4);
+        assert!(h.quantile_us(1.0) >= 1_000_000);
+        assert_eq!(Histogram::new().quantile_us(0.5), 0, "empty histogram");
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let h = Histogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile_us(1.0), 0);
+    }
+
+    #[test]
+    fn render_lists_every_counter_once() {
+        let m = Metrics::new();
+        m.incr(&m.requests_total);
+        m.add(&m.events_ingested, 500);
+        m.request_latency.record(Duration::from_micros(42));
+        let text = m.render();
+        assert_eq!(stat_value(&text, "requests_total"), Some(1));
+        assert_eq!(stat_value(&text, "events_ingested"), Some(500));
+        assert_eq!(stat_value(&text, "request_latency_count"), Some(1));
+        assert_eq!(stat_value(&text, "connections_active"), Some(0));
+        assert_eq!(stat_value(&text, "no_such_key"), None);
+    }
+
+    #[test]
+    fn gauge_decrements() {
+        let m = Metrics::new();
+        m.incr(&m.connections_active);
+        m.incr(&m.connections_active);
+        m.decr(&m.connections_active);
+        assert_eq!(stat_value(&m.render(), "connections_active"), Some(1));
+    }
+}

@@ -1,0 +1,784 @@
+//! The wire protocol spoken between `mhp-client` and `mhp-server`.
+//!
+//! ## Framing
+//!
+//! Every message in either direction is one *frame*:
+//!
+//! ```text
+//! ┌───────────────┬──────────────────────────┐
+//! │ len: u32 (LE) │ body: len bytes          │
+//! └───────────────┴──────────────────────────┘
+//! ```
+//!
+//! A request body is an opcode byte followed by an opcode-specific payload;
+//! a response body is a tag byte followed by a tag-specific payload, so a
+//! client can decode any response without remembering what it asked.
+//! Integers are little-endian throughout, matching the trace format.
+//! Frames are bounded by [`MAX_FRAME_BYTES`]; an oversized declared length
+//! is a protocol error, rejected before any allocation.
+//!
+//! Ingest reuses the trace chunk encoding verbatim: an [`Request::Ingest`]
+//! payload is exactly one [`mhp_pipeline::encode_chunk`] chunk, so a
+//! recorded trace file can be replayed onto a server chunk by chunk without
+//! re-encoding (and the CRC travels with the data, end to end).
+
+use std::io::{Read, Write};
+
+use mhp_core::{Candidate, Tuple};
+
+use crate::error::{ErrorCode, ServerError};
+
+/// Hard upper bound on a frame body, request or response. Slightly above
+/// [`mhp_pipeline::MAX_CHUNK_BYTES`] so a maximal ingest chunk still fits
+/// with its opcode byte.
+pub const MAX_FRAME_BYTES: usize = mhp_pipeline::MAX_CHUNK_BYTES + 64;
+
+/// Which profiler architecture a session runs; the wire form of
+/// [`mhp_pipeline::ProfilerSpec`] (always the paper's best configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfilerKind {
+    /// Multi-hash profiler, §6 best configuration.
+    MultiHash,
+    /// Single-table baseline, §5 best configuration.
+    SingleHash,
+    /// Exact reference profiler.
+    Perfect,
+}
+
+impl ProfilerKind {
+    /// Wire encoding of the kind.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ProfilerKind::MultiHash => 0,
+            ProfilerKind::SingleHash => 1,
+            ProfilerKind::Perfect => 2,
+        }
+    }
+
+    /// Decodes a wire kind byte.
+    pub fn from_u8(value: u8) -> Option<Self> {
+        match value {
+            0 => Some(ProfilerKind::MultiHash),
+            1 => Some(ProfilerKind::SingleHash),
+            2 => Some(ProfilerKind::Perfect),
+            _ => None,
+        }
+    }
+
+    /// The kind's lowercase name, matching [`mhp_pipeline::ProfilerSpec`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfilerKind::MultiHash => "multi-hash",
+            ProfilerKind::SingleHash => "single-hash",
+            ProfilerKind::Perfect => "perfect",
+        }
+    }
+
+    /// The engine-side spec this kind names.
+    pub fn spec(self) -> mhp_pipeline::ProfilerSpec {
+        match self {
+            ProfilerKind::MultiHash => {
+                mhp_pipeline::ProfilerSpec::MultiHash(mhp_core::MultiHashConfig::best())
+            }
+            ProfilerKind::SingleHash => {
+                mhp_pipeline::ProfilerSpec::SingleHash(mhp_core::SingleHashConfig::best())
+            }
+            ProfilerKind::Perfect => mhp_pipeline::ProfilerSpec::Perfect,
+        }
+    }
+}
+
+impl std::str::FromStr for ProfilerKind {
+    type Err = ServerError;
+
+    fn from_str(s: &str) -> Result<Self, ServerError> {
+        match s {
+            "multi-hash" | "multihash" => Ok(ProfilerKind::MultiHash),
+            "single-hash" | "singlehash" => Ok(ProfilerKind::SingleHash),
+            "perfect" => Ok(ProfilerKind::Perfect),
+            _ => Err(ServerError::protocol(
+                "unknown profiler (expected multi-hash, single-hash or perfect)",
+            )),
+        }
+    }
+}
+
+/// Everything needed to build a session's engine; carried by
+/// [`Request::Open`] and echoed back in [`Response::Session`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Profiler architecture each shard runs.
+    pub kind: ProfilerKind,
+    /// Shard (worker thread) count.
+    pub shards: u16,
+    /// Global interval length, in events.
+    pub interval_len: u64,
+    /// Candidate threshold as a fraction of the interval.
+    pub threshold: f64,
+    /// Hash seed for the shard profilers.
+    pub seed: u64,
+}
+
+impl SessionConfig {
+    /// A small default: multi-hash, 1 shard, 10 000-event intervals, 1 %.
+    pub fn default_multi_hash() -> Self {
+        SessionConfig {
+            kind: ProfilerKind::MultiHash,
+            shards: 1,
+            interval_len: 10_000,
+            threshold: 0.01,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Summary of a live session, echoed on open/attach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionInfo {
+    /// The session's registry name.
+    pub name: String,
+    /// The configuration the session was opened with.
+    pub config: SessionConfig,
+    /// Events ingested so far.
+    pub events: u64,
+    /// Intervals completed so far.
+    pub intervals: u64,
+}
+
+/// A profile on the wire: one completed (or force-cut) interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileData {
+    /// Zero-based index of the interval.
+    pub interval_index: u64,
+    /// Interval length the profile was cut under.
+    pub interval_len: u64,
+    /// Candidate threshold fraction.
+    pub threshold: f64,
+    /// Candidates, hottest first.
+    pub candidates: Vec<Candidate>,
+}
+
+impl ProfileData {
+    /// Flattens an engine profile for the wire.
+    pub fn from_profile(profile: &mhp_core::IntervalProfile) -> Self {
+        ProfileData {
+            interval_index: profile.interval_index(),
+            interval_len: profile.config().interval_len(),
+            threshold: profile.config().threshold_fraction(),
+            candidates: profile.candidates().to_vec(),
+        }
+    }
+}
+
+/// A client request. See the module docs for framing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Creates a named session and attaches this connection to it.
+    Open {
+        /// Registry name; at most [`MAX_NAME_BYTES`] UTF-8 bytes.
+        name: String,
+        /// Engine configuration for the session.
+        config: SessionConfig,
+    },
+    /// Attaches this connection to an existing named session.
+    Attach {
+        /// Registry name of the session.
+        name: String,
+    },
+    /// Feeds one trace chunk ([`mhp_pipeline::encode_chunk`] bytes) into
+    /// the attached session.
+    Ingest {
+        /// The encoded chunk, header included.
+        chunk: Vec<u8>,
+    },
+    /// Forces the attached session's global interval to end now.
+    Cut,
+    /// Fetches the merged profile of one completed interval;
+    /// `u64::MAX` means the latest.
+    Snapshot {
+        /// Interval index, or `u64::MAX` for the most recent.
+        interval: u64,
+    },
+    /// The hottest `n` tuples of the current partial interval.
+    TopK {
+        /// How many tuples to return.
+        n: u32,
+    },
+    /// Server metrics as text.
+    Stats,
+    /// Destroys the attached session and detaches.
+    CloseSession,
+    /// Asks the server to shut down gracefully.
+    Shutdown,
+}
+
+/// Maximum session-name length on the wire, in bytes.
+pub const MAX_NAME_BYTES: usize = 256;
+
+const OP_OPEN: u8 = 0x01;
+const OP_ATTACH: u8 = 0x02;
+const OP_INGEST: u8 = 0x03;
+const OP_CUT: u8 = 0x04;
+const OP_SNAPSHOT: u8 = 0x05;
+const OP_TOPK: u8 = 0x06;
+const OP_STATS: u8 = 0x07;
+const OP_CLOSE_SESSION: u8 = 0x08;
+const OP_SHUTDOWN: u8 = 0x09;
+
+/// A server response. The leading tag byte makes every response
+/// self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded and has no payload.
+    Done,
+    /// A session was opened or attached.
+    Session(SessionInfo),
+    /// A chunk was ingested; running session totals follow.
+    Ingested {
+        /// Events ingested by the session so far.
+        events: u64,
+        /// Intervals completed by the session so far.
+        intervals: u64,
+    },
+    /// A merged interval profile.
+    Profile(ProfileData),
+    /// The requested interval does not exist (yet).
+    NoProfile,
+    /// The hottest tuples of the current partial interval.
+    TopK(Vec<Candidate>),
+    /// Server metrics, one `key value` per line.
+    Stats(String),
+    /// The request failed.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const TAG_DONE: u8 = 0x00;
+const TAG_SESSION: u8 = 0x01;
+const TAG_INGESTED: u8 = 0x02;
+const TAG_PROFILE: u8 = 0x03;
+const TAG_NO_PROFILE: u8 = 0x04;
+const TAG_TOPK: u8 = 0x05;
+const TAG_STATS: u8 = 0x06;
+const TAG_ERROR: u8 = 0x7F;
+
+// ---------------------------------------------------------------- encoding
+
+/// Little-endian byte-cursor over a frame body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServerError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| ServerError::protocol("frame body is truncated"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServerError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServerError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServerError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServerError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServerError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn name(&mut self) -> Result<String, ServerError> {
+        let len = self.u16()? as usize;
+        if len > MAX_NAME_BYTES {
+            return Err(ServerError::protocol("session name is too long"));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ServerError::protocol("session name is not utf-8"))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        slice
+    }
+
+    fn finish(&self) -> Result<(), ServerError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ServerError::protocol("frame body has trailing bytes"))
+        }
+    }
+}
+
+fn push_name(out: &mut Vec<u8>, name: &str) {
+    debug_assert!(name.len() <= MAX_NAME_BYTES);
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+}
+
+fn push_candidates(out: &mut Vec<u8>, candidates: &[Candidate]) {
+    out.extend_from_slice(&(candidates.len() as u32).to_le_bytes());
+    for c in candidates {
+        out.extend_from_slice(&c.tuple.pc().as_u64().to_le_bytes());
+        out.extend_from_slice(&c.tuple.value().as_u64().to_le_bytes());
+        out.extend_from_slice(&c.count.to_le_bytes());
+    }
+}
+
+fn read_candidates(cursor: &mut Cursor<'_>) -> Result<Vec<Candidate>, ServerError> {
+    let count = cursor.u32()? as usize;
+    // 24 bytes per candidate must actually be present — reject a lying
+    // count before allocating for it.
+    if count > cursor.bytes.len().saturating_sub(cursor.pos) / 24 {
+        return Err(ServerError::protocol("candidate count exceeds frame"));
+    }
+    let mut candidates = Vec::with_capacity(count);
+    for _ in 0..count {
+        let pc = cursor.u64()?;
+        let value = cursor.u64()?;
+        let count = cursor.u64()?;
+        candidates.push(Candidate::new(Tuple::new(pc, value), count));
+    }
+    Ok(candidates)
+}
+
+impl Request {
+    /// Encodes the request into a frame body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Open { name, config } => {
+                out.push(OP_OPEN);
+                push_name(&mut out, name);
+                out.push(config.kind.as_u8());
+                out.extend_from_slice(&config.shards.to_le_bytes());
+                out.extend_from_slice(&config.interval_len.to_le_bytes());
+                out.extend_from_slice(&config.threshold.to_le_bytes());
+                out.extend_from_slice(&config.seed.to_le_bytes());
+            }
+            Request::Attach { name } => {
+                out.push(OP_ATTACH);
+                push_name(&mut out, name);
+            }
+            Request::Ingest { chunk } => {
+                out.push(OP_INGEST);
+                out.extend_from_slice(chunk);
+            }
+            Request::Cut => out.push(OP_CUT),
+            Request::Snapshot { interval } => {
+                out.push(OP_SNAPSHOT);
+                out.extend_from_slice(&interval.to_le_bytes());
+            }
+            Request::TopK { n } => {
+                out.push(OP_TOPK);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Request::Stats => out.push(OP_STATS),
+            Request::CloseSession => out.push(OP_CLOSE_SESSION),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a frame body into a request.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-class [`ServerError`] on any malformed
+    /// body: unknown opcode, truncation, trailing bytes, bad names.
+    pub fn decode(body: &[u8]) -> Result<Request, ServerError> {
+        let mut cursor = Cursor::new(body);
+        let request = match cursor.u8()? {
+            OP_OPEN => {
+                let name = cursor.name()?;
+                let kind = ProfilerKind::from_u8(cursor.u8()?)
+                    .ok_or_else(|| ServerError::protocol("unknown profiler kind"))?;
+                Request::Open {
+                    name,
+                    config: SessionConfig {
+                        kind,
+                        shards: cursor.u16()?,
+                        interval_len: cursor.u64()?,
+                        threshold: cursor.f64()?,
+                        seed: cursor.u64()?,
+                    },
+                }
+            }
+            OP_ATTACH => Request::Attach {
+                name: cursor.name()?,
+            },
+            OP_INGEST => Request::Ingest {
+                chunk: cursor.rest().to_vec(),
+            },
+            OP_CUT => Request::Cut,
+            OP_SNAPSHOT => Request::Snapshot {
+                interval: cursor.u64()?,
+            },
+            OP_TOPK => Request::TopK { n: cursor.u32()? },
+            OP_STATS => Request::Stats,
+            OP_CLOSE_SESSION => Request::CloseSession,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => {
+                return Err(ServerError::protocol_owned(format!(
+                    "unknown request opcode {op:#04x}"
+                )))
+            }
+        };
+        cursor.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Done => out.push(TAG_DONE),
+            Response::Session(info) => {
+                out.push(TAG_SESSION);
+                push_name(&mut out, &info.name);
+                out.push(info.config.kind.as_u8());
+                out.extend_from_slice(&info.config.shards.to_le_bytes());
+                out.extend_from_slice(&info.config.interval_len.to_le_bytes());
+                out.extend_from_slice(&info.config.threshold.to_le_bytes());
+                out.extend_from_slice(&info.config.seed.to_le_bytes());
+                out.extend_from_slice(&info.events.to_le_bytes());
+                out.extend_from_slice(&info.intervals.to_le_bytes());
+            }
+            Response::Ingested { events, intervals } => {
+                out.push(TAG_INGESTED);
+                out.extend_from_slice(&events.to_le_bytes());
+                out.extend_from_slice(&intervals.to_le_bytes());
+            }
+            Response::Profile(profile) => {
+                out.push(TAG_PROFILE);
+                out.extend_from_slice(&profile.interval_index.to_le_bytes());
+                out.extend_from_slice(&profile.interval_len.to_le_bytes());
+                out.extend_from_slice(&profile.threshold.to_le_bytes());
+                push_candidates(&mut out, &profile.candidates);
+            }
+            Response::NoProfile => out.push(TAG_NO_PROFILE),
+            Response::TopK(candidates) => {
+                out.push(TAG_TOPK);
+                push_candidates(&mut out, candidates);
+            }
+            Response::Stats(text) => {
+                out.push(TAG_STATS);
+                out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                out.extend_from_slice(text.as_bytes());
+            }
+            Response::Error { code, message } => {
+                out.push(TAG_ERROR);
+                out.push(code.as_u8());
+                let message = &message.as_bytes()[..message.len().min(u16::MAX as usize)];
+                out.extend_from_slice(&(message.len() as u16).to_le_bytes());
+                out.extend_from_slice(message);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame body into a response.
+    ///
+    /// # Errors
+    ///
+    /// A protocol-class [`ServerError`] on any malformed body.
+    pub fn decode(body: &[u8]) -> Result<Response, ServerError> {
+        let mut cursor = Cursor::new(body);
+        let response = match cursor.u8()? {
+            TAG_DONE => Response::Done,
+            TAG_SESSION => {
+                let name = cursor.name()?;
+                let kind = ProfilerKind::from_u8(cursor.u8()?)
+                    .ok_or_else(|| ServerError::protocol("unknown profiler kind"))?;
+                Response::Session(SessionInfo {
+                    name,
+                    config: SessionConfig {
+                        kind,
+                        shards: cursor.u16()?,
+                        interval_len: cursor.u64()?,
+                        threshold: cursor.f64()?,
+                        seed: cursor.u64()?,
+                    },
+                    events: cursor.u64()?,
+                    intervals: cursor.u64()?,
+                })
+            }
+            TAG_INGESTED => Response::Ingested {
+                events: cursor.u64()?,
+                intervals: cursor.u64()?,
+            },
+            TAG_PROFILE => Response::Profile(ProfileData {
+                interval_index: cursor.u64()?,
+                interval_len: cursor.u64()?,
+                threshold: cursor.f64()?,
+                candidates: read_candidates(&mut cursor)?,
+            }),
+            TAG_NO_PROFILE => Response::NoProfile,
+            TAG_TOPK => Response::TopK(read_candidates(&mut cursor)?),
+            TAG_STATS => {
+                let len = cursor.u32()? as usize;
+                Response::Stats(
+                    String::from_utf8(cursor.take(len)?.to_vec())
+                        .map_err(|_| ServerError::protocol("stats text is not utf-8"))?,
+                )
+            }
+            TAG_ERROR => {
+                let code = ErrorCode::from_u8(cursor.u8()?);
+                let len = cursor.u16()? as usize;
+                Response::Error {
+                    code,
+                    message: String::from_utf8_lossy(cursor.take(len)?).into_owned(),
+                }
+            }
+            tag => {
+                return Err(ServerError::protocol_owned(format!(
+                    "unknown response tag {tag:#04x}"
+                )))
+            }
+        };
+        cursor.finish()?;
+        Ok(response)
+    }
+}
+
+// ----------------------------------------------------------------- framing
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O failures from the writer; an over-[`MAX_FRAME_BYTES`] body is a
+/// protocol error (nothing is written).
+pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> Result<(), ServerError> {
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(ServerError::protocol("frame body exceeds MAX_FRAME_BYTES"));
+    }
+    writer.write_all(&(body.len() as u32).to_le_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame body. Returns `None` on a clean EOF at
+/// a frame boundary (the peer hung up between requests).
+///
+/// # Errors
+///
+/// I/O failures (including read timeouts, surfaced as
+/// [`std::io::ErrorKind::WouldBlock`] / `TimedOut`), a declared length
+/// over [`MAX_FRAME_BYTES`] (rejected before allocation), or truncation
+/// inside a frame.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, ServerError> {
+    /// Consecutive mid-frame timeouts tolerated before the peer is
+    /// declared stalled. With the server's read timeout this bounds a
+    /// half-written frame to roughly a minute, instead of forever.
+    const MAX_MID_FRAME_TIMEOUTS: u32 = 300;
+
+    // Fills `buf` completely. `frame_started` distinguishes an idle
+    // timeout at a frame boundary (surfaced to the caller, no bytes lost)
+    // from a timeout mid-frame (retried here, because returning would
+    // drop the bytes already consumed and desync the stream).
+    let mut fill = |buf: &mut [u8],
+                    mut frame_started: bool,
+                    what: &'static str|
+     -> Result<bool, ServerError> {
+        let mut filled = 0;
+        let mut timeouts = 0u32;
+        while filled < buf.len() {
+            match reader.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 && !frame_started => return Ok(false), // clean EOF
+                Ok(0) => return Err(ServerError::protocol(what)),
+                Ok(n) => {
+                    filled += n;
+                    frame_started = true;
+                    timeouts = 0;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if filled == 0 && !frame_started {
+                        return Err(ServerError::Io(e)); // idle at a boundary
+                    }
+                    timeouts += 1;
+                    if timeouts > MAX_MID_FRAME_TIMEOUTS {
+                        return Err(ServerError::protocol("peer stalled mid-frame"));
+                    }
+                }
+                Err(e) => return Err(ServerError::Io(e)),
+            }
+        }
+        Ok(true)
+    };
+
+    let mut len_bytes = [0u8; 4];
+    if !fill(&mut len_bytes, false, "frame truncated in length prefix")? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServerError::protocol("peer declared an oversized frame"));
+    }
+    let mut body = vec![0u8; len];
+    fill(&mut body, true, "frame truncated in body")?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: Request) {
+        let body = request.encode();
+        assert_eq!(Request::decode(&body).unwrap(), request);
+    }
+
+    fn roundtrip_response(response: Response) {
+        let body = response.encode();
+        assert_eq!(Response::decode(&body).unwrap(), response);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_request(Request::Open {
+            name: "gcc-run".into(),
+            config: SessionConfig::default_multi_hash(),
+        });
+        roundtrip_request(Request::Attach { name: "x".into() });
+        roundtrip_request(Request::Ingest {
+            chunk: mhp_pipeline::encode_chunk(&[Tuple::new(1, 2), Tuple::new(3, 4)]),
+        });
+        roundtrip_request(Request::Cut);
+        roundtrip_request(Request::Snapshot { interval: u64::MAX });
+        roundtrip_request(Request::TopK { n: 10 });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::CloseSession);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip_response(Response::Done);
+        roundtrip_response(Response::Session(SessionInfo {
+            name: "gcc-run".into(),
+            config: SessionConfig {
+                kind: ProfilerKind::Perfect,
+                shards: 8,
+                interval_len: 5_000,
+                threshold: 0.001,
+                seed: 7,
+            },
+            events: 123,
+            intervals: 4,
+        }));
+        roundtrip_response(Response::Ingested {
+            events: 10,
+            intervals: 2,
+        });
+        roundtrip_response(Response::Profile(ProfileData {
+            interval_index: 3,
+            interval_len: 10_000,
+            threshold: 0.01,
+            candidates: vec![
+                Candidate::new(Tuple::new(0x40, 7), 900),
+                Candidate::new(Tuple::new(0x44, 9), 120),
+            ],
+        }));
+        roundtrip_response(Response::NoProfile);
+        roundtrip_response(Response::TopK(vec![Candidate::new(Tuple::new(1, 1), 1)]));
+        roundtrip_response(Response::Stats("requests_total 5\n".into()));
+        roundtrip_response(Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: "no session named gcc".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_opcodes_and_tags_are_rejected() {
+        assert!(Request::decode(&[0xEE]).is_err());
+        assert!(Response::decode(&[0x70]).is_err());
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = Request::Cut.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn lying_candidate_count_is_rejected_without_allocation() {
+        let mut body = vec![TAG_TOPK];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&body).is_err());
+    }
+
+    #[test]
+    fn oversized_names_are_rejected() {
+        let mut body = vec![OP_ATTACH];
+        body.extend_from_slice(&u16::MAX.to_le_bytes());
+        body.extend_from_slice(&[b'a'; 1024]);
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        write_frame(&mut wire, &Request::Cut.encode()).unwrap();
+        let mut reader = wire.as_slice();
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(Request::decode(&first).unwrap(), Request::Stats);
+        let second = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(Request::decode(&second).unwrap(), Request::Cut);
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_declared_frame_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        assert!(read_frame(&mut &wire[..2]).is_err(), "inside the prefix");
+        assert!(
+            read_frame(&mut &wire[..4]).is_err(),
+            "prefix only, body missing"
+        );
+    }
+}

@@ -1,0 +1,520 @@
+//! The profiling service itself: a TCP listener, a fixed thread pool of
+//! connection handlers, and a registry of named sessions, each wrapping a
+//! live [`EngineSession`].
+//!
+//! ## Session lifecycle
+//!
+//! Sessions are *server-resident* and named: `open` creates one and
+//! attaches the connection; any other connection may `attach` to it by
+//! name (e.g. a dashboard issuing `topk` while a recorder streams chunks).
+//! A session outlives the connections using it and dies only on
+//! `close-session` or server shutdown, when remaining sessions are drained
+//! (their shard workers joined) before the process exits.
+//!
+//! ## Robustness
+//!
+//! * Connections past `max_connections` receive a `busy` error response
+//!   and are closed immediately — a graceful rejection, not a hang.
+//! * Reads carry a timeout so a silent peer cannot pin a pool thread
+//!   forever; each timeout re-checks the shutdown flag.
+//! * A protocol violation gets a best-effort error response, then the
+//!   connection is dropped (counted in `protocol_errors`).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mhp_core::IntervalConfig;
+use mhp_pipeline::{decode_chunk, EngineConfig, EngineSession, ShardedEngine};
+
+use crate::error::{ErrorCode, ServerError};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    read_frame, write_frame, ProfileData, Request, Response, SessionConfig, SessionInfo,
+    MAX_NAME_BYTES,
+};
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections served concurrently; one pool thread each.
+    pub max_connections: usize,
+    /// Per-connection read timeout. Idle connections wake at this cadence
+    /// to observe the shutdown flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 32,
+            read_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// One named, server-resident profiling session.
+struct Session {
+    config: SessionConfig,
+    /// The live engine; `None` once the session has been drained.
+    engine: Mutex<Option<EngineSession>>,
+}
+
+impl Session {
+    fn open(config: &SessionConfig) -> Result<Session, ServerError> {
+        let interval = IntervalConfig::new(config.interval_len, config.threshold)
+            .map_err(mhp_pipeline::Error::Config)?;
+        let engine = ShardedEngine::new(
+            EngineConfig::new(config.shards as usize),
+            interval,
+            config.kind.spec(),
+            config.seed,
+        )
+        .start()?;
+        Ok(Session {
+            config: config.clone(),
+            engine: Mutex::new(Some(engine)),
+        })
+    }
+
+    /// Runs `f` against the live engine, failing cleanly if the session
+    /// has been drained under us.
+    fn with_engine<T>(
+        &self,
+        f: impl FnOnce(&mut EngineSession) -> Result<T, ServerError>,
+    ) -> Result<T, ServerError> {
+        let mut guard = self.engine.lock().expect("session lock poisoned");
+        match guard.as_mut() {
+            Some(engine) => f(engine),
+            None => Err(ServerError::Remote {
+                code: ErrorCode::ShuttingDown,
+                message: "session was drained".into(),
+            }),
+        }
+    }
+
+    fn info(&self, name: &str) -> Result<SessionInfo, ServerError> {
+        self.with_engine(|engine| {
+            Ok(SessionInfo {
+                name: name.to_string(),
+                config: self.config.clone(),
+                events: engine.events(),
+                intervals: engine.intervals(),
+            })
+        })
+    }
+
+    /// Stops the shard workers. Idempotent.
+    fn drain(&self) {
+        if let Some(engine) = self.engine.lock().expect("session lock poisoned").take() {
+            // finish() joins the workers; the report is discarded — the
+            // profiles were queryable while the session lived.
+            let _ = engine.finish();
+        }
+    }
+}
+
+type Registry = Mutex<HashMap<String, Arc<Session>>>;
+
+/// Shared state every connection handler sees.
+struct Shared {
+    config: ServerConfig,
+    sessions: Registry,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+/// The profiling service. [`bind`](Server::bind) it to get a
+/// [`RunningServer`] handle.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if the address cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<RunningServer, ServerError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Poll the shutdown flag between accepts instead of blocking in
+        // accept() forever.
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&listener, &accept_shared, &done_tx, &done_rx);
+        });
+
+        Ok(RunningServer {
+            local_addr,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+}
+
+/// A bound, running server: inspect its address, trigger shutdown, wait
+/// for it to drain.
+#[derive(Debug)]
+pub struct RunningServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+// Shared holds no Debug members worth printing; keep the derive honest.
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunningServer {
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Rendered metrics, same text the `stats` query returns.
+    pub fn stats(&self) -> String {
+        self.shared.metrics.render()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, let in-flight
+    /// connections finish, drain every session. Returns immediately; use
+    /// [`join`](Self::join) to wait.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept loop and every connection to finish and all
+    /// sessions to be drained. Implies [`shutdown`](Self::shutdown).
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server shuts down — via a client `shutdown`
+    /// request or a concurrent [`shutdown`](Self::shutdown) call —
+    /// without triggering the shutdown itself.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts until shutdown, then waits for live handlers and drains
+/// sessions. Handler threads report completion over `done`; the loop
+/// counts live connections itself, so the limit is exact even though
+/// handlers run concurrently.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    done_tx: &Sender<()>,
+    done_rx: &Receiver<()>,
+) {
+    let mut live = 0usize;
+    let mut handles = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Reap finished handlers without blocking.
+        while done_rx.try_recv().is_ok() {
+            live -= 1;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if live >= shared.config.max_connections {
+                    shared.metrics.incr(&shared.metrics.connections_rejected);
+                    reject_busy(stream);
+                    continue;
+                }
+                live += 1;
+                shared.metrics.incr(&shared.metrics.connections_accepted);
+                shared.metrics.incr(&shared.metrics.connections_active);
+                let shared = Arc::clone(shared);
+                let done = done_tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.metrics.decr(&shared.metrics.connections_active);
+                    let _ = done.send(());
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Graceful drain: handlers observe the flag via read timeouts and
+    // exit; then the sessions' shard workers are joined.
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let sessions: Vec<Arc<Session>> = {
+        let mut registry = shared.sessions.lock().expect("registry lock poisoned");
+        registry.drain().map(|(_, s)| s).collect()
+    };
+    for session in sessions {
+        session.drain();
+        shared.metrics.incr(&shared.metrics.sessions_closed);
+    }
+}
+
+/// Best-effort `busy` response to an over-limit connection.
+fn reject_busy(stream: TcpStream) {
+    let mut writer = BufWriter::new(stream);
+    let body = Response::Error {
+        code: ErrorCode::Busy,
+        message: "server is at its connection limit".into(),
+    }
+    .encode();
+    let _ = write_frame(&mut writer, &body);
+    let _ = writer.flush();
+}
+
+/// Serves one connection until EOF, a protocol violation, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    // The session this connection opened or attached to, if any.
+    let mut attached: Option<(String, Arc<Session>)> = None;
+
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean EOF
+            Err(ServerError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(err) => {
+                // Protocol violation (or hard I/O error): answer if the
+                // socket still works, then hang up.
+                shared.metrics.incr(&shared.metrics.protocol_errors);
+                respond_error(&mut writer, &err);
+                return;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let refusal = ServerError::Remote {
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".into(),
+            };
+            respond_error(&mut writer, &refusal);
+            return;
+        }
+        shared.metrics.incr(&shared.metrics.requests_total);
+        let started = Instant::now();
+        let request = match Request::decode(&body) {
+            Ok(request) => request,
+            Err(err) => {
+                shared.metrics.incr(&shared.metrics.protocol_errors);
+                shared.metrics.incr(&shared.metrics.errors_total);
+                respond_error(&mut writer, &err);
+                return;
+            }
+        };
+        let response = match handle_request(request, &mut attached, shared) {
+            Ok(response) => response,
+            Err(err) => {
+                shared.metrics.incr(&shared.metrics.errors_total);
+                Response::Error {
+                    code: err.code(),
+                    message: err.wire_message(),
+                }
+            }
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+        shared.metrics.request_latency.record(started.elapsed());
+    }
+}
+
+fn respond_error(writer: &mut impl Write, err: &ServerError) {
+    let body = Response::Error {
+        code: err.code(),
+        message: err.wire_message(),
+    }
+    .encode();
+    let _ = write_frame(writer, &body);
+}
+
+/// Dispatches one decoded request against the shared state.
+fn handle_request(
+    request: Request,
+    attached: &mut Option<(String, Arc<Session>)>,
+    shared: &Shared,
+) -> Result<Response, ServerError> {
+    match request {
+        Request::Open { name, config } => {
+            if name.is_empty() || name.len() > MAX_NAME_BYTES {
+                return Err(ServerError::protocol("session name must be 1..=256 bytes"));
+            }
+            let session = Arc::new(Session::open(&config)?);
+            {
+                let mut registry = shared.sessions.lock().expect("registry lock poisoned");
+                if registry.contains_key(&name) {
+                    return Err(ServerError::Remote {
+                        code: ErrorCode::SessionExists,
+                        message: format!("session {name:?} already exists"),
+                    });
+                }
+                registry.insert(name.clone(), Arc::clone(&session));
+            }
+            shared.metrics.incr(&shared.metrics.sessions_opened);
+            let info = session.info(&name)?;
+            *attached = Some((name, session));
+            Ok(Response::Session(info))
+        }
+        Request::Attach { name } => {
+            let session = {
+                let registry = shared.sessions.lock().expect("registry lock poisoned");
+                registry.get(&name).cloned()
+            };
+            let session = session.ok_or_else(|| ServerError::Remote {
+                code: ErrorCode::UnknownSession,
+                message: format!("no session named {name:?}"),
+            })?;
+            let info = session.info(&name)?;
+            *attached = Some((name, session));
+            Ok(Response::Session(info))
+        }
+        Request::Ingest { chunk } => {
+            let session = require_attached(attached)?;
+            let decode_started = Instant::now();
+            let (events, consumed) = decode_chunk(&chunk)?;
+            shared.metrics.chunk_decode.record(decode_started.elapsed());
+            if consumed != chunk.len() {
+                return Err(ServerError::protocol("trailing bytes after ingest chunk"));
+            }
+            let (total_events, intervals) = session.with_engine(|engine| {
+                let before = engine.intervals();
+                engine.push_all(events.iter().copied());
+                let after = engine.intervals();
+                shared
+                    .metrics
+                    .add(&shared.metrics.intervals_completed, after - before);
+                Ok((engine.events(), after))
+            })?;
+            shared.metrics.incr(&shared.metrics.chunks_ingested);
+            shared
+                .metrics
+                .add(&shared.metrics.events_ingested, events.len() as u64);
+            Ok(Response::Ingested {
+                events: total_events,
+                intervals,
+            })
+        }
+        Request::Cut => {
+            let session = require_attached(attached)?;
+            let profile = session.with_engine(|engine| {
+                let before = engine.intervals();
+                let profile = engine.cut()?;
+                shared.metrics.add(
+                    &shared.metrics.intervals_completed,
+                    engine.intervals() - before,
+                );
+                Ok(profile)
+            })?;
+            Ok(match profile {
+                Some(profile) => Response::Profile(ProfileData::from_profile(&profile)),
+                None => Response::NoProfile,
+            })
+        }
+        Request::Snapshot { interval } => {
+            let session = require_attached(attached)?;
+            let profile = session.with_engine(|engine| {
+                let profiles = engine.profiles()?;
+                let index = if interval == u64::MAX {
+                    profiles.len().checked_sub(1)
+                } else {
+                    usize::try_from(interval).ok()
+                };
+                Ok(index
+                    .and_then(|i| profiles.get(i))
+                    .map(ProfileData::from_profile))
+            })?;
+            Ok(match profile {
+                Some(profile) => Response::Profile(profile),
+                None => Response::NoProfile,
+            })
+        }
+        Request::TopK { n } => {
+            let session = require_attached(attached)?;
+            let candidates = session.with_engine(|engine| Ok(engine.top_k(n as usize)?))?;
+            Ok(Response::TopK(candidates))
+        }
+        Request::Stats => Ok(Response::Stats(shared.metrics.render())),
+        Request::CloseSession => {
+            let (name, session) = attached.take().ok_or_else(|| {
+                ServerError::protocol("close-session requires an attached session")
+            })?;
+            shared
+                .sessions
+                .lock()
+                .expect("registry lock poisoned")
+                .remove(&name);
+            session.drain();
+            shared.metrics.incr(&shared.metrics.sessions_closed);
+            Ok(Response::Done)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Ok(Response::Done)
+        }
+    }
+}
+
+fn require_attached(
+    attached: &Option<(String, Arc<Session>)>,
+) -> Result<&Arc<Session>, ServerError> {
+    attached
+        .as_ref()
+        .map(|(_, session)| session)
+        .ok_or_else(|| ServerError::protocol("this request requires an open or attached session"))
+}

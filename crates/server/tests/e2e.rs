@@ -1,0 +1,278 @@
+//! End-to-end acceptance tests: a real server on an ephemeral port, real
+//! TCP clients, and equivalence against offline engine runs.
+
+use mhp_core::Tuple;
+use mhp_pipeline::{EngineConfig, ShardedEngine};
+use mhp_server::{
+    loadgen, stat_value, Client, ErrorCode, LoadgenConfig, ProfileData, ProfilerKind, Server,
+    ServerConfig, ServerError, SessionConfig,
+};
+use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+
+fn workload(seed: u64, n: usize) -> Vec<Tuple> {
+    StreamSpec::new(Benchmark::Gcc, StreamKind::Value, seed)
+        .events()
+        .take(n)
+        .collect()
+}
+
+fn offline_profiles(config: &SessionConfig, events: &[Tuple]) -> Vec<ProfileData> {
+    let interval = mhp_core::IntervalConfig::new(config.interval_len, config.threshold).unwrap();
+    let engine = ShardedEngine::new(
+        EngineConfig::new(config.shards as usize),
+        interval,
+        config.kind.spec(),
+        config.seed,
+    );
+    let report = engine.run(events.iter().copied()).unwrap();
+    report
+        .profiles
+        .iter()
+        .map(ProfileData::from_profile)
+        .collect()
+}
+
+/// The core acceptance criterion: a workload streamed chunk-by-chunk over
+/// TCP yields snapshots identical to an offline single-process run — exact
+/// for the perfect profiler across shards, exact for multi-hash on one
+/// shard (where the engine is literally the single-threaded computation).
+#[test]
+fn streamed_snapshots_match_offline_runs_exactly() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let events = workload(42, 25_000);
+
+    let configs = [
+        SessionConfig {
+            kind: ProfilerKind::MultiHash,
+            shards: 1,
+            interval_len: 5_000,
+            threshold: 0.01,
+            seed: 7,
+        },
+        SessionConfig {
+            kind: ProfilerKind::Perfect,
+            shards: 4,
+            interval_len: 5_000,
+            threshold: 0.01,
+            seed: 7,
+        },
+    ];
+    for (idx, config) in configs.iter().enumerate() {
+        let expected = offline_profiles(config, &events);
+        assert_eq!(expected.len(), 5);
+
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let name = format!("equiv-{idx}");
+        client.open_session(&name, config.clone()).unwrap();
+        let mut totals = (0, 0);
+        for chunk in events.chunks(1_024) {
+            totals = client.ingest(chunk).unwrap();
+        }
+        assert_eq!(totals, (25_000, 5), "{}", config.kind.name());
+
+        for (interval, reference) in expected.iter().enumerate() {
+            let got = client.snapshot(interval as u64).unwrap().unwrap();
+            assert_eq!(
+                got,
+                *reference,
+                "{} interval {interval}",
+                config.kind.name()
+            );
+        }
+        // u64::MAX resolves to the newest completed interval.
+        let latest = client.snapshot(u64::MAX).unwrap().unwrap();
+        assert_eq!(latest, expected[4]);
+        assert!(client.snapshot(5).unwrap().is_none(), "only 5 intervals");
+        client.close_session().unwrap();
+    }
+    server.join();
+}
+
+/// Live top-k over the wire equals the offline engine's live top-k, and a
+/// forced cut returns the partial interval's profile.
+#[test]
+fn top_k_and_forced_cut_match_the_offline_engine() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let events = workload(9, 7_500); // 5 000-interval => 2 500 partial
+    let config = SessionConfig {
+        kind: ProfilerKind::Perfect,
+        shards: 2,
+        interval_len: 5_000,
+        threshold: 0.01,
+        seed: 1,
+    };
+
+    let interval = mhp_core::IntervalConfig::new(config.interval_len, config.threshold).unwrap();
+    let engine = ShardedEngine::new(
+        EngineConfig::new(2),
+        interval,
+        config.kind.spec(),
+        config.seed,
+    );
+    let mut offline = engine.start().unwrap();
+    offline.push_all(events.iter().copied());
+    let expected_topk = offline.top_k(10).unwrap();
+    let expected_cut = offline.cut().unwrap().unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.open_session("livetopk", config).unwrap();
+    for chunk in events.chunks(512) {
+        client.ingest(chunk).unwrap();
+    }
+    let got_topk = client.top_k(10).unwrap();
+    assert_eq!(got_topk, expected_topk);
+    let got_cut = client.cut().unwrap().unwrap();
+    assert_eq!(got_cut, ProfileData::from_profile(&expected_cut));
+    // Nothing pending now: cutting again is a clean no-op.
+    assert!(client.cut().unwrap().is_none());
+    server.join();
+}
+
+/// A second connection can attach to a session by name and observe the
+/// state the first connection built.
+#[test]
+fn sessions_are_shared_across_connections() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let events = workload(3, 12_000);
+
+    let mut recorder = Client::connect(server.local_addr()).unwrap();
+    recorder
+        .open_session("shared", SessionConfig::default_multi_hash())
+        .unwrap();
+    for chunk in events.chunks(2_048) {
+        recorder.ingest(chunk).unwrap();
+    }
+
+    let mut dashboard = Client::connect(server.local_addr()).unwrap();
+    let info = dashboard.attach("shared").unwrap();
+    assert_eq!(info.events, 12_000);
+    assert_eq!(info.intervals, 1);
+    assert!(dashboard.snapshot(u64::MAX).unwrap().is_some());
+
+    // Unknown names are a typed error, not a hang or a disconnect.
+    let mut stranger = Client::connect(server.local_addr()).unwrap();
+    match stranger.attach("nope") {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("expected unknown-session, got {other:?}"),
+    }
+    // Re-opening a taken name is refused.
+    match stranger.open_session("shared", SessionConfig::default_multi_hash()) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::SessionExists),
+        other => panic!("expected session-exists, got {other:?}"),
+    }
+    server.join();
+}
+
+/// Eight concurrent loadgen clients complete with zero protocol errors,
+/// and the server's metrics show the traffic: non-zero counters and
+/// populated latency histograms.
+#[test]
+fn loadgen_eight_clients_clean_and_stats_populated() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let config = LoadgenConfig {
+        clients: 8,
+        events_per_client: 20_000,
+        chunk_events: 2_048,
+        session: SessionConfig::default_multi_hash(),
+        session_prefix: "lg".to_string(),
+    };
+    let report = loadgen(server.local_addr(), &config).unwrap();
+    assert_eq!(report.errors, 0, "no protocol errors under concurrency");
+    assert_eq!(report.events, 160_000);
+    assert_eq!(report.requests, 8 * 10);
+    assert!(report.events_per_sec() > 0.0);
+    assert!(report.latency.count() >= 80);
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stat_value(&stats, "events_ingested"), Some(160_000));
+    assert_eq!(stat_value(&stats, "chunks_ingested"), Some(80));
+    assert_eq!(stat_value(&stats, "sessions_opened"), Some(8));
+    assert_eq!(stat_value(&stats, "sessions_closed"), Some(8));
+    assert!(stat_value(&stats, "requests_total").unwrap() >= 80);
+    assert!(stat_value(&stats, "connections_accepted").unwrap() >= 8);
+    assert!(stat_value(&stats, "request_latency_count").unwrap() >= 80);
+    assert!(stat_value(&stats, "request_latency_p99_us").unwrap() > 0);
+    assert!(stat_value(&stats, "chunk_decode_count").unwrap() >= 80);
+    assert_eq!(stat_value(&stats, "protocol_errors"), Some(0));
+    server.join();
+}
+
+/// Connections beyond the limit receive a graceful `busy` error response
+/// instead of hanging or being reset.
+#[test]
+fn over_limit_connections_are_rejected_gracefully() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut first = Client::connect(server.local_addr()).unwrap();
+    first
+        .open_session("holder", SessionConfig::default_multi_hash())
+        .unwrap();
+
+    // The accept loop is single-threaded, so after the first client's
+    // request round-trips, a second connection must see `busy`.
+    let mut second = Client::connect(server.local_addr()).unwrap();
+    match second.call(&mhp_server::Request::Stats) {
+        Ok(mhp_server::Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Busy),
+        other => panic!("expected busy rejection, got {other:?}"),
+    }
+    drop(second);
+    drop(first);
+    server.join();
+}
+
+/// Malformed bytes get an error response and the connection is dropped;
+/// the server survives and keeps serving others.
+#[test]
+fn protocol_violations_are_contained() {
+    use std::io::Write as _;
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // An oversized declared frame: 4 GiB of nothing.
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    raw.flush().unwrap();
+    // The server answers with an error frame and hangs up.
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let body = mhp_server::protocol::read_frame(&mut reader)
+        .unwrap()
+        .unwrap();
+    match mhp_server::Response::decode(&body).unwrap() {
+        mhp_server::Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected error response, got {other:?}"),
+    }
+
+    // A fresh, well-behaved client still gets served.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stat_value(&stats, "protocol_errors").unwrap() >= 1);
+    server.join();
+}
+
+/// Graceful shutdown over the wire: in-flight sessions are drained, the
+/// accept loop exits, and the server process (here: thread) terminates.
+#[test]
+fn shutdown_request_drains_sessions_and_stops_the_server() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .open_session("draining", SessionConfig::default_multi_hash())
+        .unwrap();
+    client.ingest(&workload(5, 3_000)).unwrap();
+    client.shutdown_server().unwrap();
+    drop(client);
+
+    // wait() returns only when the accept loop has drained everything.
+    server.wait();
+
+    // The port is closed: new connections are refused.
+    assert!(std::net::TcpStream::connect(addr).is_err());
+}

@@ -21,4 +21,13 @@ cargo test --workspace -q
 echo "==> server integration smoke test"
 ci/server_smoke.sh
 
+# Perf smoke: a scaled-down hotpath run proves the bench harness still
+# executes end to end. Non-gating — throughput numbers vary by machine, so
+# a failure here warns instead of failing the gate.
+echo "==> hotpath bench smoke (non-gating)"
+if ! cargo run --release -p mhp-bench --bin mhp-bench -- hotpath \
+    --events 200000 --samples 1 --out target/BENCH_hotpath_smoke.json; then
+  echo "warning: hotpath bench smoke failed (non-gating)" >&2
+fi
+
 echo "ci/check.sh: all green"

@@ -1,0 +1,98 @@
+//! `mhp-bench` — perf-regression harness for the profiling hot path.
+//!
+//! ```text
+//! mhp-bench hotpath [--events N] [--seed S] [--batch B] [--samples K] [--out PATH]
+//! ```
+//!
+//! `hotpath` pushes a deterministic workload through each profiler
+//! per-event and batched (plus the sharded engine at 1/4/8 shards), prints
+//! an events/sec table, and writes the numbers as JSON (default
+//! `BENCH_hotpath.json`). CI runs a scaled-down pass as a non-gating smoke
+//! check; the JSON at the repo root is the committed reference run.
+
+use std::process::ExitCode;
+
+use mhp_bench::hotpath::{self, HotpathOptions};
+
+fn print_usage() {
+    eprintln!(
+        "usage: mhp-bench hotpath [--events N] [--seed S] [--batch B] [--samples K] [--out PATH]\n\
+         defaults: --events 2000000 --seed 51966 --batch 4096 --samples 3 --out BENCH_hotpath.json"
+    );
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("hotpath") => {}
+        Some("--help") | Some("-h") => {
+            print_usage();
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut opts = HotpathOptions::default();
+    let mut out_path = String::from("BENCH_hotpath.json");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--events" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.events = n,
+                _ => {
+                    eprintln!("--events needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => opts.seed = s,
+                _ => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(b)) if b > 0 => opts.batch = b,
+                _ => {
+                    eprintln!("--batch needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--samples" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(k)) if k > 0 => opts.samples = k,
+                _ => {
+                    eprintln!("--samples needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = hotpath::run(&opts);
+    print!("{}", report.render());
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

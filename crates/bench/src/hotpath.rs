@@ -1,0 +1,334 @@
+//! The `mhp-bench hotpath` runner: sustained events/sec through the sketch
+//! hot path, per-event vs batched, plus the sharded engine end to end.
+//!
+//! This is the perf-regression harness for the batched
+//! [`observe_batch`](mhp_core::EventProfiler::observe_batch) path: it times
+//! the same deterministic stream through each profiler both ways and
+//! reports the best of `samples` passes, so a regression in the batched
+//! loop (or the flattened counter block behind it) shows up as a drop in
+//! `events_per_sec` rather than a silently slower CI.
+//!
+//! The output is a small hand-rolled JSON document (`BENCH_hotpath.json`
+//! at the repo root, by convention) — stable keys, no external
+//! serialization dependency.
+
+use std::time::Instant;
+
+use mhp_core::{
+    EventProfiler, IntervalConfig, MultiHashConfig, MultiHashProfiler, PerfectProfiler,
+    SingleHashConfig, SingleHashProfiler, Tuple,
+};
+use mhp_pipeline::{EngineConfig, ProfilerSpec, ShardedEngine};
+use mhp_trace::Benchmark;
+
+/// Knobs for a hotpath run.
+#[derive(Debug, Clone)]
+pub struct HotpathOptions {
+    /// Events in the timed stream.
+    pub events: u64,
+    /// Stream seed; the same seed reproduces every number's workload.
+    pub seed: u64,
+    /// Events per `observe_batch` call (and per engine chunk).
+    pub batch: usize,
+    /// Timed passes per case; the best (lowest wall time) is reported.
+    pub samples: usize,
+    /// Shard counts to run the end-to-end engine at.
+    pub shards: Vec<usize>,
+}
+
+impl Default for HotpathOptions {
+    fn default() -> Self {
+        HotpathOptions {
+            events: 2_000_000,
+            seed: 0xCAFE,
+            batch: 4_096,
+            samples: 3,
+            shards: vec![1, 4, 8],
+        }
+    }
+}
+
+/// One timed configuration: a profiler (or engine) in one ingest mode.
+#[derive(Debug, Clone)]
+pub struct HotpathCase {
+    /// Profiler under test: `multi-hash`, `single-hash`, `perfect`, or
+    /// `engine-<n>shard`.
+    pub name: String,
+    /// `per-event` (one `observe` call per tuple) or `batched`
+    /// (`observe_batch` over `batch`-sized slices).
+    pub mode: String,
+    /// Events pushed through the profiler in one timed pass.
+    pub events: u64,
+    /// Best wall time over the configured samples, in seconds.
+    pub best_secs: f64,
+    /// `events / best_secs` — the headline throughput number.
+    pub events_per_sec: f64,
+    /// Interval profiles the run emitted (a cheap cross-check that the
+    /// timed work actually happened and matched between modes).
+    pub intervals: u64,
+}
+
+/// The full result set of one hotpath run.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Options the run was configured with.
+    pub options: HotpathOptions,
+    /// One entry per (profiler, mode) configuration, in run order.
+    pub cases: Vec<HotpathCase>,
+}
+
+/// Times `pass` `samples` times and returns the best seconds plus the
+/// interval count the last pass reported (identical across passes — the
+/// stream and profiler construction are deterministic).
+fn best_of(samples: usize, mut pass: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut intervals = 0;
+    for _ in 0..samples.max(1) {
+        let started = Instant::now();
+        intervals = pass();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (best, intervals)
+}
+
+fn case(
+    name: &str,
+    mode: &str,
+    events: u64,
+    samples: usize,
+    pass: impl FnMut() -> u64,
+) -> HotpathCase {
+    let (best_secs, intervals) = best_of(samples, pass);
+    HotpathCase {
+        name: name.to_string(),
+        mode: mode.to_string(),
+        events,
+        best_secs,
+        events_per_sec: events as f64 / best_secs.max(f64::MIN_POSITIVE),
+        intervals,
+    }
+}
+
+/// Runs every configuration and collects the report.
+///
+/// The stream is materialized once (`Benchmark::Li` value tuples) so every
+/// case times pure profiler work over identical input, not stream
+/// generation.
+pub fn run(opts: &HotpathOptions) -> HotpathReport {
+    let stream: Vec<Tuple> = Benchmark::Li
+        .value_stream(opts.seed)
+        .take(opts.events as usize)
+        .collect();
+    let events = stream.len() as u64;
+    // Scale the interval so ~20 intervals complete at any --events, so the
+    // timed loop exercises promotion, interval cuts, and resets — not just
+    // counter bumps.
+    let interval_len = (opts.events / 20).max(1_000);
+    let interval = IntervalConfig::new(interval_len, 0.01).expect("valid interval config");
+    let multi = MultiHashConfig::best();
+    let single = SingleHashConfig::best();
+    let mut cases = Vec::new();
+
+    cases.push(case(
+        "multi-hash",
+        "per-event",
+        events,
+        opts.samples,
+        || {
+            let mut p = MultiHashProfiler::new(interval, multi, opts.seed).expect("valid profiler");
+            let mut intervals = 0u64;
+            for &t in &stream {
+                intervals += u64::from(p.observe(t).is_some());
+            }
+            intervals
+        },
+    ));
+    cases.push(case("multi-hash", "batched", events, opts.samples, || {
+        let mut p = MultiHashProfiler::new(interval, multi, opts.seed).expect("valid profiler");
+        let mut intervals = 0u64;
+        for chunk in stream.chunks(opts.batch.max(1)) {
+            intervals += p.observe_batch(chunk).len() as u64;
+        }
+        intervals
+    }));
+    cases.push(case(
+        "single-hash",
+        "per-event",
+        events,
+        opts.samples,
+        || {
+            let mut p =
+                SingleHashProfiler::new(interval, single, opts.seed).expect("valid profiler");
+            let mut intervals = 0u64;
+            for &t in &stream {
+                intervals += u64::from(p.observe(t).is_some());
+            }
+            intervals
+        },
+    ));
+    cases.push(case("single-hash", "batched", events, opts.samples, || {
+        let mut p = SingleHashProfiler::new(interval, single, opts.seed).expect("valid profiler");
+        let mut intervals = 0u64;
+        for chunk in stream.chunks(opts.batch.max(1)) {
+            intervals += p.observe_batch(chunk).len() as u64;
+        }
+        intervals
+    }));
+    cases.push(case("perfect", "batched", events, opts.samples, || {
+        let mut p = PerfectProfiler::new(interval);
+        let mut intervals = 0u64;
+        for chunk in stream.chunks(opts.batch.max(1)) {
+            intervals += p.observe_batch(chunk).len() as u64;
+        }
+        intervals
+    }));
+
+    for &shards in &opts.shards {
+        let name = format!("engine-{shards}shard");
+        cases.push(case(&name, "batched", events, opts.samples, || {
+            let engine = ShardedEngine::new(
+                EngineConfig::new(shards).with_batch_events(opts.batch.max(1)),
+                interval,
+                ProfilerSpec::MultiHash(multi),
+                opts.seed,
+            );
+            let mut session = engine.start().expect("engine starts");
+            session
+                .push_all(stream.iter().copied())
+                .expect("workers stay alive");
+            let report = session.finish().expect("engine finishes");
+            report.intervals
+        }));
+    }
+
+    HotpathReport {
+        options: opts.clone(),
+        cases,
+    }
+}
+
+impl HotpathReport {
+    /// The report as a JSON document with stable keys.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"hotpath\",\n");
+        out.push_str(&format!("  \"events\": {},\n", self.options.events));
+        out.push_str(&format!("  \"seed\": {},\n", self.options.seed));
+        out.push_str(&format!("  \"batch\": {},\n", self.options.batch));
+        out.push_str(&format!("  \"samples\": {},\n", self.options.samples));
+        out.push_str("  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mode\": \"{}\", \"events\": {}, \
+                 \"best_secs\": {:.6}, \"events_per_sec\": {:.0}, \"intervals\": {}}}{}\n",
+                c.name,
+                c.mode,
+                c.events,
+                c.best_secs,
+                c.events_per_sec,
+                c.intervals,
+                if i + 1 == self.cases.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// An aligned human-readable table for stdout.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "hotpath: {} events, seed {}, batch {}, best of {}\n",
+            self.options.events, self.options.seed, self.options.batch, self.options.samples
+        );
+        out.push_str(&format!(
+            "{:<16} {:<10} {:>12} {:>10} {:>10}\n",
+            "profiler", "mode", "events/sec", "secs", "intervals"
+        ));
+        for c in &self.cases {
+            out.push_str(&format!(
+                "{:<16} {:<10} {:>12.0} {:>10.4} {:>10}\n",
+                c.name, c.mode, c.events_per_sec, c.best_secs, c.intervals
+            ));
+        }
+        out
+    }
+
+    /// Looks up one case's throughput by `(name, mode)`.
+    pub fn events_per_sec(&self, name: &str, mode: &str) -> Option<f64> {
+        self.cases
+            .iter()
+            .find(|c| c.name == name && c.mode == mode)
+            .map(|c| c.events_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HotpathOptions {
+        HotpathOptions {
+            events: 30_000,
+            seed: 7,
+            batch: 1_024,
+            samples: 1,
+            shards: vec![1],
+        }
+    }
+
+    #[test]
+    fn runs_every_case_and_reports_positive_throughput() {
+        let report = run(&tiny());
+        assert_eq!(report.cases.len(), 6); // 5 profiler cases + 1 engine
+        for c in &report.cases {
+            assert!(
+                c.events_per_sec > 0.0,
+                "{}/{} has no throughput",
+                c.name,
+                c.mode
+            );
+            assert_eq!(c.events, 30_000);
+        }
+    }
+
+    #[test]
+    fn per_event_and_batched_modes_emit_the_same_intervals() {
+        let report = run(&tiny());
+        for name in ["multi-hash", "single-hash"] {
+            let per_event = report
+                .cases
+                .iter()
+                .find(|c| c.name == name && c.mode == "per-event")
+                .unwrap();
+            let batched = report
+                .cases
+                .iter()
+                .find(|c| c.name == name && c.mode == "batched")
+                .unwrap();
+            assert_eq!(per_event.intervals, batched.intervals, "{name}");
+            assert!(per_event.intervals > 0, "{name} never cut an interval");
+        }
+    }
+
+    #[test]
+    fn json_has_stable_keys_and_every_case() {
+        let report = run(&tiny());
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        for key in ["\"benchmark\"", "\"events\"", "\"seed\"", "\"cases\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(json.contains("\"multi-hash\""));
+        assert!(json.contains("\"engine-1shard\""));
+        assert_eq!(json.matches("\"best_secs\"").count(), report.cases.len());
+    }
+
+    #[test]
+    fn render_mentions_every_case_name() {
+        let report = run(&tiny());
+        let text = report.render();
+        assert!(text.contains("multi-hash"));
+        assert!(text.contains("perfect"));
+        assert!(text.contains("events/sec"));
+    }
+}

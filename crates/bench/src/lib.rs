@@ -16,5 +16,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod hotpath;
 
 pub use harness::{ProfilerKind, RunOptions};

@@ -277,6 +277,26 @@ impl HashFamily {
     pub fn indices(&self, tuple: Tuple) -> impl Iterator<Item = usize> + '_ {
         self.hashers.iter().map(move |h| h.index(tuple))
     }
+
+    /// Writes `tuple`'s index in every table into `out`, in table order —
+    /// the allocation-free twin of [`indices`](Self::indices) used by the
+    /// profiler hot path (the caller owns a scratch buffer sized once at
+    /// construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    #[inline]
+    pub fn indices_into(&self, tuple: Tuple, out: &mut [usize]) {
+        assert_eq!(
+            out.len(),
+            self.hashers.len(),
+            "scratch buffer must hold one index per table"
+        );
+        for (slot, hasher) in out.iter_mut().zip(&self.hashers) {
+            *slot = hasher.index(tuple);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -422,5 +442,25 @@ mod tests {
         let via_iter: Vec<usize> = family.indices(t).collect();
         let via_hashers: Vec<usize> = family.hashers().iter().map(|h| h.index(t)).collect();
         assert_eq!(via_iter, via_hashers);
+    }
+
+    #[test]
+    fn indices_into_matches_indices() {
+        let family = HashFamily::new(4, 256, 9).unwrap();
+        let mut scratch = [0usize; 4];
+        for i in 0..64u64 {
+            let t = Tuple::new(0x400000 + i * 4, i);
+            family.indices_into(t, &mut scratch);
+            let via_iter: Vec<usize> = family.indices(t).collect();
+            assert_eq!(scratch.as_slice(), via_iter.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one index per table")]
+    fn indices_into_rejects_wrong_scratch_len() {
+        let family = HashFamily::new(4, 256, 9).unwrap();
+        let mut scratch = [0usize; 3];
+        family.indices_into(Tuple::new(1, 1), &mut scratch);
     }
 }

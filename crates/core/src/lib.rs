@@ -72,7 +72,7 @@ pub mod tuple;
 
 pub use accumulator::{AccumulatorEntry, AccumulatorTable};
 pub use area::AreaModel;
-pub use counter::{CounterArray, COUNTER_MAX};
+pub use counter::{CounterArray, CounterBlock, COUNTER_MAX};
 pub use error::{ConfigError, MergeError};
 pub use hash::{HashFamily, TupleHasher};
 pub use interval::IntervalConfig;

@@ -20,7 +20,7 @@
 //!   configuration is `C1 R0` with 4 tables.
 
 use crate::accumulator::AccumulatorTable;
-use crate::counter::CounterArray;
+use crate::counter::{CounterBlock, COUNTER_MAX};
 use crate::error::ConfigError;
 use crate::hash::HashFamily;
 use crate::interval::IntervalConfig;
@@ -206,14 +206,20 @@ pub struct MultiHashProfiler {
     interval: IntervalConfig,
     config: MultiHashConfig,
     family: HashFamily,
-    tables: Vec<CounterArray>,
+    /// All n tables' counters, flattened into one contiguous block (table
+    /// `t` at flat offset `t * table_entries`) so a tuple's n counters land
+    /// on predictable cache lines.
+    block: CounterBlock,
     accumulator: AccumulatorTable,
     threshold: u64,
     events: u64,
     interval_idx: u64,
-    /// Scratch buffer for the per-event table indices (avoids an allocation
-    /// on every event).
+    /// Scratch buffer holding the current tuple's *flat* block indices
+    /// (avoids an allocation on every event).
     scratch: Vec<usize>,
+    /// Scratch buffer holding the counter values read at those indices, so
+    /// the conservative-update path reads each counter exactly once.
+    vals: Vec<u32>,
 }
 
 impl MultiHashProfiler {
@@ -230,20 +236,19 @@ impl MultiHashProfiler {
         seed: u64,
     ) -> Result<Self, ConfigError> {
         let family = HashFamily::new(config.num_tables(), config.table_entries(), seed)?;
-        let tables = (0..config.num_tables())
-            .map(|_| CounterArray::new(config.table_entries()))
-            .collect();
+        let block = CounterBlock::new(config.num_tables(), config.table_entries());
         let accumulator = AccumulatorTable::new(interval.accumulator_capacity())?;
         Ok(MultiHashProfiler {
             interval,
             config,
             family,
-            tables,
+            block,
             accumulator,
             threshold: interval.threshold_count(),
             events: 0,
             interval_idx: 0,
             scratch: vec![0; config.num_tables()],
+            vals: vec![0; config.num_tables()],
         })
     }
 
@@ -259,10 +264,18 @@ impl MultiHashProfiler {
         &self.accumulator
     }
 
-    /// Read-only views of the hash tables, in table order.
+    /// The flattened counter block: all n tables in one contiguous
+    /// allocation, table `t` at [`CounterBlock::table`]`(t)`.
     #[inline]
-    pub fn tables(&self) -> &[CounterArray] {
-        &self.tables
+    pub fn counters(&self) -> &CounterBlock {
+        &self.block
+    }
+
+    /// Counter values of table `t`, in slot order — the per-table view over
+    /// the flat [`counters`](Self::counters) block.
+    #[inline]
+    pub fn table_values(&self, t: usize) -> &[u32] {
+        self.block.table(t)
     }
 
     /// The hash-function family in use.
@@ -276,28 +289,22 @@ impl MultiHashProfiler {
     pub fn sketch_estimate(&self, tuple: Tuple) -> u64 {
         self.family
             .indices(tuple)
-            .zip(self.tables.iter())
-            .map(|(idx, table)| u64::from(table.get(idx)))
+            .enumerate()
+            .map(|(t, idx)| u64::from(self.block.get(self.block.flat_index(t, idx))))
             .min()
             .unwrap_or(0)
     }
 
     /// Total hardware storage modelled, in bytes.
     pub fn storage_bytes(&self) -> usize {
-        self.tables
-            .iter()
-            .map(CounterArray::storage_bytes)
-            .sum::<usize>()
-            + self.accumulator.storage_bytes()
+        self.block.storage_bytes() + self.accumulator.storage_bytes()
     }
 
     fn end_interval(&mut self) -> IntervalProfile {
         let candidates = self
             .accumulator
             .finish_interval(self.config.retaining, self.threshold);
-        for table in &mut self.tables {
-            table.clear();
-        }
+        self.block.clear();
         let profile =
             IntervalProfile::from_candidates(self.interval_idx, self.interval, candidates);
         self.interval_idx += 1;
@@ -305,38 +312,111 @@ impl MultiHashProfiler {
         profile
     }
 
+    /// Writes the tuple's *flat* block indices into `scratch`.
+    #[inline]
+    fn fill_scratch(&mut self, tuple: Tuple) {
+        self.family.indices_into(tuple, &mut self.scratch);
+        let stride = self.block.stride();
+        for (t, slot) in self.scratch.iter_mut().enumerate() {
+            *slot += t * stride;
+        }
+    }
+
+    /// Conservative update (Estan & Varghese): increment only the counter(s)
+    /// holding the minimum value; ties mean all minima move. Reads every
+    /// counter exactly once (values are cached in `vals`), and short-circuits
+    /// when the minimum is already saturated — at [`COUNTER_MAX`] every tie
+    /// is a "minimum", so without the short-circuit a fully saturated tuple
+    /// would touch all n counters on every event for no effect.
+    ///
+    /// Returns the post-update minimum. Requires `scratch` to be filled.
+    #[inline]
+    fn bump_conservative(&mut self) -> u64 {
+        let mut min = u32::MAX;
+        for (&flat, val) in self.scratch.iter().zip(self.vals.iter_mut()) {
+            let v = self.block.get(flat);
+            *val = v;
+            min = min.min(v);
+        }
+        if min >= COUNTER_MAX {
+            return u64::from(COUNTER_MAX);
+        }
+        // Every counter equal to `min` moves to `min + 1`; every other
+        // counter already exceeds it, so the new minimum is exactly
+        // `min + 1` — no second read of the block needed.
+        let new_min = min + 1;
+        for (&flat, &val) in self.scratch.iter().zip(self.vals.iter()) {
+            if val == min {
+                self.block.store(flat, new_min);
+            }
+        }
+        u64::from(new_min)
+    }
+
+    /// Plain update: increment all n counters, return the new minimum.
+    /// Requires `scratch` to be filled.
+    #[inline]
+    fn bump_plain(&mut self) -> u64 {
+        let mut new_min = u32::MAX;
+        for &flat in &self.scratch {
+            new_min = new_min.min(self.block.increment(flat));
+        }
+        u64::from(new_min)
+    }
+
     /// Applies the update function to the tuple's counters and returns the
     /// post-update minimum counter value.
     fn update_counters(&mut self, tuple: Tuple) -> u64 {
-        for (slot, idx) in self.scratch.iter_mut().zip(self.family.indices(tuple)) {
-            *slot = idx;
-        }
+        self.fill_scratch(tuple);
         if self.config.conservative_update {
-            // Increment only the counter(s) holding the minimum value
-            // (ties: all minima). Per Estan & Varghese.
-            let min = self
-                .scratch
-                .iter()
-                .zip(self.tables.iter())
-                .map(|(&idx, table)| table.get(idx))
-                .min()
-                .expect("at least one table");
-            let mut new_min = u32::MAX;
-            for (&idx, table) in self.scratch.iter().zip(self.tables.iter_mut()) {
-                let value = if table.get(idx) == min {
-                    table.increment(idx)
-                } else {
-                    table.get(idx)
-                };
-                new_min = new_min.min(value);
-            }
-            u64::from(new_min)
+            self.bump_conservative()
         } else {
-            let mut new_min = u32::MAX;
-            for (&idx, table) in self.scratch.iter().zip(self.tables.iter_mut()) {
-                new_min = new_min.min(table.increment(idx));
+            self.bump_plain()
+        }
+    }
+
+    /// The batched hot path, monomorphized per configuration corner so the
+    /// `conservative` / `resetting` / `shielding` branches are resolved at
+    /// compile time instead of per event. Bit-for-bit identical to calling
+    /// [`EventProfiler::observe`] on every element of `batch`.
+    fn batch_loop<const CONSERVATIVE: bool, const RESETTING: bool, const SHIELDING: bool>(
+        &mut self,
+        batch: &[Tuple],
+        out: &mut Vec<IntervalProfile>,
+    ) {
+        let threshold = self.threshold;
+        for &tuple in batch {
+            let resident = self.accumulator.observe(tuple, threshold);
+            if !resident {
+                self.fill_scratch(tuple);
+                let min_after = if CONSERVATIVE {
+                    self.bump_conservative()
+                } else {
+                    self.bump_plain()
+                };
+                if min_after >= threshold {
+                    let promoted = self.accumulator.insert(tuple, threshold);
+                    if RESETTING && promoted {
+                        // `scratch` still holds this tuple's flat indices.
+                        for &flat in &self.scratch {
+                            self.block.reset(flat);
+                        }
+                    }
+                }
+            } else if !SHIELDING {
+                // Ablation mode: resident tuples still update the hash
+                // tables (but are never re-promoted — already resident).
+                self.fill_scratch(tuple);
+                if CONSERVATIVE {
+                    self.bump_conservative();
+                } else {
+                    self.bump_plain();
+                }
             }
-            u64::from(new_min)
+            self.events += 1;
+            if self.interval.is_boundary(self.events) {
+                out.push(self.end_interval());
+            }
         }
     }
 }
@@ -361,9 +441,9 @@ impl EventProfiler for MultiHashProfiler {
             if min_after >= self.threshold {
                 let promoted = self.accumulator.insert(tuple, self.threshold);
                 if promoted && self.config.resetting {
-                    // `scratch` still holds this tuple's indices.
-                    for (&idx, table) in self.scratch.iter().zip(self.tables.iter_mut()) {
-                        table.reset(idx);
+                    // `scratch` still holds this tuple's flat indices.
+                    for &flat in &self.scratch {
+                        self.block.reset(flat);
                     }
                 }
             }
@@ -374,6 +454,26 @@ impl EventProfiler for MultiHashProfiler {
         } else {
             None
         }
+    }
+
+    fn observe_batch(&mut self, batch: &[Tuple]) -> Vec<IntervalProfile> {
+        let mut out = Vec::new();
+        // One three-way branch per batch selects the monomorphized loop.
+        match (
+            self.config.conservative_update,
+            self.config.resetting,
+            self.config.shielding,
+        ) {
+            (false, false, false) => self.batch_loop::<false, false, false>(batch, &mut out),
+            (false, false, true) => self.batch_loop::<false, false, true>(batch, &mut out),
+            (false, true, false) => self.batch_loop::<false, true, false>(batch, &mut out),
+            (false, true, true) => self.batch_loop::<false, true, true>(batch, &mut out),
+            (true, false, false) => self.batch_loop::<true, false, false>(batch, &mut out),
+            (true, false, true) => self.batch_loop::<true, false, true>(batch, &mut out),
+            (true, true, false) => self.batch_loop::<true, true, false>(batch, &mut out),
+            (true, true, true) => self.batch_loop::<true, true, true>(batch, &mut out),
+        }
+        out
     }
 
     fn finish_interval(&mut self) -> IntervalProfile {
@@ -389,9 +489,7 @@ impl EventProfiler for MultiHashProfiler {
     }
 
     fn reset(&mut self) {
-        for table in &mut self.tables {
-            table.clear();
-        }
+        self.block.clear();
         self.accumulator.clear();
         self.events = 0;
         self.interval_idx = 0;
@@ -424,10 +522,20 @@ mod tests {
             MultiHashConfig::new(2048, 3),
             Err(ConfigError::EntriesNotDivisible { .. })
         ));
+        // 2044 / 4 = 511 — the split is even, so it must be the
+        // power-of-two check (with the exact per-table size) that fires.
         assert!(matches!(
-            MultiHashConfig::new(2044, 4), // 511 per table
-            Err(ConfigError::EntriesNotDivisible { .. })
-                | Err(ConfigError::EntriesNotPowerOfTwo(_))
+            MultiHashConfig::new(2044, 4),
+            Err(ConfigError::EntriesNotPowerOfTwo(511))
+        ));
+        // 2045 / 4 genuinely does not divide: the divisibility check fires
+        // first, reporting the inputs as given.
+        assert!(matches!(
+            MultiHashConfig::new(2045, 4),
+            Err(ConfigError::EntriesNotDivisible {
+                total: 2045,
+                tables: 4
+            })
         ));
         assert!(MultiHashConfig::new(2048, 16).is_ok()); // 128 per table
     }
@@ -482,8 +590,8 @@ mod tests {
         let values: Vec<u32> = p
             .family
             .indices(t)
-            .zip(p.tables.iter())
-            .map(|(idx, table)| table.get(idx))
+            .enumerate()
+            .map(|(table, idx)| p.table_values(table)[idx])
             .collect();
         assert_eq!(values, vec![1, 1, 1, 1]);
         assert_eq!(p.sketch_estimate(t), 1);
@@ -537,10 +645,8 @@ mod tests {
             cons.observe(t);
         }
         // Counter-by-counter, conservative update never exceeds plain update.
-        for (tp, tc) in plain.tables.iter().zip(cons.tables.iter()) {
-            for (vp, vc) in tp.iter().zip(tc.iter()) {
-                assert!(vc <= vp, "conservative {vc} > plain {vp}");
-            }
+        for (vp, vc) in plain.counters().iter().zip(cons.counters().iter()) {
+            assert!(vc <= vp, "conservative {vc} > plain {vp}");
         }
     }
 
@@ -586,8 +692,12 @@ mod tests {
             p.observe(hot);
         }
         assert!(p.accumulator().contains(hot));
-        for (idx, table) in p.family.indices(hot).zip(p.tables.iter()) {
-            assert_eq!(table.get(idx), 0, "R1 must zero every table's counter");
+        for (table, idx) in p.family.indices(hot).enumerate() {
+            assert_eq!(
+                p.table_values(table)[idx],
+                0,
+                "R1 must zero every table's counter"
+            );
         }
     }
 
@@ -597,12 +707,10 @@ mod tests {
         for i in 0..100u64 {
             p.observe(Tuple::new(i % 5, 0));
         }
-        for table in p.tables() {
-            assert!(
-                table.iter().all(|c| c == 0),
-                "tables flushed at interval end"
-            );
-        }
+        assert!(
+            p.counters().iter().all(|c| c == 0),
+            "tables flushed at interval end"
+        );
         assert_eq!(p.interval_index(), 1);
     }
 
@@ -616,11 +724,11 @@ mod tests {
         }
         // Promotion happened at 10; without shielding all four counters kept
         // counting the remaining 50 occurrences.
-        for (idx, table) in p.family.indices(hot).zip(p.tables.iter()) {
+        for (table, idx) in p.family.indices(hot).enumerate() {
+            let value = p.table_values(table)[idx];
             assert!(
-                table.get(idx) >= 60,
-                "counter {} should keep growing without shielding",
-                table.get(idx)
+                value >= 60,
+                "counter {value} should keep growing without shielding"
             );
         }
         assert_eq!(p.accumulator().count_of(hot), Some(60));
@@ -683,6 +791,96 @@ mod tests {
         assert_eq!(p.events_in_current_interval(), 0);
         assert_eq!(p.interval_index(), 0);
         assert!(p.accumulator().is_empty());
-        assert!(p.tables().iter().all(|t| t.iter().all(|c| c == 0)));
+        assert!(p.counters().iter().all(|c| c == 0));
+    }
+
+    #[test]
+    fn counter_block_is_contiguous_with_per_table_offsets() {
+        let p = profiler(1_000, 0.01, MultiHashConfig::best());
+        let block = p.counters();
+        assert_eq!(block.tables(), 4);
+        assert_eq!(block.stride(), 512);
+        assert_eq!(block.len(), 2048);
+        // Flat index arithmetic matches the per-table views.
+        assert_eq!(block.flat_index(3, 511), 2047);
+    }
+
+    #[test]
+    fn saturated_minima_short_circuit_under_c1() {
+        // Threshold far above COUNTER_MAX: the tuple can never be promoted,
+        // so every occurrence keeps driving the (saturating) counters.
+        let interval = IntervalConfig::new(1 << 33, 0.5).unwrap();
+        let cfg = MultiHashConfig::new(64, 4).unwrap(); // C1
+        let mut p = MultiHashProfiler::new(interval, cfg, 7).unwrap();
+        let t = Tuple::new(42, 42);
+
+        // Preset the tuple's four counters just below saturation.
+        let flats: Vec<usize> = {
+            let mut scratch = vec![0usize; 4];
+            p.hash_family().indices_into(t, &mut scratch);
+            scratch
+                .iter()
+                .enumerate()
+                .map(|(table, &idx)| p.counters().flat_index(table, idx))
+                .collect()
+        };
+        for &flat in &flats {
+            p.block.values_mut()[flat] = COUNTER_MAX - 2;
+        }
+
+        let mut true_count = u64::from(COUNTER_MAX - 2);
+        for _ in 0..10 {
+            assert!(p.observe(t).is_none());
+            true_count += 1;
+            // The estimate must never undercount, up to the hardware
+            // counters' saturation ceiling.
+            assert_eq!(
+                p.sketch_estimate(t),
+                true_count.min(u64::from(COUNTER_MAX)),
+                "sketch undercounted at true count {true_count}"
+            );
+        }
+        // All four counters pinned at saturation — ties at COUNTER_MAX are
+        // all "minima", and the short-circuit leaves them untouched.
+        for &flat in &flats {
+            assert_eq!(p.counters().get(flat), COUNTER_MAX);
+        }
+        assert!(!p.accumulator().contains(t), "threshold above COUNTER_MAX");
+    }
+
+    #[test]
+    fn observe_batch_matches_per_event_for_every_corner() {
+        // Deterministic cross-check over all C×R×shielding corners; the
+        // randomized version lives in tests/batch_equivalence.rs.
+        let stream: Vec<Tuple> = (0..3_000u64).map(|i| Tuple::new(i % 37, i % 5)).collect();
+        for conservative in [false, true] {
+            for resetting in [false, true] {
+                for shielding in [false, true] {
+                    let cfg = MultiHashConfig::new(64, 4)
+                        .unwrap()
+                        .with_conservative_update(conservative)
+                        .with_resetting(resetting)
+                        .with_shielding(shielding);
+                    let mut a = profiler(500, 0.05, cfg);
+                    let mut b = a.clone();
+                    let expected: Vec<IntervalProfile> =
+                        stream.iter().filter_map(|&t| a.observe(t)).collect();
+                    let mut got = Vec::new();
+                    for chunk in stream.chunks(257) {
+                        got.extend(b.observe_batch(chunk));
+                    }
+                    assert_eq!(got, expected, "C{conservative} R{resetting} S{shielding}");
+                    assert_eq!(a.counters(), b.counters());
+                    assert_eq!(
+                        a.accumulator().top_k(usize::MAX),
+                        b.accumulator().top_k(usize::MAX)
+                    );
+                    assert_eq!(
+                        a.events_in_current_interval(),
+                        b.events_in_current_interval()
+                    );
+                }
+            }
+        }
     }
 }

@@ -145,6 +145,21 @@ impl EventProfiler for PerfectProfiler {
         self.observe_exact(tuple).map(|exact| exact.profile())
     }
 
+    fn observe_batch(&mut self, batch: &[Tuple]) -> Vec<IntervalProfile> {
+        // Inlined count/boundary loop: skips the per-event `ExactCounts`
+        // option plumbing of `observe` (profiles are only materialized at
+        // actual boundaries, which externally-cut shard profilers never hit).
+        let mut out = Vec::new();
+        for &tuple in batch {
+            *self.counts.entry(tuple).or_insert(0) += 1;
+            self.events += 1;
+            if self.interval.is_boundary(self.events) {
+                out.push(self.end_interval_exact().profile());
+            }
+        }
+        out
+    }
+
     fn finish_interval(&mut self) -> IntervalProfile {
         self.end_interval_exact().profile()
     }
@@ -238,6 +253,25 @@ mod tests {
         assert!(p.observe(Tuple::new(2, 2)).is_none());
         let profile = p.observe(Tuple::new(3, 3)).unwrap();
         assert_eq!(profile.len(), 1); // only <1,1> reached 2 occurrences
+    }
+
+    #[test]
+    fn observe_batch_matches_per_event() {
+        let stream: Vec<Tuple> = (0..1_000u64).map(|i| Tuple::new(i % 23, i % 7)).collect();
+        let mut a = PerfectProfiler::new(config(300, 0.05));
+        let mut b = a.clone();
+        let expected: Vec<IntervalProfile> = stream.iter().filter_map(|&t| a.observe(t)).collect();
+        let mut got = Vec::new();
+        for chunk in stream.chunks(101) {
+            got.extend(b.observe_batch(chunk));
+        }
+        assert_eq!(got, expected);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(
+            a.events_in_current_interval(),
+            b.events_in_current_interval()
+        );
+        assert_eq!(a.interval_index(), b.interval_index());
     }
 
     #[test]

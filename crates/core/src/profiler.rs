@@ -38,6 +38,24 @@ pub trait EventProfiler {
     /// event completes a profile interval.
     fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile>;
 
+    /// Feeds a run of events, returning the profiles of every interval the
+    /// batch completed (usually none for externally-cut shard profilers, in
+    /// which case no allocation happens at all).
+    ///
+    /// Semantically identical — bit-for-bit — to calling
+    /// [`observe`](Self::observe) per event and collecting the `Some`
+    /// results; the profiler architectures override the default with
+    /// branch-hoisted loops that resolve their configuration switches once
+    /// per batch instead of once per event. This is the ingest hot path of
+    /// the sharded engine (`mhp-pipeline`), which also uses the single
+    /// per-batch virtual call to avoid dynamic dispatch per event.
+    fn observe_batch(&mut self, batch: &[Tuple]) -> Vec<IntervalProfile> {
+        batch
+            .iter()
+            .filter_map(|&tuple| self.observe(tuple))
+            .collect()
+    }
+
     /// Ends the current interval immediately, as if the configured number of
     /// events had elapsed, and returns the profile gathered so far.
     ///
@@ -141,6 +159,44 @@ mod tests {
         assert_eq!(hot[1].count, 3);
         // Querying does not disturb the interval position.
         assert_eq!(profiler.events_in_current_interval(), 10);
+    }
+
+    #[test]
+    fn default_observe_batch_matches_per_event() {
+        let config = IntervalConfig::new(3, 0.5).unwrap();
+        let events = vec![Tuple::new(1, 1); 10];
+        let mut per_event = PerfectProfiler::new(config);
+        let expected: Vec<IntervalProfile> = events
+            .iter()
+            .filter_map(|&t| per_event.observe(t))
+            .collect();
+        // Drive the *default* implementation through a trait object (the
+        // perfect profiler overrides it; a plain `dyn` call through a shim
+        // type would not, so test via the trait's default directly).
+        struct Shim(PerfectProfiler);
+        impl EventProfiler for Shim {
+            fn interval_config(&self) -> IntervalConfig {
+                self.0.interval_config()
+            }
+            fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+                self.0.observe(tuple)
+            }
+            fn finish_interval(&mut self) -> IntervalProfile {
+                self.0.finish_interval()
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+            fn events_in_current_interval(&self) -> u64 {
+                self.0.events_in_current_interval()
+            }
+            fn interval_index(&self) -> u64 {
+                self.0.interval_index()
+            }
+        }
+        let mut batched: Box<dyn EventProfiler> = Box::new(Shim(PerfectProfiler::new(config)));
+        assert_eq!(batched.observe_batch(&events), expected);
+        assert_eq!(batched.events_in_current_interval(), 1);
     }
 
     #[test]

@@ -336,7 +336,12 @@ impl ShardedEngine {
     {
         let mut session = self.start()?;
         for item in events {
-            session.push(item?);
+            if let Err(err) = session.push(item?) {
+                // A push failure means a worker died; finish() joins the
+                // workers and surfaces the panic itself (the root cause),
+                // which outranks the send failure.
+                return Err(session.finish().err().unwrap_or(err));
+            }
         }
         session.finish()
     }
@@ -368,7 +373,7 @@ impl ShardedEngine {
     ///     .take(2_500)
     ///     .collect();
     /// for chunk in events.chunks(100) {
-    ///     session.push_all(chunk.iter().copied());
+    ///     session.push_all(chunk.iter().copied())?;
     /// }
     /// assert_eq!(session.profiles()?.len(), 2); // two full intervals so far
     /// let hot = session.top_k(5)?; // live view of the partial third interval
@@ -380,38 +385,15 @@ impl ShardedEngine {
     /// ```
     pub fn start(&self) -> Result<EngineSession, Error> {
         self.config.validate()?;
-        let shards = self.config.shards();
         let shard_interval = self.interval.with_external_cut();
-
-        let mut senders = Vec::with_capacity(shards);
-        let mut profile_rxs = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let profiler = self.spec.build(shard_interval, self.seed)?;
-            let (tx, rx) = std::sync::mpsc::sync_channel(self.config.queue_capacity());
-            let (profile_tx, profile_rx) = std::sync::mpsc::channel();
-            senders.push(tx);
-            profile_rxs.push(profile_rx);
-            handles.push(thread::spawn(move || {
-                shard_worker(profiler, rx, profile_tx)
-            }));
-        }
-
-        let batch_cap = self.config.batch_events();
-        Ok(EngineSession {
-            senders,
-            profile_rxs,
-            handles,
-            batches: (0..shards).map(|_| Vec::with_capacity(batch_cap)).collect(),
-            stats: vec![ShardStats::default(); shards],
-            completed: Vec::new(),
-            pending_cuts: 0,
-            events: 0,
-            in_interval: 0,
-            interval_len: self.interval.interval_len(),
-            batch_cap,
-            started: Instant::now(),
-        })
+        let profilers = (0..self.config.shards())
+            .map(|_| self.spec.build(shard_interval, self.seed))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EngineSession::spawn(
+            &self.config,
+            self.interval.interval_len(),
+            profilers,
+        ))
     }
 }
 
@@ -451,8 +433,53 @@ pub struct EngineSession {
 }
 
 impl EngineSession {
+    /// Spawns one worker thread per pre-built shard profiler.
+    /// [`ShardedEngine::start`] builds the profilers from its spec; tests
+    /// inject custom (e.g. panicking) profilers directly.
+    fn spawn(
+        config: &EngineConfig,
+        interval_len: u64,
+        profilers: Vec<Box<dyn EventProfiler + Send>>,
+    ) -> Self {
+        let shards = profilers.len();
+        let mut senders = Vec::with_capacity(shards);
+        let mut profile_rxs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for profiler in profilers {
+            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity());
+            let (profile_tx, profile_rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            profile_rxs.push(profile_rx);
+            handles.push(thread::spawn(move || {
+                shard_worker(profiler, rx, profile_tx)
+            }));
+        }
+        let batch_cap = config.batch_events();
+        EngineSession {
+            senders,
+            profile_rxs,
+            handles,
+            batches: (0..shards).map(|_| Vec::with_capacity(batch_cap)).collect(),
+            stats: vec![ShardStats::default(); shards],
+            completed: Vec::new(),
+            pending_cuts: 0,
+            events: 0,
+            in_interval: 0,
+            interval_len,
+            batch_cap,
+            started: Instant::now(),
+        }
+    }
+
     /// Ingests one event, cutting the global interval when it fills.
-    pub fn push(&mut self, tuple: Tuple) {
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WorkerDied`] if the target shard's worker hung up (the
+    /// worker's own panic, with its message, is reported by
+    /// [`finish`](Self::finish)); [`Error::Merge`] if an interval cut this
+    /// push triggered failed to merge.
+    pub fn push(&mut self, tuple: Tuple) -> Result<(), Error> {
         let shard = shard_of(tuple, self.senders.len());
         self.batches[shard].push(tuple);
         self.stats[shard].events += 1;
@@ -464,19 +491,26 @@ impl EngineSession {
             dispatch(
                 &self.senders[shard],
                 &mut self.stats[shard],
+                shard,
                 Msg::Batch(batch),
-            );
+            )?;
         }
         if self.in_interval == self.interval_len {
-            self.broadcast_cut();
+            self.broadcast_cut()?;
         }
+        Ok(())
     }
 
     /// Ingests a run of events. Equivalent to pushing each one.
-    pub fn push_all(&mut self, events: impl IntoIterator<Item = Tuple>) {
+    ///
+    /// # Errors
+    ///
+    /// As [`push`](Self::push); the first failure aborts the run.
+    pub fn push_all(&mut self, events: impl IntoIterator<Item = Tuple>) -> Result<(), Error> {
         for tuple in events {
-            self.push(tuple);
+            self.push(tuple)?;
         }
+        Ok(())
     }
 
     /// Forces the global interval to end now and returns its merged profile.
@@ -494,7 +528,7 @@ impl EngineSession {
         if self.in_interval == 0 {
             return Ok(None);
         }
-        self.broadcast_cut();
+        self.broadcast_cut()?;
         self.collect_cuts()?;
         Ok(self.completed.last().cloned())
     }
@@ -518,23 +552,22 @@ impl EngineSession {
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidEngine`] if a shard worker died without answering.
+    /// [`Error::WorkerDied`] if a shard worker died without answering.
     pub fn top_k(&mut self, k: usize) -> Result<Vec<Candidate>, Error> {
-        self.flush_batches();
+        self.flush_batches()?;
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         for shard in 0..self.senders.len() {
             dispatch(
                 &self.senders[shard],
                 &mut self.stats[shard],
+                shard,
                 Msg::TopK(k, reply_tx.clone()),
-            );
+            )?;
         }
         drop(reply_tx);
         let mut pairs: Vec<(Tuple, u64)> = Vec::new();
-        for _ in 0..self.senders.len() {
-            let answer = reply_rx
-                .recv()
-                .map_err(|_| Error::InvalidEngine("shard worker died mid-session"))?;
+        for shard in 0..self.senders.len() {
+            let answer = reply_rx.recv().map_err(|_| Error::WorkerDied { shard })?;
             // Tuple-stable partitioning: no tuple appears on two shards, so
             // concatenation (not summation) is the correct combine.
             pairs.extend(answer.into_iter().map(|c| (c.tuple, c.count)));
@@ -571,15 +604,29 @@ impl EngineSession {
     ///
     /// # Errors
     ///
-    /// [`Error::Merge`] on a shard-merge failure (an engine bug).
+    /// [`Error::WorkerPanicked`] (with the panic message) if any shard
+    /// worker panicked during the run; [`Error::Merge`] on a shard-merge
+    /// failure (an engine bug).
     pub fn finish(mut self) -> Result<EngineReport, Error> {
-        self.flush_batches();
+        let flushed = self.flush_batches();
         for sender in std::mem::take(&mut self.senders) {
             drop(sender);
         }
-        for handle in std::mem::take(&mut self.handles) {
-            handle.join().expect("shard worker panicked");
+        let mut worker_panic = None;
+        for (shard, handle) in std::mem::take(&mut self.handles).into_iter().enumerate() {
+            if let Err(payload) = handle.join() {
+                worker_panic.get_or_insert(Error::WorkerPanicked {
+                    shard,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
         }
+        // The panic is the root cause; a failed flush to the dead worker is
+        // only its symptom.
+        if let Some(err) = worker_panic {
+            return Err(err);
+        }
+        flushed?;
         self.collect_cuts()?;
         let intervals = self.intervals();
         Ok(EngineReport {
@@ -592,7 +639,7 @@ impl EngineSession {
     }
 
     /// Flushes every shard's pending batch without cutting.
-    fn flush_batches(&mut self) {
+    fn flush_batches(&mut self) -> Result<(), Error> {
         for shard in 0..self.senders.len() {
             if !self.batches[shard].is_empty() {
                 let batch =
@@ -600,21 +647,29 @@ impl EngineSession {
                 dispatch(
                     &self.senders[shard],
                     &mut self.stats[shard],
+                    shard,
                     Msg::Batch(batch),
-                );
+                )?;
             }
         }
+        Ok(())
     }
 
     /// Flushes batches and broadcasts a cut; the workers' profiles are
     /// collected lazily by [`collect_cuts`](Self::collect_cuts).
-    fn broadcast_cut(&mut self) {
-        self.flush_batches();
+    fn broadcast_cut(&mut self) -> Result<(), Error> {
+        self.flush_batches()?;
         for shard in 0..self.senders.len() {
-            dispatch(&self.senders[shard], &mut self.stats[shard], Msg::Cut);
+            dispatch(
+                &self.senders[shard],
+                &mut self.stats[shard],
+                shard,
+                Msg::Cut,
+            )?;
         }
         self.pending_cuts += 1;
         self.in_interval = 0;
+        Ok(())
     }
 
     /// Merges every broadcast-but-uncollected cut into `completed`. Blocks
@@ -623,11 +678,8 @@ impl EngineSession {
     fn collect_cuts(&mut self) -> Result<(), Error> {
         while self.pending_cuts > 0 {
             let mut parts = Vec::with_capacity(self.profile_rxs.len());
-            for rx in &self.profile_rxs {
-                parts.push(
-                    rx.recv()
-                        .map_err(|_| Error::InvalidEngine("shard worker died mid-session"))?,
-                );
+            for (shard, rx) in self.profile_rxs.iter().enumerate() {
+                parts.push(rx.recv().map_err(|_| Error::WorkerDied { shard })?);
             }
             self.completed.push(IntervalProfile::merge(parts)?);
             self.pending_cuts -= 1;
@@ -647,22 +699,36 @@ impl Drop for EngineSession {
 }
 
 /// Sends a message, preferring the non-blocking path; a full queue counts
-/// one stall and falls back to a blocking send.
-fn dispatch(sender: &SyncSender<Msg>, stats: &mut ShardStats, msg: Msg) {
+/// one stall and falls back to a blocking send. A hung-up worker (it died,
+/// almost always by panicking) is an error for the *caller* to handle —
+/// never a panic on the dispatching thread.
+fn dispatch(
+    sender: &SyncSender<Msg>,
+    stats: &mut ShardStats,
+    shard: usize,
+    msg: Msg,
+) -> Result<(), Error> {
     if let Msg::Batch(_) = &msg {
         stats.batches += 1;
     }
     match sender.try_send(msg) {
-        Ok(()) => {}
+        Ok(()) => Ok(()),
         Err(TrySendError::Full(msg)) => {
             stats.stalls += 1;
-            sender
-                .send(msg)
-                .expect("shard worker hung up with queue full");
+            sender.send(msg).map_err(|_| Error::WorkerDied { shard })
         }
-        Err(TrySendError::Disconnected(_)) => {
-            // The worker is gone; its panic is re-raised at join.
-        }
+        Err(TrySendError::Disconnected(_)) => Err(Error::WorkerDied { shard }),
+    }
+}
+
+/// Extracts a human-readable message from a worker thread's panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -674,13 +740,13 @@ fn shard_worker(
     for msg in rx {
         match msg {
             Msg::Batch(batch) => {
-                for tuple in batch {
-                    // External-cut profilers never complete an interval on
-                    // their own.
-                    let emitted = profiler.observe(tuple);
-                    debug_assert!(emitted.is_none());
-                    drop(emitted);
-                }
+                // One virtual call per batch, with the profiler's branch-
+                // hoisted loop inside. External-cut profilers never complete
+                // an interval on their own, so the result is an empty Vec
+                // (no allocation happens for it).
+                let emitted = profiler.observe_batch(&batch);
+                debug_assert!(emitted.is_empty());
+                drop(emitted);
             }
             // The session may have hung up already (dropped un-finished);
             // then nobody wants the answer and the error is fine to ignore.
@@ -842,7 +908,7 @@ mod tests {
             // Irregular push sizes: boundaries must come from the global
             // count, not from push granularity.
             for chunk in events.chunks(733) {
-                session.push_all(chunk.iter().copied());
+                session.push_all(chunk.iter().copied()).unwrap();
             }
             let report = session.finish().unwrap();
             assert_eq!(report.profiles, expected.profiles, "{spec} x{shards}");
@@ -856,7 +922,7 @@ mod tests {
         let interval = IntervalConfig::new(1_000, 0.05).unwrap();
         let engine = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
         let mut session = engine.start().unwrap();
-        session.push_all(li_events(2_500));
+        session.push_all(li_events(2_500)).unwrap();
         assert_eq!(session.events(), 2_500);
         assert_eq!(session.intervals(), 2);
         assert_eq!(session.in_interval(), 500);
@@ -865,7 +931,7 @@ mod tests {
         assert_eq!(profiles[0].interval_index(), 0);
         assert_eq!(profiles[1].interval_index(), 1);
         // Querying consumed nothing: the stream continues seamlessly.
-        session.push_all(li_events(500));
+        session.push_all(li_events(500)).unwrap();
         assert_eq!(session.intervals(), 3);
         let report = session.finish().unwrap();
         assert_eq!(report.profiles.len(), 3);
@@ -882,7 +948,7 @@ mod tests {
         );
         let mut session = engine.start().unwrap();
         let events: Vec<Tuple> = li_events(9_000).collect();
-        session.push_all(events.iter().copied());
+        session.push_all(events.iter().copied()).unwrap();
 
         // The perfect profiler tracks exact counts, so top-k must equal a
         // direct count over the pushed events.
@@ -905,7 +971,7 @@ mod tests {
         let interval = IntervalConfig::new(1_000, 0.1).unwrap();
         let engine = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
         let mut session = engine.start().unwrap();
-        session.push_all(li_events(400));
+        session.push_all(li_events(400)).unwrap();
         let profile = session.cut().unwrap().expect("400 pending events");
         // A single-threaded external-cut run over the same 400 events is
         // the exact expectation for the forced cut.
@@ -920,7 +986,7 @@ mod tests {
         assert!(session.cut().unwrap().is_none());
         assert_eq!(session.in_interval(), 0);
         // Boundaries restart from the cut: 1 000 more events = 1 more interval.
-        session.push_all(li_events(1_000));
+        session.push_all(li_events(1_000)).unwrap();
         let report = session.finish().unwrap();
         assert_eq!(report.intervals, 2);
         assert_eq!(report.events, 1_400);
@@ -931,8 +997,117 @@ mod tests {
         let interval = IntervalConfig::new(1_000, 0.1).unwrap();
         let engine = ShardedEngine::new(EngineConfig::new(4), interval, ProfilerSpec::Perfect, 0);
         let mut session = engine.start().unwrap();
-        session.push_all(li_events(2_500));
+        session.push_all(li_events(2_500)).unwrap();
         drop(session); // must join workers, not leak or deadlock
+    }
+
+    #[test]
+    fn slow_consumer_applies_backpressure_without_failing() {
+        // A worker that dawdles on every event, behind a 1-deep queue:
+        // the dispatcher must stall (blocking send), not error or panic.
+        struct Slow(PerfectProfiler);
+        impl EventProfiler for Slow {
+            fn interval_config(&self) -> IntervalConfig {
+                self.0.interval_config()
+            }
+            fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+                thread::sleep(Duration::from_micros(50));
+                self.0.observe(tuple)
+            }
+            fn finish_interval(&mut self) -> IntervalProfile {
+                self.0.finish_interval()
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+            fn events_in_current_interval(&self) -> u64 {
+                self.0.events_in_current_interval()
+            }
+            fn interval_index(&self) -> u64 {
+                self.0.interval_index()
+            }
+        }
+        let interval = IntervalConfig::new(10_000, 0.01).unwrap();
+        let config = EngineConfig::new(1)
+            .with_queue_capacity(1)
+            .with_batch_events(8);
+        let mut session = EngineSession::spawn(
+            &config,
+            interval.interval_len(),
+            vec![Box::new(Slow(PerfectProfiler::new(
+                interval.with_external_cut(),
+            )))],
+        );
+        for tuple in li_events(400) {
+            session.push(tuple).unwrap();
+        }
+        let report = session.finish().unwrap();
+        assert_eq!(report.events, 400);
+        assert!(
+            report.total_stalls() > 0,
+            "a 1-deep queue against a slow worker must stall the dispatcher"
+        );
+    }
+
+    #[test]
+    fn poisoned_worker_errors_instead_of_panicking_the_dispatcher() {
+        // Regression: a panicked shard worker with a full queue used to
+        // panic the *dispatching* thread via expect() on the blocking send.
+        struct Poisoned {
+            interval: IntervalConfig,
+            seen: u64,
+        }
+        impl EventProfiler for Poisoned {
+            fn interval_config(&self) -> IntervalConfig {
+                self.interval
+            }
+            fn observe(&mut self, _tuple: Tuple) -> Option<IntervalProfile> {
+                self.seen += 1;
+                assert!(self.seen < 10, "profiler poisoned at event 10");
+                None
+            }
+            fn finish_interval(&mut self) -> IntervalProfile {
+                IntervalProfile::from_candidates(0, self.interval, Vec::new())
+            }
+            fn reset(&mut self) {}
+            fn events_in_current_interval(&self) -> u64 {
+                self.seen
+            }
+            fn interval_index(&self) -> u64 {
+                0
+            }
+        }
+        let interval = IntervalConfig::new(1_000_000, 0.01)
+            .unwrap()
+            .with_external_cut();
+        let config = EngineConfig::new(1)
+            .with_queue_capacity(1)
+            .with_batch_events(1);
+        let mut session = EngineSession::spawn(
+            &config,
+            1_000_000,
+            vec![Box::new(Poisoned { interval, seen: 0 })],
+        );
+        let mut push_err = None;
+        for tuple in li_events(10_000) {
+            if let Err(err) = session.push(tuple) {
+                push_err = Some(err);
+                break;
+            }
+        }
+        assert!(
+            matches!(push_err, Some(Error::WorkerDied { shard: 0 })),
+            "dead worker must surface as an error on push, got {push_err:?}"
+        );
+        match session.finish() {
+            Err(Error::WorkerPanicked { shard: 0, message }) => {
+                assert!(
+                    message.contains("poisoned"),
+                    "panic message lost: {message}"
+                );
+            }
+            other => panic!("finish must report the worker panic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -60,6 +60,21 @@ pub enum Error {
     /// The engine configuration itself is unusable (zero shards, zero
     /// queue capacity, ...).
     InvalidEngine(&'static str),
+    /// A shard worker hung up mid-stream — it died (almost always a panic)
+    /// while events were still being dispatched to it. The panic itself is
+    /// surfaced, with its message, by `EngineSession::finish`.
+    WorkerDied {
+        /// Zero-based index of the dead shard.
+        shard: usize,
+    },
+    /// A shard worker thread panicked; joined and reported at
+    /// `EngineSession::finish` instead of poisoning the dispatching thread.
+    WorkerPanicked {
+        /// Zero-based index of the panicked shard.
+        shard: usize,
+        /// The panic payload's message (when it was a string).
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -95,6 +110,12 @@ impl fmt::Display for Error {
             Error::Config(e) => write!(f, "profiler configuration rejected: {e}"),
             Error::Merge(e) => write!(f, "shard merge failed: {e}"),
             Error::InvalidEngine(what) => write!(f, "invalid engine configuration: {what}"),
+            Error::WorkerDied { shard } => {
+                write!(f, "shard {shard} worker died mid-stream")
+            }
+            Error::WorkerPanicked { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
         }
     }
 }
@@ -156,6 +177,11 @@ mod tests {
             Error::Config(ConfigError::ZeroTables),
             Error::Merge(MergeError::Empty),
             Error::InvalidEngine("zero shards"),
+            Error::WorkerDied { shard: 3 },
+            Error::WorkerPanicked {
+                shard: 0,
+                message: "index out of bounds".into(),
+            },
         ];
         for err in errors {
             let msg = err.to_string();

@@ -237,13 +237,18 @@ fn validate_chunk_header(payload_len: u64, record_count: u32, chunk: u64) -> Res
     Ok(())
 }
 
-/// Decodes `record_count` records from a CRC-verified payload.
-fn decode_chunk_payload(
+/// Decodes `record_count` records from a CRC-verified payload, appending
+/// them to `events` (cleared first). Taking the output buffer lets the
+/// ingest hot paths (trace replay, server chunk ingest) reuse one
+/// allocation across chunks.
+fn decode_chunk_payload_into(
     payload: &[u8],
     record_count: u32,
     chunk: u64,
-) -> Result<Vec<Tuple>, Error> {
-    let mut events = Vec::with_capacity(record_count as usize);
+    events: &mut Vec<Tuple>,
+) -> Result<(), Error> {
+    events.clear();
+    events.reserve(record_count as usize);
     let mut pos = 0usize;
     let mut prev_pc = 0u64;
     for _ in 0..record_count {
@@ -262,7 +267,7 @@ fn decode_chunk_payload(
         // Extra undecoded bytes: count and payload disagree.
         return Err(Error::ChunkDecode { chunk });
     }
-    Ok(events)
+    Ok(())
 }
 
 /// Encodes `events` as one self-contained chunk (header + payload), exactly
@@ -307,6 +312,23 @@ pub fn encode_chunk(events: &[Tuple]) -> Vec<u8> {
 /// without allocating, and payload corruption yields [`Error::CrcMismatch`].
 /// An all-zero header (the trace end marker) decodes as a zero-record chunk.
 pub fn decode_chunk(bytes: &[u8]) -> Result<(Vec<Tuple>, usize), Error> {
+    let mut events = Vec::new();
+    let consumed = decode_chunk_into(bytes, &mut events)?;
+    Ok((events, consumed))
+}
+
+/// [`decode_chunk`], but decoding into a caller-owned buffer (cleared
+/// first) and returning only the bytes consumed.
+///
+/// This is the allocation-free form the server's ingest loop uses: one
+/// `Vec<Tuple>` lives for the whole connection and every chunk decodes into
+/// it, instead of allocating a fresh vector per request.
+///
+/// # Errors
+///
+/// Exactly as [`decode_chunk`]. On error the buffer contents are
+/// unspecified (but always safe to reuse for the next call).
+pub fn decode_chunk_into(bytes: &[u8], events: &mut Vec<Tuple>) -> Result<usize, Error> {
     if bytes.len() < CHUNK_HEADER_BYTES {
         return Err(Error::Truncated {
             context: "chunk header",
@@ -332,8 +354,8 @@ pub fn decode_chunk(bytes: &[u8]) -> Result<(Vec<Tuple>, usize), Error> {
             actual: actual_crc,
         });
     }
-    let events = decode_chunk_payload(payload, record_count, 0)?;
-    Ok((events, CHUNK_HEADER_BYTES + payload_len))
+    decode_chunk_payload_into(payload, record_count, 0, events)?;
+    Ok(CHUNK_HEADER_BYTES + payload_len)
 }
 
 // --- writer --------------------------------------------------------------
@@ -494,8 +516,13 @@ pub struct TraceReader<R: Read> {
     source: R,
     kind: TraceKind,
     version: u16,
-    /// Decoded events of the current chunk, in reverse (pop order).
+    /// Decoded events of the current chunk, in reverse (pop order). Drained
+    /// by iteration and refilled in place, so one allocation serves the
+    /// whole trace.
     pending: Vec<Tuple>,
+    /// Reused raw-payload buffer, resized (not reallocated, once warm) to
+    /// each chunk's payload length.
+    payload_buf: Vec<u8>,
     chunks_read: u64,
     events_read: u64,
     finished: bool,
@@ -532,6 +559,7 @@ impl<R: Read> TraceReader<R> {
             kind,
             version,
             pending: Vec::new(),
+            payload_buf: Vec::new(),
             chunks_read: 0,
             events_read: 0,
             finished: false,
@@ -585,9 +613,9 @@ impl<R: Read> TraceReader<R> {
             let expected_crc = u32::from_le_bytes(chunk_header[8..12].try_into().expect("4 bytes"));
             validate_chunk_header(payload_len, record_count, self.chunks_read)?;
 
-            let mut payload = vec![0u8; payload_len as usize];
-            read_exact_or(&mut self.source, &mut payload, "chunk payload")?;
-            let actual_crc = crc32(&payload);
+            self.payload_buf.resize(payload_len as usize, 0);
+            read_exact_or(&mut self.source, &mut self.payload_buf, "chunk payload")?;
+            let actual_crc = crc32(&self.payload_buf);
             if actual_crc != expected_crc {
                 return Err(Error::CrcMismatch {
                     chunk: self.chunks_read,
@@ -596,14 +624,18 @@ impl<R: Read> TraceReader<R> {
                 });
             }
 
-            let mut events = decode_chunk_payload(&payload, record_count, self.chunks_read)?;
+            decode_chunk_payload_into(
+                &self.payload_buf,
+                record_count,
+                self.chunks_read,
+                &mut self.pending,
+            )?;
             self.chunks_read += 1;
-            if events.is_empty() {
+            if self.pending.is_empty() {
                 // A legal but pointless empty chunk; keep scanning.
                 continue;
             }
-            events.reverse();
-            self.pending = events;
+            self.pending.reverse();
             return Ok(true);
         }
     }
@@ -960,6 +992,28 @@ mod tests {
             decode_chunk(&corrupt),
             Err(Error::CrcMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn decode_chunk_into_reuses_the_buffer_across_chunks() {
+        let first: Vec<Tuple> = (0..300u64).map(|i| Tuple::new(i * 4, i)).collect();
+        let second: Vec<Tuple> = (0..7u64).map(|i| Tuple::new(i, 9)).collect();
+        let mut events = Vec::new();
+        let bytes = encode_chunk(&first);
+        assert_eq!(decode_chunk_into(&bytes, &mut events).unwrap(), bytes.len());
+        assert_eq!(events, first);
+        let warm_capacity = events.capacity();
+        // Decoding a smaller chunk into the same buffer replaces the
+        // contents without growing (or shrinking) the allocation.
+        let bytes = encode_chunk(&second);
+        assert_eq!(decode_chunk_into(&bytes, &mut events).unwrap(), bytes.len());
+        assert_eq!(events, second);
+        assert_eq!(events.capacity(), warm_capacity);
+        // Errors leave the buffer reusable.
+        assert!(decode_chunk_into(&bytes[..4], &mut events).is_err());
+        let bytes = encode_chunk(&first);
+        assert_eq!(decode_chunk_into(&bytes, &mut events).unwrap(), bytes.len());
+        assert_eq!(events, first);
     }
 
     #[test]

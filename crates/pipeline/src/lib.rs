@@ -60,6 +60,6 @@ pub use engine::{
 };
 pub use error::Error;
 pub use format::{
-    crc32, decode_chunk, encode_chunk, TraceKind, TraceReader, TraceWriter, CHUNK_HEADER_BYTES,
-    DEFAULT_CHUNK_EVENTS, FORMAT_VERSION, MAGIC, MAX_CHUNK_BYTES,
+    crc32, decode_chunk, decode_chunk_into, encode_chunk, TraceKind, TraceReader, TraceWriter,
+    CHUNK_HEADER_BYTES, DEFAULT_CHUNK_EVENTS, FORMAT_VERSION, MAGIC, MAX_CHUNK_BYTES,
 };

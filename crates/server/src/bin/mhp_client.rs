@@ -260,7 +260,7 @@ fn cmd_verify(mut opts: Options) -> Result<(), ServerError> {
         config.seed,
     );
     let mut offline = engine.start()?;
-    offline.push_all(all.iter().copied());
+    offline.push_all(all.iter().copied())?;
     let expected_topk = offline.top_k(10)?;
     let expected: Vec<ProfileData> = offline
         .profiles()?

@@ -29,8 +29,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mhp_core::IntervalConfig;
-use mhp_pipeline::{decode_chunk, EngineConfig, EngineSession, ShardedEngine};
+use mhp_core::{IntervalConfig, Tuple};
+use mhp_pipeline::{decode_chunk_into, EngineConfig, EngineSession, ShardedEngine};
 
 use crate::error::{ErrorCode, ServerError};
 use crate::metrics::Metrics;
@@ -315,6 +315,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut writer = BufWriter::new(stream);
     // The session this connection opened or attached to, if any.
     let mut attached: Option<(String, Arc<Session>)> = None;
+    // Decoded-chunk scratch, reused across every ingest on this connection
+    // so steady-state streaming does not allocate per chunk.
+    let mut ingest_buf: Vec<Tuple> = Vec::new();
 
     loop {
         let body = match read_frame(&mut reader) {
@@ -358,7 +361,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
-        let response = match handle_request(request, &mut attached, shared) {
+        let response = match handle_request(request, &mut attached, &mut ingest_buf, shared) {
             Ok(response) => response,
             Err(err) => {
                 shared.metrics.incr(&shared.metrics.errors_total);
@@ -388,6 +391,7 @@ fn respond_error(writer: &mut impl Write, err: &ServerError) {
 fn handle_request(
     request: Request,
     attached: &mut Option<(String, Arc<Session>)>,
+    ingest_buf: &mut Vec<Tuple>,
     shared: &Shared,
 ) -> Result<Response, ServerError> {
     match request {
@@ -427,14 +431,14 @@ fn handle_request(
         Request::Ingest { chunk } => {
             let session = require_attached(attached)?;
             let decode_started = Instant::now();
-            let (events, consumed) = decode_chunk(&chunk)?;
+            let consumed = decode_chunk_into(&chunk, ingest_buf)?;
             shared.metrics.chunk_decode.record(decode_started.elapsed());
             if consumed != chunk.len() {
                 return Err(ServerError::protocol("trailing bytes after ingest chunk"));
             }
             let (total_events, intervals) = session.with_engine(|engine| {
                 let before = engine.intervals();
-                engine.push_all(events.iter().copied());
+                engine.push_all(ingest_buf.iter().copied())?;
                 let after = engine.intervals();
                 shared
                     .metrics
@@ -444,7 +448,7 @@ fn handle_request(
             shared.metrics.incr(&shared.metrics.chunks_ingested);
             shared
                 .metrics
-                .add(&shared.metrics.events_ingested, events.len() as u64);
+                .add(&shared.metrics.events_ingested, ingest_buf.len() as u64);
             Ok(Response::Ingested {
                 events: total_events,
                 intervals,

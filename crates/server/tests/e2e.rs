@@ -110,7 +110,7 @@ fn top_k_and_forced_cut_match_the_offline_engine() {
         config.seed,
     );
     let mut offline = engine.start().unwrap();
-    offline.push_all(events.iter().copied());
+    offline.push_all(events.iter().copied()).unwrap();
     let expected_topk = offline.top_k(10).unwrap();
     let expected_cut = offline.cut().unwrap().unwrap();
 

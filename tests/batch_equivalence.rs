@@ -1,0 +1,112 @@
+//! Property tests pinning the batched hot path to the per-event path: for
+//! every profiler architecture and every corner of its configuration
+//! space, `observe_batch` over arbitrary chunkings must be bit-for-bit
+//! equivalent to one `observe` call per event — same emitted profiles,
+//! same accumulator state, same interval position — and a 1-shard
+//! [`ShardedEngine`] run over the same stream must merge to the same
+//! profiles.
+
+use proptest::prelude::*;
+
+use mhp::core::Candidate;
+use mhp::prelude::*;
+use mhp_pipeline::{EngineConfig, ProfilerSpec, ShardedEngine};
+
+/// A stream over a bounded universe so both heavy hitters and noise occur.
+fn tuple_stream(max_len: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec((0u64..64, 0u64..16), 1..max_len)
+        .prop_map(|pairs| pairs.into_iter().map(|(pc, v)| Tuple::new(pc, v)).collect())
+}
+
+/// One profiler architecture with its option corners driven by the three
+/// booleans (each architecture interprets the bits it has switches for).
+fn spec_for(kind: u8, a: bool, b: bool, c: bool) -> ProfilerSpec {
+    match kind % 3 {
+        0 => ProfilerSpec::MultiHash(
+            MultiHashConfig::new(64, 4)
+                .expect("64 entries over 4 tables is valid")
+                .with_conservative_update(a)
+                .with_resetting(b)
+                .with_shielding(c),
+        ),
+        1 => ProfilerSpec::SingleHash(
+            SingleHashConfig::new(256)
+                .expect("256 entries is valid")
+                .with_retaining(a)
+                .with_resetting(b)
+                .with_shielding(c),
+        ),
+        _ => ProfilerSpec::Perfect,
+    }
+}
+
+/// Normalizes a candidate list for comparison independent of tie order.
+fn by_tuple(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
+    candidates.sort_by_key(|c| c.tuple);
+    candidates
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence: per-event `observe`, `observe_batch` over
+    /// an arbitrary chunking, and a 1-shard engine run all produce the
+    /// same profiles and leave the same profiler state behind.
+    #[test]
+    fn batch_matches_per_event(
+        stream in tuple_stream(500),
+        batch in 1usize..300,
+        seed in 0u64..50,
+        kind in 0u8..3,
+        a in any::<bool>(),
+        b in any::<bool>(),
+        c in any::<bool>(),
+    ) {
+        let interval = IntervalConfig::new(100, 0.05).unwrap();
+        let spec = spec_for(kind, a, b, c);
+
+        let mut per_event = spec.build(interval, seed).unwrap();
+        let mut batched = spec.build(interval, seed).unwrap();
+
+        let mut expected = Vec::new();
+        for &t in &stream {
+            expected.extend(per_event.observe(t));
+        }
+        let mut got = Vec::new();
+        for chunk in stream.chunks(batch) {
+            got.extend(batched.observe_batch(chunk));
+        }
+
+        prop_assert_eq!(&expected, &got, "emitted profiles diverge for {}", spec);
+        prop_assert_eq!(
+            per_event.events_in_current_interval(),
+            batched.events_in_current_interval()
+        );
+        prop_assert_eq!(per_event.interval_index(), batched.interval_index());
+        prop_assert_eq!(
+            by_tuple(per_event.hot_tuples(usize::MAX)),
+            by_tuple(batched.hot_tuples(usize::MAX)),
+            "accumulator state diverges for {}", spec
+        );
+
+        // A 1-shard engine is the same profiler behind a channel: pushing
+        // the stream through it must merge to the identical profiles and
+        // expose the identical live accumulator.
+        let engine = ShardedEngine::new(
+            EngineConfig::new(1).with_batch_events(batch),
+            interval,
+            spec,
+            seed,
+        );
+        let mut session = engine.start().unwrap();
+        session.push_all(stream.iter().copied()).unwrap();
+        prop_assert_eq!(
+            by_tuple(session.top_k(usize::MAX).unwrap()),
+            by_tuple(per_event.hot_tuples(usize::MAX)),
+            "engine accumulator diverges for {}", spec
+        );
+        let profiles = session.profiles().unwrap().to_vec();
+        prop_assert_eq!(expected, profiles, "engine profiles diverge for {}", spec);
+        session.finish().unwrap();
+    }
+}

@@ -2,8 +2,9 @@
 # Server integration smoke test: boot mhp-server on an ephemeral port, run
 # the end-to-end equivalence check (streamed snapshots + live top-k must
 # match an offline ShardedEngine run over the pinned workload), hit it with
-# a concurrent loadgen, and shut it down gracefully. Fails on any protocol
-# error, any mismatch, or an unclean shutdown.
+# a concurrent loadgen, scrape the Prometheus metrics query, and shut it
+# down gracefully. Fails on any protocol error, any mismatch, a missing or
+# zero core metric, or an unclean shutdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +38,25 @@ target/release/mhp-client verify --addr "$addr" \
 
 echo "==> loadgen: 8 concurrent clients"
 target/release/mhp-client loadgen --addr "$addr" --clients 8 --events 20000
+
+echo "==> metrics: scrape and sanity-check the Prometheus exposition"
+metrics="$(target/release/mhp-client query --addr "$addr" --op metrics)"
+for name in server_requests_total server_events_ingested_total \
+            engine_events_total sketch_promotions_total; do
+  value="$(printf '%s\n' "$metrics" | awk -v n="$name" '$1 == n { print $2 }')"
+  if [ -z "$value" ]; then
+    echo "server_smoke: metric $name missing from exposition" >&2
+    exit 1
+  fi
+  if [ "$value" -eq 0 ] 2>/dev/null; then
+    echo "server_smoke: metric $name is zero after traffic" >&2
+    exit 1
+  fi
+done
+printf '%s\n' "$metrics" | grep -q '^# TYPE server_request_latency_us histogram$' || {
+  echo "server_smoke: latency histogram missing from exposition" >&2
+  exit 1
+}
 
 echo "==> graceful shutdown"
 target/release/mhp-client shutdown --addr "$addr"

@@ -7,8 +7,12 @@
 //! `hotpath` pushes a deterministic workload through each profiler
 //! per-event and batched (plus the sharded engine at 1/4/8 shards), prints
 //! an events/sec table, and writes the numbers as JSON (default
-//! `BENCH_hotpath.json`). CI runs a scaled-down pass as a non-gating smoke
-//! check; the JSON at the repo root is the committed reference run.
+//! `BENCH_hotpath.json`). A separate *untimed* introspection pass collects
+//! sketch-health telemetry (promotions, evictions, occupancy — see
+//! `mhp_core::SketchSnapshot`) for the same workload and writes it next to
+//! the timing JSON as `*_telemetry.json`. CI runs a scaled-down pass as a
+//! non-gating smoke check; the JSON at the repo root is the committed
+//! reference run.
 
 use std::process::ExitCode;
 
@@ -94,5 +98,24 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
+
+    // Untimed introspection pass: sketch health for the same workload,
+    // written next to the timing numbers.
+    let telemetry_path = telemetry_path_for(&out_path);
+    let health = hotpath::sketch_health(&opts);
+    if let Err(e) = std::fs::write(&telemetry_path, hotpath::telemetry_json(&health)) {
+        eprintln!("failed to write {telemetry_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {telemetry_path}");
     ExitCode::SUCCESS
+}
+
+/// `BENCH_hotpath.json` -> `BENCH_hotpath_telemetry.json` (and any other
+/// path gets `_telemetry` spliced in before a trailing `.json`).
+fn telemetry_path_for(out_path: &str) -> String {
+    match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_telemetry.json"),
+        None => format!("{out_path}_telemetry"),
+    }
 }

@@ -12,11 +12,12 @@
 //! at the repo root, by convention) — stable keys, no external
 //! serialization dependency.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mhp_core::{
-    EventProfiler, IntervalConfig, MultiHashConfig, MultiHashProfiler, PerfectProfiler,
-    SingleHashConfig, SingleHashProfiler, Tuple,
+    CollectingSink, EventProfiler, IntervalConfig, MultiHashConfig, MultiHashProfiler,
+    PerfectProfiler, SingleHashConfig, SingleHashProfiler, SketchSnapshot, Tuple,
 };
 use mhp_pipeline::{EngineConfig, ProfilerSpec, ShardedEngine};
 use mhp_trace::Benchmark;
@@ -262,6 +263,127 @@ impl HotpathReport {
     }
 }
 
+/// Sketch-health totals for one profiler, aggregated from the per-interval
+/// [`SketchSnapshot`]s of an *untimed* introspection run over the same
+/// stream the timed cases use.
+///
+/// The run is deliberately separate from the timed passes so the headline
+/// `events_per_sec` numbers keep measuring the sink-free hot path; this is
+/// the companion "was the sketch healthy while it was that fast" report.
+#[derive(Debug, Clone)]
+pub struct SketchHealth {
+    /// Profiler name (`multi-hash` or `single-hash`).
+    pub name: String,
+    /// Completed intervals the sink observed.
+    pub intervals: u64,
+    /// Events across those intervals.
+    pub events: u64,
+    /// Events absorbed by a resident accumulator entry.
+    pub shield_hits: u64,
+    /// Tuples promoted into the accumulator.
+    pub promotions: u64,
+    /// Promotions dropped for want of a replaceable entry.
+    pub promotions_dropped: u64,
+    /// Promotions that evicted a resident entry.
+    pub evictions: u64,
+    /// Candidates retained across interval boundaries.
+    pub retained: u64,
+    /// Events whose minimum counter sat at the saturation ceiling.
+    pub saturations: u64,
+    /// Mean end-of-interval hash-counter occupancy, in [0, 1].
+    pub mean_counter_occupancy: f64,
+    /// Mean end-of-interval accumulator fill, in [0, 1].
+    pub mean_accumulator_fill: f64,
+}
+
+fn health_from(name: &str, snapshots: &[SketchSnapshot]) -> SketchHealth {
+    let n = snapshots.len().max(1) as f64;
+    let ratio = |num: u64, den: u64| num as f64 / den.max(1) as f64;
+    SketchHealth {
+        name: name.to_string(),
+        intervals: snapshots.len() as u64,
+        events: snapshots.iter().map(|s| s.events).sum(),
+        shield_hits: snapshots.iter().map(|s| s.shield_hits).sum(),
+        promotions: snapshots.iter().map(|s| s.promotions).sum(),
+        promotions_dropped: snapshots.iter().map(|s| s.promotions_dropped).sum(),
+        evictions: snapshots.iter().map(|s| s.evictions).sum(),
+        retained: snapshots.iter().map(|s| s.retained).sum(),
+        saturations: snapshots.iter().map(|s| s.saturations).sum(),
+        mean_counter_occupancy: snapshots
+            .iter()
+            .map(|s| ratio(s.counters_occupied, s.counters_total))
+            .sum::<f64>()
+            / n,
+        mean_accumulator_fill: snapshots
+            .iter()
+            .map(|s| ratio(s.accumulator_len, s.accumulator_capacity))
+            .sum::<f64>()
+            / n,
+    }
+}
+
+/// Runs the sketch profilers once each (batched, untimed) with a
+/// [`CollectingSink`] installed and aggregates the per-interval snapshots.
+///
+/// Uses the same stream, interval scaling and configs as [`run`], so the
+/// health numbers describe exactly the workload the timed cases measured.
+pub fn sketch_health(opts: &HotpathOptions) -> Vec<SketchHealth> {
+    let stream: Vec<Tuple> = Benchmark::Li
+        .value_stream(opts.seed)
+        .take(opts.events as usize)
+        .collect();
+    let interval_len = (opts.events / 20).max(1_000);
+    let interval = IntervalConfig::new(interval_len, 0.01).expect("valid interval config");
+
+    let mut out = Vec::new();
+    let collect = |profiler: &mut dyn EventProfiler| {
+        let sink = Arc::new(CollectingSink::new());
+        profiler.set_introspection_sink(Some(sink.clone()));
+        for chunk in stream.chunks(opts.batch.max(1)) {
+            profiler.observe_batch(chunk);
+        }
+        sink.take()
+    };
+
+    let mut multi = MultiHashProfiler::new(interval, MultiHashConfig::best(), opts.seed)
+        .expect("valid profiler");
+    out.push(health_from("multi-hash", &collect(&mut multi)));
+
+    let mut single = SingleHashProfiler::new(interval, SingleHashConfig::best(), opts.seed)
+        .expect("valid profiler");
+    out.push(health_from("single-hash", &collect(&mut single)));
+
+    out
+}
+
+/// Renders the sketch-health report as a JSON document with stable keys
+/// (written next to the hotpath JSON as `*_telemetry.json`).
+pub fn telemetry_json(health: &[SketchHealth]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"hotpath_telemetry\",\n  \"profilers\": [\n");
+    for (i, h) in health.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"intervals\": {}, \"events\": {}, \
+             \"shield_hits\": {}, \"promotions\": {}, \"promotions_dropped\": {}, \
+             \"evictions\": {}, \"retained\": {}, \"saturations\": {}, \
+             \"mean_counter_occupancy\": {:.4}, \"mean_accumulator_fill\": {:.4}}}{}\n",
+            h.name,
+            h.intervals,
+            h.events,
+            h.shield_hits,
+            h.promotions,
+            h.promotions_dropped,
+            h.evictions,
+            h.retained,
+            h.saturations,
+            h.mean_counter_occupancy,
+            h.mean_accumulator_fill,
+            if i + 1 == health.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +443,25 @@ mod tests {
         assert!(json.contains("\"multi-hash\""));
         assert!(json.contains("\"engine-1shard\""));
         assert_eq!(json.matches("\"best_secs\"").count(), report.cases.len());
+    }
+
+    #[test]
+    fn sketch_health_covers_both_sketches_and_the_whole_stream() {
+        let opts = tiny();
+        let health = sketch_health(&opts);
+        assert_eq!(health.len(), 2);
+        for h in &health {
+            // 30k events / 1.5k interval = 20 complete intervals.
+            assert_eq!(h.intervals, 20, "{}", h.name);
+            assert_eq!(h.events, 30_000, "{}", h.name);
+            assert!(h.promotions > 0, "{} never promoted", h.name);
+            assert!(h.mean_counter_occupancy > 0.0 && h.mean_counter_occupancy <= 1.0);
+            assert!(h.mean_accumulator_fill > 0.0 && h.mean_accumulator_fill <= 1.0);
+        }
+        let json = telemetry_json(&health);
+        assert!(json.contains("\"hotpath_telemetry\""));
+        assert!(json.contains("\"multi-hash\"") && json.contains("\"single-hash\""));
+        assert_eq!(json.matches("\"promotions\"").count(), 2);
     }
 
     #[test]

@@ -25,6 +25,26 @@ struct EntryState {
     replaceable: bool,
 }
 
+/// How an [`AccumulatorTable::insert_tracked`] promotion was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The tuple took an empty slot.
+    InsertedEmpty,
+    /// The tuple evicted the coldest replaceable resident entry.
+    InsertedEvicting,
+    /// The table was full of non-replaceable entries; the promotion was
+    /// dropped.
+    Dropped,
+}
+
+impl InsertOutcome {
+    /// Whether the tuple is now resident.
+    #[inline]
+    pub fn inserted(self) -> bool {
+        !matches!(self, InsertOutcome::Dropped)
+    }
+}
+
 /// A read-only view of one accumulator entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccumulatorEntry {
@@ -140,6 +160,13 @@ impl AccumulatorTable {
     /// Panics in debug builds if `tuple` is already resident (callers must
     /// check [`observe`](Self::observe) first; a resident tuple is shielded).
     pub fn insert(&mut self, tuple: Tuple, init_count: u64) -> bool {
+        self.insert_tracked(tuple, init_count).inserted()
+    }
+
+    /// Like [`insert`](Self::insert), but reports *how* the slot was found
+    /// — empty, by eviction, or not at all — so introspection can count
+    /// evictions and dropped promotions separately.
+    pub fn insert_tracked(&mut self, tuple: Tuple, init_count: u64) -> InsertOutcome {
         debug_assert!(
             !self.entries.contains_key(&tuple),
             "insert of resident tuple {tuple}; shielding should have caught it"
@@ -152,7 +179,7 @@ impl AccumulatorTable {
                     replaceable: false,
                 },
             );
-            return true;
+            return InsertOutcome::InsertedEmpty;
         }
         // Evict the coldest replaceable entry; deterministic tie-break.
         let victim = self
@@ -171,9 +198,9 @@ impl AccumulatorTable {
                         replaceable: false,
                     },
                 );
-                true
+                InsertOutcome::InsertedEvicting
             }
-            None => false,
+            None => InsertOutcome::Dropped,
         }
     }
 
@@ -282,6 +309,22 @@ mod tests {
         assert!(!acc.insert(t(2), 5), "no empty or replaceable slot");
         assert!(acc.contains(t(1)));
         assert!(!acc.contains(t(2)));
+    }
+
+    #[test]
+    fn insert_tracked_distinguishes_every_outcome() {
+        let mut acc = AccumulatorTable::new(1).unwrap();
+        assert_eq!(acc.insert_tracked(t(1), 10), InsertOutcome::InsertedEmpty);
+        assert_eq!(acc.insert_tracked(t(2), 10), InsertOutcome::Dropped);
+        acc.finish_interval(true, 10); // t(1) retained, replaceable
+        assert_eq!(
+            acc.insert_tracked(t(3), 10),
+            InsertOutcome::InsertedEvicting
+        );
+        assert!(acc.contains(t(3)));
+        assert!(InsertOutcome::InsertedEmpty.inserted());
+        assert!(InsertOutcome::InsertedEvicting.inserted());
+        assert!(!InsertOutcome::Dropped.inserted());
     }
 
     #[test]

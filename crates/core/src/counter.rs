@@ -107,6 +107,12 @@ impl CounterArray {
         self.counters.iter().filter(|&&c| c >= threshold).count()
     }
 
+    /// Number of counters holding a non-zero value — the table's occupancy,
+    /// reported by sketch introspection at interval end.
+    pub fn occupied(&self) -> usize {
+        self.counters.iter().filter(|&&c| c > 0).count()
+    }
+
     /// Bytes of hardware storage this array represents (3 bytes per counter,
     /// per the paper's area accounting).
     pub fn storage_bytes(&self) -> usize {
@@ -258,6 +264,12 @@ impl CounterBlock {
     /// Iterates over all counter values, table 0 first.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.values.iter().copied()
+    }
+
+    /// Number of counters (across all tables) holding a non-zero value —
+    /// the sketch's occupancy, reported by introspection at interval end.
+    pub fn occupied(&self) -> usize {
+        self.values.iter().filter(|&&c| c > 0).count()
     }
 
     /// Direct mutable access for tests that need to preset counters (e.g.

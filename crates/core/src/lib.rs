@@ -61,6 +61,7 @@ pub mod counter;
 pub mod error;
 pub mod hash;
 pub mod interval;
+pub mod introspect;
 pub mod multi_hash;
 pub mod perfect;
 pub mod profile;
@@ -70,12 +71,13 @@ pub mod single_hash;
 pub mod theory;
 pub mod tuple;
 
-pub use accumulator::{AccumulatorEntry, AccumulatorTable};
+pub use accumulator::{AccumulatorEntry, AccumulatorTable, InsertOutcome};
 pub use area::AreaModel;
 pub use counter::{CounterArray, CounterBlock, COUNTER_MAX};
 pub use error::{ConfigError, MergeError};
 pub use hash::{HashFamily, TupleHasher};
 pub use interval::IntervalConfig;
+pub use introspect::{CollectingSink, IntrospectionSink, SinkHandle, SketchSnapshot};
 pub use multi_hash::{MultiHashConfig, MultiHashProfiler};
 pub use perfect::{ExactCounts, PerfectProfiler};
 pub use profile::{Candidate, IntervalProfile};

@@ -19,11 +19,14 @@
 //!   that aliasing neighbours had legitimately accumulated), so the best
 //!   configuration is `C1 R0` with 4 tables.
 
+use std::sync::Arc;
+
 use crate::accumulator::AccumulatorTable;
 use crate::counter::{CounterBlock, COUNTER_MAX};
 use crate::error::ConfigError;
 use crate::hash::HashFamily;
 use crate::interval::IntervalConfig;
+use crate::introspect::{IntervalTally, IntrospectionSink, SinkHandle, SketchSnapshot};
 use crate::profile::{Candidate, IntervalProfile};
 use crate::profiler::EventProfiler;
 use crate::tuple::Tuple;
@@ -220,6 +223,11 @@ pub struct MultiHashProfiler {
     /// Scratch buffer holding the counter values read at those indices, so
     /// the conservative-update path reads each counter exactly once.
     vals: Vec<u32>,
+    /// Per-interval introspection tallies (plain register adds; folded
+    /// into a [`SketchSnapshot`] only when a sink is installed).
+    tally: IntervalTally,
+    /// Optional per-interval introspection sink.
+    sink: SinkHandle,
 }
 
 impl MultiHashProfiler {
@@ -249,6 +257,8 @@ impl MultiHashProfiler {
             interval_idx: 0,
             scratch: vec![0; config.num_tables()],
             vals: vec![0; config.num_tables()],
+            tally: IntervalTally::default(),
+            sink: SinkHandle::none(),
         })
     }
 
@@ -301,10 +311,41 @@ impl MultiHashProfiler {
     }
 
     fn end_interval(&mut self) -> IntervalProfile {
+        // Occupancy is scanned only when someone is listening; the scan
+        // must happen before the flush below wipes the tables.
+        let introspecting = self.sink.is_installed();
+        let (counters_occupied, accumulator_len) = if introspecting {
+            (self.block.occupied() as u64, self.accumulator.len() as u64)
+        } else {
+            (0, 0)
+        };
+        let events = self.events;
         let candidates = self
             .accumulator
             .finish_interval(self.config.retaining, self.threshold);
         self.block.clear();
+        if introspecting {
+            let retained = if self.config.retaining {
+                candidates.len() as u64
+            } else {
+                0
+            };
+            self.sink.emit(&SketchSnapshot {
+                interval_index: self.interval_idx,
+                events,
+                shield_hits: self.tally.shield_hits,
+                promotions: self.tally.promotions,
+                promotions_dropped: self.tally.promotions_dropped,
+                evictions: self.tally.evictions,
+                saturations: self.tally.saturations,
+                retained,
+                counters_occupied,
+                counters_total: self.block.len() as u64,
+                accumulator_len,
+                accumulator_capacity: self.accumulator.capacity() as u64,
+            });
+        }
+        self.tally.reset();
         let profile =
             IntervalProfile::from_candidates(self.interval_idx, self.interval, candidates);
         self.interval_idx += 1;
@@ -394,23 +435,29 @@ impl MultiHashProfiler {
                 } else {
                     self.bump_plain()
                 };
+                self.tally.saturations += u64::from(min_after >= u64::from(COUNTER_MAX));
                 if min_after >= threshold {
-                    let promoted = self.accumulator.insert(tuple, threshold);
-                    if RESETTING && promoted {
+                    let outcome = self.accumulator.insert_tracked(tuple, threshold);
+                    self.tally.note_insert(outcome);
+                    if RESETTING && outcome.inserted() {
                         // `scratch` still holds this tuple's flat indices.
                         for &flat in &self.scratch {
                             self.block.reset(flat);
                         }
                     }
                 }
-            } else if !SHIELDING {
-                // Ablation mode: resident tuples still update the hash
-                // tables (but are never re-promoted — already resident).
-                self.fill_scratch(tuple);
-                if CONSERVATIVE {
-                    self.bump_conservative();
-                } else {
-                    self.bump_plain();
+            } else {
+                self.tally.shield_hits += 1;
+                if !SHIELDING {
+                    // Ablation mode: resident tuples still update the hash
+                    // tables (but are never re-promoted — already resident).
+                    self.fill_scratch(tuple);
+                    let min_after = if CONSERVATIVE {
+                        self.bump_conservative()
+                    } else {
+                        self.bump_plain()
+                    };
+                    self.tally.saturations += u64::from(min_after >= u64::from(COUNTER_MAX));
                 }
             }
             self.events += 1;
@@ -429,18 +476,23 @@ impl EventProfiler for MultiHashProfiler {
     fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
         // Shielding: resident tuples are counted in the accumulator only.
         let resident = self.accumulator.observe(tuple, self.threshold);
-        if resident && !self.config.shielding {
-            // Ablation mode: resident tuples still update the hash tables
-            // (but are never re-promoted — they are already resident).
-            self.update_counters(tuple);
-        }
-        if !resident {
+        if resident {
+            self.tally.shield_hits += 1;
+            if !self.config.shielding {
+                // Ablation mode: resident tuples still update the hash
+                // tables (but are never re-promoted — already resident).
+                let min_after = self.update_counters(tuple);
+                self.tally.saturations += u64::from(min_after >= u64::from(COUNTER_MAX));
+            }
+        } else {
             let min_after = self.update_counters(tuple);
+            self.tally.saturations += u64::from(min_after >= u64::from(COUNTER_MAX));
             // Promotion requires *every* counter at or above the threshold,
             // i.e. the minimum crossed it.
             if min_after >= self.threshold {
-                let promoted = self.accumulator.insert(tuple, self.threshold);
-                if promoted && self.config.resetting {
+                let outcome = self.accumulator.insert_tracked(tuple, self.threshold);
+                self.tally.note_insert(outcome);
+                if outcome.inserted() && self.config.resetting {
                     // `scratch` still holds this tuple's flat indices.
                     for &flat in &self.scratch {
                         self.block.reset(flat);
@@ -493,6 +545,7 @@ impl EventProfiler for MultiHashProfiler {
         self.accumulator.clear();
         self.events = 0;
         self.interval_idx = 0;
+        self.tally.reset();
     }
 
     fn events_in_current_interval(&self) -> u64 {
@@ -501,6 +554,10 @@ impl EventProfiler for MultiHashProfiler {
 
     fn interval_index(&self) -> u64 {
         self.interval_idx
+    }
+
+    fn set_introspection_sink(&mut self, sink: Option<Arc<dyn IntrospectionSink>>) {
+        self.sink.set(sink);
     }
 }
 

@@ -1,6 +1,9 @@
 //! The common interface every profiling architecture implements.
 
+use std::sync::Arc;
+
 use crate::interval::IntervalConfig;
+use crate::introspect::IntrospectionSink;
 use crate::profile::{Candidate, IntervalProfile};
 use crate::tuple::Tuple;
 
@@ -92,6 +95,19 @@ pub trait EventProfiler {
     /// Index of the interval currently being gathered (completed intervals
     /// are numbered `0..interval_index()`).
     fn interval_index(&self) -> u64;
+
+    /// Installs (or, with `None`, removes) an [`IntrospectionSink`] that
+    /// receives one [`SketchSnapshot`](crate::SketchSnapshot) per completed
+    /// interval.
+    ///
+    /// The default implementation ignores the sink — profilers with no
+    /// sketch state to introspect (e.g. the perfect reference profiler)
+    /// simply never report. The hardware architectures override this; with
+    /// no sink installed their hot path stays free of any per-event
+    /// introspection cost beyond a few plain register increments.
+    fn set_introspection_sink(&mut self, sink: Option<Arc<dyn IntrospectionSink>>) {
+        let _ = sink;
+    }
 
     /// Feeds every event from `events`, collecting the completed interval
     /// profiles.

@@ -13,11 +13,14 @@
 //! * **retaining** (`P1`, §5.4.1) — last interval's candidates stay resident
 //!   (and shielded) into the next interval.
 
+use std::sync::Arc;
+
 use crate::accumulator::AccumulatorTable;
-use crate::counter::CounterArray;
+use crate::counter::{CounterArray, COUNTER_MAX};
 use crate::error::ConfigError;
 use crate::hash::TupleHasher;
 use crate::interval::IntervalConfig;
+use crate::introspect::{IntervalTally, IntrospectionSink, SinkHandle, SketchSnapshot};
 use crate::profile::{Candidate, IntervalProfile};
 use crate::profiler::EventProfiler;
 use crate::tuple::Tuple;
@@ -165,6 +168,11 @@ pub struct SingleHashProfiler {
     threshold: u64,
     events: u64,
     interval_idx: u64,
+    /// Per-interval introspection tallies (plain register adds; folded
+    /// into a [`SketchSnapshot`] only when a sink is installed).
+    tally: IntervalTally,
+    /// Optional per-interval introspection sink.
+    sink: SinkHandle,
 }
 
 impl SingleHashProfiler {
@@ -190,6 +198,8 @@ impl SingleHashProfiler {
             threshold: interval.threshold_count(),
             events: 0,
             interval_idx: 0,
+            tally: IntervalTally::default(),
+            sink: SinkHandle::none(),
         })
     }
 
@@ -217,10 +227,44 @@ impl SingleHashProfiler {
     }
 
     fn end_interval(&mut self) -> IntervalProfile {
+        // Occupancy is scanned only when someone is listening; the scan
+        // must happen before the flush below wipes the table.
+        let introspecting = self.sink.is_installed();
+        let (counters_occupied, accumulator_len) = if introspecting {
+            (
+                self.counters.occupied() as u64,
+                self.accumulator.len() as u64,
+            )
+        } else {
+            (0, 0)
+        };
+        let events = self.events;
         let candidates = self
             .accumulator
             .finish_interval(self.config.retaining, self.threshold);
         self.counters.clear();
+        if introspecting {
+            let retained = if self.config.retaining {
+                candidates.len() as u64
+            } else {
+                0
+            };
+            self.sink.emit(&SketchSnapshot {
+                interval_index: self.interval_idx,
+                events,
+                shield_hits: self.tally.shield_hits,
+                promotions: self.tally.promotions,
+                promotions_dropped: self.tally.promotions_dropped,
+                evictions: self.tally.evictions,
+                saturations: self.tally.saturations,
+                retained,
+                counters_occupied,
+                counters_total: self.counters.len() as u64,
+                accumulator_len,
+                accumulator_capacity: self.accumulator.capacity() as u64,
+            });
+        }
+        self.tally.reset();
         let profile =
             IntervalProfile::from_candidates(self.interval_idx, self.interval, candidates);
         self.interval_idx += 1;
@@ -243,16 +287,22 @@ impl SingleHashProfiler {
             if !resident {
                 let idx = self.hasher.index(tuple);
                 let value = self.counters.increment(idx);
+                self.tally.saturations += u64::from(value >= COUNTER_MAX);
                 if u64::from(value) >= threshold {
-                    let promoted = self.accumulator.insert(tuple, threshold);
-                    if RESETTING && promoted {
+                    let outcome = self.accumulator.insert_tracked(tuple, threshold);
+                    self.tally.note_insert(outcome);
+                    if RESETTING && outcome.inserted() {
                         self.counters.reset(idx);
                     }
                 }
-            } else if !SHIELDING {
-                // Ablation mode: resident tuples still update the hash
-                // table (but are never re-promoted — already resident).
-                self.counters.increment(self.hasher.index(tuple));
+            } else {
+                self.tally.shield_hits += 1;
+                if !SHIELDING {
+                    // Ablation mode: resident tuples still update the hash
+                    // table (but are never re-promoted — already resident).
+                    let value = self.counters.increment(self.hasher.index(tuple));
+                    self.tally.saturations += u64::from(value >= COUNTER_MAX);
+                }
             }
             self.events += 1;
             if self.interval.is_boundary(self.events) {
@@ -272,17 +322,23 @@ impl EventProfiler for SingleHashProfiler {
         if !self.accumulator.observe(tuple, self.threshold) {
             let idx = self.hasher.index(tuple);
             let value = self.counters.increment(idx);
+            self.tally.saturations += u64::from(value >= COUNTER_MAX);
             if u64::from(value) >= self.threshold {
-                let promoted = self.accumulator.insert(tuple, self.threshold);
-                if promoted && self.config.resetting {
+                let outcome = self.accumulator.insert_tracked(tuple, self.threshold);
+                self.tally.note_insert(outcome);
+                if outcome.inserted() && self.config.resetting {
                     self.counters.reset(idx);
                 }
             }
-        } else if !self.config.shielding {
-            // Ablation mode: resident tuples still update the hash table
-            // (but are never re-promoted — they are already resident).
-            let idx = self.hasher.index(tuple);
-            self.counters.increment(idx);
+        } else {
+            self.tally.shield_hits += 1;
+            if !self.config.shielding {
+                // Ablation mode: resident tuples still update the hash
+                // table (but are never re-promoted — already resident).
+                let idx = self.hasher.index(tuple);
+                let value = self.counters.increment(idx);
+                self.tally.saturations += u64::from(value >= COUNTER_MAX);
+            }
         }
         self.events += 1;
         if self.interval.is_boundary(self.events) {
@@ -321,6 +377,7 @@ impl EventProfiler for SingleHashProfiler {
         self.accumulator.clear();
         self.events = 0;
         self.interval_idx = 0;
+        self.tally.reset();
     }
 
     fn events_in_current_interval(&self) -> u64 {
@@ -329,6 +386,10 @@ impl EventProfiler for SingleHashProfiler {
 
     fn interval_index(&self) -> u64 {
         self.interval_idx
+    }
+
+    fn set_introspection_sink(&mut self, sink: Option<Arc<dyn IntrospectionSink>>) {
+        self.sink.set(sink);
     }
 }
 

@@ -28,18 +28,23 @@
 //! Batches never cross an interval boundary, so workers need no boundary
 //! logic at all: observe the batch, cut on [`Msg::Cut`].
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use mhp_core::{
-    Candidate, ConfigError, EventProfiler, IntervalConfig, IntervalProfile, MultiHashConfig,
-    MultiHashProfiler, PerfectProfiler, SingleHashConfig, SingleHashProfiler, Tuple,
+    Candidate, ConfigError, EventProfiler, IntervalConfig, IntervalProfile, IntrospectionSink,
+    MultiHashConfig, MultiHashProfiler, PerfectProfiler, SingleHashConfig, SingleHashProfiler,
+    Tuple,
 };
+use mhp_telemetry::Gauge;
 
 use crate::error::Error;
+use crate::telemetry::EngineTelemetry;
 
 /// Which profiler architecture each shard runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -279,12 +284,27 @@ enum Msg {
 /// assert_eq!(report.intervals, 2);
 /// assert_eq!(report.events, 25_000);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ShardedEngine {
     config: EngineConfig,
     interval: IntervalConfig,
     spec: ProfilerSpec,
     seed: u64,
+    telemetry: Option<EngineTelemetry>,
+    sink: Option<Arc<dyn IntrospectionSink>>,
+}
+
+impl fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("config", &self.config)
+            .field("interval", &self.interval)
+            .field("spec", &self.spec)
+            .field("seed", &self.seed)
+            .field("telemetry", &self.telemetry.is_some())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl ShardedEngine {
@@ -301,7 +321,25 @@ impl ShardedEngine {
             interval,
             spec,
             seed,
+            telemetry: None,
+            sink: None,
         }
+    }
+
+    /// Attaches engine metrics: every session this engine starts reports
+    /// dispatch counters, batch-size and cut-latency histograms, and live
+    /// per-shard queue-depth gauges through `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: EngineTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Installs an [`IntrospectionSink`] on every shard profiler this
+    /// engine builds; each reports one
+    /// [`SketchSnapshot`](mhp_core::SketchSnapshot) per interval cut.
+    pub fn with_introspection_sink(mut self, sink: Arc<dyn IntrospectionSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The engine sizing.
@@ -386,13 +424,19 @@ impl ShardedEngine {
     pub fn start(&self) -> Result<EngineSession, Error> {
         self.config.validate()?;
         let shard_interval = self.interval.with_external_cut();
-        let profilers = (0..self.config.shards())
+        let mut profilers = (0..self.config.shards())
             .map(|_| self.spec.build(shard_interval, self.seed))
             .collect::<Result<Vec<_>, _>>()?;
+        if let Some(sink) = &self.sink {
+            for profiler in &mut profilers {
+                profiler.set_introspection_sink(Some(sink.clone()));
+            }
+        }
         Ok(EngineSession::spawn(
             &self.config,
             self.interval.interval_len(),
             profilers,
+            self.telemetry.clone(),
         ))
     }
 }
@@ -430,6 +474,12 @@ pub struct EngineSession {
     interval_len: u64,
     batch_cap: usize,
     started: Instant,
+    telemetry: Option<EngineTelemetry>,
+    /// Per-shard live queue-depth gauges (empty without telemetry). The
+    /// dispatcher increments on send, the worker decrements on receipt.
+    queue_gauges: Vec<Gauge>,
+    /// Broadcast times of cuts not yet collected, for cut-latency metrics.
+    cut_starts: VecDeque<Instant>,
 }
 
 impl EngineSession {
@@ -440,18 +490,24 @@ impl EngineSession {
         config: &EngineConfig,
         interval_len: u64,
         profilers: Vec<Box<dyn EventProfiler + Send>>,
+        telemetry: Option<EngineTelemetry>,
     ) -> Self {
         let shards = profilers.len();
+        let queue_gauges = telemetry
+            .as_ref()
+            .map(|t| t.queue_depth_gauges(shards))
+            .unwrap_or_default();
         let mut senders = Vec::with_capacity(shards);
         let mut profile_rxs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
-        for profiler in profilers {
+        for (shard, profiler) in profilers.into_iter().enumerate() {
             let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity());
             let (profile_tx, profile_rx) = std::sync::mpsc::channel();
+            let depth = queue_gauges.get(shard).cloned();
             senders.push(tx);
             profile_rxs.push(profile_rx);
             handles.push(thread::spawn(move || {
-                shard_worker(profiler, rx, profile_tx)
+                shard_worker(profiler, rx, profile_tx, depth)
             }));
         }
         let batch_cap = config.batch_events();
@@ -468,6 +524,9 @@ impl EngineSession {
             interval_len,
             batch_cap,
             started: Instant::now(),
+            telemetry,
+            queue_gauges,
+            cut_starts: VecDeque::new(),
         }
     }
 
@@ -493,6 +552,8 @@ impl EngineSession {
                 &mut self.stats[shard],
                 shard,
                 Msg::Batch(batch),
+                self.telemetry.as_ref(),
+                self.queue_gauges.get(shard),
             )?;
         }
         if self.in_interval == self.interval_len {
@@ -562,6 +623,8 @@ impl EngineSession {
                 &mut self.stats[shard],
                 shard,
                 Msg::TopK(k, reply_tx.clone()),
+                self.telemetry.as_ref(),
+                self.queue_gauges.get(shard),
             )?;
         }
         drop(reply_tx);
@@ -649,6 +712,8 @@ impl EngineSession {
                     &mut self.stats[shard],
                     shard,
                     Msg::Batch(batch),
+                    self.telemetry.as_ref(),
+                    self.queue_gauges.get(shard),
                 )?;
             }
         }
@@ -665,7 +730,13 @@ impl EngineSession {
                 &mut self.stats[shard],
                 shard,
                 Msg::Cut,
+                self.telemetry.as_ref(),
+                self.queue_gauges.get(shard),
             )?;
+        }
+        if let Some(t) = &self.telemetry {
+            t.cuts.incr();
+            self.cut_starts.push_back(Instant::now());
         }
         self.pending_cuts += 1;
         self.in_interval = 0;
@@ -683,6 +754,9 @@ impl EngineSession {
             }
             self.completed.push(IntervalProfile::merge(parts)?);
             self.pending_cuts -= 1;
+            if let (Some(t), Some(start)) = (&self.telemetry, self.cut_starts.pop_front()) {
+                t.cut_latency.record_duration(start.elapsed());
+            }
         }
         Ok(())
     }
@@ -707,18 +781,34 @@ fn dispatch(
     stats: &mut ShardStats,
     shard: usize,
     msg: Msg,
+    telemetry: Option<&EngineTelemetry>,
+    depth: Option<&Gauge>,
 ) -> Result<(), Error> {
-    if let Msg::Batch(_) = &msg {
+    if let Msg::Batch(batch) = &msg {
         stats.batches += 1;
+        if let Some(t) = telemetry {
+            t.batches.incr();
+            t.events.add(batch.len() as u64);
+            t.batch_events.record(batch.len() as u64);
+        }
     }
-    match sender.try_send(msg) {
+    let sent = match sender.try_send(msg) {
         Ok(()) => Ok(()),
         Err(TrySendError::Full(msg)) => {
             stats.stalls += 1;
+            if let Some(t) = telemetry {
+                t.stalls.incr();
+            }
             sender.send(msg).map_err(|_| Error::WorkerDied { shard })
         }
         Err(TrySendError::Disconnected(_)) => Err(Error::WorkerDied { shard }),
+    };
+    if sent.is_ok() {
+        if let Some(depth) = depth {
+            depth.incr();
+        }
     }
+    sent
 }
 
 /// Extracts a human-readable message from a worker thread's panic payload.
@@ -736,8 +826,13 @@ fn shard_worker(
     mut profiler: Box<dyn EventProfiler + Send>,
     rx: Receiver<Msg>,
     profile_tx: Sender<IntervalProfile>,
+    depth: Option<Gauge>,
 ) {
     for msg in rx {
+        // The message left the queue: the shard's live backlog shrank.
+        if let Some(depth) = &depth {
+            depth.decr();
+        }
         match msg {
             Msg::Batch(batch) => {
                 // One virtual call per batch, with the profiler's branch-
@@ -1037,6 +1132,7 @@ mod tests {
             vec![Box::new(Slow(PerfectProfiler::new(
                 interval.with_external_cut(),
             )))],
+            None,
         );
         for tuple in li_events(400) {
             session.push(tuple).unwrap();
@@ -1087,6 +1183,7 @@ mod tests {
             &config,
             1_000_000,
             vec![Box::new(Poisoned { interval, seen: 0 })],
+            None,
         );
         let mut push_err = None;
         for tuple in li_events(10_000) {
@@ -1108,6 +1205,50 @@ mod tests {
             }
             other => panic!("finish must report the worker panic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn instrumented_run_reports_engine_and_sketch_metrics() {
+        use crate::telemetry::{EngineTelemetry, RegistrySink};
+        use mhp_telemetry::{stat_value, Registry};
+
+        let registry = Registry::new();
+        let interval = IntervalConfig::new(5_000, 0.01).unwrap();
+        let engine = ShardedEngine::new(
+            EngineConfig::new(2).with_batch_events(256),
+            interval,
+            ProfilerSpec::MultiHash(MultiHashConfig::best()),
+            42,
+        )
+        .with_telemetry(EngineTelemetry::new(&registry))
+        .with_introspection_sink(RegistrySink::shared(&registry));
+
+        let report = engine.run(li_events(12_000)).unwrap();
+        assert_eq!(report.events, 12_000);
+        assert_eq!(report.intervals, 2);
+
+        let text = registry.render_prometheus();
+        assert_eq!(stat_value(&text, "engine_events_total"), Some(12_000));
+        assert_eq!(stat_value(&text, "engine_cuts_total"), Some(2));
+        assert!(stat_value(&text, "engine_batches_total").unwrap() > 0);
+        assert!(stat_value(&text, "engine_batch_events_count").unwrap() > 0);
+        assert_eq!(stat_value(&text, "engine_cut_latency_us_count"), Some(2));
+        // Both shards' profilers reported through the sink: one snapshot
+        // per shard per cut; the trailing 2 000-event partial interval is
+        // never cut, so it appears in engine_events_total only.
+        assert_eq!(stat_value(&text, "sketch_intervals_total"), Some(4));
+        assert_eq!(stat_value(&text, "sketch_events_total"), Some(10_000));
+        assert!(stat_value(&text, "sketch_promotions_total").unwrap() > 0);
+        // Queues drained: every depth gauge is back to zero.
+        assert!(text.contains("engine_queue_depth{shard=\"0\"} 0"));
+        assert!(text.contains("engine_queue_depth{shard=\"1\"} 0"));
+        // An uninstrumented engine still works and touches none of this.
+        let plain = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
+        plain.run(li_events(6_000)).unwrap();
+        assert_eq!(
+            stat_value(&registry.render_prometheus(), "engine_events_total"),
+            Some(12_000)
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub mod engine;
 pub mod error;
 pub mod format;
+pub mod telemetry;
 
 pub use engine::{
     shard_of, EngineConfig, EngineReport, EngineSession, ProfilerSpec, ShardStats, ShardedEngine,
@@ -63,3 +64,4 @@ pub use format::{
     crc32, decode_chunk, decode_chunk_into, encode_chunk, TraceKind, TraceReader, TraceWriter,
     CHUNK_HEADER_BYTES, DEFAULT_CHUNK_EVENTS, FORMAT_VERSION, MAGIC, MAX_CHUNK_BYTES,
 };
+pub use telemetry::{EngineTelemetry, RegistrySink};

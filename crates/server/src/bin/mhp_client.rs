@@ -26,8 +26,8 @@ commands:
                   [--profiler P] [--shards N] [--interval-len N]
                   [--threshold F] [--seed S] [--chunk-events N] [--close]
   query           --addr A --session NAME --op OP [--n N] [--interval I]
-                  (OP: snapshot, topk, cut, stats, close;
-                   stats is server-wide and needs no --session)
+                  (OP: snapshot, topk, cut, stats, metrics, close;
+                   stats and metrics are server-wide, no --session)
   loadgen         --addr A [--clients N] [--events N] [--chunk-events N]
                   [--profiler P] [--shards N] [--interval-len N]
   verify          --addr A [--stream B:K:S] [--events N] [--profiler P]
@@ -171,8 +171,10 @@ fn cmd_record_and_send(mut opts: Options) -> Result<(), ServerError> {
 fn cmd_query(mut opts: Options) -> Result<(), ServerError> {
     let addr = opts.require("addr")?;
     let op = opts.require("op")?;
-    // `stats` is server-wide; every other op targets a named session.
-    let session = if op == "stats" {
+    // `stats` and `metrics` are server-wide; every other op targets a
+    // named session.
+    let server_wide = op == "stats" || op == "metrics";
+    let session = if server_wide {
         opts.take("session").unwrap_or_default()
     } else {
         opts.require("session")?
@@ -182,7 +184,7 @@ fn cmd_query(mut opts: Options) -> Result<(), ServerError> {
     opts.finish()?;
 
     let mut client = Client::connect(addr.as_str())?;
-    if op != "stats" {
+    if !server_wide {
         client.attach(&session)?;
     }
     match op.as_str() {
@@ -205,6 +207,7 @@ fn cmd_query(mut opts: Options) -> Result<(), ServerError> {
             None => println!("interval was empty; nothing cut"),
         },
         "stats" => print!("{}", client.stats()?),
+        "metrics" => print!("{}", client.metrics()?),
         "close" => {
             client.close_session()?;
             println!("session {session} closed");

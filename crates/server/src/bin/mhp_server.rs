@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mhp-server --addr 127.0.0.1:7070 [--max-conns 32] [--read-timeout-ms 200]
+//!            [--metrics-export PATH] [--metrics-export-interval-ms 10000]
 //! ```
 //!
 //! Prints `listening on ADDR` once bound (an ephemeral `:0` port resolves
@@ -19,7 +20,13 @@ options:
   --addr A             listen address (default 127.0.0.1:7070; use :0 for
                        an ephemeral port)
   --max-conns N        concurrent connection limit (default 32)
-  --read-timeout-ms N  per-connection read timeout (default 200)";
+  --read-timeout-ms N  per-connection read timeout (default 200)
+  --metrics-export P   append periodic JSONL metric snapshots to file P
+                       (off by default; a final snapshot is written at
+                       shutdown)
+  --metrics-export-interval-ms N
+                       snapshot period when --metrics-export is set
+                       (default 10000)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:7070".to_string();
@@ -43,6 +50,15 @@ fn run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--read-timeout-ms needs a number".to_string())?;
                 config.read_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--metrics-export" => {
+                config.metrics_export_path = Some(value("metrics-export")?.into());
+            }
+            "--metrics-export-interval-ms" => {
+                let ms: u64 = value("metrics-export-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--metrics-export-interval-ms needs a number".to_string())?;
+                config.metrics_export_interval = Duration::from_millis(ms.max(1));
             }
             other => return Err(format!("unknown option {other:?}")),
         }

@@ -173,6 +173,20 @@ impl Client {
         }
     }
 
+    /// The server's full metric registry (server, engine and sketch
+    /// metrics) in Prometheus text exposition format.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; the metrics query always succeeds
+    /// server-side.
+    pub fn metrics(&mut self) -> Result<String, ServerError> {
+        match self.call_ok(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Destroys the attached session.
     ///
     /// # Errors
@@ -265,9 +279,9 @@ impl LoadgenReport {
             self.errors,
             self.elapsed.as_millis(),
             self.events_per_sec(),
-            self.latency.quantile_us(0.50),
-            self.latency.quantile_us(0.90),
-            self.latency.quantile_us(0.99),
+            self.latency.quantile(0.50),
+            self.latency.quantile(0.90),
+            self.latency.quantile(0.99),
         )
     }
 }
@@ -319,7 +333,7 @@ pub fn loadgen(
                     let outcome = client.call(&Request::Ingest {
                         chunk: encode_chunk(chunk),
                     });
-                    latency.record(sent.elapsed());
+                    latency.record_duration(sent.elapsed());
                     requests.fetch_add(1, Ordering::Relaxed);
                     match outcome {
                         Ok(Response::Ingested { .. }) => {}

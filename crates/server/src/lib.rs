@@ -11,7 +11,9 @@
 //! * `topk` — the hottest tuples of the *current partial* interval,
 //!   straight from the accumulators;
 //! * `cut` — force the global interval to end now;
-//! * `stats` — server metrics (atomic counters plus latency histograms).
+//! * `stats` — server metrics as legacy `key value` text;
+//! * `metrics` — the full server/engine/sketch metric registry in
+//!   Prometheus text exposition format (see `mhp-telemetry`).
 //!
 //! Sessions are server-resident: a recorder process can stream chunks
 //! while a dashboard process attaches to the same session by name and
@@ -61,7 +63,7 @@ pub mod server;
 
 pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport};
 pub use error::{ErrorCode, ServerError};
-pub use metrics::{stat_value, Histogram, Metrics};
+pub use metrics::{stat_value, Counter, Gauge, Histogram, Metrics};
 pub use protocol::{
     ProfileData, ProfilerKind, Request, Response, SessionConfig, SessionInfo, MAX_FRAME_BYTES,
 };

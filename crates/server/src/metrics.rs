@@ -1,232 +1,145 @@
-//! Lock-free server metrics: atomic counters and gauges plus fixed-bucket
-//! latency histograms, rendered as plain `key value` text for the `stats`
-//! query.
+//! Server metrics, built on the shared `mhp-telemetry` registry.
 //!
-//! Everything here is updated from request-handler threads with relaxed
-//! atomics — a metric read may lag a concurrent write by a few operations,
-//! which is fine for observability and keeps the hot ingest path free of
-//! locks.
+//! Every counter, gauge and latency histogram the server maintains lives
+//! on one [`Registry`], under Prometheus-style names (`server_*`). The
+//! same registry also carries the engine (`engine_*`) and sketch
+//! (`sketch_*`) metrics that sessions report, so one
+//! [`render_prometheus`](Registry::render_prometheus) call — the `metrics`
+//! query — exposes the whole service.
+//!
+//! The legacy `stats` query format (plain `key value` lines under the
+//! original short names) is preserved verbatim by [`Metrics::render`]:
+//! existing scrapers keep working while new ones move to `metrics`.
+//!
+//! Updates are wait-free relaxed atomics throughout — a read may lag a
+//! concurrent write by a few operations, which is fine for observability
+//! and keeps the hot ingest path free of locks.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use mhp_telemetry::Registry;
 
-/// Power-of-two histogram buckets: bucket `i` counts samples whose value
-/// `v` (in microseconds) satisfies `v < 2^i`, exclusive of lower buckets.
-/// 40 buckets cover ~13 days in µs — far beyond any realistic latency.
-const BUCKETS: usize = 40;
+pub use mhp_telemetry::{stat_value, Counter, Gauge, Histogram};
 
-/// A fixed-bucket log₂ histogram of microsecond durations.
-///
-/// Recording is wait-free (one relaxed `fetch_add` per bucket/count/sum);
-/// percentile estimates are upper bounds from the bucket boundary, which
-/// is the usual trade for never allocating on the record path.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub const fn new() -> Self {
-        #[allow(clippy::declare_interior_mutable_const)]
-        const ZERO: AtomicU64 = AtomicU64::new(0);
-        Histogram {
-            buckets: [ZERO; BUCKETS],
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one duration.
-    pub fn record(&self, duration: Duration) {
-        let us = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Sum of all recorded durations, in microseconds.
-    pub fn sum_us(&self) -> u64 {
-        self.sum_us.load(Ordering::Relaxed)
-    }
-
-    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`) in
-    /// microseconds: the upper boundary of the bucket holding that rank.
-    /// Returns 0 for an empty histogram.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Bucket i holds values in [2^(i-1), 2^i); report the upper
-                // boundary. Bucket 0 is exactly the value 0.
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        u64::MAX
-    }
-
-    /// Renders `NAME_count`, `NAME_sum_us` and p50/p90/p99 lines.
-    fn render(&self, name: &str, out: &mut String) {
-        use std::fmt::Write as _;
-        let _ = writeln!(out, "{name}_count {}", self.count());
-        let _ = writeln!(out, "{name}_sum_us {}", self.sum_us());
-        let _ = writeln!(out, "{name}_p50_us {}", self.quantile_us(0.50));
-        let _ = writeln!(out, "{name}_p90_us {}", self.quantile_us(0.90));
-        let _ = writeln!(out, "{name}_p99_us {}", self.quantile_us(0.99));
-    }
-}
-
-macro_rules! metrics_struct {
-    ($(#[doc = $doc:literal] $field:ident),+ $(,)?) => {
-        /// The server's metrics registry: shared by every connection
-        /// handler, read by the `stats` query. All counters are
-        /// monotonically increasing except `connections_active`, which is
-        /// a gauge.
-        #[derive(Debug, Default)]
+macro_rules! server_metrics {
+    ($(#[doc = $doc:literal] ($field:ident, $kind:ident, $metric:literal)),+ $(,)?) => {
+        /// The server's metric handles: shared by every connection
+        /// handler, read by the `stats` and `metrics` queries. All
+        /// counters are monotonically increasing except
+        /// `connections_active`, which is a gauge.
+        #[derive(Debug, Clone)]
         pub struct Metrics {
-            $(#[doc = $doc] pub $field: AtomicU64,)+
+            registry: Registry,
+            $(#[doc = $doc] pub $field: $kind,)+
             /// Latency of each request, measured from decoded request to
-            /// written response.
+            /// written response, in microseconds.
             pub request_latency: Histogram,
-            /// Time spent decoding each ingested chunk.
+            /// Time spent decoding each ingested chunk, in microseconds.
             pub chunk_decode: Histogram,
         }
 
         impl Metrics {
-            /// Renders every metric as one `key value` line, sorted by
-            /// declaration: counters first, then histogram summaries.
+            /// Registers every server metric on `registry` and returns
+            /// the handles.
+            pub fn on_registry(registry: &Registry) -> Self {
+                Metrics {
+                    registry: registry.clone(),
+                    $($field: registry.$kind($metric),)+
+                    request_latency: registry.histogram("server_request_latency_us"),
+                    chunk_decode: registry.histogram("server_chunk_decode_us"),
+                }
+            }
+
+            /// Renders the legacy `stats` text: one `key value` line per
+            /// metric under its original short name, counters first, then
+            /// histogram summaries. Byte-identical to the pre-registry
+            /// format.
             pub fn render(&self) -> String {
                 let mut out = String::new();
                 $(
                     out.push_str(concat!(stringify!($field), " "));
-                    out.push_str(
-                        &self.$field.load(Ordering::Relaxed).to_string());
+                    out.push_str(&self.$field.get().to_string());
                     out.push('\n');
                 )+
-                self.request_latency.render("request_latency", &mut out);
-                self.chunk_decode.render("chunk_decode", &mut out);
+                render_legacy_histogram(&self.request_latency, "request_latency", &mut out);
+                render_legacy_histogram(&self.chunk_decode, "chunk_decode", &mut out);
                 out
             }
         }
     };
 }
 
-metrics_struct! {
+// `$kind` doubles as the handle type and the Registry constructor name
+// (`counter` / `gauge`), so the macro stays a single table.
+#[allow(non_camel_case_types)]
+type counter = Counter;
+#[allow(non_camel_case_types)]
+type gauge = Gauge;
+
+server_metrics! {
     /// Connections accepted and served.
-    connections_accepted,
+    (connections_accepted, counter, "server_connections_accepted_total"),
     /// Connections turned away at the max-connections limit.
-    connections_rejected,
+    (connections_rejected, counter, "server_connections_rejected_total"),
     /// Connections currently being served (gauge).
-    connections_active,
+    (connections_active, gauge, "server_connections_active"),
     /// Sessions created by `open`.
-    sessions_opened,
+    (sessions_opened, counter, "server_sessions_opened_total"),
     /// Sessions destroyed by `close-session` or shutdown drain.
-    sessions_closed,
+    (sessions_closed, counter, "server_sessions_closed_total"),
     /// Requests decoded and dispatched, of any kind.
-    requests_total,
+    (requests_total, counter, "server_requests_total"),
     /// Requests answered with an error response.
-    errors_total,
+    (errors_total, counter, "server_errors_total"),
     /// Wire-protocol violations that dropped a connection.
-    protocol_errors,
+    (protocol_errors, counter, "server_protocol_errors_total"),
     /// Trace chunks ingested.
-    chunks_ingested,
+    (chunks_ingested, counter, "server_chunks_ingested_total"),
     /// Events ingested across all sessions.
-    events_ingested,
+    (events_ingested, counter, "server_events_ingested_total"),
     /// Intervals completed across all sessions.
-    intervals_completed,
+    (intervals_completed, counter, "server_intervals_completed_total"),
 }
 
 impl Metrics {
-    /// Creates a zeroed registry.
+    /// Creates the server metrics on a fresh registry.
     pub fn new() -> Self {
-        Metrics::default()
+        Metrics::on_registry(&Registry::new())
     }
 
-    /// Bumps a counter by one.
-    pub fn incr(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Bumps a counter by `n`.
-    pub fn add(&self, counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Decrements a gauge by one.
-    pub fn decr(&self, gauge: &AtomicU64) {
-        gauge.fetch_sub(1, Ordering::Relaxed);
+    /// The registry behind these handles — sessions register their engine
+    /// and sketch metrics here, and the `metrics` query renders it.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 }
 
-/// Parses one `key value` line out of rendered stats text; test and
-/// client-side convenience.
-pub fn stat_value(stats_text: &str, key: &str) -> Option<u64> {
-    stats_text.lines().find_map(|line| {
-        let (k, v) = line.split_once(' ')?;
-        (k == key).then(|| v.parse().ok())?
-    })
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// Renders one histogram in the legacy `stats` shape: `NAME_count`,
+/// `NAME_sum_us` and p50/p90/p99 upper-bound lines.
+fn render_legacy_histogram(h: &Histogram, name: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{name}_count {}", h.count());
+    let _ = writeln!(out, "{name}_sum_us {}", h.sum());
+    let _ = writeln!(out, "{name}_p50_us {}", h.quantile(0.50));
+    let _ = writeln!(out, "{name}_p90_us {}", h.quantile(0.90));
+    let _ = writeln!(out, "{name}_p99_us {}", h.quantile(0.99));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_records_counts_and_sums() {
-        let h = Histogram::new();
-        h.record(Duration::from_micros(10));
-        h.record(Duration::from_micros(100));
-        h.record(Duration::from_micros(1_000));
-        assert_eq!(h.count(), 3);
-        assert_eq!(h.sum_us(), 1_110);
-    }
-
-    #[test]
-    fn quantiles_are_upper_bucket_bounds() {
-        let h = Histogram::new();
-        for _ in 0..99 {
-            h.record(Duration::from_micros(3)); // bucket 2: (2, 4]
-        }
-        h.record(Duration::from_micros(1_000_000)); // ~2^20
-        assert_eq!(h.quantile_us(0.50), 4);
-        assert_eq!(h.quantile_us(0.90), 4);
-        assert!(h.quantile_us(1.0) >= 1_000_000);
-        assert_eq!(Histogram::new().quantile_us(0.5), 0, "empty histogram");
-    }
-
-    #[test]
-    fn zero_duration_lands_in_bucket_zero() {
-        let h = Histogram::new();
-        h.record(Duration::ZERO);
-        assert_eq!(h.quantile_us(1.0), 0);
-    }
+    use std::time::Duration;
 
     #[test]
     fn render_lists_every_counter_once() {
         let m = Metrics::new();
-        m.incr(&m.requests_total);
-        m.add(&m.events_ingested, 500);
-        m.request_latency.record(Duration::from_micros(42));
+        m.requests_total.incr();
+        m.events_ingested.add(500);
+        m.request_latency.record_duration(Duration::from_micros(42));
         let text = m.render();
         assert_eq!(stat_value(&text, "requests_total"), Some(1));
         assert_eq!(stat_value(&text, "events_ingested"), Some(500));
@@ -238,9 +151,59 @@ mod tests {
     #[test]
     fn gauge_decrements() {
         let m = Metrics::new();
-        m.incr(&m.connections_active);
-        m.incr(&m.connections_active);
-        m.decr(&m.connections_active);
+        m.connections_active.incr();
+        m.connections_active.incr();
+        m.connections_active.decr();
         assert_eq!(stat_value(&m.render(), "connections_active"), Some(1));
+    }
+
+    #[test]
+    fn legacy_render_shape_is_stable() {
+        let m = Metrics::new();
+        m.request_latency.record_duration(Duration::from_micros(3));
+        let text = m.render();
+        let keys: Vec<&str> = text.lines().filter_map(|l| l.split(' ').next()).collect();
+        assert_eq!(
+            keys,
+            [
+                "connections_accepted",
+                "connections_rejected",
+                "connections_active",
+                "sessions_opened",
+                "sessions_closed",
+                "requests_total",
+                "errors_total",
+                "protocol_errors",
+                "chunks_ingested",
+                "events_ingested",
+                "intervals_completed",
+                "request_latency_count",
+                "request_latency_sum_us",
+                "request_latency_p50_us",
+                "request_latency_p90_us",
+                "request_latency_p99_us",
+                "chunk_decode_count",
+                "chunk_decode_sum_us",
+                "chunk_decode_p50_us",
+                "chunk_decode_p90_us",
+                "chunk_decode_p99_us",
+            ]
+        );
+        assert_eq!(stat_value(&text, "request_latency_p50_us"), Some(4));
+    }
+
+    #[test]
+    fn same_handles_feed_the_prometheus_exposition() {
+        let m = Metrics::new();
+        m.requests_total.add(7);
+        m.connections_active.set(2);
+        m.chunk_decode.record_duration(Duration::from_micros(10));
+        let text = m.registry().render_prometheus();
+        assert!(text.contains("# TYPE server_requests_total counter"));
+        assert!(text.contains("server_requests_total 7"));
+        assert!(text.contains("# TYPE server_connections_active gauge"));
+        assert!(text.contains("server_connections_active 2"));
+        assert!(text.contains("# TYPE server_chunk_decode_us histogram"));
+        assert!(text.contains("server_chunk_decode_us_count 1"));
     }
 }

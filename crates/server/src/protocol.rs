@@ -206,6 +206,9 @@ pub enum Request {
     },
     /// Server metrics as text.
     Stats,
+    /// Server, engine and sketch metrics in Prometheus text exposition
+    /// format.
+    Metrics,
     /// Destroys the attached session and detaches.
     CloseSession,
     /// Asks the server to shut down gracefully.
@@ -224,6 +227,7 @@ const OP_TOPK: u8 = 0x06;
 const OP_STATS: u8 = 0x07;
 const OP_CLOSE_SESSION: u8 = 0x08;
 const OP_SHUTDOWN: u8 = 0x09;
+const OP_METRICS: u8 = 0x0A;
 
 /// A server response. The leading tag byte makes every response
 /// self-describing.
@@ -248,6 +252,8 @@ pub enum Response {
     TopK(Vec<Candidate>),
     /// Server metrics, one `key value` per line.
     Stats(String),
+    /// Server metrics in Prometheus text exposition format.
+    Metrics(String),
     /// The request failed.
     Error {
         /// Machine-readable failure class.
@@ -264,6 +270,7 @@ const TAG_PROFILE: u8 = 0x03;
 const TAG_NO_PROFILE: u8 = 0x04;
 const TAG_TOPK: u8 = 0x05;
 const TAG_STATS: u8 = 0x06;
+const TAG_METRICS: u8 = 0x07;
 const TAG_ERROR: u8 = 0x7F;
 
 // ---------------------------------------------------------------- encoding
@@ -398,6 +405,7 @@ impl Request {
                 out.extend_from_slice(&n.to_le_bytes());
             }
             Request::Stats => out.push(OP_STATS),
+            Request::Metrics => out.push(OP_METRICS),
             Request::CloseSession => out.push(OP_CLOSE_SESSION),
             Request::Shutdown => out.push(OP_SHUTDOWN),
         }
@@ -440,6 +448,7 @@ impl Request {
             },
             OP_TOPK => Request::TopK { n: cursor.u32()? },
             OP_STATS => Request::Stats,
+            OP_METRICS => Request::Metrics,
             OP_CLOSE_SESSION => Request::CloseSession,
             OP_SHUTDOWN => Request::Shutdown,
             op => {
@@ -489,6 +498,11 @@ impl Response {
             }
             Response::Stats(text) => {
                 out.push(TAG_STATS);
+                out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                out.extend_from_slice(text.as_bytes());
+            }
+            Response::Metrics(text) => {
+                out.push(TAG_METRICS);
                 out.extend_from_slice(&(text.len() as u32).to_le_bytes());
                 out.extend_from_slice(text.as_bytes());
             }
@@ -546,6 +560,13 @@ impl Response {
                 Response::Stats(
                     String::from_utf8(cursor.take(len)?.to_vec())
                         .map_err(|_| ServerError::protocol("stats text is not utf-8"))?,
+                )
+            }
+            TAG_METRICS => {
+                let len = cursor.u32()? as usize;
+                Response::Metrics(
+                    String::from_utf8(cursor.take(len)?.to_vec())
+                        .map_err(|_| ServerError::protocol("metrics text is not utf-8"))?,
                 )
             }
             TAG_ERROR => {
@@ -681,6 +702,7 @@ mod tests {
         roundtrip_request(Request::Snapshot { interval: u64::MAX });
         roundtrip_request(Request::TopK { n: 10 });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Metrics);
         roundtrip_request(Request::CloseSession);
         roundtrip_request(Request::Shutdown);
     }
@@ -716,6 +738,9 @@ mod tests {
         roundtrip_response(Response::NoProfile);
         roundtrip_response(Response::TopK(vec![Candidate::new(Tuple::new(1, 1), 1)]));
         roundtrip_response(Response::Stats("requests_total 5\n".into()));
+        roundtrip_response(Response::Metrics(
+            "# TYPE server_requests_total counter\nserver_requests_total 5\n".into(),
+        ));
         roundtrip_response(Response::Error {
             code: ErrorCode::UnknownSession,
             message: "no session named gcc".into(),

@@ -23,14 +23,17 @@
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mhp_core::{IntervalConfig, Tuple};
-use mhp_pipeline::{decode_chunk_into, EngineConfig, EngineSession, ShardedEngine};
+use mhp_core::{IntervalConfig, IntrospectionSink, Tuple};
+use mhp_pipeline::{
+    decode_chunk_into, EngineConfig, EngineSession, EngineTelemetry, RegistrySink, ShardedEngine,
+};
 
 use crate::error::{ErrorCode, ServerError};
 use crate::metrics::Metrics;
@@ -47,6 +50,12 @@ pub struct ServerConfig {
     /// Per-connection read timeout. Idle connections wake at this cadence
     /// to observe the shutdown flag.
     pub read_timeout: Duration,
+    /// When set, a background thread appends one JSON metrics snapshot per
+    /// [`metrics_export_interval`](Self::metrics_export_interval) to this
+    /// file (JSONL), plus a final snapshot at shutdown.
+    pub metrics_export_path: Option<PathBuf>,
+    /// Cadence of the JSONL metrics export.
+    pub metrics_export_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +63,8 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 32,
             read_timeout: Duration::from_millis(200),
+            metrics_export_path: None,
+            metrics_export_interval: Duration::from_secs(10),
         }
     }
 }
@@ -66,7 +77,7 @@ struct Session {
 }
 
 impl Session {
-    fn open(config: &SessionConfig) -> Result<Session, ServerError> {
+    fn open(config: &SessionConfig, shared: &Shared) -> Result<Session, ServerError> {
         let interval = IntervalConfig::new(config.interval_len, config.threshold)
             .map_err(mhp_pipeline::Error::Config)?;
         let engine = ShardedEngine::new(
@@ -75,6 +86,8 @@ impl Session {
             config.kind.spec(),
             config.seed,
         )
+        .with_telemetry(shared.engine_telemetry.clone())
+        .with_introspection_sink(Arc::clone(&shared.sketch_sink))
         .start()?;
         Ok(Session {
             config: config.clone(),
@@ -126,6 +139,12 @@ struct Shared {
     config: ServerConfig,
     sessions: Registry,
     metrics: Metrics,
+    /// Engine metric handles every session's engine reports through; on
+    /// the same registry as [`Shared::metrics`].
+    engine_telemetry: EngineTelemetry,
+    /// Sketch introspection sink installed on every session's shard
+    /// profilers; also feeds the shared registry.
+    sketch_sink: Arc<dyn IntrospectionSink>,
     shutdown: AtomicBool,
 }
 
@@ -151,11 +170,22 @@ impl Server {
         // accept() forever.
         listener.set_nonblocking(true)?;
 
+        let metrics = Metrics::new();
+        let engine_telemetry = EngineTelemetry::new(metrics.registry());
+        let sketch_sink: Arc<dyn IntrospectionSink> =
+            Arc::new(RegistrySink::new(metrics.registry()));
         let shared = Arc::new(Shared {
             config,
             sessions: Mutex::new(HashMap::new()),
-            metrics: Metrics::new(),
+            metrics,
+            engine_telemetry,
+            sketch_sink,
             shutdown: AtomicBool::new(false),
+        });
+
+        let export_handle = shared.config.metrics_export_path.clone().map(|path| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || export_loop(&path, &shared))
         });
 
         let (done_tx, done_rx) = std::sync::mpsc::channel();
@@ -168,7 +198,34 @@ impl Server {
             local_addr,
             shared,
             accept_handle: Some(accept_handle),
+            export_handle,
         })
+    }
+}
+
+/// Appends one JSON metrics snapshot per export interval (and a final one
+/// at shutdown) to `path`, one object per line. Polls the shutdown flag at
+/// a ~50 ms cadence so shutdown never waits out a long interval.
+fn export_loop(path: &std::path::Path, shared: &Shared) {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path);
+    let Ok(file) = file else { return };
+    let mut writer = BufWriter::new(file);
+    let mut last = Instant::now();
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        if shutting_down || last.elapsed() >= shared.config.metrics_export_interval {
+            let _ = writer.write_all(shared.metrics.registry().snapshot_json().as_bytes());
+            let _ = writer.write_all(b"\n");
+            let _ = writer.flush();
+            last = Instant::now();
+        }
+        if shutting_down {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
 }
 
@@ -179,6 +236,7 @@ pub struct RunningServer {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
+    export_handle: Option<JoinHandle<()>>,
 }
 
 // Shared holds no Debug members worth printing; keep the derive honest.
@@ -201,6 +259,12 @@ impl RunningServer {
         self.shared.metrics.render()
     }
 
+    /// Prometheus text exposition of every metric, same text the
+    /// `metrics` query returns.
+    pub fn metrics(&self) -> String {
+        self.shared.metrics.registry().render_prometheus()
+    }
+
     /// Requests a graceful shutdown: stop accepting, let in-flight
     /// connections finish, drain every session. Returns immediately; use
     /// [`join`](Self::join) to wait.
@@ -212,16 +276,26 @@ impl RunningServer {
     /// sessions to be drained. Implies [`shutdown`](Self::shutdown).
     pub fn join(mut self) {
         self.shutdown();
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
+        self.reap();
     }
 
     /// Blocks until the server shuts down — via a client `shutdown`
     /// request or a concurrent [`shutdown`](Self::shutdown) call —
     /// without triggering the shutdown itself.
     pub fn wait(mut self) {
+        self.reap();
+    }
+
+    /// Joins the accept loop and (if running) the metrics exporter.
+    fn reap(&mut self) {
         if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // The accept loop is gone, so the server is down even if nothing
+        // raised the flag (e.g. a hard listener error); make sure the
+        // exporter observes that and writes its final snapshot.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.export_handle.take() {
             let _ = handle.join();
         }
     }
@@ -230,9 +304,7 @@ impl RunningServer {
 impl Drop for RunningServer {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
+        self.reap();
     }
 }
 
@@ -256,18 +328,18 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 if live >= shared.config.max_connections {
-                    shared.metrics.incr(&shared.metrics.connections_rejected);
+                    shared.metrics.connections_rejected.incr();
                     reject_busy(stream);
                     continue;
                 }
                 live += 1;
-                shared.metrics.incr(&shared.metrics.connections_accepted);
-                shared.metrics.incr(&shared.metrics.connections_active);
+                shared.metrics.connections_accepted.incr();
+                shared.metrics.connections_active.incr();
                 let shared = Arc::clone(shared);
                 let done = done_tx.clone();
                 handles.push(std::thread::spawn(move || {
                     handle_connection(stream, &shared);
-                    shared.metrics.decr(&shared.metrics.connections_active);
+                    shared.metrics.connections_active.decr();
                     let _ = done.send(());
                 }));
             }
@@ -288,7 +360,7 @@ fn accept_loop(
     };
     for session in sessions {
         session.drain();
-        shared.metrics.incr(&shared.metrics.sessions_closed);
+        shared.metrics.sessions_closed.incr();
     }
 }
 
@@ -337,7 +409,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Err(err) => {
                 // Protocol violation (or hard I/O error): answer if the
                 // socket still works, then hang up.
-                shared.metrics.incr(&shared.metrics.protocol_errors);
+                shared.metrics.protocol_errors.incr();
                 respond_error(&mut writer, &err);
                 return;
             }
@@ -350,13 +422,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             respond_error(&mut writer, &refusal);
             return;
         }
-        shared.metrics.incr(&shared.metrics.requests_total);
+        shared.metrics.requests_total.incr();
         let started = Instant::now();
         let request = match Request::decode(&body) {
             Ok(request) => request,
             Err(err) => {
-                shared.metrics.incr(&shared.metrics.protocol_errors);
-                shared.metrics.incr(&shared.metrics.errors_total);
+                shared.metrics.protocol_errors.incr();
+                shared.metrics.errors_total.incr();
                 respond_error(&mut writer, &err);
                 return;
             }
@@ -364,7 +436,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         let response = match handle_request(request, &mut attached, &mut ingest_buf, shared) {
             Ok(response) => response,
             Err(err) => {
-                shared.metrics.incr(&shared.metrics.errors_total);
+                shared.metrics.errors_total.incr();
                 Response::Error {
                     code: err.code(),
                     message: err.wire_message(),
@@ -374,7 +446,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if write_frame(&mut writer, &response.encode()).is_err() {
             return;
         }
-        shared.metrics.request_latency.record(started.elapsed());
+        shared
+            .metrics
+            .request_latency
+            .record_duration(started.elapsed());
     }
 }
 
@@ -399,7 +474,7 @@ fn handle_request(
             if name.is_empty() || name.len() > MAX_NAME_BYTES {
                 return Err(ServerError::protocol("session name must be 1..=256 bytes"));
             }
-            let session = Arc::new(Session::open(&config)?);
+            let session = Arc::new(Session::open(&config, shared)?);
             {
                 let mut registry = shared.sessions.lock().expect("registry lock poisoned");
                 if registry.contains_key(&name) {
@@ -410,7 +485,7 @@ fn handle_request(
                 }
                 registry.insert(name.clone(), Arc::clone(&session));
             }
-            shared.metrics.incr(&shared.metrics.sessions_opened);
+            shared.metrics.sessions_opened.incr();
             let info = session.info(&name)?;
             *attached = Some((name, session));
             Ok(Response::Session(info))
@@ -432,7 +507,10 @@ fn handle_request(
             let session = require_attached(attached)?;
             let decode_started = Instant::now();
             let consumed = decode_chunk_into(&chunk, ingest_buf)?;
-            shared.metrics.chunk_decode.record(decode_started.elapsed());
+            shared
+                .metrics
+                .chunk_decode
+                .record_duration(decode_started.elapsed());
             if consumed != chunk.len() {
                 return Err(ServerError::protocol("trailing bytes after ingest chunk"));
             }
@@ -440,15 +518,11 @@ fn handle_request(
                 let before = engine.intervals();
                 engine.push_all(ingest_buf.iter().copied())?;
                 let after = engine.intervals();
-                shared
-                    .metrics
-                    .add(&shared.metrics.intervals_completed, after - before);
+                shared.metrics.intervals_completed.add(after - before);
                 Ok((engine.events(), after))
             })?;
-            shared.metrics.incr(&shared.metrics.chunks_ingested);
-            shared
-                .metrics
-                .add(&shared.metrics.events_ingested, ingest_buf.len() as u64);
+            shared.metrics.chunks_ingested.incr();
+            shared.metrics.events_ingested.add(ingest_buf.len() as u64);
             Ok(Response::Ingested {
                 events: total_events,
                 intervals,
@@ -459,10 +533,10 @@ fn handle_request(
             let profile = session.with_engine(|engine| {
                 let before = engine.intervals();
                 let profile = engine.cut()?;
-                shared.metrics.add(
-                    &shared.metrics.intervals_completed,
-                    engine.intervals() - before,
-                );
+                shared
+                    .metrics
+                    .intervals_completed
+                    .add(engine.intervals() - before);
                 Ok(profile)
             })?;
             Ok(match profile {
@@ -494,6 +568,9 @@ fn handle_request(
             Ok(Response::TopK(candidates))
         }
         Request::Stats => Ok(Response::Stats(shared.metrics.render())),
+        Request::Metrics => Ok(Response::Metrics(
+            shared.metrics.registry().render_prometheus(),
+        )),
         Request::CloseSession => {
             let (name, session) = attached.take().ok_or_else(|| {
                 ServerError::protocol("close-session requires an attached session")
@@ -504,7 +581,7 @@ fn handle_request(
                 .expect("registry lock poisoned")
                 .remove(&name);
             session.drain();
-            shared.metrics.incr(&shared.metrics.sessions_closed);
+            shared.metrics.sessions_closed.incr();
             Ok(Response::Done)
         }
         Request::Shutdown => {

@@ -195,7 +195,68 @@ fn loadgen_eight_clients_clean_and_stats_populated() {
     assert!(stat_value(&stats, "request_latency_p99_us").unwrap() > 0);
     assert!(stat_value(&stats, "chunk_decode_count").unwrap() >= 80);
     assert_eq!(stat_value(&stats, "protocol_errors"), Some(0));
+
+    // The Prometheus exposition covers the same traffic across all three
+    // layers: server counters, engine dispatch, sketch introspection.
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.contains("# TYPE server_requests_total counter"));
+    assert_eq!(
+        stat_value(&metrics, "server_events_ingested_total"),
+        Some(160_000)
+    );
+    assert_eq!(stat_value(&metrics, "engine_events_total"), Some(160_000));
+    assert!(stat_value(&metrics, "engine_cuts_total").unwrap() >= 8);
+    assert!(stat_value(&metrics, "sketch_intervals_total").unwrap() >= 8);
+    assert!(stat_value(&metrics, "sketch_promotions_total").unwrap() > 0);
+    assert!(metrics.contains("# TYPE server_request_latency_us histogram"));
+    assert!(metrics.contains("server_request_latency_us_bucket{le=\"+Inf\"}"));
     server.join();
+}
+
+/// The JSONL metrics exporter writes at least a final snapshot at
+/// shutdown, and each line is a self-contained JSON object.
+#[test]
+fn metrics_export_writes_jsonl_snapshots() {
+    let dir = std::env::temp_dir().join(format!("mhp-metrics-export-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            metrics_export_path: Some(path.clone()),
+            metrics_export_interval: std::time::Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .open_session("export", SessionConfig::default_multi_hash())
+        .unwrap();
+    client.ingest(&workload(11, 12_000)).unwrap();
+    client.shutdown_server().unwrap();
+    drop(client);
+    server.wait();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "at least the shutdown snapshot");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "JSONL: {line}"
+        );
+        assert!(line.contains("\"ts_ms\":"));
+    }
+    // The final snapshot saw the session's traffic.
+    let last = lines.last().unwrap();
+    assert!(
+        last.contains("\"server_events_ingested_total\":12000"),
+        "{last}"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 /// Connections beyond the limit receive a graceful `busy` error response

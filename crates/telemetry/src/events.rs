@@ -1,0 +1,212 @@
+//! A bounded ring-buffer structured event log.
+//!
+//! Spans record a name, start/end timestamps (microseconds since the log
+//! was created), and a small set of `key = value` fields. Recording never
+//! blocks: each ring slot is guarded by a `try_lock`, and a span that
+//! loses the race for its slot is dropped and counted rather than waited
+//! for. The buffer holds the most recent `capacity` spans; older ones are
+//! overwritten. [`EventLog::drain`] takes everything currently held, in
+//! record order — the postmortem view after a failure or at shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span, as stored in (and drained from) the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Global record sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// The span's name.
+    pub name: &'static str,
+    /// Start, in microseconds since the log was created.
+    pub start_us: u64,
+    /// End, in microseconds since the log was created.
+    pub end_us: u64,
+    /// Attached `key = value` fields, in attachment order.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug)]
+struct EventLogInner {
+    slots: Vec<Mutex<Option<SpanEvent>>>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+/// A bounded, overwrite-oldest log of [`SpanEvent`]s. Cloning shares the
+/// same ring.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    inner: Arc<EventLogInner>,
+}
+
+impl EventLog {
+    /// Creates a log holding up to `capacity` spans (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventLog {
+            inner: Arc::new(EventLogInner {
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Microseconds since the log was created.
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Starts a span; it commits to the ring when the returned timer is
+    /// dropped (or [`SpanTimer::finish`]ed).
+    pub fn span(&self, name: &'static str) -> SpanTimer {
+        SpanTimer {
+            log: self.clone(),
+            name,
+            start_us: self.now_us(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Commits one completed span. Internal; spans come from [`span`](Self::span).
+    fn commit(&self, name: &'static str, start_us: u64, fields: Vec<(&'static str, u64)>) {
+        let end_us = self.now_us();
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.inner.slots[(seq % self.inner.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Ok(mut slot) => {
+                *slot = Some(SpanEvent {
+                    seq,
+                    name,
+                    start_us,
+                    end_us,
+                    fields,
+                });
+            }
+            Err(_) => {
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Takes every span currently in the ring, sorted by sequence number.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for slot in &self.inner.slots {
+            if let Ok(mut slot) = slot.lock() {
+                if let Some(event) = slot.take() {
+                    out.push(event);
+                }
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Spans recorded over the log's lifetime (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Spans dropped because their slot was contended at commit time.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+}
+
+/// An in-flight span: holds the start timestamp and accumulates fields,
+/// committing to the ring on drop.
+#[derive(Debug)]
+pub struct SpanTimer {
+    log: EventLog,
+    name: &'static str,
+    start_us: u64,
+    fields: Vec<(&'static str, u64)>,
+}
+
+impl SpanTimer {
+    /// Attaches a `key = value` field.
+    pub fn field(mut self, key: &'static str, value: u64) -> Self {
+        self.fields.push((key, value));
+        self
+    }
+
+    /// Ends the span now (equivalent to dropping it, but explicit).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.log
+            .commit(self.name, self.start_us, std::mem::take(&mut self.fields));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_commit_on_drop_with_fields() {
+        let log = EventLog::new(8);
+        log.span("cut").field("shards", 4).finish();
+        let events = log.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "cut");
+        assert_eq!(events[0].fields, vec![("shards", 4)]);
+        assert!(events[0].end_us >= events[0].start_us);
+        // Drain empties the ring.
+        assert!(log.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_capacity_spans() {
+        let log = EventLog::new(4);
+        for _ in 0..10 {
+            log.span("tick").finish();
+        }
+        let events = log.drain();
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(log.recorded(), 10);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let log = EventLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.span("only").finish();
+        assert_eq!(log.drain().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_never_blocks_and_accounts_for_everything() {
+        let log = EventLog::new(16);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let log = log.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        log.span("work").field("i", i).finish();
+                    }
+                });
+            }
+        });
+        assert_eq!(log.recorded(), 400);
+        let drained = log.drain().len() as u64;
+        // Everything is either still in the ring, overwritten, or counted
+        // as dropped; the ring never holds more than its capacity.
+        assert!(drained <= 16);
+        assert!(log.dropped() <= 400 - drained);
+    }
+}

@@ -1,0 +1,198 @@
+//! A fixed-bucket log₂ histogram with wait-free recording.
+//!
+//! Generalized out of the original `mhp-server` latency histogram: values
+//! are plain `u64`s (microseconds, bytes, batch sizes — the metric name
+//! carries the unit), recording is three relaxed `fetch_add`s, and
+//! quantile estimates are upper bounds from the bucket boundary — the
+//! usual trade for never allocating or locking on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Power-of-two histogram buckets: bucket `i` (for `i >= 1`) counts values
+/// `v` with `2^(i-1) <= v < 2^i`; bucket 0 counts exactly the value 0.
+/// 40 buckets cover up to `2^39 - 1` exactly, with everything larger
+/// folded into the last bucket — in microseconds that is ~6 days, far
+/// beyond any realistic latency.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        HistogramCore {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket log₂ histogram of `u64` values.
+///
+/// `Histogram` is a cheap cloneable handle: clones share the same buckets,
+/// so the handle a [`Registry`](crate::Registry) holds for rendering and
+/// the handle a hot loop records into are the same histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore::new()),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        let core = &*self.core;
+        core.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole microseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the upper
+    /// boundary of the bucket holding that rank. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.core.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i); report the upper
+                // boundary. Bucket 0 is exactly the value 0.
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+
+    /// A point-in-time copy of the per-bucket counts (index = bucket).
+    ///
+    /// Concurrent recording may make the copy lag `count()` by a few
+    /// values, which is fine for exposition.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(self.core.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// The inclusive upper bound of bucket `i` as a Prometheus `le` label
+    /// value: `"0"` for bucket 0, `2^i - 1` for the middle buckets, and
+    /// `"+Inf"` for the last (overflow) bucket.
+    pub fn bucket_le(i: usize) -> String {
+        if i == 0 {
+            "0".to_string()
+        } else if i >= HISTOGRAM_BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            ((1u64 << i) - 1).to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_and_sums() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(100);
+        h.record_duration(Duration::from_micros(1_000));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1_110);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(3); // bucket 2: [2, 4)
+        }
+        h.record(1_000_000); // ~2^20
+        assert_eq!(h.quantile(0.50), 4);
+        assert_eq!(h.quantile(0.90), 4);
+        assert!(h.quantile(1.0) >= 1_000_000);
+        assert_eq!(Histogram::new().quantile(0.5), 0, "empty histogram");
+    }
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.bucket_counts()[0], 1);
+    }
+
+    #[test]
+    fn clones_share_the_same_buckets() {
+        let h = Histogram::new();
+        let alias = h.clone();
+        alias.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 7);
+    }
+
+    #[test]
+    fn huge_values_fold_into_the_last_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts()[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.quantile(1.0), 1u64 << (HISTOGRAM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn bucket_les_are_inclusive_upper_bounds() {
+        assert_eq!(Histogram::bucket_le(0), "0");
+        assert_eq!(Histogram::bucket_le(1), "1");
+        assert_eq!(Histogram::bucket_le(2), "3");
+        assert_eq!(Histogram::bucket_le(10), "1023");
+        assert_eq!(Histogram::bucket_le(HISTOGRAM_BUCKETS - 1), "+Inf");
+    }
+}

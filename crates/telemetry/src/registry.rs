@@ -1,0 +1,481 @@
+//! Named metrics: counters, gauges, and histograms registered under a
+//! [`Registry`] and rendered as Prometheus text exposition or one-line
+//! JSON snapshots.
+//!
+//! Registration takes a short-lived lock (it happens at construction
+//! time, not on the hot path); the handles it returns are lock-free and
+//! cheap to clone. The same `(name, labels)` pair always resolves to the
+//! same underlying metric, so independent components can share a series
+//! by agreeing on its name.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::histogram::{Histogram, HISTOGRAM_BUCKETS};
+
+/// A monotonically increasing counter. Cloning shares the underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a free-standing counter at zero (registry-less use).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that can move both ways. Cloning shares the underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge at zero (registry-less use).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one (wrapping, like the atomic it is).
+    pub fn decr(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The kind of a registered metric; determines its `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Goes up and down.
+    Gauge,
+    /// Log₂-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MetricValue {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MetricEntry {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: MetricValue,
+}
+
+/// A named collection of metrics, shared by cloning.
+///
+/// All registration methods are *get-or-register*: asking for an existing
+/// `(name, labels)` pair returns a handle to the same metric.
+///
+/// # Panics
+///
+/// Registering a `(name, labels)` pair that already exists with a
+/// *different* kind panics — that is a naming bug at the call site, not a
+/// runtime condition.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<MetricEntry>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricValue,
+    ) -> MetricValue {
+        let mut entries = self.entries.lock().expect("registry lock poisoned");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+        {
+            let value = entry.value.clone();
+            let wanted = make();
+            assert!(
+                value.kind() == wanted.kind(),
+                "metric {name:?} already registered as a {}, requested as a {}",
+                value.kind().as_str(),
+                wanted.kind().as_str(),
+            );
+            return value;
+        }
+        let value = make();
+        entries.push(MetricEntry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value: value.clone(),
+        });
+        value
+    }
+
+    /// A counter named `name` with no labels.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with_labels(name, &[])
+    }
+
+    /// A counter named `name` with the given label set.
+    pub fn counter_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_register(name, labels, || MetricValue::Counter(Counter::new())) {
+            MetricValue::Counter(c) => c,
+            _ => unreachable!("kind checked in get_or_register"),
+        }
+    }
+
+    /// A gauge named `name` with no labels.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with_labels(name, &[])
+    }
+
+    /// A gauge named `name` with the given label set.
+    pub fn gauge_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_register(name, labels, || MetricValue::Gauge(Gauge::new())) {
+            MetricValue::Gauge(g) => g,
+            _ => unreachable!("kind checked in get_or_register"),
+        }
+    }
+
+    /// A histogram named `name` with no labels.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_labels(name, &[])
+    }
+
+    /// A histogram named `name` with the given label set.
+    pub fn histogram_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_register(name, labels, || MetricValue::Histogram(Histogram::new())) {
+            MetricValue::Histogram(h) => h,
+            _ => unreachable!("kind checked in get_or_register"),
+        }
+    }
+
+    /// Renders every registered metric in Prometheus text-exposition
+    /// format: one `# TYPE` line per metric name (names grouped in
+    /// first-registration order), `name{labels} value` sample lines, and
+    /// for histograms the cumulative `_bucket{le="..."}` series (empty
+    /// buckets elided, `+Inf` always present) plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("registry lock poisoned");
+        let mut out = String::new();
+        let mut typed: Vec<&str> = Vec::new();
+        for entry in entries.iter() {
+            if !typed.iter().any(|&n| n == entry.name) {
+                typed.push(&entry.name);
+                let _ = writeln!(out, "# TYPE {} {}", entry.name, entry.value.kind().as_str());
+            }
+            match &entry.value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        entry.name,
+                        render_labels(&entry.labels, None),
+                        c.get()
+                    );
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        entry.name,
+                        render_labels(&entry.labels, None),
+                        g.get()
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let buckets = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (i, &n) in buckets.iter().enumerate() {
+                        cumulative += n;
+                        let last = i == HISTOGRAM_BUCKETS - 1;
+                        if n == 0 && !last {
+                            continue;
+                        }
+                        let le = Histogram::bucket_le(i);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            entry.name,
+                            render_labels(&entry.labels, Some(&le)),
+                            cumulative
+                        );
+                    }
+                    let plain = render_labels(&entry.labels, None);
+                    let _ = writeln!(out, "{}_sum{} {}", entry.name, plain, h.sum());
+                    let _ = writeln!(out, "{}_count{} {}", entry.name, plain, h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every registered metric as one line of JSON, suitable for
+    /// appending to a JSONL file: counters and gauges as `series: value`
+    /// maps, histograms as `{count, sum, p50, p90, p99}` objects, plus a
+    /// `ts_ms` wall-clock timestamp. Labeled series render their key as
+    /// `name{k="v"}`.
+    pub fn snapshot_json(&self) -> String {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let entries = self.entries.lock().expect("registry lock poisoned");
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for entry in entries.iter() {
+            let key = format!("{}{}", entry.name, render_labels(&entry.labels, None));
+            match &entry.value {
+                MetricValue::Counter(c) => {
+                    append_json_field(&mut counters, &key, &c.get().to_string());
+                }
+                MetricValue::Gauge(g) => {
+                    append_json_field(&mut gauges, &key, &g.get().to_string());
+                }
+                MetricValue::Histogram(h) => {
+                    let value = format!(
+                        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        h.count(),
+                        h.sum(),
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99)
+                    );
+                    append_json_field(&mut histograms, &key, &value);
+                }
+            }
+        }
+        format!(
+            "{{\"ts_ms\":{ts_ms},\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\
+             \"histograms\":{{{histograms}}}}}"
+        )
+    }
+}
+
+fn labels_eq(registered: &[(String, String)], wanted: &[(&str, &str)]) -> bool {
+    registered.len() == wanted.len()
+        && registered
+            .iter()
+            .zip(wanted.iter())
+            .all(|((rk, rv), &(wk, wv))| rk == wk && rv == wv)
+}
+
+/// Renders a `{k="v",...}` label block, optionally with a trailing
+/// `le="..."` (for histogram buckets); empty label sets render as nothing.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double-quote, and newline.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn append_json_field(out: &mut String, key: &str, value: &str) {
+    if !out.is_empty() {
+        out.push(',');
+    }
+    let _ = write!(out, "\"{}\":{}", escape_json_key(key), value);
+}
+
+/// Escapes a JSON object key (metric names and label values are tame, but
+/// label values may contain quotes or backslashes).
+fn escape_json_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for c in key.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Parses one `key value` line out of plain rendered stats text — the
+/// legacy `stats` query format and a test-side convenience.
+pub fn stat_value(stats_text: &str, key: &str) -> Option<u64> {
+    stats_text.lines().find_map(|line| {
+        let (k, v) = line.split_once(' ')?;
+        (k == key).then(|| v.parse().ok())?
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_metric() {
+        let registry = Registry::new();
+        let a = registry.counter("requests_total");
+        let b = registry.counter("requests_total");
+        a.incr();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let registry = Registry::new();
+        let s0 = registry.gauge_with_labels("queue_depth", &[("shard", "0")]);
+        let s1 = registry.gauge_with_labels("queue_depth", &[("shard", "1")]);
+        s0.set(5);
+        s1.set(9);
+        assert_eq!(s0.get(), 5);
+        assert_eq!(s1.get(), 9);
+        let text = registry.render_prometheus();
+        assert!(text.contains("queue_depth{shard=\"0\"} 5"));
+        assert!(text.contains("queue_depth{shard=\"1\"} 9"));
+        assert_eq!(text.matches("# TYPE queue_depth gauge").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_ends_at_inf() {
+        let registry = Registry::new();
+        let h = registry.histogram("latency_us");
+        h.record(0); // bucket 0, le="0"
+        h.record(3); // bucket 2, le="3"
+        h.record(3);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE latency_us histogram"));
+        assert!(text.contains("latency_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("latency_us_bucket{le=\"3\"} 3"));
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_us_sum 6"));
+        assert!(text.contains("latency_us_count 3"));
+        // le="1" bucket is empty and elided.
+        assert!(!text.contains("le=\"1\"}"));
+    }
+
+    #[test]
+    fn snapshot_json_is_one_line_with_every_section() {
+        let registry = Registry::new();
+        registry.counter("a_total").add(7);
+        registry.gauge("b").set(2);
+        registry.histogram("c_us").record(100);
+        let json = registry.snapshot_json();
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.contains("\"a_total\":7"));
+        assert!(json.contains("\"b\":2"));
+        assert!(json.contains("\"c_us\":{\"count\":1,\"sum\":100,"));
+        assert!(json.starts_with("{\"ts_ms\":"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn stat_value_parses_key_value_lines() {
+        let text = "requests 12\nerrors 0\n";
+        assert_eq!(stat_value(text, "requests"), Some(12));
+        assert_eq!(stat_value(text, "errors"), Some(0));
+        assert_eq!(stat_value(text, "nope"), None);
+    }
+}

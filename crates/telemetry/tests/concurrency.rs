@@ -1,0 +1,71 @@
+//! Concurrent recording: many threads hammering shared counters, gauges
+//! and histograms through registry handles must lose no updates.
+
+use mhp_telemetry::{Registry, HISTOGRAM_BUCKETS};
+
+const THREADS: usize = 8;
+const OPS: u64 = 10_000;
+
+#[test]
+fn concurrent_counter_and_histogram_recording_loses_nothing() {
+    let registry = Registry::new();
+    let counter = registry.counter("ops_total");
+    let gauge = registry.gauge("inflight");
+    let histogram = registry.histogram("value_us");
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    gauge.incr();
+                    counter.incr();
+                    // Spread values across many buckets deterministically.
+                    histogram.record((t as u64 * OPS + i) % 4_096);
+                    gauge.decr();
+                }
+            });
+        }
+    });
+
+    let expected = THREADS as u64 * OPS;
+    assert_eq!(counter.get(), expected);
+    assert_eq!(gauge.get(), 0, "every incr paired with a decr");
+    assert_eq!(histogram.count(), expected);
+    let bucket_total: u64 = histogram.bucket_counts().iter().sum();
+    assert_eq!(bucket_total, expected, "no bucket update lost");
+    // The sum is exactly the sum of what the threads recorded.
+    let per_thread: u64 = (0..OPS).map(|i| i % 4_096).sum::<u64>();
+    let full: u64 = (0..THREADS as u64)
+        .map(|t| (0..OPS).map(|i| (t * OPS + i) % 4_096).sum::<u64>())
+        .sum();
+    assert!(full >= per_thread);
+    assert_eq!(histogram.sum(), full);
+    assert_eq!(histogram.bucket_counts().len(), HISTOGRAM_BUCKETS);
+}
+
+#[test]
+fn concurrent_registration_of_the_same_name_shares_one_metric() {
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let counter = registry.counter("shared_total");
+                for _ in 0..OPS {
+                    counter.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(registry.counter("shared_total").get(), THREADS as u64 * OPS);
+    // Exactly one series rendered.
+    let text = registry.render_prometheus();
+    let samples = text
+        .lines()
+        .filter(|l| l.starts_with("shared_total "))
+        .count();
+    assert_eq!(samples, 1);
+}

@@ -1,0 +1,66 @@
+//! Golden test for the Prometheus text-exposition renderer: a registry
+//! with known contents must render byte-for-byte the expected document.
+
+use mhp_telemetry::Registry;
+
+#[test]
+fn exposition_format_golden() {
+    let registry = Registry::new();
+    let requests = registry.counter("server_requests_total");
+    let active = registry.gauge("server_connections_active");
+    let depth0 = registry.gauge_with_labels("engine_queue_depth", &[("shard", "0")]);
+    let depth1 = registry.gauge_with_labels("engine_queue_depth", &[("shard", "1")]);
+    let latency = registry.histogram("server_request_latency_us");
+
+    requests.add(42);
+    active.set(3);
+    depth0.set(7);
+    depth1.set(0);
+    latency.record(0); // bucket 0, le="0"
+    latency.record(1); // bucket 1, le="1"
+    latency.record(3); // bucket 2, le="3"
+    latency.record(3);
+    latency.record(1_000); // bucket 10, le="1023"
+
+    let expected = "\
+# TYPE server_requests_total counter
+server_requests_total 42
+# TYPE server_connections_active gauge
+server_connections_active 3
+# TYPE engine_queue_depth gauge
+engine_queue_depth{shard=\"0\"} 7
+engine_queue_depth{shard=\"1\"} 0
+# TYPE server_request_latency_us histogram
+server_request_latency_us_bucket{le=\"0\"} 1
+server_request_latency_us_bucket{le=\"1\"} 2
+server_request_latency_us_bucket{le=\"3\"} 4
+server_request_latency_us_bucket{le=\"1023\"} 5
+server_request_latency_us_bucket{le=\"+Inf\"} 5
+server_request_latency_us_sum 1007
+server_request_latency_us_count 5
+";
+    assert_eq!(registry.render_prometheus(), expected);
+}
+
+#[test]
+fn every_type_line_precedes_its_samples_and_appears_once() {
+    let registry = Registry::new();
+    registry.counter("a_total").incr();
+    registry.gauge_with_labels("b", &[("k", "x")]).set(1);
+    registry.gauge_with_labels("b", &[("k", "y")]).set(2);
+    registry.histogram("c_us").record(5);
+
+    let text = registry.render_prometheus();
+    for name in ["a_total", "b", "c_us"] {
+        let type_line = text
+            .lines()
+            .position(|l| l.starts_with(&format!("# TYPE {name} ")))
+            .unwrap_or_else(|| panic!("missing # TYPE for {name}"));
+        let first_sample = text
+            .lines()
+            .position(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("missing sample for {name}"));
+        assert!(type_line < first_sample, "{name}: TYPE after samples");
+    }
+    assert_eq!(text.matches("# TYPE b gauge").count(), 1);
+}

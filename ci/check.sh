@@ -21,6 +21,9 @@ cargo test --workspace -q
 echo "==> server integration smoke test"
 ci/server_smoke.sh
 
+echo "==> chaos smoke test (faults, kill -9 restore, overload shed)"
+ci/chaos_smoke.sh
+
 # Perf smoke: a scaled-down hotpath run proves the bench harness still
 # executes end to end. Non-gating — throughput numbers vary by machine, so
 # a failure here warns instead of failing the gate.

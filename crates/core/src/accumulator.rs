@@ -267,6 +267,23 @@ impl AccumulatorTable {
     pub fn storage_bytes(&self) -> usize {
         self.capacity * 10
     }
+
+    /// Rebuilds the table's exact residency state from a snapshot — counts
+    /// *and* replaceable flags, bypassing the promotion-time invariants of
+    /// [`insert_tracked`](Self::insert_tracked) (a retained entry is
+    /// legitimately resident at count 0 and replaceable). Crate-internal:
+    /// callers validate capacity and uniqueness first.
+    pub(crate) fn restore_entries(
+        &mut self,
+        entries: impl IntoIterator<Item = (Tuple, u64, bool)>,
+    ) {
+        self.entries.clear();
+        for (tuple, count, replaceable) in entries {
+            self.entries
+                .insert(tuple, EntryState { count, replaceable });
+        }
+        debug_assert!(self.entries.len() <= self.capacity);
+    }
 }
 
 #[cfg(test)]

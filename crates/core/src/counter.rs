@@ -118,6 +118,14 @@ impl CounterArray {
     pub fn storage_bytes(&self) -> usize {
         self.counters.len() * 3
     }
+
+    /// Overwrites every counter from a snapshot (the crate-internal restore
+    /// path; callers validate length and saturation bounds first).
+    pub(crate) fn load(&mut self, values: Vec<u32>) {
+        debug_assert_eq!(values.len(), self.counters.len());
+        debug_assert!(values.iter().all(|&v| v <= COUNTER_MAX));
+        self.counters = values;
+    }
 }
 
 /// A bank of `tables × stride` saturating counters in **one contiguous
@@ -283,6 +291,14 @@ impl CounterBlock {
     /// counter, per the paper's area accounting).
     pub fn storage_bytes(&self) -> usize {
         self.values.len() * 3
+    }
+
+    /// Overwrites every counter from a snapshot (the crate-internal restore
+    /// path; callers validate length and saturation bounds first).
+    pub(crate) fn load(&mut self, values: Vec<u32>) {
+        debug_assert_eq!(values.len(), self.values.len());
+        debug_assert!(values.iter().all(|&v| v <= COUNTER_MAX));
+        self.values = values;
     }
 }
 

@@ -68,6 +68,7 @@ pub mod profile;
 pub mod profiler;
 pub mod rank;
 pub mod single_hash;
+pub mod state;
 pub mod theory;
 pub mod tuple;
 
@@ -84,4 +85,5 @@ pub use profile::{Candidate, IntervalProfile};
 pub use profiler::EventProfiler;
 pub use rank::top_k_by_count;
 pub use single_hash::{SingleHashConfig, SingleHashProfiler};
+pub use state::{SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use tuple::{Pc, Tuple, Value};

@@ -29,6 +29,7 @@ use crate::interval::IntervalConfig;
 use crate::introspect::{IntervalTally, IntrospectionSink, SinkHandle, SketchSnapshot};
 use crate::profile::{Candidate, IntervalProfile};
 use crate::profiler::EventProfiler;
+use crate::state::{self, SnapshotError, SnapshotReader, SnapshotWriter, KIND_MULTI_HASH};
 use crate::tuple::Tuple;
 
 /// Configuration of a [`MultiHashProfiler`]: total counter budget, number of
@@ -215,6 +216,9 @@ pub struct MultiHashProfiler {
     block: CounterBlock,
     accumulator: AccumulatorTable,
     threshold: u64,
+    /// The hash-family seed, kept for the snapshot configuration
+    /// fingerprint (the family itself is fully derived from it).
+    seed: u64,
     events: u64,
     interval_idx: u64,
     /// Scratch buffer holding the current tuple's *flat* block indices
@@ -253,6 +257,7 @@ impl MultiHashProfiler {
             block,
             accumulator,
             threshold: interval.threshold_count(),
+            seed,
             events: 0,
             interval_idx: 0,
             scratch: vec![0; config.num_tables()],
@@ -558,6 +563,73 @@ impl EventProfiler for MultiHashProfiler {
 
     fn set_introspection_sink(&mut self, sink: Option<Arc<dyn IntrospectionSink>>) {
         self.sink.set(sink);
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapshotWriter::new(KIND_MULTI_HASH);
+        // Configuration fingerprint.
+        w.put_u64(self.config.total_entries() as u64);
+        w.put_u64(self.config.num_tables() as u64);
+        w.put_bool(self.config.conservative_update());
+        w.put_bool(self.config.resetting());
+        w.put_bool(self.config.retaining());
+        w.put_bool(self.config.shielding());
+        w.put_u64(self.seed);
+        state::put_interval(&mut w, &self.interval);
+        // Dynamic state.
+        w.put_u64(self.events);
+        w.put_u64(self.interval_idx);
+        state::put_tally(&mut w, &self.tally);
+        state::put_counters(&mut w, self.block.len(), self.block.iter());
+        state::put_accumulator(&mut w, &self.accumulator);
+        Ok(w.finish())
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::open(snapshot, KIND_MULTI_HASH)?;
+        if r.take_u64("total entries")? != self.config.total_entries() as u64 {
+            return Err(SnapshotError::ConfigMismatch {
+                context: "total counter entries",
+            });
+        }
+        if r.take_u64("table count")? != self.config.num_tables() as u64 {
+            return Err(SnapshotError::ConfigMismatch {
+                context: "number of tables",
+            });
+        }
+        for (flag, live, context) in [
+            (
+                "conservative flag",
+                self.config.conservative_update(),
+                "conservative update",
+            ),
+            ("resetting flag", self.config.resetting(), "resetting"),
+            ("retaining flag", self.config.retaining(), "retaining"),
+            ("shielding flag", self.config.shielding(), "shielding"),
+        ] {
+            if r.take_bool(flag)? != live {
+                return Err(SnapshotError::ConfigMismatch { context });
+            }
+        }
+        if r.take_u64("hash seed")? != self.seed {
+            return Err(SnapshotError::ConfigMismatch {
+                context: "hash seed",
+            });
+        }
+        state::check_interval(&mut r, &self.interval)?;
+        let events = r.take_u64("event count")?;
+        let interval_idx = r.take_u64("interval index")?;
+        let tally = state::take_tally(&mut r)?;
+        let counters = state::take_counters(&mut r, self.block.len())?;
+        let entries = state::take_accumulator(&mut r, self.accumulator.capacity())?;
+        r.expect_end()?;
+        // All fields validated: commit (errors above leave state untouched).
+        self.events = events;
+        self.interval_idx = interval_idx;
+        self.tally = tally;
+        self.block.load(counters);
+        self.accumulator.restore_entries(entries);
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use crate::interval::IntervalConfig;
 use crate::profile::{Candidate, IntervalProfile};
 use crate::profiler::EventProfiler;
+use crate::state::{self, SnapshotError, SnapshotReader, SnapshotWriter, KIND_PERFECT};
 use crate::tuple::Tuple;
 
 /// The exact per-tuple counts of one completed interval.
@@ -184,6 +185,54 @@ impl EventProfiler for PerfectProfiler {
 
     fn interval_index(&self) -> u64 {
         self.interval_idx
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapshotWriter::new(KIND_PERFECT);
+        state::put_interval(&mut w, &self.interval);
+        w.put_u64(self.events);
+        w.put_u64(self.interval_idx);
+        // Sorted by tuple so equal state always snapshots to equal bytes.
+        let mut counts: Vec<(Tuple, u64)> = self.counts.iter().map(|(&t, &c)| (t, c)).collect();
+        counts.sort_by_key(|&(t, _)| t);
+        w.put_u64(counts.len() as u64);
+        for (tuple, count) in counts {
+            let (pc, value) = tuple.into();
+            w.put_u64(pc);
+            w.put_u64(value);
+            w.put_u64(count);
+        }
+        Ok(w.finish())
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::open(snapshot, KIND_PERFECT)?;
+        state::check_interval(&mut r, &self.interval)?;
+        let events = r.take_u64("event count")?;
+        let interval_idx = r.take_u64("interval index")?;
+        let count = r.take_count(24, "count entries")?;
+        let mut counts = HashMap::with_capacity(count);
+        let mut last: Option<Tuple> = None;
+        for _ in 0..count {
+            let pc = r.take_u64("entry pc")?;
+            let value = r.take_u64("entry value")?;
+            let n = r.take_u64("entry count")?;
+            let tuple = Tuple::new(pc, value);
+            // Written sorted; anything out of order (or equal) is corruption.
+            if last.is_some_and(|prev| prev >= tuple) {
+                return Err(SnapshotError::Corrupt {
+                    context: "count entries out of order",
+                });
+            }
+            last = Some(tuple);
+            counts.insert(tuple, n);
+        }
+        r.expect_end()?;
+        // All fields validated: commit (errors above leave state untouched).
+        self.events = events;
+        self.interval_idx = interval_idx;
+        self.counts = counts;
+        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use crate::interval::IntervalConfig;
 use crate::introspect::IntrospectionSink;
 use crate::profile::{Candidate, IntervalProfile};
+use crate::state::SnapshotError;
 use crate::tuple::Tuple;
 
 /// An interval-based profiler that consumes a stream of tuples and emits an
@@ -107,6 +108,40 @@ pub trait EventProfiler {
     /// introspection cost beyond a few plain register increments.
     fn set_introspection_sink(&mut self, sink: Option<Arc<dyn IntrospectionSink>>) {
         let _ = sink;
+    }
+
+    /// Serializes the profiler's complete state — counters, accumulator
+    /// contents, interval position and configuration fingerprint — into a
+    /// versioned, CRC-guarded snapshot (see [`crate::state`]).
+    ///
+    /// A profiler restored from the snapshot via
+    /// [`restore_state`](Self::restore_state) and fed the remainder of an
+    /// event stream produces results bit-identical to one that ran
+    /// uninterrupted. The default implementation reports
+    /// [`SnapshotError::Unsupported`] for profilers with no durable state.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if this profiler cannot snapshot.
+    fn save_state(&self) -> Result<Vec<u8>, SnapshotError> {
+        Err(SnapshotError::Unsupported)
+    }
+
+    /// Replaces the profiler's state with the contents of a snapshot
+    /// previously produced by [`save_state`](Self::save_state) on a profiler
+    /// with the *same* configuration (interval, sketch geometry, seed).
+    ///
+    /// On any error the profiler's current state is left untouched. The
+    /// default implementation reports [`SnapshotError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`SnapshotError`]s: bad magic, unsupported version, truncation,
+    /// CRC mismatch, kind or configuration mismatch, or corrupt field
+    /// values.
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        let _ = snapshot;
+        Err(SnapshotError::Unsupported)
     }
 
     /// Feeds every event from `events`, collecting the completed interval

@@ -23,6 +23,7 @@ use crate::interval::IntervalConfig;
 use crate::introspect::{IntervalTally, IntrospectionSink, SinkHandle, SketchSnapshot};
 use crate::profile::{Candidate, IntervalProfile};
 use crate::profiler::EventProfiler;
+use crate::state::{self, SnapshotError, SnapshotReader, SnapshotWriter, KIND_SINGLE_HASH};
 use crate::tuple::Tuple;
 
 /// Configuration of a [`SingleHashProfiler`]: hash-table size and the paper's
@@ -166,6 +167,9 @@ pub struct SingleHashProfiler {
     counters: CounterArray,
     accumulator: AccumulatorTable,
     threshold: u64,
+    /// The hash seed, kept for the snapshot configuration fingerprint (the
+    /// hasher itself is fully derived from it).
+    seed: u64,
     events: u64,
     interval_idx: u64,
     /// Per-interval introspection tallies (plain register adds; folded
@@ -196,6 +200,7 @@ impl SingleHashProfiler {
             counters: CounterArray::new(config.entries()),
             accumulator,
             threshold: interval.threshold_count(),
+            seed,
             events: 0,
             interval_idx: 0,
             tally: IntervalTally::default(),
@@ -390,6 +395,61 @@ impl EventProfiler for SingleHashProfiler {
 
     fn set_introspection_sink(&mut self, sink: Option<Arc<dyn IntrospectionSink>>) {
         self.sink.set(sink);
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapshotWriter::new(KIND_SINGLE_HASH);
+        // Configuration fingerprint.
+        w.put_u64(self.config.entries() as u64);
+        w.put_bool(self.config.resetting());
+        w.put_bool(self.config.retaining());
+        w.put_bool(self.config.shielding());
+        w.put_u64(self.seed);
+        state::put_interval(&mut w, &self.interval);
+        // Dynamic state.
+        w.put_u64(self.events);
+        w.put_u64(self.interval_idx);
+        state::put_tally(&mut w, &self.tally);
+        state::put_counters(&mut w, self.counters.len(), self.counters.iter());
+        state::put_accumulator(&mut w, &self.accumulator);
+        Ok(w.finish())
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::open(snapshot, KIND_SINGLE_HASH)?;
+        if r.take_u64("table entries")? != self.config.entries() as u64 {
+            return Err(SnapshotError::ConfigMismatch {
+                context: "hash-table entries",
+            });
+        }
+        for (flag, live, context) in [
+            ("resetting flag", self.config.resetting(), "resetting"),
+            ("retaining flag", self.config.retaining(), "retaining"),
+            ("shielding flag", self.config.shielding(), "shielding"),
+        ] {
+            if r.take_bool(flag)? != live {
+                return Err(SnapshotError::ConfigMismatch { context });
+            }
+        }
+        if r.take_u64("hash seed")? != self.seed {
+            return Err(SnapshotError::ConfigMismatch {
+                context: "hash seed",
+            });
+        }
+        state::check_interval(&mut r, &self.interval)?;
+        let events = r.take_u64("event count")?;
+        let interval_idx = r.take_u64("interval index")?;
+        let tally = state::take_tally(&mut r)?;
+        let counters = state::take_counters(&mut r, self.counters.len())?;
+        let entries = state::take_accumulator(&mut r, self.accumulator.capacity())?;
+        r.expect_end()?;
+        // All fields validated: commit (errors above leave state untouched).
+        self.events = events;
+        self.interval_idx = interval_idx;
+        self.tally = tally;
+        self.counters.load(counters);
+        self.accumulator.restore_entries(entries);
+        Ok(())
     }
 }
 

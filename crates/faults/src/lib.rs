@@ -1,0 +1,497 @@
+//! # mhp-faults — deterministic, seeded fault injection
+//!
+//! Validating a measurement system means deliberately stressing it, not just
+//! benchmarking the happy path. This crate provides the *plan* half of that:
+//! a [`FaultPlan`] names which faults to inject and when (counted in events,
+//! requests or chunks at the injection site), and an armed [`FaultHook`] is
+//! threaded into the pipeline's shard workers and the server's connection
+//! loop, which consult it at well-defined points.
+//!
+//! Design constraints:
+//!
+//! * **Dependency-free** — pure `std`, so every crate in the workspace can
+//!   use it without weight.
+//! * **Deterministic** — a plan is constructed from a seed and explicit
+//!   trigger points; the same plan against the same input stream injects
+//!   the same faults (corruption even flips the same byte). No wall-clock,
+//!   no global RNG.
+//! * **Once-only** — each planned fault fires exactly once, so a retrying
+//!   client can observe "fault, then recovery" rather than a livelock.
+//! * **Disarmed ≈ free** — hosts hold an `Option<FaultHook>`; the hot path
+//!   pays one `Option` check per *batch* (never per event), keeping the
+//!   fault machinery compiled in but benchmark-neutral when unused.
+//!
+//! ```
+//! use mhp_faults::{FaultKind, FaultPlan, WorkerAction};
+//!
+//! let plan = FaultPlan::parse("worker-panic@100", 42).unwrap();
+//! let hook = plan.arm();
+//! assert!(matches!(hook.on_worker_events(99), WorkerAction::Proceed));
+//! assert!(matches!(hook.on_worker_events(1), WorkerAction::Panic));
+//! // Once-only: the plan is spent.
+//! assert!(matches!(hook.on_worker_events(1000), WorkerAction::Proceed));
+//! assert_eq!(hook.injected_total(), 1);
+//! assert_eq!(hook.injected(FaultKind::WorkerPanic), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long an injected stall ([`FaultKind::WorkerStall`] /
+/// [`FaultKind::SlowConsumer`]) sleeps. Long enough to be observable, short
+/// enough to keep chaos suites fast.
+pub const STALL: Duration = Duration::from_millis(25);
+
+/// The kinds of fault a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A shard worker panics (tests the engine's non-panicking dispatch and
+    /// typed worker-death errors). Counted in worker events.
+    WorkerPanic,
+    /// A shard worker stalls for [`STALL`] (tests bounded-queue
+    /// backpressure). Counted in worker events.
+    WorkerStall,
+    /// The server truncates a response frame mid-write and hangs up (tests
+    /// the client's torn-frame handling). Counted in requests.
+    TruncateFrame,
+    /// An ingested chunk has one byte flipped before decoding (tests the
+    /// trace format's CRC guard and the client's retry). Counted in chunks.
+    CorruptChunk,
+    /// The server drops the connection before responding (tests reconnect
+    /// plus idempotent resume). Counted in requests.
+    DropConnection,
+    /// The server sleeps for [`STALL`] before serving an ingest request
+    /// (tests client timeouts and overload shedding). Counted in chunks.
+    SlowConsumer,
+}
+
+/// Every fault kind, for exhaustive chaos sweeps.
+pub const ALL_FAULT_KINDS: [FaultKind; 6] = [
+    FaultKind::WorkerPanic,
+    FaultKind::WorkerStall,
+    FaultKind::TruncateFrame,
+    FaultKind::CorruptChunk,
+    FaultKind::DropConnection,
+    FaultKind::SlowConsumer,
+];
+
+impl FaultKind {
+    /// The stable spec-string name of this kind (used by
+    /// [`FaultPlan::parse`] and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::WorkerStall => "worker-stall",
+            FaultKind::TruncateFrame => "truncate-frame",
+            FaultKind::CorruptChunk => "corrupt-chunk",
+            FaultKind::DropConnection => "conn-drop",
+            FaultKind::SlowConsumer => "slow-consumer",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultKind {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_FAULT_KINDS
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| PlanParseError {
+                message: format!("unknown fault kind {s:?}"),
+            })
+    }
+}
+
+/// A fault-plan spec string could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// One planned fault: inject `kind` when its site counter reaches `at`
+/// (1-based: `at == 1` fires on the first event/request/chunk the site
+/// sees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// The site-counter value to fire at.
+    pub at: u64,
+}
+
+/// A deterministic schedule of faults.
+///
+/// Parsed from a compact spec string — `"conn-drop@3,corrupt-chunk@2"` —
+/// plus a seed that derives any randomness a fault needs (e.g. which byte
+/// of a chunk to flip). Arm it once with [`arm`](FaultPlan::arm) and clone
+/// the resulting [`FaultHook`] into every injection site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one fault firing when its site counter reaches `at` (1-based).
+    pub fn with_fault(mut self, kind: FaultKind, at: u64) -> Self {
+        self.faults.push(FaultSpec { kind, at });
+        self
+    }
+
+    /// Parses a comma-separated spec: `kind@count[,kind@count...]`, e.g.
+    /// `"worker-panic@5000,conn-drop@3"`. An empty string is an empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanParseError`] for unknown kinds, malformed entries, or
+    /// a zero trigger count.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, PlanParseError> {
+        let mut plan = FaultPlan::new(seed);
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind, at) = entry.split_once('@').ok_or_else(|| PlanParseError {
+                message: format!("expected kind@count, got {entry:?}"),
+            })?;
+            let kind: FaultKind = kind.trim().parse()?;
+            let at: u64 = at.trim().parse().map_err(|_| PlanParseError {
+                message: format!("bad trigger count in {entry:?}"),
+            })?;
+            if at == 0 {
+                return Err(PlanParseError {
+                    message: format!("trigger count must be >= 1 in {entry:?}"),
+                });
+            }
+            plan.faults.push(FaultSpec { kind, at });
+        }
+        Ok(plan)
+    }
+
+    /// The planned faults, in plan order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Arms the plan, producing the hook injection sites consult.
+    pub fn arm(&self) -> FaultHook {
+        FaultHook {
+            inner: Arc::new(HookInner {
+                seed: self.seed,
+                faults: self
+                    .faults
+                    .iter()
+                    .map(|&spec| ArmedFault {
+                        spec,
+                        fired: AtomicBool::new(false),
+                    })
+                    .collect(),
+                worker_events: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                chunks: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// What a shard worker should do with the batch it is about to process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerAction {
+    /// No fault: process normally.
+    Proceed,
+    /// Panic (deliberately) before processing.
+    Panic,
+    /// Sleep for the given duration, then process normally.
+    Stall(Duration),
+}
+
+/// What the server connection loop should do with the request it just read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnAction {
+    /// No fault: serve normally.
+    Proceed,
+    /// Close the connection without responding.
+    Drop,
+    /// Write only a prefix of the response frame, then close.
+    TruncateResponse,
+}
+
+/// What an armed hook did to an ingest chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestFault {
+    /// One byte of the chunk was flipped.
+    pub corrupted: bool,
+    /// The consumer should sleep this long before decoding.
+    pub stall: Option<Duration>,
+}
+
+#[derive(Debug)]
+struct ArmedFault {
+    spec: FaultSpec,
+    fired: AtomicBool,
+}
+
+#[derive(Debug)]
+struct HookInner {
+    seed: u64,
+    faults: Vec<ArmedFault>,
+    worker_events: AtomicU64,
+    requests: AtomicU64,
+    chunks: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl HookInner {
+    /// Fires the first unfired fault of `kind` whose trigger count has been
+    /// reached (`at <= count`). Returns whether one fired. Firing at-or-after
+    /// rather than exactly-at means a trigger inside a large batch still
+    /// fires, and two faults sharing a trigger fire on consecutive
+    /// consultations.
+    fn fire_due(&self, kind: FaultKind, count: u64) -> bool {
+        for fault in &self.faults {
+            if fault.spec.kind == kind
+                && fault.spec.at <= count
+                && fault
+                    .fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// An armed [`FaultPlan`]: cheap to clone (an `Arc`), consulted by the
+/// injection sites. All methods are thread-safe; counters are global across
+/// clones so a plan means the same thing regardless of sharding.
+#[derive(Debug, Clone)]
+pub struct FaultHook {
+    inner: Arc<HookInner>,
+}
+
+impl FaultHook {
+    /// Called by a shard worker before processing a batch of `n` events.
+    /// Advances the worker-event counter and reports the action to take.
+    pub fn on_worker_events(&self, n: u64) -> WorkerAction {
+        let count = self.inner.worker_events.fetch_add(n, Ordering::AcqRel) + n;
+        if self.inner.fire_due(FaultKind::WorkerPanic, count) {
+            WorkerAction::Panic
+        } else if self.inner.fire_due(FaultKind::WorkerStall, count) {
+            WorkerAction::Stall(STALL)
+        } else {
+            WorkerAction::Proceed
+        }
+    }
+
+    /// Called by the server for every decoded request. Advances the request
+    /// counter and reports the action to take.
+    pub fn on_request(&self) -> ConnAction {
+        let count = self.inner.requests.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.inner.fire_due(FaultKind::DropConnection, count) {
+            ConnAction::Drop
+        } else if self.inner.fire_due(FaultKind::TruncateFrame, count) {
+            ConnAction::TruncateResponse
+        } else {
+            ConnAction::Proceed
+        }
+    }
+
+    /// Called by the ingest path for every chunk, *before* decoding.
+    /// Advances the chunk counter; may flip one deterministically-chosen
+    /// byte in place and/or request a stall.
+    pub fn on_ingest_chunk(&self, chunk: &mut [u8]) -> IngestFault {
+        let count = self.inner.chunks.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut fault = IngestFault::default();
+        if self.inner.fire_due(FaultKind::CorruptChunk, count) && !chunk.is_empty() {
+            // Deterministic choice of victim byte from seed and position.
+            let idx = splitmix64(self.inner.seed ^ count) as usize % chunk.len();
+            chunk[idx] ^= 0x55;
+            fault.corrupted = true;
+        }
+        if self.inner.fire_due(FaultKind::SlowConsumer, count) {
+            fault.stall = Some(STALL);
+        }
+        fault
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_total(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of faults of `kind` injected so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.inner
+            .faults
+            .iter()
+            .filter(|f| f.spec.kind == kind && f.fired.load(Ordering::Acquire))
+            .count() as u64
+    }
+
+    /// Whether any planned fault has not fired yet.
+    pub fn pending(&self) -> bool {
+        self.inner
+            .faults
+            .iter()
+            .any(|f| !f.fired.load(Ordering::Acquire))
+    }
+}
+
+/// SplitMix64 finalizer — the same mixing the engine's `shard_of` uses, kept
+/// local so this crate stays dependency-free.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_kind() {
+        for kind in ALL_FAULT_KINDS {
+            let plan = FaultPlan::parse(&format!("{}@7", kind.name()), 1).unwrap();
+            assert_eq!(plan.faults(), &[FaultSpec { kind, at: 7 }]);
+            assert_eq!(kind.name().parse::<FaultKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_lists_and_whitespace() {
+        let plan = FaultPlan::parse(" conn-drop@3 , corrupt-chunk@2 ", 9).unwrap();
+        assert_eq!(plan.faults().len(), 2);
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(FaultPlan::parse("", 9).unwrap(), FaultPlan::new(9));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["nope@1", "worker-panic", "worker-panic@x", "worker-panic@0"] {
+            let err = FaultPlan::parse(bad, 0).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.starts_with("invalid fault plan"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn worker_faults_fire_once_inside_their_window() {
+        let hook = FaultPlan::new(0)
+            .with_fault(FaultKind::WorkerPanic, 150)
+            .with_fault(FaultKind::WorkerStall, 150)
+            .arm();
+        // Batch of 100 ends at 100: nothing yet.
+        assert_eq!(hook.on_worker_events(100), WorkerAction::Proceed);
+        // Batch crossing 150 fires the panic (first in plan order).
+        assert_eq!(hook.on_worker_events(100), WorkerAction::Panic);
+        // Stall with the same trigger fires on the next consultation.
+        assert_eq!(hook.on_worker_events(1), WorkerAction::Stall(STALL));
+        assert_eq!(hook.on_worker_events(10_000), WorkerAction::Proceed);
+        assert_eq!(hook.injected_total(), 2);
+        assert!(!hook.pending());
+    }
+
+    #[test]
+    fn request_faults_fire_at_exact_request_numbers() {
+        let hook = FaultPlan::new(0)
+            .with_fault(FaultKind::DropConnection, 2)
+            .with_fault(FaultKind::TruncateFrame, 4)
+            .arm();
+        assert_eq!(hook.on_request(), ConnAction::Proceed);
+        assert_eq!(hook.on_request(), ConnAction::Drop);
+        assert_eq!(hook.on_request(), ConnAction::Proceed);
+        assert_eq!(hook.on_request(), ConnAction::TruncateResponse);
+        assert_eq!(hook.on_request(), ConnAction::Proceed);
+    }
+
+    #[test]
+    fn chunk_corruption_is_deterministic_and_once_only() {
+        let run = || {
+            let hook = FaultPlan::new(77)
+                .with_fault(FaultKind::CorruptChunk, 2)
+                .arm();
+            let mut chunks = vec![vec![0u8; 32], vec![0u8; 32], vec![0u8; 32]];
+            let faults: Vec<IngestFault> =
+                chunks.iter_mut().map(|c| hook.on_ingest_chunk(c)).collect();
+            (chunks, faults)
+        };
+        let (chunks_a, faults_a) = run();
+        let (chunks_b, faults_b) = run();
+        assert_eq!(chunks_a, chunks_b, "same plan, same corruption");
+        assert_eq!(faults_a, faults_b);
+        assert!(!faults_a[0].corrupted);
+        assert!(faults_a[1].corrupted);
+        assert!(!faults_a[2].corrupted);
+        assert_eq!(chunks_a[1].iter().filter(|&&b| b != 0).count(), 1);
+        assert!(chunks_a[0].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn slow_consumer_requests_a_stall() {
+        let hook = FaultPlan::new(0)
+            .with_fault(FaultKind::SlowConsumer, 1)
+            .arm();
+        let fault = hook.on_ingest_chunk(&mut [1, 2, 3]);
+        assert_eq!(fault.stall, Some(STALL));
+        assert!(!fault.corrupted);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let hook = FaultPlan::new(0)
+            .with_fault(FaultKind::DropConnection, 1)
+            .arm();
+        let clone = hook.clone();
+        assert_eq!(clone.on_request(), ConnAction::Drop);
+        assert_eq!(hook.on_request(), ConnAction::Proceed);
+        assert_eq!(hook.injected_total(), 1);
+        assert_eq!(hook.injected(FaultKind::DropConnection), 1);
+    }
+
+    #[test]
+    fn display_and_error_messages_are_lowercase() {
+        for kind in ALL_FAULT_KINDS {
+            assert!(kind.to_string().chars().next().unwrap().is_lowercase());
+        }
+        let err = FaultPlan::parse("x@1", 0).unwrap_err().to_string();
+        assert!(err.chars().next().unwrap().is_lowercase());
+        assert!(!err.ends_with('.'));
+    }
+}

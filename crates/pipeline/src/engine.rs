@@ -36,11 +36,13 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use mhp_core::state::KIND_ENGINE_SESSION;
 use mhp_core::{
     Candidate, ConfigError, EventProfiler, IntervalConfig, IntervalProfile, IntrospectionSink,
     MultiHashConfig, MultiHashProfiler, PerfectProfiler, SingleHashConfig, SingleHashProfiler,
-    Tuple,
+    SnapshotError, SnapshotReader, SnapshotWriter, Tuple,
 };
+use mhp_faults::{FaultHook, WorkerAction};
 use mhp_telemetry::Gauge;
 
 use crate::error::Error;
@@ -255,6 +257,10 @@ enum Msg {
     /// Report the shard's hottest live tuples (its current partial
     /// interval) on the reply channel, without disturbing any state.
     TopK(usize, Sender<Vec<Candidate>>),
+    /// Serialize the shard profiler's full state on the reply channel,
+    /// without disturbing it. Acts as a barrier: every batch dispatched
+    /// before this message is in the snapshot, none after.
+    SaveState(Sender<Result<Vec<u8>, SnapshotError>>),
 }
 
 /// The sharded streaming ingestion engine.
@@ -292,6 +298,7 @@ pub struct ShardedEngine {
     seed: u64,
     telemetry: Option<EngineTelemetry>,
     sink: Option<Arc<dyn IntrospectionSink>>,
+    faults: Option<FaultHook>,
 }
 
 impl fmt::Debug for ShardedEngine {
@@ -303,6 +310,7 @@ impl fmt::Debug for ShardedEngine {
             .field("seed", &self.seed)
             .field("telemetry", &self.telemetry.is_some())
             .field("sink", &self.sink.is_some())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -323,6 +331,7 @@ impl ShardedEngine {
             seed,
             telemetry: None,
             sink: None,
+            faults: None,
         }
     }
 
@@ -339,6 +348,15 @@ impl ShardedEngine {
     /// [`SketchSnapshot`](mhp_core::SketchSnapshot) per interval cut.
     pub fn with_introspection_sink(mut self, sink: Arc<dyn IntrospectionSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Arms deterministic fault injection: every shard worker this engine
+    /// spawns consults `hook` once per batch (panicking or stalling when a
+    /// planned fault fires). Without a hook the workers pay only a `None`
+    /// check per batch, keeping the machinery benchmark-neutral.
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.faults = Some(hook);
         self
     }
 
@@ -423,6 +441,87 @@ impl ShardedEngine {
     /// ```
     pub fn start(&self) -> Result<EngineSession, Error> {
         self.config.validate()?;
+        let profilers = self.build_shard_profilers()?;
+        Ok(EngineSession::spawn(
+            &self.config,
+            self.interval.interval_len(),
+            profilers,
+            self.telemetry.clone(),
+            self.faults.clone(),
+        ))
+    }
+
+    /// Rebuilds a live [`EngineSession`] from a snapshot taken by
+    /// [`EngineSession::save_state`] on an identically-configured engine.
+    ///
+    /// The restored session is bit-equivalent to the one that saved:
+    /// continuing the same event stream produces identical profiles,
+    /// [`top_k`](EngineSession::top_k) answers and re-snapshots. The
+    /// engine's spec, seed, shard count and interval must match the saving
+    /// engine's; anything else is refused with a typed error before any
+    /// worker thread is spawned.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] for a damaged, version-incompatible or
+    /// configuration-mismatched snapshot; [`Error::InvalidEngine`] /
+    /// [`Error::Config`] exactly as [`start`](Self::start).
+    pub fn restore(&self, snapshot: &[u8]) -> Result<EngineSession, Error> {
+        self.config.validate()?;
+        let mut r = SnapshotReader::open(snapshot, KIND_ENGINE_SESSION)?;
+        let shards = r.take_u64("shard count")?;
+        if shards != self.config.shards() as u64 {
+            return Err(SnapshotError::ConfigMismatch {
+                context: "shard count",
+            }
+            .into());
+        }
+        let interval_len = r.take_u64("interval length")?;
+        if interval_len != self.interval.interval_len() {
+            return Err(SnapshotError::ConfigMismatch {
+                context: "interval length",
+            }
+            .into());
+        }
+        let events = r.take_u64("event count")?;
+        let in_interval = r.take_u64("events in interval")?;
+        let mut stats = Vec::with_capacity(shards as usize);
+        for _ in 0..shards {
+            stats.push(ShardStats {
+                events: r.take_u64("shard events")?,
+                batches: r.take_u64("shard batches")?,
+                stalls: r.take_u64("shard stalls")?,
+            });
+        }
+        let profile_count = r.take_count(33, "completed profiles")?;
+        let mut completed = Vec::with_capacity(profile_count);
+        for _ in 0..profile_count {
+            completed.push(take_profile(&mut r)?);
+        }
+        // Restore each shard's profiler *before* spawning any worker
+        // thread, so a bad snapshot fails with nothing to clean up.
+        let mut profilers = self.build_shard_profilers()?;
+        for profiler in &mut profilers {
+            let blob = r.take_bytes("shard profiler snapshot")?;
+            profiler.restore_state(blob)?;
+        }
+        r.expect_end()?;
+
+        let mut session = EngineSession::spawn(
+            &self.config,
+            interval_len,
+            profilers,
+            self.telemetry.clone(),
+            self.faults.clone(),
+        );
+        session.events = events;
+        session.in_interval = in_interval;
+        session.stats = stats;
+        session.completed = completed;
+        Ok(session)
+    }
+
+    fn build_shard_profilers(&self) -> Result<Vec<Box<dyn EventProfiler + Send>>, Error> {
         let shard_interval = self.interval.with_external_cut();
         let mut profilers = (0..self.config.shards())
             .map(|_| self.spec.build(shard_interval, self.seed))
@@ -432,13 +531,54 @@ impl ShardedEngine {
                 profiler.set_introspection_sink(Some(sink.clone()));
             }
         }
-        Ok(EngineSession::spawn(
-            &self.config,
-            self.interval.interval_len(),
-            profilers,
-            self.telemetry.clone(),
-        ))
+        Ok(profilers)
     }
+}
+
+/// Serializes one completed [`IntervalProfile`] into an engine snapshot.
+fn put_profile(w: &mut SnapshotWriter, profile: &IntervalProfile) {
+    w.put_u64(profile.interval_index());
+    let config = profile.config();
+    w.put_u64(config.interval_len());
+    w.put_f64(config.threshold_fraction());
+    w.put_bool(config.external_cut());
+    w.put_u64(profile.len() as u64);
+    // Candidates are stored hottest-first with deterministic tie-breaking,
+    // so writing in iteration order keeps snapshots byte-reproducible.
+    for c in profile.candidates() {
+        w.put_u64(c.tuple.pc().as_u64());
+        w.put_u64(c.tuple.value().as_u64());
+        w.put_u64(c.count);
+    }
+}
+
+/// Reads back one [`IntervalProfile`] written by [`put_profile`].
+fn take_profile(r: &mut SnapshotReader<'_>) -> Result<IntervalProfile, Error> {
+    let interval_index = r.take_u64("profile interval index")?;
+    let interval_len = r.take_u64("profile interval length")?;
+    let threshold = r.take_f64("profile threshold fraction")?;
+    let external_cut = r.take_bool("profile external-cut flag")?;
+    let mut config = IntervalConfig::new(interval_len, threshold).map_err(|_| {
+        Error::Snapshot(SnapshotError::Corrupt {
+            context: "profile interval configuration",
+        })
+    })?;
+    if external_cut {
+        config = config.with_external_cut();
+    }
+    let count = r.take_count(24, "profile candidates")?;
+    let mut candidates = Vec::with_capacity(count);
+    for _ in 0..count {
+        let pc = r.take_u64("candidate pc")?;
+        let value = r.take_u64("candidate value")?;
+        let count = r.take_u64("candidate count")?;
+        candidates.push(Candidate::new(Tuple::new(pc, value), count));
+    }
+    Ok(IntervalProfile::from_candidates(
+        interval_index,
+        config,
+        candidates,
+    ))
 }
 
 /// A live run of a [`ShardedEngine`]: shard workers stay up between calls,
@@ -491,6 +631,7 @@ impl EngineSession {
         interval_len: u64,
         profilers: Vec<Box<dyn EventProfiler + Send>>,
         telemetry: Option<EngineTelemetry>,
+        faults: Option<FaultHook>,
     ) -> Self {
         let shards = profilers.len();
         let queue_gauges = telemetry
@@ -504,10 +645,11 @@ impl EngineSession {
             let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity());
             let (profile_tx, profile_rx) = std::sync::mpsc::channel();
             let depth = queue_gauges.get(shard).cloned();
+            let hook = faults.clone();
             senders.push(tx);
             profile_rxs.push(profile_rx);
             handles.push(thread::spawn(move || {
-                shard_worker(profiler, rx, profile_tx, depth)
+                shard_worker(profiler, rx, profile_tx, depth, hook)
             }));
         }
         let batch_cap = config.batch_events();
@@ -641,6 +783,64 @@ impl EngineSession {
             .collect())
     }
 
+    /// Serializes the session's complete state — every shard profiler,
+    /// the merged profiles completed so far, the interval position and the
+    /// dispatch statistics — into one versioned, CRC-guarded snapshot that
+    /// [`ShardedEngine::restore`] turns back into a live session.
+    ///
+    /// Acts as a barrier: pending batches are flushed and pending cuts
+    /// merged first, so the snapshot reflects exactly the events pushed
+    /// before the call. The session keeps running afterwards; saving twice
+    /// with no pushes in between produces identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WorkerDied`] if a shard worker died before answering;
+    /// [`Error::Snapshot`] if a shard profiler cannot snapshot itself
+    /// (e.g. a custom profiler without snapshot support); [`Error::Merge`]
+    /// on a shard-merge failure while draining pending cuts.
+    pub fn save_state(&mut self) -> Result<Vec<u8>, Error> {
+        self.flush_batches()?;
+        self.collect_cuts()?;
+        // One reply channel per shard keeps the blobs in shard order no
+        // matter which worker answers first.
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (tx, rx) = std::sync::mpsc::channel();
+            dispatch(
+                &self.senders[shard],
+                &mut self.stats[shard],
+                shard,
+                Msg::SaveState(tx),
+                self.telemetry.as_ref(),
+                self.queue_gauges.get(shard),
+            )?;
+            replies.push(rx);
+        }
+        let mut blobs = Vec::with_capacity(replies.len());
+        for (shard, rx) in replies.into_iter().enumerate() {
+            blobs.push(rx.recv().map_err(|_| Error::WorkerDied { shard })??);
+        }
+        let mut w = SnapshotWriter::new(KIND_ENGINE_SESSION);
+        w.put_u64(self.senders.len() as u64);
+        w.put_u64(self.interval_len);
+        w.put_u64(self.events);
+        w.put_u64(self.in_interval);
+        for stats in &self.stats {
+            w.put_u64(stats.events);
+            w.put_u64(stats.batches);
+            w.put_u64(stats.stalls);
+        }
+        w.put_u64(self.completed.len() as u64);
+        for profile in &self.completed {
+            put_profile(&mut w, profile);
+        }
+        for blob in &blobs {
+            w.put_bytes(blob);
+        }
+        Ok(w.finish())
+    }
+
     /// Events ingested so far (including the current partial interval).
     pub fn events(&self) -> u64 {
         self.events
@@ -762,12 +962,27 @@ impl EngineSession {
     }
 }
 
+/// How long [`EngineSession`]'s `Drop` waits for each worker before
+/// detaching it. Workers exit promptly once the channel hangs up; the bound
+/// exists so a wedged worker (stuck in a profiler call or an injected
+/// stall) cannot hang the dropping thread forever.
+const DROP_JOIN_TIMEOUT: Duration = Duration::from_secs(2);
+
 impl Drop for EngineSession {
     fn drop(&mut self) {
-        // Hang up so the workers exit their receive loops, then reap them.
+        // Hang up so the workers exit their receive loops, then reap them —
+        // but with a bound: past the deadline the worker is detached (it
+        // still exits on its own once it drains the hung-up channel; the
+        // drop just stops waiting for it).
         self.senders.clear();
+        let deadline = Instant::now() + DROP_JOIN_TIMEOUT;
         for handle in std::mem::take(&mut self.handles) {
-            let _ = handle.join();
+            while !handle.is_finished() && Instant::now() < deadline {
+                thread::sleep(Duration::from_millis(1));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -827,6 +1042,7 @@ fn shard_worker(
     rx: Receiver<Msg>,
     profile_tx: Sender<IntervalProfile>,
     depth: Option<Gauge>,
+    faults: Option<FaultHook>,
 ) {
     for msg in rx {
         // The message left the queue: the shard's live backlog shrank.
@@ -835,6 +1051,15 @@ fn shard_worker(
         }
         match msg {
             Msg::Batch(batch) => {
+                // One Option check per *batch*: disarmed fault machinery is
+                // compiled in but off the per-event path entirely.
+                if let Some(hook) = &faults {
+                    match hook.on_worker_events(batch.len() as u64) {
+                        WorkerAction::Proceed => {}
+                        WorkerAction::Panic => panic!("injected fault: worker panic"),
+                        WorkerAction::Stall(pause) => thread::sleep(pause),
+                    }
+                }
                 // One virtual call per batch, with the profiler's branch-
                 // hoisted loop inside. External-cut profilers never complete
                 // an interval on their own, so the result is an empty Vec
@@ -850,6 +1075,9 @@ fn shard_worker(
             }
             Msg::TopK(k, reply) => {
                 let _ = reply.send(profiler.hot_tuples(k));
+            }
+            Msg::SaveState(reply) => {
+                let _ = reply.send(profiler.save_state());
             }
         }
     }
@@ -1133,6 +1361,7 @@ mod tests {
                 interval.with_external_cut(),
             )))],
             None,
+            None,
         );
         for tuple in li_events(400) {
             session.push(tuple).unwrap();
@@ -1183,6 +1412,7 @@ mod tests {
             &config,
             1_000_000,
             vec![Box::new(Poisoned { interval, seen: 0 })],
+            None,
             None,
         );
         let mut push_err = None;
@@ -1248,6 +1478,200 @@ mod tests {
         assert_eq!(
             stat_value(&registry.render_prometheus(), "engine_events_total"),
             Some(12_000)
+        );
+    }
+
+    #[test]
+    fn session_save_restore_continue_matches_uninterrupted() {
+        let interval = IntervalConfig::new(2_000, 0.02).unwrap();
+        for spec in [
+            ProfilerSpec::Perfect,
+            ProfilerSpec::MultiHash(MultiHashConfig::best()),
+            ProfilerSpec::SingleHash(SingleHashConfig::best()),
+        ] {
+            let engine = ShardedEngine::new(
+                EngineConfig::new(4).with_batch_events(128),
+                interval,
+                spec,
+                0xD15EA5E,
+            );
+            // Reference: one uninterrupted session over all 7_300 events
+            // (mid-interval tail included).
+            let events: Vec<Tuple> = li_events(7_300).collect();
+            let mut clean = engine.start().unwrap();
+            clean.push_all(events.iter().copied()).unwrap();
+            let expected_top = clean.top_k(10).unwrap();
+            let expected = clean.finish().unwrap();
+
+            // Interrupted: push a prefix ending mid-interval, snapshot,
+            // kill the session, restore, push the suffix.
+            let mut first = engine.start().unwrap();
+            first.push_all(events[..4_700].iter().copied()).unwrap();
+            let snapshot = first.save_state().unwrap();
+            assert_eq!(
+                first.save_state().unwrap(),
+                snapshot,
+                "{spec}: saving twice must produce identical bytes"
+            );
+            drop(first);
+
+            let mut restored = engine.restore(&snapshot).unwrap();
+            assert_eq!(
+                restored.save_state().unwrap(),
+                snapshot,
+                "{spec}: a restored session must re-snapshot to the same bytes"
+            );
+            assert_eq!(restored.events(), 4_700);
+            assert_eq!(restored.in_interval(), 700);
+            restored.push_all(events[4_700..].iter().copied()).unwrap();
+            assert_eq!(restored.top_k(10).unwrap(), expected_top, "{spec}");
+            let report = restored.finish().unwrap();
+            assert_eq!(report.profiles, expected.profiles, "{spec}");
+            assert_eq!(report.events, expected.events);
+            assert_eq!(report.intervals, expected.intervals);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_engines_and_damaged_snapshots() {
+        let interval = IntervalConfig::new(1_000, 0.05).unwrap();
+        let engine = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 7);
+        let mut session = engine.start().unwrap();
+        session.push_all(li_events(1_500)).unwrap();
+        let snapshot = session.save_state().unwrap();
+        drop(session);
+
+        // Different shard count.
+        let other_shards =
+            ShardedEngine::new(EngineConfig::new(4), interval, ProfilerSpec::Perfect, 7);
+        assert!(matches!(
+            other_shards.restore(&snapshot),
+            Err(Error::Snapshot(SnapshotError::ConfigMismatch {
+                context: "shard count"
+            }))
+        ));
+        // Different interval length.
+        let other_interval = ShardedEngine::new(
+            EngineConfig::new(2),
+            IntervalConfig::new(2_000, 0.05).unwrap(),
+            ProfilerSpec::Perfect,
+            7,
+        );
+        assert!(matches!(
+            other_interval.restore(&snapshot),
+            Err(Error::Snapshot(SnapshotError::ConfigMismatch {
+                context: "interval length"
+            }))
+        ));
+        // Truncation at every length fails typed, never panics.
+        for len in 0..snapshot.len() {
+            assert!(matches!(
+                engine.restore(&snapshot[..len]),
+                Err(Error::Snapshot(_))
+            ));
+        }
+        // Bit flips are caught by the envelope CRC.
+        for i in (0..snapshot.len()).step_by(11) {
+            let mut bad = snapshot.clone();
+            bad[i] ^= 0x10;
+            assert!(matches!(engine.restore(&bad), Err(Error::Snapshot(_))));
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_surfaces_as_typed_error() {
+        use mhp_faults::{FaultKind, FaultPlan};
+        let interval = IntervalConfig::new(10_000, 0.01).unwrap();
+        let hook = FaultPlan::new(42)
+            .with_fault(FaultKind::WorkerPanic, 2_000)
+            .arm();
+        let engine = ShardedEngine::new(
+            EngineConfig::new(2).with_batch_events(128),
+            interval,
+            ProfilerSpec::Perfect,
+            0,
+        )
+        .with_fault_hook(hook.clone());
+        match engine.run(li_events(20_000)) {
+            Err(Error::WorkerPanicked { message, .. }) => {
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected a typed worker panic, got {other:?}"),
+        }
+        assert_eq!(hook.injected(FaultKind::WorkerPanic), 1);
+    }
+
+    #[test]
+    fn injected_worker_stall_delays_but_does_not_diverge() {
+        use mhp_faults::{FaultKind, FaultPlan};
+        let interval = IntervalConfig::new(5_000, 0.01).unwrap();
+        let clean = ShardedEngine::new(
+            EngineConfig::new(2).with_batch_events(256),
+            interval,
+            ProfilerSpec::Perfect,
+            0,
+        );
+        let expected = clean.run(li_events(12_000)).unwrap();
+
+        let hook = FaultPlan::new(42)
+            .with_fault(FaultKind::WorkerStall, 1_000)
+            .arm();
+        let report = clean
+            .clone()
+            .with_fault_hook(hook.clone())
+            .run(li_events(12_000))
+            .unwrap();
+        assert_eq!(report.profiles, expected.profiles);
+        assert_eq!(report.events, 12_000);
+        assert_eq!(hook.injected(FaultKind::WorkerStall), 1);
+    }
+
+    #[test]
+    fn dropping_a_session_with_a_wedged_worker_is_bounded() {
+        // A worker stuck inside a profiler call must not hang Drop forever:
+        // past DROP_JOIN_TIMEOUT it is detached instead of joined.
+        struct Wedged(PerfectProfiler);
+        impl EventProfiler for Wedged {
+            fn interval_config(&self) -> IntervalConfig {
+                self.0.interval_config()
+            }
+            fn observe(&mut self, tuple: Tuple) -> Option<IntervalProfile> {
+                thread::sleep(Duration::from_secs(6));
+                self.0.observe(tuple)
+            }
+            fn finish_interval(&mut self) -> IntervalProfile {
+                self.0.finish_interval()
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+            fn events_in_current_interval(&self) -> u64 {
+                self.0.events_in_current_interval()
+            }
+            fn interval_index(&self) -> u64 {
+                self.0.interval_index()
+            }
+        }
+        let interval = IntervalConfig::new(1_000_000, 0.01).unwrap();
+        let config = EngineConfig::new(1)
+            .with_queue_capacity(4)
+            .with_batch_events(1);
+        let mut session = EngineSession::spawn(
+            &config,
+            interval.interval_len(),
+            vec![Box::new(Wedged(PerfectProfiler::new(
+                interval.with_external_cut(),
+            )))],
+            None,
+            None,
+        );
+        session.push(Tuple::new(1, 1)).unwrap();
+        let started = Instant::now();
+        drop(session);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "drop must detach a wedged worker within the bound, took {elapsed:?}"
         );
     }
 

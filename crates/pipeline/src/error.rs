@@ -3,7 +3,7 @@
 use std::fmt;
 use std::io;
 
-use mhp_core::{ConfigError, MergeError};
+use mhp_core::{ConfigError, MergeError, SnapshotError};
 
 /// Any failure a pipeline stage can produce: I/O, a malformed or corrupted
 /// trace, an invalid profiler/engine configuration, or a merge conflict.
@@ -29,11 +29,22 @@ pub enum Error {
         /// Checksum computed over the payload actually read.
         actual: u32,
     },
-    /// The input ended before the structure it was reading was complete
-    /// (including a missing end-of-trace marker: every well-formed trace is
-    /// terminated explicitly so silent tail loss is detectable).
+    /// The input ended *cleanly on a structure boundary* but before the
+    /// stream was complete — typically a missing end-of-trace marker (every
+    /// well-formed trace is terminated explicitly so silent tail loss is
+    /// detectable). Contrast [`Error::UnexpectedEof`], which reports a tear
+    /// *inside* a structure.
     Truncated {
-        /// What was being read when the input ran out.
+        /// What was about to be read when the input ran out.
+        context: &'static str,
+    },
+    /// The input ended *inside* a structure that had already begun — a torn
+    /// write or a connection cut mid-chunk. Unlike [`Error::Truncated`]
+    /// (clean stop between structures), the bytes present cannot possibly
+    /// be a prefix of a valid stream resumption point: whatever produced
+    /// them died mid-record.
+    UnexpectedEof {
+        /// What was being read when the input tore.
         context: &'static str,
     },
     /// A chunk payload failed to decode: a varint ran past the payload or
@@ -75,6 +86,10 @@ pub enum Error {
         /// The panic payload's message (when it was a string).
         message: String,
     },
+    /// Saving or restoring engine/profiler state failed; see the inner
+    /// [`SnapshotError`] for whether the snapshot was damaged, from an
+    /// incompatible version, or taken under a different configuration.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for Error {
@@ -97,6 +112,9 @@ impl fmt::Display for Error {
             Error::Truncated { context } => {
                 write!(f, "trace is truncated (while reading {context})")
             }
+            Error::UnexpectedEof { context } => {
+                write!(f, "stream tore mid-structure (while reading {context})")
+            }
             Error::ChunkDecode { chunk } => {
                 write!(f, "chunk {chunk} payload is malformed")
             }
@@ -116,6 +134,7 @@ impl fmt::Display for Error {
             Error::WorkerPanicked { shard, message } => {
                 write!(f, "shard {shard} worker panicked: {message}")
             }
+            Error::Snapshot(e) => write!(f, "state snapshot failed: {e}"),
         }
     }
 }
@@ -126,6 +145,7 @@ impl std::error::Error for Error {
             Error::Io(e) => Some(e),
             Error::Config(e) => Some(e),
             Error::Merge(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -149,6 +169,12 @@ impl From<MergeError> for Error {
     }
 }
 
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +194,9 @@ mod tests {
             Error::Truncated {
                 context: "chunk header",
             },
+            Error::UnexpectedEof {
+                context: "chunk payload",
+            },
             Error::ChunkDecode { chunk: 0 },
             Error::ChunkTooLarge {
                 chunk: 1,
@@ -182,6 +211,7 @@ mod tests {
                 shard: 0,
                 message: "index out of bounds".into(),
             },
+            Error::Snapshot(SnapshotError::Unsupported),
         ];
         for err in errors {
             let msg = err.to_string();

@@ -26,7 +26,9 @@
 //! * The explicit all-zero end marker distinguishes a complete trace from
 //!   one whose tail was lost: a reader that hits EOF before the marker
 //!   reports [`Error::Truncated`] even if the loss fell exactly on a chunk
-//!   boundary.
+//!   boundary. EOF *inside* a chunk (a torn write, a connection cut
+//!   mid-transfer) is the distinct [`Error::UnexpectedEof`], so recovery
+//!   logic can tell "tail missing" from "stream died mid-record".
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -307,7 +309,8 @@ pub fn encode_chunk(events: &[Tuple]) -> Vec<u8> {
 /// number of bytes consumed.
 ///
 /// Applies the full adversarial-input gauntlet before touching the payload:
-/// truncated headers or payloads yield [`Error::Truncated`], implausible
+/// an empty input yields [`Error::Truncated`], a partial header or payload
+/// yields [`Error::UnexpectedEof`] (the chunk is torn), implausible
 /// declared sizes yield [`Error::ChunkTooLarge`] or [`Error::ChunkDecode`]
 /// without allocating, and payload corruption yields [`Error::CrcMismatch`].
 /// An all-zero header (the trace end marker) decodes as a zero-record chunk.
@@ -330,8 +333,17 @@ pub fn decode_chunk(bytes: &[u8]) -> Result<(Vec<Tuple>, usize), Error> {
 /// unspecified (but always safe to reuse for the next call).
 pub fn decode_chunk_into(bytes: &[u8], events: &mut Vec<Tuple>) -> Result<usize, Error> {
     if bytes.len() < CHUNK_HEADER_BYTES {
-        return Err(Error::Truncated {
-            context: "chunk header",
+        // No bytes at all is a clean boundary; a partial header is a torn
+        // chunk — the distinction callers use to tell "stream ended" from
+        // "stream died mid-chunk".
+        return Err(if bytes.is_empty() {
+            Error::Truncated {
+                context: "chunk header",
+            }
+        } else {
+            Error::UnexpectedEof {
+                context: "chunk header",
+            }
         });
     }
     let payload_len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as u64;
@@ -341,7 +353,7 @@ pub fn decode_chunk_into(bytes: &[u8], events: &mut Vec<Tuple>) -> Result<usize,
     let payload_len = payload_len as usize;
     let rest = &bytes[CHUNK_HEADER_BYTES..];
     if rest.len() < payload_len {
-        return Err(Error::Truncated {
+        return Err(Error::UnexpectedEof {
             context: "chunk payload",
         });
     }
@@ -545,7 +557,7 @@ impl<R: Read> TraceReader<R> {
     /// [`Error::UnknownKind`], [`Error::Truncated`] or I/O errors.
     pub fn new(mut source: R) -> Result<Self, Error> {
         let mut header = [0u8; 16];
-        read_exact_or(&mut source, &mut header, "header")?;
+        read_exact_classified(&mut source, &mut header, "header", false)?;
         if header[..8] != MAGIC {
             return Err(Error::BadMagic);
         }
@@ -597,7 +609,7 @@ impl<R: Read> TraceReader<R> {
     fn load_chunk(&mut self) -> Result<bool, Error> {
         loop {
             let mut chunk_header = [0u8; CHUNK_HEADER_BYTES];
-            read_exact_or(&mut self.source, &mut chunk_header, "chunk header")?;
+            read_exact_classified(&mut self.source, &mut chunk_header, "chunk header", false)?;
             if chunk_header == [0u8; CHUNK_HEADER_BYTES] {
                 // End-of-trace marker; anything after it is an error.
                 let mut probe = [0u8; 1];
@@ -614,7 +626,14 @@ impl<R: Read> TraceReader<R> {
             validate_chunk_header(payload_len, record_count, self.chunks_read)?;
 
             self.payload_buf.resize(payload_len as usize, 0);
-            read_exact_or(&mut self.source, &mut self.payload_buf, "chunk payload")?;
+            // The chunk header promised this payload: running out anywhere
+            // inside it — even at byte zero — is a tear, not a boundary.
+            read_exact_classified(
+                &mut self.source,
+                &mut self.payload_buf,
+                "chunk payload",
+                true,
+            )?;
             let actual_crc = crc32(&self.payload_buf);
             if actual_crc != expected_crc {
                 return Err(Error::CrcMismatch {
@@ -670,18 +689,36 @@ impl<R: Read> Iterator for TraceReader<R> {
     }
 }
 
-fn read_exact_or(
+/// Reads exactly `buf.len()` bytes, classifying how the input ran out:
+/// EOF *before the first byte* of the structure means the stream stopped
+/// cleanly between structures ([`Error::Truncated`] — e.g. only the
+/// end-of-trace marker is missing), while EOF *after* the structure had
+/// begun means it tore mid-write ([`Error::UnexpectedEof`]). Set
+/// `torn_from_start` for structures whose presence is already promised by
+/// an earlier header (a chunk's payload): for those even a zero-byte read
+/// is a tear, never a clean boundary.
+fn read_exact_classified(
     source: &mut impl Read,
     buf: &mut [u8],
     context: &'static str,
+    torn_from_start: bool,
 ) -> Result<(), Error> {
-    source.read_exact(buf).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            Error::Truncated { context }
-        } else {
-            Error::Io(e)
+    let mut filled = 0;
+    while filled < buf.len() {
+        match source.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && !torn_from_start {
+                    Error::Truncated { context }
+                } else {
+                    Error::UnexpectedEof { context }
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::Io(e)),
         }
-    })
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -822,17 +859,57 @@ mod tests {
             .write_all((0..40u64).map(|i| Tuple::new(i, i)))
             .unwrap();
         let bytes = writer.finish().unwrap();
-        // Cut mid-way through the stream ...
+        // A cut mid-way through the stream lands inside a chunk: torn.
         let mid: Result<Vec<Tuple>, Error> = TraceReader::new(&bytes[..bytes.len() / 2])
             .unwrap()
             .collect();
-        assert!(matches!(mid, Err(Error::Truncated { .. })));
-        // ... and exactly at the end-of-trace marker (drop the marker only).
+        assert!(matches!(mid, Err(Error::UnexpectedEof { .. })));
+        // A cut exactly at the end-of-trace marker (drop the marker only)
+        // ends on a chunk boundary: clean truncation, but still an error —
+        // the marker proves the tail was not silently lost.
         let no_marker: Result<Vec<Tuple>, Error> =
             TraceReader::new(&bytes[..bytes.len() - CHUNK_HEADER_BYTES])
                 .unwrap()
                 .collect();
         assert!(matches!(no_marker, Err(Error::Truncated { .. })));
+    }
+
+    #[test]
+    fn torn_and_clean_truncation_are_distinguished_at_every_cut() {
+        // Sweep every possible truncation point of a small trace: the reader
+        // must fail typed at each one, reporting Truncated exactly when the
+        // cut falls on a structure boundary and UnexpectedEof when it falls
+        // inside one (and never panic, whatever the cut).
+        let mut writer = TraceWriter::new(Vec::new(), TraceKind::Raw).with_chunk_events(4);
+        writer
+            .write_all((0..12u64).map(|i| Tuple::new(i * 8, i)))
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        // Structure boundaries: after the 16-byte trace header and after
+        // each complete chunk (header + payload).
+        let mut boundaries = vec![16usize];
+        let mut pos = 16;
+        while pos < bytes.len() - CHUNK_HEADER_BYTES {
+            let payload_len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += CHUNK_HEADER_BYTES + payload_len;
+            boundaries.push(pos);
+        }
+        for cut in 16..bytes.len() - 1 {
+            let result: Result<Vec<Tuple>, Error> =
+                TraceReader::new(&bytes[..cut]).unwrap().collect();
+            let err = result.unwrap_err();
+            if boundaries.contains(&cut) {
+                assert!(
+                    matches!(err, Error::Truncated { .. }),
+                    "cut {cut}: boundary cut must be clean truncation, got {err}"
+                );
+            } else {
+                assert!(
+                    matches!(err, Error::UnexpectedEof { .. }),
+                    "cut {cut}: mid-structure cut must be a tear, got {err}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -974,14 +1051,20 @@ mod tests {
         let events: Vec<Tuple> = (0..50u64).map(|i| Tuple::new(i, i)).collect();
         let bytes = encode_chunk(&events);
         assert!(matches!(
-            decode_chunk(&bytes[..8]),
+            decode_chunk(&[]),
             Err(Error::Truncated {
                 context: "chunk header"
             })
         ));
         assert!(matches!(
+            decode_chunk(&bytes[..8]),
+            Err(Error::UnexpectedEof {
+                context: "chunk header"
+            })
+        ));
+        assert!(matches!(
             decode_chunk(&bytes[..bytes.len() - 1]),
-            Err(Error::Truncated {
+            Err(Error::UnexpectedEof {
                 context: "chunk payload"
             })
         ));

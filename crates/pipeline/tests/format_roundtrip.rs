@@ -52,11 +52,18 @@ proptest! {
         cut_fraction in 0u64..1000,
     ) {
         let bytes = encode(&events, chunk_events);
-        // Cut anywhere strictly inside the trace (even mid-header).
+        // Cut anywhere strictly inside the trace (even mid-header). A cut on
+        // a structure boundary is clean truncation; one inside a structure
+        // is a torn stream — both must fail typed, never decode silently.
         let cut = 1 + (cut_fraction as usize * (bytes.len() - 2)) / 1000;
         let result = TraceReader::new(&bytes[..cut]).and_then(TraceReader::read_all);
         prop_assert!(
-            matches!(result, Err(Error::Truncated { .. }) | Err(Error::ChunkDecode { .. })),
+            matches!(
+                result,
+                Err(Error::Truncated { .. })
+                    | Err(Error::UnexpectedEof { .. })
+                    | Err(Error::ChunkDecode { .. })
+            ),
             "cut at {} of {} gave {:?}",
             cut,
             bytes.len(),

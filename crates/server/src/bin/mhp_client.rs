@@ -14,7 +14,8 @@ use std::str::FromStr;
 use mhp_core::Tuple;
 use mhp_pipeline::{EngineConfig, ShardedEngine};
 use mhp_server::{
-    loadgen, Client, LoadgenConfig, ProfileData, ProfilerKind, ServerError, SessionConfig,
+    loadgen, Client, LoadgenConfig, ProfileData, ProfilerKind, ReconnectingClient, RetryPolicy,
+    ServerError, SessionConfig,
 };
 use mhp_trace::StreamSpec;
 
@@ -25,20 +26,26 @@ commands:
   record-and-send --addr A --session NAME [--stream B:K:S] [--events N]
                   [--profiler P] [--shards N] [--interval-len N]
                   [--threshold F] [--seed S] [--chunk-events N] [--close]
+                  [--retries N]
   query           --addr A --session NAME --op OP [--n N] [--interval I]
-                  (OP: snapshot, topk, cut, stats, metrics, close;
+                  (OP: snapshot, topk, cut, resume, stats, metrics, close;
                    stats and metrics are server-wide, no --session)
   loadgen         --addr A [--clients N] [--events N] [--chunk-events N]
                   [--profiler P] [--shards N] [--interval-len N]
   verify          --addr A [--stream B:K:S] [--events N] [--profiler P]
                   [--shards N] [--interval-len N] [--threshold F] [--seed S]
+                  [--retries N]
   shutdown        --addr A
 
 streams are benchmark:kind:seed, e.g. gcc:value:42 or li:edge:7
 profilers: multi-hash (default), single-hash, perfect
 defaults: --stream gcc:value:42 --events 100000 --profiler multi-hash
           --shards 1 --interval-len 10000 --threshold 0.01 --seed 51966
-          --chunk-events 4096 --clients 8";
+          --chunk-events 4096 --clients 8 --retries 0
+
+--retries N > 0 streams with sequence-numbered chunks through a
+reconnecting client: chunks are retained and replayed from the server's
+resume point across disconnects or restarts, with exponential backoff.";
 
 fn usage_error(msg: &str) -> ServerError {
     ServerError::protocol_owned(msg.to_string())
@@ -139,6 +146,14 @@ fn print_profile(profile: &ProfileData, top: usize) {
     }
 }
 
+fn retry_policy_from(opts: &mut Options) -> Result<Option<RetryPolicy>, ServerError> {
+    let retries: u32 = opts.take_parsed("retries", 0)?;
+    Ok((retries > 0).then(|| RetryPolicy {
+        max_retries: retries,
+        ..RetryPolicy::default()
+    }))
+}
+
 fn cmd_record_and_send(mut opts: Options) -> Result<(), ServerError> {
     let addr = opts.require("addr")?;
     let session = opts.require("session")?;
@@ -146,15 +161,36 @@ fn cmd_record_and_send(mut opts: Options) -> Result<(), ServerError> {
     let events: usize = opts.take_parsed("events", 100_000)?;
     let chunk_events: usize = opts.take_parsed("chunk-events", 4_096)?;
     let config = session_config_from(&mut opts)?;
+    let policy = retry_policy_from(&mut opts)?;
     let close = opts.take("close").is_some();
     opts.finish()?;
 
-    let mut client = Client::connect(addr.as_str())?;
-    client.open_session(&session, config)?;
     let all: Vec<Tuple> = spec.events().take(events).collect();
     let mut totals = (0, 0);
-    for chunk in all.chunks(chunk_events.max(1)) {
-        totals = client.ingest(chunk)?;
+    if let Some(policy) = policy {
+        let mut client = ReconnectingClient::open(resolve(&addr)?, &session, config, policy)?;
+        for chunk in all.chunks(chunk_events.max(1)) {
+            totals = client.ingest(chunk)?;
+        }
+        if client.retries() > 0 {
+            println!(
+                "recovered from {} fault(s) across {} connection(s)",
+                client.retries(),
+                client.connects()
+            );
+        }
+        if close {
+            client.close_session()?;
+        }
+    } else {
+        let mut client = Client::connect(addr.as_str())?;
+        client.open_session(&session, config)?;
+        for chunk in all.chunks(chunk_events.max(1)) {
+            totals = client.ingest(chunk)?;
+        }
+        if close {
+            client.close_session()?;
+        }
     }
     println!(
         "session {session}: sent {events} events from {spec}; \
@@ -162,7 +198,6 @@ fn cmd_record_and_send(mut opts: Options) -> Result<(), ServerError> {
         totals.0, totals.1
     );
     if close {
-        client.close_session()?;
         println!("session {session} closed");
     }
     Ok(())
@@ -206,6 +241,7 @@ fn cmd_query(mut opts: Options) -> Result<(), ServerError> {
             Some(profile) => print_profile(&profile, n as usize),
             None => println!("interval was empty; nothing cut"),
         },
+        "resume" => println!("last_seq {}", client.resume()?),
         "stats" => print!("{}", client.stats()?),
         "metrics" => print!("{}", client.metrics()?),
         "close" => {
@@ -249,6 +285,7 @@ fn cmd_verify(mut opts: Options) -> Result<(), ServerError> {
     let events: usize = opts.take_parsed("events", 50_000)?;
     let chunk_events: usize = opts.take_parsed("chunk-events", 4_096)?;
     let config = session_config_from(&mut opts)?;
+    let policy = retry_policy_from(&mut opts)?;
     opts.finish()?;
 
     let all: Vec<Tuple> = spec.events().take(events).collect();
@@ -271,18 +308,46 @@ fn cmd_verify(mut opts: Options) -> Result<(), ServerError> {
         .map(ProfileData::from_profile)
         .collect();
 
-    // Server run: stream the same events over the wire.
-    let mut client = Client::connect(addr.as_str())?;
+    // Server run: stream the same events over the wire. With `--retries`,
+    // a sequence-numbered reconnecting client survives faults mid-stream —
+    // the comparison against the offline run must still be bit-identical.
     let name = format!("verify-{}-{}", config.kind.name(), config.seed);
-    client.open_session(&name, config.clone())?;
-    for chunk in all.chunks(chunk_events.max(1)) {
-        client.ingest(chunk)?;
+    let mut retry_client;
+    let mut plain_client;
+    enum Verifier<'a> {
+        Retrying(&'a mut ReconnectingClient),
+        Plain(&'a mut Client),
     }
-    let got_topk = client.top_k(10)?;
+    let mut verifier = if let Some(policy) = policy {
+        retry_client = ReconnectingClient::open(resolve(&addr)?, &name, config.clone(), policy)?;
+        Verifier::Retrying(&mut retry_client)
+    } else {
+        plain_client = Client::connect(addr.as_str())?;
+        plain_client.open_session(&name, config.clone())?;
+        Verifier::Plain(&mut plain_client)
+    };
+    for chunk in all.chunks(chunk_events.max(1)) {
+        match &mut verifier {
+            Verifier::Retrying(client) => {
+                client.ingest(chunk)?;
+            }
+            Verifier::Plain(client) => {
+                client.ingest(chunk)?;
+            }
+        }
+    }
+    let got_topk = match &mut verifier {
+        Verifier::Retrying(client) => client.top_k(10)?,
+        Verifier::Plain(client) => client.top_k(10)?,
+    };
 
     let mut mismatches = 0usize;
     for (index, reference) in expected.iter().enumerate() {
-        match client.snapshot(index as u64)? {
+        let got = match &mut verifier {
+            Verifier::Retrying(client) => client.snapshot(index as u64)?,
+            Verifier::Plain(client) => client.snapshot(index as u64)?,
+        };
+        match got {
             Some(profile) if profile == *reference => {}
             Some(_) => {
                 mismatches += 1;
@@ -294,7 +359,11 @@ fn cmd_verify(mut opts: Options) -> Result<(), ServerError> {
             }
         }
     }
-    if client.snapshot(expected.len() as u64)?.is_some() {
+    let extra = match &mut verifier {
+        Verifier::Retrying(client) => client.snapshot(expected.len() as u64)?,
+        Verifier::Plain(client) => client.snapshot(expected.len() as u64)?,
+    };
+    if extra.is_some() {
         mismatches += 1;
         eprintln!("server reports more intervals than the offline run");
     }
@@ -302,7 +371,19 @@ fn cmd_verify(mut opts: Options) -> Result<(), ServerError> {
         mismatches += 1;
         eprintln!("live top-k differs from the offline engine");
     }
-    client.close_session()?;
+    match verifier {
+        Verifier::Retrying(client) => {
+            if client.retries() > 0 {
+                println!(
+                    "recovered from {} fault(s) across {} connection(s)",
+                    client.retries(),
+                    client.connects()
+                );
+            }
+            client.close_session()?;
+        }
+        Verifier::Plain(client) => client.close_session()?,
+    }
 
     if mismatches == 0 {
         println!(

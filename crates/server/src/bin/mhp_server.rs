@@ -3,14 +3,19 @@
 //! ```text
 //! mhp-server --addr 127.0.0.1:7070 [--max-conns 32] [--read-timeout-ms 200]
 //!            [--metrics-export PATH] [--metrics-export-interval-ms 10000]
+//!            [--state-dir DIR] [--checkpoint-interval-ms 5000]
+//!            [--overload-conns N] [--fault-plan SPEC] [--fault-seed N]
 //! ```
 //!
 //! Prints `listening on ADDR` once bound (an ephemeral `:0` port resolves
-//! to the real one), then serves until a client sends `shutdown`.
+//! to the real one), then serves until a client sends `shutdown`. With
+//! `--state-dir`, sessions are checkpointed there periodically and
+//! restored on the next start (`restored N session(s)` is printed).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use mhp_faults::FaultPlan;
 use mhp_server::{Server, ServerConfig};
 
 const USAGE: &str = "\
@@ -26,11 +31,25 @@ options:
                        shutdown)
   --metrics-export-interval-ms N
                        snapshot period when --metrics-export is set
-                       (default 10000)";
+                       (default 10000)
+  --state-dir D        checkpoint sessions to directory D and restore any
+                       checkpoints found there on start (off by default)
+  --checkpoint-interval-ms N
+                       checkpoint period when --state-dir is set
+                       (default 5000)
+  --overload-conns N   shed ingest with a typed `overloaded` error once
+                       more than N connections are live (default: never)
+  --fault-plan SPEC    arm a deterministic fault plan for chaos testing,
+                       e.g. conn-drop@3,corrupt-chunk@2 (kinds:
+                       worker-panic, worker-stall, truncate-frame,
+                       corrupt-chunk, conn-drop, slow-consumer)
+  --fault-seed N       seed for the fault plan's randomness (default 0)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:7070".to_string();
     let mut config = ServerConfig::default();
+    let mut fault_plan: Option<String> = None;
+    let mut fault_seed = 0u64;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -60,13 +79,40 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--metrics-export-interval-ms needs a number".to_string())?;
                 config.metrics_export_interval = Duration::from_millis(ms.max(1));
             }
+            "--state-dir" => {
+                config.state_dir = Some(value("state-dir")?.into());
+            }
+            "--checkpoint-interval-ms" => {
+                let ms: u64 = value("checkpoint-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-interval-ms needs a number".to_string())?;
+                config.checkpoint_interval = Duration::from_millis(ms.max(1));
+            }
+            "--overload-conns" => {
+                config.overload_connection_watermark = value("overload-conns")?
+                    .parse()
+                    .map_err(|_| "--overload-conns needs a number".to_string())?;
+            }
+            "--fault-plan" => fault_plan = Some(value("fault-plan")?),
+            "--fault-seed" => {
+                fault_seed = value("fault-seed")?
+                    .parse()
+                    .map_err(|_| "--fault-seed needs a number".to_string())?;
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
+    }
+    if let Some(spec) = fault_plan {
+        let plan = FaultPlan::parse(&spec, fault_seed).map_err(|e| e.to_string())?;
+        config.fault_hook = Some(plan.arm());
     }
 
     let server = Server::bind(addr.as_str(), config).map_err(|e| e.to_string())?;
     // The smoke scripts scrape this exact line for the resolved port.
     println!("listening on {}", server.local_addr());
+    if server.restored_sessions() > 0 {
+        println!("restored {} session(s)", server.restored_sessions());
+    }
     server.wait();
     println!("shut down cleanly");
     Ok(())

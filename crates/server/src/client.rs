@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use mhp_core::{Candidate, Tuple};
 use mhp_pipeline::encode_chunk;
 
-use crate::error::ServerError;
+use crate::error::{ErrorCode, ServerError};
 use crate::metrics::Histogram;
 use crate::protocol::{
     read_frame, write_frame, ProfileData, Request, Response, SessionConfig, SessionInfo,
@@ -122,6 +122,36 @@ impl Client {
         }
     }
 
+    /// Sends an encoded chunk under a 1-based sequence number. A replay
+    /// (`seq` at or below the session's last applied sequence) is
+    /// acknowledged without being re-applied, which makes retrying after
+    /// a torn connection safe.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest), plus
+    /// [`ErrorCode::BadRequest`](crate::ErrorCode::BadRequest) on a
+    /// sequence gap.
+    pub fn ingest_seq(&mut self, seq: u64, chunk: Vec<u8>) -> Result<(u64, u64), ServerError> {
+        match self.call_ok(&Request::IngestSeq { seq, chunk })? {
+            Response::Ingested { events, intervals } => Ok((events, intervals)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The last sequence number the attached session has applied (`0` if
+    /// none) — the point a reconnecting sender should replay from.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a protocol error if no session is attached.
+    pub fn resume(&mut self) -> Result<u64, ServerError> {
+        match self.call_ok(&Request::Resume)? {
+            Response::Resume { last_seq } => Ok(last_seq),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Forces the session's global interval to end; `None` if it was empty.
     ///
     /// # Errors
@@ -214,6 +244,284 @@ impl Client {
 
 fn unexpected(response: &Response) -> ServerError {
     ServerError::protocol_owned(format!("unexpected response {response:?}"))
+}
+
+/// Retry and backoff policy for [`ReconnectingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries per operation beyond the first attempt (`0` fails on the
+    /// first error).
+    pub max_retries: u32,
+    /// First backoff; doubles per consecutive failure.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter mixed into each backoff, so
+    /// reconnecting fleets do not thunder in lockstep while tests stay
+    /// reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry `attempt` (1-based): exponential from
+    /// [`base_backoff`](Self::base_backoff), capped at
+    /// [`max_backoff`](Self::max_backoff), plus deterministic jitter of
+    /// up to half the pause.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let backoff = self
+            .base_backoff
+            .saturating_mul(1 << doublings)
+            .min(self.max_backoff);
+        let jitter_range = (backoff.as_millis() as u64 / 2).max(1);
+        let jitter = splitmix64(self.jitter_seed ^ u64::from(attempt)) % jitter_range;
+        backoff + Duration::from_millis(jitter)
+    }
+}
+
+/// SplitMix64 finalizer, for deterministic backoff jitter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether an error is worth a reconnect-and-retry: transport failures
+/// and torn frames (the server or network died under us), `overloaded`
+/// sheds (the server asked us to back off), and `ingest` rejections
+/// (covers transient corruption caught by the chunk CRC — a sequenced
+/// replay of the same chunk is idempotent, so retrying is safe). Every
+/// other remote rejection is a permanent answer, not a transient fault.
+fn retryable(error: &ServerError) -> bool {
+    match error {
+        ServerError::Io(_) | ServerError::Protocol(_) => true,
+        ServerError::Remote { code, .. } => {
+            matches!(code, ErrorCode::Overloaded | ErrorCode::Ingest)
+        }
+        ServerError::Pipeline(_) => false,
+    }
+}
+
+/// A [`Client`] wrapper that survives disconnects, server restarts and
+/// overload sheds: every chunk is sent under a sequence number and
+/// retained, so after a reconnect the wrapper asks the server where it
+/// got to (`resume`) and replays exactly the missing suffix. The server
+/// deduplicates replays, so a chunk whose acknowledgement was lost is
+/// never double-counted.
+#[derive(Debug)]
+pub struct ReconnectingClient {
+    addr: std::net::SocketAddr,
+    session: String,
+    config: SessionConfig,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    /// Every chunk sent so far; index `i` holds sequence `i + 1`. Retained
+    /// so a restart from an older checkpoint can be replayed from any
+    /// resume point the server reports.
+    sent: Vec<Vec<u8>>,
+    /// Highest sequence the server has acknowledged applying.
+    acked: u64,
+    retries: u64,
+    connects: u64,
+}
+
+impl ReconnectingClient {
+    /// Connects and opens (or, if it already exists — e.g. restored from
+    /// a checkpoint after a server restart — attaches to) the named
+    /// session, retrying per `policy`.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once retries are exhausted, or a
+    /// non-retryable server rejection.
+    pub fn open(
+        addr: std::net::SocketAddr,
+        session: &str,
+        config: SessionConfig,
+        policy: RetryPolicy,
+    ) -> Result<ReconnectingClient, ServerError> {
+        let mut this = ReconnectingClient {
+            addr,
+            session: session.to_string(),
+            config,
+            policy,
+            client: None,
+            sent: Vec::new(),
+            acked: 0,
+            retries: 0,
+            connects: 0,
+        };
+        this.retry_loop(Self::ensure_connected)?;
+        Ok(this)
+    }
+
+    /// Streams raw events as the next sequenced chunk; returns the
+    /// session's `(events, intervals)` totals once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest_chunk`](Self::ingest_chunk).
+    pub fn ingest(&mut self, events: &[Tuple]) -> Result<(u64, u64), ServerError> {
+        self.ingest_chunk(encode_chunk(events))
+    }
+
+    /// Sends an already-encoded chunk under the next sequence number,
+    /// reconnecting and replaying from the server's resume point as
+    /// needed until it is acknowledged or retries are exhausted.
+    ///
+    /// # Errors
+    ///
+    /// The last error once retries are exhausted, or a non-retryable
+    /// server rejection.
+    pub fn ingest_chunk(&mut self, chunk: Vec<u8>) -> Result<(u64, u64), ServerError> {
+        self.sent.push(chunk);
+        let target = self.sent.len() as u64;
+        self.retry_loop(|this| this.drive_to(target))
+    }
+
+    /// The hottest `n` tuples of the current partial interval, with
+    /// reconnect-and-retry.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest_chunk`](Self::ingest_chunk).
+    pub fn top_k(&mut self, n: u32) -> Result<Vec<Candidate>, ServerError> {
+        self.retry_loop(|this| {
+            this.ensure_connected()?;
+            this.client.as_mut().expect("connected").top_k(n)
+        })
+    }
+
+    /// The merged profile of a completed interval (`u64::MAX` for the
+    /// latest), with reconnect-and-retry.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest_chunk`](Self::ingest_chunk).
+    pub fn snapshot(&mut self, interval: u64) -> Result<Option<ProfileData>, ServerError> {
+        self.retry_loop(|this| {
+            this.ensure_connected()?;
+            this.client.as_mut().expect("connected").snapshot(interval)
+        })
+    }
+
+    /// Destroys the session. Best-effort idempotent: an `unknown-session`
+    /// answer after a retried transport failure means a previous attempt
+    /// already won, and is success.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest_chunk`](Self::ingest_chunk).
+    pub fn close_session(&mut self) -> Result<(), ServerError> {
+        let result = self.retry_loop(|this| {
+            this.ensure_connected()?;
+            this.client.as_mut().expect("connected").close_session()
+        });
+        match result {
+            Err(ServerError::Remote {
+                code: ErrorCode::UnknownSession,
+                ..
+            }) => Ok(()),
+            other => other,
+        }
+    }
+
+    /// Highest sequence number the server has acknowledged.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Retry attempts performed so far, across all operations.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Connections established so far (1 for an undisturbed stream).
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Runs `op`, reconnecting with exponential backoff on retryable
+    /// failures until it succeeds or the retry budget is spent.
+    fn retry_loop<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, ServerError>,
+    ) -> Result<T, ServerError> {
+        let mut attempt = 0u32;
+        loop {
+            match op(self) {
+                Ok(value) => return Ok(value),
+                Err(error) if !retryable(&error) => return Err(error),
+                Err(error) => {
+                    if attempt >= self.policy.max_retries {
+                        return Err(error);
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    // The stream may be desynced mid-frame; start fresh.
+                    self.client = None;
+                    std::thread::sleep(self.policy.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// Connects, attaches-or-opens the session, and resyncs the ack
+    /// cursor from the server's authoritative resume point. No-op when
+    /// already connected.
+    fn ensure_connected(&mut self) -> Result<(), ServerError> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let mut client = Client::connect(self.addr)?;
+        match client.attach(&self.session) {
+            Ok(_) => {
+                // A restart from an older checkpoint lowers the resume
+                // point; replaying from there is what makes the restored
+                // session converge on the uninterrupted result.
+                self.acked = client.resume()?;
+            }
+            Err(ServerError::Remote {
+                code: ErrorCode::UnknownSession,
+                ..
+            }) => {
+                client.open_session(&self.session, self.config.clone())?;
+                self.acked = 0;
+            }
+            Err(error) => return Err(error),
+        }
+        self.connects += 1;
+        self.client = Some(client);
+        Ok(())
+    }
+
+    /// Replays sequences `acked + 1 ..= target` (or just `target`, as an
+    /// idempotent ack-fetch, when everything is already applied) and
+    /// returns the session totals from the last acknowledgement.
+    fn drive_to(&mut self, target: u64) -> Result<(u64, u64), ServerError> {
+        self.ensure_connected()?;
+        let client = self.client.as_mut().expect("connected");
+        let start = (self.acked + 1).min(target);
+        let mut totals = (0, 0);
+        for seq in start..=target {
+            let chunk = self.sent[(seq - 1) as usize].clone();
+            totals = client.ingest_seq(seq, chunk)?;
+            self.acked = self.acked.max(seq);
+        }
+        Ok(totals)
+    }
 }
 
 /// Configuration for [`loadgen`].

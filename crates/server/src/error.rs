@@ -24,6 +24,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// An internal failure (an engine bug surfaced to the client).
     Internal,
+    /// The server is over its load watermark and shed this request; the
+    /// client should back off and retry.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -37,6 +40,7 @@ impl ErrorCode {
             ErrorCode::Ingest => 5,
             ErrorCode::ShuttingDown => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::Overloaded => 8,
         }
     }
 
@@ -50,6 +54,7 @@ impl ErrorCode {
             4 => ErrorCode::SessionExists,
             5 => ErrorCode::Ingest,
             6 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::Overloaded,
             _ => ErrorCode::Internal,
         }
     }
@@ -64,6 +69,7 @@ impl ErrorCode {
             ErrorCode::Ingest => "ingest",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 }
@@ -176,6 +182,7 @@ mod tests {
             ErrorCode::Ingest,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
+            ErrorCode::Overloaded,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), code);
         }

@@ -61,7 +61,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport};
+pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport, ReconnectingClient, RetryPolicy};
 pub use error::{ErrorCode, ServerError};
 pub use metrics::{stat_value, Counter, Gauge, Histogram, Metrics};
 pub use protocol::{

@@ -191,6 +191,20 @@ pub enum Request {
         /// The encoded chunk, header included.
         chunk: Vec<u8>,
     },
+    /// Like [`Request::Ingest`], but sequence-numbered for idempotent
+    /// resume: the session remembers the highest contiguous sequence it
+    /// has applied, a replayed (`seq <= last`) chunk is acknowledged
+    /// without being re-applied, and a gap (`seq > last + 1`) is rejected.
+    /// Sequences are 1-based per session.
+    IngestSeq {
+        /// This chunk's 1-based sequence number.
+        seq: u64,
+        /// The encoded chunk, header included.
+        chunk: Vec<u8>,
+    },
+    /// Asks the attached session for the last sequence number it has
+    /// applied, so a reconnecting client knows where to replay from.
+    Resume,
     /// Forces the attached session's global interval to end now.
     Cut,
     /// Fetches the merged profile of one completed interval;
@@ -228,6 +242,8 @@ const OP_STATS: u8 = 0x07;
 const OP_CLOSE_SESSION: u8 = 0x08;
 const OP_SHUTDOWN: u8 = 0x09;
 const OP_METRICS: u8 = 0x0A;
+const OP_INGEST_SEQ: u8 = 0x0B;
+const OP_RESUME: u8 = 0x0C;
 
 /// A server response. The leading tag byte makes every response
 /// self-describing.
@@ -250,6 +266,12 @@ pub enum Response {
     NoProfile,
     /// The hottest tuples of the current partial interval.
     TopK(Vec<Candidate>),
+    /// The last sequence number the attached session has applied (`0` if
+    /// no sequenced chunk has ever been ingested).
+    Resume {
+        /// Highest contiguous applied sequence number.
+        last_seq: u64,
+    },
     /// Server metrics, one `key value` per line.
     Stats(String),
     /// Server metrics in Prometheus text exposition format.
@@ -271,6 +293,7 @@ const TAG_NO_PROFILE: u8 = 0x04;
 const TAG_TOPK: u8 = 0x05;
 const TAG_STATS: u8 = 0x06;
 const TAG_METRICS: u8 = 0x07;
+const TAG_RESUME: u8 = 0x08;
 const TAG_ERROR: u8 = 0x7F;
 
 // ---------------------------------------------------------------- encoding
@@ -395,6 +418,12 @@ impl Request {
                 out.push(OP_INGEST);
                 out.extend_from_slice(chunk);
             }
+            Request::IngestSeq { seq, chunk } => {
+                out.push(OP_INGEST_SEQ);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(chunk);
+            }
+            Request::Resume => out.push(OP_RESUME),
             Request::Cut => out.push(OP_CUT),
             Request::Snapshot { interval } => {
                 out.push(OP_SNAPSHOT);
@@ -442,6 +471,11 @@ impl Request {
             OP_INGEST => Request::Ingest {
                 chunk: cursor.rest().to_vec(),
             },
+            OP_INGEST_SEQ => Request::IngestSeq {
+                seq: cursor.u64()?,
+                chunk: cursor.rest().to_vec(),
+            },
+            OP_RESUME => Request::Resume,
             OP_CUT => Request::Cut,
             OP_SNAPSHOT => Request::Snapshot {
                 interval: cursor.u64()?,
@@ -495,6 +529,10 @@ impl Response {
             Response::TopK(candidates) => {
                 out.push(TAG_TOPK);
                 push_candidates(&mut out, candidates);
+            }
+            Response::Resume { last_seq } => {
+                out.push(TAG_RESUME);
+                out.extend_from_slice(&last_seq.to_le_bytes());
             }
             Response::Stats(text) => {
                 out.push(TAG_STATS);
@@ -555,6 +593,9 @@ impl Response {
             }),
             TAG_NO_PROFILE => Response::NoProfile,
             TAG_TOPK => Response::TopK(read_candidates(&mut cursor)?),
+            TAG_RESUME => Response::Resume {
+                last_seq: cursor.u64()?,
+            },
             TAG_STATS => {
                 let len = cursor.u32()? as usize;
                 Response::Stats(
@@ -698,6 +739,11 @@ mod tests {
         roundtrip_request(Request::Ingest {
             chunk: mhp_pipeline::encode_chunk(&[Tuple::new(1, 2), Tuple::new(3, 4)]),
         });
+        roundtrip_request(Request::IngestSeq {
+            seq: 17,
+            chunk: mhp_pipeline::encode_chunk(&[Tuple::new(5, 6)]),
+        });
+        roundtrip_request(Request::Resume);
         roundtrip_request(Request::Cut);
         roundtrip_request(Request::Snapshot { interval: u64::MAX });
         roundtrip_request(Request::TopK { n: 10 });
@@ -737,6 +783,8 @@ mod tests {
         }));
         roundtrip_response(Response::NoProfile);
         roundtrip_response(Response::TopK(vec![Candidate::new(Tuple::new(1, 1), 1)]));
+        roundtrip_response(Response::Resume { last_seq: 0 });
+        roundtrip_response(Response::Resume { last_seq: u64::MAX });
         roundtrip_response(Response::Stats("requests_total 5\n".into()));
         roundtrip_response(Response::Metrics(
             "# TYPE server_requests_total counter\nserver_requests_total 5\n".into(),

@@ -19,27 +19,47 @@
 //!   forever; each timeout re-checks the shutdown flag.
 //! * A protocol violation gets a best-effort error response, then the
 //!   connection is dropped (counted in `protocol_errors`).
+//!
+//! ## Durability
+//!
+//! With [`ServerConfig::state_dir`] set, a background thread periodically
+//! checkpoints every live session — a CRC-guarded
+//! [`KIND_SERVER_SESSION`] snapshot carrying the session's name, its
+//! configuration, its last acknowledged ingest sequence, and the full
+//! engine state — to `state_dir`, atomically (write-to-temp + rename). A
+//! freshly bound server scans that directory and restores every snapshot
+//! it finds before accepting connections, so a restored session answers
+//! `snapshot`/`topk` bit-identically to the pre-crash one. Sequenced
+//! ingest ([`Request::IngestSeq`](crate::Request::IngestSeq)) gives
+//! reconnecting clients idempotent resume: a replayed chunk is
+//! acknowledged without being re-applied, and
+//! [`Request::Resume`](crate::Request::Resume) reports the last applied
+//! sequence. Admission control sheds ingest with a typed
+//! [`ErrorCode::Overloaded`] response once live connections exceed
+//! [`ServerConfig::overload_connection_watermark`].
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mhp_core::{IntervalConfig, IntrospectionSink, Tuple};
+use mhp_core::state::{SnapshotReader, SnapshotWriter, KIND_SERVER_SESSION};
+use mhp_core::{IntervalConfig, IntrospectionSink, SnapshotError, Tuple};
+use mhp_faults::{ConnAction, FaultHook};
 use mhp_pipeline::{
     decode_chunk_into, EngineConfig, EngineSession, EngineTelemetry, RegistrySink, ShardedEngine,
 };
 
 use crate::error::{ErrorCode, ServerError};
-use crate::metrics::Metrics;
+use crate::metrics::{Counter, Metrics};
 use crate::protocol::{
-    read_frame, write_frame, ProfileData, Request, Response, SessionConfig, SessionInfo,
-    MAX_NAME_BYTES,
+    read_frame, write_frame, ProfileData, ProfilerKind, Request, Response, SessionConfig,
+    SessionInfo, MAX_NAME_BYTES,
 };
 
 /// Tuning for a [`Server`].
@@ -56,6 +76,24 @@ pub struct ServerConfig {
     pub metrics_export_path: Option<PathBuf>,
     /// Cadence of the JSONL metrics export.
     pub metrics_export_interval: Duration,
+    /// When set, every live session is checkpointed to this directory at
+    /// [`checkpoint_interval`](Self::checkpoint_interval) cadence (plus
+    /// once at graceful shutdown), and a freshly bound server restores
+    /// every snapshot found there before accepting connections.
+    pub state_dir: Option<PathBuf>,
+    /// Cadence of session checkpoints when
+    /// [`state_dir`](Self::state_dir) is set.
+    pub checkpoint_interval: Duration,
+    /// Admission-control watermark: once more than this many connections
+    /// are live, ingest requests are shed with
+    /// [`ErrorCode::Overloaded`] instead of queueing further load.
+    /// `usize::MAX` (the default) never sheds.
+    pub overload_connection_watermark: usize,
+    /// Armed fault plan for chaos testing: consulted per request
+    /// (connection drops, torn response frames), per ingested chunk
+    /// (corruption, stalls) and per shard-worker batch (panics, stalls).
+    /// `None` (the default) compiles the hooks to a single branch.
+    pub fault_hook: Option<FaultHook>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +103,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(200),
             metrics_export_path: None,
             metrics_export_interval: Duration::from_secs(10),
+            state_dir: None,
+            checkpoint_interval: Duration::from_secs(5),
+            overload_connection_watermark: usize::MAX,
+            fault_hook: None,
         }
     }
 }
@@ -72,27 +114,59 @@ impl Default for ServerConfig {
 /// One named, server-resident profiling session.
 struct Session {
     config: SessionConfig,
+    /// The live engine plus resume bookkeeping, under one lock so a
+    /// sequence check and the ingest it guards are atomic.
+    state: Mutex<SessionState>,
+}
+
+/// What the session lock protects.
+struct SessionState {
     /// The live engine; `None` once the session has been drained.
-    engine: Mutex<Option<EngineSession>>,
+    engine: Option<EngineSession>,
+    /// Highest contiguous sequence number applied via sequenced ingest
+    /// (`0` before any); replays at or below it are acknowledged without
+    /// being re-applied.
+    last_seq: u64,
+}
+
+/// The engine every session runs: the session's spec wired to the shared
+/// telemetry, introspection sink, and (when configured) fault hook.
+fn engine_builder(config: &SessionConfig, shared: &Shared) -> Result<ShardedEngine, ServerError> {
+    let interval = IntervalConfig::new(config.interval_len, config.threshold)
+        .map_err(mhp_pipeline::Error::Config)?;
+    let mut engine = ShardedEngine::new(
+        EngineConfig::new(config.shards as usize),
+        interval,
+        config.kind.spec(),
+        config.seed,
+    )
+    .with_telemetry(shared.engine_telemetry.clone())
+    .with_introspection_sink(Arc::clone(&shared.sketch_sink));
+    if let Some(hook) = &shared.config.fault_hook {
+        engine = engine.with_fault_hook(hook.clone());
+    }
+    Ok(engine)
 }
 
 impl Session {
     fn open(config: &SessionConfig, shared: &Shared) -> Result<Session, ServerError> {
-        let interval = IntervalConfig::new(config.interval_len, config.threshold)
-            .map_err(mhp_pipeline::Error::Config)?;
-        let engine = ShardedEngine::new(
-            EngineConfig::new(config.shards as usize),
-            interval,
-            config.kind.spec(),
-            config.seed,
-        )
-        .with_telemetry(shared.engine_telemetry.clone())
-        .with_introspection_sink(Arc::clone(&shared.sketch_sink))
-        .start()?;
+        let engine = engine_builder(config, shared)?.start()?;
         Ok(Session {
             config: config.clone(),
-            engine: Mutex::new(Some(engine)),
+            state: Mutex::new(SessionState {
+                engine: Some(engine),
+                last_seq: 0,
+            }),
         })
+    }
+
+    /// Runs `f` with the session lock held (engine plus sequence state).
+    fn with_state<T>(
+        &self,
+        f: impl FnOnce(&mut SessionState) -> Result<T, ServerError>,
+    ) -> Result<T, ServerError> {
+        let mut guard = self.state.lock().expect("session lock poisoned");
+        f(&mut guard)
     }
 
     /// Runs `f` against the live engine, failing cleanly if the session
@@ -101,14 +175,10 @@ impl Session {
         &self,
         f: impl FnOnce(&mut EngineSession) -> Result<T, ServerError>,
     ) -> Result<T, ServerError> {
-        let mut guard = self.engine.lock().expect("session lock poisoned");
-        match guard.as_mut() {
+        self.with_state(|state| match state.engine.as_mut() {
             Some(engine) => f(engine),
-            None => Err(ServerError::Remote {
-                code: ErrorCode::ShuttingDown,
-                message: "session was drained".into(),
-            }),
-        }
+            None => Err(drained()),
+        })
     }
 
     fn info(&self, name: &str) -> Result<SessionInfo, ServerError> {
@@ -124,7 +194,13 @@ impl Session {
 
     /// Stops the shard workers. Idempotent.
     fn drain(&self) {
-        if let Some(engine) = self.engine.lock().expect("session lock poisoned").take() {
+        let engine = self
+            .state
+            .lock()
+            .expect("session lock poisoned")
+            .engine
+            .take();
+        if let Some(engine) = engine {
             // finish() joins the workers; the report is discarded — the
             // profiles were queryable while the session lived.
             let _ = engine.finish();
@@ -132,13 +208,54 @@ impl Session {
     }
 }
 
+/// The error a request against a drained session gets.
+fn drained() -> ServerError {
+    ServerError::Remote {
+        code: ErrorCode::ShuttingDown,
+        message: "session was drained".into(),
+    }
+}
+
 type Registry = Mutex<HashMap<String, Arc<Session>>>;
+
+/// Durability and fault-tolerance counters. Registered on the shared
+/// registry (so they appear in the Prometheus exposition) but deliberately
+/// not in the legacy `stats` text, whose shape is frozen.
+#[derive(Debug, Clone)]
+struct Durability {
+    /// Ingest requests shed by admission control.
+    shed_total: Counter,
+    /// Sessions restored from on-disk checkpoints at bind.
+    restore_total: Counter,
+    /// Snapshot files that failed to restore (corrupt or incompatible).
+    restore_errors_total: Counter,
+    /// Session checkpoints written successfully.
+    checkpoints_total: Counter,
+    /// Checkpoint attempts that failed (engine or filesystem).
+    checkpoint_errors_total: Counter,
+    /// Replayed sequenced chunks acknowledged without re-applying.
+    dedup_total: Counter,
+}
+
+impl Durability {
+    fn on_registry(registry: &mhp_telemetry::Registry) -> Self {
+        Durability {
+            shed_total: registry.counter("server_shed_total"),
+            restore_total: registry.counter("server_restore_total"),
+            restore_errors_total: registry.counter("server_restore_errors_total"),
+            checkpoints_total: registry.counter("server_checkpoints_total"),
+            checkpoint_errors_total: registry.counter("server_checkpoint_errors_total"),
+            dedup_total: registry.counter("server_dedup_chunks_total"),
+        }
+    }
+}
 
 /// Shared state every connection handler sees.
 struct Shared {
     config: ServerConfig,
     sessions: Registry,
     metrics: Metrics,
+    durability: Durability,
     /// Engine metric handles every session's engine reports through; on
     /// the same registry as [`Shared::metrics`].
     engine_telemetry: EngineTelemetry,
@@ -171,6 +288,7 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let metrics = Metrics::new();
+        let durability = Durability::on_registry(metrics.registry());
         let engine_telemetry = EngineTelemetry::new(metrics.registry());
         let sketch_sink: Arc<dyn IntrospectionSink> =
             Arc::new(RegistrySink::new(metrics.registry()));
@@ -178,14 +296,26 @@ impl Server {
             config,
             sessions: Mutex::new(HashMap::new()),
             metrics,
+            durability,
             engine_telemetry,
             sketch_sink,
             shutdown: AtomicBool::new(false),
         });
 
+        // Restore checkpointed sessions before the first connection can
+        // race a fresh `open` against them.
+        if let Some(dir) = shared.config.state_dir.clone() {
+            std::fs::create_dir_all(&dir)?;
+            restore_sessions(&dir, &shared);
+        }
+
         let export_handle = shared.config.metrics_export_path.clone().map(|path| {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || export_loop(&path, &shared))
+        });
+        let checkpoint_handle = shared.config.state_dir.clone().map(|dir| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || checkpoint_loop(&dir, &shared))
         });
 
         let (done_tx, done_rx) = std::sync::mpsc::channel();
@@ -199,6 +329,7 @@ impl Server {
             shared,
             accept_handle: Some(accept_handle),
             export_handle,
+            checkpoint_handle,
         })
     }
 }
@@ -229,6 +360,181 @@ fn export_loop(path: &std::path::Path, shared: &Shared) {
     }
 }
 
+/// Checkpoints every live session each interval. Polls the shutdown flag
+/// at a ~50 ms cadence; the final durable checkpoint at graceful shutdown
+/// is taken by the accept loop's drain, which still owns live engines.
+fn checkpoint_loop(dir: &Path, shared: &Shared) {
+    let mut last = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if last.elapsed() >= shared.config.checkpoint_interval {
+            let sessions: Vec<(String, Arc<Session>)> = {
+                let registry = shared.sessions.lock().expect("registry lock poisoned");
+                registry
+                    .iter()
+                    .map(|(name, session)| (name.clone(), Arc::clone(session)))
+                    .collect()
+            };
+            for (name, session) in sessions {
+                checkpoint_session(dir, &name, &session, &shared.durability);
+            }
+            last = Instant::now();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The snapshot file for a session: the name hex-encoded (so arbitrary
+/// session names stay filesystem-safe) plus `.snap`.
+fn snapshot_path(dir: &Path, name: &str) -> PathBuf {
+    use std::fmt::Write as _;
+    let mut file = String::with_capacity(name.len() * 2 + 5);
+    for byte in name.as_bytes() {
+        let _ = write!(file, "{byte:02x}");
+    }
+    file.push_str(".snap");
+    dir.join(file)
+}
+
+/// Serializes one session checkpoint: name, configuration, last applied
+/// ingest sequence, and the engine snapshot, in a CRC-guarded envelope.
+fn encode_checkpoint(
+    name: &str,
+    config: &SessionConfig,
+    last_seq: u64,
+    engine_blob: &[u8],
+) -> Vec<u8> {
+    let mut w = SnapshotWriter::new(KIND_SERVER_SESSION);
+    w.put_bytes(name.as_bytes());
+    w.put_u8(config.kind.as_u8());
+    w.put_u32(u32::from(config.shards));
+    w.put_u64(config.interval_len);
+    w.put_f64(config.threshold);
+    w.put_u64(config.seed);
+    w.put_u64(last_seq);
+    w.put_bytes(engine_blob);
+    w.finish()
+}
+
+/// Parses a session checkpoint back into its parts, validating the
+/// envelope (magic, version, kind, CRC) and every field.
+fn decode_checkpoint(bytes: &[u8]) -> Result<(String, SessionConfig, u64, Vec<u8>), ServerError> {
+    let corrupt = |context| {
+        ServerError::from(mhp_pipeline::Error::Snapshot(SnapshotError::Corrupt {
+            context,
+        }))
+    };
+    let mut r = SnapshotReader::open(bytes, KIND_SERVER_SESSION)
+        .map_err(|e| ServerError::from(mhp_pipeline::Error::Snapshot(e)))?;
+    let snap = |e| ServerError::from(mhp_pipeline::Error::Snapshot(e));
+    let name = String::from_utf8(r.take_bytes("session name").map_err(snap)?.to_vec())
+        .map_err(|_| corrupt("session name utf-8"))?;
+    if name.is_empty() || name.len() > MAX_NAME_BYTES {
+        return Err(corrupt("session name length"));
+    }
+    let kind = ProfilerKind::from_u8(r.take_u8("profiler kind").map_err(snap)?)
+        .ok_or_else(|| corrupt("profiler kind"))?;
+    let shards = u16::try_from(r.take_u32("shard count").map_err(snap)?)
+        .map_err(|_| corrupt("shard count"))?;
+    let config = SessionConfig {
+        kind,
+        shards,
+        interval_len: r.take_u64("interval length").map_err(snap)?,
+        threshold: r.take_f64("threshold fraction").map_err(snap)?,
+        seed: r.take_u64("hash seed").map_err(snap)?,
+    };
+    let last_seq = r.take_u64("last ingest sequence").map_err(snap)?;
+    let blob = r.take_bytes("engine snapshot").map_err(snap)?.to_vec();
+    r.expect_end().map_err(snap)?;
+    Ok((name, config, last_seq, blob))
+}
+
+/// Atomic file replacement: the snapshot is complete on disk before it
+/// takes the live name, so a crash mid-checkpoint leaves the previous
+/// snapshot intact.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Takes one session checkpoint: snapshots the engine under the session
+/// lock (a barrier across the shard workers), then atomically replaces
+/// the on-disk file. A drained session is skipped, not an error.
+fn checkpoint_session(dir: &Path, name: &str, session: &Session, durability: &Durability) {
+    let snapshot = session.with_state(|state| {
+        let Some(engine) = state.engine.as_mut() else {
+            return Ok(None);
+        };
+        let blob = engine.save_state().map_err(ServerError::from)?;
+        Ok(Some(encode_checkpoint(
+            name,
+            &session.config,
+            state.last_seq,
+            &blob,
+        )))
+    });
+    match snapshot {
+        Ok(None) => {}
+        Ok(Some(bytes)) => {
+            if write_atomically(&snapshot_path(dir, name), &bytes).is_ok() {
+                durability.checkpoints_total.incr();
+            } else {
+                durability.checkpoint_errors_total.incr();
+            }
+        }
+        Err(_) => durability.checkpoint_errors_total.incr(),
+    }
+}
+
+/// Restores every `*.snap` in `dir` into the session registry, in sorted
+/// path order so restart behaviour is deterministic. A snapshot that fails
+/// to parse or restore is counted and skipped — one bad file must not take
+/// the healthy sessions down with it.
+fn restore_sessions(dir: &Path, shared: &Shared) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "snap"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let restored = std::fs::read(&path)
+            .map_err(ServerError::from)
+            .and_then(|bytes| restore_one(&bytes, shared));
+        if restored.is_ok() {
+            shared.durability.restore_total.incr();
+            shared.metrics.sessions_opened.incr();
+        } else {
+            shared.durability.restore_errors_total.incr();
+        }
+    }
+}
+
+/// Rebuilds one session from checkpoint bytes and registers it.
+fn restore_one(bytes: &[u8], shared: &Shared) -> Result<(), ServerError> {
+    let (name, config, last_seq, blob) = decode_checkpoint(bytes)?;
+    let engine = engine_builder(&config, shared)?.restore(&blob)?;
+    let session = Arc::new(Session {
+        config,
+        state: Mutex::new(SessionState {
+            engine: Some(engine),
+            last_seq,
+        }),
+    });
+    let mut registry = shared.sessions.lock().expect("registry lock poisoned");
+    if registry.contains_key(&name) {
+        return Err(ServerError::protocol("duplicate session snapshot"));
+    }
+    registry.insert(name, session);
+    Ok(())
+}
+
 /// A bound, running server: inspect its address, trigger shutdown, wait
 /// for it to drain.
 #[derive(Debug)]
@@ -237,6 +543,7 @@ pub struct RunningServer {
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
     export_handle: Option<JoinHandle<()>>,
+    checkpoint_handle: Option<JoinHandle<()>>,
 }
 
 // Shared holds no Debug members worth printing; keep the derive honest.
@@ -257,6 +564,11 @@ impl RunningServer {
     /// Rendered metrics, same text the `stats` query returns.
     pub fn stats(&self) -> String {
         self.shared.metrics.render()
+    }
+
+    /// How many sessions were restored from on-disk checkpoints at bind.
+    pub fn restored_sessions(&self) -> u64 {
+        self.shared.durability.restore_total.get()
     }
 
     /// Prometheus text exposition of every metric, same text the
@@ -286,7 +598,8 @@ impl RunningServer {
         self.reap();
     }
 
-    /// Joins the accept loop and (if running) the metrics exporter.
+    /// Joins the accept loop and (if running) the metrics exporter and
+    /// checkpointer.
     fn reap(&mut self) {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
@@ -296,6 +609,9 @@ impl RunningServer {
         // exporter observes that and writes its final snapshot.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.export_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.checkpoint_handle.take() {
             let _ = handle.join();
         }
     }
@@ -350,15 +666,20 @@ fn accept_loop(
         }
     }
     // Graceful drain: handlers observe the flag via read timeouts and
-    // exit; then the sessions' shard workers are joined.
+    // exit; then each session is checkpointed (when a state dir is
+    // configured) while its engine is still live, and its shard workers
+    // are joined.
     for handle in handles {
         let _ = handle.join();
     }
-    let sessions: Vec<Arc<Session>> = {
+    let sessions: Vec<(String, Arc<Session>)> = {
         let mut registry = shared.sessions.lock().expect("registry lock poisoned");
-        registry.drain().map(|(_, s)| s).collect()
+        registry.drain().collect()
     };
-    for session in sessions {
+    for (name, session) in sessions {
+        if let Some(dir) = &shared.config.state_dir {
+            checkpoint_session(dir, &name, &session, &shared.durability);
+        }
         session.drain();
         shared.metrics.sessions_closed.incr();
     }
@@ -433,6 +754,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        // Injected connection faults. `Drop` cuts the connection before
+        // the request is applied (the replayed chunk must then be
+        // re-applied); `TruncateResponse` applies the request but tears
+        // the acknowledgement (the replay must then dedup). Together they
+        // cover both halves of idempotent resume.
+        let conn_fault = match &shared.config.fault_hook {
+            Some(hook) => hook.on_request(),
+            None => ConnAction::Proceed,
+        };
+        if conn_fault == ConnAction::Drop {
+            return;
+        }
         let response = match handle_request(request, &mut attached, &mut ingest_buf, shared) {
             Ok(response) => response,
             Err(err) => {
@@ -443,7 +776,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 }
             }
         };
-        if write_frame(&mut writer, &response.encode()).is_err() {
+        let encoded = response.encode();
+        if conn_fault == ConnAction::TruncateResponse {
+            truncate_response(&mut writer, &encoded);
+            return;
+        }
+        if write_frame(&mut writer, &encoded).is_err() {
             return;
         }
         shared
@@ -451,6 +789,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             .request_latency
             .record_duration(started.elapsed());
     }
+}
+
+/// Injected torn frame: the length prefix promises the whole body but
+/// only half arrives before the hangup — exactly what a server crashing
+/// mid-write produces.
+fn truncate_response(writer: &mut impl Write, body: &[u8]) {
+    let _ = writer.write_all(&(body.len() as u32).to_le_bytes());
+    let _ = writer.write_all(&body[..body.len() / 2]);
+    let _ = writer.flush();
 }
 
 fn respond_error(writer: &mut impl Write, err: &ServerError) {
@@ -503,8 +850,10 @@ fn handle_request(
             *attached = Some((name, session));
             Ok(Response::Session(info))
         }
-        Request::Ingest { chunk } => {
+        Request::Ingest { mut chunk } => {
             let session = require_attached(attached)?;
+            ingest_admission(shared)?;
+            apply_chunk_faults(shared, &mut chunk);
             let decode_started = Instant::now();
             let consumed = decode_chunk_into(&chunk, ingest_buf)?;
             shared
@@ -527,6 +876,61 @@ fn handle_request(
                 events: total_events,
                 intervals,
             })
+        }
+        Request::IngestSeq { seq, mut chunk } => {
+            let session = require_attached(attached)?;
+            ingest_admission(shared)?;
+            apply_chunk_faults(shared, &mut chunk);
+            if seq == 0 {
+                return Err(ServerError::protocol("ingest sequence numbers are 1-based"));
+            }
+            // The sequence check and the ingest it guards happen under
+            // one lock acquisition, so two connections replaying the same
+            // chunk cannot both apply it.
+            session.with_state(|state| {
+                let engine = state.engine.as_mut().ok_or_else(drained)?;
+                if seq <= state.last_seq {
+                    shared.durability.dedup_total.incr();
+                    return Ok(Response::Ingested {
+                        events: engine.events(),
+                        intervals: engine.intervals(),
+                    });
+                }
+                if seq != state.last_seq + 1 {
+                    return Err(ServerError::Remote {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "ingest sequence gap: got {seq}, expected {}",
+                            state.last_seq + 1
+                        ),
+                    });
+                }
+                let decode_started = Instant::now();
+                let consumed = decode_chunk_into(&chunk, ingest_buf)?;
+                shared
+                    .metrics
+                    .chunk_decode
+                    .record_duration(decode_started.elapsed());
+                if consumed != chunk.len() {
+                    return Err(ServerError::protocol("trailing bytes after ingest chunk"));
+                }
+                let before = engine.intervals();
+                engine.push_all(ingest_buf.iter().copied())?;
+                let after = engine.intervals();
+                shared.metrics.intervals_completed.add(after - before);
+                shared.metrics.chunks_ingested.incr();
+                shared.metrics.events_ingested.add(ingest_buf.len() as u64);
+                state.last_seq = seq;
+                Ok(Response::Ingested {
+                    events: engine.events(),
+                    intervals: after,
+                })
+            })
+        }
+        Request::Resume => {
+            let session = require_attached(attached)?;
+            let last_seq = session.with_state(|state| Ok(state.last_seq))?;
+            Ok(Response::Resume { last_seq })
         }
         Request::Cut => {
             let session = require_attached(attached)?;
@@ -581,12 +985,45 @@ fn handle_request(
                 .expect("registry lock poisoned")
                 .remove(&name);
             session.drain();
+            // The session was destroyed on purpose; it must not resurrect
+            // on the next restart.
+            if let Some(dir) = &shared.config.state_dir {
+                let _ = std::fs::remove_file(snapshot_path(dir, &name));
+            }
             shared.metrics.sessions_closed.incr();
             Ok(Response::Done)
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Ok(Response::Done)
+        }
+    }
+}
+
+/// Admission control for ingest: sheds with a typed `Overloaded` response
+/// once live connections exceed the watermark. The shed is explicit and
+/// cheap — the alternative is queueing work the engine cannot keep up
+/// with until memory or latency gives out.
+fn ingest_admission(shared: &Shared) -> Result<(), ServerError> {
+    let live = shared.metrics.connections_active.get();
+    if live > shared.config.overload_connection_watermark as u64 {
+        shared.durability.shed_total.incr();
+        return Err(ServerError::Remote {
+            code: ErrorCode::Overloaded,
+            message: "server is over its load watermark; back off and retry".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Consults the armed fault plan (if any) for this chunk: may flip one
+/// byte in place (caught downstream by the chunk CRC) and/or stall the
+/// consumer. Disarmed or absent plans cost one branch.
+fn apply_chunk_faults(shared: &Shared, chunk: &mut [u8]) {
+    if let Some(hook) = &shared.config.fault_hook {
+        let fault = hook.on_ingest_chunk(chunk);
+        if let Some(pause) = fault.stall {
+            std::thread::sleep(pause);
         }
     }
 }

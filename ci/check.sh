@@ -24,6 +24,9 @@ ci/server_smoke.sh
 echo "==> chaos smoke test (faults, kill -9 restore, overload shed)"
 ci/chaos_smoke.sh
 
+echo "==> fleet aggregation smoke test (multi-tenant, two-level, kill -9 restore)"
+ci/agg_smoke.sh
+
 # Perf smoke: a scaled-down hotpath run proves the bench harness still
 # executes end to end. Non-gating — throughput numbers vary by machine, so
 # a failure here warns instead of failing the gate.

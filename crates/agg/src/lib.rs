@@ -1,0 +1,58 @@
+//! # mhp-agg — fleet-scale hierarchical aggregation for the profiler
+//!
+//! One `mhp-server` answers "what are the hottest `<pc, value>` tuples of
+//! *this* process?". A fleet needs the same answer across hundreds of
+//! servers and many tenants sharing them. This crate adds that tier: an
+//! **aggregator node** that
+//!
+//! * attaches to many `mhp-server`s over the existing framed TCP
+//!   protocol and periodically pulls every completed interval profile of
+//!   every session, exactly once each (per-session cursors survive
+//!   crashes via checkpoints);
+//! * folds the pulls into a per-tenant cumulative count table — the
+//!   tenant of a session is its name's prefix before the first `/`
+//!   (`acme/web-42` → `acme`) — and answers per-tenant global top-k with
+//!   the same deterministic ranking
+//!   ([`top_k_by_count`](mhp_core::top_k_by_count)) every other layer
+//!   uses, so two aggregators fed the same profiles return
+//!   byte-identical answers;
+//! * **stacks**: an aggregator serves the same query protocol it pulls,
+//!   exporting each tenant's table as a `<tenant>/__cumulative__`
+//!   session. A parent aggregator recognizes the suffix and re-fetches
+//!   the table whole each cycle (replace semantics), so a two-level
+//!   tree never double-counts;
+//! * checkpoints the whole merge tree (tables + cursors, CRC-guarded,
+//!   byte-deterministic) after every pull cycle, so a kill -9'd
+//!   aggregator restores and converges on exactly the answer the
+//!   uninterrupted one would have given.
+//!
+//! The `mhp-agg` binary serves (`serve`), queries (`query`), and computes
+//! offline reference answers (`offline`) for end-to-end verification.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use mhp_agg::{AggConfig, Aggregator};
+//!
+//! # fn main() -> Result<(), mhp_server::ServerError> {
+//! let agg = Aggregator::bind(
+//!     "127.0.0.1:0",
+//!     AggConfig {
+//!         upstreams: vec!["127.0.0.1:7070".into(), "127.0.0.1:7071".into()],
+//!         ..AggConfig::default()
+//!     },
+//! )?;
+//! let hot = agg.top_k("acme", 10); // fleet-wide, per tenant
+//! # drop(hot);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod node;
+pub mod state;
+
+pub use node::{AggConfig, Aggregator, RunningAggregator};
+pub use state::{AggState, TenantTable, CUMULATIVE_SUFFIX};

@@ -1,0 +1,561 @@
+//! The aggregator node: a pull loop that drains upstream servers (and
+//! child aggregators) into the merge tree, plus a TCP serving loop that
+//! answers the same framed query protocol an `mhp-server` speaks — which
+//! is exactly what lets aggregators stack.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mhp_core::Candidate;
+use mhp_faults::{ConnAction, FaultHook};
+use mhp_server::protocol::{read_frame, write_frame};
+use mhp_server::{
+    tenant_of, Client, ErrorCode, ProfileData, ProfilerKind, Request, Response, ServerError,
+    SessionConfig, SessionInfo,
+};
+use mhp_telemetry::{Counter, CounterVec, Registry};
+
+use crate::state::{AggState, CUMULATIVE_SUFFIX};
+
+/// Tuning for an [`Aggregator`].
+#[derive(Debug, Clone)]
+pub struct AggConfig {
+    /// Upstream addresses to pull from: `mhp-server`s, other
+    /// aggregators, or a mix. Sessions whose name ends in
+    /// `/__cumulative__` are treated as child-aggregator exports
+    /// (replace semantics); everything else is a leaf session (additive
+    /// interval pulls).
+    pub upstreams: Vec<String>,
+    /// Pause between pull cycles.
+    pub pull_interval: Duration,
+    /// When set, the merge tree is checkpointed here (atomically, in the
+    /// shared CRC-guarded snapshot envelope) after every pull cycle and
+    /// restored on the next start — a kill -9'd aggregator resumes with
+    /// its cursors intact and never double-counts an interval.
+    pub state_path: Option<PathBuf>,
+    /// Per-connection read timeout on the serving side.
+    pub read_timeout: Duration,
+    /// Armed fault plan for chaos testing: consulted once per upstream
+    /// per pull cycle; a `conn-drop` fault skips that upstream for the
+    /// cycle (counted in `agg_pull_errors_total`).
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl Default for AggConfig {
+    fn default() -> Self {
+        AggConfig {
+            upstreams: Vec::new(),
+            pull_interval: Duration::from_millis(200),
+            state_path: None,
+            read_timeout: Duration::from_millis(200),
+            fault_hook: None,
+        }
+    }
+}
+
+/// Aggregator-side counters, on one shared registry so the `metrics`
+/// query exposes the whole picture — per-tenant series included.
+struct AggTelemetry {
+    registry: Registry,
+    pull_cycles: Counter,
+    pull_errors: Counter,
+    checkpoints: Counter,
+    restores: Counter,
+    tenant_profiles_merged: CounterVec,
+    tenant_events_merged: CounterVec,
+}
+
+impl AggTelemetry {
+    fn new() -> AggTelemetry {
+        let registry = Registry::new();
+        AggTelemetry {
+            pull_cycles: registry.counter("agg_pull_cycles_total"),
+            pull_errors: registry.counter("agg_pull_errors_total"),
+            checkpoints: registry.counter("agg_checkpoints_total"),
+            restores: registry.counter("agg_restore_total"),
+            tenant_profiles_merged: CounterVec::new(
+                &registry,
+                "agg_tenant_profiles_merged_total",
+                "tenant",
+            ),
+            tenant_events_merged: CounterVec::new(
+                &registry,
+                "agg_tenant_events_merged_total",
+                "tenant",
+            ),
+            registry,
+        }
+    }
+}
+
+/// Shared state between the pull loop, the serving loop, and the handle.
+struct Inner {
+    config: AggConfig,
+    state: Mutex<AggState>,
+    telemetry: AggTelemetry,
+    shutdown: AtomicBool,
+}
+
+/// The aggregation node. [`bind`](Aggregator::bind) it to get a
+/// [`RunningAggregator`] handle.
+#[derive(Debug)]
+pub struct Aggregator;
+
+impl Aggregator {
+    /// Binds `addr`, restores any checkpoint at
+    /// [`AggConfig::state_path`], and starts the pull and serving loops
+    /// on background threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if the address cannot be bound, or a snapshot
+    /// error if an existing checkpoint file is corrupt (a corrupt
+    /// checkpoint is a loud failure, not silent data loss).
+    pub fn bind(addr: &str, config: AggConfig) -> Result<RunningAggregator, ServerError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let telemetry = AggTelemetry::new();
+        let mut state = AggState::new();
+        if let Some(path) = &config.state_path {
+            match std::fs::read(path) {
+                Ok(bytes) => {
+                    state = AggState::decode(&bytes)
+                        .map_err(|e| ServerError::protocol_owned(format!("checkpoint: {e}")))?;
+                    telemetry.restores.incr();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(ServerError::Io(e)),
+            }
+        }
+
+        let inner = Arc::new(Inner {
+            config,
+            state: Mutex::new(state),
+            telemetry,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let pull_inner = Arc::clone(&inner);
+        let pull_handle = std::thread::spawn(move || pull_loop(&pull_inner));
+        let serve_inner = Arc::clone(&inner);
+        let serve_handle = std::thread::spawn(move || accept_loop(&listener, &serve_inner));
+
+        Ok(RunningAggregator {
+            local_addr,
+            inner,
+            pull_handle: Some(pull_handle),
+            serve_handle: Some(serve_handle),
+        })
+    }
+}
+
+/// A bound, running aggregator.
+#[derive(Debug)]
+pub struct RunningAggregator {
+    local_addr: SocketAddr,
+    inner: Arc<Inner>,
+    pull_handle: Option<JoinHandle<()>>,
+    serve_handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunningAggregator {
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Completed pull cycles so far.
+    pub fn epoch(&self) -> u64 {
+        self.inner.state.lock().expect("state lock poisoned").epoch
+    }
+
+    /// The global top-k for one tenant, straight from the merge tree.
+    pub fn top_k(&self, tenant: &str, k: usize) -> Vec<Candidate> {
+        self.inner
+            .state
+            .lock()
+            .expect("state lock poisoned")
+            .top_k(tenant, k)
+    }
+
+    /// Prometheus exposition of the aggregator's metrics.
+    pub fn metrics(&self) -> String {
+        self.inner.telemetry.registry.render_prometheus()
+    }
+
+    /// Requests a graceful shutdown. Returns immediately; use
+    /// [`join`](Self::join) to wait.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for both loops to finish. Implies [`shutdown`](Self::shutdown).
+    pub fn join(mut self) {
+        self.shutdown();
+        self.reap();
+    }
+
+    /// Blocks until the aggregator shuts down (e.g. a client `shutdown`
+    /// request) without triggering the shutdown itself.
+    pub fn wait(mut self) {
+        self.reap();
+    }
+
+    fn reap(&mut self) {
+        if let Some(handle) = self.serve_handle.take() {
+            let _ = handle.join();
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.pull_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RunningAggregator {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.reap();
+    }
+}
+
+/// One upstream's harvest for a cycle, collected off-lock (the pulls are
+/// network I/O) and applied to the merge tree in one short critical
+/// section.
+#[derive(Default)]
+struct Harvest {
+    /// Leaf profiles: `(tenant, candidates)`, in pull order.
+    leaf_profiles: Vec<(String, Vec<Candidate>)>,
+    /// Cursor advances: `(session, next_interval)`.
+    cursors: Vec<(String, u64)>,
+    /// Child-aggregator exports: `(tenant, full cumulative table)`.
+    children: Vec<(String, Vec<Candidate>)>,
+}
+
+/// Pulls every upstream once per [`AggConfig::pull_interval`], applying
+/// each upstream's harvest as it lands, then checkpoints. Polls the
+/// shutdown flag between upstreams so shutdown never waits out a cycle.
+fn pull_loop(inner: &Inner) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut progressed = false;
+        for upstream in &inner.config.upstreams {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Injected pull faults: a conn-drop skips this upstream for
+            // the cycle — the cursors make the next cycle pick up exactly
+            // where this one would have.
+            if let Some(hook) = &inner.config.fault_hook {
+                if hook.on_request() == ConnAction::Drop {
+                    inner.telemetry.pull_errors.incr();
+                    continue;
+                }
+            }
+            match pull_upstream(inner, upstream) {
+                Ok(harvest) => {
+                    progressed = true;
+                    apply_harvest(inner, upstream, harvest);
+                }
+                Err(_) => inner.telemetry.pull_errors.incr(),
+            }
+        }
+        if progressed {
+            let mut state = inner.state.lock().expect("state lock poisoned");
+            state.epoch += 1;
+            let snapshot = inner.config.state_path.as_ref().map(|_| state.encode());
+            drop(state);
+            if let (Some(path), Some(bytes)) = (&inner.config.state_path, snapshot) {
+                if write_atomically(path, &bytes).is_ok() {
+                    inner.telemetry.checkpoints.incr();
+                }
+            }
+        }
+        inner.telemetry.pull_cycles.incr();
+        // Sleep in small slices so shutdown stays responsive.
+        let deadline = Instant::now() + inner.config.pull_interval;
+        while Instant::now() < deadline {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Connects to one upstream and drains everything new: every completed,
+/// not-yet-pulled interval of every leaf session, and the full cumulative
+/// table of every child-aggregator export.
+fn pull_upstream(inner: &Inner, upstream: &str) -> Result<Harvest, ServerError> {
+    let mut client = Client::connect(upstream)?;
+    let mut harvest = Harvest::default();
+    let cursor_of = |session: &str| {
+        inner
+            .state
+            .lock()
+            .expect("state lock poisoned")
+            .cursor(upstream, session)
+    };
+    for info in client.list_sessions()? {
+        if let Some(tenant) = info.name.strip_suffix(CUMULATIVE_SUFFIX) {
+            client.attach(&info.name)?;
+            if let Some(profile) = client.snapshot(u64::MAX)? {
+                harvest
+                    .children
+                    .push((tenant.to_string(), profile.candidates));
+            }
+            continue;
+        }
+        let tenant = tenant_of(&info.name).to_string();
+        let mut cursor = cursor_of(&info.name);
+        if cursor >= info.intervals {
+            continue; // nothing new; skip the attach round-trip
+        }
+        client.attach(&info.name)?;
+        while let Some(profile) = client.snapshot(cursor)? {
+            harvest
+                .leaf_profiles
+                .push((tenant.clone(), profile.candidates));
+            cursor += 1;
+        }
+        harvest.cursors.push((info.name, cursor));
+    }
+    Ok(harvest)
+}
+
+/// Applies one upstream's harvest under the state lock.
+fn apply_harvest(inner: &Inner, upstream: &str, harvest: Harvest) {
+    let mut state = inner.state.lock().expect("state lock poisoned");
+    for (tenant, candidates) in &harvest.leaf_profiles {
+        let added = state.add_leaf_profile(tenant, candidates);
+        inner.telemetry.tenant_profiles_merged.incr(tenant);
+        inner.telemetry.tenant_events_merged.add(tenant, added);
+    }
+    for (session, cursor) in &harvest.cursors {
+        state.set_cursor(upstream, session, *cursor);
+    }
+    for (tenant, candidates) in &harvest.children {
+        state.set_child(upstream, tenant, candidates);
+    }
+}
+
+/// Atomic file replacement, same discipline as the server's checkpoints:
+/// complete on disk before it takes the live name.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Accepts query connections until shutdown. One thread per connection —
+/// aggregator query fan-in is dashboards and parent aggregators, not the
+/// firehose the ingest path handles.
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    let mut handles = Vec::new();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let inner = Arc::clone(inner);
+                handles.push(std::thread::spawn(move || {
+                    handle_connection(stream, &inner);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one query connection until EOF, a violation, or shutdown.
+fn handle_connection(stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    // The tenant this connection attached to, if any.
+    let mut attached: Option<String> = None;
+
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(ServerError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(err) => {
+                respond(&mut writer, &error_response(&err));
+                return;
+            }
+        };
+        let request = match Request::decode(&body) {
+            Ok(request) => request,
+            Err(err) => {
+                respond(&mut writer, &error_response(&err));
+                return;
+            }
+        };
+        let response = handle_request(request, &mut attached, inner);
+        if !respond(&mut writer, &response) {
+            return;
+        }
+    }
+}
+
+fn respond(writer: &mut impl std::io::Write, response: &Response) -> bool {
+    if write_frame(writer, &response.encode()).is_err() {
+        return false;
+    }
+    writer.flush().is_ok()
+}
+
+fn error_response(err: &ServerError) -> Response {
+    Response::Error {
+        code: err.code(),
+        message: err.wire_message(),
+    }
+}
+
+/// The placeholder session configuration cumulative exports carry: zero
+/// interval length and threshold mark the "session" as a cumulative
+/// table, not an interval profiler.
+fn cumulative_config() -> SessionConfig {
+    SessionConfig {
+        kind: ProfilerKind::MultiHash,
+        shards: 0,
+        interval_len: 0,
+        threshold: 0.0,
+        seed: 0,
+    }
+}
+
+/// Dispatches one request against the merge tree. The aggregator speaks
+/// the server's protocol but is read-only: every mutating op gets a typed
+/// `bad-request` answer.
+fn handle_request(request: Request, attached: &mut Option<String>, inner: &Inner) -> Response {
+    let state = || inner.state.lock().expect("state lock poisoned");
+    let read_only = || Response::Error {
+        code: ErrorCode::BadRequest,
+        message: "aggregators are read-only; stream to an mhp-server".into(),
+    };
+    match request {
+        Request::Attach { name } => {
+            // Accept both the bare tenant name and the full cumulative
+            // session name a parent copies from our own listing.
+            let tenant = name.strip_suffix(CUMULATIVE_SUFFIX).unwrap_or(&name);
+            let guard = state();
+            if guard.tenant_table(tenant).is_none() {
+                return Response::Error {
+                    code: ErrorCode::UnknownSession,
+                    message: format!("no tenant named {tenant:?} aggregated here"),
+                };
+            }
+            let info = tenant_info(&guard, tenant);
+            drop(guard);
+            *attached = Some(tenant.to_string());
+            Response::Session(info)
+        }
+        Request::ListSessions => {
+            let guard = state();
+            let infos = guard
+                .tenant_names()
+                .iter()
+                .map(|tenant| tenant_info(&guard, tenant))
+                .collect();
+            Response::SessionList(infos)
+        }
+        Request::TopK { n } => match &attached {
+            Some(tenant) => Response::TopK(state().top_k(tenant, n as usize)),
+            None => read_only_attach_error(),
+        },
+        Request::Snapshot { .. } => match &attached {
+            // The full cumulative table, hottest first — what a parent
+            // aggregator swallows whole each cycle. The interval argument
+            // is ignored: there is exactly one cumulative view.
+            Some(tenant) => {
+                let guard = state();
+                let candidates = guard.top_k(tenant, usize::MAX);
+                Response::Profile(ProfileData {
+                    interval_index: guard.epoch,
+                    interval_len: 0,
+                    threshold: 0.0,
+                    candidates,
+                })
+            }
+            None => read_only_attach_error(),
+        },
+        Request::Stats => {
+            let guard = state();
+            let mut text = format!("epoch {}\n", guard.epoch);
+            for tenant in guard.tenant_names() {
+                text.push_str(&format!(
+                    "tenant {tenant} events {}\n",
+                    guard.tenant_events(&tenant)
+                ));
+            }
+            Response::Stats(text)
+        }
+        Request::Metrics => Response::Metrics(inner.telemetry.registry.render_prometheus()),
+        Request::Shutdown => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            Response::Done
+        }
+        Request::Open { .. }
+        | Request::Ingest { .. }
+        | Request::IngestSeq { .. }
+        | Request::Resume
+        | Request::Cut
+        | Request::CloseSession => read_only(),
+    }
+}
+
+fn read_only_attach_error() -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message: "attach to a tenant first".into(),
+    }
+}
+
+/// The [`SessionInfo`] a tenant's cumulative view exports: named
+/// `<tenant>/__cumulative__`, with the pull epoch in `intervals` so
+/// downstream consumers can watch progress.
+fn tenant_info(state: &AggState, tenant: &str) -> SessionInfo {
+    SessionInfo {
+        name: format!("{tenant}{CUMULATIVE_SUFFIX}"),
+        config: cumulative_config(),
+        events: state.tenant_events(tenant),
+        intervals: state.epoch,
+    }
+}

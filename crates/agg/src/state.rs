@@ -1,0 +1,301 @@
+//! The aggregator's merge tree: per-tenant cumulative count tables, the
+//! pull cursors that make leaf pulls exactly-once, and the deterministic
+//! [`KIND_AGGREGATOR`] checkpoint envelope.
+//!
+//! ## Two contribution kinds
+//!
+//! A leaf `mhp-server` session contributes **additively**: each completed
+//! interval's profile is pulled exactly once (the per-session cursor
+//! advances past it) and its counts are summed into the session tenant's
+//! table. A child aggregator contributes with **replace** semantics: its
+//! exported per-tenant cumulative table (a `<tenant>/__cumulative__`
+//! session) is re-fetched whole every cycle and swaps out the previous
+//! fetch, so stacking aggregators never double-counts.
+//!
+//! Everything lives in `BTreeMap`s, so iteration — and therefore the
+//! checkpoint encoding and every rendered table — is deterministic with
+//! no sorting step. Two aggregators that merged the same profiles hold
+//! byte-identical checkpoints.
+
+use std::collections::BTreeMap;
+
+use mhp_core::state::KIND_AGGREGATOR;
+use mhp_core::{top_k_by_count, Candidate, SnapshotError, SnapshotReader, SnapshotWriter, Tuple};
+
+/// Suffix an aggregator appends to a tenant name to form the session name
+/// of its exported cumulative table. A parent aggregator recognizes the
+/// suffix in an upstream's session listing and switches to replace
+/// semantics for it.
+pub const CUMULATIVE_SUFFIX: &str = "/__cumulative__";
+
+/// One tenant's cumulative count table.
+pub type TenantTable = BTreeMap<Tuple, u64>;
+
+/// The aggregator's entire mergeable state. Mutated by the pull loop,
+/// read by query connections; the node wraps it in one mutex.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AggState {
+    /// Completed pull cycles. Exported as the `intervals` field of every
+    /// cumulative session, so a downstream parent (or a test) can watch
+    /// progress.
+    pub epoch: u64,
+    /// Additive totals per tenant, from leaf-server sessions.
+    tenants: BTreeMap<String, TenantTable>,
+    /// Replace-semantics contributions keyed by `(upstream, tenant)`,
+    /// from child aggregators.
+    children: BTreeMap<(String, String), TenantTable>,
+    /// Next interval index to pull, per `(upstream, session name)`.
+    cursors: BTreeMap<(String, String), u64>,
+}
+
+impl AggState {
+    /// An empty state.
+    pub fn new() -> AggState {
+        AggState::default()
+    }
+
+    /// Sums one pulled leaf-interval profile into `tenant`'s table.
+    /// Returns the events (total count) the profile added.
+    pub fn add_leaf_profile(&mut self, tenant: &str, candidates: &[Candidate]) -> u64 {
+        let table = self.tenants.entry(tenant.to_string()).or_default();
+        let mut added = 0;
+        for c in candidates {
+            *table.entry(c.tuple).or_insert(0) += c.count;
+            added += c.count;
+        }
+        added
+    }
+
+    /// Replaces the child contribution for `(upstream, tenant)` with a
+    /// freshly fetched cumulative table.
+    pub fn set_child(&mut self, upstream: &str, tenant: &str, candidates: &[Candidate]) {
+        let mut table = TenantTable::new();
+        for c in candidates {
+            *table.entry(c.tuple).or_insert(0) += c.count;
+        }
+        self.children
+            .insert((upstream.to_string(), tenant.to_string()), table);
+    }
+
+    /// The next interval to pull from `(upstream, session)`; `0` before
+    /// the first pull.
+    pub fn cursor(&self, upstream: &str, session: &str) -> u64 {
+        self.cursors
+            .get(&(upstream.to_string(), session.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Advances the pull cursor for `(upstream, session)`.
+    pub fn set_cursor(&mut self, upstream: &str, session: &str, cursor: u64) {
+        self.cursors
+            .insert((upstream.to_string(), session.to_string()), cursor);
+    }
+
+    /// Every tenant with any contribution, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.keys().cloned().collect();
+        for (_, tenant) in self.children.keys() {
+            if !names.contains(tenant) {
+                names.push(tenant.clone());
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// The tenant's global cumulative table: additive leaf totals plus
+    /// the latest contribution from every child. `None` for a tenant the
+    /// aggregator has never seen.
+    pub fn tenant_table(&self, tenant: &str) -> Option<TenantTable> {
+        let mut merged = self.tenants.get(tenant).cloned();
+        for ((_, child_tenant), table) in &self.children {
+            if child_tenant != tenant {
+                continue;
+            }
+            let merged = merged.get_or_insert_with(TenantTable::new);
+            for (tuple, count) in table {
+                *merged.entry(*tuple).or_insert(0) += count;
+            }
+        }
+        merged
+    }
+
+    /// The tenant's global top-k, hottest first with deterministic
+    /// tie-breaking (see [`top_k_by_count`]) — the fleet-wide answer this
+    /// whole tier exists to produce.
+    pub fn top_k(&self, tenant: &str, k: usize) -> Vec<Candidate> {
+        let Some(table) = self.tenant_table(tenant) else {
+            return Vec::new();
+        };
+        top_k_by_count(table.into_iter().collect(), k)
+            .into_iter()
+            .map(|(tuple, count)| Candidate { tuple, count })
+            .collect()
+    }
+
+    /// Total events (sum of counts) in the tenant's global table.
+    pub fn tenant_events(&self, tenant: &str) -> u64 {
+        self.tenant_table(tenant)
+            .map(|table| table.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Serializes the whole state into a CRC-guarded
+    /// [`KIND_AGGREGATOR`] envelope. Deterministic: equal states encode
+    /// to equal bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(KIND_AGGREGATOR);
+        w.put_u64(self.epoch);
+        w.put_u64(self.tenants.len() as u64);
+        for (tenant, table) in &self.tenants {
+            w.put_bytes(tenant.as_bytes());
+            put_table(&mut w, table);
+        }
+        w.put_u64(self.children.len() as u64);
+        for ((upstream, tenant), table) in &self.children {
+            w.put_bytes(upstream.as_bytes());
+            w.put_bytes(tenant.as_bytes());
+            put_table(&mut w, table);
+        }
+        w.put_u64(self.cursors.len() as u64);
+        for ((upstream, session), cursor) in &self.cursors {
+            w.put_bytes(upstream.as_bytes());
+            w.put_bytes(session.as_bytes());
+            w.put_u64(*cursor);
+        }
+        w.finish()
+    }
+
+    /// Parses a checkpoint back, validating the envelope (magic, version,
+    /// kind, CRC) and every length.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on any corruption or truncation.
+    pub fn decode(bytes: &[u8]) -> Result<AggState, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, KIND_AGGREGATOR)?;
+        let epoch = r.take_u64("epoch")?;
+        let mut tenants = BTreeMap::new();
+        let tenant_count = r.take_count(1, "tenant count")?;
+        for _ in 0..tenant_count {
+            let tenant = take_string(&mut r, "tenant name")?;
+            tenants.insert(tenant, take_table(&mut r)?);
+        }
+        let mut children = BTreeMap::new();
+        let child_count = r.take_count(1, "child count")?;
+        for _ in 0..child_count {
+            let upstream = take_string(&mut r, "child upstream")?;
+            let tenant = take_string(&mut r, "child tenant")?;
+            children.insert((upstream, tenant), take_table(&mut r)?);
+        }
+        let mut cursors = BTreeMap::new();
+        let cursor_count = r.take_count(1, "cursor count")?;
+        for _ in 0..cursor_count {
+            let upstream = take_string(&mut r, "cursor upstream")?;
+            let session = take_string(&mut r, "cursor session")?;
+            cursors.insert((upstream, session), r.take_u64("cursor")?);
+        }
+        r.expect_end()?;
+        Ok(AggState {
+            epoch,
+            tenants,
+            children,
+            cursors,
+        })
+    }
+}
+
+fn put_table(w: &mut SnapshotWriter, table: &TenantTable) {
+    w.put_u64(table.len() as u64);
+    for (tuple, count) in table {
+        w.put_u64(tuple.pc().as_u64());
+        w.put_u64(tuple.value().as_u64());
+        w.put_u64(*count);
+    }
+}
+
+fn take_table(r: &mut SnapshotReader<'_>) -> Result<TenantTable, SnapshotError> {
+    let len = r.take_count(24, "table length")?;
+    let mut table = TenantTable::new();
+    for _ in 0..len {
+        let pc = r.take_u64("tuple pc")?;
+        let value = r.take_u64("tuple value")?;
+        let count = r.take_u64("tuple count")?;
+        table.insert(Tuple::new(pc, value), count);
+    }
+    Ok(table)
+}
+
+fn take_string(r: &mut SnapshotReader<'_>, context: &'static str) -> Result<String, SnapshotError> {
+    String::from_utf8(r.take_bytes(context)?.to_vec())
+        .map_err(|_| SnapshotError::Corrupt { context })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(pc: u64, value: u64, count: u64) -> Candidate {
+        Candidate {
+            tuple: Tuple::new(pc, value),
+            count,
+        }
+    }
+
+    #[test]
+    fn leaf_profiles_sum_and_children_replace() {
+        let mut state = AggState::new();
+        state.add_leaf_profile("acme", &[candidate(1, 0, 10), candidate(2, 0, 5)]);
+        state.add_leaf_profile("acme", &[candidate(1, 0, 3)]);
+        state.set_child("child:1", "acme", &[candidate(3, 0, 7)]);
+        state.set_child("child:1", "acme", &[candidate(3, 0, 9)]); // replaces, not adds
+
+        let top = state.top_k("acme", 10);
+        assert_eq!(
+            top,
+            vec![candidate(1, 0, 13), candidate(3, 0, 9), candidate(2, 0, 5)]
+        );
+        assert_eq!(state.tenant_events("acme"), 27);
+        assert!(state.top_k("ghost", 10).is_empty());
+    }
+
+    #[test]
+    fn checkpoints_round_trip_and_are_byte_deterministic() {
+        let mut a = AggState::new();
+        a.epoch = 4;
+        a.add_leaf_profile("beta", &[candidate(9, 1, 2)]);
+        a.add_leaf_profile("acme", &[candidate(1, 0, 10), candidate(2, 2, 5)]);
+        a.set_child("child:1", "acme", &[candidate(3, 0, 7)]);
+        a.set_cursor("up:1", "acme/web", 6);
+        a.set_cursor("up:0", "beta/db", 2);
+
+        // Same contributions in a different arrival order.
+        let mut b = AggState::new();
+        b.epoch = 4;
+        b.set_cursor("up:0", "beta/db", 2);
+        b.add_leaf_profile("acme", &[candidate(2, 2, 5)]);
+        b.set_child("child:1", "acme", &[candidate(3, 0, 7)]);
+        b.add_leaf_profile("acme", &[candidate(1, 0, 10)]);
+        b.set_cursor("up:1", "acme/web", 6);
+        b.add_leaf_profile("beta", &[candidate(9, 1, 2)]);
+
+        assert_eq!(a.encode(), b.encode());
+        let restored = AggState::decode(&a.encode()).unwrap();
+        assert_eq!(restored, a);
+        assert_eq!(restored.tenant_names(), vec!["acme", "beta"]);
+        assert_eq!(restored.cursor("up:1", "acme/web"), 6);
+        assert_eq!(restored.cursor("up:9", "nope"), 0);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        let mut state = AggState::new();
+        state.add_leaf_profile("acme", &[candidate(1, 0, 10)]);
+        let mut bytes = state.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(AggState::decode(&bytes).is_err());
+        assert!(AggState::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

@@ -85,5 +85,8 @@ pub use profile::{Candidate, IntervalProfile};
 pub use profiler::EventProfiler;
 pub use rank::top_k_by_count;
 pub use single_hash::{SingleHashConfig, SingleHashProfiler};
-pub use state::{SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use state::{
+    put_profile, take_profile, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use tuple::{Pc, Tuple, Value};

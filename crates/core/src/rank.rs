@@ -14,6 +14,15 @@
 /// uses for its candidate ordering. The input is consumed; pairs beyond the
 /// `k`-th are dropped.
 ///
+/// Determinism here is a load-bearing contract, not a convenience: the
+/// aggregation tier (`mhp-agg`) merges shard and fleet profiles in whatever
+/// order the network delivers them and asserts the final top-k is
+/// **byte-identical** to offline merging of the same inputs. That only holds
+/// because (a) count summation is order-independent and (b) this ranking has
+/// no order-sensitive tie-breaking. Duplicate keys must be summed *before*
+/// ranking (as [`IntervalProfile::from_candidates`](crate::IntervalProfile)
+/// does); this function ranks whatever pairs it is given.
+///
 /// # Examples
 ///
 /// ```
@@ -66,5 +75,60 @@ mod tests {
         let a = top_k_by_count(vec![(1u64, 1), (2, 2), (3, 3)], 2);
         let b = top_k_by_count(vec![(3u64, 3), (1, 1), (2, 2)], 2);
         assert_eq!(a, b);
+    }
+
+    /// Regression test for tie-breaking at the `k` boundary: with more tied
+    /// entries than slots, the *keys* that survive must not depend on input
+    /// order (an unstable sort without a key tie-break would let them).
+    #[test]
+    fn boundary_ties_select_the_same_keys_for_every_input_order() {
+        let pairs = [(10u64, 7u64), (20, 7), (30, 7), (40, 7), (5, 9)];
+        // All 120 permutations of a 5-element input.
+        let mut perm = [0usize, 1, 2, 3, 4];
+        let mut expected: Option<Vec<(u64, u64)>> = None;
+        loop {
+            let input: Vec<(u64, u64)> = perm.iter().map(|&i| pairs[i]).collect();
+            let ranked = top_k_by_count(input, 3);
+            match &expected {
+                None => expected = Some(ranked),
+                Some(e) => assert_eq!(&ranked, e),
+            }
+            // Next lexicographic permutation, or stop.
+            let Some(i) = (0..4).rev().find(|&i| perm[i] < perm[i + 1]) else {
+                break;
+            };
+            let j = (i + 1..5).rev().find(|&j| perm[j] > perm[i]).unwrap();
+            perm.swap(i, j);
+            perm[i + 1..].reverse();
+        }
+        assert_eq!(expected.unwrap(), vec![(5, 9), (10, 7), (20, 7)]);
+    }
+
+    /// The merge-tree contract: summing shards in any order and then ranking
+    /// yields byte-identical top-k (count addition commutes; ranking is
+    /// order-free). Mirrors how `mhp-agg` folds pulled profiles.
+    #[test]
+    fn merged_top_k_is_identical_regardless_of_merge_order() {
+        use std::collections::HashMap;
+        let shards: [&[(u64, u64)]; 3] = [
+            &[(1, 50), (2, 25), (3, 25)],
+            &[(2, 25), (4, 50), (1, 0)],
+            &[(3, 25), (4, 0), (5, 50)],
+        ];
+        let fold = |order: &[usize]| -> Vec<(u64, u64)> {
+            let mut totals: HashMap<u64, u64> = HashMap::new();
+            for &s in order {
+                for &(key, count) in shards[s] {
+                    *totals.entry(key).or_insert(0) += count;
+                }
+            }
+            top_k_by_count(totals.into_iter().collect(), 4)
+        };
+        let reference = fold(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_eq!(fold(&order), reference);
+        }
+        // Ties at 50 and at 25 resolve by ascending key.
+        assert_eq!(reference, vec![(1, 50), (2, 50), (3, 50), (4, 50)]);
     }
 }

@@ -47,6 +47,8 @@ pub const KIND_PERFECT: u8 = 3;
 pub const KIND_ENGINE_SESSION: u8 = 16;
 /// Kind byte reserved for a server session checkpoint (`mhp-server`).
 pub const KIND_SERVER_SESSION: u8 = 17;
+/// Kind byte reserved for an aggregator checkpoint (`mhp-agg`).
+pub const KIND_AGGREGATOR: u8 = 18;
 
 /// Why a snapshot could not be produced or restored.
 ///
@@ -355,14 +357,70 @@ impl<'a> SnapshotReader<'a> {
 }
 
 // ---------------------------------------------------------------------------
-// Crate-internal codec helpers shared by the profiler implementations.
+// Shared codec helpers.
 // ---------------------------------------------------------------------------
 
 use crate::accumulator::AccumulatorTable;
 use crate::counter::COUNTER_MAX;
 use crate::interval::IntervalConfig;
 use crate::introspect::IntervalTally;
+use crate::profile::{Candidate, IntervalProfile};
 use crate::tuple::Tuple;
+
+/// Serializes one [`IntervalProfile`] into a snapshot payload.
+///
+/// This is the interchange form every layer that persists or ships merged
+/// profiles uses: engine-session snapshots (`mhp-pipeline`), server session
+/// checkpoints (`mhp-server`) and aggregator checkpoints (`mhp-agg`).
+/// Candidates are stored hottest-first with deterministic tie-breaking
+/// (descending count, then ascending tuple), so equal profiles always
+/// serialize to equal bytes.
+pub fn put_profile(w: &mut SnapshotWriter, profile: &IntervalProfile) {
+    w.put_u64(profile.interval_index());
+    let config = profile.config();
+    w.put_u64(config.interval_len());
+    w.put_f64(config.threshold_fraction());
+    w.put_bool(config.external_cut());
+    w.put_u64(profile.len() as u64);
+    for c in profile.candidates() {
+        w.put_u64(c.tuple.pc().as_u64());
+        w.put_u64(c.tuple.value().as_u64());
+        w.put_u64(c.count);
+    }
+}
+
+/// Reads back one [`IntervalProfile`] written by [`put_profile`].
+///
+/// The rebuilt profile is value-equal to the one serialized: candidates pass
+/// through [`IntervalProfile::from_candidates`], which re-establishes the
+/// same deterministic ordering the writer emitted, so a
+/// put-profile/take-profile round trip is the identity.
+pub fn take_profile(r: &mut SnapshotReader<'_>) -> Result<IntervalProfile, SnapshotError> {
+    let interval_index = r.take_u64("profile interval index")?;
+    let interval_len = r.take_u64("profile interval length")?;
+    let threshold = r.take_f64("profile threshold fraction")?;
+    let external_cut = r.take_bool("profile external-cut flag")?;
+    let mut config =
+        IntervalConfig::new(interval_len, threshold).map_err(|_| SnapshotError::Corrupt {
+            context: "profile interval configuration",
+        })?;
+    if external_cut {
+        config = config.with_external_cut();
+    }
+    let count = r.take_count(24, "profile candidates")?;
+    let mut candidates = Vec::with_capacity(count);
+    for _ in 0..count {
+        let pc = r.take_u64("candidate pc")?;
+        let value = r.take_u64("candidate value")?;
+        let count = r.take_u64("candidate count")?;
+        candidates.push(Candidate::new(Tuple::new(pc, value), count));
+    }
+    Ok(IntervalProfile::from_candidates(
+        interval_index,
+        config,
+        candidates,
+    ))
+}
 
 pub(crate) fn put_interval(w: &mut SnapshotWriter, interval: &IntervalConfig) {
     w.put_u64(interval.interval_len());
@@ -515,6 +573,38 @@ mod tests {
         assert_eq!(r.take_f64("c").unwrap(), 0.25);
         assert_eq!(r.take_bytes("d").unwrap(), b"abc");
         r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn profile_round_trips_and_is_byte_deterministic() {
+        let config = IntervalConfig::short().with_external_cut();
+        let profile = |order: &[(u64, u64)]| {
+            IntervalProfile::from_candidates(
+                5,
+                config,
+                order
+                    .iter()
+                    .map(|&(pc, n)| Candidate::new(Tuple::new(pc, pc), n))
+                    .collect(),
+            )
+        };
+        let a = profile(&[(1, 100), (2, 300), (3, 100)]);
+        let mut w = SnapshotWriter::new(KIND_AGGREGATOR);
+        put_profile(&mut w, &a);
+        let bytes = w.finish();
+
+        let mut r = SnapshotReader::open(&bytes, KIND_AGGREGATOR).unwrap();
+        let back = take_profile(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.config(), config);
+
+        // Equal profiles built from different input orders serialize to
+        // equal bytes — the property aggregator checkpoints rely on.
+        let b = profile(&[(3, 100), (1, 100), (2, 300)]);
+        let mut w = SnapshotWriter::new(KIND_AGGREGATOR);
+        put_profile(&mut w, &b);
+        assert_eq!(w.finish(), bytes);
     }
 
     #[test]

@@ -105,3 +105,100 @@ proptest! {
         prop_assert_eq!(&merged_three, &reference);
     }
 }
+
+/// Serializes a profile through the shared interchange codec and back —
+/// the path every fleet hop (engine snapshot, server checkpoint,
+/// aggregator pull) takes.
+fn round_trip(profile: &IntervalProfile) -> IntervalProfile {
+    use mhp_core::state::KIND_AGGREGATOR;
+    use mhp_core::{put_profile, take_profile, SnapshotReader, SnapshotWriter};
+    let mut w = SnapshotWriter::new(KIND_AGGREGATOR);
+    put_profile(&mut w, profile);
+    let bytes = w.finish();
+    let mut r = SnapshotReader::open(&bytes, KIND_AGGREGATOR).unwrap();
+    let back = take_profile(&mut r).unwrap();
+    r.expect_end().unwrap();
+    back
+}
+
+proptest! {
+    /// N-way generalization: any number of shards, merged in any order
+    /// and under any grouping (flat, left fold, pairwise tree), produces
+    /// the same profile. This is what lets an aggregation tier of any
+    /// shape claim the same answer as a single flat merge.
+    #[test]
+    fn n_way_merge_is_invariant_under_order_and_grouping(
+        raw in prop::collection::vec((0u64..24, 0u64..4), 1..300),
+        assignment in prop::collection::vec(0usize..6, 300usize),
+        ways in 2usize..6,
+        rotation in 0usize..6,
+    ) {
+        let events = tuples(&raw);
+        let parts = split(&events, &assignment, ways);
+        let shards: Vec<IntervalProfile> =
+            parts.iter().map(|p| shard_profile(p)).collect();
+
+        // Flat n-way merge in the original order.
+        let flat = IntervalProfile::merge(shards.iter().cloned()).unwrap();
+
+        // Same shards, rotated — commutativity at n.
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rotation % ways);
+        let flat_rotated = IntervalProfile::merge(rotated).unwrap();
+
+        // Left fold, one shard at a time — associativity at n.
+        let mut fold = shards[0].clone();
+        for shard in &shards[1..] {
+            fold = IntervalProfile::merge([fold, shard.clone()]).unwrap();
+        }
+
+        // Pairwise tree: merge adjacent pairs, then merge the layer —
+        // the shape a hierarchical aggregator actually builds.
+        let mut layer = shards.clone();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| IntervalProfile::merge(pair.iter().cloned()).unwrap())
+                .collect();
+        }
+
+        prop_assert_eq!(&flat, &flat_rotated);
+        prop_assert_eq!(&flat, &fold);
+        prop_assert_eq!(&flat, &layer[0]);
+    }
+
+    /// Snapshot round-trips commute with merging: serializing every shard
+    /// profile through the shared codec and merging the restored copies
+    /// equals merging the originals — and re-serializing both merged
+    /// results yields identical bytes. This is the end-to-end guarantee
+    /// behind "a restored aggregator answers bit-identically".
+    #[test]
+    fn merge_after_snapshot_round_trip_matches_direct_merge(
+        raw in prop::collection::vec((0u64..24, 0u64..4), 1..300),
+        assignment in prop::collection::vec(0usize..4, 300usize),
+        ways in 2usize..4,
+    ) {
+        use mhp_core::state::KIND_AGGREGATOR;
+        use mhp_core::{put_profile, SnapshotWriter};
+
+        let events = tuples(&raw);
+        let parts = split(&events, &assignment, ways);
+        let shards: Vec<IntervalProfile> =
+            parts.iter().map(|p| shard_profile(p)).collect();
+
+        let direct = IntervalProfile::merge(shards.iter().cloned()).unwrap();
+        let through_codec =
+            IntervalProfile::merge(shards.iter().map(round_trip)).unwrap();
+        prop_assert_eq!(&direct, &through_codec);
+
+        // Equal profiles serialize to equal bytes, whichever path
+        // produced them.
+        let encode = |p: &IntervalProfile| {
+            let mut w = SnapshotWriter::new(KIND_AGGREGATOR);
+            put_profile(&mut w, p);
+            w.finish()
+        };
+        prop_assert_eq!(encode(&direct), encode(&through_codec));
+        prop_assert_eq!(round_trip(&direct), direct);
+    }
+}

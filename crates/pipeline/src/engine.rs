@@ -536,49 +536,15 @@ impl ShardedEngine {
 }
 
 /// Serializes one completed [`IntervalProfile`] into an engine snapshot.
+/// Delegates to the shared interchange codec in `mhp-core` so engine
+/// snapshots, server checkpoints and aggregator state all speak one format.
 fn put_profile(w: &mut SnapshotWriter, profile: &IntervalProfile) {
-    w.put_u64(profile.interval_index());
-    let config = profile.config();
-    w.put_u64(config.interval_len());
-    w.put_f64(config.threshold_fraction());
-    w.put_bool(config.external_cut());
-    w.put_u64(profile.len() as u64);
-    // Candidates are stored hottest-first with deterministic tie-breaking,
-    // so writing in iteration order keeps snapshots byte-reproducible.
-    for c in profile.candidates() {
-        w.put_u64(c.tuple.pc().as_u64());
-        w.put_u64(c.tuple.value().as_u64());
-        w.put_u64(c.count);
-    }
+    mhp_core::put_profile(w, profile);
 }
 
 /// Reads back one [`IntervalProfile`] written by [`put_profile`].
 fn take_profile(r: &mut SnapshotReader<'_>) -> Result<IntervalProfile, Error> {
-    let interval_index = r.take_u64("profile interval index")?;
-    let interval_len = r.take_u64("profile interval length")?;
-    let threshold = r.take_f64("profile threshold fraction")?;
-    let external_cut = r.take_bool("profile external-cut flag")?;
-    let mut config = IntervalConfig::new(interval_len, threshold).map_err(|_| {
-        Error::Snapshot(SnapshotError::Corrupt {
-            context: "profile interval configuration",
-        })
-    })?;
-    if external_cut {
-        config = config.with_external_cut();
-    }
-    let count = r.take_count(24, "profile candidates")?;
-    let mut candidates = Vec::with_capacity(count);
-    for _ in 0..count {
-        let pc = r.take_u64("candidate pc")?;
-        let value = r.take_u64("candidate value")?;
-        let count = r.take_u64("candidate count")?;
-        candidates.push(Candidate::new(Tuple::new(pc, value), count));
-    }
-    Ok(IntervalProfile::from_candidates(
-        interval_index,
-        config,
-        candidates,
-    ))
+    Ok(mhp_core::take_profile(r)?)
 }
 
 /// A live run of a [`ShardedEngine`]: shard workers stay up between calls,
@@ -859,6 +825,30 @@ impl EngineSession {
     /// Per-shard ingestion statistics so far.
     pub fn shard_stats(&self) -> &[ShardStats] {
         &self.stats
+    }
+
+    /// Rough estimate of the session's resident memory, in bytes.
+    ///
+    /// Counts the retained merged profiles (24 bytes per candidate plus
+    /// per-profile overhead), buffered batches, and a fixed per-shard charge
+    /// for the worker-side sketch and accumulator state. This is an
+    /// accounting figure for admission control and LRU eviction (see
+    /// `mhp-server`'s session memory budget), not an allocator measurement:
+    /// it is cheap, monotone in the real footprint, and stable across calls
+    /// when the session is idle. Profiles still buffered inside workers
+    /// (pending cuts) are not counted until collected.
+    pub fn approx_memory_bytes(&self) -> u64 {
+        const PER_SHARD_BYTES: u64 = 64 * 1024;
+        const PER_PROFILE_BYTES: u64 = 128;
+        const PER_CANDIDATE_BYTES: u64 = 24;
+        let shards = self.senders.len() as u64;
+        let profiles: u64 = self
+            .completed
+            .iter()
+            .map(|p| PER_PROFILE_BYTES + PER_CANDIDATE_BYTES * p.len() as u64)
+            .sum();
+        let batches: u64 = self.batches.iter().map(|b| 16 * b.capacity() as u64).sum();
+        shards * PER_SHARD_BYTES + profiles + batches
     }
 
     /// Drains the stream: flushes a trailing partial interval's events

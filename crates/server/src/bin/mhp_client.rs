@@ -28,8 +28,9 @@ commands:
                   [--threshold F] [--seed S] [--chunk-events N] [--close]
                   [--retries N]
   query           --addr A --session NAME --op OP [--n N] [--interval I]
-                  (OP: snapshot, topk, cut, resume, stats, metrics, close;
-                   stats and metrics are server-wide, no --session)
+                  (OP: snapshot, topk, cut, resume, stats, metrics,
+                   sessions, close; stats, metrics and sessions are
+                   server-wide, no --session)
   loadgen         --addr A [--clients N] [--events N] [--chunk-events N]
                   [--profiler P] [--shards N] [--interval-len N]
   verify          --addr A [--stream B:K:S] [--events N] [--profiler P]
@@ -206,9 +207,9 @@ fn cmd_record_and_send(mut opts: Options) -> Result<(), ServerError> {
 fn cmd_query(mut opts: Options) -> Result<(), ServerError> {
     let addr = opts.require("addr")?;
     let op = opts.require("op")?;
-    // `stats` and `metrics` are server-wide; every other op targets a
-    // named session.
-    let server_wide = op == "stats" || op == "metrics";
+    // `stats`, `metrics` and `sessions` are server-wide; every other op
+    // targets a named session.
+    let server_wide = op == "stats" || op == "metrics" || op == "sessions";
     let session = if server_wide {
         opts.take("session").unwrap_or_default()
     } else {
@@ -244,6 +245,18 @@ fn cmd_query(mut opts: Options) -> Result<(), ServerError> {
         "resume" => println!("last_seq {}", client.resume()?),
         "stats" => print!("{}", client.stats()?),
         "metrics" => print!("{}", client.metrics()?),
+        "sessions" => {
+            for info in client.list_sessions()? {
+                println!(
+                    "{} kind={} shards={} events={} intervals={}",
+                    info.name,
+                    info.config.kind.name(),
+                    info.config.shards,
+                    info.events,
+                    info.intervals
+                );
+            }
+        }
         "close" => {
             client.close_session()?;
             println!("session {session} closed");

@@ -39,6 +39,19 @@ options:
                        (default 5000)
   --overload-conns N   shed ingest with a typed `overloaded` error once
                        more than N connections are live (default: never)
+  --tenant-max-sessions N
+                       live sessions one tenant (session-name prefix
+                       before the first '/') may hold at once; opens past
+                       it get a typed `quota-exceeded` error
+                       (default: unlimited)
+  --tenant-bytes-per-sec N
+                       sustained ingest budget per tenant in bytes/s,
+                       enforced as a token bucket with one second of
+                       burst (default: unlimited)
+  --memory-budget N    estimated session-memory ceiling in bytes; idle
+                       sessions are checkpointed (with --state-dir) and
+                       evicted, least recently used first, to stay under
+                       it (default: never evict)
   --fault-plan SPEC    arm a deterministic fault plan for chaos testing,
                        e.g. conn-drop@3,corrupt-chunk@2 (kinds:
                        worker-panic, worker-stall, truncate-frame,
@@ -92,6 +105,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.overload_connection_watermark = value("overload-conns")?
                     .parse()
                     .map_err(|_| "--overload-conns needs a number".to_string())?;
+            }
+            "--tenant-max-sessions" => {
+                config.tenant_quotas.max_sessions = value("tenant-max-sessions")?
+                    .parse()
+                    .map_err(|_| "--tenant-max-sessions needs a number".to_string())?;
+            }
+            "--tenant-bytes-per-sec" => {
+                config.tenant_quotas.max_bytes_per_sec = value("tenant-bytes-per-sec")?
+                    .parse()
+                    .map_err(|_| "--tenant-bytes-per-sec needs a number".to_string())?;
+            }
+            "--memory-budget" => {
+                config.session_memory_budget = Some(
+                    value("memory-budget")?
+                        .parse()
+                        .map_err(|_| "--memory-budget needs a number".to_string())?,
+                );
             }
             "--fault-plan" => fault_plan = Some(value("fault-plan")?),
             "--fault-seed" => {

@@ -191,6 +191,20 @@ impl Client {
         }
     }
 
+    /// Every session resident on the server, sorted by name. Works
+    /// without an attached session — this is how aggregators and
+    /// dashboards discover what a server is holding.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; the listing always succeeds server-side.
+    pub fn list_sessions(&mut self) -> Result<Vec<SessionInfo>, ServerError> {
+        match self.call_ok(&Request::ListSessions)? {
+            Response::SessionList(infos) => Ok(infos),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// The server's metrics as `key value` text.
     ///
     /// # Errors
@@ -300,15 +314,20 @@ fn splitmix64(x: u64) -> u64 {
 
 /// Whether an error is worth a reconnect-and-retry: transport failures
 /// and torn frames (the server or network died under us), `overloaded`
-/// sheds (the server asked us to back off), and `ingest` rejections
-/// (covers transient corruption caught by the chunk CRC — a sequenced
-/// replay of the same chunk is idempotent, so retrying is safe). Every
-/// other remote rejection is a permanent answer, not a transient fault.
+/// sheds (the server asked us to back off), `quota-exceeded` ingest
+/// rejections (the tenant's token bucket refills within a second, so
+/// backing off clears them), and `ingest` rejections (covers transient
+/// corruption caught by the chunk CRC — a sequenced replay of the same
+/// chunk is idempotent, so retrying is safe). Every other remote
+/// rejection is a permanent answer, not a transient fault.
 fn retryable(error: &ServerError) -> bool {
     match error {
         ServerError::Io(_) | ServerError::Protocol(_) => true,
         ServerError::Remote { code, .. } => {
-            matches!(code, ErrorCode::Overloaded | ErrorCode::Ingest)
+            matches!(
+                code,
+                ErrorCode::Overloaded | ErrorCode::Ingest | ErrorCode::QuotaExceeded
+            )
         }
         ServerError::Pipeline(_) => false,
     }

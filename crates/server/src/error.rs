@@ -27,6 +27,11 @@ pub enum ErrorCode {
     /// The server is over its load watermark and shed this request; the
     /// client should back off and retry.
     Overloaded,
+    /// The request would exceed the tenant's admission quota (session
+    /// count, or ingest bytes/s). Session-count rejections are permanent
+    /// until the tenant closes a session; bytes/s rejections clear as the
+    /// token bucket refills, so clients treat this as retryable.
+    QuotaExceeded,
 }
 
 impl ErrorCode {
@@ -41,6 +46,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 6,
             ErrorCode::Internal => 7,
             ErrorCode::Overloaded => 8,
+            ErrorCode::QuotaExceeded => 9,
         }
     }
 
@@ -55,6 +61,7 @@ impl ErrorCode {
             5 => ErrorCode::Ingest,
             6 => ErrorCode::ShuttingDown,
             8 => ErrorCode::Overloaded,
+            9 => ErrorCode::QuotaExceeded,
             _ => ErrorCode::Internal,
         }
     }
@@ -70,6 +77,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
         }
     }
 }
@@ -183,6 +191,7 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
             ErrorCode::Overloaded,
+            ErrorCode::QuotaExceeded,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), code);
         }

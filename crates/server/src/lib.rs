@@ -67,4 +67,4 @@ pub use metrics::{stat_value, Counter, Gauge, Histogram, Metrics};
 pub use protocol::{
     ProfileData, ProfilerKind, Request, Response, SessionConfig, SessionInfo, MAX_FRAME_BYTES,
 };
-pub use server::{RunningServer, Server, ServerConfig};
+pub use server::{tenant_of, RunningServer, Server, ServerConfig, TenantQuotas};

@@ -223,6 +223,10 @@ pub enum Request {
     /// Server, engine and sketch metrics in Prometheus text exposition
     /// format.
     Metrics,
+    /// Lists every live session on the server (sorted by name), so an
+    /// aggregator can discover what to pull without static configuration.
+    /// Requires no attached session.
+    ListSessions,
     /// Destroys the attached session and detaches.
     CloseSession,
     /// Asks the server to shut down gracefully.
@@ -244,6 +248,7 @@ const OP_SHUTDOWN: u8 = 0x09;
 const OP_METRICS: u8 = 0x0A;
 const OP_INGEST_SEQ: u8 = 0x0B;
 const OP_RESUME: u8 = 0x0C;
+const OP_LIST_SESSIONS: u8 = 0x0D;
 
 /// A server response. The leading tag byte makes every response
 /// self-describing.
@@ -272,6 +277,8 @@ pub enum Response {
         /// Highest contiguous applied sequence number.
         last_seq: u64,
     },
+    /// Every live session, sorted by name.
+    SessionList(Vec<SessionInfo>),
     /// Server metrics, one `key value` per line.
     Stats(String),
     /// Server metrics in Prometheus text exposition format.
@@ -294,6 +301,7 @@ const TAG_TOPK: u8 = 0x05;
 const TAG_STATS: u8 = 0x06;
 const TAG_METRICS: u8 = 0x07;
 const TAG_RESUME: u8 = 0x08;
+const TAG_SESSION_LIST: u8 = 0x09;
 const TAG_ERROR: u8 = 0x7F;
 
 // ---------------------------------------------------------------- encoding
@@ -379,6 +387,39 @@ fn push_candidates(out: &mut Vec<u8>, candidates: &[Candidate]) {
     }
 }
 
+fn push_session_info(out: &mut Vec<u8>, info: &SessionInfo) {
+    push_name(out, &info.name);
+    out.push(info.config.kind.as_u8());
+    out.extend_from_slice(&info.config.shards.to_le_bytes());
+    out.extend_from_slice(&info.config.interval_len.to_le_bytes());
+    out.extend_from_slice(&info.config.threshold.to_le_bytes());
+    out.extend_from_slice(&info.config.seed.to_le_bytes());
+    out.extend_from_slice(&info.events.to_le_bytes());
+    out.extend_from_slice(&info.intervals.to_le_bytes());
+}
+
+/// Smallest possible encoded [`SessionInfo`]: empty name plus the fixed
+/// fields. Used to reject lying list counts before allocating.
+const MIN_SESSION_INFO_BYTES: usize = 2 + 1 + 2 + 8 * 5;
+
+fn read_session_info(cursor: &mut Cursor<'_>) -> Result<SessionInfo, ServerError> {
+    let name = cursor.name()?;
+    let kind = ProfilerKind::from_u8(cursor.u8()?)
+        .ok_or_else(|| ServerError::protocol("unknown profiler kind"))?;
+    Ok(SessionInfo {
+        name,
+        config: SessionConfig {
+            kind,
+            shards: cursor.u16()?,
+            interval_len: cursor.u64()?,
+            threshold: cursor.f64()?,
+            seed: cursor.u64()?,
+        },
+        events: cursor.u64()?,
+        intervals: cursor.u64()?,
+    })
+}
+
 fn read_candidates(cursor: &mut Cursor<'_>) -> Result<Vec<Candidate>, ServerError> {
     let count = cursor.u32()? as usize;
     // 24 bytes per candidate must actually be present — reject a lying
@@ -435,6 +476,7 @@ impl Request {
             }
             Request::Stats => out.push(OP_STATS),
             Request::Metrics => out.push(OP_METRICS),
+            Request::ListSessions => out.push(OP_LIST_SESSIONS),
             Request::CloseSession => out.push(OP_CLOSE_SESSION),
             Request::Shutdown => out.push(OP_SHUTDOWN),
         }
@@ -483,6 +525,7 @@ impl Request {
             OP_TOPK => Request::TopK { n: cursor.u32()? },
             OP_STATS => Request::Stats,
             OP_METRICS => Request::Metrics,
+            OP_LIST_SESSIONS => Request::ListSessions,
             OP_CLOSE_SESSION => Request::CloseSession,
             OP_SHUTDOWN => Request::Shutdown,
             op => {
@@ -504,14 +547,14 @@ impl Response {
             Response::Done => out.push(TAG_DONE),
             Response::Session(info) => {
                 out.push(TAG_SESSION);
-                push_name(&mut out, &info.name);
-                out.push(info.config.kind.as_u8());
-                out.extend_from_slice(&info.config.shards.to_le_bytes());
-                out.extend_from_slice(&info.config.interval_len.to_le_bytes());
-                out.extend_from_slice(&info.config.threshold.to_le_bytes());
-                out.extend_from_slice(&info.config.seed.to_le_bytes());
-                out.extend_from_slice(&info.events.to_le_bytes());
-                out.extend_from_slice(&info.intervals.to_le_bytes());
+                push_session_info(&mut out, info);
+            }
+            Response::SessionList(infos) => {
+                out.push(TAG_SESSION_LIST);
+                out.extend_from_slice(&(infos.len() as u32).to_le_bytes());
+                for info in infos {
+                    push_session_info(&mut out, info);
+                }
             }
             Response::Ingested { events, intervals } => {
                 out.push(TAG_INGESTED);
@@ -564,22 +607,17 @@ impl Response {
         let mut cursor = Cursor::new(body);
         let response = match cursor.u8()? {
             TAG_DONE => Response::Done,
-            TAG_SESSION => {
-                let name = cursor.name()?;
-                let kind = ProfilerKind::from_u8(cursor.u8()?)
-                    .ok_or_else(|| ServerError::protocol("unknown profiler kind"))?;
-                Response::Session(SessionInfo {
-                    name,
-                    config: SessionConfig {
-                        kind,
-                        shards: cursor.u16()?,
-                        interval_len: cursor.u64()?,
-                        threshold: cursor.f64()?,
-                        seed: cursor.u64()?,
-                    },
-                    events: cursor.u64()?,
-                    intervals: cursor.u64()?,
-                })
+            TAG_SESSION => Response::Session(read_session_info(&mut cursor)?),
+            TAG_SESSION_LIST => {
+                let count = cursor.u32()? as usize;
+                if count > cursor.bytes.len().saturating_sub(cursor.pos) / MIN_SESSION_INFO_BYTES {
+                    return Err(ServerError::protocol("session count exceeds frame"));
+                }
+                let mut infos = Vec::with_capacity(count);
+                for _ in 0..count {
+                    infos.push(read_session_info(&mut cursor)?);
+                }
+                Response::SessionList(infos)
             }
             TAG_INGESTED => Response::Ingested {
                 events: cursor.u64()?,
@@ -749,6 +787,7 @@ mod tests {
         roundtrip_request(Request::TopK { n: 10 });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::ListSessions);
         roundtrip_request(Request::CloseSession);
         roundtrip_request(Request::Shutdown);
     }
@@ -793,6 +832,24 @@ mod tests {
             code: ErrorCode::UnknownSession,
             message: "no session named gcc".into(),
         });
+        let info = |name: &str, events: u64| SessionInfo {
+            name: name.into(),
+            config: SessionConfig::default_multi_hash(),
+            events,
+            intervals: events / 10_000,
+        };
+        roundtrip_response(Response::SessionList(Vec::new()));
+        roundtrip_response(Response::SessionList(vec![
+            info("acme/web", 120_000),
+            info("beta/batch", 5),
+        ]));
+    }
+
+    #[test]
+    fn lying_session_list_count_is_rejected_without_allocation() {
+        let mut body = vec![TAG_SESSION_LIST];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&body).is_err());
     }
 
     #[test]

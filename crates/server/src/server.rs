@@ -42,11 +42,13 @@ use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use mhp_telemetry::CounterVec;
 
 use mhp_core::state::{SnapshotReader, SnapshotWriter, KIND_SERVER_SESSION};
 use mhp_core::{IntervalConfig, IntrospectionSink, SnapshotError, Tuple};
@@ -94,6 +96,61 @@ pub struct ServerConfig {
     /// (corruption, stalls) and per shard-worker batch (panics, stalls).
     /// `None` (the default) compiles the hooks to a single branch.
     pub fault_hook: Option<FaultHook>,
+    /// Per-tenant admission quotas. The default is unlimited.
+    pub tenant_quotas: TenantQuotas,
+    /// Total estimated session memory (see
+    /// [`EngineSession::approx_memory_bytes`]) the server keeps resident.
+    /// When set, a housekeeping thread evicts least-recently-used idle
+    /// sessions (checkpointing them first when
+    /// [`state_dir`](Self::state_dir) is set, so a later `attach` restores
+    /// them transparently) until the total is back under budget. `None`
+    /// (the default) never evicts.
+    pub session_memory_budget: Option<u64>,
+}
+
+/// Per-tenant admission quotas, enforced when the request arrives —
+/// rejections are typed [`ErrorCode::QuotaExceeded`] responses and count
+/// in `server_tenant_quota_rejections_total{tenant="..."}`.
+///
+/// The tenant of a session is the prefix of its name before the first
+/// `/` (see [`tenant_of`]); sessions without a namespace share the
+/// `default` tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuotas {
+    /// Live sessions one tenant may hold open at once. `usize::MAX` (the
+    /// default) never rejects.
+    pub max_sessions: usize,
+    /// Sustained ingest budget per tenant in bytes/second, enforced as a
+    /// token bucket with one second of burst. `u64::MAX` (the default)
+    /// never rejects.
+    pub max_bytes_per_sec: u64,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas {
+            max_sessions: usize::MAX,
+            max_bytes_per_sec: u64::MAX,
+        }
+    }
+}
+
+/// The tenant a session name belongs to: the prefix before the first `/`
+/// (`acme/web-42` → `acme`), or `default` for an un-namespaced name.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_server::tenant_of;
+/// assert_eq!(tenant_of("acme/web-42"), "acme");
+/// assert_eq!(tenant_of("gcc-run"), "default");
+/// assert_eq!(tenant_of("/odd"), "default");
+/// ```
+pub fn tenant_of(name: &str) -> &str {
+    match name.split_once('/') {
+        Some((tenant, _)) if !tenant.is_empty() => tenant,
+        _ => "default",
+    }
 }
 
 impl Default for ServerConfig {
@@ -107,6 +164,8 @@ impl Default for ServerConfig {
             checkpoint_interval: Duration::from_secs(5),
             overload_connection_watermark: usize::MAX,
             fault_hook: None,
+            tenant_quotas: TenantQuotas::default(),
+            session_memory_budget: None,
         }
     }
 }
@@ -114,6 +173,14 @@ impl Default for ServerConfig {
 /// One named, server-resident profiling session.
 struct Session {
     config: SessionConfig,
+    /// The session's tenant, derived from its name once at open/restore.
+    tenant: String,
+    /// Milliseconds since the server epoch of the last request that
+    /// targeted this session; the LRU key for eviction.
+    last_touch_ms: AtomicU64,
+    /// Connections currently attached. Eviction only considers sessions
+    /// at zero — an attached session is in use by definition.
+    attachments: AtomicU64,
     /// The live engine plus resume bookkeeping, under one lock so a
     /// sequence check and the ingest it guards are atomic.
     state: Mutex<SessionState>,
@@ -149,15 +216,23 @@ fn engine_builder(config: &SessionConfig, shared: &Shared) -> Result<ShardedEngi
 }
 
 impl Session {
-    fn open(config: &SessionConfig, shared: &Shared) -> Result<Session, ServerError> {
+    fn open(name: &str, config: &SessionConfig, shared: &Shared) -> Result<Session, ServerError> {
         let engine = engine_builder(config, shared)?.start()?;
         Ok(Session {
             config: config.clone(),
+            tenant: tenant_of(name).to_string(),
+            last_touch_ms: AtomicU64::new(shared.now_ms()),
+            attachments: AtomicU64::new(0),
             state: Mutex::new(SessionState {
                 engine: Some(engine),
                 last_seq: 0,
             }),
         })
+    }
+
+    /// Marks the session as just used, for LRU eviction ordering.
+    fn touch(&self, shared: &Shared) {
+        self.last_touch_ms.store(shared.now_ms(), Ordering::Relaxed);
     }
 
     /// Runs `f` with the session lock held (engine plus sequence state).
@@ -208,6 +283,27 @@ impl Session {
     }
 }
 
+/// A connection's hold on a session. The count is what shields a session
+/// from eviction, so the hold is released in `Drop` — every exit path of
+/// the connection handler, clean or not, decrements it.
+struct Attachment {
+    name: String,
+    session: Arc<Session>,
+}
+
+impl Attachment {
+    fn new(name: String, session: Arc<Session>) -> Attachment {
+        session.attachments.fetch_add(1, Ordering::AcqRel);
+        Attachment { name, session }
+    }
+}
+
+impl Drop for Attachment {
+    fn drop(&mut self) {
+        self.session.attachments.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// The error a request against a drained session gets.
 fn drained() -> ServerError {
     ServerError::Remote {
@@ -250,19 +346,117 @@ impl Durability {
     }
 }
 
+/// Token bucket for one tenant's ingest bytes/s quota: capacity is one
+/// second of the sustained rate, refilled continuously.
+struct TokenBucket {
+    tokens: u64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: u64) -> Self {
+        TokenBucket {
+            tokens: rate,
+            last_refill: Instant::now(),
+        }
+    }
+
+    /// Takes `cost` tokens if available (refilling first), else refuses.
+    fn charge(&mut self, rate: u64, cost: u64) -> bool {
+        let elapsed = self.last_refill.elapsed();
+        self.last_refill = Instant::now();
+        let refill = (elapsed.as_micros().min(u128::from(u64::MAX)) as u64 / 1_000)
+            .saturating_mul(rate)
+            / 1_000;
+        self.tokens = self.tokens.saturating_add(refill).min(rate);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-tenant accounting: quota state plus the labeled counters that make
+/// tenancy observable in the shared registry's Prometheus exposition.
+struct Tenancy {
+    quotas: TenantQuotas,
+    /// One ingest token bucket per tenant, created on first ingest.
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+    sessions_opened: CounterVec,
+    events_ingested: CounterVec,
+    bytes_ingested: CounterVec,
+    quota_rejections: CounterVec,
+    evictions: CounterVec,
+}
+
+impl Tenancy {
+    fn on_registry(registry: &mhp_telemetry::Registry, quotas: TenantQuotas) -> Self {
+        Tenancy {
+            quotas,
+            buckets: Mutex::new(HashMap::new()),
+            sessions_opened: CounterVec::new(
+                registry,
+                "server_tenant_sessions_opened_total",
+                "tenant",
+            ),
+            events_ingested: CounterVec::new(
+                registry,
+                "server_tenant_events_ingested_total",
+                "tenant",
+            ),
+            bytes_ingested: CounterVec::new(
+                registry,
+                "server_tenant_bytes_ingested_total",
+                "tenant",
+            ),
+            quota_rejections: CounterVec::new(
+                registry,
+                "server_tenant_quota_rejections_total",
+                "tenant",
+            ),
+            evictions: CounterVec::new(registry, "server_tenant_evictions_total", "tenant"),
+        }
+    }
+
+    /// Charges `bytes` against the tenant's ingest budget.
+    fn charge_ingest(&self, tenant: &str, bytes: u64) -> bool {
+        let rate = self.quotas.max_bytes_per_sec;
+        if rate == u64::MAX {
+            return true;
+        }
+        let mut buckets = self.buckets.lock().expect("bucket lock poisoned");
+        buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| TokenBucket::new(rate))
+            .charge(rate, bytes)
+    }
+}
+
 /// Shared state every connection handler sees.
 struct Shared {
     config: ServerConfig,
     sessions: Registry,
     metrics: Metrics,
     durability: Durability,
+    tenancy: Tenancy,
     /// Engine metric handles every session's engine reports through; on
     /// the same registry as [`Shared::metrics`].
     engine_telemetry: EngineTelemetry,
     /// Sketch introspection sink installed on every session's shard
     /// profilers; also feeds the shared registry.
     sketch_sink: Arc<dyn IntrospectionSink>,
+    /// Zero point for session last-touch timestamps.
+    epoch: Instant,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Milliseconds since the server epoch, for LRU timestamps.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    }
 }
 
 /// The profiling service. [`bind`](Server::bind) it to get a
@@ -289,6 +483,7 @@ impl Server {
 
         let metrics = Metrics::new();
         let durability = Durability::on_registry(metrics.registry());
+        let tenancy = Tenancy::on_registry(metrics.registry(), config.tenant_quotas);
         let engine_telemetry = EngineTelemetry::new(metrics.registry());
         let sketch_sink: Arc<dyn IntrospectionSink> =
             Arc::new(RegistrySink::new(metrics.registry()));
@@ -297,8 +492,10 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             metrics,
             durability,
+            tenancy,
             engine_telemetry,
             sketch_sink,
+            epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
         });
 
@@ -317,6 +514,10 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || checkpoint_loop(&dir, &shared))
         });
+        let eviction_handle = shared.config.session_memory_budget.map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || eviction_loop(&shared))
+        });
 
         let (done_tx, done_rx) = std::sync::mpsc::channel();
         let accept_shared = Arc::clone(&shared);
@@ -330,6 +531,7 @@ impl Server {
             accept_handle: Some(accept_handle),
             export_handle,
             checkpoint_handle,
+            eviction_handle,
         })
     }
 }
@@ -383,6 +585,84 @@ fn checkpoint_loop(dir: &Path, shared: &Shared) {
             last = Instant::now();
         }
         std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Enforces the session memory budget: sweeps at a ~100 ms cadence and
+/// evicts least-recently-used *idle* sessions until the estimated total is
+/// back under budget.
+fn eviction_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        evict_over_budget(shared);
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// One eviction sweep. Sessions are sized with
+/// [`EngineSession::approx_memory_bytes`]; while the total exceeds the
+/// budget, the least-recently-touched session with no attached connection
+/// is checkpointed (when a state dir is configured — a later `attach`
+/// then restores it transparently) and drained. Attached sessions are
+/// never evicted, so a fully attached over-budget server stays over
+/// budget rather than breaking live connections.
+fn evict_over_budget(shared: &Shared) {
+    let Some(budget) = shared.config.session_memory_budget else {
+        return;
+    };
+    let sessions: Vec<(String, Arc<Session>)> = {
+        let registry = shared.sessions.lock().expect("registry lock poisoned");
+        registry
+            .iter()
+            .map(|(name, session)| (name.clone(), Arc::clone(session)))
+            .collect()
+    };
+    let mut total = 0u64;
+    let mut sized: Vec<(u64, String, Arc<Session>, u64)> = Vec::with_capacity(sessions.len());
+    for (name, session) in sessions {
+        let bytes = session
+            .with_engine(|engine| Ok(engine.approx_memory_bytes()))
+            .unwrap_or(0);
+        total = total.saturating_add(bytes);
+        let touched = session.last_touch_ms.load(Ordering::Relaxed);
+        sized.push((touched, name, session, bytes));
+    }
+    if total <= budget {
+        return;
+    }
+    // Oldest touch first; name breaks ties so sweeps are deterministic.
+    sized.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    for (_, name, session, bytes) in sized {
+        if total <= budget {
+            break;
+        }
+        if session.attachments.load(Ordering::Acquire) > 0 {
+            continue;
+        }
+        if let Some(dir) = &shared.config.state_dir {
+            checkpoint_session(dir, &name, &session, &shared.durability);
+        }
+        // Unregister only if it is still this session and still idle; an
+        // attach that raced past the check above simply sees a drained
+        // session and re-attaches (restoring from the checkpoint).
+        let removed = {
+            let mut registry = shared.sessions.lock().expect("registry lock poisoned");
+            match registry.get(&name) {
+                Some(current)
+                    if Arc::ptr_eq(current, &session)
+                        && session.attachments.load(Ordering::Acquire) == 0 =>
+                {
+                    registry.remove(&name);
+                    true
+                }
+                _ => false,
+            }
+        };
+        if removed {
+            session.drain();
+            total = total.saturating_sub(bytes);
+            shared.tenancy.evictions.incr(&session.tenant);
+            shared.metrics.sessions_closed.incr();
+        }
     }
 }
 
@@ -522,6 +802,9 @@ fn restore_one(bytes: &[u8], shared: &Shared) -> Result<(), ServerError> {
     let engine = engine_builder(&config, shared)?.restore(&blob)?;
     let session = Arc::new(Session {
         config,
+        tenant: tenant_of(&name).to_string(),
+        last_touch_ms: AtomicU64::new(shared.now_ms()),
+        attachments: AtomicU64::new(0),
         state: Mutex::new(SessionState {
             engine: Some(engine),
             last_seq,
@@ -544,6 +827,7 @@ pub struct RunningServer {
     accept_handle: Option<JoinHandle<()>>,
     export_handle: Option<JoinHandle<()>>,
     checkpoint_handle: Option<JoinHandle<()>>,
+    eviction_handle: Option<JoinHandle<()>>,
 }
 
 // Shared holds no Debug members worth printing; keep the derive honest.
@@ -612,6 +896,9 @@ impl RunningServer {
             let _ = handle.join();
         }
         if let Some(handle) = self.checkpoint_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.eviction_handle.take() {
             let _ = handle.join();
         }
     }
@@ -706,8 +993,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
-    // The session this connection opened or attached to, if any.
-    let mut attached: Option<(String, Arc<Session>)> = None;
+    // The session this connection opened or attached to, if any. Dropping
+    // the hold (replacement, close, or any handler exit) releases the
+    // session back to the eviction sweep.
+    let mut attached: Option<Attachment> = None;
     // Decoded-chunk scratch, reused across every ingest on this connection
     // so steady-state streaming does not allocate per chunk.
     let mut ingest_buf: Vec<Tuple> = Vec::new();
@@ -812,7 +1101,7 @@ fn respond_error(writer: &mut impl Write, err: &ServerError) {
 /// Dispatches one decoded request against the shared state.
 fn handle_request(
     request: Request,
-    attached: &mut Option<(String, Arc<Session>)>,
+    attached: &mut Option<Attachment>,
     ingest_buf: &mut Vec<Tuple>,
     shared: &Shared,
 ) -> Result<Response, ServerError> {
@@ -821,7 +1110,8 @@ fn handle_request(
             if name.is_empty() || name.len() > MAX_NAME_BYTES {
                 return Err(ServerError::protocol("session name must be 1..=256 bytes"));
             }
-            let session = Arc::new(Session::open(&config, shared)?);
+            let session = Arc::new(Session::open(&name, &config, shared)?);
+            let tenant = session.tenant.clone();
             {
                 let mut registry = shared.sessions.lock().expect("registry lock poisoned");
                 if registry.contains_key(&name) {
@@ -830,29 +1120,39 @@ fn handle_request(
                         message: format!("session {name:?} already exists"),
                     });
                 }
+                // The session-count quota is checked under the registry
+                // lock so two racing opens cannot both slip under it. The
+                // rejected engine's workers are reaped when the Arc drops.
+                let quota = shared.config.tenant_quotas.max_sessions;
+                if quota != usize::MAX {
+                    let held = registry.values().filter(|s| s.tenant == tenant).count();
+                    if held >= quota {
+                        shared.tenancy.quota_rejections.incr(&tenant);
+                        return Err(ServerError::Remote {
+                            code: ErrorCode::QuotaExceeded,
+                            message: format!("tenant {tenant:?} is at its session quota ({quota})"),
+                        });
+                    }
+                }
                 registry.insert(name.clone(), Arc::clone(&session));
             }
             shared.metrics.sessions_opened.incr();
+            shared.tenancy.sessions_opened.incr(&tenant);
             let info = session.info(&name)?;
-            *attached = Some((name, session));
+            *attached = Some(Attachment::new(name, session));
             Ok(Response::Session(info))
         }
         Request::Attach { name } => {
-            let session = {
-                let registry = shared.sessions.lock().expect("registry lock poisoned");
-                registry.get(&name).cloned()
-            };
-            let session = session.ok_or_else(|| ServerError::Remote {
-                code: ErrorCode::UnknownSession,
-                message: format!("no session named {name:?}"),
-            })?;
+            let session = lookup_or_restore(&name, shared)?;
+            session.touch(shared);
             let info = session.info(&name)?;
-            *attached = Some((name, session));
+            *attached = Some(Attachment::new(name, session));
             Ok(Response::Session(info))
         }
         Request::Ingest { mut chunk } => {
-            let session = require_attached(attached)?;
+            let session = require_attached(attached, shared)?;
             ingest_admission(shared)?;
+            charge_tenant_ingest(session, chunk.len(), shared)?;
             apply_chunk_faults(shared, &mut chunk);
             let decode_started = Instant::now();
             let consumed = decode_chunk_into(&chunk, ingest_buf)?;
@@ -872,14 +1172,23 @@ fn handle_request(
             })?;
             shared.metrics.chunks_ingested.incr();
             shared.metrics.events_ingested.add(ingest_buf.len() as u64);
+            shared
+                .tenancy
+                .events_ingested
+                .add(&session.tenant, ingest_buf.len() as u64);
+            shared
+                .tenancy
+                .bytes_ingested
+                .add(&session.tenant, chunk.len() as u64);
             Ok(Response::Ingested {
                 events: total_events,
                 intervals,
             })
         }
         Request::IngestSeq { seq, mut chunk } => {
-            let session = require_attached(attached)?;
+            let session = require_attached(attached, shared)?;
             ingest_admission(shared)?;
+            charge_tenant_ingest(session, chunk.len(), shared)?;
             apply_chunk_faults(shared, &mut chunk);
             if seq == 0 {
                 return Err(ServerError::protocol("ingest sequence numbers are 1-based"));
@@ -920,6 +1229,14 @@ fn handle_request(
                 shared.metrics.intervals_completed.add(after - before);
                 shared.metrics.chunks_ingested.incr();
                 shared.metrics.events_ingested.add(ingest_buf.len() as u64);
+                shared
+                    .tenancy
+                    .events_ingested
+                    .add(&session.tenant, ingest_buf.len() as u64);
+                shared
+                    .tenancy
+                    .bytes_ingested
+                    .add(&session.tenant, chunk.len() as u64);
                 state.last_seq = seq;
                 Ok(Response::Ingested {
                     events: engine.events(),
@@ -928,12 +1245,12 @@ fn handle_request(
             })
         }
         Request::Resume => {
-            let session = require_attached(attached)?;
+            let session = require_attached(attached, shared)?;
             let last_seq = session.with_state(|state| Ok(state.last_seq))?;
             Ok(Response::Resume { last_seq })
         }
         Request::Cut => {
-            let session = require_attached(attached)?;
+            let session = require_attached(attached, shared)?;
             let profile = session.with_engine(|engine| {
                 let before = engine.intervals();
                 let profile = engine.cut()?;
@@ -949,7 +1266,7 @@ fn handle_request(
             })
         }
         Request::Snapshot { interval } => {
-            let session = require_attached(attached)?;
+            let session = require_attached(attached, shared)?;
             let profile = session.with_engine(|engine| {
                 let profiles = engine.profiles()?;
                 let index = if interval == u64::MAX {
@@ -967,28 +1284,46 @@ fn handle_request(
             })
         }
         Request::TopK { n } => {
-            let session = require_attached(attached)?;
+            let session = require_attached(attached, shared)?;
             let candidates = session.with_engine(|engine| Ok(engine.top_k(n as usize)?))?;
             Ok(Response::TopK(candidates))
+        }
+        Request::ListSessions => {
+            let sessions: Vec<(String, Arc<Session>)> = {
+                let registry = shared.sessions.lock().expect("registry lock poisoned");
+                registry
+                    .iter()
+                    .map(|(name, session)| (name.clone(), Arc::clone(session)))
+                    .collect()
+            };
+            let mut infos: Vec<SessionInfo> = Vec::with_capacity(sessions.len());
+            for (name, session) in sessions {
+                // A session drained mid-listing is omitted, not an error.
+                if let Ok(info) = session.info(&name) {
+                    infos.push(info);
+                }
+            }
+            infos.sort_by(|a, b| a.name.cmp(&b.name));
+            Ok(Response::SessionList(infos))
         }
         Request::Stats => Ok(Response::Stats(shared.metrics.render())),
         Request::Metrics => Ok(Response::Metrics(
             shared.metrics.registry().render_prometheus(),
         )),
         Request::CloseSession => {
-            let (name, session) = attached.take().ok_or_else(|| {
+            let hold = attached.take().ok_or_else(|| {
                 ServerError::protocol("close-session requires an attached session")
             })?;
             shared
                 .sessions
                 .lock()
                 .expect("registry lock poisoned")
-                .remove(&name);
-            session.drain();
+                .remove(&hold.name);
+            hold.session.drain();
             // The session was destroyed on purpose; it must not resurrect
             // on the next restart.
             if let Some(dir) = &shared.config.state_dir {
-                let _ = std::fs::remove_file(snapshot_path(dir, &name));
+                let _ = std::fs::remove_file(snapshot_path(dir, &hold.name));
             }
             shared.metrics.sessions_closed.incr();
             Ok(Response::Done)
@@ -1028,11 +1363,71 @@ fn apply_chunk_faults(shared: &Shared, chunk: &mut [u8]) {
     }
 }
 
-fn require_attached(
-    attached: &Option<(String, Arc<Session>)>,
-) -> Result<&Arc<Session>, ServerError> {
-    attached
-        .as_ref()
-        .map(|(_, session)| session)
-        .ok_or_else(|| ServerError::protocol("this request requires an open or attached session"))
+/// The attached session, freshly touched — every session-targeted request
+/// resets its place in the LRU eviction order.
+fn require_attached<'a>(
+    attached: &'a Option<Attachment>,
+    shared: &Shared,
+) -> Result<&'a Arc<Session>, ServerError> {
+    let hold = attached.as_ref().ok_or_else(|| {
+        ServerError::protocol("this request requires an open or attached session")
+    })?;
+    hold.session.touch(shared);
+    Ok(&hold.session)
+}
+
+/// Charges an ingest chunk against the session tenant's bytes/s budget.
+/// The charge lands on arrival — the bytes crossed the wire whether or
+/// not the chunk later turns out to be a replay.
+fn charge_tenant_ingest(
+    session: &Session,
+    bytes: usize,
+    shared: &Shared,
+) -> Result<(), ServerError> {
+    if shared.tenancy.charge_ingest(&session.tenant, bytes as u64) {
+        return Ok(());
+    }
+    shared.tenancy.quota_rejections.incr(&session.tenant);
+    Err(ServerError::Remote {
+        code: ErrorCode::QuotaExceeded,
+        message: format!(
+            "tenant {:?} is over its ingest byte budget; back off and retry",
+            session.tenant
+        ),
+    })
+}
+
+/// Finds a live session by name; on a miss with a state dir configured,
+/// tries to restore it from its on-disk checkpoint — the other half of
+/// budget eviction, which checkpoints before it drains.
+fn lookup_or_restore(name: &str, shared: &Shared) -> Result<Arc<Session>, ServerError> {
+    let lookup = || {
+        shared
+            .sessions
+            .lock()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    };
+    if let Some(session) = lookup() {
+        return Ok(session);
+    }
+    if let Some(dir) = &shared.config.state_dir {
+        if let Ok(bytes) = std::fs::read(snapshot_path(dir, name)) {
+            if restore_one(&bytes, shared).is_ok() {
+                shared.durability.restore_total.incr();
+                shared.metrics.sessions_opened.incr();
+            }
+            // Re-lookup either way: losing a restore race to a concurrent
+            // attach is success, not corruption.
+            if let Some(session) = lookup() {
+                return Ok(session);
+            }
+            shared.durability.restore_errors_total.incr();
+        }
+    }
+    Err(ServerError::Remote {
+        code: ErrorCode::UnknownSession,
+        message: format!("no session named {name:?}"),
+    })
 }

@@ -337,3 +337,182 @@ fn shutdown_request_drains_sessions_and_stops_the_server() {
     // The port is closed: new connections are refused.
     assert!(std::net::TcpStream::connect(addr).is_err());
 }
+
+/// `sessions` lists every resident session, sorted by name, without an
+/// attached session — the discovery primitive an aggregator polls.
+#[test]
+fn session_listing_reports_every_resident_session_sorted() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert!(client.list_sessions().unwrap().is_empty());
+
+    for name in ["acme/web", "acme/api", "beta/db"] {
+        let mut opener = Client::connect(server.local_addr()).unwrap();
+        opener
+            .open_session(name, SessionConfig::default_multi_hash())
+            .unwrap();
+        opener.ingest(&workload(9, 2_000)).unwrap();
+    }
+
+    let listed = client.list_sessions().unwrap();
+    let names: Vec<&str> = listed.iter().map(|info| info.name.as_str()).collect();
+    assert_eq!(names, ["acme/api", "acme/web", "beta/db"]);
+    for info in &listed {
+        assert_eq!(info.events, 2_000);
+    }
+    server.join();
+}
+
+/// Per-tenant session quota: the tenant at its limit gets a typed
+/// `quota-exceeded` rejection (visible in the Prometheus exposition as a
+/// labeled counter) while other tenants keep opening sessions.
+#[test]
+fn tenant_session_quota_rejects_with_labeled_counter() {
+    let config = ServerConfig {
+        tenant_quotas: mhp_server::TenantQuotas {
+            max_sessions: 2,
+            max_bytes_per_sec: u64::MAX,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+
+    let mut holders = Vec::new();
+    for name in ["acme/one", "acme/two"] {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .open_session(name, SessionConfig::default_multi_hash())
+            .unwrap();
+        holders.push(client);
+    }
+    let mut third = Client::connect(server.local_addr()).unwrap();
+    match third.open_session("acme/three", SessionConfig::default_multi_hash()) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QuotaExceeded),
+        other => panic!("expected quota rejection, got {other:?}"),
+    }
+    // A different tenant is unaffected by acme's quota.
+    third
+        .open_session("beta/one", SessionConfig::default_multi_hash())
+        .unwrap();
+
+    let exposition = third.metrics().unwrap();
+    assert!(
+        exposition.contains("server_tenant_quota_rejections_total{tenant=\"acme\"} 1"),
+        "missing quota counter in:\n{exposition}"
+    );
+    assert!(
+        exposition.contains("server_tenant_sessions_opened_total{tenant=\"acme\"} 2"),
+        "missing opened counter in:\n{exposition}"
+    );
+    assert!(
+        exposition.contains("server_tenant_sessions_opened_total{tenant=\"beta\"} 1"),
+        "missing beta counter in:\n{exposition}"
+    );
+    server.join();
+}
+
+/// Per-tenant ingest byte budget: a tiny token bucket rejects the second
+/// chunk with `quota-exceeded`, and the rejection clears as the bucket
+/// refills — the error is transient, not a dead end.
+#[test]
+fn tenant_byte_budget_throttles_and_recovers() {
+    let config = ServerConfig {
+        tenant_quotas: mhp_server::TenantQuotas {
+            max_sessions: usize::MAX,
+            // One 1k-event chunk (~6.7 KB varint-encoded) fits; two do
+            // not.
+            max_bytes_per_sec: 10_000,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .open_session("acme/throttled", SessionConfig::default_multi_hash())
+        .unwrap();
+
+    let events = workload(3, 2_000);
+    client.ingest(&events[..1_000]).unwrap();
+    match client.ingest(&events[1_000..]) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QuotaExceeded),
+        other => panic!("expected throttle, got {other:?}"),
+    }
+    // The bucket refills continuously; within ~1s the same chunk goes
+    // through.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match client.ingest(&events[1_000..]) {
+            Ok(_) => break,
+            Err(ServerError::Remote {
+                code: ErrorCode::QuotaExceeded,
+                ..
+            }) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            other => panic!("throttle never cleared: {other:?}"),
+        }
+    }
+
+    let exposition = client.metrics().unwrap();
+    assert!(
+        exposition.contains("server_tenant_quota_rejections_total{tenant=\"acme\"}"),
+        "missing rejection counter in:\n{exposition}"
+    );
+    server.join();
+}
+
+/// Memory-budget eviction: with a tiny budget, idle sessions are
+/// checkpointed and evicted LRU-first (counted per tenant), and a later
+/// attach restores the evicted session transparently with its data
+/// intact.
+#[test]
+fn idle_sessions_evict_under_memory_budget_and_restore_on_attach() {
+    let dir = std::env::temp_dir().join(format!("mhp-evict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        state_dir: Some(dir.clone()),
+        // Far below one engine's ~64 KiB/shard floor: every idle session
+        // is over budget.
+        session_memory_budget: Some(1),
+        // Keep the periodic checkpointer quiet; eviction checkpoints on
+        // its own.
+        checkpoint_interval: std::time::Duration::from_secs(3_600),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+
+    let events = workload(11, 12_000);
+    let expected_topk = {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .open_session("acme/evictee", SessionConfig::default_multi_hash())
+            .unwrap();
+        client.ingest(&events).unwrap();
+        client.top_k(5).unwrap()
+        // Dropping the connection releases the attachment; the session
+        // becomes evictable.
+    };
+
+    // The sweep runs every ~100ms; wait for the eviction counter.
+    let mut query = Client::connect(server.local_addr()).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let exposition = query.metrics().unwrap();
+        if exposition.contains("server_tenant_evictions_total{tenant=\"acme\"}") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "eviction never happened:\n{exposition}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // Attach restores the checkpointed session with its state intact.
+    let mut back = Client::connect(server.local_addr()).unwrap();
+    let info = back.attach("acme/evictee").unwrap();
+    assert_eq!(info.events, 12_000);
+    assert_eq!(back.top_k(5).unwrap(), expected_topk);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -48,4 +48,4 @@ pub mod registry;
 
 pub use events::{EventLog, SpanEvent, SpanTimer};
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
-pub use registry::{stat_value, Counter, Gauge, MetricKind, Registry};
+pub use registry::{stat_value, Counter, CounterVec, Gauge, MetricKind, Registry};

@@ -322,6 +322,75 @@ impl Registry {
     }
 }
 
+/// A family of counters sharing one name, split by the value of a single
+/// label — the shape per-tenant metrics take (`name{tenant="..."}`).
+///
+/// Each distinct label value is its own registered series, so the whole
+/// family appears in [`Registry::render_prometheus`] under one `# TYPE`
+/// line. Handles are cached per label value: the first use of a value
+/// registers the series (registry scan under the registry lock), every
+/// later use is one small `HashMap` lookup under the family's own lock
+/// plus a relaxed atomic add — cheap enough for per-chunk accounting on
+/// the ingest path.
+///
+/// # Examples
+///
+/// ```
+/// use mhp_telemetry::{CounterVec, Registry};
+/// let registry = Registry::new();
+/// let ingested = CounterVec::new(&registry, "bytes_ingested_total", "tenant");
+/// ingested.add("acme", 512);
+/// ingested.incr("acme");
+/// assert_eq!(ingested.with_label("acme").get(), 513);
+/// let text = registry.render_prometheus();
+/// assert!(text.contains("bytes_ingested_total{tenant=\"acme\"} 513"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterVec {
+    registry: Registry,
+    name: String,
+    label_key: String,
+    handles: Arc<Mutex<std::collections::HashMap<String, Counter>>>,
+}
+
+impl CounterVec {
+    /// Creates a counter family named `name`, keyed by `label_key`.
+    ///
+    /// No series is registered until a label value is first used, so an
+    /// unused family adds nothing to the exposition.
+    pub fn new(registry: &Registry, name: &str, label_key: &str) -> Self {
+        CounterVec {
+            registry: registry.clone(),
+            name: name.to_string(),
+            label_key: label_key.to_string(),
+            handles: Arc::new(Mutex::new(std::collections::HashMap::new())),
+        }
+    }
+
+    /// The counter for one label value, registering its series on first use.
+    pub fn with_label(&self, value: &str) -> Counter {
+        let mut handles = self.handles.lock().expect("counter-vec lock poisoned");
+        if let Some(c) = handles.get(value) {
+            return c.clone();
+        }
+        let counter = self
+            .registry
+            .counter_with_labels(&self.name, &[(&self.label_key, value)]);
+        handles.insert(value.to_string(), counter.clone());
+        counter
+    }
+
+    /// Adds one to the series for `value`.
+    pub fn incr(&self, value: &str) {
+        self.with_label(value).incr();
+    }
+
+    /// Adds `n` to the series for `value`.
+    pub fn add(&self, value: &str, n: u64) {
+        self.with_label(value).add(n);
+    }
+}
+
 fn labels_eq(registered: &[(String, String)], wanted: &[(&str, &str)]) -> bool {
     registered.len() == wanted.len()
         && registered
@@ -469,6 +538,45 @@ mod tests {
         assert!(json.contains("\"c_us\":{\"count\":1,\"sum\":100,"));
         assert!(json.starts_with("{\"ts_ms\":"));
         assert!(json.ends_with("}}"));
+    }
+
+    /// Golden test for the per-tenant exposition shape: one `# TYPE` line
+    /// per family, series in first-use order, label values escaped. The
+    /// aggregation tier's quota/eviction counters render exactly this way,
+    /// so any drift here is a monitoring-breaking change.
+    #[test]
+    fn tenant_labeled_exposition_matches_golden() {
+        let registry = Registry::new();
+        let opened = CounterVec::new(&registry, "server_tenant_sessions_opened_total", "tenant");
+        let rejected = CounterVec::new(&registry, "server_tenant_quota_rejections_total", "tenant");
+        opened.add("acme", 3);
+        opened.incr("bet\"a");
+        rejected.incr("acme");
+        registry.gauge("server_connections").set(2);
+        let golden = "\
+# TYPE server_tenant_sessions_opened_total counter
+server_tenant_sessions_opened_total{tenant=\"acme\"} 3
+server_tenant_sessions_opened_total{tenant=\"bet\\\"a\"} 1
+# TYPE server_tenant_quota_rejections_total counter
+server_tenant_quota_rejections_total{tenant=\"acme\"} 1
+# TYPE server_connections gauge
+server_connections 2
+";
+        assert_eq!(registry.render_prometheus(), golden);
+    }
+
+    #[test]
+    fn counter_vec_caches_and_shares_series() {
+        let registry = Registry::new();
+        let vec_a = CounterVec::new(&registry, "t_total", "tenant");
+        let vec_b = CounterVec::new(&registry, "t_total", "tenant");
+        vec_a.add("x", 5);
+        vec_b.incr("x");
+        // Two independently-created families resolve to the same series.
+        assert_eq!(vec_a.with_label("x").get(), 6);
+        // Clones share the handle cache.
+        vec_a.clone().incr("x");
+        assert_eq!(vec_b.with_label("x").get(), 7);
     }
 
     #[test]

@@ -18,11 +18,17 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
-echo "==> server integration smoke test"
-ci/server_smoke.sh
+echo "==> server integration smoke test (threaded)"
+MODE=threaded ci/server_smoke.sh
 
-echo "==> chaos smoke test (faults, kill -9 restore, overload shed)"
-ci/chaos_smoke.sh
+echo "==> server integration smoke test (event loop)"
+MODE=event-loop ci/server_smoke.sh
+
+echo "==> chaos smoke test, threaded (faults, kill -9 restore, overload shed)"
+MODE=threaded ci/chaos_smoke.sh
+
+echo "==> chaos smoke test, event loop (same story on the reactor)"
+MODE=event-loop ci/chaos_smoke.sh
 
 echo "==> fleet aggregation smoke test (multi-tenant, two-level, kill -9 restore)"
 ci/agg_smoke.sh
@@ -34,6 +40,13 @@ echo "==> hotpath bench smoke (non-gating)"
 if ! cargo run --release -p mhp-bench --bin mhp-bench -- hotpath \
     --events 200000 --samples 1 --out target/BENCH_hotpath_smoke.json; then
   echo "warning: hotpath bench smoke failed (non-gating)" >&2
+fi
+
+# c10k smoke: thousands of concurrent live sessions on the event loop.
+# Non-gating — the ceiling depends on local fd limits and memory.
+echo "==> c10k smoke (non-gating)"
+if ! ci/c10k_smoke.sh; then
+  echo "warning: c10k smoke failed (non-gating)" >&2
 fi
 
 echo "ci/check.sh: all green"

@@ -5,13 +5,27 @@
 # a concurrent loadgen, scrape the Prometheus metrics query, and shut it
 # down gracefully. Fails on any protocol error, any mismatch, a missing or
 # zero core metric, or an unclean shutdown.
+#
+# MODE=threaded (default) runs the thread-per-connection front end;
+# MODE=event-loop runs the same checks against the readiness-based reactor
+# and additionally scrapes its net metrics. CI runs both.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE="${MODE:-threaded}"
+server_flags=()
+if [ "$MODE" = "event-loop" ]; then
+  server_flags+=(--event-loop)
+elif [ "$MODE" != "threaded" ]; then
+  echo "server_smoke: unknown MODE=$MODE (use threaded or event-loop)" >&2
+  exit 1
+fi
+echo "==> mode: $MODE"
 
 cargo build -q --release -p mhp-server
 
 log="$(mktemp)"
-target/release/mhp-server --addr 127.0.0.1:0 >"$log" 2>&1 &
+target/release/mhp-server --addr 127.0.0.1:0 "${server_flags[@]}" >"$log" 2>&1 &
 server_pid=$!
 trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$log"' EXIT
 
@@ -57,6 +71,24 @@ printf '%s\n' "$metrics" | grep -q '^# TYPE server_request_latency_us histogram$
   echo "server_smoke: latency histogram missing from exposition" >&2
   exit 1
 }
+
+if [ "$MODE" = "event-loop" ]; then
+  echo "==> net metrics: reactor gauges and counters after traffic"
+  value="$(printf '%s\n' "$metrics" | awk '$1 == "server_net_wakeups_total" { print $2 }')"
+  if [ -z "$value" ] || [ "$value" -eq 0 ] 2>/dev/null; then
+    echo "server_smoke: net metric server_net_wakeups_total missing or zero after traffic" >&2
+    exit 1
+  fi
+  # Present (possibly zero on a clean run), but must be exported.
+  for name in server_net_open_connections server_net_worker_queue_depth \
+              server_net_partial_frame_resumes_total \
+              server_net_write_sheds_total server_net_queue_sheds_total; do
+    printf '%s\n' "$metrics" | awk -v n="$name" '$1 == n { found = 1 } END { exit !found }' || {
+      echo "server_smoke: net metric $name missing from exposition" >&2
+      exit 1
+    }
+  done
+fi
 
 echo "==> graceful shutdown"
 target/release/mhp-client shutdown --addr "$addr"

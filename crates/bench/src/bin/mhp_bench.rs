@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! mhp-bench hotpath [--events N] [--seed S] [--batch B] [--samples K] [--out PATH]
+//! mhp-bench server  [--sessions LIST] [--threaded-sessions LIST] [--active N]
+//!                   [--events N] [--chunk B] [--out PATH]
 //! ```
 //!
 //! `hotpath` pushes a deterministic workload through each profiler
@@ -17,18 +19,101 @@
 use std::process::ExitCode;
 
 use mhp_bench::hotpath::{self, HotpathOptions};
+use mhp_bench::server_bench::{self, ServerBenchOptions};
 
 fn print_usage() {
     eprintln!(
         "usage: mhp-bench hotpath [--events N] [--seed S] [--batch B] [--samples K] [--out PATH]\n\
-         defaults: --events 2000000 --seed 51966 --batch 4096 --samples 3 --out BENCH_hotpath.json"
+         defaults: --events 2000000 --seed 51966 --batch 4096 --samples 3 --out BENCH_hotpath.json\n\
+         \n\
+         usage: mhp-bench server [--sessions LIST] [--threaded-sessions LIST]\n\
+         \x20                    [--active N] [--events N] [--chunk B] [--out PATH]\n\
+         defaults: --sessions 8,32,256,1024,2048 --threaded-sessions 8,32\n\
+         \x20         --active 8 --events 100000 --chunk 4096 --out BENCH_server.json\n\
+         (server: concurrent-session scaling, threaded front end vs --event-loop\n\
+         \x20reactor, driven by the multiplexed load generator)"
     );
+}
+
+fn parse_session_list(raw: &str) -> Option<Vec<usize>> {
+    let list: Result<Vec<usize>, _> = raw.split(',').map(|s| s.trim().parse()).collect();
+    list.ok().filter(|l| !l.is_empty())
+}
+
+fn run_server_bench(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
+    let mut opts = ServerBenchOptions::default();
+    let mut out_path = String::from("BENCH_server.json");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => match args.next().as_deref().and_then(parse_session_list) {
+                Some(list) => opts.event_loop_sessions = list,
+                None => {
+                    eprintln!("--sessions needs a comma-separated list of counts");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threaded-sessions" => match args.next().as_deref().and_then(parse_session_list) {
+                Some(list) => opts.threaded_sessions = list,
+                None => {
+                    eprintln!("--threaded-sessions needs a comma-separated list of counts");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--active" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.active = n,
+                _ => {
+                    eprintln!("--active needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--events" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.events_per_session = n,
+                _ => {
+                    eprintln!("--events needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--chunk" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.chunk_events = n,
+                _ => {
+                    eprintln!("--chunk needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = server_bench::run(&opts);
+    print!("{}", report.render());
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("hotpath") => {}
+        Some("server") => return run_server_bench(args),
         Some("--help") | Some("-h") => {
             print_usage();
             return ExitCode::SUCCESS;

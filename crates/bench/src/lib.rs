@@ -17,5 +17,6 @@
 pub mod figures;
 pub mod harness;
 pub mod hotpath;
+pub mod server_bench;
 
 pub use harness::{ProfilerKind, RunOptions};

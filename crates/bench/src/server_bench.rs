@@ -1,0 +1,223 @@
+//! The `mhp-bench server` runner: concurrent-session scaling of the
+//! profiling service, threaded front end vs the readiness-based event
+//! loop.
+//!
+//! Each row binds a fresh in-process server on an ephemeral loopback
+//! port, drives it with the multiplexed load generator
+//! ([`mhp_server::mux_loadgen`]) at a fixed concurrent-session count — a
+//! small active subset streaming ingest chunks, the rest idling attached,
+//! the fleet-realistic mix — and records acknowledged ingest throughput
+//! plus request round-trip latency quantiles. The threaded mode burns one
+//! OS thread per connection, so its rows stop where that model stops
+//! scaling; the event loop continues into the thousands.
+//!
+//! Output is the same hand-rolled stable-key JSON as the other benches
+//! (`BENCH_server.json` at the repo root, by convention).
+
+use std::time::Duration;
+
+use mhp_server::{mux_loadgen, Client, EventLoopConfig, MuxConfig, Server, ServerConfig};
+
+/// Knobs for a server-scaling run.
+#[derive(Debug, Clone)]
+pub struct ServerBenchOptions {
+    /// Session counts to run against the threaded front end.
+    pub threaded_sessions: Vec<usize>,
+    /// Session counts to run against the event loop.
+    pub event_loop_sessions: Vec<usize>,
+    /// Sessions per row that actively stream (the rest idle attached).
+    pub active: usize,
+    /// Events each active session streams.
+    pub events_per_session: usize,
+    /// Events per ingest chunk.
+    pub chunk_events: usize,
+    /// Per-row wall-clock cap before the run is declared stuck.
+    pub deadline: Duration,
+}
+
+impl Default for ServerBenchOptions {
+    fn default() -> Self {
+        ServerBenchOptions {
+            threaded_sessions: vec![8, 32],
+            event_loop_sessions: vec![8, 32, 256, 1024, 2048],
+            active: 8,
+            events_per_session: 100_000,
+            chunk_events: 4_096,
+            deadline: Duration::from_secs(300),
+        }
+    }
+}
+
+/// One (mode, session-count) measurement.
+#[derive(Debug, Clone)]
+pub struct ServerBenchRow {
+    /// `threaded` or `event-loop`.
+    pub mode: String,
+    /// Concurrent sessions held open for the whole row.
+    pub sessions: usize,
+    /// How many of them streamed events.
+    pub active: usize,
+    /// Events acknowledged across the row.
+    pub events: u64,
+    /// Error responses seen (retried, not fatal).
+    pub errors: u64,
+    /// Wall-clock for the row, connect to last ack.
+    pub elapsed_secs: f64,
+    /// Acknowledged ingest throughput.
+    pub events_per_sec: f64,
+    /// Median request round-trip, microseconds.
+    pub p50_us: u64,
+    /// Tail request round-trip, microseconds.
+    pub p99_us: u64,
+}
+
+/// The full result set of one `mhp-bench server` run.
+#[derive(Debug, Clone)]
+pub struct ServerBenchReport {
+    /// Options the run was configured with.
+    pub options: ServerBenchOptions,
+    /// One row per (mode, session count), in run order.
+    pub rows: Vec<ServerBenchRow>,
+}
+
+fn bench_one(mode: &str, sessions: usize, opts: &ServerBenchOptions) -> ServerBenchRow {
+    let config = ServerConfig {
+        max_connections: sessions + 16,
+        event_loop: (mode == "event-loop").then(EventLoopConfig::default),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind bench server");
+    let report = mux_loadgen(
+        server.local_addr(),
+        &MuxConfig {
+            sessions,
+            active: opts.active.min(sessions),
+            events_per_session: opts.events_per_session,
+            chunk_events: opts.chunk_events,
+            session_prefix: format!("bench-{mode}-{sessions}"),
+            deadline: opts.deadline,
+            ..MuxConfig::default()
+        },
+    )
+    .expect("mux loadgen run");
+    assert_eq!(
+        report.opened, sessions,
+        "{mode}/{sessions}: not every session opened"
+    );
+    let mut probe = Client::connect(server.local_addr()).expect("probe connect");
+    probe.shutdown_server().expect("shutdown");
+    server.join();
+
+    ServerBenchRow {
+        mode: mode.to_string(),
+        sessions,
+        active: report.active,
+        events: report.events,
+        errors: report.errors,
+        elapsed_secs: report.elapsed.as_secs_f64(),
+        events_per_sec: report.events_per_sec(),
+        p50_us: report.latency.quantile(0.50),
+        p99_us: report.latency.quantile(0.99),
+    }
+}
+
+/// Runs every configured (mode, session-count) row and collects the table.
+pub fn run(opts: &ServerBenchOptions) -> ServerBenchReport {
+    let mut rows = Vec::new();
+    for &sessions in &opts.threaded_sessions {
+        rows.push(bench_one("threaded", sessions, opts));
+    }
+    for &sessions in &opts.event_loop_sessions {
+        rows.push(bench_one("event-loop", sessions, opts));
+    }
+    ServerBenchReport {
+        options: opts.clone(),
+        rows,
+    }
+}
+
+impl ServerBenchReport {
+    /// Stable-key JSON document, matching the other `BENCH_*.json` files.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"server\",\n");
+        out.push_str(&format!("  \"active\": {},\n", self.options.active));
+        out.push_str(&format!(
+            "  \"events_per_session\": {},\n",
+            self.options.events_per_session
+        ));
+        out.push_str(&format!(
+            "  \"chunk_events\": {},\n",
+            self.options.chunk_events
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"sessions\": {}, \"active\": {}, \
+                 \"events\": {}, \"errors\": {}, \"elapsed_secs\": {:.3}, \
+                 \"events_per_sec\": {:.0}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+                r.mode,
+                r.sessions,
+                r.active,
+                r.events,
+                r.errors,
+                r.elapsed_secs,
+                r.events_per_sec,
+                r.p50_us,
+                r.p99_us,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "server scaling: {} active stream(s) x {} events, chunk {}\n",
+            self.options.active, self.options.events_per_session, self.options.chunk_events
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>12} {:>9} {:>9} {:>7}\n",
+            "mode", "sessions", "events/sec", "p50_us", "p99_us", "errors"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>12.0} {:>9} {:>9} {:>7}\n",
+                r.mode, r.sessions, r.events_per_sec, r.p50_us, r.p99_us, r.errors
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_rows_for_both_modes() {
+        let opts = ServerBenchOptions {
+            threaded_sessions: vec![2],
+            event_loop_sessions: vec![4],
+            active: 2,
+            events_per_session: 4_096,
+            chunk_events: 4_096,
+            deadline: Duration::from_secs(60),
+        };
+        let report = run(&opts);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].mode, "threaded");
+        assert_eq!(report.rows[1].mode, "event-loop");
+        for row in &report.rows {
+            assert!(row.events > 0, "{}: no events acked", row.mode);
+            assert!(row.events_per_sec > 0.0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"server\""));
+        assert!(json.contains("\"mode\": \"event-loop\""));
+        assert!(report.render().contains("event-loop"));
+    }
+}

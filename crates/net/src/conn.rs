@@ -1,0 +1,204 @@
+//! Per-connection state machines ([`Conn`]) and the slab that owns them.
+//!
+//! The event loop's job is routing: readiness events and timer firings go
+//! to the connection they belong to, which reacts by advancing its state
+//! machine and declaring what it wants next ([`Step`]). The [`Slab`]
+//! hands out dense indices for O(1) routing and tags each with a
+//! generation so a token that outlives its connection (a late timer, a
+//! completion from a worker thread) is detected instead of being
+//! delivered to whichever new connection reused the slot.
+
+use std::time::Instant;
+
+use crate::reactor::{Event, Interest, Token};
+
+/// What a connection wants after handling an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Stay registered with this interest. `Interest::NONE` parks the
+    /// connection (backpressure) while still observing errors/hangup.
+    Continue(Interest),
+    /// Deregister, drop and close.
+    Close,
+}
+
+/// A per-connection state machine driven by the event loop.
+///
+/// Implementations own their socket and buffers; the loop only routes.
+pub trait Conn {
+    /// The socket reported ready. Read/write until `WouldBlock`, advance
+    /// the state machine, and say what readiness to wait for next.
+    fn on_ready(&mut self, event: &Event) -> Step;
+
+    /// A deadline armed for this connection fired.
+    fn on_timer(&mut self, now: Instant) -> Step;
+}
+
+/// Generation-tagged slab of live connections.
+///
+/// Tokens pack `generation << INDEX_BITS | index`; a stale token (slot
+/// since freed or reused) simply fails to resolve.
+pub struct Slab<C> {
+    slots: Vec<Slot<C>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+struct Slot<C> {
+    generation: u32,
+    conn: Option<C>,
+}
+
+const INDEX_BITS: u32 = 32;
+const INDEX_MASK: usize = (1 << INDEX_BITS) - 1;
+
+impl<C> Default for Slab<C> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<C> std::fmt::Debug for Slab<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len)
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<C> Slab<C> {
+    /// An empty slab.
+    pub fn new() -> Slab<C> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Live connection count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no connections are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `conn`, returning its token. Slots are reused with a bumped
+    /// generation so stale tokens never alias the new occupant.
+    pub fn insert(&mut self, conn: C) -> Token {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.conn = Some(conn);
+            Token(((slot.generation as usize) << INDEX_BITS) | idx as usize)
+        } else {
+            let idx = self.slots.len();
+            self.slots.push(Slot {
+                generation: 0,
+                conn: Some(conn),
+            });
+            Token(idx)
+        }
+    }
+
+    fn resolve(&self, token: Token) -> Option<usize> {
+        let idx = token.0 & INDEX_MASK;
+        let generation = (token.0 >> INDEX_BITS) as u32;
+        let slot = self.slots.get(idx)?;
+        (slot.generation == generation && slot.conn.is_some()).then_some(idx)
+    }
+
+    /// The connection behind `token`, unless the token is stale.
+    pub fn get_mut(&mut self, token: Token) -> Option<&mut C> {
+        let idx = self.resolve(token)?;
+        self.slots[idx].conn.as_mut()
+    }
+
+    /// Removes and returns the connection behind `token`; the slot's
+    /// generation is bumped so the token (and any copies of it held by
+    /// timers or worker jobs) is dead from here on.
+    pub fn remove(&mut self, token: Token) -> Option<C> {
+        let idx = self.resolve(token)?;
+        let slot = &mut self.slots[idx];
+        slot.generation = slot.generation.wrapping_add(1);
+        let conn = slot.conn.take();
+        self.free.push(idx as u32);
+        self.len -= 1;
+        conn
+    }
+
+    /// Tokens of all live connections (for shutdown sweeps).
+    pub fn tokens(&self) -> Vec<Token> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.conn.is_some())
+            .map(|(idx, s)| Token(((s.generation as usize) << INDEX_BITS) | idx))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab: Slab<String> = Slab::new();
+        let a = slab.insert("a".into());
+        let b = slab.insert("b".into());
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get_mut(a).unwrap(), "a");
+        assert_eq!(slab.get_mut(b).unwrap(), "b");
+        assert_eq!(slab.remove(a).unwrap(), "a");
+        assert!(slab.get_mut(a).is_none());
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn stale_token_does_not_alias_reused_slot() {
+        let mut slab: Slab<u32> = Slab::new();
+        let first = slab.insert(1);
+        slab.remove(first);
+        let second = slab.insert(2);
+        // Same slot, different generation.
+        assert_ne!(first, second);
+        assert!(
+            slab.get_mut(first).is_none(),
+            "stale token must not resolve"
+        );
+        assert!(slab.remove(first).is_none());
+        assert_eq!(*slab.get_mut(second).unwrap(), 2);
+    }
+
+    #[test]
+    fn tokens_lists_only_live_connections() {
+        let mut slab: Slab<u32> = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        let c = slab.insert(3);
+        slab.remove(b);
+        let mut live = slab.tokens();
+        live.sort();
+        let mut expect = vec![a, c];
+        expect.sort();
+        assert_eq!(live, expect);
+        for t in slab.tokens() {
+            assert!(slab.get_mut(t).is_some());
+        }
+    }
+
+    #[test]
+    fn double_remove_is_none_and_len_stays_consistent() {
+        let mut slab: Slab<u8> = Slab::new();
+        let t = slab.insert(7);
+        assert!(slab.remove(t).is_some());
+        assert!(slab.remove(t).is_none());
+        assert_eq!(slab.len(), 0);
+        assert!(slab.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The entire unsafe surface of the crate: a direct `extern "C"`
+//! declaration of `poll(2)` against the libc every Rust binary already
+//! links, plus the `pollfd` layout and event bits from `<poll.h>`.
+//!
+//! Nothing else in the workspace needs FFI: sockets are created, read and
+//! written through `std::net`; only *readiness* has no safe std API, and
+//! `poll` is the one POSIX multiplexer with a stable, dependency-free ABI
+//! (no epoll instance lifecycle, no kqueue changelists).
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One entry of the `poll(2)` fd array, layout-identical to C `struct
+/// pollfd` on every POSIX platform (three natively-aligned fields, no
+/// padding surprises).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by the
+    /// kernel, which we never rely on).
+    pub fd: RawFd,
+    /// Requested events (`POLL*` bits).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+/// Data may be read without blocking.
+pub(crate) const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub(crate) const POLLOUT: i16 = 0x004;
+/// An error condition is pending (always reported, never requested).
+pub(crate) const POLLERR: i16 = 0x008;
+/// The peer hung up (always reported, never requested).
+pub(crate) const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (always reported, never requested).
+pub(crate) const POLLNVAL: i16 = 0x020;
+
+// `nfds_t` is `unsigned long` on Linux and the BSDs; `c_ulong` keeps the
+// declaration correct on both 64-bit and (theoretical) 32-bit targets.
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: std::os::raw::c_int) -> i32;
+}
+
+/// Blocks until at least one watched fd is ready, the timeout elapses
+/// (`Ok(0)`), or a signal interrupts — `EINTR` is retried here so callers
+/// never see it. `None` blocks indefinitely.
+///
+/// Returns how many entries have nonzero `revents`.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        // Round *up* so a 100µs timeout polls for 1ms instead of spinning.
+        Some(d) => d
+            .as_millis()
+            .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+            .min(i32::MAX as u128) as i32,
+    };
+    loop {
+        // SAFETY: `fds` points to `fds.len()` properly initialized,
+        // C-layout `PollFd` entries that live across the call; the kernel
+        // only writes within the array (the `revents` fields).
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+        // EINTR: retry with the full timeout. Callers poll inside a loop
+        // with their own deadline bookkeeping, so the slight overshoot is
+        // harmless and keeps this function allocation- and clock-free.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_expires_on_idle_fd() {
+        let (_a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [PollFd {
+            fd: b.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        let started = Instant::now();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(started.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn readable_fd_reports_pollin_immediately() {
+        let (mut a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        a.write_all(b"x").unwrap();
+        let mut fds = [PollFd {
+            fd: b.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn hangup_is_reported_even_when_not_requested() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        drop(a);
+        let mut fds = [PollFd {
+            fd: b.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_ne!(fds[0].revents & (POLLHUP | POLLIN), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! A hashed timer wheel for coarse per-connection deadlines.
+//!
+//! The server needs one timer per connection ("if no complete frame
+//! arrives within the read timeout, poke the state machine"), re-armed on
+//! every request — classic short-lived, usually-cancelled timers, which is
+//! exactly the workload hashed wheels were designed for (Varghese &
+//! Lauck). Insert and cancel are O(1); [`expire`](TimerWheel::expire)
+//! touches only the slots the cursor sweeps past.
+//!
+//! Precision is one tick (the reactor's poll timeout is clamped to the
+//! tick anyway, so finer resolution would be theater). Deadlines further
+//! out than one wheel revolution stay in their slot and are re-queued when
+//! the cursor reaches them with laps remaining.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::reactor::Token;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: Token,
+    /// Absolute tick at which this entry fires.
+    deadline_tick: u64,
+    /// Cancel handling: an entry is live only if the map still points at
+    /// this exact sequence number (re-arming bumps it).
+    seq: u64,
+}
+
+/// A hashed timer wheel mapping [`Token`]s to single pending deadlines.
+/// Re-scheduling a token replaces its previous deadline.
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// Live deadline per token: (deadline_tick, seq). Stale wheel entries
+    /// (cancelled or superseded) are dropped lazily when swept.
+    live: HashMap<Token, (u64, u64)>,
+    /// The next tick the cursor will process.
+    cursor_tick: u64,
+    epoch: Instant,
+    next_seq: u64,
+}
+
+impl TimerWheel {
+    /// A wheel with the given tick length and slot count. One revolution
+    /// covers `tick × nslots`; longer deadlines cost extra re-queues, not
+    /// correctness.
+    ///
+    /// # Panics
+    ///
+    /// If `tick` is zero or `nslots` is zero.
+    pub fn new(tick: Duration, nslots: usize) -> TimerWheel {
+        assert!(!tick.is_zero(), "tick must be nonzero");
+        assert!(nslots > 0, "need at least one slot");
+        TimerWheel {
+            tick,
+            slots: vec![Vec::new(); nslots],
+            live: HashMap::new(),
+            cursor_tick: 0,
+            epoch: Instant::now(),
+            next_seq: 0,
+        }
+    }
+
+    /// The wheel's tick length — a sensible reactor poll timeout.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Count of pending (scheduled, not yet fired or cancelled) timers.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.epoch);
+        // Round up: a deadline mid-tick fires at the tick after it passes,
+        // never before it.
+        (elapsed.as_nanos() / self.tick.as_nanos()) as u64
+            + u64::from(!elapsed.as_nanos().is_multiple_of(self.tick.as_nanos()))
+    }
+
+    /// Arms (or re-arms) `token` to fire once `delay` from `now` has
+    /// passed. A token has at most one pending deadline.
+    pub fn schedule(&mut self, token: Token, now: Instant, delay: Duration) {
+        let deadline_tick = self.tick_of(now + delay).max(self.cursor_tick);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(token, (deadline_tick, seq));
+        let slot = (deadline_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            token,
+            deadline_tick,
+            seq,
+        });
+    }
+
+    /// Disarms `token`'s pending deadline, if any. Returns whether one
+    /// was pending.
+    pub fn cancel(&mut self, token: Token) -> bool {
+        self.live.remove(&token).is_some()
+    }
+
+    /// Sweeps the cursor forward to `now`, appending every token whose
+    /// deadline has passed to `fired` (which is cleared first). Entries
+    /// scheduled for a later revolution are re-queued, stale entries are
+    /// dropped.
+    pub fn expire(&mut self, now: Instant, fired: &mut Vec<Token>) {
+        fired.clear();
+        // `now` is mid-tick: ticks strictly before the current one are due.
+        let due_before = (now.saturating_duration_since(self.epoch).as_nanos()
+            / self.tick.as_nanos()) as u64
+            + 1;
+        let nslots = self.slots.len() as u64;
+        // Sweep at most one full revolution; beyond that the slots repeat.
+        let sweep_end = due_before.min(self.cursor_tick + nslots);
+        while self.cursor_tick < sweep_end {
+            let slot = (self.cursor_tick % nslots) as usize;
+            let mut i = 0;
+            while i < self.slots[slot].len() {
+                let entry = self.slots[slot][i];
+                let stale = self.live.get(&entry.token) != Some(&(entry.deadline_tick, entry.seq));
+                if stale {
+                    self.slots[slot].swap_remove(i);
+                } else if entry.deadline_tick < due_before {
+                    self.slots[slot].swap_remove(i);
+                    self.live.remove(&entry.token);
+                    fired.push(entry.token);
+                } else {
+                    // A later revolution; leave it for the next lap.
+                    i += 1;
+                }
+            }
+            self.cursor_tick += 1;
+        }
+        self.cursor_tick = self.cursor_tick.max(due_before.saturating_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimerWheel {
+        TimerWheel::new(Duration::from_millis(10), 16)
+    }
+
+    #[test]
+    fn fires_after_delay_not_before() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        w.schedule(Token(1), t0, Duration::from_millis(50));
+        let mut fired = Vec::new();
+        w.expire(t0 + Duration::from_millis(20), &mut fired);
+        assert!(fired.is_empty());
+        w.expire(t0 + Duration::from_millis(75), &mut fired);
+        assert_eq!(fired, vec![Token(1)]);
+        assert_eq!(w.pending(), 0);
+        // Fired once only.
+        w.expire(t0 + Duration::from_millis(200), &mut fired);
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn cancel_suppresses_firing() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        w.schedule(Token(1), t0, Duration::from_millis(30));
+        assert!(w.cancel(Token(1)));
+        assert!(!w.cancel(Token(1)));
+        let mut fired = Vec::new();
+        w.expire(t0 + Duration::from_millis(100), &mut fired);
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn rearm_replaces_previous_deadline() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        w.schedule(Token(1), t0, Duration::from_millis(30));
+        w.schedule(Token(1), t0, Duration::from_millis(500));
+        let mut fired = Vec::new();
+        w.expire(t0 + Duration::from_millis(100), &mut fired);
+        assert!(fired.is_empty(), "old deadline must not fire after re-arm");
+        w.expire(t0 + Duration::from_millis(600), &mut fired);
+        assert_eq!(fired, vec![Token(1)]);
+    }
+
+    #[test]
+    fn deadline_beyond_one_revolution_waits_for_its_lap() {
+        // Wheel covers 160ms; schedule at 400ms, two laps out.
+        let mut w = wheel();
+        let t0 = Instant::now();
+        w.schedule(Token(9), t0, Duration::from_millis(400));
+        let mut fired = Vec::new();
+        w.expire(t0 + Duration::from_millis(200), &mut fired);
+        assert!(fired.is_empty());
+        w.expire(t0 + Duration::from_millis(450), &mut fired);
+        assert_eq!(fired, vec![Token(9)]);
+    }
+
+    #[test]
+    fn many_tokens_fire_in_their_own_ticks() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        for i in 0..100usize {
+            w.schedule(
+                Token(i),
+                t0,
+                Duration::from_millis(10 + (i as u64 % 7) * 20),
+            );
+        }
+        assert_eq!(w.pending(), 100);
+        let mut fired = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for step in 1..=40u64 {
+            w.expire(t0 + Duration::from_millis(step * 10), &mut fired);
+            for t in &fired {
+                assert!(seen.insert(*t), "token fired twice: {t:?}");
+            }
+        }
+        assert_eq!(seen.len(), 100);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn huge_sweep_gap_terminates_and_fires_everything_due() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        w.schedule(Token(1), t0, Duration::from_millis(20));
+        let mut fired = Vec::new();
+        // A sweep hours ahead must not iterate hour/tick times.
+        w.expire(t0 + Duration::from_secs(3600), &mut fired);
+        assert_eq!(fired, vec![Token(1)]);
+        // And scheduling still works afterwards.
+        let t1 = t0 + Duration::from_secs(3600);
+        w.schedule(Token(2), t1, Duration::from_millis(20));
+        w.expire(t1 + Duration::from_millis(50), &mut fired);
+        assert_eq!(fired, vec![Token(2)]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Integration: a miniature single-threaded echo server built from the
+//! crate's pieces — Reactor + Slab + TimerWheel + Conn — exercised by
+//! blocking clients from other threads. This is the same skeleton
+//! mhp-server's event loop uses, minus the protocol.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use mhp_net::{Conn, Event, Interest, Reactor, Slab, Step, TimerWheel, Token};
+
+const LISTENER: Token = Token(usize::MAX);
+const IDLE_TIMEOUT: Duration = Duration::from_millis(200);
+
+struct EchoConn {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Conn for EchoConn {
+    fn on_ready(&mut self, event: &Event) -> Step {
+        if event.error {
+            return Step::Close;
+        }
+        if event.readable {
+            let mut buf = [0u8; 4096];
+            loop {
+                match self.stream.read(&mut buf) {
+                    Ok(0) => return Step::Close,
+                    Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Step::Close,
+                }
+            }
+        }
+        while !self.pending.is_empty() {
+            match self.stream.write(&self.pending) {
+                Ok(n) => {
+                    self.pending.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Step::Continue(Interest::BOTH);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Step::Close,
+            }
+        }
+        if event.hangup {
+            return Step::Close;
+        }
+        Step::Continue(Interest::READABLE)
+    }
+
+    fn on_timer(&mut self, _now: Instant) -> Step {
+        // Idle deadline: drop the connection.
+        Step::Close
+    }
+}
+
+/// Runs the echo loop until no connections have existed for `linger`.
+fn run_echo_server(listener: TcpListener, linger: Duration) {
+    listener.set_nonblocking(true).unwrap();
+    let mut reactor = Reactor::new().unwrap();
+    reactor
+        .register(listener.as_raw_fd(), LISTENER, Interest::READABLE)
+        .unwrap();
+    let mut slab: Slab<EchoConn> = Slab::new();
+    let mut wheel = TimerWheel::new(Duration::from_millis(10), 64);
+    let mut events = Vec::new();
+    let mut fired = Vec::new();
+    let mut accepted_any = false;
+    let mut empty_since = Instant::now();
+
+    loop {
+        reactor.poll(&mut events, Some(wheel.tick())).unwrap();
+        let now = Instant::now();
+        let drained: Vec<Event> = std::mem::take(&mut events);
+        for event in drained {
+            if event.token == LISTENER {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(true).unwrap();
+                            accepted_any = true;
+                            let fd = stream.as_raw_fd();
+                            let token = slab.insert(EchoConn {
+                                stream,
+                                pending: Vec::new(),
+                            });
+                            reactor.register(fd, token, Interest::READABLE).unwrap();
+                            wheel.schedule(token, now, IDLE_TIMEOUT);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) => panic!("accept: {e}"),
+                    }
+                }
+                continue;
+            }
+            let Some(conn) = slab.get_mut(event.token) else {
+                continue; // stale: closed earlier this batch
+            };
+            match conn.on_ready(&event) {
+                Step::Continue(interest) => {
+                    reactor.set_interest(event.token, interest).unwrap();
+                    wheel.schedule(event.token, now, IDLE_TIMEOUT);
+                }
+                Step::Close => {
+                    reactor.deregister(event.token).unwrap();
+                    wheel.cancel(event.token);
+                    slab.remove(event.token);
+                }
+            }
+        }
+        wheel.expire(now, &mut fired);
+        for token in fired.drain(..) {
+            let Some(conn) = slab.get_mut(token) else {
+                continue;
+            };
+            if let Step::Close = conn.on_timer(now) {
+                reactor.deregister(token).unwrap();
+                slab.remove(token);
+            }
+        }
+        if slab.is_empty() {
+            if accepted_any && now.duration_since(empty_since) > linger {
+                return;
+            }
+        } else {
+            empty_since = now;
+        }
+    }
+}
+
+#[test]
+fn echoes_concurrent_clients_byte_identical() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || run_echo_server(listener, Duration::from_millis(100)));
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                // Distinct payload per client, sent in two chunks.
+                let payload: Vec<u8> = (0..1000u32).map(|j| ((i * 37 + j) % 251) as u8).collect();
+                stream.write_all(&payload[..300]).unwrap();
+                std::thread::sleep(Duration::from_millis(5));
+                stream.write_all(&payload[300..]).unwrap();
+                let mut back = vec![0u8; payload.len()];
+                stream.read_exact(&mut back).unwrap();
+                assert_eq!(back, payload, "client {i} echo mismatch");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    server.join().unwrap();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_timer_wheel() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || run_echo_server(listener, Duration::from_millis(100)));
+
+    // Connect, send nothing: the idle deadline must close us.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 1];
+    let n = stream.read(&mut buf).unwrap(); // EOF when server closes
+    assert_eq!(n, 0, "server should close the idle connection");
+    assert!(
+        started.elapsed() >= Duration::from_millis(150),
+        "closed before the idle deadline"
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn active_traffic_keeps_the_connection_alive_past_the_idle_deadline() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || run_echo_server(listener, Duration::from_millis(100)));
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Keep trickling for 3× the idle timeout; re-arming must keep us open.
+    let deadline = Instant::now() + 3 * IDLE_TIMEOUT;
+    while Instant::now() < deadline {
+        stream.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        stream.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    drop(stream);
+    server.join().unwrap();
+}

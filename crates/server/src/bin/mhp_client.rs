@@ -4,6 +4,7 @@
 //! mhp-client record-and-send --addr A --session NAME --stream gcc:value:42 --events 100000
 //! mhp-client query --addr A --session NAME --op topk --n 10
 //! mhp-client loadgen --addr A --clients 8 --events 100000
+//! mhp-client loadgen --addr A --sessions 2048 --active 64 --events 50000
 //! mhp-client verify --addr A --stream gcc:value:42 --events 50000
 //! mhp-client shutdown --addr A
 //! ```
@@ -14,8 +15,8 @@ use std::str::FromStr;
 use mhp_core::Tuple;
 use mhp_pipeline::{EngineConfig, ShardedEngine};
 use mhp_server::{
-    loadgen, Client, LoadgenConfig, ProfileData, ProfilerKind, ReconnectingClient, RetryPolicy,
-    ServerError, SessionConfig,
+    loadgen, mux_loadgen, Client, LoadgenConfig, MuxConfig, ProfileData, ProfilerKind,
+    ReconnectingClient, RetryPolicy, ServerError, SessionConfig,
 };
 use mhp_trace::StreamSpec;
 
@@ -33,6 +34,12 @@ commands:
                    server-wide, no --session)
   loadgen         --addr A [--clients N] [--events N] [--chunk-events N]
                   [--profiler P] [--shards N] [--interval-len N]
+                  [--sessions N] [--active N] [--deadline-secs N]
+                  (--sessions N switches to the multiplexed generator:
+                   N concurrent sessions over nonblocking connections on
+                   one thread, --active of them streaming --events each,
+                   the rest idling attached — pair with a server running
+                   --event-loop)
   verify          --addr A [--stream B:K:S] [--events N] [--profiler P]
                   [--shards N] [--interval-len N] [--threshold F] [--seed S]
                   [--retries N]
@@ -268,6 +275,31 @@ fn cmd_query(mut opts: Options) -> Result<(), ServerError> {
 
 fn cmd_loadgen(mut opts: Options) -> Result<(), ServerError> {
     let addr = opts.require("addr")?;
+    if let Some(raw) = opts.take("sessions") {
+        let sessions: usize = raw
+            .parse()
+            .map_err(|_| usage_error(&format!("invalid value {raw:?} for --sessions")))?;
+        let mut config = MuxConfig {
+            sessions,
+            active: opts.take_parsed("active", 64)?,
+            events_per_session: opts.take_parsed("events", 50_000)?,
+            chunk_events: opts.take_parsed("chunk-events", 4_096)?,
+            deadline: std::time::Duration::from_secs(opts.take_parsed("deadline-secs", 300)?),
+            ..MuxConfig::default()
+        };
+        config.session = session_config_from(&mut opts)?;
+        opts.finish()?;
+
+        let report = mux_loadgen(resolve(&addr)?, &config)?;
+        print!("{}", report.render());
+        if report.opened < config.sessions.max(1) {
+            return Err(ServerError::protocol_owned(format!(
+                "only {} of {} sessions opened",
+                report.opened, config.sessions
+            )));
+        }
+        return Ok(());
+    }
     let mut config = LoadgenConfig {
         clients: opts.take_parsed("clients", 8)?,
         events_per_client: opts.take_parsed("events", 100_000)?,

@@ -1,0 +1,760 @@
+//! The readiness-based front end: one socket thread multiplexing every
+//! connection over an [`mhp_net::Reactor`], plus a small worker pool for
+//! the sketch work, so the service holds thousands of concurrent
+//! connections instead of one thread each.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                     ┌────────────────────────────────────┐
+//!   accept ─┐         │  loop thread: poll(2) readiness    │
+//!   conn ───┤ Reactor │  · FrameDecoder resumes mid-frame  │
+//!   conn ───┤         │  · dispatch → bounded job queue ───┼──► worker pool
+//!   conn ───┘         │  · completions → write buffers     │◄── (handle_request)
+//!                     └────────────────────────────────────┘      + waker
+//! ```
+//!
+//! Each connection is a state machine ([`EConn`], implementing
+//! [`mhp_net::Conn`]): bytes arriving on a readiness event feed an
+//! incremental [`FrameDecoder`] that resumes partial frames across events;
+//! complete frames become jobs on a bounded queue; workers run the same
+//! [`handle_request`] dispatch as the threaded front end (the connection's
+//! session attachment and decode scratch move into the job and come back
+//! with the completion — one job in flight per connection keeps request
+//! order and makes the move exclusive); completions append to a bounded
+//! write buffer flushed as the socket accepts it.
+//!
+//! ## Backpressure, in order of escalation
+//!
+//! 1. **Busy connection**: while a job is in flight the connection's read
+//!    interest is dropped — the kernel's receive buffer, and eventually
+//!    the client's send buffer, absorb the pushback. No unbounded queues.
+//! 2. **Full worker queue**: the request is answered immediately with the
+//!    retryable `Overloaded` error instead of being queued.
+//! 3. **Write buffer over its cap** (client not draining responses): the
+//!    response is shed for a tiny retryable `Overloaded` error; if even
+//!    that cannot fit, the connection is closed.
+//!
+//! A peer stalling mid-frame is bounded by the same budget as the threaded
+//! front end (300 × read timeout), enforced by the reactor's timer wheel
+//! instead of per-read timeouts.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mhp_core::Tuple;
+use mhp_faults::ConnAction;
+use mhp_net::{Conn, Event, Interest, Reactor, Slab, Step, TimerWheel, Token, Waker};
+use mhp_telemetry::{Counter, Gauge};
+
+use crate::error::ErrorCode;
+use crate::protocol::{FrameDecoder, Request, Response, MAX_FRAME_BYTES};
+use crate::server::{drain_sessions, handle_request, reject_overloaded, Attachment, Shared};
+
+/// Tuning for the event-loop front end. The defaults suit a small host;
+/// all three knobs trade memory for tolerance of slow clients.
+#[derive(Debug, Clone)]
+pub struct EventLoopConfig {
+    /// Worker threads running [`handle_request`]. Socket I/O stays on the
+    /// loop thread regardless.
+    pub workers: usize,
+    /// Bounded job queue depth shared by the workers; a full queue answers
+    /// `Overloaded` instead of queueing.
+    pub worker_queue_depth: usize,
+    /// Per-connection write buffer cap, in bytes; responses that would
+    /// overflow it are shed with `Overloaded`.
+    pub max_write_buffer_bytes: usize,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> Self {
+        EventLoopConfig {
+            workers: 2,
+            worker_queue_depth: 256,
+            // Two maximal frames: one response mid-flush plus one queued.
+            max_write_buffer_bytes: 2 * (MAX_FRAME_BYTES + 4),
+        }
+    }
+}
+
+/// Reactor/connection telemetry on the shared registry (satellite of the
+/// event-loop work): scraped through the same `metrics` query /
+/// Prometheus exposition as everything else.
+#[derive(Clone)]
+struct NetMetrics {
+    /// Connections currently registered with the reactor.
+    open_connections: Gauge,
+    /// Times the reactor's poll returned due to a cross-thread wakeup
+    /// (worker completions, mostly).
+    wakeups_total: Counter,
+    /// Readiness events that resumed a partially received frame.
+    partial_frame_resumes: Counter,
+    /// Responses shed because a connection's write buffer was over cap.
+    write_sheds: Counter,
+    /// Requests answered `Overloaded` because the worker queue was full.
+    queue_sheds: Counter,
+    /// Jobs sitting in the worker queue right now.
+    worker_queue_depth: Gauge,
+}
+
+impl NetMetrics {
+    fn on_registry(registry: &mhp_telemetry::Registry) -> Self {
+        NetMetrics {
+            open_connections: registry.gauge("server_net_open_connections"),
+            wakeups_total: registry.counter("server_net_wakeups_total"),
+            partial_frame_resumes: registry.counter("server_net_partial_frame_resumes_total"),
+            write_sheds: registry.counter("server_net_write_sheds_total"),
+            queue_sheds: registry.counter("server_net_queue_sheds_total"),
+            worker_queue_depth: registry.gauge("server_net_worker_queue_depth"),
+        }
+    }
+}
+
+/// Mirror of the blocking reader's mid-frame stall budget
+/// (`MAX_MID_FRAME_TIMEOUTS` in `protocol.rs`): a peer silent for this
+/// many read-timeout periods partway through a frame is declared stalled.
+const STALL_BUDGET: u32 = 300;
+
+/// One request moved off the loop thread.
+struct Job {
+    token: Token,
+    request: Request,
+    /// The connection's session hold, moved into the job and back.
+    attached: Option<Attachment>,
+    /// The connection's decode scratch, likewise.
+    ingest_buf: Vec<Tuple>,
+    /// Injected fault: tear this job's response frame, then hang up.
+    truncate: bool,
+    started: Instant,
+}
+
+/// A finished job, headed back to the loop thread.
+struct Completion {
+    token: Token,
+    /// The encoded response body.
+    body: Vec<u8>,
+    attached: Option<Attachment>,
+    ingest_buf: Vec<Tuple>,
+    truncate: bool,
+    started: Instant,
+}
+
+/// Per-connection state machine. `Interest::NONE`-style backpressure and
+/// all protocol work live here; the loop only routes.
+struct EConn {
+    stream: TcpStream,
+    /// This connection's slab token, for tagging jobs.
+    token: Token,
+    decoder: FrameDecoder,
+    /// Pending response bytes; `write_pos..` is unflushed.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// The session hold; `None` while a job carries it.
+    attached: Option<Attachment>,
+    /// Decode scratch; moved through jobs like `attached`.
+    ingest_buf: Vec<Tuple>,
+    /// A job is in flight; read interest is dropped until it completes.
+    busy: bool,
+    /// Peer sent EOF; close once buffered frames and writes are done.
+    read_closed: bool,
+    /// Close as soon as the write buffer drains.
+    close_after_flush: bool,
+    /// Close immediately, discarding buffered writes.
+    close_now: bool,
+    shared: Arc<Shared>,
+    net: NetMetrics,
+    jobs: SyncSender<Job>,
+    write_cap: usize,
+}
+
+impl EConn {
+    /// Appends one framed body to the write buffer.
+    fn append_frame(&mut self, body: &[u8]) {
+        self.write_buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.write_buf.extend_from_slice(body);
+    }
+
+    fn buffered_writes(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Queues a response, shedding with `Overloaded` if the write buffer
+    /// is over its cap (the client is not draining responses).
+    fn queue_response(&mut self, body: &[u8]) {
+        if self.buffered_writes() + body.len() + 4 > self.write_cap {
+            self.net.write_sheds.incr();
+            self.shared.metrics.errors_total.incr();
+            let shed = Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "write buffer over capacity; back off and retry".into(),
+            }
+            .encode();
+            if self.buffered_writes() + shed.len() + 4 <= self.write_cap {
+                self.append_frame(&shed);
+            } else {
+                // Not draining even tiny error frames: cut the connection.
+                self.close_now = true;
+            }
+            return;
+        }
+        self.append_frame(body);
+    }
+
+    /// Queues an error response built from `code`/`message`.
+    fn queue_error(&mut self, code: ErrorCode, message: &str) {
+        let body = Response::Error {
+            code,
+            message: message.into(),
+        }
+        .encode();
+        self.queue_response(&body);
+    }
+
+    /// Reads everything the socket has, feeding the decoder.
+    fn drain_socket(&mut self) {
+        let resumed_partial = self.decoder.mid_frame();
+        let mut scratch = [0u8; 16 * 1024];
+        let mut any = false;
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    any = true;
+                    self.decoder.push(&scratch[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_now = true;
+                    break;
+                }
+            }
+        }
+        if any && resumed_partial {
+            self.net.partial_frame_resumes.incr();
+        }
+    }
+
+    /// Pops buffered frames and dispatches them until a job is in flight,
+    /// the frames run out, or the connection is marked for close.
+    fn dispatch_frames(&mut self) {
+        while !self.busy && !self.close_now && !self.close_after_flush {
+            let body = match self.decoder.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                Err(err) => {
+                    // Unrecoverable framing violation: answer best-effort,
+                    // then hang up — same as the threaded front end.
+                    self.shared.metrics.protocol_errors.incr();
+                    self.queue_error(err.code(), &err.wire_message());
+                    self.close_after_flush = true;
+                    break;
+                }
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.queue_error(ErrorCode::ShuttingDown, "server is shutting down");
+                self.close_after_flush = true;
+                break;
+            }
+            self.shared.metrics.requests_total.incr();
+            let request = match Request::decode(&body) {
+                Ok(request) => request,
+                Err(err) => {
+                    self.shared.metrics.protocol_errors.incr();
+                    self.shared.metrics.errors_total.incr();
+                    self.queue_error(err.code(), &err.wire_message());
+                    self.close_after_flush = true;
+                    break;
+                }
+            };
+            // Injected connection faults, mirroring the threaded handler:
+            // `Drop` cuts the connection before the request applies;
+            // `TruncateResponse` applies it but tears the acknowledgement.
+            let mut truncate = false;
+            if let Some(hook) = &self.shared.config.fault_hook {
+                match hook.on_request() {
+                    ConnAction::Drop => {
+                        self.close_now = true;
+                        break;
+                    }
+                    ConnAction::TruncateResponse => truncate = true,
+                    ConnAction::Proceed => {}
+                }
+            }
+            let job = Job {
+                token: self.token,
+                request,
+                attached: self.attached.take(),
+                ingest_buf: std::mem::take(&mut self.ingest_buf),
+                truncate,
+                started: Instant::now(),
+            };
+            match self.jobs.try_send(job) {
+                Ok(()) => {
+                    self.net.worker_queue_depth.incr();
+                    self.busy = true;
+                }
+                Err(TrySendError::Full(job)) => {
+                    // Backpressure, escalation 2: the pool is saturated.
+                    // Hand the state back and answer retryably.
+                    self.attached = job.attached;
+                    self.ingest_buf = job.ingest_buf;
+                    self.net.queue_sheds.incr();
+                    self.shared.metrics.errors_total.incr();
+                    self.queue_error(
+                        ErrorCode::Overloaded,
+                        "worker queue is full; back off and retry",
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.close_now = true;
+                }
+            }
+        }
+    }
+
+    /// Flushes buffered writes until the socket pushes back.
+    fn flush_writes(&mut self) {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.close_now = true;
+                    break;
+                }
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_now = true;
+                    break;
+                }
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos > 64 * 1024 {
+            // Reclaim the flushed prefix of a long-lived buffer.
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
+        }
+    }
+
+    /// The step this connection wants from the loop right now.
+    fn settle(&mut self) -> Step {
+        if self.close_now {
+            return Step::Close;
+        }
+        let flushed = self.buffered_writes() == 0;
+        if flushed && self.close_after_flush {
+            return Step::Close;
+        }
+        // EOF with nothing in flight: a clean hangup between requests, or
+        // — if bytes stop partway through a frame — a truncated one.
+        if flushed && self.read_closed && !self.busy {
+            if self.decoder.mid_frame() {
+                self.shared.metrics.protocol_errors.incr();
+            }
+            return Step::Close;
+        }
+        Step::Continue(Interest {
+            // Backpressure, escalation 1: a busy connection is not read.
+            readable: !self.busy && !self.read_closed && !self.close_after_flush,
+            writable: !flushed,
+        })
+    }
+
+    /// Folds a completed job back in: restore the moved state, queue the
+    /// response (or its injected torn version), and dispatch any frames
+    /// that buffered while the job ran.
+    fn on_completion(&mut self, completion: Completion) {
+        self.net.worker_queue_depth.decr();
+        self.busy = false;
+        self.attached = completion.attached;
+        self.ingest_buf = completion.ingest_buf;
+        self.shared
+            .metrics
+            .request_latency
+            .record_duration(completion.started.elapsed());
+        if completion.truncate {
+            // Injected torn frame: full length prefix, half the body, then
+            // hang up — what a server crashing mid-write produces.
+            let body = &completion.body;
+            self.write_buf
+                .extend_from_slice(&(body.len() as u32).to_le_bytes());
+            self.write_buf.extend_from_slice(&body[..body.len() / 2]);
+            self.close_after_flush = true;
+        } else {
+            self.queue_response(&completion.body);
+            self.dispatch_frames();
+        }
+        self.flush_writes();
+    }
+}
+
+impl Conn for EConn {
+    fn on_ready(&mut self, event: &Event) -> Step {
+        if event.error {
+            return Step::Close;
+        }
+        // While busy, readiness is left in the kernel buffer: POLLIN is
+        // not subscribed, and a POLLHUP (unmaskable) is re-examined after
+        // the in-flight job completes — reading here would race the job
+        // for the connection's state.
+        if !self.busy && (event.readable || event.hangup) {
+            self.drain_socket();
+            self.dispatch_frames();
+        }
+        self.flush_writes();
+        self.settle()
+    }
+
+    fn on_timer(&mut self, _now: Instant) -> Step {
+        // Armed only while a partial frame is pending; if it still is, the
+        // peer stalled mid-frame past the budget.
+        if !self.busy && self.decoder.mid_frame() {
+            self.shared.metrics.protocol_errors.incr();
+            return Step::Close;
+        }
+        self.settle()
+    }
+}
+
+/// The worker-pool thread body: run jobs through the same dispatch as the
+/// threaded front end, push the completion, wake the loop.
+fn worker(
+    jobs: Arc<Mutex<Receiver<Job>>>,
+    shared: Arc<Shared>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    waker: Waker,
+) {
+    loop {
+        let job = {
+            let guard = jobs.lock().expect("job queue lock poisoned");
+            guard.recv()
+        };
+        let Ok(mut job) = job else { return };
+        let result = handle_request(job.request, &mut job.attached, &mut job.ingest_buf, &shared);
+        let body = match result {
+            Ok(response) => response.encode(),
+            Err(err) => {
+                shared.metrics.errors_total.incr();
+                Response::Error {
+                    code: err.code(),
+                    message: err.wire_message(),
+                }
+                .encode()
+            }
+        };
+        completions
+            .lock()
+            .expect("completion queue lock poisoned")
+            .push(Completion {
+                token: job.token,
+                body,
+                attached: job.attached,
+                ingest_buf: job.ingest_buf,
+                truncate: job.truncate,
+                started: job.started,
+            });
+        waker.wake();
+    }
+}
+
+/// Sentinel token for the listener registration. Collides with a slab
+/// token only at generation `u32::MAX`, index `u32::MAX` — unreachable.
+const LISTENER: Token = Token(usize::MAX);
+
+/// Runs the event loop until shutdown: the `--event-loop` counterpart of
+/// `accept_loop`, owning the listener, every connection, the timer wheel
+/// and the worker pool. Returns after flushing in-flight work (bounded
+/// grace) and draining every session.
+pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) {
+    let config = shared
+        .config
+        .event_loop
+        .clone()
+        .expect("event_loop::run without event-loop config");
+    let net = NetMetrics::on_registry(shared.metrics.registry());
+
+    let mut reactor = match Reactor::new() {
+        Ok(reactor) => reactor,
+        Err(_) => return,
+    };
+    if listener.set_nonblocking(true).is_err()
+        || reactor
+            .register(listener.as_raw_fd(), LISTENER, Interest::READABLE)
+            .is_err()
+    {
+        return;
+    }
+
+    let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Job>(config.worker_queue_depth.max(1));
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let workers: Vec<_> = (0..config.workers.max(1))
+        .map(|_| {
+            let jobs = Arc::clone(&job_rx);
+            let shared = Arc::clone(shared);
+            let completions = Arc::clone(&completions);
+            let waker = reactor.waker();
+            std::thread::spawn(move || worker(jobs, shared, completions, waker))
+        })
+        .collect();
+
+    let mut slab: Slab<EConn> = Slab::new();
+    let tick = Duration::from_millis(50);
+    let mut wheel = TimerWheel::new(tick, 256);
+    let mut events: Vec<Event> = Vec::new();
+    let mut fired: Vec<Token> = Vec::new();
+    let mut done: Vec<Completion> = Vec::new();
+    // Set when shutdown is first observed; the drain grace deadline.
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let wakeups_before = reactor.wakeups();
+        let _ = reactor.poll(&mut events, Some(tick));
+        net.wakeups_total.add(reactor.wakeups() - wakeups_before);
+        let now = Instant::now();
+
+        // Completions first: they free connections to take buffered work.
+        done.clear();
+        std::mem::swap(
+            &mut done,
+            &mut completions.lock().expect("completion queue lock poisoned"),
+        );
+        for completion in done.drain(..) {
+            let token = completion.token;
+            let Some(conn) = slab.get_mut(token) else {
+                // The connection died mid-job; dropping the completion
+                // releases its session attachment.
+                continue;
+            };
+            conn.on_completion(completion);
+            apply_step(
+                token,
+                &mut reactor,
+                &mut wheel,
+                &mut slab,
+                &net,
+                shared,
+                now,
+            );
+        }
+
+        for event in &events {
+            let event = *event;
+            if event.token == LISTENER {
+                accept_ready(
+                    listener,
+                    shared,
+                    &net,
+                    &config,
+                    &job_tx,
+                    &mut reactor,
+                    &mut slab,
+                );
+                continue;
+            }
+            let Some(conn) = slab.get_mut(event.token) else {
+                continue; // closed earlier this batch
+            };
+            let step = conn.on_ready(&event);
+            finish_step(
+                step,
+                event.token,
+                &mut reactor,
+                &mut wheel,
+                &mut slab,
+                &net,
+                shared,
+                now,
+            );
+        }
+
+        wheel.expire(now, &mut fired);
+        for token in fired.drain(..) {
+            let Some(conn) = slab.get_mut(token) else {
+                continue;
+            };
+            let step = conn.on_timer(now);
+            finish_step(
+                step,
+                token,
+                &mut reactor,
+                &mut wheel,
+                &mut slab,
+                &net,
+                shared,
+                now,
+            );
+        }
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let deadline = *drain_deadline.get_or_insert_with(|| {
+                // Stop accepting; existing connections get a bounded grace
+                // to finish in-flight work and drain their write buffers.
+                let _ = reactor.deregister(LISTENER);
+                now + Duration::from_secs(2)
+            });
+            // Close every connection with nothing left in flight.
+            for token in slab.tokens() {
+                let conn = slab.get_mut(token).expect("live token");
+                if !conn.busy && conn.buffered_writes() == 0 {
+                    close_conn(token, &mut reactor, &mut wheel, &mut slab, &net, shared);
+                }
+            }
+            if slab.is_empty() || now >= deadline {
+                break;
+            }
+        }
+    }
+
+    // Force-close stragglers, discarding their buffered writes.
+    for token in slab.tokens() {
+        close_conn(token, &mut reactor, &mut wheel, &mut slab, &net, shared);
+    }
+    // Workers exit once every sender is gone (connections held clones,
+    // but the slab is empty now).
+    drop(job_tx);
+    for handle in workers {
+        let _ = handle.join();
+    }
+    drain_sessions(shared);
+}
+
+/// Applies a connection's settle() outcome outside `on_ready`/`on_timer`
+/// call sites (completions), where no Step was produced by the trait.
+fn apply_step(
+    token: Token,
+    reactor: &mut Reactor,
+    wheel: &mut TimerWheel,
+    slab: &mut Slab<EConn>,
+    net: &NetMetrics,
+    shared: &Arc<Shared>,
+    now: Instant,
+) {
+    let Some(conn) = slab.get_mut(token) else {
+        return;
+    };
+    let step = conn.settle();
+    finish_step(step, token, reactor, wheel, slab, net, shared, now);
+}
+
+/// Routes a [`Step`] back into the reactor: update interest and the stall
+/// timer, or tear the connection down.
+#[allow(clippy::too_many_arguments)]
+fn finish_step(
+    step: Step,
+    token: Token,
+    reactor: &mut Reactor,
+    wheel: &mut TimerWheel,
+    slab: &mut Slab<EConn>,
+    net: &NetMetrics,
+    shared: &Arc<Shared>,
+    now: Instant,
+) {
+    match step {
+        Step::Continue(interest) => {
+            let _ = reactor.set_interest(token, interest);
+            let conn = slab.get_mut(token).expect("continuing conn is live");
+            // The stall clock runs only while a partial frame is pending;
+            // fresh bytes re-arm it, completion cancels it.
+            if !conn.busy && conn.decoder.mid_frame() {
+                let stall = shared
+                    .config
+                    .read_timeout
+                    .saturating_mul(STALL_BUDGET)
+                    .max(Duration::from_millis(50));
+                wheel.schedule(token, now, stall);
+            } else {
+                wheel.cancel(token);
+            }
+        }
+        Step::Close => close_conn(token, reactor, wheel, slab, net, shared),
+    }
+}
+
+/// Deregisters, unschedules and drops one connection. Dropping the
+/// [`EConn`] releases its session attachment (if any) back to eviction.
+fn close_conn(
+    token: Token,
+    reactor: &mut Reactor,
+    wheel: &mut TimerWheel,
+    slab: &mut Slab<EConn>,
+    net: &NetMetrics,
+    shared: &Arc<Shared>,
+) {
+    if slab.remove(token).is_some() {
+        let _ = reactor.deregister(token);
+        wheel.cancel(token);
+        net.open_connections.decr();
+        shared.metrics.connections_active.decr();
+    }
+}
+
+/// Accepts every pending connection: over-capacity peers get the
+/// retryable `Overloaded` rejection, the rest join the reactor.
+fn accept_ready(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    net: &NetMetrics,
+    config: &EventLoopConfig,
+    job_tx: &SyncSender<Job>,
+    reactor: &mut Reactor,
+    slab: &mut Slab<EConn>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if slab.len() >= shared.config.max_connections {
+                    shared.metrics.connections_rejected.incr();
+                    reject_overloaded(stream);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let fd = stream.as_raw_fd();
+                shared.metrics.connections_accepted.incr();
+                shared.metrics.connections_active.incr();
+                net.open_connections.incr();
+                let token = slab.insert(EConn {
+                    stream,
+                    token: Token(0), // patched below, once known
+                    decoder: FrameDecoder::new(),
+                    write_buf: Vec::new(),
+                    write_pos: 0,
+                    attached: None,
+                    ingest_buf: Vec::new(),
+                    busy: false,
+                    read_closed: false,
+                    close_after_flush: false,
+                    close_now: false,
+                    shared: Arc::clone(shared),
+                    net: net.clone(),
+                    jobs: job_tx.clone(),
+                    write_cap: config.max_write_buffer_bytes.max(MAX_FRAME_BYTES + 4),
+                });
+                slab.get_mut(token).expect("just inserted").token = token;
+                if reactor.register(fd, token, Interest::READABLE).is_err() {
+                    slab.remove(token);
+                    net.open_connections.decr();
+                    shared.metrics.connections_active.decr();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}

@@ -57,14 +57,19 @@
 
 pub mod client;
 pub mod error;
+pub mod event_loop;
 pub mod metrics;
+pub mod mux;
 pub mod protocol;
 pub mod server;
 
 pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport, ReconnectingClient, RetryPolicy};
 pub use error::{ErrorCode, ServerError};
+pub use event_loop::EventLoopConfig;
 pub use metrics::{stat_value, Counter, Gauge, Histogram, Metrics};
+pub use mux::{mux_loadgen, MuxConfig, MuxReport};
 pub use protocol::{
-    ProfileData, ProfilerKind, Request, Response, SessionConfig, SessionInfo, MAX_FRAME_BYTES,
+    FrameDecoder, ProfileData, ProfilerKind, Request, Response, SessionConfig, SessionInfo,
+    MAX_FRAME_BYTES,
 };
 pub use server::{tenant_of, RunningServer, Server, ServerConfig, TenantQuotas};

@@ -753,6 +753,79 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, ServerError
     Ok(Some(body))
 }
 
+/// Incremental frame decoder for nonblocking connections: bytes go in as
+/// they arrive off the socket, complete frame bodies come out. This is the
+/// event-loop counterpart of [`read_frame`] — where the blocking reader
+/// parks the thread until a frame completes, the decoder buffers a partial
+/// frame across readiness events and resumes mid-frame on the next one.
+///
+/// The declared length is validated against [`MAX_FRAME_BYTES`] as soon as
+/// the 4-byte prefix is available, before the body is buffered, so an
+/// attacker declaring a 4 GiB frame costs nothing.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Unconsumed bytes: zero or more complete frames followed by at most
+    /// one partial frame. `pos` marks how far parsing has consumed;
+    /// consumed prefix is reclaimed between pushes.
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffers `bytes` exactly as received off the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix before growing, so a long-lived
+        // connection's buffer stays proportional to its unparsed bytes.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame body, or `None` when the buffered
+    /// bytes end at a frame boundary or inside an incomplete frame.
+    ///
+    /// # Errors
+    ///
+    /// A protocol-class [`ServerError`] when the buffered length prefix
+    /// declares a frame over [`MAX_FRAME_BYTES`]; the connection is
+    /// unrecoverable past this point (the stream cannot be resynced).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ServerError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(ServerError::protocol("peer declared an oversized frame"));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(body))
+    }
+
+    /// True when the buffered bytes stop partway through a frame — a
+    /// readiness event arriving now resumes mid-frame rather than starting
+    /// a fresh one.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf[self.pos..].is_empty()
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -910,5 +983,127 @@ mod tests {
             read_frame(&mut &wire[..4]).is_err(),
             "prefix only, body missing"
         );
+    }
+
+    #[test]
+    fn frame_decoder_pops_complete_frames_in_order() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        write_frame(&mut wire, &Request::Cut.encode()).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        assert_eq!(
+            Request::decode(&decoder.next_frame().unwrap().unwrap()).unwrap(),
+            Request::Stats
+        );
+        assert!(decoder.mid_frame());
+        assert_eq!(
+            Request::decode(&decoder.next_frame().unwrap().unwrap()).unwrap(),
+            Request::Cut
+        );
+        assert!(decoder.next_frame().unwrap().is_none());
+        assert!(!decoder.mid_frame(), "all bytes consumed: at a boundary");
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_resumes_one_byte_drips() {
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Request::Attach {
+                name: "drip".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let mut decoder = FrameDecoder::new();
+        for byte in &wire {
+            assert!(decoder.next_frame().unwrap().is_none());
+            decoder.push(std::slice::from_ref(byte));
+            assert!(decoder.mid_frame());
+        }
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body).unwrap(),
+            Request::Attach {
+                name: "drip".into()
+            }
+        );
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_declared_length_before_buffering() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&u32::MAX.to_le_bytes());
+        assert!(decoder.next_frame().is_err());
+    }
+
+    /// Satellite property: framed requests split at arbitrary byte
+    /// boundaries (including 1-byte drips) decode to exactly the frames
+    /// that whole-frame delivery yields.
+    #[test]
+    fn frame_decoder_is_split_invariant() {
+        proptest::run_cases("frame_decoder_is_split_invariant", 64, |rng| {
+            // A random batch of requests, including large ingest chunks so
+            // splits land mid-body, mid-prefix, everywhere.
+            let mut requests = Vec::new();
+            let count = 1 + rng.below(6) as usize;
+            for _ in 0..count {
+                let request = match rng.below(4) {
+                    0 => Request::Stats,
+                    1 => Request::TopK {
+                        n: rng.below(100) as u32,
+                    },
+                    2 => Request::Attach {
+                        name: format!("s-{}", rng.below(1000)),
+                    },
+                    _ => {
+                        let events: Vec<Tuple> = (0..rng.below(500))
+                            .map(|i| Tuple::new(i, rng.below(64)))
+                            .collect();
+                        Request::Ingest {
+                            chunk: mhp_pipeline::encode_chunk(&events),
+                        }
+                    }
+                };
+                requests.push(request);
+            }
+            let mut wire = Vec::new();
+            for request in &requests {
+                write_frame(&mut wire, &request.encode()).unwrap();
+            }
+
+            // Whole-frame delivery: one push of the entire stream.
+            let mut whole = FrameDecoder::new();
+            whole.push(&wire);
+            let mut expected = Vec::new();
+            while let Some(body) = whole.next_frame().unwrap() {
+                expected.push(body);
+            }
+            assert_eq!(expected.len(), requests.len());
+
+            // Split delivery: random cut points, biased toward tiny drips.
+            let mut split = FrameDecoder::new();
+            let mut got = Vec::new();
+            let mut offset = 0usize;
+            while offset < wire.len() {
+                let remaining = wire.len() - offset;
+                let step = if rng.below(3) == 0 {
+                    1 // 1-byte drip
+                } else {
+                    1 + rng.below(remaining.min(700) as u64) as usize
+                };
+                let step = step.min(remaining);
+                split.push(&wire[offset..offset + step]);
+                offset += step;
+                while let Some(body) = split.next_frame().unwrap() {
+                    got.push(body);
+                }
+            }
+            assert_eq!(got, expected, "split delivery diverged");
+            assert!(!split.mid_frame());
+        });
     }
 }

@@ -67,11 +67,21 @@ use crate::protocol::{
 /// Tuning for a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Connections served concurrently; one pool thread each.
+    /// Connections served concurrently; one pool thread each in threaded
+    /// mode, a slab cap in event-loop mode.
     pub max_connections: usize,
     /// Per-connection read timeout. Idle connections wake at this cadence
     /// to observe the shutdown flag.
     pub read_timeout: Duration,
+    /// Per-connection write timeout in threaded mode, so a stalled client
+    /// that stops draining its socket cannot pin a handler thread forever
+    /// mid-response. (The event loop never blocks on writes; it bounds
+    /// write buffers instead.)
+    pub write_timeout: Duration,
+    /// When set, the server runs its readiness-based event loop (one
+    /// socket thread multiplexing every connection over `poll(2)` plus a
+    /// small worker pool) instead of a thread per connection.
+    pub event_loop: Option<crate::event_loop::EventLoopConfig>,
     /// When set, a background thread appends one JSON metrics snapshot per
     /// [`metrics_export_interval`](Self::metrics_export_interval) to this
     /// file (JSONL), plus a final snapshot at shutdown.
@@ -158,6 +168,8 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 32,
             read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(30),
+            event_loop: None,
             metrics_export_path: None,
             metrics_export_interval: Duration::from_secs(10),
             state_dir: None,
@@ -171,7 +183,7 @@ impl Default for ServerConfig {
 }
 
 /// One named, server-resident profiling session.
-struct Session {
+pub(crate) struct Session {
     config: SessionConfig,
     /// The session's tenant, derived from its name once at open/restore.
     tenant: String,
@@ -286,7 +298,7 @@ impl Session {
 /// A connection's hold on a session. The count is what shields a session
 /// from eviction, so the hold is released in `Drop` — every exit path of
 /// the connection handler, clean or not, decrements it.
-struct Attachment {
+pub(crate) struct Attachment {
     name: String,
     session: Arc<Session>,
 }
@@ -435,10 +447,10 @@ impl Tenancy {
 }
 
 /// Shared state every connection handler sees.
-struct Shared {
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
     sessions: Registry,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     durability: Durability,
     tenancy: Tenancy,
     /// Engine metric handles every session's engine reports through; on
@@ -449,7 +461,7 @@ struct Shared {
     sketch_sink: Arc<dyn IntrospectionSink>,
     /// Zero point for session last-touch timestamps.
     epoch: Instant,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
@@ -519,11 +531,15 @@ impl Server {
             std::thread::spawn(move || eviction_loop(&shared))
         });
 
-        let (done_tx, done_rx) = std::sync::mpsc::channel();
         let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::spawn(move || {
-            accept_loop(&listener, &accept_shared, &done_tx, &done_rx);
-        });
+        let accept_handle = if shared.config.event_loop.is_some() {
+            std::thread::spawn(move || crate::event_loop::run(&listener, &accept_shared))
+        } else {
+            std::thread::spawn(move || {
+                let (done_tx, done_rx) = std::sync::mpsc::channel();
+                accept_loop(&listener, &accept_shared, &done_tx, &done_rx);
+            })
+        };
 
         Ok(RunningServer {
             local_addr,
@@ -932,7 +948,7 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 if live >= shared.config.max_connections {
                     shared.metrics.connections_rejected.incr();
-                    reject_busy(stream);
+                    reject_overloaded(stream);
                     continue;
                 }
                 live += 1;
@@ -959,6 +975,13 @@ fn accept_loop(
     for handle in handles {
         let _ = handle.join();
     }
+    drain_sessions(shared);
+}
+
+/// Final session teardown, shared by both front ends: checkpoint every
+/// session while its engine is still live (when a state dir is
+/// configured), then join its shard workers.
+pub(crate) fn drain_sessions(shared: &Shared) {
     let sessions: Vec<(String, Arc<Session>)> = {
         let mut registry = shared.sessions.lock().expect("registry lock poisoned");
         registry.drain().collect()
@@ -972,12 +995,17 @@ fn accept_loop(
     }
 }
 
-/// Best-effort `busy` response to an over-limit connection.
-fn reject_busy(stream: TcpStream) {
+/// Best-effort rejection of an over-limit connection with the retryable
+/// `Overloaded` code, so a `ReconnectingClient` backs off and tries again
+/// instead of giving up (being at the connection cap is transient by
+/// nature). The write is bounded: a peer that cannot even absorb one tiny
+/// frame is not worth waiting on.
+pub(crate) fn reject_overloaded(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let mut writer = BufWriter::new(stream);
     let body = Response::Error {
-        code: ErrorCode::Busy,
-        message: "server is at its connection limit".into(),
+        code: ErrorCode::Overloaded,
+        message: "server is at its connection limit; back off and retry".into(),
     }
     .encode();
     let _ = write_frame(&mut writer, &body);
@@ -988,6 +1016,9 @@ fn reject_busy(stream: TcpStream) {
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    // A stalled peer that stops draining its socket bounds us to one write
+    // timeout per syscall instead of pinning this thread forever.
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -1098,8 +1129,12 @@ fn respond_error(writer: &mut impl Write, err: &ServerError) {
     let _ = write_frame(writer, &body);
 }
 
-/// Dispatches one decoded request against the shared state.
-fn handle_request(
+/// Dispatches one decoded request against the shared state. Used by both
+/// front ends: threaded handlers call it on their own thread; the event
+/// loop's worker pool calls it with the connection's attachment and
+/// scratch buffer moved into the job (one job in flight per connection,
+/// so the move is exclusive).
+pub(crate) fn handle_request(
     request: Request,
     attached: &mut Option<Attachment>,
     ingest_buf: &mut Vec<Tuple>,

@@ -259,8 +259,8 @@ fn metrics_export_writes_jsonl_snapshots() {
     let _ = std::fs::remove_file(&path);
 }
 
-/// Connections beyond the limit receive a graceful `busy` error response
-/// instead of hanging or being reset.
+/// Connections beyond the limit receive a graceful, retryable
+/// `overloaded` error response instead of hanging or being reset.
 #[test]
 fn over_limit_connections_are_rejected_gracefully() {
     let server = Server::bind(
@@ -277,11 +277,12 @@ fn over_limit_connections_are_rejected_gracefully() {
         .unwrap();
 
     // The accept loop is single-threaded, so after the first client's
-    // request round-trips, a second connection must see `busy`.
+    // request round-trips, a second connection must see `overloaded` —
+    // a retryable code, so well-behaved clients back off and reconnect.
     let mut second = Client::connect(server.local_addr()).unwrap();
     match second.call(&mhp_server::Request::Stats) {
-        Ok(mhp_server::Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Busy),
-        other => panic!("expected busy rejection, got {other:?}"),
+        Ok(mhp_server::Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("expected overloaded rejection, got {other:?}"),
     }
     drop(second);
     drop(first);

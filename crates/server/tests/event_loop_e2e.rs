@@ -1,0 +1,274 @@
+//! Event-loop acceptance tests: the readiness-based front end behind
+//! `--event-loop` must be observationally identical to the threaded one —
+//! bit-for-bit snapshots, the same typed errors, the same fault-injection
+//! recovery story — while multiplexing every connection onto one reactor
+//! thread plus a small worker pool.
+
+use std::io::Write;
+use std::time::Duration;
+
+use mhp_core::Tuple;
+use mhp_faults::{FaultKind, FaultPlan};
+use mhp_pipeline::{EngineConfig, ShardedEngine};
+use mhp_server::{
+    mux_loadgen, Client, ErrorCode, EventLoopConfig, MuxConfig, ProfileData, ProfilerKind,
+    ReconnectingClient, RetryPolicy, Server, ServerConfig, SessionConfig,
+};
+use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+
+fn workload(seed: u64, n: usize) -> Vec<Tuple> {
+    StreamSpec::new(Benchmark::Gcc, StreamKind::Value, seed)
+        .events()
+        .take(n)
+        .collect()
+}
+
+fn offline_profiles(config: &SessionConfig, events: &[Tuple]) -> Vec<ProfileData> {
+    let interval = mhp_core::IntervalConfig::new(config.interval_len, config.threshold).unwrap();
+    let engine = ShardedEngine::new(
+        EngineConfig::new(config.shards as usize),
+        interval,
+        config.kind.spec(),
+        config.seed,
+    );
+    let report = engine.run(events.iter().copied()).unwrap();
+    report
+        .profiles
+        .iter()
+        .map(ProfileData::from_profile)
+        .collect()
+}
+
+fn event_loop_config() -> ServerConfig {
+    ServerConfig {
+        event_loop: Some(EventLoopConfig::default()),
+        ..ServerConfig::default()
+    }
+}
+
+/// Value of an unlabelled metric in the Prometheus text exposition.
+fn metric_value(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .find_map(|line| line.strip_prefix(name)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from exposition"))
+}
+
+/// The tentpole equivalence criterion, now against the reactor: a workload
+/// streamed over the event-loop server yields snapshots bit-identical to
+/// an offline single-process run.
+#[test]
+fn event_loop_snapshots_match_offline_runs_exactly() {
+    let server = Server::bind("127.0.0.1:0", event_loop_config()).unwrap();
+    let events = workload(42, 25_000);
+
+    let configs = [
+        SessionConfig {
+            kind: ProfilerKind::MultiHash,
+            shards: 1,
+            interval_len: 5_000,
+            threshold: 0.01,
+            seed: 7,
+        },
+        SessionConfig {
+            kind: ProfilerKind::Perfect,
+            shards: 4,
+            interval_len: 5_000,
+            threshold: 0.01,
+            seed: 7,
+        },
+    ];
+    for (idx, config) in configs.iter().enumerate() {
+        let expected = offline_profiles(config, &events);
+        assert_eq!(expected.len(), 5);
+
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .open_session(&format!("equiv-{idx}"), config.clone())
+            .unwrap();
+        let mut totals = (0, 0);
+        for chunk in events.chunks(1_024) {
+            totals = client.ingest(chunk).unwrap();
+        }
+        assert_eq!(totals, (25_000, 5), "{}", config.kind.name());
+
+        for (interval, reference) in expected.iter().enumerate() {
+            let got = client.snapshot(interval as u64).unwrap().unwrap();
+            assert_eq!(
+                got,
+                *reference,
+                "{} interval {interval}",
+                config.kind.name()
+            );
+        }
+        client.close_session().unwrap();
+    }
+
+    let mut probe = Client::connect(server.local_addr()).unwrap();
+    probe.shutdown_server().unwrap();
+    server.join();
+}
+
+/// A request dripped one byte at a time must decode exactly as a request
+/// delivered whole: the connection state machine parks mid-frame between
+/// readiness events and resumes without losing bytes. The reactor's
+/// partial-frame-resume counter proves the slow path actually ran.
+#[test]
+fn dripped_requests_resume_mid_frame() {
+    let server = Server::bind("127.0.0.1:0", event_loop_config()).unwrap();
+
+    // Hand-roll the drip on a raw socket so nothing buffers for us.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_nodelay(true).unwrap();
+    let body = mhp_server::Request::Stats.encode();
+    let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&body);
+    for byte in &wire {
+        raw.write_all(std::slice::from_ref(byte)).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let response = mhp_server::protocol::read_frame(&mut raw)
+        .unwrap()
+        .expect("server closed instead of answering the dripped request");
+    match mhp_server::Response::decode(&response).unwrap() {
+        mhp_server::Response::Stats(text) => assert!(text.contains("requests_total")),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    drop(raw);
+
+    let mut probe = Client::connect(server.local_addr()).unwrap();
+    let exposition = probe.metrics().unwrap();
+    assert!(
+        metric_value(&exposition, "server_net_partial_frame_resumes_total") > 0,
+        "dripped request never exercised the mid-frame resume path"
+    );
+    probe.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Connection-level fault injection behaves identically under the event
+/// loop: dropped connections and truncated response frames are survived by
+/// a reconnecting client, and results stay bit-identical to an
+/// uninterrupted run.
+#[test]
+fn conn_faults_recover_bit_identically_under_event_loop() {
+    let events = workload(11, 25_000);
+    let config = SessionConfig {
+        kind: ProfilerKind::MultiHash,
+        shards: 1,
+        interval_len: 5_000,
+        threshold: 0.01,
+        seed: 7,
+    };
+    let expected = offline_profiles(&config, &events);
+
+    for kind in [FaultKind::DropConnection, FaultKind::TruncateFrame] {
+        let hook = FaultPlan::new(0xC0FFEE).with_fault(kind, 4).arm();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                fault_hook: Some(hook.clone()),
+                ..event_loop_config()
+            },
+        )
+        .unwrap();
+
+        let mut client = ReconnectingClient::open(
+            server.local_addr(),
+            &format!("chaos-{}", kind.name()),
+            config.clone(),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        for chunk in events.chunks(1_000) {
+            client.ingest(chunk).unwrap();
+        }
+        for (interval, reference) in expected.iter().enumerate() {
+            let got = client.snapshot(interval as u64).unwrap().unwrap();
+            assert_eq!(got, *reference, "{} interval {interval}", kind.name());
+        }
+        client.close_session().unwrap();
+        assert_eq!(hook.injected(kind), 1, "{}: fault never fired", kind.name());
+        assert!(client.connects() >= 2, "{}: never reconnected", kind.name());
+
+        let mut probe = Client::connect(server.local_addr()).unwrap();
+        probe.shutdown_server().unwrap();
+        server.join();
+    }
+}
+
+/// Beyond `max_connections` the event loop answers with a retryable
+/// `overloaded` rejection, exactly like the threaded front end.
+#[test]
+fn event_loop_rejects_over_capacity_with_overloaded() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 1,
+            ..event_loop_config()
+        },
+    )
+    .unwrap();
+    let mut first = Client::connect(server.local_addr()).unwrap();
+    first
+        .open_session("holder", SessionConfig::default_multi_hash())
+        .unwrap();
+
+    let mut second = Client::connect(server.local_addr()).unwrap();
+    match second.call(&mhp_server::Request::Stats) {
+        Ok(mhp_server::Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("expected overloaded rejection, got {other:?}"),
+    }
+    drop(second);
+
+    first.close_session().unwrap();
+    first.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The multiplexed load generator holds hundreds of concurrent sessions
+/// open against the reactor from a single thread; every session opens, the
+/// active subset streams to completion, and the server's gauges agree.
+#[test]
+fn mux_loadgen_holds_hundreds_of_concurrent_sessions() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 4_096,
+            ..event_loop_config()
+        },
+    )
+    .unwrap();
+
+    let report = mux_loadgen(
+        server.local_addr(),
+        &MuxConfig {
+            sessions: 256,
+            active: 16,
+            events_per_session: 8_192,
+            chunk_events: 4_096,
+            session_prefix: "mux-e2e".to_string(),
+            deadline: Duration::from_secs(120),
+            ..MuxConfig::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(report.opened, 256, "every session must open");
+    assert_eq!(report.requests, 16 * 2, "2 chunks per active session");
+    assert_eq!(report.events, 16 * 8_192);
+
+    // The server really did see them all: every one of the 256 sessions
+    // opened (mux holds every connection until the run completes, so the
+    // peak concurrency equals the session count).
+    let mut probe = Client::connect(server.local_addr()).unwrap();
+    let exposition = probe.metrics().unwrap();
+    assert_eq!(
+        metric_value(&exposition, "server_sessions_opened_total"),
+        256
+    );
+    assert!(metric_value(&exposition, "server_net_wakeups_total") > 0);
+    probe.shutdown_server().unwrap();
+    server.join();
+}

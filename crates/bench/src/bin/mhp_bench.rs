@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! mhp-bench hotpath [--events N] [--seed S] [--batch B] [--samples K] [--out PATH]
+//! mhp-bench profile [--tool auto|perf|samply] [--events N] [--seed S]
+//!                   [--batch B] [--samples K] [--out PATH]
 //! mhp-bench server  [--sessions LIST] [--threaded-sessions LIST] [--active N]
 //!                   [--events N] [--chunk B] [--out PATH]
 //! ```
@@ -19,12 +21,18 @@
 use std::process::ExitCode;
 
 use mhp_bench::hotpath::{self, HotpathOptions};
+use mhp_bench::profile::{self, ProfileOptions, ProfileTool};
 use mhp_bench::server_bench::{self, ServerBenchOptions};
 
 fn print_usage() {
     eprintln!(
         "usage: mhp-bench hotpath [--events N] [--seed S] [--batch B] [--samples K] [--out PATH]\n\
          defaults: --events 2000000 --seed 51966 --batch 4096 --samples 3 --out BENCH_hotpath.json\n\
+         \n\
+         usage: mhp-bench profile [--tool auto|perf|samply] [--events N] [--seed S]\n\
+         \x20                     [--batch B] [--samples K] [--out PATH]\n\
+         (profile: run the hotpath workload under perf record / samply record;\n\
+         \x20default --out is perf.data or profile.json, per tool)\n\
          \n\
          usage: mhp-bench server [--sessions LIST] [--threaded-sessions LIST]\n\
          \x20                    [--active N] [--events N] [--chunk B] [--out PATH]\n\
@@ -33,6 +41,75 @@ fn print_usage() {
          (server: concurrent-session scaling, threaded front end vs --event-loop\n\
          \x20reactor, driven by the multiplexed load generator)"
     );
+}
+
+fn run_profile(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
+    let mut opts = ProfileOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tool" => match args.next().as_deref().and_then(ProfileTool::parse) {
+                Some(tool) => opts.tool = tool,
+                None => {
+                    eprintln!("--tool needs one of: auto, perf, samply");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--events" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.hotpath.events = n,
+                _ => {
+                    eprintln!("--events needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => opts.hotpath.seed = s,
+                _ => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(b)) if b > 0 => opts.hotpath.batch = b,
+                _ => {
+                    eprintln!("--batch needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--samples" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(k)) if k > 0 => opts.hotpath.samples = k,
+                _ => {
+                    eprintln!("--samples needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => opts.out = Some(path),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match profile::run(&opts) {
+        Ok(out) => {
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("profile: {message}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn parse_session_list(raw: &str) -> Option<Vec<usize>> {
@@ -113,6 +190,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("hotpath") => {}
+        Some("profile") => return run_profile(args),
         Some("server") => return run_server_bench(args),
         Some("--help") | Some("-h") => {
             print_usage();

@@ -74,8 +74,30 @@ pub struct HotpathCase {
 pub struct HotpathReport {
     /// Options the run was configured with.
     pub options: HotpathOptions,
+    /// CPUs available to this run (`available_parallelism`). The scaling
+    /// numbers are meaningless without it: on a 1-CPU box even a perfect
+    /// 8-shard engine cannot beat 1× speedup.
+    pub cpus: usize,
     /// One entry per (profiler, mode) configuration, in run order.
     pub cases: Vec<HotpathCase>,
+}
+
+/// Shard-scaling summary: the widest engine case against the 1-shard
+/// baseline, normalized by how many cores were physically available.
+#[derive(Debug, Clone)]
+pub struct Scaling {
+    /// The widest shard count measured (8, with default options).
+    pub shards: usize,
+    /// `engine-<shards>shard` ÷ `engine-1shard` throughput — the raw
+    /// speedup, bounded above by the core count, not the shard count.
+    pub speedup: f64,
+    /// CPUs available during the run.
+    pub cpus: usize,
+    /// `speedup ÷ min(shards, cpus)` — fraction of the physically
+    /// achievable linear speedup realized. 1.0 is perfect scaling on the
+    /// hardware at hand; comparing raw speedup to the shard count would
+    /// report a phantom regression on machines with fewer cores.
+    pub efficiency: f64,
 }
 
 /// Times `pass` `samples` times and returns the best seconds plus the
@@ -194,9 +216,9 @@ pub fn run(opts: &HotpathOptions) -> HotpathReport {
                 opts.seed,
             );
             let mut session = engine.start().expect("engine starts");
-            session
-                .push_all(stream.iter().copied())
-                .expect("workers stay alive");
+            // The bulk dispatch path: partition-and-append without the
+            // per-event interval bookkeeping, same as server ingest.
+            session.push_slice(&stream).expect("workers stay alive");
             let report = session.finish().expect("engine finishes");
             report.intervals
         }));
@@ -204,11 +226,34 @@ pub fn run(opts: &HotpathOptions) -> HotpathReport {
 
     HotpathReport {
         options: opts.clone(),
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         cases,
     }
 }
 
 impl HotpathReport {
+    /// The shard-scaling summary, when the run measured a multi-shard
+    /// engine case alongside the 1-shard baseline.
+    pub fn scaling(&self) -> Option<Scaling> {
+        let shards = self
+            .options
+            .shards
+            .iter()
+            .copied()
+            .max()
+            .filter(|&s| s > 1)?;
+        let base = self.events_per_sec("engine-1shard", "batched")?;
+        let wide = self.events_per_sec(&format!("engine-{shards}shard"), "batched")?;
+        let speedup = wide / base.max(f64::MIN_POSITIVE);
+        let achievable = shards.min(self.cpus).max(1);
+        Some(Scaling {
+            shards,
+            speedup,
+            cpus: self.cpus,
+            efficiency: speedup / achievable as f64,
+        })
+    }
+
     /// The report as a JSON document with stable keys.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -217,6 +262,15 @@ impl HotpathReport {
         out.push_str(&format!("  \"seed\": {},\n", self.options.seed));
         out.push_str(&format!("  \"batch\": {},\n", self.options.batch));
         out.push_str(&format!("  \"samples\": {},\n", self.options.samples));
+        out.push_str(&format!("  \"cpus\": {},\n", self.cpus));
+        match self.scaling() {
+            Some(s) => out.push_str(&format!(
+                "  \"scaling\": {{\"shards\": {}, \"speedup\": {:.3}, \"cpus\": {}, \
+                 \"scaling_efficiency\": {:.3}}},\n",
+                s.shards, s.speedup, s.cpus, s.efficiency
+            )),
+            None => out.push_str("  \"scaling\": null,\n"),
+        }
         out.push_str("  \"cases\": [\n");
         for (i, c) in self.cases.iter().enumerate() {
             out.push_str(&format!(
@@ -249,6 +303,13 @@ impl HotpathReport {
             out.push_str(&format!(
                 "{:<16} {:<10} {:>12.0} {:>10.4} {:>10}\n",
                 c.name, c.mode, c.events_per_sec, c.best_secs, c.intervals
+            ));
+        }
+        if let Some(s) = self.scaling() {
+            out.push_str(&format!(
+                "scaling: {} shards vs 1 -> {:.2}x speedup on {} cpu(s); \
+                 efficiency {:.2} (speedup / min(shards, cpus))\n",
+                s.shards, s.speedup, s.cpus, s.efficiency
             ));
         }
         out
@@ -437,12 +498,42 @@ mod tests {
         let report = run(&tiny());
         let json = report.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        for key in ["\"benchmark\"", "\"events\"", "\"seed\"", "\"cases\""] {
+        for key in [
+            "\"benchmark\"",
+            "\"events\"",
+            "\"seed\"",
+            "\"cpus\"",
+            "\"scaling\"",
+            "\"cases\"",
+        ] {
             assert!(json.contains(key), "missing {key}");
         }
         assert!(json.contains("\"multi-hash\""));
         assert!(json.contains("\"engine-1shard\""));
         assert_eq!(json.matches("\"best_secs\"").count(), report.cases.len());
+        // A 1-shard-only run has no scaling ratio to report.
+        assert!(json.contains("\"scaling\": null"));
+    }
+
+    #[test]
+    fn multi_shard_runs_report_a_cores_normalized_scaling_summary() {
+        let report = run(&HotpathOptions {
+            shards: vec![1, 2],
+            ..tiny()
+        });
+        let scaling = report.scaling().expect("1-vs-2-shard run has a ratio");
+        assert_eq!(scaling.shards, 2);
+        assert_eq!(scaling.cpus, report.cpus);
+        assert!(scaling.speedup > 0.0);
+        // The normalizer is the *achievable* parallelism, so efficiency
+        // compares against min(shards, cpus) — never the raw shard count
+        // on a narrower machine.
+        let achievable = scaling.shards.min(scaling.cpus).max(1) as f64;
+        let expected = scaling.speedup / achievable;
+        assert!((scaling.efficiency - expected).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"scaling_efficiency\""));
+        assert!(report.render().contains("scaling: 2 shards vs 1"));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 pub mod figures;
 pub mod harness;
 pub mod hotpath;
+pub mod profile;
 pub mod server_bench;
 
 pub use harness::{ProfilerKind, RunOptions};

@@ -1,0 +1,294 @@
+//! The `mhp-bench profile` runner: re-invokes the hotpath workload under
+//! a sampling profiler (`perf record` or `samply record`), so "where do
+//! the dispatch-plane cycles go" is one command instead of a hand-built
+//! incantation.
+//!
+//! The subcommand is a thin wrapper: it resolves which profiler is
+//! installed, builds the exact argv (a pure function, so tests cover the
+//! command shape without needing the tools), and execs it around
+//! `mhp-bench hotpath` with the workload flags passed through. Missing
+//! tools fail with an actionable message instead of a spawn error.
+
+use std::process::Command;
+
+use crate::hotpath::HotpathOptions;
+
+/// Which sampling profiler to wrap the workload in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileTool {
+    /// Probe for `perf` first, then `samply`; error if neither exists.
+    Auto,
+    /// Linux `perf record -g` (output: a `perf.data` for `perf report`).
+    Perf,
+    /// `samply record --save-only` (output: a Firefox Profiler JSON).
+    Samply,
+}
+
+impl ProfileTool {
+    /// Parses the `--tool` flag value.
+    pub fn parse(raw: &str) -> Option<ProfileTool> {
+        match raw {
+            "auto" => Some(ProfileTool::Auto),
+            "perf" => Some(ProfileTool::Perf),
+            "samply" => Some(ProfileTool::Samply),
+            _ => None,
+        }
+    }
+}
+
+/// Options for one profiling run.
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Profiler to use (or probe for).
+    pub tool: ProfileTool,
+    /// Profiler output path (`perf.data` / `profile.json` by default,
+    /// picked per tool when empty).
+    pub out: Option<String>,
+    /// The hotpath workload to run under the profiler.
+    pub hotpath: HotpathOptions,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            tool: ProfileTool::Auto,
+            out: None,
+            hotpath: HotpathOptions::default(),
+        }
+    }
+}
+
+/// A concrete, installed profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedTool {
+    /// `perf` was selected.
+    Perf,
+    /// `samply` was selected.
+    Samply,
+}
+
+impl ResolvedTool {
+    /// The default output path for this tool's native format.
+    pub fn default_out(self) -> &'static str {
+        match self {
+            ResolvedTool::Perf => "perf.data",
+            ResolvedTool::Samply => "profile.json",
+        }
+    }
+}
+
+/// Picks the profiler to run, probing availability through `installed`
+/// (a closure, so tests can simulate any install state).
+///
+/// # Errors
+///
+/// A human-actionable message naming the missing tool(s) and how to get
+/// them.
+pub fn resolve_tool(
+    tool: ProfileTool,
+    installed: impl Fn(&str) -> bool,
+) -> Result<ResolvedTool, String> {
+    match tool {
+        ProfileTool::Perf => {
+            if installed("perf") {
+                Ok(ResolvedTool::Perf)
+            } else {
+                Err("perf is not installed (linux-tools package provides it)".to_string())
+            }
+        }
+        ProfileTool::Samply => {
+            if installed("samply") {
+                Ok(ResolvedTool::Samply)
+            } else {
+                Err("samply is not installed (`cargo install samply` provides it)".to_string())
+            }
+        }
+        ProfileTool::Auto => {
+            if installed("perf") {
+                Ok(ResolvedTool::Perf)
+            } else if installed("samply") {
+                Ok(ResolvedTool::Samply)
+            } else {
+                Err("no profiler found: install perf (linux-tools) or samply \
+                     (`cargo install samply`), or pass --tool explicitly"
+                    .to_string())
+            }
+        }
+    }
+}
+
+/// The child workload argv: the current binary's `hotpath` subcommand
+/// with the workload knobs passed through, writing its JSON out of the
+/// way of the committed reference run.
+pub fn workload_args(opts: &HotpathOptions) -> Vec<String> {
+    vec![
+        "hotpath".to_string(),
+        "--events".to_string(),
+        opts.events.to_string(),
+        "--seed".to_string(),
+        opts.seed.to_string(),
+        "--batch".to_string(),
+        opts.batch.to_string(),
+        "--samples".to_string(),
+        opts.samples.to_string(),
+        "--out".to_string(),
+        "BENCH_hotpath_profile.json".to_string(),
+    ]
+}
+
+/// Builds the full profiler argv around the workload: a pure function of
+/// its inputs, so the command shape is unit-testable without the tools
+/// installed.
+pub fn command_line(tool: ResolvedTool, out: &str, exe: &str, workload: &[String]) -> Vec<String> {
+    let mut argv: Vec<String> = match tool {
+        ResolvedTool::Perf => vec![
+            "perf".to_string(),
+            "record".to_string(),
+            // Call graphs make the dispatch plane legible in `perf report`.
+            "-g".to_string(),
+            "--output".to_string(),
+            out.to_string(),
+            "--".to_string(),
+        ],
+        ResolvedTool::Samply => vec![
+            "samply".to_string(),
+            "record".to_string(),
+            // Save the profile instead of launching the viewer: CI boxes
+            // and ssh sessions have no browser to hand the result to.
+            "--save-only".to_string(),
+            "--output".to_string(),
+            out.to_string(),
+            "--".to_string(),
+        ],
+    };
+    argv.push(exe.to_string());
+    argv.extend(workload.iter().cloned());
+    argv
+}
+
+/// True if `tool --version` (or `--help` for perf, whose `--version`
+/// behaves) can be spawned at all.
+fn tool_installed(name: &str) -> bool {
+    Command::new(name)
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Resolves the profiler, rebuilds this binary's invocation around it,
+/// and runs the wrapped workload to completion.
+///
+/// # Errors
+///
+/// Missing tools (see [`resolve_tool`]), spawn failures, and non-zero
+/// profiler exits, all as printable strings.
+pub fn run(opts: &ProfileOptions) -> Result<String, String> {
+    let tool = resolve_tool(opts.tool, tool_installed)?;
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| tool.default_out().to_string());
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the current executable: {e}"))?;
+    let argv = command_line(
+        tool,
+        &out,
+        &exe.display().to_string(),
+        &workload_args(&opts.hotpath),
+    );
+    eprintln!("profile: {}", argv.join(" "));
+    let status = Command::new(&argv[0])
+        .args(&argv[1..])
+        .status()
+        .map_err(|e| format!("failed to spawn {}: {e}", argv[0]))?;
+    if !status.success() {
+        return Err(format!("{} exited with {status}", argv[0]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_prefers_perf_then_samply_then_fails_actionably() {
+        assert_eq!(
+            resolve_tool(ProfileTool::Auto, |_| true),
+            Ok(ResolvedTool::Perf)
+        );
+        assert_eq!(
+            resolve_tool(ProfileTool::Auto, |name| name == "samply"),
+            Ok(ResolvedTool::Samply)
+        );
+        let err = resolve_tool(ProfileTool::Auto, |_| false).unwrap_err();
+        assert!(err.contains("perf") && err.contains("samply"), "{err}");
+    }
+
+    #[test]
+    fn explicit_tool_choices_fail_when_missing() {
+        assert_eq!(
+            resolve_tool(ProfileTool::Perf, |name| name == "perf"),
+            Ok(ResolvedTool::Perf)
+        );
+        assert!(resolve_tool(ProfileTool::Perf, |_| false)
+            .unwrap_err()
+            .contains("perf"));
+        assert!(resolve_tool(ProfileTool::Samply, |_| false)
+            .unwrap_err()
+            .contains("cargo install samply"));
+    }
+
+    #[test]
+    fn perf_command_wraps_the_workload_with_call_graphs() {
+        let workload = workload_args(&HotpathOptions::default());
+        let argv = command_line(ResolvedTool::Perf, "perf.data", "/bin/mhp-bench", &workload);
+        assert_eq!(
+            &argv[..6],
+            &["perf", "record", "-g", "--output", "perf.data", "--"]
+        );
+        assert_eq!(argv[6], "/bin/mhp-bench");
+        assert_eq!(argv[7], "hotpath");
+        let events_at = argv.iter().position(|a| a == "--events").unwrap();
+        assert_eq!(argv[events_at + 1], "2000000");
+    }
+
+    #[test]
+    fn samply_command_saves_instead_of_launching_a_viewer() {
+        let workload = workload_args(&HotpathOptions::default());
+        let argv = command_line(
+            ResolvedTool::Samply,
+            "profile.json",
+            "/bin/mhp-bench",
+            &workload,
+        );
+        assert_eq!(
+            &argv[..6],
+            &[
+                "samply",
+                "record",
+                "--save-only",
+                "--output",
+                "profile.json",
+                "--"
+            ]
+        );
+        assert!(argv.contains(&"hotpath".to_string()));
+    }
+
+    #[test]
+    fn workload_json_stays_clear_of_the_committed_reference() {
+        let workload = workload_args(&HotpathOptions::default());
+        let out_at = workload.iter().position(|a| a == "--out").unwrap();
+        assert_eq!(workload[out_at + 1], "BENCH_hotpath_profile.json");
+    }
+
+    #[test]
+    fn tool_flag_parses_every_spelling() {
+        assert_eq!(ProfileTool::parse("auto"), Some(ProfileTool::Auto));
+        assert_eq!(ProfileTool::parse("perf"), Some(ProfileTool::Perf));
+        assert_eq!(ProfileTool::parse("samply"), Some(ProfileTool::Samply));
+        assert_eq!(ProfileTool::parse("callgrind"), None);
+    }
+}

@@ -23,6 +23,27 @@
 //! The byte tables here are random **permutations** of `0..=255`, which makes
 //! `randomize` a bijection on `u64` (a byte-wise substitution cipher) and
 //! therefore preserves the even index distribution the paper reports.
+//!
+//! ## The precomputed-fold fast path
+//!
+//! `xor_fold` is XOR-linear (`fold(a ^ b) == fold(a) ^ fold(b)`) and `flip`
+//! is a byte permutation, so the paper's pipeline distributes over the eight
+//! input bytes independently:
+//!
+//! ```text
+//! index = ⊕ᵢ fold(flip(S_pc[pcᵢ] << 8i))  ⊕  ⊕ᵢ fold(S_v[vᵢ] << 8i)
+//! ```
+//!
+//! Each term depends only on (byte position, byte value), so a hasher
+//! precomputes two 8×256 *fold-contribution* tables at construction and
+//! [`TupleHasher::index`] becomes 16 table loads XOR-ed together — no fold
+//! loop, no byte swap, no data-dependent branches. [`HashFamily`] goes one
+//! step further: when every hasher's index fits a 16-bit lane and there are
+//! at most four tables, the per-hasher contributions are packed into one
+//! `u64` entry per (position, byte), and [`HashFamily::indices_into`]
+//! computes *all* indices with the same 16 loads — the gather-friendly
+//! shape the hardware proposal implies. Both paths are bit-identical to the
+//! reference formulation (asserted by tests).
 
 use crate::tuple::Tuple;
 
@@ -155,8 +176,36 @@ pub fn xor_fold(v: u64, bits: u32) -> u64 {
 pub struct TupleHasher {
     pc_table: ByteTable,
     value_table: ByteTable,
+    /// `pc_fold[i][b]` = `xor_fold(flip(S_pc[b] placed at byte i), bits)`:
+    /// the finished index contribution of PC byte value `b` at position `i`.
+    pc_fold: Box<FoldTable>,
+    /// Same, for the value's (un-flipped) substitution table.
+    value_fold: Box<FoldTable>,
     index_bits: u32,
     table_size: usize,
+}
+
+/// Per-(byte position, byte value) fold contributions; `u32` entries cover
+/// every legal `index_bits` (≤ [`MAX_INDEX_BITS`]).
+type FoldTable = [[u32; 256]; 8];
+
+/// Builds the fold-contribution table for one substitution table.
+/// `flipped` selects the PC side, whose substituted bytes pass through
+/// `flip` before folding.
+fn fold_table(table: &ByteTable, index_bits: u32, flipped: bool) -> Box<FoldTable> {
+    let mut out: Box<FoldTable> = Box::new([[0u32; 256]; 8]);
+    for (i, row) in out.iter_mut().enumerate() {
+        for (b, slot) in row.iter_mut().enumerate() {
+            let substituted = u64::from(table.table[b]) << (8 * i);
+            let placed = if flipped {
+                flip(substituted)
+            } else {
+                substituted
+            };
+            *slot = xor_fold(placed, index_bits) as u32;
+        }
+    }
+    out
 }
 
 impl TupleHasher {
@@ -178,10 +227,15 @@ impl TupleHasher {
         let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
         let pc_table = ByteTable::random(&mut rng);
         let value_table = ByteTable::random(&mut rng);
+        let index_bits = table_size.trailing_zeros();
+        let pc_fold = fold_table(&pc_table, index_bits, true);
+        let value_fold = fold_table(&value_table, index_bits, false);
         Ok(TupleHasher {
             pc_table,
             value_table,
-            index_bits: table_size.trailing_zeros(),
+            pc_fold,
+            value_fold,
+            index_bits,
             table_size,
         })
     }
@@ -199,8 +253,25 @@ impl TupleHasher {
     }
 
     /// Computes the counter-table index for `tuple`.
+    ///
+    /// Uses the precomputed fold-contribution tables: 16 loads XOR-ed
+    /// together, bit-identical to [`index_reference`](Self::index_reference).
     #[inline]
     pub fn index(&self, tuple: Tuple) -> usize {
+        let pc = tuple.pc().as_u64().to_le_bytes();
+        let value = tuple.value().as_u64().to_le_bytes();
+        let mut acc = 0u32;
+        for i in 0..8 {
+            acc ^= self.pc_fold[i][pc[i] as usize];
+            acc ^= self.value_fold[i][value[i] as usize];
+        }
+        acc as usize
+    }
+
+    /// The paper's formulation computed literally —
+    /// `xor_fold(flip(randomize(pc)) ^ randomize(value))` — kept as the
+    /// correctness reference for the fold-table fast path.
+    pub fn index_reference(&self, tuple: Tuple) -> usize {
         let npc = flip(self.pc_table.randomize(tuple.pc().as_u64()));
         let nv = self.value_table.randomize(tuple.value().as_u64());
         xor_fold(npc ^ nv, self.index_bits) as usize
@@ -226,6 +297,61 @@ impl TupleHasher {
 #[derive(Debug, Clone)]
 pub struct HashFamily {
     hashers: Vec<TupleHasher>,
+    /// Lane-packed fold tables covering *every* hasher at once, present
+    /// when the family fits the packing limits (≤ 4 tables of ≤ 16 index
+    /// bits — which includes every configuration the paper evaluates).
+    packed: Option<PackedFold>,
+}
+
+/// All hashers' fold contributions packed into 16-bit lanes of one `u64`
+/// per (byte position, byte value): XOR-ing the 16 entries a tuple selects
+/// yields every table index in one accumulator.
+#[derive(Debug, Clone)]
+struct PackedFold {
+    pc: Box<[[u64; 256]; 8]>,
+    value: Box<[[u64; 256]; 8]>,
+}
+
+/// Width of one packed index lane, in bits.
+const PACKED_LANE_BITS: u32 = 16;
+/// Most hashers a packed `u64` can hold.
+const PACKED_MAX_LANES: usize = 4;
+
+impl PackedFold {
+    fn build(hashers: &[TupleHasher]) -> Option<Self> {
+        if hashers.is_empty()
+            || hashers.len() > PACKED_MAX_LANES
+            || hashers.iter().any(|h| h.index_bits() > PACKED_LANE_BITS)
+        {
+            return None;
+        }
+        let mut pc: Box<[[u64; 256]; 8]> = Box::new([[0u64; 256]; 8]);
+        let mut value: Box<[[u64; 256]; 8]> = Box::new([[0u64; 256]; 8]);
+        for (lane, hasher) in hashers.iter().enumerate() {
+            let shift = PACKED_LANE_BITS * lane as u32;
+            for i in 0..8 {
+                for b in 0..256 {
+                    pc[i][b] |= u64::from(hasher.pc_fold[i][b]) << shift;
+                    value[i][b] |= u64::from(hasher.value_fold[i][b]) << shift;
+                }
+            }
+        }
+        Some(PackedFold { pc, value })
+    }
+
+    /// XORs the 16 entries `tuple` selects; lane `h` of the result is
+    /// hasher `h`'s index.
+    #[inline]
+    fn lanes(&self, tuple: Tuple) -> u64 {
+        let pc = tuple.pc().as_u64().to_le_bytes();
+        let value = tuple.value().as_u64().to_le_bytes();
+        let mut acc = 0u64;
+        for i in 0..8 {
+            acc ^= self.pc[i][pc[i] as usize];
+            acc ^= self.value[i][value[i] as usize];
+        }
+        acc
+    }
 }
 
 impl HashFamily {
@@ -250,7 +376,8 @@ impl HashFamily {
         let hashers = (0..num_tables)
             .map(|i| TupleHasher::new(table_size, seed.wrapping_add(0x9E37 * (i as u64 + 1))))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(HashFamily { hashers })
+        let packed = PackedFold::build(&hashers);
+        Ok(HashFamily { hashers, packed })
     }
 
     /// Number of hash functions in the family.
@@ -283,6 +410,10 @@ impl HashFamily {
     /// profiler hot path (the caller owns a scratch buffer sized once at
     /// construction).
     ///
+    /// When the family fits the lane-packing limits (every configuration
+    /// from the paper does), all indices come from 16 shared table loads;
+    /// otherwise each hasher's own fold tables are consulted in turn.
+    ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.len()`.
@@ -293,8 +424,15 @@ impl HashFamily {
             self.hashers.len(),
             "scratch buffer must hold one index per table"
         );
-        for (slot, hasher) in out.iter_mut().zip(&self.hashers) {
-            *slot = hasher.index(tuple);
+        if let Some(packed) = &self.packed {
+            let lanes = packed.lanes(tuple);
+            for (h, slot) in out.iter_mut().enumerate() {
+                *slot = ((lanes >> (PACKED_LANE_BITS * h as u32)) & u64::from(u16::MAX)) as usize;
+            }
+        } else {
+            for (slot, hasher) in out.iter_mut().zip(&self.hashers) {
+                *slot = hasher.index(tuple);
+            }
         }
     }
 }
@@ -462,5 +600,64 @@ mod tests {
         let family = HashFamily::new(4, 256, 9).unwrap();
         let mut scratch = [0usize; 3];
         family.indices_into(Tuple::new(1, 1), &mut scratch);
+    }
+
+    /// An adversarial-ish tuple set for equivalence sweeps: byte-diverse
+    /// PCs and values, plus the extremes.
+    fn probe_tuples() -> Vec<Tuple> {
+        let mut rng = SplitMix64::new(0xF01D);
+        let mut tuples: Vec<Tuple> = (0..512)
+            .map(|_| Tuple::new(rng.next_u64(), rng.next_u64()))
+            .collect();
+        tuples.extend([
+            Tuple::new(0, 0),
+            Tuple::new(u64::MAX, u64::MAX),
+            Tuple::new(0x0400_0100, 42),
+            Tuple::new(u64::MAX, 0),
+            Tuple::new(0, u64::MAX),
+        ]);
+        tuples
+    }
+
+    #[test]
+    fn fold_table_index_matches_the_reference_formulation() {
+        // The fast path must be bit-identical to the paper's literal
+        // randomize/flip/xor-fold pipeline, for every table size.
+        for (size, seed) in [(2usize, 1u64), (256, 99), (2048, 5), (1 << 20, 7)] {
+            let h = TupleHasher::new(size, seed).unwrap();
+            for &t in &probe_tuples() {
+                assert_eq!(
+                    h.index(t),
+                    h.index_reference(t),
+                    "size {size} seed {seed} tuple {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_family_indices_match_per_hasher_indices() {
+        // Packing limits: ≤ 4 lanes, ≤ 16 index bits. Sweep configurations
+        // inside the limits (packed) and outside them (fallback); both must
+        // agree with the per-hasher reference exactly.
+        for (tables, size) in [
+            (1usize, 512usize),
+            (2, 2048),
+            (4, 512),
+            (4, 1 << 16),
+            (6, 512),
+        ] {
+            let family = HashFamily::new(tables, size, 31).unwrap();
+            let mut scratch = vec![0usize; tables];
+            for &t in &probe_tuples() {
+                family.indices_into(t, &mut scratch);
+                let expected: Vec<usize> = family
+                    .hashers()
+                    .iter()
+                    .map(|h| h.index_reference(t))
+                    .collect();
+                assert_eq!(scratch, expected, "{tables} tables of {size}");
+            }
+        }
     }
 }

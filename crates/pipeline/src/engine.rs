@@ -4,13 +4,26 @@
 //! ## Topology
 //!
 //! ```text
-//!              ┌──────────┐   bounded channel   ┌──────────────────┐
-//!   events ──▶ │ dispatch │ ══════════════════▶ │ shard 0 profiler │ ─┐
-//!              │  (hash-  │ ══════════════════▶ │ shard 1 profiler │ ─┤─▶ merge
-//!              │ partition│        ...          │       ...        │ ─┘
-//!              └──────────┘ ══════════════════▶ │ shard K profiler │
-//!                                               └──────────────────┘
+//!              ┌──────────┐   SPSC batch rings   ┌──────────────────┐
+//!   events ──▶ │ dispatch │ ═══════════════════▶ │ shard 0 profiler │ ─┐
+//!              │  (hash-  │ ═══════════════════▶ │ shard 1 profiler │ ─┤─▶ merge
+//!              │ partition│ ◀─ scratch recycle ─ │       ...        │ ─┘
+//!              └──────────┘ ═══════════════════▶ │ shard K profiler │
+//!                                                └──────────────────┘
 //! ```
+//!
+//! ## The dispatch plane
+//!
+//! Each shard gets a dedicated pair of single-producer/single-consumer
+//! rings ([`crate::ring`]): one carries whole sub-batches of events to the
+//! worker, the other carries the emptied `Vec<Tuple>` scratch buffers back
+//! to the dispatcher. The steady state is therefore allocation-free — every
+//! batch buffer cycles dispatcher → worker → dispatcher — and the per-event
+//! cost of the handoff is one ring operation amortized over a whole batch.
+//! Chunked ingest ([`EngineSession::ingest_chunk`]) partitions *while*
+//! decoding: records are routed into per-shard sub-batches straight out of
+//! the varint decoder instead of being materialized in one flat buffer and
+//! re-scanned.
 //!
 //! Three properties make the parallel run equivalent to the serial one:
 //!
@@ -31,7 +44,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -46,6 +59,8 @@ use mhp_faults::{FaultHook, WorkerAction};
 use mhp_telemetry::Gauge;
 
 use crate::error::Error;
+use crate::format::ChunkDecoder;
+use crate::ring;
 use crate::telemetry::EngineTelemetry;
 
 /// Which profiler architecture each shard runs.
@@ -566,7 +581,11 @@ fn take_profile(r: &mut SnapshotReader<'_>) -> Result<IntervalProfile, Error> {
 /// workers down and discards their output.
 #[derive(Debug)]
 pub struct EngineSession {
-    senders: Vec<SyncSender<Msg>>,
+    senders: Vec<ring::Sender<Msg>>,
+    /// Per-shard return path for emptied batch buffers: workers push their
+    /// cleared `Vec<Tuple>`s back here, and the dispatcher reuses them
+    /// instead of allocating — the steady state allocates nothing.
+    recycle_rxs: Vec<ring::Receiver<Vec<Tuple>>>,
     profile_rxs: Vec<Receiver<IntervalProfile>>,
     handles: Vec<JoinHandle<()>>,
     batches: Vec<Vec<Tuple>>,
@@ -605,22 +624,29 @@ impl EngineSession {
             .map(|t| t.queue_depth_gauges(shards))
             .unwrap_or_default();
         let mut senders = Vec::with_capacity(shards);
+        let mut recycle_rxs = Vec::with_capacity(shards);
         let mut profile_rxs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for (shard, profiler) in profilers.into_iter().enumerate() {
-            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity());
+            let (tx, rx) = ring::ring(config.queue_capacity());
+            // Sized so the worker can always return a buffer: at most
+            // queue_capacity are queued, one is in the worker's hands and
+            // one is being filled by the dispatcher.
+            let (recycle_tx, recycle_rx) = ring::ring(config.queue_capacity() + 2);
             let (profile_tx, profile_rx) = std::sync::mpsc::channel();
             let depth = queue_gauges.get(shard).cloned();
             let hook = faults.clone();
             senders.push(tx);
+            recycle_rxs.push(recycle_rx);
             profile_rxs.push(profile_rx);
             handles.push(thread::spawn(move || {
-                shard_worker(profiler, rx, profile_tx, depth, hook)
+                shard_worker(profiler, rx, recycle_tx, profile_tx, depth, hook)
             }));
         }
         let batch_cap = config.batch_events();
         EngineSession {
             senders,
+            recycle_rxs,
             profile_rxs,
             handles,
             batches: (0..shards).map(|_| Vec::with_capacity(batch_cap)).collect(),
@@ -653,16 +679,7 @@ impl EngineSession {
         self.events += 1;
         self.in_interval += 1;
         if self.batches[shard].len() >= self.batch_cap {
-            let batch =
-                std::mem::replace(&mut self.batches[shard], Vec::with_capacity(self.batch_cap));
-            dispatch(
-                &self.senders[shard],
-                &mut self.stats[shard],
-                shard,
-                Msg::Batch(batch),
-                self.telemetry.as_ref(),
-                self.queue_gauges.get(shard),
-            )?;
+            self.send_batch(shard)?;
         }
         if self.in_interval == self.interval_len {
             self.broadcast_cut()?;
@@ -680,6 +697,92 @@ impl EngineSession {
             self.push(tuple)?;
         }
         Ok(())
+    }
+
+    /// Ingests a slice of events — the bulk form of [`push`](Self::push),
+    /// and semantically identical to pushing each tuple in order.
+    ///
+    /// The slice is split into runs that never cross an interval boundary,
+    /// so the interval bookkeeping moves out of the per-event loop and the
+    /// inner loop is just route-and-append.
+    ///
+    /// # Errors
+    ///
+    /// As [`push`](Self::push); the first failure aborts the run.
+    pub fn push_slice(&mut self, events: &[Tuple]) -> Result<(), Error> {
+        let shards = self.senders.len();
+        let mut rest = events;
+        while !rest.is_empty() {
+            let until_cut =
+                usize::try_from(self.interval_len - self.in_interval).unwrap_or(usize::MAX);
+            let take = rest.len().min(until_cut);
+            let (run, tail) = rest.split_at(take);
+            for &tuple in run {
+                let shard = shard_of(tuple, shards);
+                self.stats[shard].events += 1;
+                self.batches[shard].push(tuple);
+                if self.batches[shard].len() >= self.batch_cap {
+                    self.send_batch(shard)?;
+                }
+            }
+            self.events += take as u64;
+            self.in_interval += take as u64;
+            if self.in_interval == self.interval_len {
+                self.broadcast_cut()?;
+            }
+            rest = tail;
+        }
+        Ok(())
+    }
+
+    /// Ingests one encoded trace chunk (as produced by
+    /// [`encode_chunk`](crate::encode_chunk) or a [`TraceWriter`] flush),
+    /// partitioning records into per-shard batches *while* decoding, and
+    /// returns the bytes consumed — exactly what
+    /// [`decode_chunk_into`](crate::decode_chunk_into) would have returned.
+    ///
+    /// Equivalent to decoding the chunk and [`push_all`](Self::push_all)ing
+    /// the result, but without materializing the chunk in one flat buffer
+    /// and re-scanning it: each record goes straight from the varint
+    /// decoder into its shard's batch. The chunk header and payload CRC are
+    /// verified before any record is ingested, so a corrupt chunk is
+    /// rejected whole; a record-level decode error mid-chunk (which the
+    /// CRC makes practically unreachable) leaves the prefix ingested.
+    ///
+    /// # Errors
+    ///
+    /// Any [`decode_chunk_into`](crate::decode_chunk_into) decode error,
+    /// plus [`push`](Self::push)'s dispatch errors.
+    pub fn ingest_chunk(&mut self, chunk: &[u8]) -> Result<usize, Error> {
+        let shards = self.senders.len();
+        let mut decoder = ChunkDecoder::open(chunk)?;
+        while decoder.remaining() > 0 {
+            let until_cut =
+                usize::try_from(self.interval_len - self.in_interval).unwrap_or(usize::MAX);
+            // Clip each sub-run at the batch cap too, so batches flush close
+            // to their target size (a shard batch can exceed the cap by at
+            // most one sub-run before the flush check below catches it).
+            let want = until_cut.min(self.batch_cap);
+            let batches = &mut self.batches;
+            let stats = &mut self.stats;
+            let decoded = decoder.decode_some(want, |tuple| {
+                let shard = shard_of(tuple, shards);
+                stats[shard].events += 1;
+                batches[shard].push(tuple);
+            })?;
+            self.events += decoded as u64;
+            self.in_interval += decoded as u64;
+            for shard in 0..shards {
+                if self.batches[shard].len() >= self.batch_cap {
+                    self.send_batch(shard)?;
+                }
+            }
+            if self.in_interval == self.interval_len {
+                self.broadcast_cut()?;
+            }
+        }
+        decoder.finish()?;
+        Ok(decoder.consumed())
     }
 
     /// Forces the global interval to end now and returns its merged profile.
@@ -726,14 +829,7 @@ impl EngineSession {
         self.flush_batches()?;
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         for shard in 0..self.senders.len() {
-            dispatch(
-                &self.senders[shard],
-                &mut self.stats[shard],
-                shard,
-                Msg::TopK(k, reply_tx.clone()),
-                self.telemetry.as_ref(),
-                self.queue_gauges.get(shard),
-            )?;
+            self.dispatch_msg(shard, Msg::TopK(k, reply_tx.clone()))?;
         }
         drop(reply_tx);
         let mut pairs: Vec<(Tuple, u64)> = Vec::new();
@@ -773,14 +869,7 @@ impl EngineSession {
         let mut replies = Vec::with_capacity(self.senders.len());
         for shard in 0..self.senders.len() {
             let (tx, rx) = std::sync::mpsc::channel();
-            dispatch(
-                &self.senders[shard],
-                &mut self.stats[shard],
-                shard,
-                Msg::SaveState(tx),
-                self.telemetry.as_ref(),
-                self.queue_gauges.get(shard),
-            )?;
+            self.dispatch_msg(shard, Msg::SaveState(tx))?;
             replies.push(rx);
         }
         let mut blobs = Vec::with_capacity(replies.len());
@@ -891,20 +980,77 @@ impl EngineSession {
         })
     }
 
+    /// Hands the shard's pending batch to its worker, swapping in a
+    /// recycled buffer from the worker's return ring (or a fresh
+    /// allocation only when none has come back yet).
+    fn send_batch(&mut self, shard: usize) -> Result<(), Error> {
+        let fresh = match self.recycle_rxs[shard].try_recv() {
+            Ok(buf) => buf,
+            Err(_) => Vec::with_capacity(self.batch_cap),
+        };
+        let batch = std::mem::replace(&mut self.batches[shard], fresh);
+        self.dispatch_msg(shard, Msg::Batch(batch))
+    }
+
+    /// Sends a message to a shard worker, preferring the non-blocking path;
+    /// a full ring counts one stall and falls back to a blocking send. A
+    /// hung-up worker (it died, almost always by panicking) is an error for
+    /// the *caller* to handle — never a panic on the dispatching thread.
+    ///
+    /// Dispatch statistics and telemetry (batch counts, event counts, the
+    /// queue-depth gauge) are updated only after the send *succeeds*: a
+    /// batch that dies with its worker was never dispatched and is not
+    /// counted as such.
+    fn dispatch_msg(&mut self, shard: usize, msg: Msg) -> Result<(), Error> {
+        let batch_events = match &msg {
+            Msg::Batch(batch) => Some(batch.len() as u64),
+            _ => None,
+        };
+        match self.senders[shard].try_send(msg) {
+            Ok(()) => {}
+            Err(ring::TrySendError::Full(msg)) => {
+                self.stats[shard].stalls += 1;
+                if let Some(t) = &self.telemetry {
+                    t.stalls.incr();
+                }
+                if self.senders[shard].send(msg).is_err() {
+                    return Err(self.worker_died(shard));
+                }
+            }
+            Err(ring::TrySendError::Disconnected(_)) => {
+                return Err(self.worker_died(shard));
+            }
+        }
+        if let Some(events) = batch_events {
+            self.stats[shard].batches += 1;
+            if let Some(t) = &self.telemetry {
+                t.batches.incr();
+                t.events.add(events);
+                t.batch_events.record(events);
+            }
+        }
+        if let Some(depth) = self.queue_gauges.get(shard) {
+            depth.incr();
+        }
+        Ok(())
+    }
+
+    /// Records a dead worker: its queued backlog will never be consumed, so
+    /// its depth gauge is zeroed here as well as by the worker's own exit
+    /// guard (covering the race where a send lands while the worker is
+    /// already unwinding).
+    fn worker_died(&self, shard: usize) -> Error {
+        if let Some(depth) = self.queue_gauges.get(shard) {
+            depth.set(0);
+        }
+        Error::WorkerDied { shard }
+    }
+
     /// Flushes every shard's pending batch without cutting.
     fn flush_batches(&mut self) -> Result<(), Error> {
         for shard in 0..self.senders.len() {
             if !self.batches[shard].is_empty() {
-                let batch =
-                    std::mem::replace(&mut self.batches[shard], Vec::with_capacity(self.batch_cap));
-                dispatch(
-                    &self.senders[shard],
-                    &mut self.stats[shard],
-                    shard,
-                    Msg::Batch(batch),
-                    self.telemetry.as_ref(),
-                    self.queue_gauges.get(shard),
-                )?;
+                self.send_batch(shard)?;
             }
         }
         Ok(())
@@ -915,14 +1061,7 @@ impl EngineSession {
     fn broadcast_cut(&mut self) -> Result<(), Error> {
         self.flush_batches()?;
         for shard in 0..self.senders.len() {
-            dispatch(
-                &self.senders[shard],
-                &mut self.stats[shard],
-                shard,
-                Msg::Cut,
-                self.telemetry.as_ref(),
-                self.queue_gauges.get(shard),
-            )?;
+            self.dispatch_msg(shard, Msg::Cut)?;
         }
         if let Some(t) = &self.telemetry {
             t.cuts.incr();
@@ -974,46 +1113,25 @@ impl Drop for EngineSession {
                 let _ = handle.join();
             }
         }
+        // A detached (wedged) worker never ran its own gauge reset; the
+        // session is over either way, so no backlog remains to report.
+        for gauge in &self.queue_gauges {
+            gauge.set(0);
+        }
     }
 }
 
-/// Sends a message, preferring the non-blocking path; a full queue counts
-/// one stall and falls back to a blocking send. A hung-up worker (it died,
-/// almost always by panicking) is an error for the *caller* to handle —
-/// never a panic on the dispatching thread.
-fn dispatch(
-    sender: &SyncSender<Msg>,
-    stats: &mut ShardStats,
-    shard: usize,
-    msg: Msg,
-    telemetry: Option<&EngineTelemetry>,
-    depth: Option<&Gauge>,
-) -> Result<(), Error> {
-    if let Msg::Batch(batch) = &msg {
-        stats.batches += 1;
-        if let Some(t) = telemetry {
-            t.batches.incr();
-            t.events.add(batch.len() as u64);
-            t.batch_events.record(batch.len() as u64);
+/// Zeroes the shard's queue-depth gauge when dropped — including during a
+/// worker panic's unwind — so messages still queued behind a dead worker
+/// can never leave the gauge stuck positive.
+struct GaugeReset(Option<Gauge>);
+
+impl Drop for GaugeReset {
+    fn drop(&mut self) {
+        if let Some(gauge) = &self.0 {
+            gauge.set(0);
         }
     }
-    let sent = match sender.try_send(msg) {
-        Ok(()) => Ok(()),
-        Err(TrySendError::Full(msg)) => {
-            stats.stalls += 1;
-            if let Some(t) = telemetry {
-                t.stalls.incr();
-            }
-            sender.send(msg).map_err(|_| Error::WorkerDied { shard })
-        }
-        Err(TrySendError::Disconnected(_)) => Err(Error::WorkerDied { shard }),
-    };
-    if sent.is_ok() {
-        if let Some(depth) = depth {
-            depth.incr();
-        }
-    }
-    sent
 }
 
 /// Extracts a human-readable message from a worker thread's panic payload.
@@ -1029,18 +1147,23 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn shard_worker(
     mut profiler: Box<dyn EventProfiler + Send>,
-    rx: Receiver<Msg>,
+    rx: ring::Receiver<Msg>,
+    recycle: ring::Sender<Vec<Tuple>>,
     profile_tx: Sender<IntervalProfile>,
     depth: Option<Gauge>,
     faults: Option<FaultHook>,
 ) {
+    // Runs on every exit path, panic unwinds included: whatever is still
+    // queued behind this worker will never be consumed, so its gauge
+    // contribution is zeroed here rather than leaked.
+    let _depth_reset = GaugeReset(depth.clone());
     for msg in rx {
         // The message left the queue: the shard's live backlog shrank.
         if let Some(depth) = &depth {
             depth.decr();
         }
         match msg {
-            Msg::Batch(batch) => {
+            Msg::Batch(mut batch) => {
                 // One Option check per *batch*: disarmed fault machinery is
                 // compiled in but off the per-event path entirely.
                 if let Some(hook) = &faults {
@@ -1057,6 +1180,11 @@ fn shard_worker(
                 let emitted = profiler.observe_batch(&batch);
                 debug_assert!(emitted.is_empty());
                 drop(emitted);
+                // Return the emptied buffer to the dispatcher. The ring is
+                // sized to always have room; if the dispatcher is gone (or
+                // has stopped draining), the buffer is simply dropped.
+                batch.clear();
+                let _ = recycle.try_send(batch);
             }
             // The session may have hung up already (dropped un-finished);
             // then nobody wants the answer and the error is fine to ignore.
@@ -1663,6 +1791,204 @@ mod tests {
             elapsed < Duration::from_secs(5),
             "drop must detach a wedged worker within the bound, took {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn push_slice_matches_per_event_push() {
+        let interval = IntervalConfig::new(2_000, 0.02).unwrap();
+        for spec in [
+            ProfilerSpec::Perfect,
+            ProfilerSpec::MultiHash(MultiHashConfig::best()),
+        ] {
+            let engine = ShardedEngine::new(
+                EngineConfig::new(4).with_batch_events(128),
+                interval,
+                spec,
+                7,
+            );
+            let events: Vec<Tuple> = li_events(9_100).collect();
+            let mut reference = engine.start().unwrap();
+            reference.push_all(events.iter().copied()).unwrap();
+            let expected = reference.finish().unwrap();
+
+            let mut bulk = engine.start().unwrap();
+            // Uneven splits: interval boundaries must come from the global
+            // count, not the slice granularity.
+            for chunk in events.chunks(997) {
+                bulk.push_slice(chunk).unwrap();
+            }
+            let report = bulk.finish().unwrap();
+            assert_eq!(report.profiles, expected.profiles, "{spec}");
+            assert_eq!(report.events, expected.events);
+            assert_eq!(report.intervals, expected.intervals);
+        }
+    }
+
+    #[test]
+    fn ingest_chunk_rejects_corruption_before_ingesting_anything() {
+        let interval = IntervalConfig::new(1_000, 0.05).unwrap();
+        let engine = ShardedEngine::new(EngineConfig::new(2), interval, ProfilerSpec::Perfect, 0);
+        let mut session = engine.start().unwrap();
+        let events: Vec<Tuple> = li_events(300).collect();
+        let mut chunk = crate::format::encode_chunk(&events);
+        // Flip a payload byte: the CRC check in open() must reject the
+        // chunk whole, with nothing partially ingested.
+        let last = chunk.len() - 1;
+        chunk[last] ^= 0x40;
+        assert!(matches!(
+            session.ingest_chunk(&chunk),
+            Err(Error::CrcMismatch { .. })
+        ));
+        assert_eq!(session.events(), 0);
+        chunk[last] ^= 0x40;
+        assert_eq!(session.ingest_chunk(&chunk).unwrap(), chunk.len());
+        assert_eq!(session.events(), 300);
+    }
+
+    /// A profiler that panics its worker on the very first event.
+    struct Lethal {
+        interval: IntervalConfig,
+    }
+    impl EventProfiler for Lethal {
+        fn interval_config(&self) -> IntervalConfig {
+            self.interval
+        }
+        fn observe(&mut self, _tuple: Tuple) -> Option<IntervalProfile> {
+            panic!("lethal profiler: worker dies on first event");
+        }
+        fn finish_interval(&mut self) -> IntervalProfile {
+            IntervalProfile::from_candidates(0, self.interval, Vec::new())
+        }
+        fn reset(&mut self) {}
+        fn events_in_current_interval(&self) -> u64 {
+            0
+        }
+        fn interval_index(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn dead_worker_batches_are_not_counted_as_dispatched() {
+        use crate::telemetry::EngineTelemetry;
+        use mhp_telemetry::{stat_value, Registry};
+
+        let registry = Registry::new();
+        let interval = IntervalConfig::new(1_000_000, 0.01)
+            .unwrap()
+            .with_external_cut();
+        let config = EngineConfig::new(1)
+            .with_queue_capacity(4)
+            .with_batch_events(4);
+        let mut session = EngineSession::spawn(
+            &config,
+            1_000_000,
+            vec![Box::new(Lethal { interval })],
+            Some(EngineTelemetry::new(&registry)),
+            None,
+        );
+        // The first batch is genuinely dispatched — it reaches the worker
+        // and kills it.
+        for tuple in li_events(4) {
+            session.push(tuple).unwrap();
+        }
+        while !session.handles[0].is_finished() {
+            thread::sleep(Duration::from_millis(1));
+        }
+        // Regression (dispatch over-count): batches that fail with
+        // WorkerDied used to be counted in stats and telemetry *before*
+        // try_send was even attempted.
+        let mut push_err = None;
+        for tuple in li_events(8) {
+            if let Err(err) = session.push(tuple) {
+                push_err = Some(err);
+                break;
+            }
+        }
+        assert!(
+            matches!(push_err, Some(Error::WorkerDied { shard: 0 })),
+            "got {push_err:?}"
+        );
+        assert_eq!(
+            session.shard_stats()[0].batches,
+            1,
+            "only the batch that reached the worker counts as dispatched"
+        );
+        let text = registry.render_prometheus();
+        assert_eq!(stat_value(&text, "engine_batches_total"), Some(1));
+        assert_eq!(stat_value(&text, "engine_events_total"), Some(4));
+        match session.finish() {
+            Err(Error::WorkerPanicked { shard: 0, message }) => {
+                assert!(message.contains("lethal"), "{message}");
+            }
+            other => panic!("finish must report the worker panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_gauge_zeroes_when_a_worker_dies_with_a_backlog() {
+        use crate::telemetry::EngineTelemetry;
+        use mhp_telemetry::Registry;
+
+        // Stalls long enough on its first event for a backlog to queue up
+        // behind it, then panics — leaving batches nobody will consume.
+        struct StallThenDie {
+            interval: IntervalConfig,
+        }
+        impl EventProfiler for StallThenDie {
+            fn interval_config(&self) -> IntervalConfig {
+                self.interval
+            }
+            fn observe(&mut self, _tuple: Tuple) -> Option<IntervalProfile> {
+                thread::sleep(Duration::from_millis(500));
+                panic!("worker dies with a backlog");
+            }
+            fn finish_interval(&mut self) -> IntervalProfile {
+                IntervalProfile::from_candidates(0, self.interval, Vec::new())
+            }
+            fn reset(&mut self) {}
+            fn events_in_current_interval(&self) -> u64 {
+                0
+            }
+            fn interval_index(&self) -> u64 {
+                0
+            }
+        }
+
+        let registry = Registry::new();
+        let interval = IntervalConfig::new(1_000_000, 0.01)
+            .unwrap()
+            .with_external_cut();
+        let config = EngineConfig::new(1)
+            .with_queue_capacity(4)
+            .with_batch_events(1);
+        let mut session = EngineSession::spawn(
+            &config,
+            1_000_000,
+            vec![Box::new(StallThenDie { interval })],
+            Some(EngineTelemetry::new(&registry)),
+            None,
+        );
+        // Batch 1 occupies the worker; three more sit queued behind it.
+        for tuple in li_events(4) {
+            session.push(tuple).unwrap();
+        }
+        let gauge = session.queue_gauges[0].clone();
+        assert!(
+            gauge.get() > 0,
+            "a backlog must be visible while the worker is stalled"
+        );
+        while !session.handles[0].is_finished() {
+            thread::sleep(Duration::from_millis(1));
+        }
+        // Regression (gauge drift): the queued-but-never-consumed batches
+        // used to leave the gauge permanently positive after the panic.
+        assert_eq!(gauge.get(), 0, "worker exit must zero its depth gauge");
+        assert!(matches!(
+            session.finish(),
+            Err(Error::WorkerPanicked { shard: 0, .. })
+        ));
+        assert_eq!(gauge.get(), 0);
     }
 
     #[test]

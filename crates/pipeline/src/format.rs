@@ -370,6 +370,184 @@ pub fn decode_chunk_into(bytes: &[u8], events: &mut Vec<Tuple>) -> Result<usize,
     Ok(CHUNK_HEADER_BYTES + payload_len)
 }
 
+/// A resumable decoder over one chunk: the caller pulls records a sub-run
+/// at a time instead of receiving the whole chunk as one `Vec<Tuple>`.
+///
+/// This is what lets the sharded engine *partition while decoding*: each
+/// sub-run is routed straight into per-shard batches (sized to the batch
+/// cap and clipped at interval boundaries), so the chunk is never
+/// materialized in one flat buffer and then re-scanned.
+///
+/// [`open`](Self::open) runs the same adversarial-input gauntlet as
+/// [`decode_chunk_into`] — header validation and the payload CRC are
+/// checked *before* any record is decoded, so a corrupt chunk is rejected
+/// up front rather than half-ingested. A record-level inconsistency
+/// (varint damage the CRC-guarded payload cannot express in practice) can
+/// still surface mid-stream from [`decode_some`](Self::decode_some).
+///
+/// # Examples
+///
+/// ```
+/// use mhp_core::Tuple;
+/// use mhp_pipeline::format::{encode_chunk, ChunkDecoder};
+///
+/// let events = vec![Tuple::new(0x400100, 7), Tuple::new(0x400108, 9)];
+/// let bytes = encode_chunk(&events);
+/// let mut decoder = ChunkDecoder::open(&bytes).unwrap();
+/// let mut got = Vec::new();
+/// while decoder.remaining() > 0 {
+///     decoder.decode_some(1, |t| got.push(t)).unwrap();
+/// }
+/// decoder.finish().unwrap();
+/// assert_eq!(got, events);
+/// assert_eq!(decoder.consumed(), bytes.len());
+/// ```
+#[derive(Debug)]
+pub struct ChunkDecoder<'a> {
+    payload: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    prev_pc: u64,
+}
+
+impl<'a> ChunkDecoder<'a> {
+    /// Validates the chunk header and payload CRC at the front of `bytes`
+    /// and returns a decoder positioned at the first record.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`decode_chunk_into`]: [`Error::Truncated`] /
+    /// [`Error::UnexpectedEof`] for torn input, [`Error::ChunkTooLarge`] /
+    /// [`Error::ChunkDecode`] for implausible declared sizes and
+    /// [`Error::CrcMismatch`] for payload corruption.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, Error> {
+        if bytes.len() < CHUNK_HEADER_BYTES {
+            return Err(if bytes.is_empty() {
+                Error::Truncated {
+                    context: "chunk header",
+                }
+            } else {
+                Error::UnexpectedEof {
+                    context: "chunk header",
+                }
+            });
+        }
+        let payload_len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as u64;
+        let record_count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let expected_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        validate_chunk_header(payload_len, record_count, 0)?;
+        let payload_len = payload_len as usize;
+        let rest = &bytes[CHUNK_HEADER_BYTES..];
+        if rest.len() < payload_len {
+            return Err(Error::UnexpectedEof {
+                context: "chunk payload",
+            });
+        }
+        let payload = &rest[..payload_len];
+        let actual_crc = crc32(payload);
+        if actual_crc != expected_crc {
+            return Err(Error::CrcMismatch {
+                chunk: 0,
+                expected: expected_crc,
+                actual: actual_crc,
+            });
+        }
+        Ok(ChunkDecoder {
+            payload,
+            pos: 0,
+            remaining: record_count as usize,
+            prev_pc: 0,
+        })
+    }
+
+    /// Records not yet decoded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Total bytes this chunk occupies at the front of the input (header
+    /// plus payload) — what [`decode_chunk_into`] returns as consumed.
+    pub fn consumed(&self) -> usize {
+        CHUNK_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Decodes up to `max` records, feeding each tuple to `sink` in stream
+    /// order, and returns how many were decoded
+    /// (`min(max, self.remaining())`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChunkDecode`] if the payload runs out mid-record.
+    pub fn decode_some(&mut self, max: usize, mut sink: impl FnMut(Tuple)) -> Result<usize, Error> {
+        let take = max.min(self.remaining);
+        for _ in 0..take {
+            let (delta, value) = match (
+                read_varint(self.payload, &mut self.pos),
+                read_varint(self.payload, &mut self.pos),
+            ) {
+                (Some(d), Some(v)) => (d, v),
+                _ => return Err(Error::ChunkDecode { chunk: 0 }),
+            };
+            let pc = self.prev_pc.wrapping_add(unzigzag(delta) as u64);
+            self.prev_pc = pc;
+            sink(Tuple::new(pc, value));
+        }
+        self.remaining -= take;
+        Ok(take)
+    }
+
+    /// Verifies the payload was fully consumed once every record is
+    /// decoded — the "trailing undecoded bytes" check
+    /// [`decode_chunk_payload_into`] performs at the end.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChunkDecode`] if records remain or payload bytes are left
+    /// over.
+    pub fn finish(&self) -> Result<(), Error> {
+        if self.remaining != 0 || self.pos != self.payload.len() {
+            return Err(Error::ChunkDecode { chunk: 0 });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one chunk directly into per-shard sub-batches: record `t` lands
+/// in `outs[shard_of(t, outs.len())]`, in stream order within each shard.
+/// Every output buffer is cleared first; returns the bytes consumed.
+///
+/// Concatenating the sub-batches in shard order yields a permutation of
+/// [`decode_chunk_into`]'s output, and tuple-stable partitioning means no
+/// tuple ever appears in two sub-batches. This is the standalone form of
+/// the engine's partition-while-decoding ingest
+/// ([`EngineSession::ingest_chunk`](crate::EngineSession::ingest_chunk)),
+/// kept separate so the property is testable without spinning up workers.
+///
+/// # Errors
+///
+/// Exactly as [`decode_chunk_into`].
+///
+/// # Panics
+///
+/// Panics if `outs` is empty — there is no shard to route to.
+pub fn decode_chunk_partitioned(bytes: &[u8], outs: &mut [Vec<Tuple>]) -> Result<usize, Error> {
+    assert!(
+        !outs.is_empty(),
+        "decode_chunk_partitioned needs at least one shard buffer"
+    );
+    let shards = outs.len();
+    for out in outs.iter_mut() {
+        out.clear();
+    }
+    let mut decoder = ChunkDecoder::open(bytes)?;
+    let remaining = decoder.remaining();
+    decoder.decode_some(remaining, |tuple| {
+        outs[crate::engine::shard_of(tuple, shards)].push(tuple);
+    })?;
+    decoder.finish()?;
+    Ok(decoder.consumed())
+}
+
 // --- writer --------------------------------------------------------------
 
 /// Streams tuples into the binary trace format.
@@ -1140,5 +1318,72 @@ mod tests {
     fn stream_kind_converts_to_trace_kind() {
         assert_eq!(TraceKind::from(StreamKind::Value), TraceKind::Value);
         assert_eq!(TraceKind::from(StreamKind::Edge), TraceKind::Edge);
+    }
+
+    #[test]
+    fn chunk_decoder_matches_flat_decode_at_any_step_size() {
+        let events: Vec<Tuple> = (0..537u64)
+            .map(|i| Tuple::new(i.wrapping_mul(0x9E37), i % 13))
+            .collect();
+        let bytes = encode_chunk(&events);
+        let mut flat = Vec::new();
+        let consumed = decode_chunk_into(&bytes, &mut flat).unwrap();
+        for step in [1usize, 7, 64, 537, 10_000] {
+            let mut decoder = ChunkDecoder::open(&bytes).unwrap();
+            assert_eq!(decoder.remaining(), events.len());
+            let mut got = Vec::new();
+            while decoder.remaining() > 0 {
+                let n = decoder.decode_some(step, |t| got.push(t)).unwrap();
+                assert_eq!(n, step.min(events.len() - (got.len() - n)));
+            }
+            decoder.finish().unwrap();
+            assert_eq!(got, flat, "step {step}");
+            assert_eq!(decoder.consumed(), consumed);
+        }
+    }
+
+    #[test]
+    fn chunk_decoder_runs_the_same_adversarial_gauntlet_as_flat_decode() {
+        let events: Vec<Tuple> = (0..40u64).map(|i| Tuple::new(i * 8, i)).collect();
+        let bytes = encode_chunk(&events);
+        assert!(matches!(
+            ChunkDecoder::open(&[]),
+            Err(Error::Truncated { .. })
+        ));
+        assert!(matches!(
+            ChunkDecoder::open(&bytes[..CHUNK_HEADER_BYTES - 1]),
+            Err(Error::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            ChunkDecoder::open(&bytes[..bytes.len() - 1]),
+            Err(Error::UnexpectedEof { .. })
+        ));
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x08;
+        assert!(matches!(
+            ChunkDecoder::open(&corrupt),
+            Err(Error::CrcMismatch { .. })
+        ));
+        // finish() before the payload is drained reports the inconsistency.
+        let decoder = ChunkDecoder::open(&bytes).unwrap();
+        assert!(matches!(decoder.finish(), Err(Error::ChunkDecode { .. })));
+    }
+
+    #[test]
+    fn partitioned_decode_routes_by_shard_and_clears_buffers() {
+        let events: Vec<Tuple> = (0..200u64).map(|i| Tuple::new(i * 16, i % 5)).collect();
+        let bytes = encode_chunk(&events);
+        let mut outs = vec![vec![Tuple::new(99, 99)]; 4];
+        let consumed = decode_chunk_partitioned(&bytes, &mut outs).unwrap();
+        assert_eq!(consumed, bytes.len());
+        let mut total = 0;
+        for (shard, out) in outs.iter().enumerate() {
+            total += out.len();
+            for &t in out {
+                assert_eq!(crate::engine::shard_of(t, 4), shard);
+            }
+        }
+        assert_eq!(total, events.len());
     }
 }

@@ -9,8 +9,9 @@
 //!   so a workload is captured once and replayed deterministically through
 //!   any profiler configuration.
 //! * **Sharded ingestion** ([`engine`]) — a [`ShardedEngine`] that
-//!   hash-partitions the stream across worker threads over bounded
-//!   channels, cuts intervals on the *global* event count, and merges the
+//!   hash-partitions the stream across worker threads over per-shard
+//!   bounded SPSC batch rings ([`ring`]), recycles batch buffers back from
+//!   the workers, cuts intervals on the *global* event count, and merges the
 //!   per-shard [`IntervalProfile`](mhp_core::IntervalProfile)s into output
 //!   equal in meaning to a single-threaded run (see
 //!   [`IntervalProfile::merge`](mhp_core::IntervalProfile::merge) for the
@@ -54,6 +55,7 @@
 pub mod engine;
 pub mod error;
 pub mod format;
+pub mod ring;
 pub mod telemetry;
 
 pub use engine::{
@@ -61,7 +63,8 @@ pub use engine::{
 };
 pub use error::Error;
 pub use format::{
-    crc32, decode_chunk, decode_chunk_into, encode_chunk, TraceKind, TraceReader, TraceWriter,
-    CHUNK_HEADER_BYTES, DEFAULT_CHUNK_EVENTS, FORMAT_VERSION, MAGIC, MAX_CHUNK_BYTES,
+    crc32, decode_chunk, decode_chunk_into, decode_chunk_partitioned, encode_chunk, ChunkDecoder,
+    TraceKind, TraceReader, TraceWriter, CHUNK_HEADER_BYTES, DEFAULT_CHUNK_EVENTS, FORMAT_VERSION,
+    MAGIC, MAX_CHUNK_BYTES,
 };
 pub use telemetry::{EngineTelemetry, RegistrySink};

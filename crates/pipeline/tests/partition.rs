@@ -1,0 +1,96 @@
+//! Property tests for partition-while-decoding: `decode_chunk_partitioned`
+//! must be a shard-ordered permutation of the flat `decode_chunk_into`
+//! output with tuple-stable routing (no tuple in two shards), and the
+//! engine's chunked ingest must match per-event pushes for all three
+//! profiler specs.
+
+use mhp_core::Tuple;
+use mhp_pipeline::{
+    decode_chunk_into, decode_chunk_partitioned, encode_chunk, shard_of, EngineConfig,
+    ProfilerSpec, ShardedEngine,
+};
+use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn partitioned_decode_is_a_shard_stable_permutation(
+        events in prop::collection::vec((any::<u64>(), any::<u64>()), 0..500),
+        shards in 1usize..9,
+    ) {
+        let tuples: Vec<Tuple> = events.iter().map(|&(pc, v)| Tuple::new(pc, v)).collect();
+        let chunk = encode_chunk(&tuples);
+
+        let mut flat = Vec::new();
+        let consumed_flat = decode_chunk_into(&chunk, &mut flat).unwrap();
+        let mut outs: Vec<Vec<Tuple>> = vec![Vec::new(); shards];
+        let consumed = decode_chunk_partitioned(&chunk, &mut outs).unwrap();
+        prop_assert_eq!(consumed, consumed_flat);
+
+        // Tuple-stability: sub-batch `s` holds exactly the tuples that hash
+        // to shard `s`, in stream order. Equality against the filtered flat
+        // decode also proves no tuple ever lands in two sub-batches.
+        for (shard, out) in outs.iter().enumerate() {
+            let expected: Vec<Tuple> = flat
+                .iter()
+                .copied()
+                .filter(|&t| shard_of(t, shards) == shard)
+                .collect();
+            prop_assert_eq!(out, &expected, "shard {} of {}", shard, shards);
+        }
+
+        // Concatenated in shard order, the sub-batches are a permutation of
+        // the flat decode: same multiset, nothing lost or duplicated.
+        let mut concat: Vec<Tuple> = outs.concat();
+        let mut flat_sorted = flat;
+        concat.sort();
+        flat_sorted.sort();
+        prop_assert_eq!(concat, flat_sorted);
+    }
+}
+
+proptest! {
+    // Each case spins up several multi-threaded engines; a few cases cover
+    // the chunk-size/seed space without dominating the suite's runtime.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn chunked_ingest_matches_per_event_push_for_every_spec(
+        stream_seed in any::<u64>(),
+        chunk_size in 50usize..400,
+    ) {
+        let events: Vec<Tuple> = StreamSpec::new(Benchmark::Li, StreamKind::Value, stream_seed)
+            .events()
+            .take(4_000)
+            .collect();
+        let interval = mhp_core::IntervalConfig::new(1_100, 0.02).unwrap();
+        for spec in ["multi-hash", "single-hash", "perfect"] {
+            let spec: ProfilerSpec = spec.parse().unwrap();
+            let engine = ShardedEngine::new(
+                EngineConfig::new(3).with_batch_events(128),
+                interval,
+                spec,
+                0xBEEF,
+            );
+
+            let mut reference = engine.start().unwrap();
+            reference.push_all(events.iter().copied()).unwrap();
+            let expected = reference.finish().unwrap();
+
+            let mut chunked = engine.start().unwrap();
+            for run in events.chunks(chunk_size) {
+                let chunk = encode_chunk(run);
+                let consumed = chunked.ingest_chunk(&chunk).unwrap();
+                prop_assert_eq!(consumed, chunk.len());
+            }
+            let report = chunked.finish().unwrap();
+            prop_assert_eq!(&report.profiles, &expected.profiles, "{}", spec);
+            prop_assert_eq!(report.events, expected.events);
+            prop_assert_eq!(report.intervals, expected.intervals);
+            // Routing statistics agree too: partition-while-decoding sends
+            // every tuple to the same shard the per-event path does.
+            for (a, b) in report.shards.iter().zip(expected.shards.iter()) {
+                prop_assert_eq!(a.events, b.events);
+            }
+        }
+    }
+}

@@ -26,12 +26,24 @@
 //!
 //! ## Backpressure, in order of escalation
 //!
-//! 1. **Busy connection**: while a job is in flight the connection's read
+//! 1. **Admission pacing**: accepted connections are parked — registered
+//!    with the reactor (so errors and hangups are still observed) but
+//!    without read interest — and admitted only as the worker queue has
+//!    headroom. An open burst therefore ramps in at the queue's drain
+//!    rate instead of slamming it and eating `Overloaded` sheds. Each
+//!    admission holds a queue *reservation* until the connection's first
+//!    request reaches the dispatch point, so a burst of first requests
+//!    can never overflow the queue, no matter how the bytes race the
+//!    admissions.
+//! 2. **Busy connection**: while a job is in flight the connection's read
 //!    interest is dropped — the kernel's receive buffer, and eventually
 //!    the client's send buffer, absorb the pushback. No unbounded queues.
-//! 2. **Full worker queue**: the request is answered immediately with the
-//!    retryable `Overloaded` error instead of being queued.
-//! 3. **Write buffer over its cap** (client not draining responses): the
+//! 3. **Full worker queue**: a further request from an already-admitted
+//!    connection that finds the queue full is answered immediately with
+//!    the retryable `Overloaded` error instead of being queued. After
+//!    pacing, this is the fallback for pipelined requests, not the
+//!    steady-state response to a connection ramp.
+//! 4. **Write buffer over its cap** (client not draining responses): the
 //!    response is shed for a tiny retryable `Overloaded` error; if even
 //!    that cannot fit, the connection is closed.
 //!
@@ -39,6 +51,7 @@
 //! front end (300 × read timeout), enforced by the reactor's timer wheel
 //! instead of per-read timeouts.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -47,7 +60,6 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mhp_core::Tuple;
 use mhp_faults::ConnAction;
 use mhp_net::{Conn, Event, Interest, Reactor, Slab, Step, TimerWheel, Token, Waker};
 use mhp_telemetry::{Counter, Gauge};
@@ -100,6 +112,14 @@ struct NetMetrics {
     queue_sheds: Counter,
     /// Jobs sitting in the worker queue right now.
     worker_queue_depth: Gauge,
+    /// Accepted connections parked, awaiting admission.
+    pending_admissions: Gauge,
+    /// Admitted connections still holding their first-dispatch queue
+    /// reservation.
+    admission_reservations: Gauge,
+    /// Admission passes that left connections parked because the worker
+    /// queue had no headroom — the pacing actually paced.
+    admission_deferrals: Counter,
 }
 
 impl NetMetrics {
@@ -111,6 +131,9 @@ impl NetMetrics {
             write_sheds: registry.counter("server_net_write_sheds_total"),
             queue_sheds: registry.counter("server_net_queue_sheds_total"),
             worker_queue_depth: registry.gauge("server_net_worker_queue_depth"),
+            pending_admissions: registry.gauge("server_net_pending_admissions"),
+            admission_reservations: registry.gauge("server_net_admission_reservations"),
+            admission_deferrals: registry.counter("server_net_admission_deferrals_total"),
         }
     }
 }
@@ -126,8 +149,6 @@ struct Job {
     request: Request,
     /// The connection's session hold, moved into the job and back.
     attached: Option<Attachment>,
-    /// The connection's decode scratch, likewise.
-    ingest_buf: Vec<Tuple>,
     /// Injected fault: tear this job's response frame, then hang up.
     truncate: bool,
     started: Instant,
@@ -139,7 +160,6 @@ struct Completion {
     /// The encoded response body.
     body: Vec<u8>,
     attached: Option<Attachment>,
-    ingest_buf: Vec<Tuple>,
     truncate: bool,
     started: Instant,
 }
@@ -156,8 +176,12 @@ struct EConn {
     write_pos: usize,
     /// The session hold; `None` while a job carries it.
     attached: Option<Attachment>,
-    /// Decode scratch; moved through jobs like `attached`.
-    ingest_buf: Vec<Tuple>,
+    /// Past admission pacing: parked connections (`false`) are not read
+    /// until the worker queue has headroom for them.
+    admitted: bool,
+    /// Still holding an admission reservation: one worker-queue slot is
+    /// spoken for until this connection's first request reaches dispatch.
+    reserved: bool,
     /// A job is in flight; read interest is dropped until it completes.
     busy: bool,
     /// Peer sent EOF; close once buffered frames and writes are done.
@@ -173,6 +197,17 @@ struct EConn {
 }
 
 impl EConn {
+    /// Releases this connection's admission reservation, if it still holds
+    /// one: the first request has reached the dispatch point (or never
+    /// will), so the reserved worker-queue slot is either consumed for
+    /// real or freed for the next parked connection.
+    fn release_reservation(&mut self) {
+        if self.reserved {
+            self.reserved = false;
+            self.net.admission_reservations.decr();
+        }
+    }
+
     /// Appends one framed body to the write buffer.
     fn append_frame(&mut self, body: &[u8]) {
         self.write_buf
@@ -294,10 +329,12 @@ impl EConn {
                 token: self.token,
                 request,
                 attached: self.attached.take(),
-                ingest_buf: std::mem::take(&mut self.ingest_buf),
                 truncate,
                 started: Instant::now(),
             };
+            // The queue slot the admission reserved is consumed (or the
+            // shed fallback below answers) right now.
+            self.release_reservation();
             match self.jobs.try_send(job) {
                 Ok(()) => {
                     self.net.worker_queue_depth.incr();
@@ -307,7 +344,6 @@ impl EConn {
                     // Backpressure, escalation 2: the pool is saturated.
                     // Hand the state back and answer retryably.
                     self.attached = job.attached;
-                    self.ingest_buf = job.ingest_buf;
                     self.net.queue_sheds.incr();
                     self.shared.metrics.errors_total.incr();
                     self.queue_error(
@@ -367,8 +403,9 @@ impl EConn {
             return Step::Close;
         }
         Step::Continue(Interest {
-            // Backpressure, escalation 1: a busy connection is not read.
-            readable: !self.busy && !self.read_closed && !self.close_after_flush,
+            // Backpressure, escalations 1 and 2: a parked connection is
+            // not read until admitted; a busy one not until completion.
+            readable: self.admitted && !self.busy && !self.read_closed && !self.close_after_flush,
             writable: !flushed,
         })
     }
@@ -380,7 +417,6 @@ impl EConn {
         self.net.worker_queue_depth.decr();
         self.busy = false;
         self.attached = completion.attached;
-        self.ingest_buf = completion.ingest_buf;
         self.shared
             .metrics
             .request_latency
@@ -406,11 +442,12 @@ impl Conn for EConn {
         if event.error {
             return Step::Close;
         }
-        // While busy, readiness is left in the kernel buffer: POLLIN is
-        // not subscribed, and a POLLHUP (unmaskable) is re-examined after
-        // the in-flight job completes — reading here would race the job
-        // for the connection's state.
-        if !self.busy && (event.readable || event.hangup) {
+        // While parked or busy, readiness is left in the kernel buffer:
+        // POLLIN is not subscribed, and a POLLHUP (unmaskable) is
+        // re-examined at admission or after the in-flight job completes —
+        // reading here would race the job for the connection's state, or
+        // dispatch ahead of the admission pacing.
+        if self.admitted && !self.busy && (event.readable || event.hangup) {
             self.drain_socket();
             self.dispatch_frames();
         }
@@ -443,7 +480,7 @@ fn worker(
             guard.recv()
         };
         let Ok(mut job) = job else { return };
-        let result = handle_request(job.request, &mut job.attached, &mut job.ingest_buf, &shared);
+        let result = handle_request(job.request, &mut job.attached, &shared);
         let body = match result {
             Ok(response) => response.encode(),
             Err(err) => {
@@ -462,7 +499,6 @@ fn worker(
                 token: job.token,
                 body,
                 attached: job.attached,
-                ingest_buf: job.ingest_buf,
                 truncate: job.truncate,
                 started: job.started,
             });
@@ -512,6 +548,9 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) {
         .collect();
 
     let mut slab: Slab<EConn> = Slab::new();
+    // Accepted-but-parked connections, in arrival order, awaiting
+    // worker-queue headroom (backpressure escalation 1).
+    let mut pending: VecDeque<Token> = VecDeque::new();
     let tick = Duration::from_millis(50);
     let mut wheel = TimerWheel::new(tick, 256);
     let mut events: Vec<Event> = Vec::new();
@@ -562,6 +601,7 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) {
                     &job_tx,
                     &mut reactor,
                     &mut slab,
+                    &mut pending,
                 );
                 continue;
             }
@@ -598,6 +638,20 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) {
                 now,
             );
         }
+
+        // Admission pacing: with completions folded in and fresh accepts
+        // parked, the queue depth is current — admit as much of the parked
+        // backlog as the headroom covers.
+        admit_pending(
+            &mut pending,
+            &config,
+            &mut reactor,
+            &mut wheel,
+            &mut slab,
+            &net,
+            shared,
+            now,
+        );
 
         if shared.shutdown.load(Ordering::SeqCst) {
             let deadline = *drain_deadline.get_or_insert_with(|| {
@@ -694,7 +748,16 @@ fn close_conn(
     net: &NetMetrics,
     shared: &Arc<Shared>,
 ) {
-    if slab.remove(token).is_some() {
+    if let Some(conn) = slab.remove(token) {
+        // A connection dying before admission (or before its first
+        // dispatch) gives its place back; its stale token in the pending
+        // queue is skipped when admission reaches it.
+        if !conn.admitted {
+            net.pending_admissions.decr();
+        }
+        if conn.reserved {
+            net.admission_reservations.decr();
+        }
         let _ = reactor.deregister(token);
         wheel.cancel(token);
         net.open_connections.decr();
@@ -702,8 +765,54 @@ fn close_conn(
     }
 }
 
+/// Admits parked connections, oldest first, while the worker queue has
+/// headroom for their first requests. Each admission both counts live
+/// jobs and the reservations of admitted connections whose first request
+/// has not reached dispatch yet, so a connection burst is physically
+/// unable to overflow the queue — the shed path remains only for
+/// pipelined requests beyond the first.
+#[allow(clippy::too_many_arguments)]
+fn admit_pending(
+    pending: &mut VecDeque<Token>,
+    config: &EventLoopConfig,
+    reactor: &mut Reactor,
+    wheel: &mut TimerWheel,
+    slab: &mut Slab<EConn>,
+    net: &NetMetrics,
+    shared: &Arc<Shared>,
+    now: Instant,
+) {
+    let cap = config.worker_queue_depth.max(1) as u64;
+    while let Some(&token) = pending.front() {
+        if net.worker_queue_depth.get() + net.admission_reservations.get() >= cap {
+            // The pacing actually paced: somebody waits for the drain.
+            net.admission_deferrals.incr();
+            break;
+        }
+        pending.pop_front();
+        let Some(conn) = slab.get_mut(token) else {
+            continue; // died while parked; close_conn settled the gauges
+        };
+        net.pending_admissions.decr();
+        conn.admitted = true;
+        conn.reserved = true;
+        net.admission_reservations.incr();
+        // Pull whatever arrived while parked: in a burst the request is
+        // usually already here, so it dispatches — consuming this
+        // admission's reserved slot — before the next parked connection
+        // is considered.
+        conn.drain_socket();
+        conn.dispatch_frames();
+        conn.flush_writes();
+        apply_step(token, reactor, wheel, slab, net, shared, now);
+    }
+}
+
 /// Accepts every pending connection: over-capacity peers get the
-/// retryable `Overloaded` rejection, the rest join the reactor.
+/// retryable `Overloaded` rejection, the rest join the reactor *parked* —
+/// registered for errors and hangups only — until [`admit_pending`] finds
+/// worker-queue headroom for them.
+#[allow(clippy::too_many_arguments)]
 fn accept_ready(
     listener: &TcpListener,
     shared: &Arc<Shared>,
@@ -712,6 +821,7 @@ fn accept_ready(
     job_tx: &SyncSender<Job>,
     reactor: &mut Reactor,
     slab: &mut Slab<EConn>,
+    pending: &mut VecDeque<Token>,
 ) {
     loop {
         match listener.accept() {
@@ -736,7 +846,8 @@ fn accept_ready(
                     write_buf: Vec::new(),
                     write_pos: 0,
                     attached: None,
-                    ingest_buf: Vec::new(),
+                    admitted: false,
+                    reserved: false,
                     busy: false,
                     read_closed: false,
                     close_after_flush: false,
@@ -747,11 +858,14 @@ fn accept_ready(
                     write_cap: config.max_write_buffer_bytes.max(MAX_FRAME_BYTES + 4),
                 });
                 slab.get_mut(token).expect("just inserted").token = token;
-                if reactor.register(fd, token, Interest::READABLE).is_err() {
+                if reactor.register(fd, token, Interest::NONE).is_err() {
                     slab.remove(token);
                     net.open_connections.decr();
                     shared.metrics.connections_active.decr();
+                    continue;
                 }
+                net.pending_admissions.incr();
+                pending.push_back(token);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(_) => break,

@@ -51,11 +51,9 @@ use std::time::{Duration, Instant};
 use mhp_telemetry::CounterVec;
 
 use mhp_core::state::{SnapshotReader, SnapshotWriter, KIND_SERVER_SESSION};
-use mhp_core::{IntervalConfig, IntrospectionSink, SnapshotError, Tuple};
+use mhp_core::{IntervalConfig, IntrospectionSink, SnapshotError};
 use mhp_faults::{ConnAction, FaultHook};
-use mhp_pipeline::{
-    decode_chunk_into, EngineConfig, EngineSession, EngineTelemetry, RegistrySink, ShardedEngine,
-};
+use mhp_pipeline::{EngineConfig, EngineSession, EngineTelemetry, RegistrySink, ShardedEngine};
 
 use crate::error::{ErrorCode, ServerError};
 use crate::metrics::{Counter, Metrics};
@@ -1028,9 +1026,6 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     // the hold (replacement, close, or any handler exit) releases the
     // session back to the eviction sweep.
     let mut attached: Option<Attachment> = None;
-    // Decoded-chunk scratch, reused across every ingest on this connection
-    // so steady-state streaming does not allocate per chunk.
-    let mut ingest_buf: Vec<Tuple> = Vec::new();
 
     loop {
         let body = match read_frame(&mut reader) {
@@ -1086,7 +1081,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if conn_fault == ConnAction::Drop {
             return;
         }
-        let response = match handle_request(request, &mut attached, &mut ingest_buf, shared) {
+        let response = match handle_request(request, &mut attached, shared) {
             Ok(response) => response,
             Err(err) => {
                 shared.metrics.errors_total.incr();
@@ -1131,13 +1126,11 @@ fn respond_error(writer: &mut impl Write, err: &ServerError) {
 
 /// Dispatches one decoded request against the shared state. Used by both
 /// front ends: threaded handlers call it on their own thread; the event
-/// loop's worker pool calls it with the connection's attachment and
-/// scratch buffer moved into the job (one job in flight per connection,
-/// so the move is exclusive).
+/// loop's worker pool calls it with the connection's attachment moved into
+/// the job (one job in flight per connection, so the move is exclusive).
 pub(crate) fn handle_request(
     request: Request,
     attached: &mut Option<Attachment>,
-    ingest_buf: &mut Vec<Tuple>,
     shared: &Shared,
 ) -> Result<Response, ServerError> {
     match request {
@@ -1189,8 +1182,29 @@ pub(crate) fn handle_request(
             ingest_admission(shared)?;
             charge_tenant_ingest(session, chunk.len(), shared)?;
             apply_chunk_faults(shared, &mut chunk);
+            // Partition-while-decoding: the engine routes records into
+            // per-shard batches straight out of the varint decoder, so the
+            // chunk is never materialized in a flat buffer and re-scanned.
+            // Header and CRC are verified before any record is ingested,
+            // so a corrupt chunk (fault injection included) is rejected
+            // whole.
             let decode_started = Instant::now();
-            let consumed = decode_chunk_into(&chunk, ingest_buf)?;
+            let (total_events, ingested, intervals, consumed) = session.with_engine(|engine| {
+                let events_before = engine.events();
+                let intervals_before = engine.intervals();
+                let consumed = engine.ingest_chunk(&chunk)?;
+                let after = engine.intervals();
+                shared
+                    .metrics
+                    .intervals_completed
+                    .add(after - intervals_before);
+                Ok((
+                    engine.events(),
+                    engine.events() - events_before,
+                    after,
+                    consumed,
+                ))
+            })?;
             shared
                 .metrics
                 .chunk_decode
@@ -1198,19 +1212,12 @@ pub(crate) fn handle_request(
             if consumed != chunk.len() {
                 return Err(ServerError::protocol("trailing bytes after ingest chunk"));
             }
-            let (total_events, intervals) = session.with_engine(|engine| {
-                let before = engine.intervals();
-                engine.push_all(ingest_buf.iter().copied())?;
-                let after = engine.intervals();
-                shared.metrics.intervals_completed.add(after - before);
-                Ok((engine.events(), after))
-            })?;
             shared.metrics.chunks_ingested.incr();
-            shared.metrics.events_ingested.add(ingest_buf.len() as u64);
+            shared.metrics.events_ingested.add(ingested);
             shared
                 .tenancy
                 .events_ingested
-                .add(&session.tenant, ingest_buf.len() as u64);
+                .add(&session.tenant, ingested);
             shared
                 .tenancy
                 .bytes_ingested
@@ -1250,7 +1257,9 @@ pub(crate) fn handle_request(
                     });
                 }
                 let decode_started = Instant::now();
-                let consumed = decode_chunk_into(&chunk, ingest_buf)?;
+                let events_before = engine.events();
+                let intervals_before = engine.intervals();
+                let consumed = engine.ingest_chunk(&chunk)?;
                 shared
                     .metrics
                     .chunk_decode
@@ -1258,16 +1267,18 @@ pub(crate) fn handle_request(
                 if consumed != chunk.len() {
                     return Err(ServerError::protocol("trailing bytes after ingest chunk"));
                 }
-                let before = engine.intervals();
-                engine.push_all(ingest_buf.iter().copied())?;
                 let after = engine.intervals();
-                shared.metrics.intervals_completed.add(after - before);
+                let ingested = engine.events() - events_before;
+                shared
+                    .metrics
+                    .intervals_completed
+                    .add(after - intervals_before);
                 shared.metrics.chunks_ingested.incr();
-                shared.metrics.events_ingested.add(ingest_buf.len() as u64);
+                shared.metrics.events_ingested.add(ingested);
                 shared
                     .tenancy
                     .events_ingested
-                    .add(&session.tenant, ingest_buf.len() as u64);
+                    .add(&session.tenant, ingested);
                 shared
                     .tenancy
                     .bytes_ingested

@@ -227,6 +227,79 @@ fn event_loop_rejects_over_capacity_with_overloaded() {
     server.join();
 }
 
+/// An open burst is paced through admission instead of shed: with a
+/// worker queue of depth 1, eight clients that connect and then fire a
+/// request simultaneously must all be answered without a single queue
+/// shed — the reactor parks the accepts and admits each connection only
+/// as the queue drains, instead of dispatching the whole burst into a
+/// shower of `Overloaded` retries.
+#[test]
+fn open_burst_is_admitted_without_queue_sheds() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            event_loop: Some(EventLoopConfig {
+                workers: 1,
+                worker_queue_depth: 1,
+                ..EventLoopConfig::default()
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Connect everyone first, then fire every request at once — the worst
+    // case for an accept path that admits faster than the queue drains.
+    let mut socks: Vec<std::net::TcpStream> = (0..8)
+        .map(|_| {
+            let sock = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            sock.set_nodelay(true).unwrap();
+            sock
+        })
+        .collect();
+    let body = mhp_server::Request::Stats.encode();
+    let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&body);
+    for sock in &mut socks {
+        sock.write_all(&wire).unwrap();
+        sock.flush().unwrap();
+    }
+    for sock in &mut socks {
+        let frame = mhp_server::protocol::read_frame(sock)
+            .unwrap()
+            .expect("server closed instead of answering a burst request");
+        match mhp_server::Response::decode(&frame).unwrap() {
+            mhp_server::Response::Stats(_) => {}
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+    drop(socks);
+
+    let mut probe = Client::connect(server.local_addr()).unwrap();
+    let exposition = probe.metrics().unwrap();
+    assert_eq!(
+        metric_value(&exposition, "server_net_queue_sheds_total"),
+        0,
+        "the burst was shed instead of paced"
+    );
+    assert!(
+        metric_value(&exposition, "server_net_admission_deferrals_total") > 0,
+        "the burst never exercised admission pacing"
+    );
+    assert_eq!(
+        metric_value(&exposition, "server_net_pending_admissions"),
+        0,
+        "admission backlog gauge did not drain back to zero"
+    );
+    assert_eq!(
+        metric_value(&exposition, "server_net_admission_reservations"),
+        0,
+        "reservation gauge did not drain back to zero"
+    );
+    probe.shutdown_server().unwrap();
+    server.join();
+}
+
 /// The multiplexed load generator holds hundreds of concurrent sessions
 /// open against the reactor from a single thread; every session opens, the
 /// active subset streams to completion, and the server's gauges agree.

@@ -747,7 +747,12 @@ impl EngineSession {
     /// decoder into its shard's batch. The chunk header and payload CRC are
     /// verified before any record is ingested, so a corrupt chunk is
     /// rejected whole; a record-level decode error mid-chunk (which the
-    /// CRC makes practically unreachable) leaves the prefix ingested.
+    /// CRC makes practically unreachable) leaves the prefix ingested —
+    /// callers that must reconcile can diff [`events`](Self::events)
+    /// around the call, and protocol layers that need the buffer to be
+    /// exactly one chunk should pre-check its length with
+    /// [`declared_chunk_len`](crate::declared_chunk_len) so their error
+    /// fires before anything is applied.
     ///
     /// # Errors
     ///

@@ -370,6 +370,43 @@ pub fn decode_chunk_into(bytes: &[u8], events: &mut Vec<Tuple>) -> Result<usize,
     Ok(CHUNK_HEADER_BYTES + payload_len)
 }
 
+/// Total bytes (header plus declared payload) the chunk at the front of
+/// `bytes` occupies — what decoding it would return as consumed — computed
+/// from the header alone, without touching the payload (no CRC, no record
+/// decode).
+///
+/// This is the cheap pre-check for callers that require a buffer to hold
+/// exactly one chunk: comparing the result against the buffer length
+/// rejects trailing garbage *before* any record reaches a profiler, so the
+/// resulting protocol error cannot leave state half-mutated behind a
+/// request the client will retry.
+///
+/// # Errors
+///
+/// The header subset of [`decode_chunk_into`]'s gauntlet:
+/// [`Error::Truncated`] / [`Error::UnexpectedEof`] for a missing or partial
+/// header, [`Error::ChunkTooLarge`] / [`Error::ChunkDecode`] for
+/// implausible declared sizes. Payload-level damage (a short payload, a CRC
+/// mismatch) is *not* detected here — [`ChunkDecoder::open`] catches it,
+/// still before any record is decoded.
+pub fn declared_chunk_len(bytes: &[u8]) -> Result<usize, Error> {
+    if bytes.len() < CHUNK_HEADER_BYTES {
+        return Err(if bytes.is_empty() {
+            Error::Truncated {
+                context: "chunk header",
+            }
+        } else {
+            Error::UnexpectedEof {
+                context: "chunk header",
+            }
+        });
+    }
+    let payload_len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as u64;
+    let record_count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    validate_chunk_header(payload_len, record_count, 0)?;
+    Ok(CHUNK_HEADER_BYTES + payload_len as usize)
+}
+
 /// A resumable decoder over one chunk: the caller pulls records a sub-run
 /// at a time instead of receiving the whole chunk as one `Vec<Tuple>`.
 ///

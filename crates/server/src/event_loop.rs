@@ -34,7 +34,10 @@
 //!    admission holds a queue *reservation* until the connection's first
 //!    request reaches the dispatch point, so a burst of first requests
 //!    can never overflow the queue, no matter how the bytes race the
-//!    admissions.
+//!    admissions. Reservations are deadline-bounded: an admitted
+//!    connection that sends no first request within the admission grace
+//!    releases its slot (and stays admitted), so idle connections cannot
+//!    starve later arrivals out of admission.
 //! 2. **Busy connection**: while a job is in flight the connection's read
 //!    interest is dropped — the kernel's receive buffer, and eventually
 //!    the client's send buffer, absorb the pushback. No unbounded queues.
@@ -117,8 +120,9 @@ struct NetMetrics {
     /// Admitted connections still holding their first-dispatch queue
     /// reservation.
     admission_reservations: Gauge,
-    /// Admission passes that left connections parked because the worker
-    /// queue had no headroom — the pacing actually paced.
+    /// Connections whose admission was deferred because the worker queue
+    /// had no headroom — the pacing actually paced. Counted once per
+    /// connection, at its first deferred pass, not once per loop pass.
     admission_deferrals: Counter,
 }
 
@@ -142,6 +146,15 @@ impl NetMetrics {
 /// (`MAX_MID_FRAME_TIMEOUTS` in `protocol.rs`): a peer silent for this
 /// many read-timeout periods partway through a frame is declared stalled.
 const STALL_BUDGET: u32 = 300;
+
+/// An admitted connection must land its first request within this many
+/// read-timeout periods, or its worker-queue reservation is released (the
+/// connection stays admitted; a late first request takes the normal
+/// full-queue shed path). Without this bound, `worker_queue_depth`
+/// connections that connect and send nothing — a client pool pre-opening
+/// sockets, say — would hold every reservable slot forever and park all
+/// later arrivals indefinitely.
+const RESERVATION_BUDGET: u32 = 20;
 
 /// One request moved off the loop thread.
 struct Job {
@@ -180,8 +193,12 @@ struct EConn {
     /// until the worker queue has headroom for them.
     admitted: bool,
     /// Still holding an admission reservation: one worker-queue slot is
-    /// spoken for until this connection's first request reaches dispatch.
+    /// spoken for until this connection's first request reaches dispatch
+    /// or the admission grace ([`RESERVATION_BUDGET`]) expires.
     reserved: bool,
+    /// Already counted in `admission_deferrals`; keeps that counter at one
+    /// per deferred connection rather than one per deferred pass.
+    deferral_counted: bool,
     /// A job is in flight; read interest is dropped until it completes.
     busy: bool,
     /// Peer sent EOF; close once buffered frames and writes are done.
@@ -456,6 +473,17 @@ impl Conn for EConn {
     }
 
     fn on_timer(&mut self, _now: Instant) -> Step {
+        // While the reservation is held, the only timer armed is the
+        // admission grace (finish_step defers the stall clock until the
+        // reservation resolves) — so firing here means the grace expired
+        // without a first request. Release the reserved slot so idle
+        // admitted connections cannot starve the pending queue; the
+        // connection itself stays admitted and readable, and if it is
+        // mid-frame the settle below arms a fresh stall budget.
+        if self.reserved {
+            self.release_reservation();
+            return self.settle();
+        }
         // Armed only while a partial frame is pending; if it still is, the
         // peer stalled mid-frame past the budget.
         if !self.busy && self.decoder.mid_frame() {
@@ -721,9 +749,15 @@ fn finish_step(
         Step::Continue(interest) => {
             let _ = reactor.set_interest(token, interest);
             let conn = slab.get_mut(token).expect("continuing conn is live");
-            // The stall clock runs only while a partial frame is pending;
-            // fresh bytes re-arm it, completion cancels it.
-            if !conn.busy && conn.decoder.mid_frame() {
+            if conn.reserved {
+                // The admission-grace deadline armed by admit_pending stays
+                // put: activity short of a dispatched first request (write
+                // readiness, dribbled partial bytes) must not extend the
+                // reservation's hold on its worker-queue slot. The stall
+                // clock takes over once the reservation resolves.
+            } else if !conn.busy && conn.decoder.mid_frame() {
+                // The stall clock runs only while a partial frame is
+                // pending; fresh bytes re-arm it, completion cancels it.
                 let stall = shared
                     .config
                     .read_timeout
@@ -770,7 +804,10 @@ fn close_conn(
 /// jobs and the reservations of admitted connections whose first request
 /// has not reached dispatch yet, so a connection burst is physically
 /// unable to overflow the queue — the shed path remains only for
-/// pipelined requests beyond the first.
+/// pipelined requests beyond the first. Each reservation is bounded by an
+/// admission-grace deadline ([`RESERVATION_BUDGET`] read-timeouts) so a
+/// connection that sends nothing gives its slot back instead of deferring
+/// later arrivals forever.
 #[allow(clippy::too_many_arguments)]
 fn admit_pending(
     pending: &mut VecDeque<Token>,
@@ -786,7 +823,21 @@ fn admit_pending(
     while let Some(&token) = pending.front() {
         if net.worker_queue_depth.get() + net.admission_reservations.get() >= cap {
             // The pacing actually paced: somebody waits for the drain.
-            net.admission_deferrals.incr();
+            // Count each connection's transition into the deferred state
+            // once, not once per 50ms pass. New arrivals sit at the back
+            // and counted connections only leave from the front, so
+            // walking back-to-front and stopping at the first counted one
+            // touches each connection O(1) times across its parked life.
+            for &parked in pending.iter().rev() {
+                let Some(conn) = slab.get_mut(parked) else {
+                    continue; // died while parked; skipped at pop too
+                };
+                if conn.deferral_counted {
+                    break;
+                }
+                conn.deferral_counted = true;
+                net.admission_deferrals.incr();
+            }
             break;
         }
         pending.pop_front();
@@ -797,6 +848,17 @@ fn admit_pending(
         conn.admitted = true;
         conn.reserved = true;
         net.admission_reservations.incr();
+        // The reservation is deadline-bounded: if no first request has
+        // reached dispatch when this fires, on_timer releases the slot
+        // back to the parked queue. While the reservation is held this is
+        // the only timer armed for the connection (see finish_step), so
+        // an idle or dribbling peer cannot extend it.
+        let grace = shared
+            .config
+            .read_timeout
+            .saturating_mul(RESERVATION_BUDGET)
+            .max(Duration::from_millis(50));
+        wheel.schedule(token, now, grace);
         // Pull whatever arrived while parked: in a burst the request is
         // usually already here, so it dispatches — consuming this
         // admission's reserved slot — before the next parked connection
@@ -848,6 +910,7 @@ fn accept_ready(
                     attached: None,
                     admitted: false,
                     reserved: false,
+                    deferral_counted: false,
                     busy: false,
                     read_closed: false,
                     close_after_flush: false,

@@ -53,7 +53,9 @@ use mhp_telemetry::CounterVec;
 use mhp_core::state::{SnapshotReader, SnapshotWriter, KIND_SERVER_SESSION};
 use mhp_core::{IntervalConfig, IntrospectionSink, SnapshotError};
 use mhp_faults::{ConnAction, FaultHook};
-use mhp_pipeline::{EngineConfig, EngineSession, EngineTelemetry, RegistrySink, ShardedEngine};
+use mhp_pipeline::{
+    declared_chunk_len, EngineConfig, EngineSession, EngineTelemetry, RegistrySink, ShardedEngine,
+};
 
 use crate::error::{ErrorCode, ServerError};
 use crate::metrics::{Counter, Metrics};
@@ -1182,6 +1184,7 @@ pub(crate) fn handle_request(
             ingest_admission(shared)?;
             charge_tenant_ingest(session, chunk.len(), shared)?;
             apply_chunk_faults(shared, &mut chunk);
+            reject_trailing_bytes(&chunk)?;
             // Partition-while-decoding: the engine routes records into
             // per-shard batches straight out of the varint decoder, so the
             // chunk is never materialized in a flat buffer and re-scanned.
@@ -1209,9 +1212,11 @@ pub(crate) fn handle_request(
                 .metrics
                 .chunk_decode
                 .record_duration(decode_started.elapsed());
-            if consumed != chunk.len() {
-                return Err(ServerError::protocol("trailing bytes after ingest chunk"));
-            }
+            debug_assert_eq!(
+                consumed,
+                chunk.len(),
+                "pre-checked by reject_trailing_bytes"
+            );
             shared.metrics.chunks_ingested.incr();
             shared.metrics.events_ingested.add(ingested);
             shared
@@ -1256,6 +1261,7 @@ pub(crate) fn handle_request(
                         ),
                     });
                 }
+                reject_trailing_bytes(&chunk)?;
                 let decode_started = Instant::now();
                 let events_before = engine.events();
                 let intervals_before = engine.intervals();
@@ -1264,9 +1270,11 @@ pub(crate) fn handle_request(
                     .metrics
                     .chunk_decode
                     .record_duration(decode_started.elapsed());
-                if consumed != chunk.len() {
-                    return Err(ServerError::protocol("trailing bytes after ingest chunk"));
-                }
+                debug_assert_eq!(
+                    consumed,
+                    chunk.len(),
+                    "pre-checked by reject_trailing_bytes"
+                );
                 let after = engine.intervals();
                 let ingested = engine.events() - events_before;
                 shared
@@ -1407,6 +1415,23 @@ fn apply_chunk_faults(shared: &Shared, chunk: &mut [u8]) {
             std::thread::sleep(pause);
         }
     }
+}
+
+/// Rejects an ingest buffer with bytes beyond its one declared chunk,
+/// *before* anything reaches the engine: the error is a protocol error the
+/// client will retry, so a half-applied chunk would double-ingest every
+/// event (and skew the ingest counters, which the error path skips).
+///
+/// Only the trailing-garbage case is decided here, from the header's
+/// declared length alone. Every other malformed-header shape (truncated,
+/// implausible sizes, payload shorter than declared) is left to the
+/// decoder's own gauntlet, which also fires before any record is ingested
+/// and keeps its existing error codes.
+fn reject_trailing_bytes(chunk: &[u8]) -> Result<(), ServerError> {
+    if declared_chunk_len(chunk).is_ok_and(|len| len < chunk.len()) {
+        return Err(ServerError::protocol("trailing bytes after ingest chunk"));
+    }
+    Ok(())
 }
 
 /// The attached session, freshly touched — every session-targeted request

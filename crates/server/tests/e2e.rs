@@ -517,3 +517,53 @@ fn idle_sessions_evict_under_memory_budget_and_restore_on_attach() {
     server.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A chunk with trailing garbage is rejected *before* anything reaches the
+/// engine: the request fails with a protocol error, no event or counter
+/// moves, and a retry with the clean chunk lands exactly once — the
+/// half-ingested-then-rejected state would make every client retry a
+/// double ingest.
+#[test]
+fn trailing_garbage_chunk_is_rejected_before_ingest() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let events = workload(3, 1_000);
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .open_session("trailing", SessionConfig::default_multi_hash())
+        .unwrap();
+
+    let mut dirty = mhp_pipeline::encode_chunk(&events);
+    dirty.extend_from_slice(b"trailing garbage");
+    match client.ingest_chunk(dirty.clone()) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected a protocol rejection, got {other:?}"),
+    }
+
+    // Nothing was applied and nothing was counted: the engine and the
+    // ingest counters agree the rejected chunk never happened.
+    let stats = client.stats().unwrap();
+    assert_eq!(stat_value(&stats, "events_ingested"), Some(0));
+    assert_eq!(stat_value(&stats, "chunks_ingested"), Some(0));
+
+    // The retry (the clean prefix of the same bytes) lands exactly once.
+    let clean = mhp_pipeline::encode_chunk(&events);
+    let (total, _intervals) = client.ingest_chunk(clean).unwrap();
+    assert_eq!(total, 1_000, "retry after rejection must not double-ingest");
+
+    // The sequenced path pre-checks identically.
+    let (total, _intervals) = match client.ingest_seq(1, dirty) {
+        Err(ServerError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            client
+                .ingest_seq(1, mhp_pipeline::encode_chunk(&events))
+                .unwrap()
+        }
+        other => panic!("expected a protocol rejection, got {other:?}"),
+    };
+    assert_eq!(total, 2_000);
+
+    client.close_session().unwrap();
+    client.shutdown_server().unwrap();
+    server.join();
+}

@@ -282,9 +282,11 @@ fn open_burst_is_admitted_without_queue_sheds() {
         0,
         "the burst was shed instead of paced"
     );
+    let deferrals = metric_value(&exposition, "server_net_admission_deferrals_total");
+    assert!(deferrals > 0, "the burst never exercised admission pacing");
     assert!(
-        metric_value(&exposition, "server_net_admission_deferrals_total") > 0,
-        "the burst never exercised admission pacing"
+        deferrals <= 8,
+        "deferrals must count connections, not pacing passes; got {deferrals}"
     );
     assert_eq!(
         metric_value(&exposition, "server_net_pending_admissions"),
@@ -295,6 +297,84 @@ fn open_burst_is_admitted_without_queue_sheds() {
         metric_value(&exposition, "server_net_admission_reservations"),
         0,
         "reservation gauge did not drain back to zero"
+    );
+    probe.shutdown_server().unwrap();
+    server.join();
+}
+
+/// An admitted connection that never sends its first request must not hold
+/// its worker-queue reservation forever: with a queue of depth 1, one
+/// client that connects and goes silent would otherwise keep
+/// `reservations + depth >= cap` true on every admission pass and park all
+/// later connections indefinitely — a total denial of service. The
+/// admission grace releases the idle reservation, the second client is
+/// admitted and served, and the idler itself stays admitted (a late first
+/// request still gets an answer).
+#[test]
+fn idle_connection_cannot_starve_admissions() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            // Admission grace = RESERVATION_BUDGET (20) × 10ms = 200ms.
+            read_timeout: Duration::from_millis(10),
+            event_loop: Some(EventLoopConfig {
+                workers: 1,
+                worker_queue_depth: 1,
+                ..EventLoopConfig::default()
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Connects, gets admitted, takes the only reservation — then nothing.
+    let mut idle = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Let the loop admit the idler before the real client arrives, so the
+    // reservation is genuinely held when the contender shows up.
+    std::thread::sleep(Duration::from_millis(120));
+
+    let mut sock = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_nodelay(true).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body = mhp_server::Request::Stats.encode();
+    let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&body);
+    sock.write_all(&wire).unwrap();
+    sock.flush().unwrap();
+    let frame = mhp_server::protocol::read_frame(&mut sock)
+        .unwrap()
+        .expect("server closed instead of answering past the idle holder");
+    match mhp_server::Response::decode(&frame).unwrap() {
+        mhp_server::Response::Stats(_) => {}
+        other => panic!("expected stats, got {other:?}"),
+    }
+    drop(sock);
+
+    // The idler stayed admitted: its (late) first request is still served.
+    idle.write_all(&wire).unwrap();
+    idle.flush().unwrap();
+    let frame = mhp_server::protocol::read_frame(&mut idle)
+        .unwrap()
+        .expect("idle connection was cut instead of kept admitted");
+    match mhp_server::Response::decode(&frame).unwrap() {
+        mhp_server::Response::Stats(_) => {}
+        other => panic!("expected stats, got {other:?}"),
+    }
+    drop(idle);
+
+    let mut probe = Client::connect(server.local_addr()).unwrap();
+    let exposition = probe.metrics().unwrap();
+    assert!(
+        metric_value(&exposition, "server_net_admission_deferrals_total") > 0,
+        "the second connection was never actually deferred behind the idler"
+    );
+    assert_eq!(
+        metric_value(&exposition, "server_net_admission_reservations"),
+        0,
+        "reservation gauge did not drain after the grace released the idler"
     );
     probe.shutdown_server().unwrap();
     server.join();

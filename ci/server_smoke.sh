@@ -2,9 +2,10 @@
 # Server integration smoke test: boot mhp-server on an ephemeral port, run
 # the end-to-end equivalence check (streamed snapshots + live top-k must
 # match an offline ShardedEngine run over the pinned workload), hit it with
-# a concurrent loadgen, scrape the Prometheus metrics query, and shut it
-# down gracefully. Fails on any protocol error, any mismatch, a missing or
-# zero core metric, or an unclean shutdown.
+# a concurrent loadgen, scrape the Prometheus metrics query, fetch the
+# request-trace stream, and shut it down gracefully. Fails on any protocol
+# error, any mismatch, a missing or zero core metric, a traceless or
+# stage-incomplete trace stream, or an unclean shutdown.
 #
 # MODE=threaded (default) runs the thread-per-connection front end;
 # MODE=event-loop runs the same checks against the readiness-based reactor
@@ -71,6 +72,31 @@ printf '%s\n' "$metrics" | grep -q '^# TYPE server_request_latency_us histogram$
   echo "server_smoke: latency histogram missing from exposition" >&2
   exit 1
 }
+
+echo "==> traces: stage-attributed request traces after traffic"
+traces="$(target/release/mhp-client traces --addr "$addr")"
+trace_lines="$(printf '%s\n' "$traces" | grep -c '"type":"trace"' || true)"
+if [ "$trace_lines" -eq 0 ]; then
+  echo "server_smoke: no sampled traces after traffic" >&2
+  printf '%s\n' "$traces" >&2
+  exit 1
+fi
+first_trace="$(printf '%s\n' "$traces" | grep -m1 '"type":"trace"')"
+for stage in admission_wait frame_decode queue_wait dispatch ingest reply_write; do
+  printf '%s\n' "$traces" | grep -q "\"stage\":\"$stage\"" || {
+    echo "server_smoke: stage summary $stage missing from traces" >&2
+    exit 1
+  }
+  printf '%s\n' "$first_trace" | grep -q "\"$stage\":" || {
+    echo "server_smoke: sampled trace missing stage field $stage" >&2
+    exit 1
+  }
+  printf '%s\n' "$metrics" | grep -q "^# TYPE server_stage_${stage}_us histogram$" || {
+    echo "server_smoke: server_stage_${stage}_us histogram missing from exposition" >&2
+    exit 1
+  }
+done
+echo "    $trace_lines sampled trace(s), all six stages attributed"
 
 if [ "$MODE" = "event-loop" ]; then
   echo "==> net metrics: reactor gauges and counters after traffic"

@@ -18,9 +18,30 @@ use mhp_server::{
     tenant_of, Client, ErrorCode, ProfileData, ProfilerKind, Request, Response, ServerError,
     SessionConfig, SessionInfo,
 };
-use mhp_telemetry::{Counter, CounterVec, Registry};
+use mhp_telemetry::{Counter, CounterVec, Registry, Trace, TraceConfig, Tracer};
 
 use crate::state::{AggState, CUMULATIVE_SUFFIX};
+
+/// The aggregator's pull-cycle stage taxonomy, in pipeline order; the
+/// tracer registers one `agg_stage_{name}_us` histogram per entry.
+pub const AGG_STAGES: &[&str] = &[
+    "connect",
+    "list_sessions",
+    "snapshot",
+    "apply",
+    "checkpoint",
+];
+
+/// Connecting to an upstream.
+const AGG_STAGE_CONNECT: usize = 0;
+/// Listing the upstream's sessions.
+const AGG_STAGE_LIST_SESSIONS: usize = 1;
+/// Attaching to sessions and pulling their interval snapshots.
+const AGG_STAGE_SNAPSHOT: usize = 2;
+/// Merging the harvest into the tree under the state lock.
+const AGG_STAGE_APPLY: usize = 3;
+/// Encoding and atomically writing the cycle's checkpoint.
+const AGG_STAGE_CHECKPOINT: usize = 4;
 
 /// Tuning for an [`Aggregator`].
 #[derive(Debug, Clone)]
@@ -68,6 +89,11 @@ struct AggTelemetry {
     restores: Counter,
     tenant_profiles_merged: CounterVec,
     tenant_events_merged: CounterVec,
+    /// Per-pull-cycle stage tracing: one `"pull"` trace per upstream per
+    /// cycle (detail = upstream index) plus one `"checkpoint"` trace per
+    /// progressing cycle, behind the same `traces` query the server
+    /// answers.
+    tracer: Tracer,
 }
 
 impl AggTelemetry {
@@ -88,6 +114,7 @@ impl AggTelemetry {
                 "agg_tenant_events_merged_total",
                 "tenant",
             ),
+            tracer: Tracer::new(&registry, TraceConfig::new("agg", AGG_STAGES)),
             registry,
         }
     }
@@ -198,6 +225,12 @@ impl RunningAggregator {
         self.inner.telemetry.registry.render_prometheus()
     }
 
+    /// The pull-cycle trace stream as JSONL — stage summaries followed by
+    /// sampled traces — same text the `traces` query returns.
+    pub fn traces_jsonl(&self) -> String {
+        self.inner.telemetry.tracer.render_jsonl()
+    }
+
     /// Requests a graceful shutdown. Returns immediately; use
     /// [`join`](Self::join) to wait.
     pub fn shutdown(&self) {
@@ -256,7 +289,7 @@ fn pull_loop(inner: &Inner) {
             return;
         }
         let mut progressed = false;
-        for upstream in &inner.config.upstreams {
+        for (index, upstream) in inner.config.upstreams.iter().enumerate() {
             if inner.shutdown.load(Ordering::SeqCst) {
                 return;
             }
@@ -269,15 +302,25 @@ fn pull_loop(inner: &Inner) {
                     continue;
                 }
             }
-            match pull_upstream(inner, upstream) {
+            // One trace per upstream per cycle, tagged with the upstream's
+            // index; an errored pull still finishes (its connect/list time
+            // is real work worth attributing).
+            let trace = inner.telemetry.tracer.begin("pull");
+            trace.set_detail(index as u64);
+            match pull_upstream(inner, upstream, &trace) {
                 Ok(harvest) => {
                     progressed = true;
+                    let apply = trace.stage(AGG_STAGE_APPLY);
                     apply_harvest(inner, upstream, harvest);
+                    apply.finish();
                 }
                 Err(_) => inner.telemetry.pull_errors.incr(),
             }
+            trace.finish();
         }
         if progressed {
+            let trace = inner.telemetry.tracer.begin("checkpoint");
+            let timer = trace.stage(AGG_STAGE_CHECKPOINT);
             let mut state = inner.state.lock().expect("state lock poisoned");
             state.epoch += 1;
             let snapshot = inner.config.state_path.as_ref().map(|_| state.encode());
@@ -287,6 +330,8 @@ fn pull_loop(inner: &Inner) {
                     inner.telemetry.checkpoints.incr();
                 }
             }
+            timer.finish();
+            trace.finish();
         }
         inner.telemetry.pull_cycles.incr();
         // Sleep in small slices so shutdown stays responsive.
@@ -303,8 +348,10 @@ fn pull_loop(inner: &Inner) {
 /// Connects to one upstream and drains everything new: every completed,
 /// not-yet-pulled interval of every leaf session, and the full cumulative
 /// table of every child-aggregator export.
-fn pull_upstream(inner: &Inner, upstream: &str) -> Result<Harvest, ServerError> {
+fn pull_upstream(inner: &Inner, upstream: &str, trace: &Trace) -> Result<Harvest, ServerError> {
+    let connect = trace.stage(AGG_STAGE_CONNECT);
     let mut client = Client::connect(upstream)?;
+    connect.finish();
     let mut harvest = Harvest::default();
     let cursor_of = |session: &str| {
         inner
@@ -313,10 +360,18 @@ fn pull_upstream(inner: &Inner, upstream: &str) -> Result<Harvest, ServerError> 
             .expect("state lock poisoned")
             .cursor(upstream, session)
     };
-    for info in client.list_sessions()? {
+    let list = trace.stage(AGG_STAGE_LIST_SESSIONS);
+    let sessions = client.list_sessions()?;
+    list.finish();
+    for info in sessions {
+        // Attach round-trips count toward the snapshot stage: they exist
+        // only to scope the pulls that follow.
         if let Some(tenant) = info.name.strip_suffix(CUMULATIVE_SUFFIX) {
+            let timer = trace.stage(AGG_STAGE_SNAPSHOT);
             client.attach(&info.name)?;
-            if let Some(profile) = client.snapshot(u64::MAX)? {
+            let profile = client.snapshot(u64::MAX)?;
+            timer.finish();
+            if let Some(profile) = profile {
                 harvest
                     .children
                     .push((tenant.to_string(), profile.candidates));
@@ -328,13 +383,18 @@ fn pull_upstream(inner: &Inner, upstream: &str) -> Result<Harvest, ServerError> 
         if cursor >= info.intervals {
             continue; // nothing new; skip the attach round-trip
         }
+        let timer = trace.stage(AGG_STAGE_SNAPSHOT);
         client.attach(&info.name)?;
-        while let Some(profile) = client.snapshot(cursor)? {
+        loop {
+            let Some(profile) = client.snapshot(cursor)? else {
+                break;
+            };
             harvest
                 .leaf_profiles
                 .push((tenant.clone(), profile.candidates));
             cursor += 1;
         }
+        timer.finish();
         harvest.cursors.push((info.name, cursor));
     }
     Ok(harvest)
@@ -528,6 +588,7 @@ fn handle_request(request: Request, attached: &mut Option<String>, inner: &Inner
             Response::Stats(text)
         }
         Request::Metrics => Response::Metrics(inner.telemetry.registry.render_prometheus()),
+        Request::Traces => Response::Traces(inner.telemetry.tracer.render_jsonl()),
         Request::Shutdown => {
             inner.shutdown.store(true, Ordering::SeqCst);
             Response::Done

@@ -17,6 +17,7 @@
 use std::time::Duration;
 
 use mhp_server::{mux_loadgen, Client, EventLoopConfig, MuxConfig, Server, ServerConfig};
+use mhp_telemetry::StageSummary;
 
 /// Knobs for a server-scaling run.
 #[derive(Debug, Clone)]
@@ -33,6 +34,10 @@ pub struct ServerBenchOptions {
     pub chunk_events: usize,
     /// Per-row wall-clock cap before the run is declared stuck.
     pub deadline: Duration,
+    /// Session count for the paired tracing-on/tracing-off overhead
+    /// probe (one pair per mode, run back to back so machine drift
+    /// cancels). `None` skips the probe.
+    pub overhead_probe_sessions: Option<usize>,
 }
 
 impl Default for ServerBenchOptions {
@@ -44,6 +49,7 @@ impl Default for ServerBenchOptions {
             events_per_session: 100_000,
             chunk_events: 4_096,
             deadline: Duration::from_secs(300),
+            overhead_probe_sessions: Some(8),
         }
     }
 }
@@ -69,6 +75,27 @@ pub struct ServerBenchRow {
     pub p50_us: u64,
     /// Tail request round-trip, microseconds.
     pub p99_us: u64,
+    /// Extreme-tail request round-trip, microseconds.
+    pub p999_us: u64,
+    /// Server-side per-stage latency quantiles for the row, in trace
+    /// taxonomy order with a trailing `"total"` entry.
+    pub stages: Vec<StageSummary>,
+}
+
+/// One paired tracing-on/tracing-off throughput comparison.
+#[derive(Debug, Clone)]
+pub struct OverheadProbe {
+    /// `threaded` or `event-loop`.
+    pub mode: String,
+    /// Concurrent sessions both halves of the pair ran with.
+    pub sessions: usize,
+    /// Acknowledged throughput with request tracing enabled.
+    pub traced_events_per_sec: f64,
+    /// Acknowledged throughput with request tracing disabled.
+    pub untraced_events_per_sec: f64,
+    /// `(untraced - traced) / untraced`, as a percentage; negative means
+    /// the traced half was faster (run-to-run noise).
+    pub overhead_pct: f64,
 }
 
 /// The full result set of one `mhp-bench server` run.
@@ -78,12 +105,16 @@ pub struct ServerBenchReport {
     pub options: ServerBenchOptions,
     /// One row per (mode, session count), in run order.
     pub rows: Vec<ServerBenchRow>,
+    /// Paired tracing overhead probes, one per mode (empty when the
+    /// probe is disabled).
+    pub overhead: Vec<OverheadProbe>,
 }
 
-fn bench_one(mode: &str, sessions: usize, opts: &ServerBenchOptions) -> ServerBenchRow {
+fn bench_one(mode: &str, sessions: usize, opts: &ServerBenchOptions, tracing: bool) -> ServerBenchRow {
     let config = ServerConfig {
         max_connections: sessions + 16,
         event_loop: (mode == "event-loop").then(EventLoopConfig::default),
+        tracing,
         ..ServerConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind bench server");
@@ -104,6 +135,7 @@ fn bench_one(mode: &str, sessions: usize, opts: &ServerBenchOptions) -> ServerBe
         report.opened, sessions,
         "{mode}/{sessions}: not every session opened"
     );
+    let stages = server.stage_summaries();
     let mut probe = Client::connect(server.local_addr()).expect("probe connect");
     probe.shutdown_server().expect("shutdown");
     server.join();
@@ -118,6 +150,33 @@ fn bench_one(mode: &str, sessions: usize, opts: &ServerBenchOptions) -> ServerBe
         events_per_sec: report.events_per_sec(),
         p50_us: report.latency.quantile(0.50),
         p99_us: report.latency.quantile(0.99),
+        p999_us: report.latency.quantile(0.999),
+        stages,
+    }
+}
+
+fn overhead_probe(mode: &str, sessions: usize, opts: &ServerBenchOptions) -> OverheadProbe {
+    // Longer runs (4x the row workload) and three interleaved pairs,
+    // best-of each side: the table rows finish in ~0.1s, where single
+    // runs swing well over 10% on a shared box. Slowdowns are one-sided
+    // noise, so comparing the best traced run against the best untraced
+    // run isolates the systematic cost from the scheduler lottery.
+    let probe_opts = ServerBenchOptions {
+        events_per_session: opts.events_per_session * 4,
+        ..opts.clone()
+    };
+    let mut traced = f64::MIN;
+    let mut untraced = f64::MIN;
+    for _ in 0..3 {
+        traced = traced.max(bench_one(mode, sessions, &probe_opts, true).events_per_sec);
+        untraced = untraced.max(bench_one(mode, sessions, &probe_opts, false).events_per_sec);
+    }
+    OverheadProbe {
+        mode: mode.to_string(),
+        sessions,
+        traced_events_per_sec: traced,
+        untraced_events_per_sec: untraced,
+        overhead_pct: (untraced - traced) / untraced * 100.0,
     }
 }
 
@@ -125,14 +184,20 @@ fn bench_one(mode: &str, sessions: usize, opts: &ServerBenchOptions) -> ServerBe
 pub fn run(opts: &ServerBenchOptions) -> ServerBenchReport {
     let mut rows = Vec::new();
     for &sessions in &opts.threaded_sessions {
-        rows.push(bench_one("threaded", sessions, opts));
+        rows.push(bench_one("threaded", sessions, opts, true));
     }
     for &sessions in &opts.event_loop_sessions {
-        rows.push(bench_one("event-loop", sessions, opts));
+        rows.push(bench_one("event-loop", sessions, opts, true));
+    }
+    let mut overhead = Vec::new();
+    if let Some(sessions) = opts.overhead_probe_sessions {
+        overhead.push(overhead_probe("threaded", sessions, opts));
+        overhead.push(overhead_probe("event-loop", sessions, opts));
     }
     ServerBenchReport {
         options: opts.clone(),
         rows,
+        overhead,
     }
 }
 
@@ -152,10 +217,22 @@ impl ServerBenchReport {
         ));
         out.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
+            let stages: Vec<String> = r
+                .stages
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"stage\": \"{}\", \"count\": {}, \"p50_us\": {}, \
+                         \"p99_us\": {}, \"p999_us\": {}}}",
+                        s.stage, s.count, s.p50_us, s.p99_us, s.p999_us
+                    )
+                })
+                .collect();
             out.push_str(&format!(
                 "    {{\"mode\": \"{}\", \"sessions\": {}, \"active\": {}, \
                  \"events\": {}, \"errors\": {}, \"elapsed_secs\": {:.3}, \
-                 \"events_per_sec\": {:.0}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+                 \"events_per_sec\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"p999_us\": {},\n     \"stages\": [{}]}}{}\n",
                 r.mode,
                 r.sessions,
                 r.active,
@@ -165,11 +242,35 @@ impl ServerBenchReport {
                 r.events_per_sec,
                 r.p50_us,
                 r.p99_us,
+                r.p999_us,
+                stages.join(", "),
                 if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"tracing_overhead\": [\n");
+        for (i, p) in self.overhead.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"sessions\": {}, \
+                 \"traced_events_per_sec\": {:.0}, \
+                 \"untraced_events_per_sec\": {:.0}, \
+                 \"overhead_pct\": {:.2}}}{}\n",
+                p.mode,
+                p.sessions,
+                p.traced_events_per_sec,
+                p.untraced_events_per_sec,
+                p.overhead_pct,
+                if i + 1 == self.overhead.len() { "" } else { "," }
             ));
         }
         out.push_str("  ]\n}\n");
         out
+    }
+
+    /// Whether every tracing-overhead probe came in under `threshold_pct`.
+    /// Vacuously true when the probe was disabled.
+    pub fn overhead_ok(&self, threshold_pct: f64) -> bool {
+        self.overhead.iter().all(|p| p.overhead_pct < threshold_pct)
     }
 
     /// Human-readable table for the terminal.
@@ -180,13 +281,33 @@ impl ServerBenchReport {
             self.options.active, self.options.events_per_session, self.options.chunk_events
         ));
         out.push_str(&format!(
-            "{:<12} {:>8} {:>12} {:>9} {:>9} {:>7}\n",
-            "mode", "sessions", "events/sec", "p50_us", "p99_us", "errors"
+            "{:<12} {:>8} {:>12} {:>9} {:>9} {:>9} {:>7}\n",
+            "mode", "sessions", "events/sec", "p50_us", "p99_us", "p999_us", "errors"
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<12} {:>8} {:>12.0} {:>9} {:>9} {:>7}\n",
-                r.mode, r.sessions, r.events_per_sec, r.p50_us, r.p99_us, r.errors
+                "{:<12} {:>8} {:>12.0} {:>9} {:>9} {:>9} {:>7}\n",
+                r.mode, r.sessions, r.events_per_sec, r.p50_us, r.p99_us, r.p999_us, r.errors
+            ));
+        }
+        for r in &self.rows {
+            out.push_str(&format!("stages {}/{}:\n", r.mode, r.sessions));
+            for s in &r.stages {
+                out.push_str(&format!(
+                    "  {:<16} count {:>8} p50_us {:>7} p99_us {:>7} p999_us {:>7}\n",
+                    s.stage, s.count, s.p50_us, s.p99_us, s.p999_us
+                ));
+            }
+        }
+        for p in &self.overhead {
+            out.push_str(&format!(
+                "tracing overhead {}/{}: {:.2}% (traced {:.0} ev/s vs untraced {:.0} ev/s) {}\n",
+                p.mode,
+                p.sessions,
+                p.overhead_pct,
+                p.traced_events_per_sec,
+                p.untraced_events_per_sec,
+                if p.overhead_pct < 5.0 { "PASS" } else { "FAIL" }
             ));
         }
         out
@@ -206,6 +327,7 @@ mod tests {
             events_per_session: 4_096,
             chunk_events: 4_096,
             deadline: Duration::from_secs(60),
+            overhead_probe_sessions: None,
         };
         let report = run(&opts);
         assert_eq!(report.rows.len(), 2);
@@ -214,10 +336,48 @@ mod tests {
         for row in &report.rows {
             assert!(row.events > 0, "{}: no events acked", row.mode);
             assert!(row.events_per_sec > 0.0);
+            assert!(row.p999_us >= row.p99_us);
+            let ingest = row
+                .stages
+                .iter()
+                .find(|s| s.stage == "ingest")
+                .expect("ingest stage summary");
+            assert!(ingest.count > 0, "{}: no traced ingests", row.mode);
+            assert_eq!(row.stages.last().map(|s| s.stage), Some("total"));
         }
+        assert!(report.overhead.is_empty());
+        assert!(report.overhead_ok(5.0), "vacuous with probe disabled");
         let json = report.to_json();
         assert!(json.contains("\"benchmark\": \"server\""));
         assert!(json.contains("\"mode\": \"event-loop\""));
+        assert!(json.contains("\"p999_us\""));
+        assert!(json.contains("\"stage\": \"ingest\""));
+        assert!(json.contains("\"tracing_overhead\": ["));
         assert!(report.render().contains("event-loop"));
+        assert!(report.render().contains("p999_us"));
+    }
+
+    #[test]
+    fn overhead_probe_pairs_traced_and_untraced_runs() {
+        let opts = ServerBenchOptions {
+            threaded_sessions: vec![],
+            event_loop_sessions: vec![],
+            active: 2,
+            events_per_session: 4_096,
+            chunk_events: 4_096,
+            deadline: Duration::from_secs(60),
+            overhead_probe_sessions: Some(2),
+        };
+        let report = run(&opts);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.overhead.len(), 2);
+        assert_eq!(report.overhead[0].mode, "threaded");
+        assert_eq!(report.overhead[1].mode, "event-loop");
+        for probe in &report.overhead {
+            assert!(probe.traced_events_per_sec > 0.0);
+            assert!(probe.untraced_events_per_sec > 0.0);
+            assert!(probe.overhead_pct.is_finite());
+        }
+        assert!(report.to_json().contains("\"overhead_pct\""));
     }
 }

@@ -605,6 +605,9 @@ pub struct EngineSession {
     queue_gauges: Vec<Gauge>,
     /// Broadcast times of cuts not yet collected, for cut-latency metrics.
     cut_starts: VecDeque<Instant>,
+    /// Time spent handing batches to shard rings (including blocking
+    /// stalls) since the last [`take_handoff_time`](Self::take_handoff_time).
+    handoff: Duration,
 }
 
 impl EngineSession {
@@ -661,6 +664,7 @@ impl EngineSession {
             telemetry,
             queue_gauges,
             cut_starts: VecDeque::new(),
+            handoff: Duration::ZERO,
         }
     }
 
@@ -989,12 +993,24 @@ impl EngineSession {
     /// recycled buffer from the worker's return ring (or a fresh
     /// allocation only when none has come back yet).
     fn send_batch(&mut self, shard: usize) -> Result<(), Error> {
+        let started = Instant::now();
         let fresh = match self.recycle_rxs[shard].try_recv() {
             Ok(buf) => buf,
             Err(_) => Vec::with_capacity(self.batch_cap),
         };
         let batch = std::mem::replace(&mut self.batches[shard], fresh);
-        self.dispatch_msg(shard, Msg::Batch(batch))
+        let result = self.dispatch_msg(shard, Msg::Batch(batch));
+        self.handoff += started.elapsed();
+        result
+    }
+
+    /// Time spent handing batches into shard rings — buffer recycling plus
+    /// the ring send, including any blocking stall on a full ring — since
+    /// the last call; resets the accumulator. This is the "ring handoff"
+    /// share of an ingest call's wall time; callers attributing latency
+    /// per stage subtract it from the whole ingest duration.
+    pub fn take_handoff_time(&mut self) -> Duration {
+        std::mem::take(&mut self.handoff)
     }
 
     /// Sends a message to a shard worker, preferring the non-blocking path;

@@ -6,6 +6,7 @@
 //! mhp-client loadgen --addr A --clients 8 --events 100000
 //! mhp-client loadgen --addr A --sessions 2048 --active 64 --events 50000
 //! mhp-client verify --addr A --stream gcc:value:42 --events 50000
+//! mhp-client traces --addr A
 //! mhp-client shutdown --addr A
 //! ```
 
@@ -43,6 +44,9 @@ commands:
   verify          --addr A [--stream B:K:S] [--events N] [--profiler P]
                   [--shards N] [--interval-len N] [--threshold F] [--seed S]
                   [--retries N]
+  traces          --addr A
+                  (the server's request-trace stream as JSONL: per-stage
+                   p50/p99/p999 summaries, then sampled slow/head traces)
   shutdown        --addr A
 
 streams are benchmark:kind:seed, e.g. gcc:value:42 or li:edge:7
@@ -445,6 +449,14 @@ fn cmd_verify(mut opts: Options) -> Result<(), ServerError> {
     }
 }
 
+fn cmd_traces(mut opts: Options) -> Result<(), ServerError> {
+    let addr = opts.require("addr")?;
+    opts.finish()?;
+    let mut client = Client::connect(addr.as_str())?;
+    print!("{}", client.traces()?);
+    Ok(())
+}
+
 fn cmd_shutdown(mut opts: Options) -> Result<(), ServerError> {
     let addr = opts.require("addr")?;
     opts.finish()?;
@@ -480,6 +492,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(opts),
         "loadgen" => cmd_loadgen(opts),
         "verify" => cmd_verify(opts),
+        "traces" => cmd_traces(opts),
         "shutdown" => cmd_shutdown(opts),
         _ => {
             eprintln!("{USAGE}");

@@ -231,6 +231,22 @@ impl Client {
         }
     }
 
+    /// The server's request-trace stream as JSONL: `stage_summary` lines
+    /// (per-stage p50/p99/p999) followed by sampled `trace` lines. Parse
+    /// the summaries with [`parse_stage_latencies`].
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`](crate::ErrorCode::BadRequest) from a
+    /// server predating the `traces` op (the unknown-opcode answer), plus
+    /// transport failures.
+    pub fn traces(&mut self) -> Result<String, ServerError> {
+        match self.call_ok(&Request::Traces)? {
+            Response::Traces(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Destroys the attached session.
     ///
     /// # Errors
@@ -258,6 +274,55 @@ impl Client {
 
 fn unexpected(response: &Response) -> ServerError {
     ServerError::protocol_owned(format!("unexpected response {response:?}"))
+}
+
+/// One per-stage latency row scraped from a server's trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Stage name (`"total"` for the whole-request histogram).
+    pub stage: String,
+    /// Requests that touched this stage.
+    pub count: u64,
+    /// Median, in microseconds.
+    pub p50_us: u64,
+    /// 99th percentile, in microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, in microseconds.
+    pub p999_us: u64,
+}
+
+/// Extracts the value of a numeric `"key":123` field from one JSON line.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pattern = format!("\"{key}\":");
+    let rest = &line[line.find(&pattern)? + pattern.len()..];
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    rest[..digits].parse().ok()
+}
+
+/// Extracts the value of a string `"key":"..."` field from one JSON line.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pattern)? + pattern.len()..];
+    rest.split('"').next()
+}
+
+/// Parses the `stage_summary` lines out of a `traces` JSONL stream (see
+/// [`Client::traces`]) into per-stage latency rows, in stream order.
+/// Non-summary lines (sampled traces) and malformed lines are skipped.
+pub fn parse_stage_latencies(jsonl: &str) -> Vec<StageLatency> {
+    jsonl
+        .lines()
+        .filter(|line| line.contains("\"type\":\"stage_summary\""))
+        .filter_map(|line| {
+            Some(StageLatency {
+                stage: json_str(line, "stage")?.to_string(),
+                count: json_u64(line, "count")?,
+                p50_us: json_u64(line, "p50_us")?,
+                p99_us: json_u64(line, "p99_us")?,
+                p999_us: json_u64(line, "p999_us")?,
+            })
+        })
+        .collect()
 }
 
 /// Retry and backoff policy for [`ReconnectingClient`].
@@ -583,6 +648,11 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Per-ingest-request round-trip latency.
     pub latency: Histogram,
+    /// Per-stage server-side latency breakdown, scraped from the server's
+    /// trace stream after the run; `None` against a server predating the
+    /// `traces` op (the probe degrades gracefully to client-side
+    /// percentiles only).
+    pub stages: Option<Vec<StageLatency>>,
 }
 
 impl LoadgenReport {
@@ -596,9 +666,12 @@ impl LoadgenReport {
         }
     }
 
-    /// Renders the human-readable summary the CLI prints.
+    /// Renders the human-readable summary the CLI prints: the client-side
+    /// totals and percentiles, then — when the server advertises tracing —
+    /// one line per server-side stage.
     pub fn render(&self) -> String {
-        format!(
+        use std::fmt::Write as _;
+        let mut out = format!(
             "events {}\nrequests {}\nerrors {}\nelapsed_ms {}\nevents_per_sec {:.0}\n\
              latency_p50_us {}\nlatency_p90_us {}\nlatency_p99_us {}\n",
             self.events,
@@ -609,7 +682,34 @@ impl LoadgenReport {
             self.latency.quantile(0.50),
             self.latency.quantile(0.90),
             self.latency.quantile(0.99),
-        )
+        );
+        if let Some(stages) = &self.stages {
+            for s in stages {
+                let _ = writeln!(
+                    out,
+                    "stage_{} count {} p50_us {} p99_us {} p999_us {}",
+                    s.stage, s.count, s.p50_us, s.p99_us, s.p999_us
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Probes the server once for its per-stage trace summaries. An older
+/// server answers the unknown `traces` opcode with `bad-request` (and
+/// hangs up), which degrades to `None` — loadgen then reports client-side
+/// percentiles only. Any other failure also degrades rather than failing
+/// a finished run.
+fn fetch_stage_latencies(addr: std::net::SocketAddr) -> Option<Vec<StageLatency>> {
+    let mut client = Client::connect(addr).ok()?;
+    match client.traces() {
+        Ok(jsonl) => Some(parse_stage_latencies(&jsonl)),
+        Err(ServerError::Remote {
+            code: ErrorCode::BadRequest,
+            ..
+        }) => None,
+        Err(_) => None,
     }
 }
 
@@ -684,11 +784,65 @@ pub fn loadgen(
         Ok(())
     })?;
 
+    let elapsed = started.elapsed();
     Ok(LoadgenReport {
         events: (config.clients * config.events_per_client) as u64,
         requests: requests.into_inner(),
         errors: errors.into_inner(),
-        elapsed: started.elapsed(),
+        elapsed,
         latency,
+        // Probed after the clock stops, so the extra round trip never
+        // skews the throughput figure.
+        stages: fetch_stage_latencies(addr),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_stage_latencies_reads_summary_lines_and_skips_the_rest() {
+        let jsonl = concat!(
+            "{\"type\":\"stage_summary\",\"stage\":\"ingest\",\"count\":80,",
+            "\"p50_us\":120,\"p99_us\":900,\"p999_us\":2500}\n",
+            "{\"type\":\"stage_summary\",\"stage\":\"total\",\"count\":80,",
+            "\"p50_us\":140,\"p99_us\":1100,\"p999_us\":3000}\n",
+            "{\"type\":\"trace\",\"sample\":\"slow\",\"seq\":7,\"kind\":\"ingest\",",
+            "\"detail\":0,\"start_us\":12,\"total_us\":999,\"stages\":{\"ingest\":999}}\n",
+            "not json at all\n",
+        );
+        let stages = parse_stage_latencies(jsonl);
+        assert_eq!(
+            stages,
+            vec![
+                StageLatency {
+                    stage: "ingest".to_string(),
+                    count: 80,
+                    p50_us: 120,
+                    p99_us: 900,
+                    p999_us: 2500,
+                },
+                StageLatency {
+                    stage: "total".to_string(),
+                    count: 80,
+                    p50_us: 140,
+                    p99_us: 1100,
+                    p999_us: 3000,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_stage_latencies_skips_summary_lines_with_missing_fields() {
+        let jsonl = concat!(
+            "{\"type\":\"stage_summary\",\"stage\":\"ingest\"}\n",
+            "{\"type\":\"stage_summary\",\"stage\":\"reply_write\",\"count\":9,",
+            "\"p50_us\":1,\"p99_us\":2,\"p999_us\":3}\n",
+        );
+        let stages = parse_stage_latencies(jsonl);
+        assert_eq!(stages.len(), 1, "truncated line dropped, full line kept");
+        assert_eq!(stages[0].stage, "reply_write");
+    }
 }

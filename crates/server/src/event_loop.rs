@@ -65,11 +65,14 @@ use std::time::{Duration, Instant};
 
 use mhp_faults::ConnAction;
 use mhp_net::{Conn, Event, Interest, Reactor, Slab, Step, TimerWheel, Token, Waker};
-use mhp_telemetry::{Counter, Gauge};
+use mhp_telemetry::{Counter, Gauge, Trace};
 
 use crate::error::ErrorCode;
 use crate::protocol::{FrameDecoder, Request, Response, MAX_FRAME_BYTES};
-use crate::server::{drain_sessions, handle_request, reject_overloaded, Attachment, Shared};
+use crate::server::{
+    drain_sessions, handle_request, reject_overloaded, Attachment, Shared, STAGE_ADMISSION_WAIT,
+    STAGE_FRAME_DECODE, STAGE_QUEUE_WAIT, STAGE_REPLY_WRITE,
+};
 
 /// Tuning for the event-loop front end. The defaults suit a small host;
 /// all three knobs trade memory for tolerance of slow clients.
@@ -165,6 +168,9 @@ struct Job {
     /// Injected fault: tear this job's response frame, then hang up.
     truncate: bool,
     started: Instant,
+    /// The request's stage trace, riding the queue handoff: `started` to
+    /// worker pickup is the `queue_wait` stage.
+    trace: Trace,
 }
 
 /// A finished job, headed back to the loop thread.
@@ -175,6 +181,7 @@ struct Completion {
     attached: Option<Attachment>,
     truncate: bool,
     started: Instant,
+    trace: Trace,
 }
 
 /// Per-connection state machine. `Interest::NONE`-style backpressure and
@@ -199,6 +206,12 @@ struct EConn {
     /// Already counted in `admission_deferrals`; keeps that counter at one
     /// per deferred connection rather than one per deferred pass.
     deferral_counted: bool,
+    /// When the connection was accepted (and parked), for attributing the
+    /// admission wait to its first request.
+    accepted_at: Instant,
+    /// Parked time, set at admission and consumed by the first dispatched
+    /// request's trace as its `admission_wait` stage.
+    admission_wait: Option<Duration>,
     /// A job is in flight; read interest is dropped until it completes.
     busy: bool,
     /// Peer sent EOF; close once buffered frames and writes are done.
@@ -318,6 +331,7 @@ impl EConn {
                 break;
             }
             self.shared.metrics.requests_total.incr();
+            let decode_started = Instant::now();
             let request = match Request::decode(&body) {
                 Ok(request) => request,
                 Err(err) => {
@@ -328,6 +342,14 @@ impl EConn {
                     break;
                 }
             };
+            // Decode runs on the loop thread; the trace begins here (kind
+            // is the decoded opcode) with decode time folded in as lead.
+            // The connection's parked time lands on its first request.
+            let trace = self.shared.tracer.begin(request.op_name());
+            trace.add_lead(STAGE_FRAME_DECODE, decode_started.elapsed());
+            if let Some(parked) = self.admission_wait.take() {
+                trace.add_lead(STAGE_ADMISSION_WAIT, parked);
+            }
             // Injected connection faults, mirroring the threaded handler:
             // `Drop` cuts the connection before the request applies;
             // `TruncateResponse` applies it but tears the acknowledgement.
@@ -348,6 +370,7 @@ impl EConn {
                 attached: self.attached.take(),
                 truncate,
                 started: Instant::now(),
+                trace,
             };
             // The queue slot the admission reserved is consumed (or the
             // shed fallback below answers) right now.
@@ -440,16 +463,28 @@ impl EConn {
             .record_duration(completion.started.elapsed());
         if completion.truncate {
             // Injected torn frame: full length prefix, half the body, then
-            // hang up — what a server crashing mid-write produces.
+            // hang up — what a server crashing mid-write produces. The
+            // trace is dropped unfinished and records nothing, matching
+            // the threaded front end's abort paths.
             let body = &completion.body;
             self.write_buf
                 .extend_from_slice(&(body.len() as u32).to_le_bytes());
             self.write_buf.extend_from_slice(&body[..body.len() / 2]);
             self.close_after_flush = true;
-        } else {
-            self.queue_response(&completion.body);
-            self.dispatch_frames();
+            self.flush_writes();
+            return;
         }
+        self.queue_response(&completion.body);
+        {
+            // `reply_write` covers the synchronous flush attempt only: a
+            // backpressured tail drains on later writability events, off
+            // this trace (see DESIGN §17).
+            let write_timer = completion.trace.stage(STAGE_REPLY_WRITE);
+            self.flush_writes();
+            write_timer.finish();
+        }
+        completion.trace.finish();
+        self.dispatch_frames();
         self.flush_writes();
     }
 }
@@ -508,7 +543,9 @@ fn worker(
             guard.recv()
         };
         let Ok(mut job) = job else { return };
-        let result = handle_request(job.request, &mut job.attached, &shared);
+        // Enqueue-to-pickup, measured across the thread handoff.
+        job.trace.add(STAGE_QUEUE_WAIT, job.started.elapsed());
+        let result = handle_request(job.request, &mut job.attached, &shared, &job.trace);
         let body = match result {
             Ok(response) => response.encode(),
             Err(err) => {
@@ -529,6 +566,7 @@ fn worker(
                 attached: job.attached,
                 truncate: job.truncate,
                 started: job.started,
+                trace: job.trace,
             });
         waker.wake();
     }
@@ -846,6 +884,9 @@ fn admit_pending(
         };
         net.pending_admissions.decr();
         conn.admitted = true;
+        // The parked interval ends here; the first dispatched request
+        // claims it as its admission wait.
+        conn.admission_wait = Some(conn.accepted_at.elapsed());
         conn.reserved = true;
         net.admission_reservations.incr();
         // The reservation is deadline-bounded: if no first request has
@@ -911,6 +952,8 @@ fn accept_ready(
                     admitted: false,
                     reserved: false,
                     deferral_counted: false,
+                    accepted_at: Instant::now(),
+                    admission_wait: None,
                     busy: false,
                     read_closed: false,
                     close_after_flush: false,

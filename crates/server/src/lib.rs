@@ -63,7 +63,10 @@ pub mod mux;
 pub mod protocol;
 pub mod server;
 
-pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport, ReconnectingClient, RetryPolicy};
+pub use client::{
+    loadgen, parse_stage_latencies, Client, LoadgenConfig, LoadgenReport, ReconnectingClient,
+    RetryPolicy, StageLatency,
+};
 pub use error::{ErrorCode, ServerError};
 pub use event_loop::EventLoopConfig;
 pub use metrics::{stat_value, Counter, Gauge, Histogram, Metrics};
@@ -72,4 +75,4 @@ pub use protocol::{
     FrameDecoder, ProfileData, ProfilerKind, Request, Response, SessionConfig, SessionInfo,
     MAX_FRAME_BYTES,
 };
-pub use server::{tenant_of, RunningServer, Server, ServerConfig, TenantQuotas};
+pub use server::{tenant_of, RunningServer, Server, ServerConfig, TenantQuotas, SERVER_STAGES};

@@ -223,6 +223,9 @@ pub enum Request {
     /// Server, engine and sketch metrics in Prometheus text exposition
     /// format.
     Metrics,
+    /// Sampled request traces with per-stage timing breakdowns, as JSONL
+    /// (see [`Response::Traces`]). Requires no attached session.
+    Traces,
     /// Lists every live session on the server (sorted by name), so an
     /// aggregator can discover what to pull without static configuration.
     /// Requires no attached session.
@@ -249,6 +252,7 @@ const OP_METRICS: u8 = 0x0A;
 const OP_INGEST_SEQ: u8 = 0x0B;
 const OP_RESUME: u8 = 0x0C;
 const OP_LIST_SESSIONS: u8 = 0x0D;
+const OP_TRACES: u8 = 0x0E;
 
 /// A server response. The leading tag byte makes every response
 /// self-describing.
@@ -283,6 +287,10 @@ pub enum Response {
     Stats(String),
     /// Server metrics in Prometheus text exposition format.
     Metrics(String),
+    /// Stage-attributed request traces as JSONL: one `stage_summary` line
+    /// per stage (p50/p99/p999 in microseconds) followed by one `trace`
+    /// line per sampled request, each carrying every stage field.
+    Traces(String),
     /// The request failed.
     Error {
         /// Machine-readable failure class.
@@ -302,6 +310,7 @@ const TAG_STATS: u8 = 0x06;
 const TAG_METRICS: u8 = 0x07;
 const TAG_RESUME: u8 = 0x08;
 const TAG_SESSION_LIST: u8 = 0x09;
+const TAG_TRACES: u8 = 0x0A;
 const TAG_ERROR: u8 = 0x7F;
 
 // ---------------------------------------------------------------- encoding
@@ -476,6 +485,7 @@ impl Request {
             }
             Request::Stats => out.push(OP_STATS),
             Request::Metrics => out.push(OP_METRICS),
+            Request::Traces => out.push(OP_TRACES),
             Request::ListSessions => out.push(OP_LIST_SESSIONS),
             Request::CloseSession => out.push(OP_CLOSE_SESSION),
             Request::Shutdown => out.push(OP_SHUTDOWN),
@@ -525,6 +535,7 @@ impl Request {
             OP_TOPK => Request::TopK { n: cursor.u32()? },
             OP_STATS => Request::Stats,
             OP_METRICS => Request::Metrics,
+            OP_TRACES => Request::Traces,
             OP_LIST_SESSIONS => Request::ListSessions,
             OP_CLOSE_SESSION => Request::CloseSession,
             OP_SHUTDOWN => Request::Shutdown,
@@ -536,6 +547,27 @@ impl Request {
         };
         cursor.finish()?;
         Ok(request)
+    }
+
+    /// The request's stable lowercase opcode name — the label request
+    /// traces are filed under.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "open",
+            Request::Attach { .. } => "attach",
+            Request::Ingest { .. } => "ingest",
+            Request::IngestSeq { .. } => "ingest_seq",
+            Request::Resume => "resume",
+            Request::Cut => "cut",
+            Request::Snapshot { .. } => "snapshot",
+            Request::TopK { .. } => "topk",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Traces => "traces",
+            Request::ListSessions => "list_sessions",
+            Request::CloseSession => "close_session",
+            Request::Shutdown => "shutdown",
+        }
     }
 }
 
@@ -584,6 +616,11 @@ impl Response {
             }
             Response::Metrics(text) => {
                 out.push(TAG_METRICS);
+                out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                out.extend_from_slice(text.as_bytes());
+            }
+            Response::Traces(text) => {
+                out.push(TAG_TRACES);
                 out.extend_from_slice(&(text.len() as u32).to_le_bytes());
                 out.extend_from_slice(text.as_bytes());
             }
@@ -646,6 +683,13 @@ impl Response {
                 Response::Metrics(
                     String::from_utf8(cursor.take(len)?.to_vec())
                         .map_err(|_| ServerError::protocol("metrics text is not utf-8"))?,
+                )
+            }
+            TAG_TRACES => {
+                let len = cursor.u32()? as usize;
+                Response::Traces(
+                    String::from_utf8(cursor.take(len)?.to_vec())
+                        .map_err(|_| ServerError::protocol("traces text is not utf-8"))?,
                 )
             }
             TAG_ERROR => {
@@ -860,6 +904,7 @@ mod tests {
         roundtrip_request(Request::TopK { n: 10 });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Traces);
         roundtrip_request(Request::ListSessions);
         roundtrip_request(Request::CloseSession);
         roundtrip_request(Request::Shutdown);
@@ -900,6 +945,9 @@ mod tests {
         roundtrip_response(Response::Stats("requests_total 5\n".into()));
         roundtrip_response(Response::Metrics(
             "# TYPE server_requests_total counter\nserver_requests_total 5\n".into(),
+        ));
+        roundtrip_response(Response::Traces(
+            "{\"type\":\"trace\",\"seq\":0,\"stages\":{\"frame_decode\":3}}\n".into(),
         ));
         roundtrip_response(Response::Error {
             code: ErrorCode::UnknownSession,

@@ -48,7 +48,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mhp_telemetry::CounterVec;
+use mhp_telemetry::{CounterVec, StageSummary, Trace, TraceConfig, Tracer};
 
 use mhp_core::state::{SnapshotReader, SnapshotWriter, KIND_SERVER_SESSION};
 use mhp_core::{IntervalConfig, IntrospectionSink, SnapshotError};
@@ -116,7 +116,41 @@ pub struct ServerConfig {
     /// them transparently) until the total is back under budget. `None`
     /// (the default) never evicts.
     pub session_memory_budget: Option<u64>,
+    /// Per-request stage tracing (see [`crate::Request::Traces`]). On by
+    /// default; turning it off keeps the `server_stage_*` metrics
+    /// registered (exposition shape is stable) but makes every trace a
+    /// no-op that never reads the clock — the baseline for measuring
+    /// tracing overhead.
+    pub tracing: bool,
 }
+
+/// The server's request stage taxonomy, in pipeline order. Stage indices
+/// below index into this slice; the tracer registers one
+/// `server_stage_{name}_us` histogram per entry.
+pub const SERVER_STAGES: &[&str] = &[
+    "admission_wait",
+    "frame_decode",
+    "queue_wait",
+    "dispatch",
+    "ingest",
+    "reply_write",
+];
+
+/// Waiting for admission: parked time before the event loop admits a
+/// connection, or the threaded front end's ingest admission check.
+pub(crate) const STAGE_ADMISSION_WAIT: usize = 0;
+/// Decoding the request frame into a [`Request`].
+pub(crate) const STAGE_FRAME_DECODE: usize = 1;
+/// Sitting in the event loop's worker queue (always 0 in threaded mode,
+/// where the connection thread runs the request itself).
+pub(crate) const STAGE_QUEUE_WAIT: usize = 2;
+/// Handing ingest batches to the shard rings, blocking stalls included.
+pub(crate) const STAGE_DISPATCH: usize = 3;
+/// Engine ingest: chunk decode, partition, and sketch updates, minus the
+/// ring handoff counted under `dispatch`.
+pub(crate) const STAGE_INGEST: usize = 4;
+/// Writing (threaded) or synchronously flushing (event loop) the response.
+pub(crate) const STAGE_REPLY_WRITE: usize = 5;
 
 /// Per-tenant admission quotas, enforced when the request arrives —
 /// rejections are typed [`ErrorCode::QuotaExceeded`] responses and count
@@ -178,6 +212,7 @@ impl Default for ServerConfig {
             fault_hook: None,
             tenant_quotas: TenantQuotas::default(),
             session_memory_budget: None,
+            tracing: true,
         }
     }
 }
@@ -459,6 +494,9 @@ pub(crate) struct Shared {
     /// Sketch introspection sink installed on every session's shard
     /// profilers; also feeds the shared registry.
     sketch_sink: Arc<dyn IntrospectionSink>,
+    /// Per-request stage tracing: histograms, sample reservoirs, and the
+    /// span ring behind the `traces` query.
+    pub(crate) tracer: Tracer,
     /// Zero point for session last-touch timestamps.
     epoch: Instant,
     pub(crate) shutdown: AtomicBool,
@@ -499,6 +537,11 @@ impl Server {
         let engine_telemetry = EngineTelemetry::new(metrics.registry());
         let sketch_sink: Arc<dyn IntrospectionSink> =
             Arc::new(RegistrySink::new(metrics.registry()));
+        let tracer = {
+            let mut trace_config = TraceConfig::new("server", SERVER_STAGES);
+            trace_config.enabled = config.tracing;
+            Tracer::new(metrics.registry(), trace_config)
+        };
         let shared = Arc::new(Shared {
             config,
             sessions: Mutex::new(HashMap::new()),
@@ -507,6 +550,7 @@ impl Server {
             tenancy,
             engine_telemetry,
             sketch_sink,
+            tracer,
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
         });
@@ -572,6 +616,11 @@ fn export_loop(path: &std::path::Path, shared: &Shared) {
             last = Instant::now();
         }
         if shutting_down {
+            // The final snapshot is followed by the trace stream — stage
+            // summaries plus every sampled trace — so a postmortem read of
+            // the export file has the whole observability picture.
+            let _ = writer.write_all(shared.tracer.render_jsonl().as_bytes());
+            let _ = writer.flush();
             return;
         }
         std::thread::sleep(Duration::from_millis(50));
@@ -877,6 +926,18 @@ impl RunningServer {
         self.shared.metrics.registry().render_prometheus()
     }
 
+    /// Quantile summaries of the per-request stage histograms, in
+    /// [`SERVER_STAGES`] order plus a final `"total"` entry.
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        self.shared.tracer.stage_summaries()
+    }
+
+    /// The request-trace stream as JSONL — stage summaries followed by
+    /// sampled traces — same text the `traces` query returns.
+    pub fn traces_jsonl(&self) -> String {
+        self.shared.tracer.render_jsonl()
+    }
+
     /// Requests a graceful shutdown: stop accepting, let in-flight
     /// connections finish, drain every session. Returns immediately; use
     /// [`join`](Self::join) to wait.
@@ -1071,6 +1132,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        // The trace kind is the decoded opcode, so it begins *after*
+        // decode; the decode time lands as lead so the span still covers
+        // it. A trace dropped on any abort path below records nothing.
+        let trace = shared.tracer.begin(request.op_name());
+        trace.add_lead(STAGE_FRAME_DECODE, started.elapsed());
         // Injected connection faults. `Drop` cuts the connection before
         // the request is applied (the replayed chunk must then be
         // re-applied); `TruncateResponse` applies the request but tears
@@ -1083,7 +1149,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if conn_fault == ConnAction::Drop {
             return;
         }
-        let response = match handle_request(request, &mut attached, shared) {
+        let response = match handle_request(request, &mut attached, shared, &trace) {
             Ok(response) => response,
             Err(err) => {
                 shared.metrics.errors_total.incr();
@@ -1098,9 +1164,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             truncate_response(&mut writer, &encoded);
             return;
         }
+        let write_timer = trace.stage(STAGE_REPLY_WRITE);
         if write_frame(&mut writer, &encoded).is_err() {
             return;
         }
+        write_timer.finish();
+        trace.finish();
         shared
             .metrics
             .request_latency
@@ -1134,6 +1203,7 @@ pub(crate) fn handle_request(
     request: Request,
     attached: &mut Option<Attachment>,
     shared: &Shared,
+    trace: &Trace,
 ) -> Result<Response, ServerError> {
     match request {
         Request::Open { name, config } => {
@@ -1181,7 +1251,11 @@ pub(crate) fn handle_request(
         }
         Request::Ingest { mut chunk } => {
             let session = require_attached(attached, shared)?;
-            ingest_admission(shared)?;
+            {
+                let admission = trace.stage(STAGE_ADMISSION_WAIT);
+                ingest_admission(shared)?;
+                admission.finish();
+            }
             charge_tenant_ingest(session, chunk.len(), shared)?;
             apply_chunk_faults(shared, &mut chunk);
             reject_trailing_bytes(&chunk)?;
@@ -1192,26 +1266,31 @@ pub(crate) fn handle_request(
             // so a corrupt chunk (fault injection included) is rejected
             // whole.
             let decode_started = Instant::now();
-            let (total_events, ingested, intervals, consumed) = session.with_engine(|engine| {
-                let events_before = engine.events();
-                let intervals_before = engine.intervals();
-                let consumed = engine.ingest_chunk(&chunk)?;
-                let after = engine.intervals();
-                shared
-                    .metrics
-                    .intervals_completed
-                    .add(after - intervals_before);
-                Ok((
-                    engine.events(),
-                    engine.events() - events_before,
-                    after,
-                    consumed,
-                ))
-            })?;
-            shared
-                .metrics
-                .chunk_decode
-                .record_duration(decode_started.elapsed());
+            let (total_events, ingested, intervals, consumed, handoff) =
+                session.with_engine(|engine| {
+                    let events_before = engine.events();
+                    let intervals_before = engine.intervals();
+                    let consumed = engine.ingest_chunk(&chunk)?;
+                    let handoff = engine.take_handoff_time();
+                    let after = engine.intervals();
+                    shared
+                        .metrics
+                        .intervals_completed
+                        .add(after - intervals_before);
+                    Ok((
+                        engine.events(),
+                        engine.events() - events_before,
+                        after,
+                        consumed,
+                        handoff,
+                    ))
+                })?;
+            let decode_elapsed = decode_started.elapsed();
+            shared.metrics.chunk_decode.record_duration(decode_elapsed);
+            // Ring handoff (blocking stalls included) is split out of the
+            // engine call so `ingest` is pure decode + sketch work.
+            trace.add(STAGE_DISPATCH, handoff);
+            trace.add(STAGE_INGEST, decode_elapsed.saturating_sub(handoff));
             debug_assert_eq!(
                 consumed,
                 chunk.len(),
@@ -1234,7 +1313,11 @@ pub(crate) fn handle_request(
         }
         Request::IngestSeq { seq, mut chunk } => {
             let session = require_attached(attached, shared)?;
-            ingest_admission(shared)?;
+            {
+                let admission = trace.stage(STAGE_ADMISSION_WAIT);
+                ingest_admission(shared)?;
+                admission.finish();
+            }
             charge_tenant_ingest(session, chunk.len(), shared)?;
             apply_chunk_faults(shared, &mut chunk);
             if seq == 0 {
@@ -1266,10 +1349,11 @@ pub(crate) fn handle_request(
                 let events_before = engine.events();
                 let intervals_before = engine.intervals();
                 let consumed = engine.ingest_chunk(&chunk)?;
-                shared
-                    .metrics
-                    .chunk_decode
-                    .record_duration(decode_started.elapsed());
+                let handoff = engine.take_handoff_time();
+                let decode_elapsed = decode_started.elapsed();
+                shared.metrics.chunk_decode.record_duration(decode_elapsed);
+                trace.add(STAGE_DISPATCH, handoff);
+                trace.add(STAGE_INGEST, decode_elapsed.saturating_sub(handoff));
                 debug_assert_eq!(
                     consumed,
                     chunk.len(),
@@ -1364,6 +1448,7 @@ pub(crate) fn handle_request(
         Request::Metrics => Ok(Response::Metrics(
             shared.metrics.registry().render_prometheus(),
         )),
+        Request::Traces => Ok(Response::Traces(shared.tracer.render_jsonl())),
         Request::CloseSession => {
             let hold = attached.take().ok_or_else(|| {
                 ServerError::protocol("close-session requires an attached session")

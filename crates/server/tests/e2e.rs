@@ -243,18 +243,37 @@ fn metrics_export_writes_jsonl_snapshots() {
     let text = std::fs::read_to_string(&path).unwrap();
     let lines: Vec<&str> = text.lines().collect();
     assert!(!lines.is_empty(), "at least the shutdown snapshot");
+    // Registry snapshots first, then the shutdown trace stream: every
+    // line is a self-contained JSON object, snapshots carry a wall-clock
+    // stamp, trace lines carry a type tag.
     for line in &lines {
         assert!(
             line.starts_with('{') && line.ends_with('}'),
             "JSONL: {line}"
         );
-        assert!(line.contains("\"ts_ms\":"));
+        assert!(
+            line.contains("\"ts_ms\":")
+                || line.contains("\"type\":\"stage_summary\"")
+                || line.contains("\"type\":\"trace\""),
+            "neither snapshot nor trace line: {line}"
+        );
     }
     // The final snapshot saw the session's traffic.
-    let last = lines.last().unwrap();
+    let last_snapshot = lines
+        .iter()
+        .filter(|l| l.contains("\"ts_ms\":"))
+        .next_back()
+        .unwrap();
     assert!(
-        last.contains("\"server_events_ingested_total\":12000"),
-        "{last}"
+        last_snapshot.contains("\"server_events_ingested_total\":12000"),
+        "{last_snapshot}"
+    );
+    // The trailing trace stream attributes the ingest stage.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"stage_summary\"") && l.contains("\"stage\":\"ingest\"")),
+        "trace stream missing from export"
     );
     let _ = std::fs::remove_file(&path);
 }
@@ -566,4 +585,103 @@ fn trailing_garbage_chunk_is_rejected_before_ingest() {
     client.close_session().unwrap();
     client.shutdown_server().unwrap();
     server.join();
+}
+
+/// Request tracing end to end on the threaded front end: the `traces`
+/// query returns a summary for every stage of the taxonomy, the sampled
+/// trace records carry every stage field, the stage histograms reach the
+/// Prometheus exposition, and loadgen surfaces the per-stage breakdown.
+#[test]
+fn traces_expose_stage_quantiles_and_sampled_records() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let config = LoadgenConfig {
+        clients: 4,
+        events_per_client: 20_000,
+        chunk_events: 2_048,
+        session: SessionConfig::default_multi_hash(),
+        session_prefix: "tr".to_string(),
+    };
+    let report = loadgen(server.local_addr(), &config).unwrap();
+    assert_eq!(report.errors, 0);
+    let stages = report.stages.as_ref().expect("server advertises tracing");
+    assert!(
+        stages.iter().any(|s| s.stage == "ingest" && s.count > 0),
+        "loadgen picked up a populated ingest stage: {stages:?}"
+    );
+    assert!(report.render().contains("stage_ingest"));
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let traces = client.traces().unwrap();
+    for stage in mhp_server::SERVER_STAGES {
+        assert!(
+            traces.contains(&format!("\"stage\":\"{stage}\"")),
+            "missing stage summary for {stage}"
+        );
+    }
+    assert!(traces.contains("\"stage\":\"total\""));
+    let trace_lines: Vec<&str> = traces
+        .lines()
+        .filter(|l| l.contains("\"type\":\"trace\""))
+        .collect();
+    assert!(!trace_lines.is_empty(), "sampled traces present");
+    for line in &trace_lines {
+        for stage in mhp_server::SERVER_STAGES {
+            assert!(
+                line.contains(&format!("\"{stage}\":")),
+                "trace line missing {stage}: {line}"
+            );
+        }
+    }
+    let parsed = mhp_server::parse_stage_latencies(&traces);
+    assert!(parsed.iter().any(|s| s.stage == "ingest" && s.count > 0));
+
+    let metrics = client.metrics().unwrap();
+    for stage in mhp_server::SERVER_STAGES {
+        assert!(
+            metrics.contains(&format!("# TYPE server_stage_{stage}_us histogram")),
+            "missing server_stage_{stage}_us exposition"
+        );
+    }
+    assert!(stat_value(&metrics, "server_traces_total").unwrap() > 0);
+    assert!(stat_value(&metrics, "server_trace_spans_recorded").unwrap() > 0);
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// A server that predates the `traces` opcode answers it with a
+/// non-retryable bad-request error, and the loadgen stage probe degrades
+/// to `stages: None` instead of failing the run.
+#[test]
+fn traces_query_against_older_server_degrades_gracefully() {
+    use mhp_server::protocol::{read_frame, write_frame};
+    use std::net::TcpListener;
+
+    // Fake "older server": answers every frame the way the real request
+    // decoder answers an unknown opcode — a BadRequest error response.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let old_server = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let mut stream = stream.unwrap();
+            while let Ok(Some(_body)) = read_frame(&mut stream) {
+                let reply = mhp_server::Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "unknown request opcode 0x0e".to_string(),
+                }
+                .encode();
+                if write_frame(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+            break; // one connection is all the test sends
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    match client.traces() {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected remote BadRequest, got {other:?}"),
+    }
+    drop(client);
+    old_server.join().unwrap();
 }

@@ -425,3 +425,53 @@ fn mux_loadgen_holds_hundreds_of_concurrent_sessions() {
     probe.shutdown_server().unwrap();
     server.join();
 }
+
+/// Request tracing under the reactor: every stage of the taxonomy —
+/// including `queue_wait`, which only the event loop's worker handoff
+/// populates — shows up in the `traces` stream and the Prometheus
+/// exposition after real multiplexed traffic.
+#[test]
+fn event_loop_traces_attribute_every_stage() {
+    let server = Server::bind("127.0.0.1:0", event_loop_config()).unwrap();
+    let report = mux_loadgen(
+        server.local_addr(),
+        &MuxConfig {
+            sessions: 16,
+            active: 4,
+            events_per_session: 8_192,
+            chunk_events: 2_048,
+            session_prefix: "el-tr".to_string(),
+            ..MuxConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.opened, 16);
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let traces = client.traces().unwrap();
+    for stage in mhp_server::SERVER_STAGES {
+        assert!(
+            traces.contains(&format!("\"stage\":\"{stage}\"")),
+            "missing stage summary for {stage}"
+        );
+    }
+    let summaries = mhp_server::parse_stage_latencies(&traces);
+    let queue_wait = summaries
+        .iter()
+        .find(|s| s.stage == "queue_wait")
+        .expect("queue_wait summary");
+    assert!(
+        queue_wait.count > 0,
+        "worker handoff populated queue_wait: {summaries:?}"
+    );
+    assert!(
+        traces.lines().any(|l| l.contains("\"type\":\"trace\"")),
+        "sampled traces present"
+    );
+
+    let exposition = client.metrics().unwrap();
+    assert!(exposition.contains("# TYPE server_stage_queue_wait_us histogram"));
+    assert!(metric_value(&exposition, "server_traces_total") > 0);
+    client.shutdown_server().unwrap();
+    server.join();
+}

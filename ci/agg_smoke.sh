@@ -120,6 +120,23 @@ for tenant in acme beta; do
     exit 1
   }
 done
+# The listing also carries per-upstream supervisor health; both of the
+# child's upstreams are alive and closed-breaker right now.
+healthy_upstreams="$(printf '%s\n' "$agg_sessions" |
+  grep -c '^upstream .* healthy=1 phase=closed ')" || true
+[ "$healthy_upstreams" -eq 2 ] || {
+  echo "agg_smoke: expected 2 healthy upstreams in child listing:" >&2
+  printf '%s\n' "$agg_sessions" >&2
+  exit 1
+}
+# Checkpointing is on (state file set) and has seen zero write failures
+# on the happy path.
+ckpt_errors="$(target/release/mhp-agg query --addr "$child_addr" --op metrics |
+  awk '$1 == "agg_checkpoint_errors_total" { print $2 }')"
+[ "$ckpt_errors" = "0" ] || {
+  echo "agg_smoke: agg_checkpoint_errors_total should be 0, got '$ckpt_errors'" >&2
+  exit 1
+}
 
 echo "==> phase 3: kill -9 the child, land new data, restore from checkpoint"
 # The braces keep bash's asynchronous "Killed" job notice out of the log.
@@ -138,9 +155,10 @@ offline "$work/expected2.txt" \
   acme/web=gcc:value:11 acme/api=gcc:value:22 beta/db=li:value:33 \
   acme/extra=gcc:value:55
 converge "$parent_addr" "$work/expected2.txt" "restored fleet"
-# The parent saw the outage and said so in its metrics.
+# The parent saw the outage and said so in its metrics (the counter is
+# labeled per upstream; sum the family).
 errors="$(target/release/mhp-agg query --addr "$parent_addr" --op metrics |
-  awk '$1 == "agg_pull_errors_total" { print $2 }')"
+  awk '/^agg_pull_errors_total\{/ { sum += $2 } END { print sum + 0 }')"
 if [ -z "$errors" ] || [ "$errors" -eq 0 ]; then
   echo "agg_smoke: parent never counted the dead upstream" >&2
   exit 1

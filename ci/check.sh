@@ -33,6 +33,17 @@ MODE=event-loop ci/chaos_smoke.sh
 echo "==> fleet aggregation smoke test (multi-tenant, two-level, kill -9 restore)"
 ci/agg_smoke.sh
 
+echo "==> fleet fault-isolation smoke test (kill one server mid-run, recover)"
+ci/fleet_smoke.sh
+
+# Fleet convergence smoke: a scaled-down `mhp-bench fleet` run. Gating via
+# its own clean-run bound — a fault-free fleet that cannot converge within
+# the cycle budget means the pull plane regressed.
+echo "==> fleet convergence bench smoke"
+cargo run --release -p mhp-bench --bin mhp-bench -- fleet \
+  --servers 2 --sessions-per-server 1 --fault-rates 0,50 --events 10000 \
+  --clean-budget-cycles 400 --out target/BENCH_fleet_smoke.json
+
 # Perf smoke: a scaled-down hotpath run proves the bench harness still
 # executes end to end. Non-gating — throughput numbers vary by machine, so
 # a failure here warns instead of failing the gate; the shard-scaling

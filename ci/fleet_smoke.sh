@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Fault-isolation smoke test for the aggregation pull plane: two servers
+# behind one aggregator, then one server is kill -9'd mid-run. The
+# surviving upstream must keep converging (new data ingested after the
+# kill still reaches the aggregate), the dead upstream must trip its
+# circuit breaker (quarantine counter moves, listing flags it unhealthy),
+# and once the dead server comes back on the same address the half-open
+# probe must recover it (recovery counter moves, listing flags it healthy)
+# — with the final aggregate byte-identical to the offline merge, every
+# pre-kill interval counted exactly once.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p mhp-server -p mhp-agg
+
+EVENTS=20000
+INTERVAL=5000
+TOPN=25
+
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in ${pids[@]+"${pids[@]}"}; do
+    { kill -9 "$pid" 2>/dev/null && wait "$pid"; } 2>/dev/null || true
+  done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+start_proc() { # log prefix cmd...
+  local log="$work/$1" prefix="$2"
+  shift 2
+  : >"$log"
+  "$@" >"$log" 2>&1 &
+  last_pid=$!
+  pids+=("$last_pid")
+  addr=""
+  for _ in $(seq 100); do
+    addr="$(sed -n "s/^${prefix}//p" "$log" | head -n 1)"
+    [ -n "$addr" ] && return 0
+    sleep 0.1
+  done
+  echo "fleet_smoke: $1 never reported an address" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+ingest() { # addr session stream
+  target/release/mhp-client record-and-send --addr "$1" --session "$2" \
+    --stream "$3" --events "$EVENTS" --interval-len "$INTERVAL" >/dev/null
+}
+
+offline() { # out-file member...
+  local out="$1"
+  shift
+  local flags=()
+  for member in "$@"; do flags+=(--member "$member"); done
+  target/release/mhp-agg offline "${flags[@]}" \
+    --events "$EVENTS" --interval-len "$INTERVAL" --n "$TOPN" >"$out"
+}
+
+converge() { # expected-file label
+  local expected="$1" label="$2" got="$work/got.txt"
+  for _ in $(seq 100); do
+    {
+      target/release/mhp-agg query --addr "$agg_addr" --op topk --tenant acme --n "$TOPN"
+      target/release/mhp-agg query --addr "$agg_addr" --op topk --tenant beta --n "$TOPN"
+    } >"$got" 2>/dev/null || true
+    cmp -s "$expected" "$got" && return 0
+    sleep 0.2
+  done
+  echo "fleet_smoke: $label never converged on the offline answer" >&2
+  diff "$expected" "$got" >&2 || true
+  exit 1
+}
+
+metric_sum() { # family -> sum of all (labeled) samples
+  target/release/mhp-agg query --addr "$agg_addr" --op metrics |
+    awk -v fam="$1" 'index($1, fam "{") == 1 || $1 == fam { sum += $2 } END { print sum + 0 }'
+}
+
+upstream_health() { # addr -> the listing's health line for that upstream
+  target/release/mhp-agg query --addr "$agg_addr" --op sessions |
+    grep "^upstream $1 " || true
+}
+
+echo "==> phase 1: two servers, one aggregator, clean convergence"
+start_proc server_a.log "listening on " target/release/mhp-server --addr 127.0.0.1:0
+srv_a="$addr"
+start_proc server_b.log "listening on " target/release/mhp-server --addr 127.0.0.1:0
+srv_b="$addr"
+ingest "$srv_a" acme/web gcc:value:11
+ingest "$srv_b" beta/db li:value:22
+
+start_proc agg.log "aggregating on " target/release/mhp-agg serve \
+  --addr 127.0.0.1:0 --upstream "$srv_a" --upstream "$srv_b" \
+  --pull-interval-ms 50 --breaker-threshold 3 --quarantine-ms 500 \
+  --connect-timeout-ms 250 --read-timeout-ms 250
+agg_addr="$addr"
+
+offline "$work/expected1.txt" acme/web=gcc:value:11 beta/db=li:value:22
+converge "$work/expected1.txt" "clean fleet"
+
+echo "==> phase 2: kill -9 one server; the survivor keeps advancing"
+srv_b_pid="${pids[1]}"
+{ kill -9 "$srv_b_pid" && wait "$srv_b_pid"; } 2>/dev/null || true
+
+# New data on the surviving server must still flow: the dead upstream is
+# someone else's problem, not the pull plane's.
+ingest "$srv_a" acme/extra gcc:value:33
+offline "$work/expected2.txt" \
+  acme/web=gcc:value:11 beta/db=li:value:22 acme/extra=gcc:value:33
+converge "$work/expected2.txt" "surviving upstream"
+
+# The dead upstream trips its breaker within a few failed pulls: the
+# quarantine counter moves and the session listing flags it unhealthy.
+quarantined=""
+for _ in $(seq 50); do
+  if [ "$(metric_sum agg_upstream_quarantines_total)" -gt 0 ] &&
+    upstream_health "$srv_b" | grep -q " healthy=0 "; then
+    quarantined=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$quarantined" ] || {
+  echo "fleet_smoke: dead upstream was never quarantined and flagged:" >&2
+  target/release/mhp-agg query --addr "$agg_addr" --op sessions >&2
+  target/release/mhp-agg query --addr "$agg_addr" --op metrics >&2
+  exit 1
+}
+
+echo "==> phase 3: dead server restarts; half-open probe recovers it"
+start_proc server_b.log "listening on " target/release/mhp-server --addr "$srv_b"
+# Fresh data on the revived server; its old beta/db session is gone, and
+# the aggregator's cursors mean the retained beta/db data is counted once.
+ingest "$srv_b" beta/cache li:value:44
+offline "$work/expected3.txt" \
+  acme/web=gcc:value:11 beta/db=li:value:22 acme/extra=gcc:value:33 \
+  beta/cache=li:value:44
+converge "$work/expected3.txt" "recovered fleet"
+
+recoveries="$(metric_sum agg_upstream_recoveries_total)"
+[ "$recoveries" -gt 0 ] || {
+  echo "fleet_smoke: revived upstream never counted a recovery" >&2
+  target/release/mhp-agg query --addr "$agg_addr" --op metrics >&2
+  exit 1
+}
+upstream_health "$srv_b" | grep -q " healthy=1 phase=closed " || {
+  echo "fleet_smoke: revived upstream not healthy/closed in listing:" >&2
+  target/release/mhp-agg query --addr "$agg_addr" --op sessions >&2
+  exit 1
+}
+
+echo "==> graceful shutdown"
+target/release/mhp-agg query --addr "$agg_addr" --op shutdown >/dev/null
+target/release/mhp-client shutdown --addr "$srv_a" >/dev/null
+target/release/mhp-client shutdown --addr "$srv_b" >/dev/null
+
+echo "ci/fleet_smoke.sh: all green"

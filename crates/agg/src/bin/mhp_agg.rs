@@ -3,6 +3,9 @@
 //! ```text
 //! mhp-agg serve --addr 127.0.0.1:7170 --upstream HOST:PORT [--upstream ...]
 //!               [--pull-interval-ms 200] [--state FILE]
+//!               [--connect-timeout-ms 250] [--read-timeout-ms 250]
+//!               [--pull-budget-ms 2000] [--breaker-threshold 3]
+//!               [--quarantine-ms 1000] [--max-query-conns 64]
 //!               [--fault-plan SPEC] [--fault-seed N]
 //! mhp-agg query --addr A --op topk --tenant T [--n N]
 //! mhp-agg query --addr A --op sessions|stats|metrics
@@ -21,7 +24,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use mhp_agg::{AggConfig, AggState, Aggregator};
+use mhp_agg::{AggConfig, AggState, Aggregator, PullPolicy};
 use mhp_core::Candidate;
 use mhp_faults::FaultPlan;
 use mhp_pipeline::{EngineConfig, ShardedEngine};
@@ -34,6 +37,9 @@ usage: mhp-agg <command> [options]
 commands:
   serve    --addr A --upstream HOST:PORT [--upstream ...]
            [--pull-interval-ms 200] [--state FILE]
+           [--connect-timeout-ms 250] [--read-timeout-ms 250]
+           [--pull-budget-ms 2000] [--breaker-threshold 3]
+           [--quarantine-ms 1000] [--max-query-conns 64]
            [--fault-plan SPEC] [--fault-seed N]
   query    --addr A --op OP [--tenant T] [--n N]
            (OP: topk, snapshot, sessions, stats, metrics, shutdown;
@@ -131,6 +137,26 @@ fn cmd_serve(mut args: Args) -> Result<(), ServerError> {
     }
     let pull_ms: u64 = args.take_parsed("pull-interval-ms", 200)?;
     let state_path = args.take("state").map(Into::into);
+    let defaults = PullPolicy::default();
+    let policy = PullPolicy {
+        connect_timeout: Duration::from_millis(args.take_parsed(
+            "connect-timeout-ms",
+            defaults.connect_timeout.as_millis() as u64,
+        )?),
+        read_timeout: Duration::from_millis(
+            args.take_parsed("read-timeout-ms", defaults.read_timeout.as_millis() as u64)?,
+        ),
+        pull_budget: Duration::from_millis(
+            args.take_parsed("pull-budget-ms", defaults.pull_budget.as_millis() as u64)?,
+        ),
+        breaker_threshold: args.take_parsed("breaker-threshold", defaults.breaker_threshold)?,
+        quarantine: Duration::from_millis(
+            args.take_parsed("quarantine-ms", defaults.quarantine.as_millis() as u64)?,
+        ),
+        ..defaults
+    };
+    let max_query_conns: usize =
+        args.take_parsed("max-query-conns", AggConfig::default().max_query_conns)?;
     let fault_plan = args.take("fault-plan");
     let fault_seed: u64 = args.take_parsed("fault-seed", 0)?;
     args.finish()?;
@@ -139,6 +165,8 @@ fn cmd_serve(mut args: Args) -> Result<(), ServerError> {
         upstreams,
         pull_interval: Duration::from_millis(pull_ms.max(1)),
         state_path,
+        policy,
+        max_query_conns,
         ..AggConfig::default()
     };
     if let Some(spec) = fault_plan {
@@ -180,10 +208,23 @@ fn cmd_query(mut args: Args) -> Result<(), ServerError> {
             }
         }
         "sessions" => {
-            for info in client.list_sessions()? {
+            let (sessions, upstreams) = client.list_sessions_with_health()?;
+            for info in sessions {
                 println!(
                     "{} events={} epoch={}",
                     info.name, info.events, info.intervals
+                );
+            }
+            // Aggregators append their per-upstream supervisor health to
+            // the listing; leaf servers send none.
+            for health in upstreams {
+                println!(
+                    "upstream {} healthy={} phase={} staleness_cycles={} consecutive_failures={}",
+                    health.addr,
+                    u8::from(health.healthy),
+                    health.phase.name(),
+                    health.staleness_cycles,
+                    health.consecutive_failures
                 );
             }
         }

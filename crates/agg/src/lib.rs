@@ -53,6 +53,8 @@
 
 pub mod node;
 pub mod state;
+pub mod supervisor;
 
 pub use node::{AggConfig, Aggregator, RunningAggregator};
 pub use state::{AggState, TenantTable, CUMULATIVE_SUFFIX};
+pub use supervisor::{CircuitBreaker, PullDecision, PullPolicy, UpstreamStatus};

@@ -1,26 +1,33 @@
-//! The aggregator node: a pull loop that drains upstream servers (and
-//! child aggregators) into the merge tree, plus a TCP serving loop that
-//! answers the same framed query protocol an `mhp-server` speaks — which
-//! is exactly what lets aggregators stack.
+//! The aggregator node: fault-isolated per-upstream pull workers that
+//! drain upstream servers (and child aggregators) into the merge tree,
+//! plus a TCP serving loop that answers the same framed query protocol an
+//! `mhp-server` speaks — which is exactly what lets aggregators stack.
+//!
+//! Each upstream is owned by one supervisor thread (deadlines, backoff,
+//! circuit breaker — see [`crate::supervisor`] and DESIGN §18), so a
+//! dead, slow, or flapping upstream costs its own slot and nothing else.
+//! A clock thread ticks the shared cycle counter, advances the epoch when
+//! any worker made progress, and checkpoints.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mhp_core::Candidate;
-use mhp_faults::{ConnAction, FaultHook};
+use mhp_faults::{FaultHook, PullAction};
 use mhp_server::protocol::{read_frame, write_frame};
 use mhp_server::{
-    tenant_of, Client, ErrorCode, ProfileData, ProfilerKind, Request, Response, ServerError,
-    SessionConfig, SessionInfo,
+    tenant_of, BreakerPhase, Client, ErrorCode, ProfileData, ProfilerKind, Request, Response,
+    ServerError, SessionConfig, SessionInfo, UpstreamHealth,
 };
-use mhp_telemetry::{Counter, CounterVec, Registry, Trace, TraceConfig, Tracer};
+use mhp_telemetry::{Counter, CounterVec, Gauge, Registry, Trace, TraceConfig, Tracer};
 
 use crate::state::{AggState, CUMULATIVE_SUFFIX};
+use crate::supervisor::{CircuitBreaker, PullDecision, PullPolicy, UpstreamStatus, NEVER};
 
 /// The aggregator's pull-cycle stage taxonomy, in pipeline order; the
 /// tracer registers one `agg_stage_{name}_us` histogram per entry.
@@ -52,18 +59,27 @@ pub struct AggConfig {
     /// (replace semantics); everything else is a leaf session (additive
     /// interval pulls).
     pub upstreams: Vec<String>,
-    /// Pause between pull cycles.
+    /// Pause between a worker's successful pulls, and the clock thread's
+    /// tick (one tick = one cycle for epoch/staleness accounting).
     pub pull_interval: Duration,
     /// When set, the merge tree is checkpointed here (atomically, in the
-    /// shared CRC-guarded snapshot envelope) after every pull cycle and
-    /// restored on the next start — a kill -9'd aggregator resumes with
-    /// its cursors intact and never double-counts an interval.
+    /// shared CRC-guarded snapshot envelope) after every progressing
+    /// cycle and restored on the next start — a kill -9'd aggregator
+    /// resumes with its cursors intact and never double-counts an
+    /// interval.
     pub state_path: Option<PathBuf>,
     /// Per-connection read timeout on the serving side.
     pub read_timeout: Duration,
-    /// Armed fault plan for chaos testing: consulted once per upstream
-    /// per pull cycle; a `conn-drop` fault skips that upstream for the
-    /// cycle (counted in `agg_pull_errors_total`).
+    /// Deadlines, backoff, and circuit-breaker tuning for the pull
+    /// workers.
+    pub policy: PullPolicy,
+    /// Concurrent query connections served before new ones are rejected
+    /// with a retryable `overloaded` answer.
+    pub max_query_conns: usize,
+    /// Armed fault plan for chaos testing: consulted once per pull
+    /// attempt (`conn-drop` fails the attempt, `upstream-stall` wedges
+    /// then fails) and once per in-pull operation (`slow-read` delays
+    /// it). Errors land in `agg_pull_errors_total{upstream=...}`.
     pub fault_hook: Option<FaultHook>,
 }
 
@@ -74,25 +90,34 @@ impl Default for AggConfig {
             pull_interval: Duration::from_millis(200),
             state_path: None,
             read_timeout: Duration::from_millis(200),
+            policy: PullPolicy::default(),
+            max_query_conns: 64,
             fault_hook: None,
         }
     }
 }
 
 /// Aggregator-side counters, on one shared registry so the `metrics`
-/// query exposes the whole picture — per-tenant series included.
+/// query exposes the whole picture — per-tenant and per-upstream series
+/// included.
 struct AggTelemetry {
     registry: Registry,
     pull_cycles: Counter,
-    pull_errors: Counter,
+    /// Failed pull attempts, labeled by upstream address — a flapping
+    /// upstream is attributable from the metrics endpoint alone.
+    pull_errors: CounterVec,
+    quarantines: CounterVec,
+    recoveries: CounterVec,
+    partial_harvests: Counter,
     checkpoints: Counter,
+    checkpoint_errors: Counter,
     restores: Counter,
+    busy_rejections: Counter,
     tenant_profiles_merged: CounterVec,
     tenant_events_merged: CounterVec,
-    /// Per-pull-cycle stage tracing: one `"pull"` trace per upstream per
-    /// cycle (detail = upstream index) plus one `"checkpoint"` trace per
-    /// progressing cycle, behind the same `traces` query the server
-    /// answers.
+    /// Per-pull stage tracing: one `"pull"` trace per attempt (detail =
+    /// upstream index) plus one `"checkpoint"` trace per progressing
+    /// cycle, behind the same `traces` query the server answers.
     tracer: Tracer,
 }
 
@@ -101,9 +126,14 @@ impl AggTelemetry {
         let registry = Registry::new();
         AggTelemetry {
             pull_cycles: registry.counter("agg_pull_cycles_total"),
-            pull_errors: registry.counter("agg_pull_errors_total"),
+            pull_errors: CounterVec::new(&registry, "agg_pull_errors_total", "upstream"),
+            quarantines: CounterVec::new(&registry, "agg_upstream_quarantines_total", "upstream"),
+            recoveries: CounterVec::new(&registry, "agg_upstream_recoveries_total", "upstream"),
+            partial_harvests: registry.counter("agg_partial_harvests_total"),
             checkpoints: registry.counter("agg_checkpoints_total"),
+            checkpoint_errors: registry.counter("agg_checkpoint_errors_total"),
             restores: registry.counter("agg_restore_total"),
+            busy_rejections: registry.counter("agg_query_busy_rejections_total"),
             tenant_profiles_merged: CounterVec::new(
                 &registry,
                 "agg_tenant_profiles_merged_total",
@@ -120,11 +150,33 @@ impl AggTelemetry {
     }
 }
 
-/// Shared state between the pull loop, the serving loop, and the handle.
+/// One upstream's runtime: shared health state plus its metric handles,
+/// all owned by `Inner` so every thread sees the same series.
+struct UpstreamRuntime {
+    status: UpstreamStatus,
+    healthy_gauge: Gauge,
+    staleness_gauge: Gauge,
+    errors: Counter,
+    quarantines: Counter,
+    recoveries: Counter,
+}
+
+/// Shared state between the pull workers, the clock, the serving loop,
+/// and the handle.
 struct Inner {
     config: AggConfig,
     state: Mutex<AggState>,
     telemetry: AggTelemetry,
+    upstreams: Vec<UpstreamRuntime>,
+    /// Clock ticks since start; the unit of staleness accounting.
+    cycles: AtomicU64,
+    /// Set by any worker that applied a harvest (or completed an empty
+    /// pull); consumed by the clock thread, which then advances the
+    /// epoch and checkpoints.
+    progress: AtomicBool,
+    /// Whether the last checkpoint write failed — gates the
+    /// once-per-transition stderr log.
+    checkpoint_failing: AtomicBool,
     shutdown: AtomicBool,
 }
 
@@ -135,8 +187,9 @@ pub struct Aggregator;
 
 impl Aggregator {
     /// Binds `addr`, restores any checkpoint at
-    /// [`AggConfig::state_path`], and starts the pull and serving loops
-    /// on background threads.
+    /// [`AggConfig::state_path`], and starts one pull worker per
+    /// upstream, the clock thread, and the serving loop on background
+    /// threads.
     ///
     /// # Errors
     ///
@@ -162,22 +215,55 @@ impl Aggregator {
             }
         }
 
+        let upstreams = config
+            .upstreams
+            .iter()
+            .map(|addr| {
+                let labels = &[("upstream", addr.as_str())];
+                let runtime = UpstreamRuntime {
+                    status: UpstreamStatus::new(addr.clone()),
+                    healthy_gauge: telemetry
+                        .registry
+                        .gauge_with_labels("agg_upstream_healthy", labels),
+                    staleness_gauge: telemetry
+                        .registry
+                        .gauge_with_labels("agg_upstream_staleness_cycles", labels),
+                    errors: telemetry.pull_errors.with_label(addr),
+                    quarantines: telemetry.quarantines.with_label(addr),
+                    recoveries: telemetry.recoveries.with_label(addr),
+                };
+                runtime.healthy_gauge.set(1);
+                runtime
+            })
+            .collect();
+
         let inner = Arc::new(Inner {
             config,
             state: Mutex::new(state),
             telemetry,
+            upstreams,
+            cycles: AtomicU64::new(0),
+            progress: AtomicBool::new(false),
+            checkpoint_failing: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         });
 
-        let pull_inner = Arc::clone(&inner);
-        let pull_handle = std::thread::spawn(move || pull_loop(&pull_inner));
+        let mut pull_handles = Vec::with_capacity(inner.config.upstreams.len() + 1);
+        for index in 0..inner.config.upstreams.len() {
+            let worker_inner = Arc::clone(&inner);
+            pull_handles.push(std::thread::spawn(move || {
+                upstream_worker(&worker_inner, index);
+            }));
+        }
+        let clock_inner = Arc::clone(&inner);
+        pull_handles.push(std::thread::spawn(move || clock_loop(&clock_inner)));
         let serve_inner = Arc::clone(&inner);
         let serve_handle = std::thread::spawn(move || accept_loop(&listener, &serve_inner));
 
         Ok(RunningAggregator {
             local_addr,
             inner,
-            pull_handle: Some(pull_handle),
+            pull_handles,
             serve_handle: Some(serve_handle),
         })
     }
@@ -188,7 +274,7 @@ impl Aggregator {
 pub struct RunningAggregator {
     local_addr: SocketAddr,
     inner: Arc<Inner>,
-    pull_handle: Option<JoinHandle<()>>,
+    pull_handles: Vec<JoinHandle<()>>,
     serve_handle: Option<JoinHandle<()>>,
 }
 
@@ -206,9 +292,25 @@ impl RunningAggregator {
         self.local_addr
     }
 
-    /// Completed pull cycles so far.
+    /// Progressing pull cycles so far (the epoch of the merge tree).
     pub fn epoch(&self) -> u64 {
         self.inner.state.lock().expect("state lock poisoned").epoch
+    }
+
+    /// Clock ticks since start — the denominator of staleness.
+    pub fn cycles(&self) -> u64 {
+        self.inner.cycles.load(Ordering::SeqCst)
+    }
+
+    /// Per-upstream supervisor health, in configuration order — the same
+    /// block the session listing carries on the wire.
+    pub fn upstream_health(&self) -> Vec<UpstreamHealth> {
+        let now = self.cycles();
+        self.inner
+            .upstreams
+            .iter()
+            .map(|up| up.status.health(now))
+            .collect()
     }
 
     /// The global top-k for one tenant, straight from the merge tree.
@@ -237,7 +339,7 @@ impl RunningAggregator {
         self.inner.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Waits for both loops to finish. Implies [`shutdown`](Self::shutdown).
+    /// Waits for every loop to finish. Implies [`shutdown`](Self::shutdown).
     pub fn join(mut self) {
         self.shutdown();
         self.reap();
@@ -254,7 +356,7 @@ impl RunningAggregator {
             let _ = handle.join();
         }
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.pull_handle.take() {
+        for handle in self.pull_handles.drain(..) {
             let _ = handle.join();
         }
     }
@@ -267,9 +369,13 @@ impl Drop for RunningAggregator {
     }
 }
 
-/// One upstream's harvest for a cycle, collected off-lock (the pulls are
-/// network I/O) and applied to the merge tree in one short critical
-/// section.
+/// One upstream's harvest, collected off-lock (the pulls are network I/O)
+/// and applied to the merge tree in one short critical section. A pull
+/// that errors mid-way still returns the harvest it completed: each
+/// session's cursor entry covers exactly the snapshots that landed in
+/// `leaf_profiles`, so applying a partial harvest is idempotent — the
+/// next successful pull resumes from the committed cursor and never
+/// double-counts.
 #[derive(Default)]
 struct Harvest {
     /// Leaf profiles: `(tenant, candidates)`, in pull order.
@@ -280,124 +386,277 @@ struct Harvest {
     children: Vec<(String, Vec<Candidate>)>,
 }
 
-/// Pulls every upstream once per [`AggConfig::pull_interval`], applying
-/// each upstream's harvest as it lands, then checkpoints. Polls the
-/// shutdown flag between upstreams so shutdown never waits out a cycle.
-fn pull_loop(inner: &Inner) {
-    loop {
+impl Harvest {
+    fn is_empty(&self) -> bool {
+        self.leaf_profiles.is_empty() && self.cursors.is_empty() && self.children.is_empty()
+    }
+}
+
+/// Sleeps up to `total`, polling the shutdown flag in small slices so
+/// shutdown never waits out a backoff or quarantine.
+fn sleep_responsive(inner: &Inner, total: Duration) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let mut progressed = false;
-        for (index, upstream) in inner.config.upstreams.iter().enumerate() {
-            if inner.shutdown.load(Ordering::SeqCst) {
-                return;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The supervisor loop for one upstream: pull on the interval while
+/// healthy, back off exponentially on failure, quarantine after the
+/// breaker threshold, probe half-open, recover. Nothing here blocks any
+/// other upstream.
+fn upstream_worker(inner: &Inner, index: usize) {
+    let policy = inner.config.policy.clone();
+    let up = &inner.upstreams[index];
+    let mut breaker = CircuitBreaker::new(policy.breaker_threshold, policy.quarantine);
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match breaker.decide(Instant::now()) {
+            PullDecision::Skip(remaining) => {
+                // Quarantined: nap until the quarantine elapses (capped so
+                // shutdown and health reads stay fresh), then re-decide.
+                sleep_responsive(inner, remaining.min(inner.config.pull_interval));
+                continue;
             }
-            // Injected pull faults: a conn-drop skips this upstream for
-            // the cycle — the cursors make the next cycle pick up exactly
-            // where this one would have.
-            if let Some(hook) = &inner.config.fault_hook {
-                if hook.on_request() == ConnAction::Drop {
-                    inner.telemetry.pull_errors.incr();
-                    continue;
-                }
+            PullDecision::Probe => up.status.record_phase(BreakerPhase::HalfOpen),
+            PullDecision::Pull => {}
+        }
+
+        // Injected pull faults: a conn-drop fails the attempt without
+        // touching the network; an upstream-stall wedges the worker for
+        // the fault's duration, then fails — exactly what a real stalled
+        // upstream does to a deadline-bounded pull.
+        let action = inner
+            .config
+            .fault_hook
+            .as_ref()
+            .map_or(PullAction::Proceed, FaultHook::on_pull);
+
+        // One trace per pull attempt, tagged with the upstream's index;
+        // an errored pull still finishes (its connect/list time is real
+        // work worth attributing).
+        let trace = inner.telemetry.tracer.begin("pull");
+        trace.set_detail(index as u64);
+        let result = match action {
+            PullAction::Drop => Err(ServerError::protocol("injected pull connection drop")),
+            PullAction::Stall(wedge) => {
+                sleep_responsive(inner, wedge);
+                Err(ServerError::protocol("injected upstream stall"))
             }
-            // One trace per upstream per cycle, tagged with the upstream's
-            // index; an errored pull still finishes (its connect/list time
-            // is real work worth attributing).
-            let trace = inner.telemetry.tracer.begin("pull");
-            trace.set_detail(index as u64);
-            match pull_upstream(inner, upstream, &trace) {
-                Ok(harvest) => {
-                    progressed = true;
+            PullAction::Proceed => {
+                let (harvest, result) = pull_upstream(inner, index, &trace);
+                if !harvest.is_empty() {
                     let apply = trace.stage(AGG_STAGE_APPLY);
-                    apply_harvest(inner, upstream, harvest);
+                    apply_harvest(inner, &up.status.addr, harvest);
                     apply.finish();
+                    if result.is_err() {
+                        // Partial harvest: the error cut the pull short,
+                        // but everything collected before it is applied
+                        // with matching cursors.
+                        inner.telemetry.partial_harvests.incr();
+                    }
+                    inner.progress.store(true, Ordering::SeqCst);
+                } else if result.is_ok() {
+                    inner.progress.store(true, Ordering::SeqCst);
                 }
-                Err(_) => inner.telemetry.pull_errors.incr(),
+                result
             }
-            trace.finish();
-        }
-        if progressed {
-            let trace = inner.telemetry.tracer.begin("checkpoint");
-            let timer = trace.stage(AGG_STAGE_CHECKPOINT);
-            let mut state = inner.state.lock().expect("state lock poisoned");
-            state.epoch += 1;
-            let snapshot = inner.config.state_path.as_ref().map(|_| state.encode());
-            drop(state);
-            if let (Some(path), Some(bytes)) = (&inner.config.state_path, snapshot) {
-                if write_atomically(path, &bytes).is_ok() {
-                    inner.telemetry.checkpoints.incr();
+        };
+        trace.finish();
+
+        match result {
+            Ok(()) => {
+                if breaker.on_success() {
+                    up.recoveries.incr();
+                }
+                let cycle = inner.cycles.load(Ordering::SeqCst);
+                let epoch = inner.state.lock().expect("state lock poisoned").epoch;
+                up.status.record_success(cycle, epoch);
+                up.healthy_gauge.set(1);
+                up.staleness_gauge.set(0);
+                sleep_responsive(inner, inner.config.pull_interval);
+            }
+            Err(_) => {
+                up.errors.incr();
+                let outcome = breaker.on_failure(Instant::now());
+                up.status
+                    .record_failure(breaker.consecutive_failures(), breaker.phase());
+                if outcome.quarantined {
+                    up.quarantines.incr();
+                    up.healthy_gauge.set(0);
+                    // The quarantine nap happens via Skip on the next
+                    // decide(); no extra sleep here.
+                } else {
+                    sleep_responsive(inner, policy.backoff(breaker.consecutive_failures(), index));
                 }
             }
-            timer.finish();
-            trace.finish();
-        }
-        inner.telemetry.pull_cycles.incr();
-        // Sleep in small slices so shutdown stays responsive.
-        let deadline = Instant::now() + inner.config.pull_interval;
-        while Instant::now() < deadline {
-            if inner.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            std::thread::sleep(Duration::from_millis(10));
         }
     }
+}
+
+/// The clock: one tick per [`AggConfig::pull_interval`]. Each tick bumps
+/// the cycle counter, refreshes staleness gauges, and — when any worker
+/// made progress since the last tick — advances the epoch and
+/// checkpoints.
+fn clock_loop(inner: &Inner) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        sleep_responsive(inner, inner.config.pull_interval);
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let cycle = inner.cycles.fetch_add(1, Ordering::SeqCst) + 1;
+        for up in &inner.upstreams {
+            up.staleness_gauge.set(up.status.staleness_cycles(cycle));
+        }
+        if inner.progress.swap(false, Ordering::SeqCst) {
+            checkpoint_cycle(inner);
+        }
+        inner.telemetry.pull_cycles.incr();
+    }
+    // A final checkpoint so shutdown never strands an applied harvest in
+    // memory only.
+    if inner.progress.swap(false, Ordering::SeqCst) {
+        checkpoint_cycle(inner);
+    }
+}
+
+/// Advances the epoch and atomically writes the checkpoint. Write
+/// failures are loud: counted in `agg_checkpoint_errors_total` and logged
+/// to stderr once per transition (one line when writes start failing, one
+/// when they recover) so a full disk cannot silently turn checkpointing
+/// off.
+fn checkpoint_cycle(inner: &Inner) {
+    let trace = inner.telemetry.tracer.begin("checkpoint");
+    let timer = trace.stage(AGG_STAGE_CHECKPOINT);
+    let mut state = inner.state.lock().expect("state lock poisoned");
+    state.epoch += 1;
+    let snapshot = inner.config.state_path.as_ref().map(|_| state.encode());
+    drop(state);
+    if let (Some(path), Some(bytes)) = (&inner.config.state_path, snapshot) {
+        match write_atomically(path, &bytes) {
+            Ok(()) => {
+                inner.telemetry.checkpoints.incr();
+                if inner.checkpoint_failing.swap(false, Ordering::SeqCst) {
+                    eprintln!("mhp-agg: checkpoint writes to {} recovered", path.display());
+                }
+            }
+            Err(err) => {
+                inner.telemetry.checkpoint_errors.incr();
+                if !inner.checkpoint_failing.swap(true, Ordering::SeqCst) {
+                    eprintln!(
+                        "mhp-agg: checkpoint write to {} failed: {err}",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+    timer.finish();
+    trace.finish();
 }
 
 /// Connects to one upstream and drains everything new: every completed,
 /// not-yet-pulled interval of every leaf session, and the full cumulative
 /// table of every child-aggregator export.
-fn pull_upstream(inner: &Inner, upstream: &str, trace: &Trace) -> Result<Harvest, ServerError> {
-    let connect = trace.stage(AGG_STAGE_CONNECT);
-    let mut client = Client::connect(upstream)?;
-    connect.finish();
+///
+/// Always returns the harvest collected so far, even alongside an error —
+/// cursors in the harvest cover exactly the snapshots that completed, so
+/// the caller can apply a partial harvest without double-counting. Every
+/// operation is deadline-bounded (connect timeout, per-read timeout) and
+/// the whole pull is budgeted: a dribbling upstream trips the budget
+/// between operations instead of holding the worker hostage.
+fn pull_upstream(inner: &Inner, index: usize, trace: &Trace) -> (Harvest, Result<(), ServerError>) {
+    let upstream = &inner.config.upstreams[index];
+    let policy = &inner.config.policy;
+    let started = Instant::now();
     let mut harvest = Harvest::default();
-    let cursor_of = |session: &str| {
-        inner
-            .state
-            .lock()
-            .expect("state lock poisoned")
-            .cursor(upstream, session)
+
+    let over_budget = || -> Result<(), ServerError> {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServerError::protocol("shutting down"));
+        }
+        if started.elapsed() > policy.pull_budget {
+            return Err(ServerError::protocol("pull budget exhausted"));
+        }
+        Ok(())
     };
-    let list = trace.stage(AGG_STAGE_LIST_SESSIONS);
-    let sessions = client.list_sessions()?;
-    list.finish();
-    for info in sessions {
-        // Attach round-trips count toward the snapshot stage: they exist
-        // only to scope the pulls that follow.
-        if let Some(tenant) = info.name.strip_suffix(CUMULATIVE_SUFFIX) {
-            let timer = trace.stage(AGG_STAGE_SNAPSHOT);
-            client.attach(&info.name)?;
-            let profile = client.snapshot(u64::MAX)?;
-            timer.finish();
-            if let Some(profile) = profile {
-                harvest
-                    .children
-                    .push((tenant.to_string(), profile.candidates));
+    // Injected slow-read: delay the next in-pull operation.
+    let read_delay = || {
+        if let Some(hook) = &inner.config.fault_hook {
+            if let Some(delay) = hook.on_pull_op() {
+                std::thread::sleep(delay);
             }
-            continue;
         }
-        let tenant = tenant_of(&info.name).to_string();
-        let mut cursor = cursor_of(&info.name);
-        if cursor >= info.intervals {
-            continue; // nothing new; skip the attach round-trip
-        }
-        let timer = trace.stage(AGG_STAGE_SNAPSHOT);
-        client.attach(&info.name)?;
-        loop {
-            let Some(profile) = client.snapshot(cursor)? else {
-                break;
+    };
+
+    let result = (|| -> Result<(), ServerError> {
+        let connect = trace.stage(AGG_STAGE_CONNECT);
+        let mut client = Client::connect_timeout(upstream.as_str(), policy.connect_timeout)?;
+        client.set_read_timeout(Some(policy.read_timeout))?;
+        connect.finish();
+        let list = trace.stage(AGG_STAGE_LIST_SESSIONS);
+        read_delay();
+        let sessions = client.list_sessions()?;
+        list.finish();
+        for info in sessions {
+            over_budget()?;
+            read_delay();
+            // Attach round-trips count toward the snapshot stage: they
+            // exist only to scope the pulls that follow.
+            if let Some(tenant) = info.name.strip_suffix(CUMULATIVE_SUFFIX) {
+                let timer = trace.stage(AGG_STAGE_SNAPSHOT);
+                client.attach(&info.name)?;
+                let profile = client.snapshot(u64::MAX)?;
+                timer.finish();
+                if let Some(profile) = profile {
+                    harvest
+                        .children
+                        .push((tenant.to_string(), profile.candidates));
+                }
+                continue;
+            }
+            let tenant = tenant_of(&info.name).to_string();
+            let mut cursor = {
+                let state = inner.state.lock().expect("state lock poisoned");
+                state.cursor(upstream, &info.name)
             };
-            harvest
-                .leaf_profiles
-                .push((tenant.clone(), profile.candidates));
-            cursor += 1;
+            if cursor >= info.intervals {
+                continue; // nothing new; skip the attach round-trip
+            }
+            let timer = trace.stage(AGG_STAGE_SNAPSHOT);
+            let attach_result = client.attach(&info.name).map(|_| ());
+            let start_cursor = cursor;
+            let mut session_result = attach_result;
+            while session_result.is_ok() {
+                if let Err(err) = over_budget() {
+                    session_result = Err(err);
+                    break;
+                }
+                match client.snapshot(cursor) {
+                    Ok(Some(profile)) => {
+                        harvest
+                            .leaf_profiles
+                            .push((tenant.clone(), profile.candidates));
+                        cursor += 1;
+                    }
+                    Ok(None) => break,
+                    Err(err) => session_result = Err(err),
+                }
+            }
+            timer.finish();
+            // Commit the cursor exactly as far as the snapshots actually
+            // harvested — a mid-session error keeps profile data and
+            // cursor consistent.
+            if cursor > start_cursor {
+                harvest.cursors.push((info.name, cursor));
+            }
+            session_result?;
         }
-        timer.finish();
-        harvest.cursors.push((info.name, cursor));
-    }
-    Ok(harvest)
+        Ok(())
+    })();
+    (harvest, result)
 }
 
 /// Applies one upstream's harvest under the state lock.
@@ -424,16 +683,39 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// Decrements the active-connection count when a connection thread exits,
+/// panics included.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Accepts query connections until shutdown. One thread per connection —
 /// aggregator query fan-in is dashboards and parent aggregators, not the
-/// firehose the ingest path handles.
+/// firehose the ingest path handles. Finished handles are reaped as
+/// connections are accepted (not hoarded until shutdown), and arrivals
+/// beyond [`AggConfig::max_query_conns`] get a typed retryable
+/// `overloaded` rejection instead of a thread.
 fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    let mut handles = Vec::new();
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    let active = Arc::new(AtomicUsize::new(0));
     while !inner.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                handles.retain(|handle| !handle.is_finished());
+                if active.load(Ordering::SeqCst) >= inner.config.max_query_conns {
+                    inner.telemetry.busy_rejections.incr();
+                    reject_busy(stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard(Arc::clone(&active));
                 let inner = Arc::clone(inner);
                 handles.push(std::thread::spawn(move || {
+                    let _guard = guard;
                     handle_connection(stream, &inner);
                 }));
             }
@@ -446,6 +728,19 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     for handle in handles {
         let _ = handle.join();
     }
+}
+
+/// Answers one over-capacity connection with a retryable `overloaded`
+/// error and hangs up.
+fn reject_busy(stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = BufWriter::new(stream);
+    let response = Response::Error {
+        code: ErrorCode::Overloaded,
+        message: "aggregator query plane at connection capacity; retry".into(),
+    };
+    let _ = write_frame(&mut writer, &response.encode());
+    let _ = std::io::Write::flush(&mut writer);
 }
 
 /// Serves one query connection until EOF, a violation, or shutdown.
@@ -548,13 +843,26 @@ fn handle_request(request: Request, attached: &mut Option<String>, inner: &Inner
             Response::Session(info)
         }
         Request::ListSessions => {
+            let now = inner.cycles.load(Ordering::SeqCst);
             let guard = state();
-            let infos = guard
+            let sessions = guard
                 .tenant_names()
                 .iter()
                 .map(|tenant| tenant_info(&guard, tenant))
                 .collect();
-            Response::SessionList(infos)
+            drop(guard);
+            // The listing doubles as the fleet health endpoint: parents
+            // and dashboards see which upstreams are stale without
+            // scraping metrics.
+            let upstreams = inner
+                .upstreams
+                .iter()
+                .map(|up| up.status.health(now))
+                .collect();
+            Response::SessionList {
+                sessions,
+                upstreams,
+            }
         }
         Request::TopK { n } => match &attached {
             Some(tenant) => Response::TopK(state().top_k(tenant, n as usize)),
@@ -577,12 +885,33 @@ fn handle_request(request: Request, attached: &mut Option<String>, inner: &Inner
             None => read_only_attach_error(),
         },
         Request::Stats => {
+            let now = inner.cycles.load(Ordering::SeqCst);
             let guard = state();
             let mut text = format!("epoch {}\n", guard.epoch);
             for tenant in guard.tenant_names() {
                 text.push_str(&format!(
                     "tenant {tenant} events {}\n",
                     guard.tenant_events(&tenant)
+                ));
+            }
+            drop(guard);
+            text.push_str(&format!("cycles {now}\n"));
+            for up in &inner.upstreams {
+                let health = up.status.health(now);
+                let last_success = if health.last_success_epoch == NEVER {
+                    "never".to_string()
+                } else {
+                    health.last_success_epoch.to_string()
+                };
+                text.push_str(&format!(
+                    "upstream {} healthy {} phase {} staleness_cycles {} \
+                     last_success_epoch {} consecutive_failures {}\n",
+                    health.addr,
+                    u8::from(health.healthy),
+                    health.phase.name(),
+                    health.staleness_cycles,
+                    last_success,
+                    health.consecutive_failures,
                 ));
             }
             Response::Stats(text)

@@ -6,6 +6,8 @@
 //!                   [--batch B] [--samples K] [--out PATH]
 //! mhp-bench server  [--sessions LIST] [--threaded-sessions LIST] [--active N]
 //!                   [--events N] [--chunk B] [--out PATH]
+//! mhp-bench fleet   [--servers LIST] [--sessions-per-server N]
+//!                   [--fault-rates LIST] [--events N] [--out PATH]
 //! ```
 //!
 //! `hotpath` pushes a deterministic workload through each profiler
@@ -20,6 +22,7 @@
 
 use std::process::ExitCode;
 
+use mhp_bench::fleet_bench::{self, FleetBenchOptions};
 use mhp_bench::hotpath::{self, HotpathOptions};
 use mhp_bench::profile::{self, ProfileOptions, ProfileTool};
 use mhp_bench::server_bench::{self, ServerBenchOptions};
@@ -39,7 +42,15 @@ fn print_usage() {
          defaults: --sessions 8,32,256,1024,2048 --threaded-sessions 8,32\n\
          \x20         --active 8 --events 100000 --chunk 4096 --out BENCH_server.json\n\
          (server: concurrent-session scaling, threaded front end vs --event-loop\n\
-         \x20reactor, driven by the multiplexed load generator)"
+         \x20reactor, driven by the multiplexed load generator)\n\
+         \n\
+         usage: mhp-bench fleet [--servers LIST] [--sessions-per-server N]\n\
+         \x20                   [--fault-rates LIST] [--events N]\n\
+         \x20                   [--clean-budget-cycles N] [--out PATH]\n\
+         defaults: --servers 2,4 --sessions-per-server 2 --fault-rates 0,25,50\n\
+         \x20         --events 20000 --clean-budget-cycles 200 --out BENCH_fleet.json\n\
+         (fleet: aggregation-tier convergence lag vs injected pull-fault rate;\n\
+         \x20exits nonzero if a fault-free row misses the cycle budget)"
     );
 }
 
@@ -186,12 +197,95 @@ fn run_server_bench(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn parse_rate_list(raw: &str) -> Option<Vec<u8>> {
+    let list: Result<Vec<u8>, _> = raw.split(',').map(|s| s.trim().parse()).collect();
+    list.ok()
+        .filter(|l| !l.is_empty() && l.iter().all(|&r| r <= 100))
+}
+
+fn run_fleet_bench(mut args: std::iter::Skip<std::env::Args>) -> ExitCode {
+    let mut opts = FleetBenchOptions::default();
+    let mut out_path = String::from("BENCH_fleet.json");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--servers" => match args.next().as_deref().and_then(parse_session_list) {
+                Some(list) => opts.servers = list,
+                None => {
+                    eprintln!("--servers needs a comma-separated list of counts");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sessions-per-server" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.sessions_per_server = n,
+                _ => {
+                    eprintln!("--sessions-per-server needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fault-rates" => match args.next().as_deref().and_then(parse_rate_list) {
+                Some(list) => opts.fault_rates = list,
+                None => {
+                    eprintln!("--fault-rates needs a comma-separated list of 0..=100");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--events" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.events_per_session = n,
+                _ => {
+                    eprintln!("--events needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--clean-budget-cycles" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.clean_budget_cycles = n,
+                _ => {
+                    eprintln!("--clean-budget-cycles needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = fleet_bench::run(&opts);
+    print!("{}", report.render());
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if !report.clean_ok() {
+        eprintln!(
+            "fleet: clean-run regression — a fault-free row missed the {}-cycle budget",
+            opts.clean_budget_cycles
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("hotpath") => {}
         Some("profile") => return run_profile(args),
         Some("server") => return run_server_bench(args),
+        Some("fleet") => return run_fleet_bench(args),
         Some("--help") | Some("-h") => {
             print_usage();
             return ExitCode::SUCCESS;

@@ -1,0 +1,382 @@
+//! The `mhp-bench fleet` runner: convergence of the aggregation tier
+//! under injected faults.
+//!
+//! Each row binds a fresh fleet — N in-process servers with a few
+//! multi-tenant sessions each, one aggregator pulling all of them — at a
+//! fixed injected-fault rate (`conn-drop%R`: that percentage of pull
+//! attempts drop their connection). The row then measures **convergence
+//! lag**: aggregator clock cycles until the per-tenant aggregate equals
+//! the offline merge of the same streams, byte for byte. Fault rows show
+//! how gracefully convergence degrades; the fault-free row doubles as a
+//! regression gate (`clean_ok`) — a clean fleet that needs more than the
+//! budgeted cycles to converge means the pull plane itself regressed.
+//!
+//! Output is the same hand-rolled stable-key JSON as the other benches
+//! (`BENCH_fleet.json` at the repo root, by convention).
+
+use std::time::{Duration, Instant};
+
+use mhp_agg::{AggConfig, AggState, Aggregator, PullPolicy};
+use mhp_faults::FaultPlan;
+use mhp_pipeline::{EngineConfig, ShardedEngine};
+use mhp_server::{Client, ProfilerKind, Server, ServerConfig, SessionConfig};
+use mhp_trace::{Benchmark, StreamKind, StreamSpec};
+
+/// Knobs for a fleet-convergence run.
+#[derive(Debug, Clone)]
+pub struct FleetBenchOptions {
+    /// Fleet sizes (server counts) to run, one row group each.
+    pub servers: Vec<usize>,
+    /// Sessions fed into each server (tenants stripe across servers, so
+    /// every tenant's answer needs every server pulled).
+    pub sessions_per_server: usize,
+    /// Injected pull-fault rates, percent of pull attempts dropped.
+    /// `0` is the clean row the regression bound applies to.
+    pub fault_rates: Vec<u8>,
+    /// Events streamed per session before the aggregator starts.
+    pub events_per_session: usize,
+    /// Profiling interval length for every session.
+    pub interval_len: u64,
+    /// Aggregator pull interval — also the clock-cycle length, so
+    /// convergence lag in cycles is comparable across machines.
+    pub pull_interval: Duration,
+    /// Wall-clock cap per row before it is declared non-converged.
+    pub deadline: Duration,
+    /// Cycle budget the fault-free rows must converge within.
+    pub clean_budget_cycles: u64,
+}
+
+impl Default for FleetBenchOptions {
+    fn default() -> Self {
+        FleetBenchOptions {
+            servers: vec![2, 4],
+            sessions_per_server: 2,
+            fault_rates: vec![0, 25, 50],
+            events_per_session: 20_000,
+            interval_len: 5_000,
+            pull_interval: Duration::from_millis(25),
+            deadline: Duration::from_secs(60),
+            clean_budget_cycles: 200,
+        }
+    }
+}
+
+/// One (fleet size, fault rate) measurement.
+#[derive(Debug, Clone)]
+pub struct FleetBenchRow {
+    /// Servers in the fleet.
+    pub servers: usize,
+    /// Total sessions across the fleet.
+    pub sessions: usize,
+    /// Injected pull-connection-drop rate, percent.
+    pub fault_rate_pct: u8,
+    /// Whether the aggregate reached the offline merge before the
+    /// deadline.
+    pub converged: bool,
+    /// Aggregator clock cycles at convergence (deadline cycles if not).
+    pub convergence_cycles: u64,
+    /// Wall-clock seconds to convergence (deadline if not).
+    pub convergence_secs: f64,
+    /// Worst per-upstream staleness, in cycles, observed at convergence.
+    pub max_staleness_cycles: u64,
+    /// Pull attempts that failed across the row (injected and real).
+    pub pull_errors: u64,
+    /// Upstream quarantines tripped across the row.
+    pub quarantines: u64,
+}
+
+/// The full result set of one `mhp-bench fleet` run.
+#[derive(Debug, Clone)]
+pub struct FleetBenchReport {
+    /// Options the run was configured with.
+    pub options: FleetBenchOptions,
+    /// One row per (fleet size, fault rate), in run order.
+    pub rows: Vec<FleetBenchRow>,
+}
+
+/// Sums every sample of a (possibly labeled) counter family in a
+/// Prometheus exposition.
+fn metric_sum(metrics: &str, family: &str) -> u64 {
+    metrics
+        .lines()
+        .filter(|line| {
+            line.starts_with(family)
+                && matches!(line.as_bytes().get(family.len()), Some(b' ') | Some(b'{'))
+        })
+        .filter_map(|line| line.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
+}
+
+fn bench_one(servers: usize, fault_rate: u8, opts: &FleetBenchOptions) -> FleetBenchRow {
+    let fleet: Vec<_> = (0..servers)
+        .map(|_| Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind fleet server"))
+        .collect();
+
+    // Tenants stripe across the fleet: server i hosts one session of
+    // every tenant, so no tenant's answer is complete until every server
+    // has been pulled — the aggregation actually has to work.
+    let mut expected = AggState::new();
+    let interval = mhp_core::IntervalConfig::new(opts.interval_len, 0.01).expect("interval config");
+    for (i, server) in fleet.iter().enumerate() {
+        for j in 0..opts.sessions_per_server {
+            let seed = 1 + (i * opts.sessions_per_server + j) as u64;
+            let tenant = format!("ten{j}");
+            let name = format!("{tenant}/srv{i}");
+            let events: Vec<_> = StreamSpec::new(Benchmark::Gcc, StreamKind::Value, seed)
+                .events()
+                .take(opts.events_per_session)
+                .collect();
+            let mut client = Client::connect(server.local_addr()).expect("feed connect");
+            client
+                .open_session(
+                    &name,
+                    SessionConfig {
+                        interval_len: opts.interval_len,
+                        seed,
+                        ..SessionConfig::default_multi_hash()
+                    },
+                )
+                .expect("open session");
+            for chunk in events.chunks(4_096) {
+                client.ingest(chunk).expect("ingest");
+            }
+            let engine = ShardedEngine::new(
+                EngineConfig::new(1),
+                interval,
+                ProfilerKind::MultiHash.spec(),
+                seed,
+            );
+            let report = engine.run(events.iter().copied()).expect("offline engine");
+            for profile in &report.profiles {
+                expected.add_leaf_profile(&tenant, profile.candidates());
+            }
+        }
+    }
+
+    let fault_hook = (fault_rate > 0).then(|| {
+        FaultPlan::parse(&format!("conn-drop%{fault_rate}"), 0xF1EE7 ^ servers as u64)
+            .expect("fault plan")
+            .arm()
+    });
+    let agg = Aggregator::bind(
+        "127.0.0.1:0",
+        AggConfig {
+            upstreams: fleet.iter().map(|s| s.local_addr().to_string()).collect(),
+            pull_interval: opts.pull_interval,
+            policy: PullPolicy {
+                connect_timeout: Duration::from_millis(200),
+                read_timeout: Duration::from_millis(200),
+                ..PullPolicy::default()
+            },
+            fault_hook,
+            ..AggConfig::default()
+        },
+    )
+    .expect("bind aggregator");
+
+    let targets: Vec<(String, Vec<mhp_core::Candidate>)> = (0..opts.sessions_per_server)
+        .map(|j| {
+            let tenant = format!("ten{j}");
+            let want = expected.top_k(&tenant, 50);
+            (tenant, want)
+        })
+        .collect();
+    let started = Instant::now();
+    let end = started + opts.deadline;
+    let mut converged = false;
+    while Instant::now() < end {
+        if targets
+            .iter()
+            .all(|(tenant, want)| agg.top_k(tenant, 50) == *want)
+        {
+            converged = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let convergence_cycles = agg.cycles();
+    let convergence_secs = started.elapsed().as_secs_f64();
+    let max_staleness_cycles = agg
+        .upstream_health()
+        .iter()
+        .map(|h| h.staleness_cycles)
+        .max()
+        .unwrap_or(0);
+    let metrics = agg.metrics();
+    let row = FleetBenchRow {
+        servers,
+        sessions: servers * opts.sessions_per_server,
+        fault_rate_pct: fault_rate,
+        converged,
+        convergence_cycles,
+        convergence_secs,
+        max_staleness_cycles,
+        pull_errors: metric_sum(&metrics, "agg_pull_errors_total"),
+        quarantines: metric_sum(&metrics, "agg_upstream_quarantines_total"),
+    };
+
+    agg.join();
+    for server in fleet {
+        let mut probe = Client::connect(server.local_addr()).expect("probe connect");
+        probe.shutdown_server().expect("shutdown");
+        server.join();
+    }
+    row
+}
+
+/// Runs every configured (fleet size, fault rate) row and collects the
+/// table.
+pub fn run(opts: &FleetBenchOptions) -> FleetBenchReport {
+    let mut rows = Vec::new();
+    for &servers in &opts.servers {
+        for &rate in &opts.fault_rates {
+            rows.push(bench_one(servers, rate, opts));
+        }
+    }
+    FleetBenchReport {
+        options: opts.clone(),
+        rows,
+    }
+}
+
+impl FleetBenchReport {
+    /// The clean-run no-regression bound: every fault-free row converged,
+    /// within the configured cycle budget.
+    pub fn clean_ok(&self) -> bool {
+        self.rows
+            .iter()
+            .filter(|r| r.fault_rate_pct == 0)
+            .all(|r| r.converged && r.convergence_cycles <= self.options.clean_budget_cycles)
+    }
+
+    /// Stable-key JSON document, matching the other `BENCH_*.json` files.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"fleet\",\n");
+        out.push_str(&format!(
+            "  \"sessions_per_server\": {},\n",
+            self.options.sessions_per_server
+        ));
+        out.push_str(&format!(
+            "  \"events_per_session\": {},\n",
+            self.options.events_per_session
+        ));
+        out.push_str(&format!(
+            "  \"pull_interval_ms\": {},\n",
+            self.options.pull_interval.as_millis()
+        ));
+        out.push_str(&format!(
+            "  \"clean_budget_cycles\": {},\n",
+            self.options.clean_budget_cycles
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"servers\": {}, \"sessions\": {}, \"fault_rate_pct\": {}, \
+                 \"converged\": {}, \"convergence_cycles\": {}, \
+                 \"convergence_secs\": {:.3}, \"max_staleness_cycles\": {}, \
+                 \"pull_errors\": {}, \"quarantines\": {}}}{}\n",
+                r.servers,
+                r.sessions,
+                r.fault_rate_pct,
+                r.converged,
+                r.convergence_cycles,
+                r.convergence_secs,
+                r.max_staleness_cycles,
+                r.pull_errors,
+                r.quarantines,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet convergence: {} session(s)/server x {} events, pull every {}ms\n",
+            self.options.sessions_per_server,
+            self.options.events_per_session,
+            self.options.pull_interval.as_millis()
+        ));
+        out.push_str(&format!(
+            "{:>7} {:>8} {:>7} {:>10} {:>9} {:>8} {:>10} {:>11} {:>11}\n",
+            "servers",
+            "sessions",
+            "fault%",
+            "converged",
+            "cycles",
+            "secs",
+            "staleness",
+            "pull_errors",
+            "quarantines"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>7} {:>8} {:>7} {:>10} {:>9} {:>8.2} {:>10} {:>11} {:>11}\n",
+                r.servers,
+                r.sessions,
+                r.fault_rate_pct,
+                r.converged,
+                r.convergence_cycles,
+                r.convergence_secs,
+                r.max_staleness_cycles,
+                r.pull_errors,
+                r.quarantines
+            ));
+        }
+        out.push_str(&format!(
+            "clean-run bound ({} cycles): {}\n",
+            self.options.clean_budget_cycles,
+            if self.clean_ok() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fleet_converges_clean_and_under_faults() {
+        let opts = FleetBenchOptions {
+            servers: vec![2],
+            sessions_per_server: 1,
+            fault_rates: vec![0, 50],
+            events_per_session: 10_000,
+            interval_len: 5_000,
+            pull_interval: Duration::from_millis(25),
+            deadline: Duration::from_secs(30),
+            clean_budget_cycles: 1_000,
+        };
+        let report = run(&opts);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(
+                row.converged,
+                "fault_rate {} never converged",
+                row.fault_rate_pct
+            );
+            assert_eq!(row.sessions, 2);
+        }
+        assert!(report.clean_ok());
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"fleet\""));
+        assert!(json.contains("\"fault_rate_pct\": 50"));
+        assert!(json.contains("\"convergence_cycles\""));
+        assert!(report.render().contains("clean-run bound"));
+    }
+
+    #[test]
+    fn metric_sum_adds_labeled_series_and_ignores_prefix_collisions() {
+        let text = "agg_pull_errors_total{upstream=\"a\"} 3\n\
+                    agg_pull_errors_total{upstream=\"b\"} 4\n\
+                    agg_pull_errors_total_other 100\n\
+                    agg_pull_cycles_total 9\n";
+        assert_eq!(metric_sum(text, "agg_pull_errors_total"), 7);
+        assert_eq!(metric_sum(text, "agg_pull_cycles_total"), 9);
+    }
+}

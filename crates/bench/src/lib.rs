@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod fleet_bench;
 pub mod harness;
 pub mod hotpath;
 pub mod profile;

@@ -110,7 +110,12 @@ pub struct ServerBenchReport {
     pub overhead: Vec<OverheadProbe>,
 }
 
-fn bench_one(mode: &str, sessions: usize, opts: &ServerBenchOptions, tracing: bool) -> ServerBenchRow {
+fn bench_one(
+    mode: &str,
+    sessions: usize,
+    opts: &ServerBenchOptions,
+    tracing: bool,
+) -> ServerBenchRow {
     let config = ServerConfig {
         max_connections: sessions + 16,
         event_loop: (mode == "event-loop").then(EventLoopConfig::default),
@@ -260,7 +265,11 @@ impl ServerBenchReport {
                 p.traced_events_per_sec,
                 p.untraced_events_per_sec,
                 p.overhead_pct,
-                if i + 1 == self.overhead.len() { "" } else { "," }
+                if i + 1 == self.overhead.len() {
+                    ""
+                } else {
+                    ","
+                }
             ));
         }
         out.push_str("  ]\n}\n");

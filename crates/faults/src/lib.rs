@@ -48,6 +48,17 @@ use std::time::Duration;
 /// enough to keep chaos suites fast.
 pub const STALL: Duration = Duration::from_millis(25);
 
+/// How long an injected [`FaultKind::UpstreamStall`] wedges a pull attempt.
+/// Deliberately longer than [`STALL`]: it must overshoot an aggregator's
+/// per-operation read deadline so the supervisor observes a timeout, not a
+/// slow success.
+pub const UPSTREAM_STALL: Duration = Duration::from_millis(120);
+
+/// How long an injected [`FaultKind::SlowRead`] delays one in-pull
+/// operation. Short enough that a single hit only drags a pull, long enough
+/// that repeated hits exhaust a whole-pull budget.
+pub const SLOW_READ: Duration = Duration::from_millis(15);
+
 /// The kinds of fault a [`FaultPlan`] can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -69,16 +80,26 @@ pub enum FaultKind {
     /// The server sleeps for [`STALL`] before serving an ingest request
     /// (tests client timeouts and overload shedding). Counted in chunks.
     SlowConsumer,
+    /// A pull attempt wedges for [`UPSTREAM_STALL`] — emulating an upstream
+    /// that accepts but never answers — then fails with a timeout (tests
+    /// supervisor deadlines and circuit breakers). Counted in pulls.
+    UpstreamStall,
+    /// One in-pull operation (a session listing or snapshot read) is delayed
+    /// by [`SLOW_READ`] — emulating a dribbling upstream (tests whole-pull
+    /// budgets and partial-harvest commit). Counted in pull operations.
+    SlowRead,
 }
 
 /// Every fault kind, for exhaustive chaos sweeps.
-pub const ALL_FAULT_KINDS: [FaultKind; 6] = [
+pub const ALL_FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::WorkerPanic,
     FaultKind::WorkerStall,
     FaultKind::TruncateFrame,
     FaultKind::CorruptChunk,
     FaultKind::DropConnection,
     FaultKind::SlowConsumer,
+    FaultKind::UpstreamStall,
+    FaultKind::SlowRead,
 ];
 
 impl FaultKind {
@@ -92,6 +113,8 @@ impl FaultKind {
             FaultKind::CorruptChunk => "corrupt-chunk",
             FaultKind::DropConnection => "conn-drop",
             FaultKind::SlowConsumer => "slow-consumer",
+            FaultKind::UpstreamStall => "upstream-stall",
+            FaultKind::SlowRead => "slow-read",
         }
     }
 }
@@ -129,15 +152,28 @@ impl fmt::Display for PlanParseError {
 
 impl std::error::Error for PlanParseError {}
 
-/// One planned fault: inject `kind` when its site counter reaches `at`
-/// (1-based: `at == 1` fires on the first event/request/chunk the site
-/// sees).
+/// When a planned fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire exactly once, when the site counter reaches this value
+    /// (1-based: `At(1)` fires on the first event/request/chunk the site
+    /// sees).
+    At(u64),
+    /// Fire *recurringly* on this percentage of consultations (1..=100),
+    /// decided by a deterministic hash of the seed and the site counter —
+    /// the same plan against the same stream fires on the same
+    /// consultations. Models a flapping component rather than a one-off
+    /// incident.
+    Rate(u8),
+}
+
+/// One planned fault: inject `kind` when its [`Trigger`] says so.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
     /// What to inject.
     pub kind: FaultKind,
-    /// The site-counter value to fire at.
-    pub at: u64,
+    /// When to inject it.
+    pub trigger: Trigger,
 }
 
 /// A deterministic schedule of faults.
@@ -161,35 +197,72 @@ impl FaultPlan {
         }
     }
 
-    /// Adds one fault firing when its site counter reaches `at` (1-based).
+    /// Adds one fault firing once when its site counter reaches `at`
+    /// (1-based).
     pub fn with_fault(mut self, kind: FaultKind, at: u64) -> Self {
-        self.faults.push(FaultSpec { kind, at });
+        self.faults.push(FaultSpec {
+            kind,
+            trigger: Trigger::At(at),
+        });
         self
     }
 
-    /// Parses a comma-separated spec: `kind@count[,kind@count...]`, e.g.
-    /// `"worker-panic@5000,conn-drop@3"`. An empty string is an empty plan.
+    /// Adds one fault firing recurringly on `percent` (1..=100) of the
+    /// consultations at its site.
+    pub fn with_fault_rate(mut self, kind: FaultKind, percent: u8) -> Self {
+        self.faults.push(FaultSpec {
+            kind,
+            trigger: Trigger::Rate(percent),
+        });
+        self
+    }
+
+    /// Parses a comma-separated spec where each entry is either
+    /// `kind@count` (fire once at that 1-based site count) or
+    /// `kind%percent` (fire recurringly on that percentage of
+    /// consultations), e.g. `"worker-panic@5000,conn-drop%50"`. An empty
+    /// string is an empty plan.
     ///
     /// # Errors
     ///
-    /// Returns [`PlanParseError`] for unknown kinds, malformed entries, or
-    /// a zero trigger count.
+    /// Returns [`PlanParseError`] for unknown kinds, malformed entries, a
+    /// zero trigger count, or a rate outside 1..=100.
     pub fn parse(spec: &str, seed: u64) -> Result<Self, PlanParseError> {
         let mut plan = FaultPlan::new(seed);
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
-            let (kind, at) = entry.split_once('@').ok_or_else(|| PlanParseError {
-                message: format!("expected kind@count, got {entry:?}"),
-            })?;
-            let kind: FaultKind = kind.trim().parse()?;
-            let at: u64 = at.trim().parse().map_err(|_| PlanParseError {
-                message: format!("bad trigger count in {entry:?}"),
-            })?;
-            if at == 0 {
+            if let Some((kind, at)) = entry.split_once('@') {
+                let kind: FaultKind = kind.trim().parse()?;
+                let at: u64 = at.trim().parse().map_err(|_| PlanParseError {
+                    message: format!("bad trigger count in {entry:?}"),
+                })?;
+                if at == 0 {
+                    return Err(PlanParseError {
+                        message: format!("trigger count must be >= 1 in {entry:?}"),
+                    });
+                }
+                plan.faults.push(FaultSpec {
+                    kind,
+                    trigger: Trigger::At(at),
+                });
+            } else if let Some((kind, pct)) = entry.split_once('%') {
+                let kind: FaultKind = kind.trim().parse()?;
+                let pct: u8 = pct.trim().parse().map_err(|_| PlanParseError {
+                    message: format!("bad trigger rate in {entry:?}"),
+                })?;
+                if pct == 0 || pct > 100 {
+                    return Err(PlanParseError {
+                        message: format!("trigger rate must be 1..=100 in {entry:?}"),
+                    });
+                }
+                plan.faults.push(FaultSpec {
+                    kind,
+                    trigger: Trigger::Rate(pct),
+                });
+            } else {
                 return Err(PlanParseError {
-                    message: format!("trigger count must be >= 1 in {entry:?}"),
+                    message: format!("expected kind@count or kind%rate, got {entry:?}"),
                 });
             }
-            plan.faults.push(FaultSpec { kind, at });
         }
         Ok(plan)
     }
@@ -215,11 +288,14 @@ impl FaultPlan {
                     .map(|&spec| ArmedFault {
                         spec,
                         fired: AtomicBool::new(false),
+                        hits: AtomicU64::new(0),
                     })
                     .collect(),
                 worker_events: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 chunks: AtomicU64::new(0),
+                pulls: AtomicU64::new(0),
+                pull_ops: AtomicU64::new(0),
                 injected: AtomicU64::new(0),
             }),
         }
@@ -248,6 +324,20 @@ pub enum ConnAction {
     TruncateResponse,
 }
 
+/// What an aggregator's pull supervisor should do with the pull attempt it
+/// is about to start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullAction {
+    /// No fault: pull normally.
+    Proceed,
+    /// Fail the attempt without touching the network (emulates a refused or
+    /// dropped connection).
+    Drop,
+    /// Wedge for the given duration, then fail the attempt with a timeout
+    /// (emulates an upstream that accepts but never answers).
+    Stall(Duration),
+}
+
 /// What an armed hook did to an ingest chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IngestFault {
@@ -260,7 +350,11 @@ pub struct IngestFault {
 #[derive(Debug)]
 struct ArmedFault {
     spec: FaultSpec,
+    /// Once-only latch for [`Trigger::At`] faults; unused for rates.
     fired: AtomicBool,
+    /// How many times this fault has fired (1 max for `At`, unbounded for
+    /// `Rate`).
+    hits: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -270,24 +364,41 @@ struct HookInner {
     worker_events: AtomicU64,
     requests: AtomicU64,
     chunks: AtomicU64,
+    pulls: AtomicU64,
+    pull_ops: AtomicU64,
     injected: AtomicU64,
 }
 
 impl HookInner {
-    /// Fires the first unfired fault of `kind` whose trigger count has been
-    /// reached (`at <= count`). Returns whether one fired. Firing at-or-after
-    /// rather than exactly-at means a trigger inside a large batch still
-    /// fires, and two faults sharing a trigger fire on consecutive
-    /// consultations.
+    /// Fires the first due fault of `kind` at this site-counter value.
+    /// Returns whether one fired.
+    ///
+    /// `At` faults fire once when `at <= count` — at-or-after rather than
+    /// exactly-at, so a trigger inside a large batch still fires, and two
+    /// faults sharing a trigger fire on consecutive consultations. `Rate`
+    /// faults fire on a deterministic hash of (seed, counter, plan slot):
+    /// the same plan against the same stream always fires on the same
+    /// consultations, and distinct rate faults draw independent hashes.
     fn fire_due(&self, kind: FaultKind, count: u64) -> bool {
-        for fault in &self.faults {
-            if fault.spec.kind == kind
-                && fault.spec.at <= count
-                && fault
-                    .fired
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-            {
+        for (slot, fault) in self.faults.iter().enumerate() {
+            if fault.spec.kind != kind {
+                continue;
+            }
+            let due = match fault.spec.trigger {
+                Trigger::At(at) => {
+                    at <= count
+                        && fault
+                            .fired
+                            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                }
+                Trigger::Rate(pct) => {
+                    let draw = splitmix64(self.seed ^ count ^ ((slot as u64) << 48)) % 100;
+                    draw < u64::from(pct)
+                }
+            };
+            if due {
+                fault.hits.fetch_add(1, Ordering::Relaxed);
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
@@ -349,26 +460,53 @@ impl FaultHook {
         fault
     }
 
+    /// Called by an aggregator's pull supervisor once per pull attempt,
+    /// *before* connecting. Advances the pull counter and reports the
+    /// action to take.
+    pub fn on_pull(&self) -> PullAction {
+        let count = self.inner.pulls.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.inner.fire_due(FaultKind::DropConnection, count) {
+            PullAction::Drop
+        } else if self.inner.fire_due(FaultKind::UpstreamStall, count) {
+            PullAction::Stall(UPSTREAM_STALL)
+        } else {
+            PullAction::Proceed
+        }
+    }
+
+    /// Called by the pull path before each in-pull operation (session
+    /// listing, per-session snapshot). Advances the pull-operation counter;
+    /// returns a delay to apply before the operation, if any.
+    pub fn on_pull_op(&self) -> Option<Duration> {
+        let count = self.inner.pull_ops.fetch_add(1, Ordering::AcqRel) + 1;
+        self.inner
+            .fire_due(FaultKind::SlowRead, count)
+            .then_some(SLOW_READ)
+    }
+
     /// Total faults injected so far.
     pub fn injected_total(&self) -> u64 {
         self.inner.injected.load(Ordering::Relaxed)
     }
 
-    /// Number of faults of `kind` injected so far.
+    /// Number of faults of `kind` injected so far (rate faults count every
+    /// firing).
     pub fn injected(&self, kind: FaultKind) -> u64 {
         self.inner
             .faults
             .iter()
-            .filter(|f| f.spec.kind == kind && f.fired.load(Ordering::Acquire))
-            .count() as u64
+            .filter(|f| f.spec.kind == kind)
+            .map(|f| f.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Whether any planned fault has not fired yet.
+    /// Whether any planned once-only fault has not fired yet. Rate faults
+    /// are never pending: they have no completion point.
     pub fn pending(&self) -> bool {
         self.inner
             .faults
             .iter()
-            .any(|f| !f.fired.load(Ordering::Acquire))
+            .any(|f| matches!(f.spec.trigger, Trigger::At(_)) && !f.fired.load(Ordering::Acquire))
     }
 }
 
@@ -389,7 +527,21 @@ mod tests {
     fn parse_round_trips_every_kind() {
         for kind in ALL_FAULT_KINDS {
             let plan = FaultPlan::parse(&format!("{}@7", kind.name()), 1).unwrap();
-            assert_eq!(plan.faults(), &[FaultSpec { kind, at: 7 }]);
+            assert_eq!(
+                plan.faults(),
+                &[FaultSpec {
+                    kind,
+                    trigger: Trigger::At(7)
+                }]
+            );
+            let plan = FaultPlan::parse(&format!("{}%40", kind.name()), 1).unwrap();
+            assert_eq!(
+                plan.faults(),
+                &[FaultSpec {
+                    kind,
+                    trigger: Trigger::Rate(40)
+                }]
+            );
             assert_eq!(kind.name().parse::<FaultKind>().unwrap(), kind);
         }
     }
@@ -404,11 +556,83 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["nope@1", "worker-panic", "worker-panic@x", "worker-panic@0"] {
+        for bad in [
+            "nope@1",
+            "worker-panic",
+            "worker-panic@x",
+            "worker-panic@0",
+            "conn-drop%0",
+            "conn-drop%101",
+            "conn-drop%x",
+            "nope%50",
+        ] {
             let err = FaultPlan::parse(bad, 0).unwrap_err();
             let msg = err.to_string();
             assert!(msg.starts_with("invalid fault plan"), "{msg}");
         }
+    }
+
+    #[test]
+    fn rate_faults_fire_recurringly_and_deterministically() {
+        let run = || {
+            let hook = FaultPlan::parse("conn-drop%50", 1234).unwrap().arm();
+            (0..200).map(|_| hook.on_request()).collect::<Vec<_>>()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same seed, same firing pattern");
+        let drops = a.iter().filter(|&&r| r == ConnAction::Drop).count();
+        // ~50% of 200 with a deterministic hash: loose bounds, no flake.
+        assert!((60..=140).contains(&drops), "drops = {drops}");
+
+        let hook = FaultPlan::parse("conn-drop%50", 1234).unwrap().arm();
+        for _ in 0..200 {
+            hook.on_request();
+        }
+        assert_eq!(hook.injected(FaultKind::DropConnection), drops as u64);
+        assert!(!hook.pending(), "rate faults are never pending");
+    }
+
+    #[test]
+    fn rate_one_hundred_fires_every_time() {
+        let hook = FaultPlan::new(0)
+            .with_fault_rate(FaultKind::DropConnection, 100)
+            .arm();
+        for _ in 0..10 {
+            assert_eq!(hook.on_request(), ConnAction::Drop);
+        }
+    }
+
+    #[test]
+    fn pull_faults_drop_and_stall() {
+        let hook = FaultPlan::new(0)
+            .with_fault(FaultKind::DropConnection, 1)
+            .with_fault(FaultKind::UpstreamStall, 2)
+            .arm();
+        assert_eq!(hook.on_pull(), PullAction::Drop);
+        assert_eq!(hook.on_pull(), PullAction::Stall(UPSTREAM_STALL));
+        assert_eq!(hook.on_pull(), PullAction::Proceed);
+        assert_eq!(hook.injected_total(), 2);
+    }
+
+    #[test]
+    fn slow_read_delays_pull_operations() {
+        let hook = FaultPlan::new(0).with_fault(FaultKind::SlowRead, 2).arm();
+        assert_eq!(hook.on_pull_op(), None);
+        assert_eq!(hook.on_pull_op(), Some(SLOW_READ));
+        assert_eq!(hook.on_pull_op(), None);
+        assert_eq!(hook.injected(FaultKind::SlowRead), 1);
+    }
+
+    #[test]
+    fn pull_and_request_counters_are_independent() {
+        // A conn-drop planned at request 1 must not be stolen by the pull
+        // site's counter or vice versa — but both sites *check* the same
+        // kind, so the first consultation anywhere fires it. Plan two.
+        let hook = FaultPlan::new(0)
+            .with_fault(FaultKind::UpstreamStall, 1)
+            .arm();
+        assert_eq!(hook.on_request(), ConnAction::Proceed, "wrong site");
+        assert_eq!(hook.on_pull(), PullAction::Stall(UPSTREAM_STALL));
     }
 
     #[test]

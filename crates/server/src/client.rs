@@ -13,6 +13,7 @@ use crate::error::{ErrorCode, ServerError};
 use crate::metrics::Histogram;
 use crate::protocol::{
     read_frame, write_frame, ProfileData, Request, Response, SessionConfig, SessionInfo,
+    UpstreamHealth,
 };
 
 /// A blocking connection to an `mhp-server`.
@@ -35,12 +36,61 @@ impl Client {
     /// [`ServerError::Io`] if the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects to a server, failing if the TCP handshake has not
+    /// completed within `timeout`. A plain [`connect`](Self::connect)
+    /// blocks at the OS's pleasure (minutes against a black-holed peer);
+    /// supervised callers like the aggregator's pull workers need the
+    /// bound.
+    ///
+    /// When `addr` resolves to several addresses, each is tried with the
+    /// full `timeout` until one succeeds.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if no address accepts within the deadline, or
+    /// if `addr` resolves to nothing.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, ServerError> {
+        let mut last_err: Option<std::io::Error> = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => return Client::from_stream(stream),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(ServerError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )
+        })))
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, ServerError> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
         })
+    }
+
+    /// Sets (or clears) the read timeout on the underlying socket. A
+    /// server that accepts but never answers then surfaces as a
+    /// [`ServerError::Io`] timeout at the next frame boundary instead of
+    /// blocking forever.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if the socket rejects the option.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServerError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// Sends one request and reads its response.
@@ -199,8 +249,24 @@ impl Client {
     ///
     /// Transport failures only; the listing always succeeds server-side.
     pub fn list_sessions(&mut self) -> Result<Vec<SessionInfo>, ServerError> {
+        Ok(self.list_sessions_with_health()?.0)
+    }
+
+    /// Like [`list_sessions`](Self::list_sessions), but also returns the
+    /// per-upstream health block an aggregator attaches to its listing
+    /// (empty when the peer is a leaf server).
+    ///
+    /// # Errors
+    ///
+    /// As [`list_sessions`](Self::list_sessions).
+    pub fn list_sessions_with_health(
+        &mut self,
+    ) -> Result<(Vec<SessionInfo>, Vec<UpstreamHealth>), ServerError> {
         match self.call_ok(&Request::ListSessions)? {
-            Response::SessionList(infos) => Ok(infos),
+            Response::SessionList {
+                sessions,
+                upstreams,
+            } => Ok((sessions, upstreams)),
             other => Err(unexpected(&other)),
         }
     }
@@ -356,8 +422,9 @@ impl RetryPolicy {
     /// The pause before retry `attempt` (1-based): exponential from
     /// [`base_backoff`](Self::base_backoff), capped at
     /// [`max_backoff`](Self::max_backoff), plus deterministic jitter of
-    /// up to half the pause.
-    fn backoff(&self, attempt: u32) -> Duration {
+    /// up to half the pause. Public so other supervised retry loops (the
+    /// aggregator's pull workers) share the exact same discipline.
+    pub fn backoff(&self, attempt: u32) -> Duration {
         let doublings = attempt.saturating_sub(1).min(16);
         let backoff = self
             .base_backoff

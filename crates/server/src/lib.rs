@@ -72,7 +72,7 @@ pub use event_loop::EventLoopConfig;
 pub use metrics::{stat_value, Counter, Gauge, Histogram, Metrics};
 pub use mux::{mux_loadgen, MuxConfig, MuxReport};
 pub use protocol::{
-    FrameDecoder, ProfileData, ProfilerKind, Request, Response, SessionConfig, SessionInfo,
-    MAX_FRAME_BYTES,
+    BreakerPhase, FrameDecoder, ProfileData, ProfilerKind, Request, Response, SessionConfig,
+    SessionInfo, UpstreamHealth, MAX_FRAME_BYTES,
 };
 pub use server::{tenant_of, RunningServer, Server, ServerConfig, TenantQuotas, SERVER_STAGES};

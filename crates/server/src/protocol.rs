@@ -145,6 +145,70 @@ pub struct SessionInfo {
     pub intervals: u64,
 }
 
+/// The circuit-breaker phase an aggregator's upstream supervisor is in,
+/// as carried in [`UpstreamHealth`]. Mirrors the supervisor state machine
+/// (DESIGN §18) without this crate depending on the aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Pulling normally.
+    Closed,
+    /// Quarantined: pulls are skipped until the quarantine elapses.
+    Open,
+    /// Quarantine elapsed: the next pull is a trial probe.
+    HalfOpen,
+}
+
+impl BreakerPhase {
+    /// Wire byte for this phase.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            BreakerPhase::Closed => 0,
+            BreakerPhase::Open => 1,
+            BreakerPhase::HalfOpen => 2,
+        }
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_u8(byte: u8) -> Option<BreakerPhase> {
+        match byte {
+            0 => Some(BreakerPhase::Closed),
+            1 => Some(BreakerPhase::Open),
+            2 => Some(BreakerPhase::HalfOpen),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name, for `stats` text and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerPhase::Closed => "closed",
+            BreakerPhase::Open => "open",
+            BreakerPhase::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Per-upstream health as reported by an aggregator in its session
+/// listing, so parents and dashboards can see which children are stale
+/// without scraping metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpstreamHealth {
+    /// The upstream's address, as configured.
+    pub addr: String,
+    /// Whether the last completed pull attempt succeeded.
+    pub healthy: bool,
+    /// Circuit-breaker phase of the upstream's supervisor.
+    pub phase: BreakerPhase,
+    /// Pull cycles since this upstream last completed a pull (equals the
+    /// total cycle count if it never has).
+    pub staleness_cycles: u64,
+    /// Aggregator epoch at the last successful pull (`u64::MAX` if it has
+    /// never succeeded).
+    pub last_success_epoch: u64,
+    /// Consecutive failed pull attempts (resets on success).
+    pub consecutive_failures: u64,
+}
+
 /// A profile on the wire: one completed (or force-cut) interval.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProfileData {
@@ -282,7 +346,15 @@ pub enum Response {
         last_seq: u64,
     },
     /// Every live session, sorted by name.
-    SessionList(Vec<SessionInfo>),
+    SessionList {
+        /// The sessions.
+        sessions: Vec<SessionInfo>,
+        /// Per-upstream supervisor health, when the answering node is an
+        /// aggregator. Leaf servers report none, and an empty list is
+        /// omitted from the wire encoding entirely, so their listings are
+        /// byte-identical to the pre-health protocol.
+        upstreams: Vec<UpstreamHealth>,
+    },
     /// Server metrics, one `key value` per line.
     Stats(String),
     /// Server metrics in Prometheus text exposition format.
@@ -410,6 +482,38 @@ fn push_session_info(out: &mut Vec<u8>, info: &SessionInfo) {
 /// Smallest possible encoded [`SessionInfo`]: empty name plus the fixed
 /// fields. Used to reject lying list counts before allocating.
 const MIN_SESSION_INFO_BYTES: usize = 2 + 1 + 2 + 8 * 5;
+
+fn push_upstream_health(out: &mut Vec<u8>, health: &UpstreamHealth) {
+    push_name(out, &health.addr);
+    out.push(u8::from(health.healthy));
+    out.push(health.phase.as_u8());
+    out.extend_from_slice(&health.staleness_cycles.to_le_bytes());
+    out.extend_from_slice(&health.last_success_epoch.to_le_bytes());
+    out.extend_from_slice(&health.consecutive_failures.to_le_bytes());
+}
+
+/// Smallest possible encoded [`UpstreamHealth`]: empty addr plus the
+/// fixed fields.
+const MIN_UPSTREAM_HEALTH_BYTES: usize = 2 + 1 + 1 + 8 * 3;
+
+fn read_upstream_health(cursor: &mut Cursor<'_>) -> Result<UpstreamHealth, ServerError> {
+    let addr = cursor.name()?;
+    let healthy = match cursor.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(ServerError::protocol("bad healthy flag")),
+    };
+    let phase = BreakerPhase::from_u8(cursor.u8()?)
+        .ok_or_else(|| ServerError::protocol("unknown breaker phase"))?;
+    Ok(UpstreamHealth {
+        addr,
+        healthy,
+        phase,
+        staleness_cycles: cursor.u64()?,
+        last_success_epoch: cursor.u64()?,
+        consecutive_failures: cursor.u64()?,
+    })
+}
 
 fn read_session_info(cursor: &mut Cursor<'_>) -> Result<SessionInfo, ServerError> {
     let name = cursor.name()?;
@@ -581,11 +685,23 @@ impl Response {
                 out.push(TAG_SESSION);
                 push_session_info(&mut out, info);
             }
-            Response::SessionList(infos) => {
+            Response::SessionList {
+                sessions,
+                upstreams,
+            } => {
                 out.push(TAG_SESSION_LIST);
-                out.extend_from_slice(&(infos.len() as u32).to_le_bytes());
-                for info in infos {
+                out.extend_from_slice(&(sessions.len() as u32).to_le_bytes());
+                for info in sessions {
                     push_session_info(&mut out, info);
+                }
+                // The health block is strictly optional on the wire: leaf
+                // servers (empty list) encode nothing after the sessions,
+                // keeping their listings decodable by pre-health clients.
+                if !upstreams.is_empty() {
+                    out.extend_from_slice(&(upstreams.len() as u32).to_le_bytes());
+                    for health in upstreams {
+                        push_upstream_health(&mut out, health);
+                    }
                 }
             }
             Response::Ingested { events, intervals } => {
@@ -650,11 +766,28 @@ impl Response {
                 if count > cursor.bytes.len().saturating_sub(cursor.pos) / MIN_SESSION_INFO_BYTES {
                     return Err(ServerError::protocol("session count exceeds frame"));
                 }
-                let mut infos = Vec::with_capacity(count);
+                let mut sessions = Vec::with_capacity(count);
                 for _ in 0..count {
-                    infos.push(read_session_info(&mut cursor)?);
+                    sessions.push(read_session_info(&mut cursor)?);
                 }
-                Response::SessionList(infos)
+                // Optional trailing health block (aggregators only).
+                let mut upstreams = Vec::new();
+                if cursor.pos < cursor.bytes.len() {
+                    let count = cursor.u32()? as usize;
+                    if count
+                        > cursor.bytes.len().saturating_sub(cursor.pos) / MIN_UPSTREAM_HEALTH_BYTES
+                    {
+                        return Err(ServerError::protocol("upstream count exceeds frame"));
+                    }
+                    upstreams.reserve(count);
+                    for _ in 0..count {
+                        upstreams.push(read_upstream_health(&mut cursor)?);
+                    }
+                }
+                Response::SessionList {
+                    sessions,
+                    upstreams,
+                }
             }
             TAG_INGESTED => Response::Ingested {
                 events: cursor.u64()?,
@@ -959,11 +1092,76 @@ mod tests {
             events,
             intervals: events / 10_000,
         };
-        roundtrip_response(Response::SessionList(Vec::new()));
-        roundtrip_response(Response::SessionList(vec![
-            info("acme/web", 120_000),
-            info("beta/batch", 5),
-        ]));
+        roundtrip_response(Response::SessionList {
+            sessions: Vec::new(),
+            upstreams: Vec::new(),
+        });
+        roundtrip_response(Response::SessionList {
+            sessions: vec![info("acme/web", 120_000), info("beta/batch", 5)],
+            upstreams: Vec::new(),
+        });
+        roundtrip_response(Response::SessionList {
+            sessions: vec![info("acme/web", 7)],
+            upstreams: vec![
+                UpstreamHealth {
+                    addr: "10.0.0.1:7070".into(),
+                    healthy: true,
+                    phase: BreakerPhase::Closed,
+                    staleness_cycles: 0,
+                    last_success_epoch: 42,
+                    consecutive_failures: 0,
+                },
+                UpstreamHealth {
+                    addr: "10.0.0.2:7070".into(),
+                    healthy: false,
+                    phase: BreakerPhase::Open,
+                    staleness_cycles: 17,
+                    last_success_epoch: u64::MAX,
+                    consecutive_failures: 9,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn session_list_without_health_block_is_byte_stable() {
+        // A leaf server's listing must not grow any trailing bytes: the
+        // health block is encoded only when non-empty.
+        let listing = Response::SessionList {
+            sessions: vec![SessionInfo {
+                name: "acme/web".into(),
+                config: SessionConfig::default_multi_hash(),
+                events: 10,
+                intervals: 1,
+            }],
+            upstreams: Vec::new(),
+        };
+        let body = listing.encode();
+        let expected_len = 1 + 4 + (2 + "acme/web".len() + 1 + 2 + 8 * 5);
+        assert_eq!(body.len(), expected_len, "unexpected trailing bytes");
+    }
+
+    #[test]
+    fn lying_upstream_health_count_is_rejected_without_allocation() {
+        let mut body = Response::SessionList {
+            sessions: Vec::new(),
+            upstreams: Vec::new(),
+        }
+        .encode();
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&body).is_err());
+    }
+
+    #[test]
+    fn breaker_phase_round_trips() {
+        for phase in [
+            BreakerPhase::Closed,
+            BreakerPhase::Open,
+            BreakerPhase::HalfOpen,
+        ] {
+            assert_eq!(BreakerPhase::from_u8(phase.as_u8()), Some(phase));
+        }
+        assert_eq!(BreakerPhase::from_u8(3), None);
     }
 
     #[test]

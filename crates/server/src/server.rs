@@ -1442,7 +1442,10 @@ pub(crate) fn handle_request(
                 }
             }
             infos.sort_by(|a, b| a.name.cmp(&b.name));
-            Ok(Response::SessionList(infos))
+            Ok(Response::SessionList {
+                sessions: infos,
+                upstreams: Vec::new(),
+            })
         }
         Request::Stats => Ok(Response::Stats(shared.metrics.render())),
         Request::Metrics => Ok(Response::Metrics(

@@ -259,11 +259,7 @@ fn metrics_export_writes_jsonl_snapshots() {
         );
     }
     // The final snapshot saw the session's traffic.
-    let last_snapshot = lines
-        .iter()
-        .filter(|l| l.contains("\"ts_ms\":"))
-        .next_back()
-        .unwrap();
+    let last_snapshot = lines.iter().rfind(|l| l.contains("\"ts_ms\":")).unwrap();
     assert!(
         last_snapshot.contains("\"server_events_ingested_total\":12000"),
         "{last_snapshot}"
@@ -661,7 +657,8 @@ fn traces_query_against_older_server_degrades_gracefully() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let old_server = std::thread::spawn(move || {
-        for stream in listener.incoming() {
+        // One connection is all the test sends.
+        if let Some(stream) = listener.incoming().next() {
             let mut stream = stream.unwrap();
             while let Ok(Some(_body)) = read_frame(&mut stream) {
                 let reply = mhp_server::Response::Error {
@@ -673,7 +670,6 @@ fn traces_query_against_older_server_degrades_gracefully() {
                     break;
                 }
             }
-            break; // one connection is all the test sends
         }
     });
 

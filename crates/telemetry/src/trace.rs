@@ -259,8 +259,10 @@ impl Tracer {
     pub fn sampled(&self) -> Vec<TraceRecord> {
         let samples = self.inner.samples.lock().expect("trace samples poisoned");
         let mut slow = samples.slow.clone();
-        slow.sort_by(|a, b| b.total_us.cmp(&a.total_us));
-        slow.into_iter().chain(samples.head.iter().cloned()).collect()
+        slow.sort_by_key(|r| std::cmp::Reverse(r.total_us));
+        slow.into_iter()
+            .chain(samples.head.iter().cloned())
+            .collect()
     }
 
     /// Renders the tracer's state as JSONL: one `"stage_summary"` line per
@@ -289,7 +291,11 @@ impl Tracer {
                 out,
                 "{{\"type\":\"trace\",\"sample\":\"{}\",\"seq\":{},\"kind\":\"{}\",\
                  \"detail\":{},\"start_us\":{},\"total_us\":{},\"stages\":{{{stages}}}}}",
-                record.sample, record.seq, record.kind, record.detail, record.start_us,
+                record.sample,
+                record.seq,
+                record.kind,
+                record.detail,
+                record.start_us,
                 record.total_us
             );
         }
@@ -311,7 +317,7 @@ impl Tracer {
             }
         }
 
-        let head = trace.seq % inner.head_every == 0;
+        let head = trace.seq.is_multiple_of(inner.head_every);
         let slow_candidate = inner.slow_capacity > 0
             && (inner.slow_floor.load(Ordering::Relaxed) < total_us
                 || inner.slow_floor.load(Ordering::Relaxed) == 0);
@@ -392,12 +398,7 @@ impl Tracer {
     }
 
     fn refresh_floor(inner: &TracerInner, samples: &Samples) {
-        let floor = samples
-            .slow
-            .iter()
-            .map(|r| r.total_us)
-            .min()
-            .unwrap_or(0);
+        let floor = samples.slow.iter().map(|r| r.total_us).min().unwrap_or(0);
         inner.slow_floor.store(floor, Ordering::Relaxed);
     }
 }
@@ -556,7 +557,11 @@ mod tests {
         let record = &sampled[0];
         assert_eq!(record.stages.len(), STAGES.len());
         assert_eq!(record.stages[1], ("beta", 5));
-        assert_eq!(record.stages[0], ("alpha", 0), "untouched stage present as 0");
+        assert_eq!(
+            record.stages[0],
+            ("alpha", 0),
+            "untouched stage present as 0"
+        );
         let jsonl = tracer.render_jsonl();
         let trace_lines: Vec<&str> = jsonl
             .lines()
@@ -593,7 +598,10 @@ mod tests {
         // Totals include the real (tiny) elapsed time on top of the lead,
         // so compare against the injected floor.
         assert!(slow[0] >= 900 && slow[1] >= 500, "kept {slow:?}");
-        assert!(slow.iter().all(|&t| t < 10_000), "fast traces evicted: {slow:?}");
+        assert!(
+            slow.iter().all(|&t| t < 10_000),
+            "fast traces evicted: {slow:?}"
+        );
     }
 
     #[test]
@@ -679,7 +687,10 @@ mod tests {
         assert_eq!(sampled.len(), 4, "ring holds exactly its capacity");
         let max_kept = sampled.iter().map(|r| r.seq).max().unwrap();
         // 100 traces finished; the ring must have moved well past the head.
-        assert!(max_kept >= 96, "ring retained stale traces: max seq {max_kept}");
+        assert!(
+            max_kept >= 96,
+            "ring retained stale traces: max seq {max_kept}"
+        );
         // Every sampled trace committed a span; the span ring is bounded
         // and every commit is either held, overwritten, or counted dropped.
         let events = tracer.events();
